@@ -1,0 +1,60 @@
+// Ablation: the hybrid tensor x data x pipeline search (related work §6,
+// "Megatron-LM combines tensor parallelism and pipeline parallelism...
+// tensor parallelism within nodes and pipeline parallelism between nodes").
+//
+// Two regimes on 16 devices:
+//  * NVLink-class links + a shallow model (GPT-2 small, 12 layers): the
+//    pipeline axis saturates (stages cannot exceed layers), so tensor
+//    parallelism is the only way to engage all devices — the hybrid winner
+//    uses T > 1.
+//  * Slow inter-node links + a deep model (BERT-64L): TP's per-layer
+//    allreduces are unaffordable, and the winner collapses to pure
+//    pipeline+data parallelism with a wave schedule — the paper's own
+//    deployment regime.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "perf/hybrid.hpp"
+
+using namespace hanayo;
+
+namespace {
+
+void search(const char* title, const ModelConfig& model,
+            const Cluster& cluster, int devices, int batch) {
+  perf::HybridRequest req;
+  req.model = model;
+  req.cluster = cluster;
+  req.total_devices = devices;
+  req.batch_sequences = batch;
+  const auto cands = perf::plan_hybrid(req);
+  std::printf("\n  %s\n", title);
+  int shown = 0;
+  for (const auto& c : cands) {
+    if (!c.usable()) continue;
+    std::printf("    %s\n", c.to_string().c_str());
+    if (++shown == 5) break;
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation: hybrid TP x DP x PP configuration search");
+
+  search("GPT-2 small (12 layers) on 16 fully-NVLinked devices:",
+         ModelConfig::gpt2_small(),
+         Cluster::uniform(16, 100e12, 80e9, 200e9, 1e-6), 16, 16);
+
+  search("BERT-64L on 16 devices with slow (IB-class) links:",
+         ModelConfig::bert_paper(),
+         Cluster::uniform(16, 100e12, 80e9, 12e9, 5e-6), 16, 16);
+
+  std::printf(
+      "\nReading: with fast links and a shallow model the top plans use\n"
+      "tensor parallelism (the pipeline axis is exhausted at P = layers);\n"
+      "with slow links and a deep model the search collapses to the\n"
+      "paper's regime — waves + data parallelism, no TP.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Ablation: the related-work §6 memory/volume techniques composed with the
+// wave pipeline, at paper scale on the TACC cluster model.
+//
+// "These techniques are independent of pipeline parallelism and can be
+// combined to improve large model training." — we quantify each knob on
+// the simulator for BERT-64L (P=8, D=4, the paper's best Fig. 10 layout):
+//   * ZeRO-1    — optimizer state sharded across D replicas: the weight
+//                 state factor drops from 3.0 (w+g+m) to 2 + 1/D;
+//   * recompute — stages keep only their input activation; backward pays
+//                 an extra forward;
+//   * fp16 P2P  — boundary transfer volume halves.
+// The runtime counterparts are measured live in examples/memory_saver and
+// proven correct in tests/runtime/test_zero1.cpp (bit-identical training).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace hanayo;
+
+namespace {
+
+struct Knobs {
+  const char* name;
+  bool zero1;
+  bool recompute;
+  bool fp16;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation: ZeRO-1 / recomputation / fp16 transfers on Hanayo (sim)");
+
+  const auto model = ModelConfig::bert_paper();
+  const auto cluster = Cluster::tacc(32);
+  const int D = 4, P = 8, B = 8, W = 2, mb = 1;
+
+  schedule::ScheduleRequest req;
+  req.algo = Algo::Hanayo;
+  req.P = P;
+  req.B = B;
+  req.waves = W;
+  const auto sched = make_schedule(req);
+  const int S = schedule::stages_for(req);
+
+  const Knobs variants[] = {
+      {"baseline", false, false, false},
+      {"+ ZeRO-1", true, false, false},
+      {"+ recompute", true, true, false},
+      {"+ fp16 P2P", true, true, true},
+  };
+
+  std::printf("  BERT-64L, D=%d x P=%d, B=%d, W=%d on %s\n", D, P, B, W,
+              cluster.name.c_str());
+  std::printf("\n  %-14s %12s %12s %14s %8s\n", "variant", "peak GB",
+              "seq/s", "comm MB/iter", "OOM");
+
+  for (const Knobs& k : variants) {
+    sim::PipelineCosts costs =
+        sim::compute_costs(model, S, mb, cluster, k.recompute);
+    if (k.fp16) {
+      for (double& b : costs.boundary_bytes) b *= 0.5;
+    }
+    sim::SimOptions opt;
+    opt.dp = D;
+    // Weight state: weights + grads + AdamW moments. ZeRO-1 shards the
+    // optimizer part across the D replicas.
+    opt.state_factor = k.zero1 ? 2.0 + 1.0 / D : 3.0;
+    const auto res = simulate(sched, costs, cluster, opt);
+    const double peak_gb =
+        *std::max_element(res.peak_mem_bytes.begin(), res.peak_mem_bytes.end()) /
+        1e9;
+    std::printf("  %-14s %12.2f %12.3f %14.1f %8s\n", k.name, peak_gb,
+                D * res.throughput_seq_per_s(B * mb), res.comm_bytes / 1e6,
+                res.oom ? "yes" : "no");
+  }
+
+  std::printf(
+      "\nReading: each knob attacks a different axis — ZeRO-1 the weight\n"
+      "state, recomputation the activation residency (for a ~%d%% compute\n"
+      "tax visible in seq/s), fp16 the transfer volume. All compose with\n"
+      "the wave schedule because none of them changes the action list.\n",
+      33);
+  return 0;
+}

@@ -1,0 +1,33 @@
+#pragma once
+// Shared helpers for the figure-reproduction harnesses.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/hanayo.hpp"
+
+namespace bench {
+
+using namespace hanayo;
+
+/// Simulates one fully specified configuration and returns the result;
+/// thin wrapper over perf::evaluate used by every fig* binary.
+inline perf::Candidate eval(const ModelConfig& m, const Cluster& cluster,
+                            Algo algo, int D, int P, int W, int B, int mb) {
+  return perf::evaluate(m, cluster, algo, D, P, W, B, mb);
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n===== %s =====\n", title.c_str());
+}
+
+inline void print_row(const std::string& label, double value,
+                      const char* unit) {
+  std::printf("  %-28s %10.4f %s\n", label.c_str(), value, unit);
+}
+
+/// Relative gain of a over b in percent.
+inline double gain_pct(double a, double b) { return (a / b - 1.0) * 100.0; }
+
+}  // namespace bench

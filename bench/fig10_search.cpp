@@ -1,0 +1,75 @@
+// Fig. 10 — the parallelism-configuration search: throughput of each scheme
+// for (P, D) in {(8,4), (16,2), (32,1)} on the 32-GPU TACC cluster, with
+// OOM cells marked. The best cell per scheme is what Figs. 11/12 use.
+//
+// Batch semantics follow the paper: "The batch size is set to 4 and 8 to
+// maximize GPU memory usage" — a fixed PER-PIPELINE micro-batch count, so
+// deepening the pipeline at a constant batch starves it (the fill/drain
+// dominates at P=32, B=8) while data parallelism keeps the pipeline full.
+// That trade-off is exactly why the paper's search lands on (P=8, D=4).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace hanayo;
+
+int main() {
+  bench::print_header("Figure 10: configuration search, BERT-style, 32 GPUs (TACC)");
+  ModelConfig bert = ModelConfig::bert_paper();
+  bert.split_blocks = true;
+  const Cluster cluster = Cluster::tacc(32);
+
+  struct Method {
+    const char* label;
+    Algo algo;
+  };
+  const Method methods[] = {{"GPipe", Algo::GPipe},
+                            {"DAPPLE", Algo::Dapple},
+                            {"Chimera-wave", Algo::ChimeraWave},
+                            {"Hanayo", Algo::Hanayo}};
+  const int waves[] = {1, 2, 4, 8};
+
+  for (int batch : {4, 8}) {
+    std::printf("\nper-pipeline batch = %d micro-batches\n", batch);
+    std::printf("%-14s %14s %14s %14s\n", "scheme", "(P=8,D=4)", "(P=16,D=2)",
+                "(P=32,D=1)");
+    for (const Method& m : methods) {
+      std::printf("%-14s", m.label);
+      for (const auto& [P, D] : std::vector<std::pair<int, int>>{{8, 4}, {16, 2}, {32, 1}}) {
+        const int B = batch;
+        double best = 0.0;
+        bool any_feasible = false, all_oom = true;
+        int best_w = 1;
+        for (int W : waves) {
+          if (m.algo != Algo::Hanayo && W > 1) break;
+          const auto c = bench::eval(bert, cluster, m.algo, D, P, W, B, 1);
+          if (!c.feasible) continue;
+          any_feasible = true;
+          if (c.oom) continue;
+          all_oom = false;
+          if (c.throughput_seq_s > best) {
+            best = c.throughput_seq_s;
+            best_w = W;
+          }
+        }
+        if (!any_feasible) {
+          std::printf("%14s", "n/a");
+        } else if (all_oom) {
+          std::printf("%14s", "OOM");
+        } else if (m.algo == Algo::Hanayo) {
+          char buf[32];
+          std::snprintf(buf, sizeof buf, "%.3f (W=%d)", best, best_w);
+          std::printf("%14s", buf);
+        } else {
+          std::printf("%14.3f", best);
+        }
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper): (P=8, D=4) is the best configuration for all\n"
+      "methods; Hanayo's best wave count there is 2.\n");
+  return 0;
+}

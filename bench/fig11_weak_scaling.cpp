@@ -1,0 +1,77 @@
+// Fig. 11 — weak scaling of the BERT-style model on TACC: devices scale
+// 8 -> 16 -> 32 with the batch growing proportionally. Each scheme uses its
+// best (P, D, W) configuration per the Fig. 10 search.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace hanayo;
+
+namespace {
+
+double best_throughput(const ModelConfig& model, const Cluster& cluster,
+                       Algo algo, int devices, int batch) {
+  perf::PlanRequest req;
+  req.model = model;
+  req.cluster = cluster;
+  req.total_devices = devices;
+  req.batch_sequences = batch;
+  req.algos = {algo};
+  req.wave_options = (algo == Algo::Hanayo) ? std::vector<int>{1, 2, 4, 8}
+                                            : std::vector<int>{1};
+  req.min_pipeline = 4;
+  const auto b = perf::best(perf::plan(req));
+  return b ? b->throughput_seq_s : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 11: weak scaling, BERT-style, TACC (seq/s)");
+  ModelConfig bert = ModelConfig::bert_paper();
+  bert.split_blocks = true;
+
+  std::printf("%-14s %12s %12s %12s\n", "scheme", "devices=8", "devices=16",
+              "devices=32");
+  struct Method {
+    const char* label;
+    Algo algo;
+  };
+  std::vector<std::vector<double>> table;
+  for (const Method& m :
+       {Method{"GPipe", Algo::GPipe}, Method{"DAPPLE", Algo::Dapple},
+        Method{"Chimera-wave", Algo::ChimeraWave}, Method{"Hanayo", Algo::Hanayo}}) {
+    std::printf("%-14s", m.label);
+    std::vector<double> row;
+    for (const auto& [devices, batch] :
+         std::vector<std::pair<int, int>>{{8, 8}, {16, 16}, {32, 32}}) {
+      const double t = best_throughput(bert, Cluster::tacc(devices), m.algo,
+                                       devices, batch);
+      row.push_back(t);
+      if (t > 0.0) {
+        std::printf("%12.3f", t);
+      } else {
+        std::printf("%12s", "OOM");
+      }
+    }
+    table.push_back(row);
+    std::printf("\n");
+  }
+
+  // Parallel efficiency of Hanayo (throughput scaling vs device scaling).
+  const auto& h = table.back();
+  if (h[0] > 0.0) {
+    std::printf("\nHanayo parallel efficiency: 16 dev: %.1f%%   32 dev: %.1f%%\n",
+                100.0 * h[1] / (2.0 * h[0]), 100.0 * h[2] / (4.0 * h[0]));
+  }
+  if (table[2][0] > 0.0) {
+    std::printf("Hanayo vs Chimera-wave:     %+5.1f%% / %+5.1f%% / %+5.1f%%\n",
+                bench::gain_pct(h[0], table[2][0]), bench::gain_pct(h[1], table[2][1]),
+                bench::gain_pct(h[2], table[2][2]));
+  }
+  std::printf(
+      "\nExpected shape (paper): near-100%% parallel efficiency for Hanayo;\n"
+      "Hanayo ~8%% over Chimera and ~33%% over GPipe/DAPPLE at every scale.\n");
+  return 0;
+}

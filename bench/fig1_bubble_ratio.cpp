@@ -1,0 +1,59 @@
+// Fig. 1 — theoretical bubble ratio of synchronous pipeline schemes at
+// devices = 8 and devices = 32 (B = P, T_B = 2 T_F, T_C = 0), plus the
+// Fig. 2 comparison table rows.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace hanayo;
+
+int main() {
+  bench::print_header("Figure 1: theoretical bubble ratio (%)");
+  std::printf("%-22s %12s %12s\n", "scheme", "devices=8", "devices=32");
+  for (const auto& [name, f] :
+       std::vector<std::pair<const char*, double (*)(const perf::AnalyticParams&)>>{
+           {"GPipe", perf::bubble_ratio_gpipe},
+           {"DAPPLE", perf::bubble_ratio_dapple},
+           {"GEMS", perf::bubble_ratio_gems},
+           {"Chimera (replica=2)", perf::bubble_ratio_chimera},
+       }) {
+    perf::AnalyticParams p8{8, 8, 1, 1.0, 2.0, 0.0};
+    perf::AnalyticParams p32{32, 32, 1, 1.0, 2.0, 0.0};
+    std::printf("%-22s %11.1f%% %11.1f%%\n", name, 100.0 * f(p8), 100.0 * f(p32));
+  }
+  for (int W : {2, 4}) {
+    std::printf("Hanayo (wave=%d)      %11.1f%% %11.1f%%\n", W,
+                100.0 * perf::bubble_ratio_hanayo_simplified(8, W),
+                100.0 * perf::bubble_ratio_hanayo_simplified(32, W));
+  }
+
+  bench::print_header("Figure 2: comparison of SOTA approaches");
+  std::printf("%-14s %22s %12s %12s\n", "scheme", "bubble ratio (P=8,B=8)",
+              "Mw factor", "Ma units");
+  perf::AnalyticParams p{8, 8, 2, 1.0, 2.0, 0.0};
+  std::printf("%-14s %21.1f%% %12.1f %12.1f\n", "GPipe",
+              100.0 * perf::bubble_ratio_gpipe(p), perf::weight_factor_gpipe(),
+              perf::act_units_gpipe(8));
+  std::printf("%-14s %21.1f%% %12.1f %12.1f\n", "DAPPLE",
+              100.0 * perf::bubble_ratio_dapple(p), perf::weight_factor_dapple(),
+              perf::act_units_dapple(8, 8));
+  std::printf("%-14s %21.1f%% %12.1f %12.1f\n", "Chimera",
+              100.0 * perf::bubble_ratio_chimera(p), perf::weight_factor_chimera(),
+              perf::act_units_dapple(8, 8) / 2.0);
+  std::printf("%-14s %21.1f%% %12.1f %12.1f\n", "Hanayo (W=2)",
+              100.0 * perf::bubble_ratio_hanayo(p), perf::weight_factor_hanayo(),
+              perf::act_units_hanayo(8, 2, 8));
+
+  // Cross-check the paper's Eq. (1) against its simplified closed form.
+  bench::print_header("Eq. (1) consistency check");
+  for (int P : {8, 32}) {
+    for (int W : {1, 2, 4, 8}) {
+      perf::AnalyticParams q{P, P, W, 1.0, 2.0, 0.0};
+      std::printf("  P=%-3d W=%-2d  Eq.(1)=%.4f  simplified=%.4f\n", P, W,
+                  perf::bubble_ratio_hanayo(q),
+                  perf::bubble_ratio_hanayo_simplified(P, W));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Microbenchmarks of the collective algorithms and the fp16 codec — the
+// communication substrate the wave runtime and the ZeRO-1 flush sit on.
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <thread>
+
+#include "comm/collectives.hpp"
+#include "comm/fp16.hpp"
+
+namespace hc = hanayo::comm;
+namespace ht = hanayo::tensor;
+
+namespace {
+
+/// Runs `fn` once per rank on its own thread and waits for all of them.
+void run_group(int n, const std::function<void(hc::Communicator&)>& fn) {
+  hc::World world(n);
+  std::vector<std::thread> ts;
+  for (int r = 0; r < n; ++r) {
+    ts.emplace_back([&world, r, &fn] {
+      hc::Communicator c(&world, r);
+      fn(c);
+    });
+  }
+  for (auto& t : ts) t.join();
+}
+
+hc::Group full_group(int n) {
+  hc::Group g;
+  for (int r = 0; r < n; ++r) g.ranks.push_back(r);
+  return g;
+}
+
+void bm_allreduce(benchmark::State& state, hc::AllreduceAlgo algo) {
+  const int n = static_cast<int>(state.range(0));
+  const int64_t numel = state.range(1);
+  const hc::Group g = full_group(n);
+  for (auto _ : state) {
+    run_group(n, [&](hc::Communicator& c) {
+      ht::Tensor t({numel}, std::vector<float>(static_cast<size_t>(numel), 1.0f));
+      hc::allreduce_sum(c, g, t, 0, algo);
+      benchmark::DoNotOptimize(t.data());
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * numel * 4 * n);
+}
+
+}  // namespace
+
+static void BM_AllreduceNaive(benchmark::State& state) {
+  bm_allreduce(state, hc::AllreduceAlgo::Naive);
+}
+BENCHMARK(BM_AllreduceNaive)->Args({4, 1 << 12})->Args({4, 1 << 16})->Args({8, 1 << 14});
+
+static void BM_AllreduceRing(benchmark::State& state) {
+  bm_allreduce(state, hc::AllreduceAlgo::Ring);
+}
+BENCHMARK(BM_AllreduceRing)->Args({4, 1 << 12})->Args({4, 1 << 16})->Args({8, 1 << 14});
+
+static void BM_AllreduceRecursiveDoubling(benchmark::State& state) {
+  bm_allreduce(state, hc::AllreduceAlgo::RecursiveDoubling);
+}
+BENCHMARK(BM_AllreduceRecursiveDoubling)->Args({4, 1 << 16})->Args({8, 1 << 14});
+
+static void BM_ReduceScatterAllgather(benchmark::State& state) {
+  // The ZeRO-1 flush pattern.
+  const int n = static_cast<int>(state.range(0));
+  const int64_t numel = state.range(1);
+  const hc::Group g = full_group(n);
+  for (auto _ : state) {
+    run_group(n, [&](hc::Communicator& c) {
+      ht::Tensor t({numel}, std::vector<float>(static_cast<size_t>(numel), 1.0f));
+      ht::Tensor shard = hc::reduce_scatter_sum(c, g, t, 0);
+      ht::Tensor full = hc::allgather_shards(c, g, shard, numel, 4);
+      benchmark::DoNotOptimize(full.data());
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * numel * 4 * n);
+}
+BENCHMARK(BM_ReduceScatterAllgather)->Args({4, 1 << 14})->Args({8, 1 << 14});
+
+static void BM_Fp16Pack(benchmark::State& state) {
+  ht::Tensor t({state.range(0)});
+  for (int64_t i = 0; i < t.numel(); ++i) t[i] = 0.001f * static_cast<float>(i);
+  for (auto _ : state) {
+    ht::Tensor packed = hc::pack_fp16(t);
+    benchmark::DoNotOptimize(packed.data());
+  }
+  state.SetBytesProcessed(state.iterations() * t.numel() * 4);
+}
+BENCHMARK(BM_Fp16Pack)->Arg(1 << 12)->Arg(1 << 18);
+
+static void BM_Fp16RoundTrip(benchmark::State& state) {
+  ht::Tensor t({state.range(0)});
+  for (int64_t i = 0; i < t.numel(); ++i) t[i] = 0.001f * static_cast<float>(i);
+  for (auto _ : state) {
+    ht::Tensor back = hc::unpack_fp16(hc::pack_fp16(t));
+    benchmark::DoNotOptimize(back.data());
+  }
+  state.SetBytesProcessed(state.iterations() * t.numel() * 4);
+}
+BENCHMARK(BM_Fp16RoundTrip)->Arg(1 << 12)->Arg(1 << 16);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// google-benchmark microbenchmarks for the message-passing substrate.
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "comm/collectives.hpp"
+
+namespace hc = hanayo::comm;
+namespace ht = hanayo::tensor;
+
+static void BM_SendRecvRoundTrip(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  hc::World w(2);
+  std::atomic<bool> stop{false};
+  std::thread echo([&] {
+    hc::Communicator c(&w, 1);
+    for (;;) {
+      ht::Tensor t = c.recv(0, 1);
+      if (stop.load()) break;
+      c.send(0, 2, std::move(t));
+    }
+  });
+  hc::Communicator c(&w, 0);
+  ht::Tensor payload({n});
+  for (auto _ : state) {
+    c.send(1, 1, payload);
+    benchmark::DoNotOptimize(c.recv(1, 2));
+  }
+  stop.store(true);
+  c.send(1, 1, ht::Tensor({1}));
+  echo.join();
+  state.SetBytesProcessed(state.iterations() * n * 4 * 2);
+}
+BENCHMARK(BM_SendRecvRoundTrip)->Arg(1024)->Arg(1 << 16);
+
+static void BM_PrefetchedIrecv(benchmark::State& state) {
+  // irecv posted before the send lands: measures the matching fast path.
+  hc::World w(2);
+  hc::Communicator c0(&w, 0), c1(&w, 1);
+  ht::Tensor payload({1024});
+  for (auto _ : state) {
+    ht::Tensor slot;
+    auto req = c0.irecv(1, 7, &slot);
+    c1.isend(0, 7, payload);
+    req->wait();
+    benchmark::DoNotOptimize(slot);
+  }
+}
+BENCHMARK(BM_PrefetchedIrecv);
+
+static void BM_Allreduce(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  hc::World w(ranks);
+  hc::Group g;
+  for (int i = 0; i < ranks; ++i) g.ranks.push_back(i);
+  for (auto _ : state) {
+    std::vector<std::thread> ts;
+    for (int r = 0; r < ranks; ++r) {
+      ts.emplace_back([&, r] {
+        hc::Communicator c(&w, r);
+        ht::Tensor t({4096}, 1.0f);
+        hc::allreduce_sum(c, g, t, 0);
+      });
+    }
+    for (auto& t : ts) t.join();
+  }
+}
+BENCHMARK(BM_Allreduce)->Arg(2)->Arg(4)->Arg(8);
+
+static void BM_Barrier(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  hc::World w(ranks);
+  for (auto _ : state) {
+    std::vector<std::thread> ts;
+    for (int r = 0; r < ranks; ++r) {
+      ts.emplace_back([&] { w.barrier(); });
+    }
+    for (auto& t : ts) t.join();
+  }
+}
+BENCHMARK(BM_Barrier)->Arg(4);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// google-benchmark microbenchmarks: real threaded execution of one training
+// iteration under each schedule on a tiny model — the end-to-end cost of
+// the action-list interpreter, prefetching and gradient sync.
+
+#include <benchmark/benchmark.h>
+
+#include "core/hanayo.hpp"
+
+using namespace hanayo;
+
+namespace {
+
+TrainerConfig cfg_for(Algo algo, int P, int B, int W) {
+  TrainerConfig tc;
+  // 14 blocks -> 17 partitionable layers: enough for Hanayo W=2 on P=4
+  // (16 stages), the deepest configuration in the sweep.
+  tc.model = ModelConfig::tiny(/*layers=*/14, /*hidden=*/32, /*heads=*/2,
+                               /*vocab=*/101, /*seq=*/8);
+  tc.sched.algo = algo;
+  tc.sched.P = P;
+  tc.sched.B = B;
+  tc.sched.waves = W;
+  tc.sched.vchunks = W;
+  tc.seed = 1;
+  tc.lr = 0.01f;
+  return tc;
+}
+
+void run_bench(benchmark::State& state, Algo algo, int W) {
+  const int P = static_cast<int>(state.range(0));
+  const int B = 8;
+  const TrainerConfig cfg = cfg_for(algo, P, B, W);
+  Trainer trainer(cfg);
+  Rng rng(2);
+  const Batch batch = synthetic_batch(cfg.model, trainer.batch_rows(), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trainer.train_step(batch));
+  }
+  state.SetItemsProcessed(state.iterations() * B);
+}
+
+}  // namespace
+
+static void BM_TrainStep_GPipe(benchmark::State& state) {
+  run_bench(state, Algo::GPipe, 1);
+}
+static void BM_TrainStep_Dapple(benchmark::State& state) {
+  run_bench(state, Algo::Dapple, 1);
+}
+static void BM_TrainStep_ChimeraWave(benchmark::State& state) {
+  run_bench(state, Algo::ChimeraWave, 1);
+}
+static void BM_TrainStep_Hanayo2(benchmark::State& state) {
+  run_bench(state, Algo::Hanayo, 2);
+}
+BENCHMARK(BM_TrainStep_GPipe)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TrainStep_Dapple)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TrainStep_ChimeraWave)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TrainStep_Hanayo2)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+static void BM_SequentialReference(benchmark::State& state) {
+  const auto model = ModelConfig::tiny(12, 32, 2, 101, 8);
+  SequentialEngine eng(model, 8, 1, 1, OptKind::Sgd, 0.01f);
+  Rng rng(3);
+  const Batch batch = synthetic_batch(model, 8, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.train_step(batch));
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_SequentialReference)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

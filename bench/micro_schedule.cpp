@@ -1,0 +1,67 @@
+// google-benchmark microbenchmarks: schedule generation, validation and
+// event simulation speed (the planner runs thousands of these).
+
+#include <benchmark/benchmark.h>
+
+#include "schedule/algorithms.hpp"
+#include "schedule/validate.hpp"
+#include "sim/event_sim.hpp"
+
+namespace hs = hanayo::schedule;
+namespace hsim = hanayo::sim;
+namespace hm = hanayo::model;
+
+static void BM_GenerateHanayo(benchmark::State& state) {
+  hs::ScheduleRequest req;
+  req.algo = hs::Algo::Hanayo;
+  req.P = static_cast<int>(state.range(0));
+  req.B = 2 * req.P;
+  req.waves = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hs::make_schedule(req));
+  }
+}
+BENCHMARK(BM_GenerateHanayo)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+static void BM_GenerateChimera(benchmark::State& state) {
+  hs::ScheduleRequest req;
+  req.algo = hs::Algo::Chimera;
+  req.P = static_cast<int>(state.range(0));
+  req.B = 2 * req.P;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hs::make_schedule(req));
+  }
+}
+BENCHMARK(BM_GenerateChimera)->Arg(8)->Arg(32);
+
+static void BM_Validate(benchmark::State& state) {
+  hs::ScheduleRequest req;
+  req.algo = hs::Algo::Hanayo;
+  req.P = 8;
+  req.B = 16;
+  req.waves = 2;
+  const auto s = hs::make_schedule(req);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hs::validate(s));
+  }
+}
+BENCHMARK(BM_Validate);
+
+static void BM_Simulate(benchmark::State& state) {
+  hs::ScheduleRequest req;
+  req.algo = hs::Algo::Hanayo;
+  req.P = 8;
+  req.B = 16;
+  req.waves = 2;
+  const auto s = hs::make_schedule(req);
+  auto model = hm::ModelConfig::bert_paper();
+  model.split_blocks = true;
+  const auto cluster = hsim::Cluster::tacc(8);
+  const auto costs = hsim::compute_costs(model, s.placement.stages(), 1, cluster);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hsim::simulate(s, costs, cluster));
+  }
+}
+BENCHMARK(BM_Simulate);
+
+BENCHMARK_MAIN();

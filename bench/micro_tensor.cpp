@@ -1,0 +1,59 @@
+// google-benchmark microbenchmarks for the tensor substrate.
+
+#include <benchmark/benchmark.h>
+
+#include "tensor/ops.hpp"
+#include "tensor/rng.hpp"
+
+namespace ht = hanayo::tensor;
+
+static void BM_Matmul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  ht::Rng rng(1);
+  ht::Tensor a = rng.randn({n, n});
+  ht::Tensor b = rng.randn({n, n});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ht::matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+static void BM_MatmulBt(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  ht::Rng rng(1);
+  ht::Tensor a = rng.randn({n, n});
+  ht::Tensor b = rng.randn({n, n});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ht::matmul_bt(a, b));
+  }
+}
+BENCHMARK(BM_MatmulBt)->Arg(64);
+
+static void BM_Softmax(benchmark::State& state) {
+  ht::Rng rng(2);
+  ht::Tensor a = rng.randn({256, 256});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ht::softmax_lastdim(a));
+  }
+}
+BENCHMARK(BM_Softmax);
+
+static void BM_Gelu(benchmark::State& state) {
+  ht::Rng rng(3);
+  ht::Tensor a = rng.randn({1 << 16});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ht::gelu(a));
+  }
+}
+BENCHMARK(BM_Gelu);
+
+static void BM_Randn(benchmark::State& state) {
+  ht::Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.randn({1 << 12}));
+  }
+}
+BENCHMARK(BM_Randn);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// BERT-style pre-training scenario (the paper's §5 workload, scaled to run
+// on CPU threads): a bidirectional encoder trained with token-level cross
+// entropy under every pipeline scheme, comparing loss trajectories and
+// per-device memory balance.
+//
+//   $ ./examples/bert_pretraining
+
+#include <cstdio>
+#include <vector>
+
+#include "core/hanayo.hpp"
+
+using namespace hanayo;
+
+int main() {
+  // A BERT-shaped (bidirectional) model scaled down ~1000x so each scheme
+  // trains in seconds on CPU threads. Proportions follow bert_paper().
+  ModelConfig bert = ModelConfig::tiny(/*layers=*/16, /*hidden=*/32,
+                                       /*heads=*/4, /*vocab=*/499,
+                                       /*seq=*/16, /*causal=*/false);
+  bert.name = "bert-mini";
+  std::printf("%s: %lld layers, %lld params, bidirectional attention\n\n",
+              bert.name.c_str(), static_cast<long long>(bert.layers),
+              static_cast<long long>(bert.total_params()));
+
+  struct Scheme {
+    const char* label;
+    Algo algo;
+    int W;
+  };
+  const std::vector<Scheme> schemes = {{"GPipe", Algo::GPipe, 1},
+                                       {"DAPPLE", Algo::Dapple, 1},
+                                       {"Chimera", Algo::Chimera, 1},
+                                       {"Hanayo W=2", Algo::Hanayo, 2}};
+
+  std::printf("%-12s %10s %10s %16s\n", "scheme", "loss@0", "loss@8",
+              "peak cache (kB/worker)");
+  for (const Scheme& s : schemes) {
+    TrainerConfig cfg;
+    cfg.model = bert;
+    cfg.sched.algo = s.algo;
+    cfg.sched.P = 4;
+    cfg.sched.B = 8;
+    cfg.sched.waves = s.W;
+    cfg.lr = 0.05f;
+    cfg.momentum = 0.9f;
+    cfg.seed = 1234;
+    Trainer trainer(cfg);
+    Rng rng(99);  // identical data stream for every scheme
+    const Batch fixed = synthetic_batch(bert, trainer.batch_rows(), rng);
+    float first = 0.0f, last = 0.0f;
+    for (int step = 0; step < 9; ++step) {
+      const float l = trainer.train_step(fixed);
+      if (step == 0) first = l;
+      last = l;
+    }
+    const auto peaks = trainer.peak_cache_bytes();
+    std::printf("%-12s %10.4f %10.4f       ", s.label, first, last);
+    for (int64_t p : peaks) std::printf("%5lld ", static_cast<long long>(p / 1024));
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nAll schemes follow the same loss trajectory (same math, different\n"
+      "schedules); the peak-cache columns show GPipe's activation pile-up on\n"
+      "early workers versus the balanced profiles of Chimera and Hanayo.\n");
+  return 0;
+}

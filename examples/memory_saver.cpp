@@ -1,0 +1,85 @@
+// Composing the orthogonal memory/volume techniques of the paper's related
+// work (§6) with the wave pipeline: ZeRO-1 optimizer-state sharding,
+// activation recomputation, and fp16 stage transfers — all on the real
+// multi-threaded runtime, all combined with data parallelism.
+//
+// Prints, for each configuration, the training loss after a few steps (to
+// show nothing broke), the peak activation-cache bytes per worker (what
+// recomputation shrinks), and the optimizer-state bytes per worker (what
+// ZeRO-1 shards).
+//
+//   ./examples/memory_saver
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "core/hanayo.hpp"
+
+using namespace hanayo;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  bool zero1;
+  bool recompute;
+  bool fp16;
+};
+
+}  // namespace
+
+int main() {
+  const auto model = ModelConfig::tiny(/*layers=*/10, /*hidden=*/32,
+                                       /*heads=*/2, /*vocab=*/101, /*seq=*/12);
+  const Variant variants[] = {
+      {"baseline", false, false, false},
+      {"+ ZeRO-1", true, false, false},
+      {"+ recompute", true, true, false},
+      {"+ fp16 comm", true, true, true},
+  };
+
+  std::printf("P=2 pipeline x D=2 data parallel, AdamW, 5 steps each\n");
+  std::printf("\n  %-14s %-10s %-18s %-18s\n", "variant", "loss",
+              "peak act cache", "optimizer state");
+
+  for (const Variant& v : variants) {
+    TrainerConfig cfg;
+    cfg.model = model;
+    cfg.sched.algo = Algo::Hanayo;
+    cfg.sched.P = 2;
+    cfg.sched.B = 4;
+    cfg.sched.waves = 1;
+    cfg.dp = 2;
+    cfg.opt = OptKind::AdamW;
+    cfg.lr = 1e-3f;
+    cfg.seed = 9;
+    cfg.zero1 = v.zero1;
+    cfg.recompute = v.recompute;
+    cfg.fp16_comm = v.fp16;
+    Trainer t(cfg);
+
+    Rng rng(21);
+    float loss = 0.0f;
+    for (int s = 0; s < 5; ++s) {
+      const Batch batch = synthetic_batch(model, t.batch_rows(), rng);
+      loss = t.train_step(batch);
+    }
+    const auto cache = t.peak_cache_bytes();
+    const auto opt_state = t.optimizer_state_bytes();
+    const int64_t cache_max = *std::max_element(cache.begin(), cache.end());
+    const int64_t opt_total =
+        std::accumulate(opt_state.begin(), opt_state.end(), int64_t{0});
+    std::printf("  %-14s %-10.4f %10lld bytes   %10lld bytes\n", v.name, loss,
+                static_cast<long long>(cache_max),
+                static_cast<long long>(opt_total));
+  }
+
+  std::printf(
+      "\nReading: ZeRO-1 halves the total optimizer state (sharded across\n"
+      "D=2 replicas), recomputation collapses the activation cache to one\n"
+      "stage input per in-flight micro-batch, and fp16 transfers halve the\n"
+      "boundary traffic — all without changing what the model learns\n"
+      "(the ZeRO-1 path is bit-identical; see tests/runtime/test_zero1.cpp).\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Timeline tooling: simulate a schedule, print the paper-style ASCII chart
+// (Fig. 3), decompose its bubbles into the Fig. 7 zones, and write a
+// Chrome-trace JSON loadable in chrome://tracing or Perfetto.
+//
+//   ./examples/trace_export [out.json]
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/hanayo.hpp"
+#include "perf/zones.hpp"
+#include "sim/trace.hpp"
+
+using namespace hanayo;
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "hanayo_trace.json";
+
+  schedule::ScheduleRequest req;
+  req.algo = Algo::Hanayo;
+  req.P = 4;
+  req.B = 4;
+  req.waves = 2;
+  const auto sched = make_schedule(req);
+
+  const int S = schedule::stages_for(req);
+  sim::PipelineCosts costs;
+  costs.fwd_s.assign(static_cast<size_t>(S), 8.0 / S);
+  costs.bwd_s.assign(static_cast<size_t>(S), 16.0 / S);
+  costs.boundary_bytes.assign(static_cast<size_t>(S - 1), 1e6);
+  costs.weight_bytes.assign(static_cast<size_t>(S), 1e6);
+  costs.act_bytes.assign(static_cast<size_t>(S), 1e5);
+
+  sim::SimOptions opt;
+  opt.record_timeline = true;
+  const auto res = simulate(sched, costs, Cluster::fc(), opt);
+
+  std::printf("Hanayo W=%d on P=%d, B=%d — makespan %.2f s, bubble %.1f%%\n\n",
+              req.waves, req.P, req.B, res.makespan,
+              100.0 * res.bubble_ratio);
+  std::printf("%s\n", sim::ascii_timeline(res, req.P, costs.fwd_s[0]).c_str());
+
+  const auto zones = perf::decompose_bubbles(res, req.P);
+  std::printf("bubble zones (Fig. 7): A=%.2f  B=%.2f  C=%.2f  D=%.2f\n",
+              zones.zone(perf::Zone::A), zones.zone(perf::Zone::B),
+              zones.zone(perf::Zone::C), zones.zone(perf::Zone::D));
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << sim::chrome_trace_json(res);
+  std::printf("\nwrote %s — open in chrome://tracing or ui.perfetto.dev\n",
+              out_path.c_str());
+
+  // --- Same schedule on the REAL runtime: record wall-clock spans. -------
+  TrainerConfig tc;
+  // 16 pipeline stages (P=4, W=2) need >= 16 layers to partition.
+  tc.model = ModelConfig::tiny(/*layers=*/14, /*hidden=*/32, /*heads=*/2,
+                               /*vocab=*/67, /*seq=*/12);
+  tc.sched = req;
+  tc.seed = 8;
+  tc.record_timeline = true;
+  Trainer trainer(tc);
+  Rng rng(4);
+  const Batch batch = synthetic_batch(tc.model, trainer.batch_rows(), rng);
+  trainer.train_step(batch);
+
+  sim::SimResult real;
+  double makespan = 0.0;
+  const auto timeline = trainer.last_timeline();
+  for (int d = 0; d < req.P; ++d) {
+    for (const auto& s : timeline[static_cast<size_t>(d)]) {
+      real.timeline.push_back(sim::TimelineSpan{d, s.mb, s.pos, s.backward,
+                                                s.start, s.end});
+      makespan = std::max(makespan, s.end);
+    }
+  }
+  real.makespan = makespan;
+  const std::string real_path = "runtime_" + out_path;
+  std::ofstream rout(real_path);
+  rout << sim::chrome_trace_json(real);
+  std::printf("wrote %s — measured spans from the threaded runtime\n",
+              real_path.c_str());
+  return 0;
+}

@@ -1,0 +1,70 @@
+#include "comm/communicator.hpp"
+
+#include <stdexcept>
+
+namespace hanayo::comm {
+
+Tag make_tag(Kind kind, int micro_batch, int stage, int phase) {
+  // Layout: [phase:16][stage:20][micro_batch:20][kind:4]
+  return (static_cast<Tag>(phase) << 44) | (static_cast<Tag>(stage) << 24) |
+         (static_cast<Tag>(micro_batch) << 4) | static_cast<Tag>(kind);
+}
+
+Communicator::Communicator(World* world, int rank) : world_(world), rank_(rank) {
+  if (rank < 0 || rank >= world->size()) {
+    throw std::invalid_argument("Communicator: rank out of range");
+  }
+}
+
+Request Communicator::isend(int dst, Tag tag, tensor::Tensor t) {
+  if (dst < 0 || dst >= size()) throw std::invalid_argument("isend: bad dst");
+  ++messages_sent_;
+  bytes_sent_ += t.bytes();
+  world_->box(dst).put(Message{rank_, tag, std::move(t)});
+  // The in-process transport buffers eagerly, so a send completes at post
+  // time (same observable semantics as an NCCL send that landed in the
+  // destination's staging buffer).
+  auto req = std::make_shared<RequestState>();
+  req->complete();
+  return req;
+}
+
+Request Communicator::irecv(int src, Tag tag, tensor::Tensor* out) {
+  if (src < 0 || src >= size()) throw std::invalid_argument("irecv: bad src");
+  auto req = std::make_shared<RequestState>();
+  world_->box(rank_).get_async(src, tag, out, req);
+  return req;
+}
+
+void Communicator::send(int dst, Tag tag, tensor::Tensor t) {
+  isend(dst, tag, std::move(t))->wait();
+}
+
+tensor::Tensor Communicator::recv(int src, Tag tag) {
+  return world_->box(rank_).get(src, tag);
+}
+
+std::vector<Request> Communicator::batch_isend_irecv(std::span<P2POp> ops) {
+  std::vector<Request> reqs;
+  reqs.reserve(ops.size());
+  // Post every receive first, then every send: within one batch this
+  // guarantees that mutual exchanges cannot block each other regardless of
+  // the order the peers call into the transport.
+  for (P2POp& op : ops) {
+    if (op.dir == P2POp::Dir::Recv) {
+      reqs.push_back(irecv(op.peer, op.tag, op.buffer));
+    }
+  }
+  for (P2POp& op : ops) {
+    if (op.dir == P2POp::Dir::Send) {
+      reqs.push_back(isend(op.peer, op.tag, std::move(*op.buffer)));
+    }
+  }
+  return reqs;
+}
+
+void Communicator::wait_all(std::span<const Request> reqs) {
+  for (const Request& r : reqs) r->wait();
+}
+
+}  // namespace hanayo::comm

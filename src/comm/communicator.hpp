@@ -1,0 +1,73 @@
+#pragma once
+// Rank-facing communication API, mirroring the subset of
+// torch.distributed / NCCL that the paper's runtime uses:
+//   isend / irecv / wait  +  batch_isend_irecv  (paper §4.2).
+//
+// `batch_isend_irecv` exists for the same reason as in NCCL: when two ranks
+// simultaneously send to each other (which happens at every wave turn of the
+// Hanayo schedule), posting the sends/recvs as one batch avoids the
+// head-of-line deadlock a naive blocking order would create.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "comm/mailbox.hpp"
+
+namespace hanayo::comm {
+
+/// What a tagged message carries; combined with (micro-batch, stage) this
+/// uniquely names every transfer of one iteration.
+enum class Kind : int { Activation = 0, Gradient = 1, Control = 2, Collective = 3 };
+
+/// Packs (kind, micro-batch, stage, phase) into a transport tag.
+Tag make_tag(Kind kind, int micro_batch, int stage, int phase = 0);
+
+/// One entry of a batch_isend_irecv call.
+struct P2POp {
+  enum class Dir { Send, Recv } dir;
+  int peer = -1;
+  Tag tag = 0;
+  /// For Send: payload to transmit (moved from). For Recv: destination slot.
+  tensor::Tensor* buffer = nullptr;
+};
+
+class Communicator {
+ public:
+  Communicator(World* world, int rank);
+
+  int rank() const { return rank_; }
+  int size() const { return world_->size(); }
+
+  /// Asynchronous send. The payload is moved out immediately, so the caller
+  /// may reuse/destroy `t` after the call returns (eager-buffer semantics).
+  Request isend(int dst, Tag tag, tensor::Tensor t);
+
+  /// Asynchronous receive into *out; completes when a matching message
+  /// arrives.
+  Request irecv(int src, Tag tag, tensor::Tensor* out);
+
+  /// Blocking convenience wrappers.
+  void send(int dst, Tag tag, tensor::Tensor t);
+  tensor::Tensor recv(int src, Tag tag);
+
+  /// Posts all operations before waiting on any, which is what makes
+  /// mutual exchanges deadlock-free. Returns one request per op.
+  std::vector<Request> batch_isend_irecv(std::span<P2POp> ops);
+
+  static void wait_all(std::span<const Request> reqs);
+
+  void barrier() { world_->barrier(); }
+
+  /// Counters for tests / benchmarks.
+  int64_t messages_sent() const { return messages_sent_; }
+  int64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  World* world_;
+  int rank_;
+  int64_t messages_sent_ = 0;
+  int64_t bytes_sent_ = 0;
+};
+
+}  // namespace hanayo::comm

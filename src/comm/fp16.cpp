@@ -1,0 +1,68 @@
+#include "comm/fp16.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace hanayo::comm {
+
+using tensor::Tensor;
+
+Tensor pack_fp16(const Tensor& t) {
+  const int64_t d = t.dim();
+  const int64_t n = t.numel();
+  if (n == 0) throw std::invalid_argument("pack_fp16: empty tensor");
+  const int64_t header = 1 + d;
+  const int64_t words = (n + 1) / 2;  // two halves per float slot
+  Tensor out({header + words});
+  out[0] = static_cast<float>(d);
+  for (int64_t i = 0; i < d; ++i) out[1 + i] = static_cast<float>(t.size(i));
+  for (int64_t i = 0; i < words; ++i) {
+    const uint32_t lo = tensor::float_to_half(t[2 * i]);
+    const uint32_t hi =
+        (2 * i + 1 < n) ? tensor::float_to_half(t[2 * i + 1]) : 0u;
+    out[header + i] = std::bit_cast<float>(lo | (hi << 16));
+  }
+  return out;
+}
+
+Tensor unpack_fp16(const Tensor& packed) {
+  if (packed.numel() < 1) {
+    throw std::invalid_argument("unpack_fp16: empty payload");
+  }
+  const int64_t d = static_cast<int64_t>(packed[0]);
+  if (d < 0 || d > 8 || packed.numel() < 1 + d) {
+    throw std::invalid_argument("unpack_fp16: malformed header");
+  }
+  tensor::Shape shape;
+  int64_t n = 1;
+  for (int64_t i = 0; i < d; ++i) {
+    const int64_t s = static_cast<int64_t>(packed[1 + i]);
+    if (s < 0) throw std::invalid_argument("unpack_fp16: negative extent");
+    shape.push_back(s);
+    n *= s;
+  }
+  const int64_t header = 1 + d;
+  const int64_t words = (n + 1) / 2;
+  if (packed.numel() != header + words) {
+    throw std::invalid_argument("unpack_fp16: payload size mismatch");
+  }
+  Tensor out(std::move(shape));
+  for (int64_t i = 0; i < words; ++i) {
+    const uint32_t w = std::bit_cast<uint32_t>(packed[header + i]);
+    out[2 * i] = tensor::half_to_float(static_cast<uint16_t>(w & 0xFFFFu));
+    if (2 * i + 1 < n) {
+      out[2 * i + 1] = tensor::half_to_float(static_cast<uint16_t>(w >> 16));
+    }
+  }
+  return out;
+}
+
+Request isend_fp16(Communicator& comm, int dst, Tag tag, const Tensor& t) {
+  return comm.isend(dst, tag, pack_fp16(t));
+}
+
+Tensor recv_fp16(Communicator& comm, int src, Tag tag) {
+  return unpack_fp16(comm.recv(src, tag));
+}
+
+}  // namespace hanayo::comm

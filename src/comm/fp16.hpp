@@ -1,0 +1,36 @@
+#pragma once
+// Half-precision pipeline transfers.
+//
+// Mixed-precision training (paper related work §6) transmits activations
+// and gradients between stages as fp16, halving the P2P volume — the T_C
+// term in the paper's bubble model. The transport moves float tensors, so
+// this module packs two binary16 values per float slot:
+//
+//   [ d, s_0 .. s_{d-1}, packed half words ... ]
+//
+// where d is the rank and s_i the extents (both stored exactly — small
+// integers are representable in float). `pack_fp16`/`unpack_fp16` are
+// inverses up to fp16 rounding of the payload; `isend_fp16`/`recv_fp16`
+// wrap the communicator. The packed tensor's bytes() is ~half the
+// original's, so the existing byte counters and the simulator's cost model
+// see the reduced volume.
+
+#include "comm/communicator.hpp"
+#include "tensor/half.hpp"
+
+namespace hanayo::comm {
+
+/// Encodes `t` as an fp16-packed float tensor (see header layout above).
+tensor::Tensor pack_fp16(const tensor::Tensor& t);
+
+/// Decodes a tensor produced by `pack_fp16`; throws std::invalid_argument
+/// on a malformed header.
+tensor::Tensor unpack_fp16(const tensor::Tensor& packed);
+
+/// Sends `t` fp16-packed (asynchronously, like Communicator::isend).
+Request isend_fp16(Communicator& comm, int dst, Tag tag, const tensor::Tensor& t);
+
+/// Receives and decodes an fp16-packed tensor (blocking).
+tensor::Tensor recv_fp16(Communicator& comm, int src, Tag tag);
+
+}  // namespace hanayo::comm

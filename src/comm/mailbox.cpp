@@ -1,0 +1,107 @@
+#include "comm/mailbox.hpp"
+
+#include <stdexcept>
+
+namespace hanayo::comm {
+
+void RequestState::complete() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    done_ = true;
+  }
+  cv_.notify_all();
+}
+
+void RequestState::wait() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return done_; });
+}
+
+bool RequestState::test() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return done_;
+}
+
+void Mailbox::put(Message msg) {
+  PendingRecv matched{};
+  bool have_match = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    // Try to satisfy an already-posted irecv (FIFO across posts with the
+    // same signature, per MPI ordering).
+    for (auto it = recvs_.begin(); it != recvs_.end(); ++it) {
+      if (it->src == msg.src && it->tag == msg.tag) {
+        matched = std::move(*it);
+        recvs_.erase(it);
+        have_match = true;
+        break;
+      }
+    }
+    if (!have_match) {
+      queue_.push_back(std::move(msg));
+    } else {
+      *matched.out = std::move(msg.payload);
+    }
+  }
+  if (have_match) {
+    matched.req->complete();
+  } else {
+    cv_.notify_all();
+  }
+}
+
+tensor::Tensor Mailbox::get(int src, Tag tag) {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->src == src && it->tag == tag) {
+        tensor::Tensor payload = std::move(it->payload);
+        queue_.erase(it);
+        return payload;
+      }
+    }
+    cv_.wait(lk);
+  }
+}
+
+void Mailbox::get_async(int src, Tag tag, tensor::Tensor* out, Request req) {
+  bool matched = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->src == src && it->tag == tag) {
+        *out = std::move(it->payload);
+        queue_.erase(it);
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) recvs_.push_back(PendingRecv{src, tag, out, std::move(req)});
+  }
+  if (matched) req->complete();
+}
+
+size_t Mailbox::pending() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queue_.size();
+}
+
+World::World(int nranks) {
+  if (nranks <= 0) throw std::invalid_argument("World: nranks must be positive");
+  boxes_.reserve(static_cast<size_t>(nranks));
+  for (int i = 0; i < nranks; ++i) boxes_.push_back(std::make_unique<Mailbox>());
+}
+
+void World::barrier() {
+  std::unique_lock<std::mutex> lk(barrier_mu_);
+  const uint64_t epoch = barrier_epoch_;
+  if (++barrier_count_ == size()) {
+    barrier_count_ = 0;
+    ++barrier_epoch_;
+    barrier_cv_.notify_all();
+  } else {
+    barrier_cv_.wait(lk, [&] { return barrier_epoch_ != epoch; });
+  }
+}
+
+}  // namespace hanayo::comm

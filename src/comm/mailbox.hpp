@@ -1,0 +1,99 @@
+#pragma once
+// Point-to-point message transport between worker threads.
+//
+// This layer plays the role NCCL P2P plays in the paper: each rank owns a
+// mailbox; sends deposit a (src, tag, payload) message into the destination
+// mailbox; receives match on (src, tag). Matching follows MPI semantics:
+// messages between the same (src, dst, tag) triple are delivered in send
+// order; different tags are independent.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace hanayo::comm {
+
+/// Tag namespace: callers encode (kind, micro-batch, stage) into a tag with
+/// `make_tag`; the transport treats tags as opaque.
+using Tag = int64_t;
+
+struct Message {
+  int src = -1;
+  Tag tag = 0;
+  tensor::Tensor payload;
+};
+
+/// Completion handle shared between the poster of an operation and the
+/// transport. `wait()` blocks until the operation completed.
+class RequestState {
+ public:
+  void complete();
+  void wait();
+  bool test();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+};
+
+using Request = std::shared_ptr<RequestState>;
+
+/// One rank's inbox. Thread-safe.
+class Mailbox {
+ public:
+  /// Deposit a message (called by the sender's thread).
+  void put(Message msg);
+
+  /// Blocking receive matching (src, tag).
+  tensor::Tensor get(int src, Tag tag);
+
+  /// Non-blocking receive: registers `out` + `req`; when a matching message
+  /// arrives (or if one is already queued) the payload is moved into *out and
+  /// req is completed.
+  void get_async(int src, Tag tag, tensor::Tensor* out, Request req);
+
+  /// Number of queued (unmatched) messages; for tests and diagnostics.
+  size_t pending() const;
+
+ private:
+  struct PendingRecv {
+    int src;
+    Tag tag;
+    tensor::Tensor* out;
+    Request req;
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  std::deque<PendingRecv> recvs_;
+};
+
+/// All mailboxes of a job plus shared counters. One `World` == one training
+/// job spanning `nranks` worker threads.
+class World {
+ public:
+  explicit World(int nranks);
+
+  int size() const { return static_cast<int>(boxes_.size()); }
+  Mailbox& box(int rank) { return *boxes_[static_cast<size_t>(rank)]; }
+
+  /// Process-wide barrier across all ranks.
+  void barrier();
+
+ private:
+  std::vector<std::unique_ptr<Mailbox>> boxes_;
+
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  uint64_t barrier_epoch_ = 0;
+};
+
+}  // namespace hanayo::comm

@@ -1,0 +1,23 @@
+#include "core/hanayo.hpp"
+
+namespace hanayo {
+
+Batch synthetic_batch(const ModelConfig& model, int64_t sequences, Rng& rng) {
+  Batch b;
+  b.inputs = Tensor({sequences, model.seq});
+  b.targets = Tensor({sequences, model.seq});
+  for (int64_t r = 0; r < sequences; ++r) {
+    for (int64_t t = 0; t < model.seq; ++t) {
+      b.inputs.at(r, t) = static_cast<float>(rng.index(model.vocab));
+    }
+    for (int64_t t = 0; t < model.seq; ++t) {
+      const int64_t next = (t + 1) % model.seq;
+      b.targets.at(r, t) = b.inputs.at(r, next);
+    }
+  }
+  return b;
+}
+
+const char* version() { return "1.0.0"; }
+
+}  // namespace hanayo

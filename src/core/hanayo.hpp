@@ -1,0 +1,89 @@
+#pragma once
+// Hanayo — wave-like pipeline parallelism (SC '23 reproduction).
+//
+// Single-include public API. Typical use:
+//
+//   #include "core/hanayo.hpp"
+//
+//   hanayo::TrainerConfig cfg;
+//   cfg.model = hanayo::ModelConfig::tiny(/*layers=*/8);
+//   cfg.sched.algo = hanayo::Algo::Hanayo;
+//   cfg.sched.P = 4;        // pipeline workers
+//   cfg.sched.B = 8;        // micro-batches
+//   cfg.sched.waves = 2;    // W
+//   hanayo::Trainer trainer(cfg);
+//   float loss = trainer.train_step(batch);
+//
+// For planning without running (what the paper's Fig. 10 search does):
+//
+//   auto plans = hanayo::plan({.model = ..., .cluster = hanayo::Cluster::tacc(32),
+//                              .total_devices = 32, .batch_sequences = 8});
+
+#include "comm/collectives.hpp"
+#include "comm/fp16.hpp"
+#include "data/corpus.hpp"
+#include "data/dataloader.hpp"
+#include "model/checkpoint.hpp"
+#include "model/loss.hpp"
+#include "model/lr_schedule.hpp"
+#include "model/optimizer.hpp"
+#include "model/partition.hpp"
+#include "model/scaler.hpp"
+#include "model/transformer.hpp"
+#include "perf/analytic.hpp"
+#include "perf/calibrate.hpp"
+#include "perf/hybrid.hpp"
+#include "perf/planner.hpp"
+#include "perf/zones.hpp"
+#include "runtime/async_trainer.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/trainer.hpp"
+#include "schedule/algorithms.hpp"
+#include "schedule/async.hpp"
+#include "schedule/validate.hpp"
+#include "sim/cluster.hpp"
+#include "sim/event_sim.hpp"
+#include "tensor/half.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/rng.hpp"
+
+namespace hanayo {
+
+// Re-export the primary vocabulary types at the top level.
+using data::DataLoader;
+using data::LoaderConfig;
+using data::SyntheticCorpus;
+using model::DynamicLossScaler;
+using model::LrSchedule;
+using model::ModelConfig;
+using perf::Candidate;
+using perf::plan;
+using perf::PlanRequest;
+using runtime::AsyncTrainer;
+using runtime::AsyncTrainerConfig;
+using runtime::Batch;
+using runtime::OptKind;
+using runtime::SequentialEngine;
+using runtime::Trainer;
+using runtime::TrainerConfig;
+using schedule::Algo;
+using schedule::make_async_schedule;
+using schedule::make_schedule;
+using schedule::Placement;
+using schedule::Schedule;
+using schedule::ScheduleRequest;
+using sim::Cluster;
+using sim::simulate;
+using tensor::Rng;
+using tensor::Tensor;
+
+/// Generates a synthetic language-modelling batch: random token ids with
+/// next-token targets (targets[i] = inputs shifted by one within the
+/// sequence, wrapping) — a stand-in for the text corpora the paper trains
+/// on; the compute and communication are identical.
+Batch synthetic_batch(const ModelConfig& model, int64_t sequences, Rng& rng);
+
+/// Library version string.
+const char* version();
+
+}  // namespace hanayo

@@ -1,0 +1,124 @@
+#include "data/corpus.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hanayo::data {
+
+namespace {
+
+/// Tokens are generated in independent blocks ("documents"): the chain
+/// restarts at each block boundary, so any position is computable from its
+/// block start in at most kBlock steps — random access without replaying
+/// the whole stream.
+constexpr int64_t kBlock = 64;
+
+/// Probability mass given to the preferred successors (the rest smooths
+/// uniformly over the vocabulary, so every transition stays possible).
+constexpr double kPeak = 0.9;
+
+uint64_t mix(uint64_t x) {
+  // splitmix64 finaliser.
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+SyntheticCorpus::SyntheticCorpus(int64_t vocab, uint64_t seed, int branching)
+    : vocab_(vocab), seed_(seed), branching_(branching) {
+  if (vocab < 2 || branching < 1 || branching > 16) {
+    throw std::invalid_argument("SyntheticCorpus: need vocab >= 2, 1 <= branching <= 16");
+  }
+}
+
+int32_t SyntheticCorpus::successor(int32_t cur, int k) const {
+  return static_cast<int32_t>(
+      mix(seed_ ^ (static_cast<uint64_t>(cur) << 20) ^ static_cast<uint64_t>(k)) %
+      static_cast<uint64_t>(vocab_));
+}
+
+double SyntheticCorpus::unit(int64_t position) const {
+  const uint64_t h = mix(seed_ * 0x51ul ^ static_cast<uint64_t>(position));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+int32_t SyntheticCorpus::sample_next(int32_t cur, int64_t position) const {
+  double u = unit(position);
+  if (u < kPeak) {
+    // Geometric preference over the branching successors: successor k gets
+    // kPeak * 2^-(k+1) / (1 - 2^-branching).
+    u /= kPeak;
+    const double norm = 1.0 - std::ldexp(1.0, -branching_);
+    double acc = 0.0;
+    for (int k = 0; k < branching_; ++k) {
+      acc += std::ldexp(1.0, -(k + 1)) / norm;
+      if (u < acc || k == branching_ - 1) return successor(cur, k);
+    }
+  }
+  // Smoothing: uniform over the vocabulary.
+  const double v = (u - kPeak) / (1.0 - kPeak);
+  return static_cast<int32_t>(
+      std::min<int64_t>(vocab_ - 1, static_cast<int64_t>(v * static_cast<double>(vocab_))));
+}
+
+double SyntheticCorpus::transition_prob(int32_t cur, int32_t next) const {
+  const double norm = 1.0 - std::ldexp(1.0, -branching_);
+  double p = (1.0 - kPeak) / static_cast<double>(vocab_);
+  for (int k = 0; k < branching_; ++k) {
+    if (successor(cur, k) == next) {
+      p += kPeak * std::ldexp(1.0, -(k + 1)) / norm;
+    }
+  }
+  return p;
+}
+
+std::vector<int32_t> SyntheticCorpus::tokens(int64_t offset, int64_t count) const {
+  if (offset < 0 || count < 0) {
+    throw std::invalid_argument("SyntheticCorpus::tokens: negative range");
+  }
+  std::vector<int32_t> out;
+  out.reserve(static_cast<size_t>(count));
+  int64_t pos = offset;
+  while (out.size() < static_cast<size_t>(count)) {
+    const int64_t block = pos / kBlock;
+    const int64_t in_block = pos % kBlock;
+    // Replay the block's chain up to the requested position, then continue
+    // emitting until the block (or the request) ends.
+    int32_t cur = static_cast<int32_t>(
+        mix(seed_ ^ 0xB10Cull ^ static_cast<uint64_t>(block)) %
+        static_cast<uint64_t>(vocab_));
+    for (int64_t i = 0; i < in_block; ++i) {
+      cur = sample_next(cur, block * kBlock + i);
+    }
+    for (int64_t i = in_block;
+         i < kBlock && out.size() < static_cast<size_t>(count); ++i) {
+      out.push_back(cur);
+      cur = sample_next(cur, block * kBlock + i);
+      ++pos;
+    }
+  }
+  return out;
+}
+
+void SyntheticCorpus::fill_batch(int64_t first_sequence, int64_t sequences,
+                                 int64_t seq_len, tensor::Tensor* inputs,
+                                 tensor::Tensor* targets) const {
+  if (inputs == nullptr || targets == nullptr) {
+    throw std::invalid_argument("SyntheticCorpus::fill_batch: null outputs");
+  }
+  *inputs = tensor::Tensor({sequences, seq_len});
+  *targets = tensor::Tensor({sequences, seq_len});
+  for (int64_t s = 0; s < sequences; ++s) {
+    // +1 token so the target of the last position exists.
+    const auto toks = tokens((first_sequence + s) * (seq_len + 1), seq_len + 1);
+    for (int64_t t = 0; t < seq_len; ++t) {
+      inputs->at(s, t) = static_cast<float>(toks[static_cast<size_t>(t)]);
+      targets->at(s, t) = static_cast<float>(toks[static_cast<size_t>(t) + 1]);
+    }
+  }
+}
+
+}  // namespace hanayo::data

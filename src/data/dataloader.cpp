@@ -1,0 +1,75 @@
+#include "data/dataloader.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "tensor/rng.hpp"
+
+namespace hanayo::data {
+
+DataLoader::DataLoader(const SyntheticCorpus* corpus, LoaderConfig cfg)
+    : corpus_(corpus), cfg_(cfg) {
+  if (corpus == nullptr) throw std::invalid_argument("DataLoader: null corpus");
+  if (cfg.dataset_sequences < 1 || cfg.seq_len < 1 || cfg.micro_batches < 1 ||
+      cfg.mb_sequences < 1 || cfg.dp < 1) {
+    throw std::invalid_argument("DataLoader: all sizes must be positive");
+  }
+  if (batch_rows() > cfg.dataset_sequences) {
+    throw std::invalid_argument("DataLoader: dataset smaller than one batch");
+  }
+}
+
+int64_t DataLoader::batch_rows() const {
+  return static_cast<int64_t>(cfg_.dp) * cfg_.micro_batches * cfg_.mb_sequences;
+}
+
+int64_t DataLoader::batches_per_epoch() const {
+  return cfg_.dataset_sequences / batch_rows();
+}
+
+std::vector<int64_t> DataLoader::epoch_permutation(int64_t epoch) const {
+  std::vector<int64_t> idx(static_cast<size_t>(cfg_.dataset_sequences));
+  std::iota(idx.begin(), idx.end(), 0);
+  if (!cfg_.shuffle) return idx;
+  // Fisher-Yates with the library RNG, seeded by (seed, epoch): identical
+  // on every rank, different across epochs.
+  tensor::Rng rng(cfg_.seed * 0x9E3779B9ull + static_cast<uint64_t>(epoch) + 1);
+  for (int64_t i = cfg_.dataset_sequences - 1; i > 0; --i) {
+    const int64_t j = rng.index(i + 1);
+    std::swap(idx[static_cast<size_t>(i)], idx[static_cast<size_t>(j)]);
+  }
+  return idx;
+}
+
+std::vector<int64_t> DataLoader::batch_indices(int64_t epoch, int64_t step) const {
+  if (epoch < 0 || step < 0 || step >= batches_per_epoch()) {
+    throw std::out_of_range("DataLoader: step out of range");
+  }
+  const auto perm = epoch_permutation(epoch);
+  const int64_t rows = batch_rows();
+  std::vector<int64_t> out(static_cast<size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) {
+    out[static_cast<size_t>(r)] = perm[static_cast<size_t>(step * rows + r)];
+  }
+  return out;
+}
+
+runtime::Batch DataLoader::batch(int64_t epoch, int64_t step) const {
+  const auto indices = batch_indices(epoch, step);
+  const int64_t rows = static_cast<int64_t>(indices.size());
+  runtime::Batch b;
+  b.inputs = tensor::Tensor({rows, cfg_.seq_len});
+  b.targets = tensor::Tensor({rows, cfg_.seq_len});
+  for (int64_t r = 0; r < rows; ++r) {
+    tensor::Tensor in, tgt;
+    corpus_->fill_batch(indices[static_cast<size_t>(r)], 1, cfg_.seq_len, &in,
+                        &tgt);
+    for (int64_t t = 0; t < cfg_.seq_len; ++t) {
+      b.inputs.at(r, t) = in.at(0, t);
+      b.targets.at(r, t) = tgt.at(0, t);
+    }
+  }
+  return b;
+}
+
+}  // namespace hanayo::data

@@ -1,0 +1,57 @@
+#pragma once
+// Deterministic sharded data loading for data-parallel training.
+//
+// Each of the D replicas must see a disjoint slice of every global batch,
+// and a run must be exactly reproducible (the equivalence tests — and any
+// serious large-model training job — depend on it). The loader owns the
+// epoch permutation: sequence indices are shuffled with a seed derived
+// from (seed, epoch), identically on every rank, then dealt out
+// replica-major so rank r takes rows [r*B, (r+1)*B) of each global batch —
+// the layout runtime::Trainer expects.
+
+#include <cstdint>
+
+#include "data/corpus.hpp"
+#include "runtime/worker.hpp"
+
+namespace hanayo::data {
+
+struct LoaderConfig {
+  int64_t dataset_sequences = 1024;  ///< epoch size, in sequences
+  int64_t seq_len = 32;
+  int micro_batches = 4;   ///< B: micro-batches per replica per step
+  int mb_sequences = 1;    ///< sequences per micro-batch
+  int dp = 1;              ///< data-parallel replicas
+  uint64_t seed = 1;
+  bool shuffle = true;
+};
+
+/// Iterates a SyntheticCorpus in trainer-shaped global batches. Incomplete
+/// final batches are dropped (the usual drop_last), so every step has the
+/// full dp * B * mb_sequences rows.
+class DataLoader {
+ public:
+  DataLoader(const SyntheticCorpus* corpus, LoaderConfig cfg);
+
+  /// Rows per global batch: dp * micro_batches * mb_sequences.
+  int64_t batch_rows() const;
+  /// Full batches per epoch.
+  int64_t batches_per_epoch() const;
+
+  /// The `step`-th global batch of epoch `epoch` (both 0-based; `step` must
+  /// be < batches_per_epoch()). Deterministic: the same (epoch, step) always
+  /// returns the same rows in the same order.
+  runtime::Batch batch(int64_t epoch, int64_t step) const;
+
+  /// The dataset sequence indices making up that batch, in row order
+  /// (exposed so tests can verify sharding discipline).
+  std::vector<int64_t> batch_indices(int64_t epoch, int64_t step) const;
+
+ private:
+  const SyntheticCorpus* corpus_;
+  LoaderConfig cfg_;
+
+  std::vector<int64_t> epoch_permutation(int64_t epoch) const;
+};
+
+}  // namespace hanayo::data

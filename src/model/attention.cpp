@@ -1,0 +1,160 @@
+#include "model/attention.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace hanayo::model {
+
+using namespace hanayo::tensor;
+
+MultiHeadAttention::MultiHeadAttention(std::string name, int64_t hidden,
+                                       int64_t heads, bool causal, Rng& rng,
+                                       float init_std)
+    : name_(std::move(name)),
+      hidden_(hidden),
+      heads_(heads),
+      dk_(hidden / heads),
+      causal_(causal),
+      qkv_proj_(name_ + ".qkv", hidden, 3 * hidden, rng, init_std),
+      out_proj_(name_ + ".out", hidden, hidden, rng, init_std) {
+  if (hidden % heads != 0) {
+    throw std::invalid_argument(name_ + ": hidden must divide by heads");
+  }
+}
+
+Tensor MultiHeadAttention::forward(const Tensor& x, int mb) {
+  const int64_t b = x.size(0), t = x.size(1);
+  Tensor qkv = qkv_proj_.forward(x, mb);  // [b, t, 3h]
+  Tensor probs({b, heads_, t, t});
+  Tensor ctx({b, t, hidden_});
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dk_));
+
+  for (int64_t n = 0; n < b; ++n) {
+    for (int64_t hh = 0; hh < heads_; ++hh) {
+      const int64_t qoff = hh * dk_;
+      const int64_t koff = hidden_ + hh * dk_;
+      const int64_t voff = 2 * hidden_ + hh * dk_;
+      float* prob = probs.data() + ((n * heads_ + hh) * t) * t;
+      // scores + softmax row by row
+      for (int64_t i = 0; i < t; ++i) {
+        const float* q = qkv.data() + (n * t + i) * 3 * hidden_ + qoff;
+        float* prow = prob + i * t;
+        const int64_t jmax = causal_ ? i + 1 : t;
+        float mx = -1e30f;
+        for (int64_t j = 0; j < jmax; ++j) {
+          const float* k = qkv.data() + (n * t + j) * 3 * hidden_ + koff;
+          float s = 0.0f;
+          for (int64_t d = 0; d < dk_; ++d) s += q[d] * k[d];
+          s *= scale;
+          prow[j] = s;
+          mx = std::max(mx, s);
+        }
+        double denom = 0.0;
+        for (int64_t j = 0; j < jmax; ++j) {
+          prow[j] = std::exp(prow[j] - mx);
+          denom += prow[j];
+        }
+        const float inv = static_cast<float>(1.0 / denom);
+        for (int64_t j = 0; j < jmax; ++j) prow[j] *= inv;
+        for (int64_t j = jmax; j < t; ++j) prow[j] = 0.0f;
+        // context = probs @ V
+        float* c = ctx.data() + (n * t + i) * hidden_ + hh * dk_;
+        for (int64_t d = 0; d < dk_; ++d) c[d] = 0.0f;
+        for (int64_t j = 0; j < jmax; ++j) {
+          const float p = prow[j];
+          if (p == 0.0f) continue;
+          const float* v = qkv.data() + (n * t + j) * 3 * hidden_ + voff;
+          for (int64_t d = 0; d < dk_; ++d) c[d] += p * v[d];
+        }
+      }
+    }
+  }
+
+  Tensor y = out_proj_.forward(ctx, mb);
+  cache_[mb] = Saved{std::move(qkv), std::move(probs), std::move(ctx)};
+  return y;
+}
+
+Tensor MultiHeadAttention::backward(const Tensor& dy, int mb) {
+  auto it = cache_.find(mb);
+  if (it == cache_.end()) throw std::logic_error(name_ + ": backward without forward");
+  Saved& sv = it->second;
+  const Tensor& qkv = sv.qkv;
+  const Tensor& probs = sv.probs;
+
+  Tensor dctx = out_proj_.backward(dy, mb);  // [b, t, h]
+  const int64_t b = dctx.size(0), t = dctx.size(1);
+  Tensor dqkv({b, t, 3 * hidden_});
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dk_));
+
+  for (int64_t n = 0; n < b; ++n) {
+    for (int64_t hh = 0; hh < heads_; ++hh) {
+      const int64_t qoff = hh * dk_;
+      const int64_t koff = hidden_ + hh * dk_;
+      const int64_t voff = 2 * hidden_ + hh * dk_;
+      const float* prob = probs.data() + ((n * heads_ + hh) * t) * t;
+      for (int64_t i = 0; i < t; ++i) {
+        const int64_t jmax = causal_ ? i + 1 : t;
+        const float* dc = dctx.data() + (n * t + i) * hidden_ + hh * dk_;
+        const float* prow = prob + i * t;
+        // dV[j] += P[i,j] * dctx[i];  dP[i,j] = dctx[i] . V[j]
+        // dS = P * (dP - sum_j dP*P)   (softmax backward)
+        // dQ[i] += dS[i,j] * K[j] * scale;  dK[j] += dS[i,j] * Q[i] * scale
+        double dot_dp_p = 0.0;
+        // First pass: dP and the softmax-correction dot product.
+        // Store dP temporarily in a small stack buffer via two passes.
+        for (int64_t j = 0; j < jmax; ++j) {
+          const float* v = qkv.data() + (n * t + j) * 3 * hidden_ + voff;
+          float dp = 0.0f;
+          for (int64_t d = 0; d < dk_; ++d) dp += dc[d] * v[d];
+          dot_dp_p += static_cast<double>(dp) * prow[j];
+        }
+        const float* q = qkv.data() + (n * t + i) * 3 * hidden_ + qoff;
+        float* dq = dqkv.data() + (n * t + i) * 3 * hidden_ + qoff;
+        for (int64_t j = 0; j < jmax; ++j) {
+          const float* v = qkv.data() + (n * t + j) * 3 * hidden_ + voff;
+          const float* k = qkv.data() + (n * t + j) * 3 * hidden_ + koff;
+          float* dv = dqkv.data() + (n * t + j) * 3 * hidden_ + voff;
+          float* dk = dqkv.data() + (n * t + j) * 3 * hidden_ + koff;
+          const float p = prow[j];
+          float dp = 0.0f;
+          for (int64_t d = 0; d < dk_; ++d) {
+            dv[d] += p * dc[d];
+            dp += dc[d] * v[d];
+          }
+          const float ds = p * (dp - static_cast<float>(dot_dp_p)) * scale;
+          for (int64_t d = 0; d < dk_; ++d) {
+            dq[d] += ds * k[d];
+            dk[d] += ds * q[d];
+          }
+        }
+      }
+    }
+  }
+
+  cache_.erase(it);
+  return qkv_proj_.backward(dqkv, mb);
+}
+
+void MultiHeadAttention::collect_params(std::vector<Param*>& out) {
+  qkv_proj_.collect_params(out);
+  out_proj_.collect_params(out);
+}
+
+void MultiHeadAttention::drop_cache(int mb) {
+  qkv_proj_.drop_cache(mb);
+  out_proj_.drop_cache(mb);
+  cache_.erase(mb);
+}
+
+int64_t MultiHeadAttention::cached_bytes() const {
+  int64_t bytes = qkv_proj_.cached_bytes() + out_proj_.cached_bytes();
+  for (const auto& [k, sv] : cache_) {
+    bytes += sv.qkv.bytes() + sv.probs.bytes() + sv.ctx.bytes();
+  }
+  return bytes;
+}
+
+}  // namespace hanayo::model

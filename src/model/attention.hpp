@@ -1,0 +1,38 @@
+#pragma once
+// Multi-head self-attention with manual backward.
+
+#include "model/layers.hpp"
+
+namespace hanayo::model {
+
+/// Standard transformer MHA: fused QKV projection, per-head scaled dot
+/// product, optional causal masking (GPT-style), output projection.
+/// Input/output shape: [b, t, h].
+class MultiHeadAttention : public Layer {
+ public:
+  MultiHeadAttention(std::string name, int64_t hidden, int64_t heads,
+                     bool causal, Rng& rng, float init_std);
+
+  Tensor forward(const Tensor& x, int mb) override;
+  Tensor backward(const Tensor& dy, int mb) override;
+  void collect_params(std::vector<Param*>& out) override;
+  void drop_cache(int mb) override;
+  std::string name() const override { return name_; }
+  int64_t cached_bytes() const override;
+
+ private:
+  struct Saved {
+    Tensor qkv;    // [b, t, 3h]
+    Tensor probs;  // [b, heads, t, t] post-softmax attention
+    Tensor ctx;    // [b, t, h] pre-output-projection context
+  };
+
+  std::string name_;
+  int64_t hidden_, heads_, dk_;
+  bool causal_;
+  Linear qkv_proj_;
+  Linear out_proj_;
+  std::unordered_map<int, Saved> cache_;
+};
+
+}  // namespace hanayo::model

@@ -1,0 +1,134 @@
+#include "model/checkpoint.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+namespace hanayo::model {
+
+namespace {
+
+constexpr char kMagic[8] = {'H', 'A', 'N', 'A', 'Y', 'O', '0', '1'};
+
+void write_u64(std::ostream& os, uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+uint64_t read_u64(std::istream& is) {
+  uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!is) throw std::runtime_error("checkpoint: truncated file");
+  return v;
+}
+
+struct Record {
+  tensor::Shape shape;
+  std::streampos data_pos;
+};
+
+/// Scans the file and returns name -> (shape, data offset).
+std::map<std::string, Record> scan(std::istream& is) {
+  char magic[8];
+  is.read(magic, 8);
+  if (!is || std::memcmp(magic, kMagic, 8) != 0) {
+    throw std::runtime_error("checkpoint: bad magic");
+  }
+  const uint64_t count = read_u64(is);
+  std::map<std::string, Record> out;
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t name_len = read_u64(is);
+    std::string name(name_len, '\0');
+    is.read(name.data(), static_cast<std::streamsize>(name_len));
+    const uint64_t ndims = read_u64(is);
+    tensor::Shape shape;
+    int64_t numel = 1;
+    for (uint64_t d = 0; d < ndims; ++d) {
+      shape.push_back(static_cast<int64_t>(read_u64(is)));
+      numel *= shape.back();
+    }
+    if (!is) throw std::runtime_error("checkpoint: truncated header");
+    out.emplace(std::move(name), Record{std::move(shape), is.tellg()});
+    is.seekg(numel * static_cast<int64_t>(sizeof(float)), std::ios::cur);
+  }
+  return out;
+}
+
+}  // namespace
+
+void save_checkpoint(const std::string& path,
+                     const std::vector<NamedTensor>& records) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("checkpoint: cannot open " + path);
+  os.write(kMagic, 8);
+  write_u64(os, records.size());
+  for (const NamedTensor& r : records) {
+    if (r.tensor == nullptr) {
+      throw std::invalid_argument("checkpoint: null tensor for " + r.name);
+    }
+    write_u64(os, r.name.size());
+    os.write(r.name.data(), static_cast<std::streamsize>(r.name.size()));
+    write_u64(os, r.tensor->shape().size());
+    for (int64_t d : r.tensor->shape()) write_u64(os, static_cast<uint64_t>(d));
+    os.write(reinterpret_cast<const char*>(r.tensor->data()),
+             static_cast<std::streamsize>(r.tensor->bytes()));
+  }
+  if (!os) throw std::runtime_error("checkpoint: write failed for " + path);
+}
+
+void save_checkpoint(const std::string& path,
+                     const std::vector<Param*>& params) {
+  std::vector<NamedTensor> records;
+  records.reserve(params.size());
+  for (const Param* p : params) records.push_back({p->name, &p->value});
+  save_checkpoint(path, records);
+}
+
+std::map<std::string, tensor::Tensor> load_all(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("checkpoint: cannot open " + path);
+  const auto records = scan(is);
+  is.clear();
+  std::map<std::string, tensor::Tensor> out;
+  for (const auto& [name, rec] : records) {
+    tensor::Tensor t(rec.shape);
+    is.seekg(rec.data_pos);
+    is.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(t.bytes()));
+    if (!is) throw std::runtime_error("checkpoint: truncated data for " + name);
+    out.emplace(name, std::move(t));
+  }
+  return out;
+}
+
+void load_checkpoint(const std::string& path,
+                     const std::vector<Param*>& params) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("checkpoint: cannot open " + path);
+  const auto records = scan(is);
+  is.clear();
+  for (Param* p : params) {
+    const auto it = records.find(p->name);
+    if (it == records.end()) {
+      throw std::runtime_error("checkpoint: missing parameter " + p->name);
+    }
+    if (it->second.shape != p->value.shape()) {
+      throw std::runtime_error("checkpoint: shape mismatch for " + p->name);
+    }
+    is.seekg(it->second.data_pos);
+    is.read(reinterpret_cast<char*>(p->value.data()),
+            static_cast<std::streamsize>(p->value.bytes()));
+    if (!is) throw std::runtime_error("checkpoint: truncated data for " + p->name);
+  }
+}
+
+std::vector<std::string> checkpoint_names(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("checkpoint: cannot open " + path);
+  std::vector<std::string> names;
+  for (const auto& [name, rec] : scan(is)) names.push_back(name);
+  return names;
+}
+
+}  // namespace hanayo::model

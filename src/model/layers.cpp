@@ -1,0 +1,238 @@
+#include "model/layers.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace hanayo::model {
+
+using namespace hanayo::tensor;
+
+namespace {
+int64_t map_bytes(const std::unordered_map<int, Tensor>& m) {
+  int64_t b = 0;
+  for (const auto& [k, v] : m) b += v.bytes();
+  return b;
+}
+}  // namespace
+
+// ---------------------------------------------------------------- Linear
+
+Linear::Linear(std::string name, int64_t in, int64_t out, Rng& rng,
+               float init_std)
+    : name_(std::move(name)),
+      in_(in),
+      out_(out),
+      w_(name_ + ".w", rng.randn({in, out}, init_std)),
+      b_(name_ + ".b", Tensor({out})) {}
+
+Tensor Linear::forward(const Tensor& x, int mb) {
+  Tensor x2 = x.flattened_2d();
+  if (x2.size(1) != in_) {
+    throw std::invalid_argument(name_ + ": input dim " + x.shape_str());
+  }
+  Tensor y = add_bias(matmul(x2, w_.value), b_.value);
+  cache_shape_[mb] = x.shape();
+  cache_x_[mb] = std::move(x2);
+  // Output keeps the leading dims of the input, last dim becomes out_.
+  tensor::Shape out_shape = cache_shape_[mb];
+  out_shape.back() = out_;
+  return y.reshaped(std::move(out_shape));
+}
+
+Tensor Linear::backward(const Tensor& dy, int mb) {
+  auto it = cache_x_.find(mb);
+  if (it == cache_x_.end()) {
+    throw std::logic_error(name_ + ": backward without forward for mb " +
+                           std::to_string(mb));
+  }
+  Tensor dy2 = dy.flattened_2d();
+  const Tensor& x2 = it->second;
+  w_.grad.add_(matmul_at(x2, dy2));
+  b_.grad.add_(col_sum(dy2));
+  Tensor dx = matmul_bt(dy2, w_.value);
+  tensor::Shape in_shape = cache_shape_[mb];
+  cache_x_.erase(it);
+  cache_shape_.erase(mb);
+  return dx.reshaped(std::move(in_shape));
+}
+
+void Linear::collect_params(std::vector<Param*>& out) {
+  out.push_back(&w_);
+  out.push_back(&b_);
+}
+
+int64_t Linear::cached_bytes() const { return map_bytes(cache_x_); }
+
+void Linear::drop_cache(int mb) {
+  cache_x_.erase(mb);
+  cache_shape_.erase(mb);
+}
+
+// -------------------------------------------------------------- LayerNorm
+
+LayerNorm::LayerNorm(std::string name, int64_t dim, float eps)
+    : name_(std::move(name)),
+      dim_(dim),
+      eps_(eps),
+      g_(name_ + ".g", Tensor::ones({dim})),
+      b_(name_ + ".b", Tensor({dim})) {}
+
+Tensor LayerNorm::forward(const Tensor& x, int mb) {
+  const int64_t n = x.size(-1);
+  if (n != dim_) throw std::invalid_argument(name_ + ": dim mismatch");
+  const int64_t rows = x.numel() / n;
+  Tensor xhat(x.shape());
+  Tensor inv_std({rows});
+  Tensor y(x.shape());
+  for (int64_t i = 0; i < rows; ++i) {
+    const float* row = x.data() + i * n;
+    double mu = 0.0;
+    for (int64_t j = 0; j < n; ++j) mu += row[j];
+    mu /= static_cast<double>(n);
+    double var = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      const double d = row[j] - mu;
+      var += d * d;
+    }
+    var /= static_cast<double>(n);
+    const float is = static_cast<float>(1.0 / std::sqrt(var + eps_));
+    inv_std[i] = is;
+    float* xh = xhat.data() + i * n;
+    float* yr = y.data() + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      xh[j] = (row[j] - static_cast<float>(mu)) * is;
+      yr[j] = xh[j] * g_.value[j] + b_.value[j];
+    }
+  }
+  cache_xhat_[mb] = std::move(xhat);
+  cache_inv_std_[mb] = std::move(inv_std);
+  return y;
+}
+
+Tensor LayerNorm::backward(const Tensor& dy, int mb) {
+  auto it = cache_xhat_.find(mb);
+  if (it == cache_xhat_.end()) {
+    throw std::logic_error(name_ + ": backward without forward");
+  }
+  const Tensor& xhat = it->second;
+  const Tensor& inv_std = cache_inv_std_[mb];
+  const int64_t n = dim_;
+  const int64_t rows = dy.numel() / n;
+  Tensor dx(dy.shape());
+  for (int64_t i = 0; i < rows; ++i) {
+    const float* dyr = dy.data() + i * n;
+    const float* xh = xhat.data() + i * n;
+    float* dxr = dx.data() + i * n;
+    double sum_dxhat = 0.0, sum_dxhat_xhat = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      const float dxhat = dyr[j] * g_.value[j];
+      sum_dxhat += dxhat;
+      sum_dxhat_xhat += dxhat * xh[j];
+      g_.grad[j] += dyr[j] * xh[j];
+      b_.grad[j] += dyr[j];
+    }
+    const float m1 = static_cast<float>(sum_dxhat / static_cast<double>(n));
+    const float m2 = static_cast<float>(sum_dxhat_xhat / static_cast<double>(n));
+    const float is = inv_std[i];
+    for (int64_t j = 0; j < n; ++j) {
+      const float dxhat = dyr[j] * g_.value[j];
+      dxr[j] = is * (dxhat - m1 - xh[j] * m2);
+    }
+  }
+  cache_xhat_.erase(it);
+  cache_inv_std_.erase(mb);
+  return dx;
+}
+
+void LayerNorm::collect_params(std::vector<Param*>& out) {
+  out.push_back(&g_);
+  out.push_back(&b_);
+}
+
+int64_t LayerNorm::cached_bytes() const {
+  return map_bytes(cache_xhat_) + map_bytes(cache_inv_std_);
+}
+
+void LayerNorm::drop_cache(int mb) {
+  cache_xhat_.erase(mb);
+  cache_inv_std_.erase(mb);
+}
+
+// ------------------------------------------------------------------ Gelu
+
+Tensor Gelu::forward(const Tensor& x, int mb) {
+  cache_x_[mb] = x;
+  return gelu(x);
+}
+
+Tensor Gelu::backward(const Tensor& dy, int mb) {
+  auto it = cache_x_.find(mb);
+  if (it == cache_x_.end()) throw std::logic_error(name_ + ": backward without forward");
+  Tensor dx = gelu_grad(it->second, dy);
+  cache_x_.erase(it);
+  return dx;
+}
+
+int64_t Gelu::cached_bytes() const { return map_bytes(cache_x_); }
+
+// ------------------------------------------------------------- Embedding
+
+Embedding::Embedding(std::string name, int64_t vocab, int64_t max_seq,
+                     int64_t hidden, Rng& rng, float init_std)
+    : name_(std::move(name)),
+      vocab_(vocab),
+      max_seq_(max_seq),
+      hidden_(hidden),
+      tok_(name_ + ".tok", rng.randn({vocab, hidden}, init_std)),
+      pos_(name_ + ".pos", rng.randn({max_seq, hidden}, init_std)) {}
+
+Tensor Embedding::forward(const Tensor& x, int mb) {
+  if (x.dim() != 2) throw std::invalid_argument(name_ + ": expect [b, t] ids");
+  const int64_t b = x.size(0), t = x.size(1);
+  if (t > max_seq_) throw std::invalid_argument(name_ + ": sequence too long");
+  Tensor y({b, t, hidden_});
+  for (int64_t i = 0; i < b; ++i) {
+    for (int64_t j = 0; j < t; ++j) {
+      const auto id = static_cast<int64_t>(x.at(i, j));
+      if (id < 0 || id >= vocab_) throw std::out_of_range(name_ + ": token id");
+      const float* trow = tok_.value.data() + id * hidden_;
+      const float* prow = pos_.value.data() + j * hidden_;
+      float* yrow = y.data() + (i * t + j) * hidden_;
+      for (int64_t h = 0; h < hidden_; ++h) yrow[h] = trow[h] + prow[h];
+    }
+  }
+  cache_ids_[mb] = x;
+  return y;
+}
+
+Tensor Embedding::backward(const Tensor& dy, int mb) {
+  auto it = cache_ids_.find(mb);
+  if (it == cache_ids_.end()) throw std::logic_error(name_ + ": backward without forward");
+  const Tensor& ids = it->second;
+  const int64_t b = ids.size(0), t = ids.size(1);
+  for (int64_t i = 0; i < b; ++i) {
+    for (int64_t j = 0; j < t; ++j) {
+      const auto id = static_cast<int64_t>(ids.at(i, j));
+      const float* dyrow = dy.data() + (i * t + j) * hidden_;
+      float* tg = tok_.grad.data() + id * hidden_;
+      float* pg = pos_.grad.data() + j * hidden_;
+      for (int64_t h = 0; h < hidden_; ++h) {
+        tg[h] += dyrow[h];
+        pg[h] += dyrow[h];
+      }
+    }
+  }
+  cache_ids_.erase(it);
+  return Tensor();  // no upstream gradient for token ids
+}
+
+void Embedding::collect_params(std::vector<Param*>& out) {
+  out.push_back(&tok_);
+  out.push_back(&pos_);
+}
+
+int64_t Embedding::cached_bytes() const { return map_bytes(cache_ids_); }
+
+}  // namespace hanayo::model

@@ -1,0 +1,147 @@
+#pragma once
+// Neural-network layers with explicit, per-micro-batch activation caches.
+//
+// Pipeline parallelism interleaves the forward passes of many micro-batches
+// before their backwards run, so unlike a tape-based autograd, every layer
+// here stores its saved-for-backward tensors keyed by micro-batch id. The
+// cache footprint (`cached_bytes`) is exactly the `Ma` quantity the paper
+// tracks in Figs. 3 and 8: it grows when a forward completes and shrinks
+// when the matching backward consumes it.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hanayo::model {
+
+using tensor::Rng;
+using tensor::Tensor;
+
+/// A learnable parameter with its gradient accumulator.
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Param(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)), grad(value.shape()) {}
+  void zero_grad() { grad.zero(); }
+};
+
+/// Base class for all layers.
+///
+/// Contract: `forward(x, mb)` may be called for several micro-batches before
+/// any `backward`; `backward(dy, mb)` consumes (and frees) the cache of
+/// micro-batch `mb` and accumulates parameter gradients (+=).
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual Tensor forward(const Tensor& x, int mb) = 0;
+  virtual Tensor backward(const Tensor& dy, int mb) = 0;
+
+  /// Appends pointers to this layer's parameters (stable across calls).
+  virtual void collect_params(std::vector<Param*>& out) = 0;
+
+  /// Discards the saved-for-backward cache of micro-batch `mb` without
+  /// running a backward — used by activation recomputation, which re-runs
+  /// the forward later to rebuild it.
+  virtual void drop_cache(int mb) = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Bytes currently held in saved-for-backward caches.
+  virtual int64_t cached_bytes() const = 0;
+};
+
+/// y = x W + b over the last dimension.
+class Linear : public Layer {
+ public:
+  /// Weights ~ N(0, init_std^2), bias zero; deterministic given `rng`.
+  Linear(std::string name, int64_t in, int64_t out, Rng& rng, float init_std);
+
+  Tensor forward(const Tensor& x, int mb) override;
+  Tensor backward(const Tensor& dy, int mb) override;
+  void collect_params(std::vector<Param*>& out) override;
+  std::string name() const override { return name_; }
+  int64_t cached_bytes() const override;
+
+  void drop_cache(int mb) override;
+
+  Param& weight() { return w_; }
+  Param& bias() { return b_; }
+
+ private:
+  std::string name_;
+  int64_t in_, out_;
+  Param w_, b_;
+  std::unordered_map<int, Tensor> cache_x_;  // input, flattened 2-d
+  std::unordered_map<int, tensor::Shape> cache_shape_;
+};
+
+/// LayerNorm over the last dimension with learned gain/bias.
+class LayerNorm : public Layer {
+ public:
+  LayerNorm(std::string name, int64_t dim, float eps = 1e-5f);
+
+  Tensor forward(const Tensor& x, int mb) override;
+  Tensor backward(const Tensor& dy, int mb) override;
+  void collect_params(std::vector<Param*>& out) override;
+  void drop_cache(int mb) override;
+  std::string name() const override { return name_; }
+  int64_t cached_bytes() const override;
+
+ private:
+  std::string name_;
+  int64_t dim_;
+  float eps_;
+  Param g_, b_;
+  std::unordered_map<int, Tensor> cache_xhat_;     // normalised input
+  std::unordered_map<int, Tensor> cache_inv_std_;  // per-row 1/sigma
+};
+
+/// Elementwise GELU.
+class Gelu : public Layer {
+ public:
+  explicit Gelu(std::string name) : name_(std::move(name)) {}
+
+  Tensor forward(const Tensor& x, int mb) override;
+  Tensor backward(const Tensor& dy, int mb) override;
+  void collect_params(std::vector<Param*>&) override {}
+  void drop_cache(int mb) override { cache_x_.erase(mb); }
+  std::string name() const override { return name_; }
+  int64_t cached_bytes() const override;
+
+ private:
+  std::string name_;
+  std::unordered_map<int, Tensor> cache_x_;
+};
+
+/// Token + learned positional embedding. Input: [b, t] of token ids (stored
+/// as floats); output: [b, t, h]. backward() returns an empty tensor (there
+/// is no gradient w.r.t. token ids).
+class Embedding : public Layer {
+ public:
+  Embedding(std::string name, int64_t vocab, int64_t max_seq, int64_t hidden,
+            Rng& rng, float init_std);
+
+  Tensor forward(const Tensor& x, int mb) override;
+  Tensor backward(const Tensor& dy, int mb) override;
+  void collect_params(std::vector<Param*>& out) override;
+  void drop_cache(int mb) override { cache_ids_.erase(mb); }
+  std::string name() const override { return name_; }
+  int64_t cached_bytes() const override;
+
+ private:
+  std::string name_;
+  int64_t vocab_, max_seq_, hidden_;
+  Param tok_, pos_;
+  std::unordered_map<int, Tensor> cache_ids_;
+};
+
+}  // namespace hanayo::model

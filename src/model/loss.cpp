@@ -1,0 +1,41 @@
+#include "model/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hanayo::model {
+
+using tensor::Tensor;
+
+std::pair<float, Tensor> cross_entropy(const Tensor& logits,
+                                       const Tensor& targets,
+                                       float loss_scale) {
+  const int64_t v = logits.size(-1);
+  const int64_t n = logits.numel() / v;
+  if (targets.numel() != n) {
+    throw std::invalid_argument("cross_entropy: target count mismatch");
+  }
+  Tensor dlogits(logits.shape());
+  double total = 0.0;
+  const float inv_n = loss_scale / static_cast<float>(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * v;
+    float* drow = dlogits.data() + i * v;
+    const auto tgt = static_cast<int64_t>(targets[i]);
+    if (tgt < 0 || tgt >= v) throw std::out_of_range("cross_entropy: target id");
+    float mx = row[0];
+    for (int64_t j = 1; j < v; ++j) mx = std::max(mx, row[j]);
+    double denom = 0.0;
+    for (int64_t j = 0; j < v; ++j) denom += std::exp(static_cast<double>(row[j] - mx));
+    const double log_denom = std::log(denom);
+    total += -(static_cast<double>(row[tgt] - mx) - log_denom);
+    for (int64_t j = 0; j < v; ++j) {
+      const float p = static_cast<float>(std::exp(static_cast<double>(row[j] - mx)) / denom);
+      drow[j] = (p - (j == tgt ? 1.0f : 0.0f)) * inv_n;
+    }
+  }
+  return {static_cast<float>(total / static_cast<double>(n)) * loss_scale,
+          std::move(dlogits)};
+}
+
+}  // namespace hanayo::model

@@ -1,0 +1,21 @@
+#pragma once
+// Token-level cross-entropy loss, computed at the route's final stage.
+
+#include <utility>
+
+#include "tensor/tensor.hpp"
+
+namespace hanayo::model {
+
+/// Softmax cross-entropy over the last dimension.
+///
+/// logits: [b, t, V] (or any shape flattening to [N, V]);
+/// targets: token ids with N entries (stored as floats).
+/// Returns {mean loss, dLoss/dlogits} where the gradient is already divided
+/// by N (and optionally by `loss_scale` — used to average across
+/// micro-batches so that pipeline runs match a full-batch baseline).
+std::pair<float, tensor::Tensor> cross_entropy(const tensor::Tensor& logits,
+                                               const tensor::Tensor& targets,
+                                               float loss_scale = 1.0f);
+
+}  // namespace hanayo::model

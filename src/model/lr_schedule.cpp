@@ -1,0 +1,49 @@
+#include "model/lr_schedule.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace hanayo::model {
+
+float LrSchedule::at(int64_t step) const {
+  if (step < 0) throw std::invalid_argument("LrSchedule::at: negative step");
+  if (kind == Kind::Constant) return base;
+
+  if (warmup > 0 && step < warmup) {
+    return base * static_cast<float>(step + 1) / static_cast<float>(warmup);
+  }
+  if (total <= warmup || step >= total) return min_lr;
+
+  const float progress = static_cast<float>(step - warmup) /
+                         static_cast<float>(total - warmup);
+  if (kind == Kind::WarmupLinear) {
+    return min_lr + (base - min_lr) * (1.0f - progress);
+  }
+  // WarmupCosine
+  const float cos_factor =
+      0.5f * (1.0f + std::cos(std::numbers::pi_v<float> * progress));
+  return min_lr + (base - min_lr) * cos_factor;
+}
+
+LrSchedule LrSchedule::constant(float base) {
+  return {Kind::Constant, base, 0, 0, 0.0f};
+}
+
+LrSchedule LrSchedule::warmup_linear(float base, int64_t warmup, int64_t total,
+                                     float min_lr) {
+  if (warmup < 0 || total < warmup) {
+    throw std::invalid_argument("warmup_linear: need 0 <= warmup <= total");
+  }
+  return {Kind::WarmupLinear, base, warmup, total, min_lr};
+}
+
+LrSchedule LrSchedule::warmup_cosine(float base, int64_t warmup, int64_t total,
+                                     float min_lr) {
+  if (warmup < 0 || total < warmup) {
+    throw std::invalid_argument("warmup_cosine: need 0 <= warmup <= total");
+  }
+  return {Kind::WarmupCosine, base, warmup, total, min_lr};
+}
+
+}  // namespace hanayo::model

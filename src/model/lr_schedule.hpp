@@ -1,0 +1,38 @@
+#pragma once
+// Learning-rate schedules for large-model training.
+//
+// BERT/GPT pre-training (the paper's workloads) universally uses linear
+// warmup followed by linear or cosine decay; the schedule is evaluated at
+// the synchronous flush, so every pipeline worker applies the same rate at
+// the same optimizer step regardless of the parallel layout.
+
+#include <cstdint>
+
+namespace hanayo::model {
+
+/// Value-type schedule: lr = at(step), step counting optimizer updates from 0.
+struct LrSchedule {
+  enum class Kind {
+    Constant,       ///< base forever
+    WarmupLinear,   ///< 0 -> base over `warmup`, then linear to min_lr at `total`
+    WarmupCosine,   ///< 0 -> base over `warmup`, then half-cosine to min_lr at `total`
+  };
+
+  Kind kind = Kind::Constant;
+  float base = 0.1f;
+  int64_t warmup = 0;  ///< steps of linear ramp (0 disables warmup)
+  int64_t total = 0;   ///< step at which decay reaches min_lr
+  float min_lr = 0.0f;
+
+  /// Learning rate at optimizer step `step` (>= 0). After `total`, decaying
+  /// schedules hold min_lr.
+  float at(int64_t step) const;
+
+  static LrSchedule constant(float base);
+  static LrSchedule warmup_linear(float base, int64_t warmup, int64_t total,
+                                  float min_lr = 0.0f);
+  static LrSchedule warmup_cosine(float base, int64_t warmup, int64_t total,
+                                  float min_lr = 0.0f);
+};
+
+}  // namespace hanayo::model

@@ -1,0 +1,200 @@
+#include "model/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hanayo::model {
+
+namespace {
+void check_shard(const ParamShard& s) {
+  if (s.param == nullptr || s.begin < 0 || s.end < s.begin ||
+      s.end > s.param->value.numel()) {
+    throw std::invalid_argument("step_shards: shard out of range");
+  }
+}
+}  // namespace
+
+double grad_sq_sum(const Param& p, int64_t begin, int64_t end) {
+  if (begin < 0 || end < begin || end > p.grad.numel()) {
+    throw std::invalid_argument("grad_sq_sum: range out of bounds");
+  }
+  double s = 0.0;
+  for (int64_t i = begin; i < end; ++i) {
+    s += static_cast<double>(p.grad[i]) * static_cast<double>(p.grad[i]);
+  }
+  return s;
+}
+
+void scale_grads(const std::vector<Param*>& params, float factor) {
+  for (Param* p : params) p->grad.scale_(factor);
+}
+
+Sgd::Sgd(float lr, float momentum) : lr_(lr), momentum_(momentum) {}
+
+void Sgd::step(const std::vector<Param*>& params) {
+  for (Param* p : params) {
+    if (momentum_ == 0.0f) {
+      const int64_t n = p->value.numel();
+      for (int64_t i = 0; i < n; ++i) p->value[i] -= lr_ * p->grad[i];
+      continue;
+    }
+    auto [it, inserted] = velocity_.try_emplace(p, p->value.shape());
+    tensor::Tensor& v = it->second;
+    const int64_t n = p->value.numel();
+    for (int64_t i = 0; i < n; ++i) {
+      v[i] = momentum_ * v[i] + p->grad[i];
+      p->value[i] -= lr_ * v[i];
+    }
+  }
+}
+
+void Sgd::step_shards(const std::vector<ParamShard>& shards) {
+  for (const ParamShard& s : shards) {
+    check_shard(s);
+    Param* p = s.param;
+    if (momentum_ == 0.0f) {
+      for (int64_t i = s.begin; i < s.end; ++i) {
+        p->value[i] -= lr_ * p->grad[i];
+      }
+      continue;
+    }
+    // Velocity is allocated at shard size; index i maps to i - begin.
+    auto [it, inserted] =
+        velocity_.try_emplace(p, tensor::Shape{s.end - s.begin});
+    tensor::Tensor& v = it->second;
+    if (v.numel() != s.end - s.begin) {
+      throw std::invalid_argument("Sgd::step_shards: shard bounds changed");
+    }
+    for (int64_t i = s.begin; i < s.end; ++i) {
+      const int64_t k = i - s.begin;
+      v[k] = momentum_ * v[k] + p->grad[i];
+      p->value[i] -= lr_ * v[k];
+    }
+  }
+}
+
+int64_t Sgd::state_bytes() const {
+  int64_t total = 0;
+  for (const auto& [p, v] : velocity_) total += v.bytes();
+  return total;
+}
+
+std::vector<std::pair<std::string, tensor::Tensor>> Sgd::state_snapshot(
+    const std::vector<Param*>& params) const {
+  std::vector<std::pair<std::string, tensor::Tensor>> out;
+  for (const Param* p : params) {
+    const auto it = velocity_.find(const_cast<Param*>(p));
+    if (it == velocity_.end()) continue;
+    if (it->second.numel() != p->value.numel()) {
+      throw std::logic_error("Sgd::state_snapshot: shard-sized state");
+    }
+    out.emplace_back("opt.sgd.v." + p->name, it->second);
+  }
+  return out;
+}
+
+void Sgd::load_state(const std::vector<Param*>& params,
+                     const std::map<std::string, tensor::Tensor>& state) {
+  for (Param* p : params) {
+    const auto it = state.find("opt.sgd.v." + p->name);
+    if (it == state.end()) continue;
+    if (it->second.numel() != p->value.numel()) {
+      throw std::invalid_argument("Sgd::load_state: shape mismatch for " +
+                                  p->name);
+    }
+    velocity_[p] = it->second;
+  }
+}
+
+AdamW::AdamW(float lr, float beta1, float beta2, float eps, float weight_decay)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps), wd_(weight_decay) {}
+
+void AdamW::step(const std::vector<Param*>& params) {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (Param* p : params) {
+    auto [it, inserted] = slots_.try_emplace(
+        p, Slot{tensor::Tensor(p->value.shape()), tensor::Tensor(p->value.shape())});
+    Slot& s = it->second;
+    const int64_t n = p->value.numel();
+    for (int64_t i = 0; i < n; ++i) {
+      const float g = p->grad[i];
+      s.m[i] = beta1_ * s.m[i] + (1.0f - beta1_) * g;
+      s.v[i] = beta2_ * s.v[i] + (1.0f - beta2_) * g * g;
+      const float mhat = s.m[i] / bc1;
+      const float vhat = s.v[i] / bc2;
+      p->value[i] -= lr_ * (mhat / (std::sqrt(vhat) + eps_) + wd_ * p->value[i]);
+    }
+  }
+}
+
+void AdamW::step_shards(const std::vector<ParamShard>& shards) {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (const ParamShard& sh : shards) {
+    check_shard(sh);
+    Param* p = sh.param;
+    const int64_t len = sh.end - sh.begin;
+    auto [it, inserted] = slots_.try_emplace(
+        p, Slot{tensor::Tensor(tensor::Shape{len}), tensor::Tensor(tensor::Shape{len})});
+    Slot& s = it->second;
+    if (s.m.numel() != len) {
+      throw std::invalid_argument("AdamW::step_shards: shard bounds changed");
+    }
+    for (int64_t i = sh.begin; i < sh.end; ++i) {
+      const int64_t k = i - sh.begin;
+      const float g = p->grad[i];
+      s.m[k] = beta1_ * s.m[k] + (1.0f - beta1_) * g;
+      s.v[k] = beta2_ * s.v[k] + (1.0f - beta2_) * g * g;
+      const float mhat = s.m[k] / bc1;
+      const float vhat = s.v[k] / bc2;
+      p->value[i] -= lr_ * (mhat / (std::sqrt(vhat) + eps_) + wd_ * p->value[i]);
+    }
+  }
+}
+
+int64_t AdamW::state_bytes() const {
+  int64_t total = 0;
+  for (const auto& [p, s] : slots_) total += s.m.bytes() + s.v.bytes();
+  return total;
+}
+
+std::vector<std::pair<std::string, tensor::Tensor>> AdamW::state_snapshot(
+    const std::vector<Param*>& params) const {
+  std::vector<std::pair<std::string, tensor::Tensor>> out;
+  tensor::Tensor t({1});
+  t[0] = static_cast<float>(t_);
+  out.emplace_back("opt.adamw.t", std::move(t));
+  for (const Param* p : params) {
+    const auto it = slots_.find(const_cast<Param*>(p));
+    if (it == slots_.end()) continue;
+    if (it->second.m.numel() != p->value.numel()) {
+      throw std::logic_error("AdamW::state_snapshot: shard-sized state");
+    }
+    out.emplace_back("opt.adamw.m." + p->name, it->second.m);
+    out.emplace_back("opt.adamw.v." + p->name, it->second.v);
+  }
+  return out;
+}
+
+void AdamW::load_state(const std::vector<Param*>& params,
+                       const std::map<std::string, tensor::Tensor>& state) {
+  if (const auto it = state.find("opt.adamw.t"); it != state.end()) {
+    t_ = static_cast<int64_t>(it->second[0]);
+  }
+  for (Param* p : params) {
+    const auto mi = state.find("opt.adamw.m." + p->name);
+    const auto vi = state.find("opt.adamw.v." + p->name);
+    if (mi == state.end() || vi == state.end()) continue;
+    if (mi->second.numel() != p->value.numel() ||
+        vi->second.numel() != p->value.numel()) {
+      throw std::invalid_argument("AdamW::load_state: shape mismatch for " +
+                                  p->name);
+    }
+    slots_[p] = Slot{mi->second, vi->second};
+  }
+}
+
+}  // namespace hanayo::model

@@ -1,0 +1,92 @@
+#include "model/partition.hpp"
+
+#include <stdexcept>
+
+namespace hanayo::model {
+
+namespace {
+
+/// Can `descs` be split into at most `stages` contiguous parts, each with
+/// total weight <= cap?
+bool feasible(const std::vector<double>& w, int stages, double cap) {
+  int used = 1;
+  double cur = 0.0;
+  for (double x : w) {
+    if (x > cap) return false;
+    if (cur + x > cap) {
+      ++used;
+      cur = x;
+      if (used > stages) return false;
+    } else {
+      cur += x;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<StageRange> partition_layers(const std::vector<LayerDesc>& descs,
+                                         int stages, int64_t tokens_per_mb) {
+  const int n = static_cast<int>(descs.size());
+  if (stages <= 0) throw std::invalid_argument("partition_layers: stages <= 0");
+  if (stages > n) {
+    throw std::invalid_argument("partition_layers: more stages than layers (" +
+                                std::to_string(stages) + " > " + std::to_string(n) + ")");
+  }
+  std::vector<double> w(static_cast<size_t>(n));
+  double lo = 0.0, hi = 0.0;
+  for (int i = 0; i < n; ++i) {
+    w[static_cast<size_t>(i)] = descs[static_cast<size_t>(i)].fwd_flops(tokens_per_mb);
+    lo = std::max(lo, w[static_cast<size_t>(i)]);
+    hi += w[static_cast<size_t>(i)];
+  }
+  // Binary search on the bottleneck capacity.
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (feasible(w, stages, mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  // Greedy fill at capacity `hi`, but never leave fewer layers than stages
+  // remaining (every stage must be non-empty).
+  std::vector<StageRange> out;
+  out.reserve(static_cast<size_t>(stages));
+  int begin = 0;
+  for (int s = 0; s < stages; ++s) {
+    const int remaining_stages = stages - s - 1;
+    int end = begin + 1;  // at least one layer
+    double cur = w[static_cast<size_t>(begin)];
+    while (end < n - remaining_stages && cur + w[static_cast<size_t>(end)] <= hi * (1.0 + 1e-9)) {
+      cur += w[static_cast<size_t>(end)];
+      ++end;
+    }
+    if (remaining_stages == 0) end = n;  // last stage takes the tail
+    out.push_back(StageRange{begin, end});
+    begin = end;
+  }
+  if (begin != n) {
+    // Capacity search should prevent this; guard anyway.
+    out.back().end = n;
+  }
+  return out;
+}
+
+StageStats stage_stats(const std::vector<LayerDesc>& descs,
+                       const StageRange& range, int64_t tokens_per_mb) {
+  StageStats s;
+  for (int i = range.begin; i < range.end; ++i) {
+    const LayerDesc& d = descs[static_cast<size_t>(i)];
+    s.fwd_flops += d.fwd_flops(tokens_per_mb);
+    s.param_bytes += d.param_count() * 4;
+    s.activation_bytes += d.activation_bytes(tokens_per_mb);
+  }
+  if (range.size() > 0) {
+    s.output_bytes = descs[static_cast<size_t>(range.end - 1)].output_bytes(tokens_per_mb);
+  }
+  return s;
+}
+
+}  // namespace hanayo::model

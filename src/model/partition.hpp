@@ -1,0 +1,40 @@
+#pragma once
+// Layer -> stage partitioner.
+//
+// Splits the network's layer list into S contiguous stages, balancing the
+// per-stage forward FLOPs (the quantity that sets T_F in the paper's cost
+// model). Used both by the runtime (to decide which layers a chunk owns) and
+// by the simulator (to cost each stage).
+
+#include <cstdint>
+#include <vector>
+
+#include "model/transformer.hpp"
+
+namespace hanayo::model {
+
+/// Half-open layer range [begin, end) of one stage.
+struct StageRange {
+  int begin = 0;
+  int end = 0;
+  int size() const { return end - begin; }
+};
+
+/// Balanced contiguous partition of `descs` into `stages` ranges, minimising
+/// the maximum per-stage FLOPs (exact, via binary search over capacity).
+/// Requires stages <= descs.size(); every stage receives >= 1 layer.
+std::vector<StageRange> partition_layers(const std::vector<LayerDesc>& descs,
+                                         int stages, int64_t tokens_per_mb);
+
+/// Per-stage summary used by cost and memory models.
+struct StageStats {
+  double fwd_flops = 0.0;       ///< forward FLOPs for one micro-batch
+  int64_t param_bytes = 0;      ///< weight bytes (fp32)
+  int64_t activation_bytes = 0; ///< saved-for-backward bytes per micro-batch
+  int64_t output_bytes = 0;     ///< activation bytes crossing to next stage
+};
+
+StageStats stage_stats(const std::vector<LayerDesc>& descs,
+                       const StageRange& range, int64_t tokens_per_mb);
+
+}  // namespace hanayo::model

@@ -1,0 +1,50 @@
+#include "model/scaler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hanayo::model {
+
+DynamicLossScaler::DynamicLossScaler(Options opt)
+    : opt_(opt), scale_(opt.initial_scale) {
+  if (opt.initial_scale <= 0 || opt.growth <= 1.0f || opt.backoff >= 1.0f ||
+      opt.backoff <= 0.0f || opt.growth_interval < 1) {
+    throw std::invalid_argument("DynamicLossScaler: bad options");
+  }
+}
+
+bool DynamicLossScaler::non_finite(float v) { return !std::isfinite(v); }
+
+bool DynamicLossScaler::unscale_and_check(const std::vector<Param*>& params) {
+  bool overflow = false;
+  for (const Param* p : params) {
+    const int64_t n = p->grad.numel();
+    for (int64_t i = 0; i < n && !overflow; ++i) {
+      if (non_finite(p->grad[i])) overflow = true;
+    }
+    if (overflow) break;
+  }
+
+  if (overflow) {
+    for (Param* p : params) p->zero_grad();
+    scale_ = std::max(opt_.min_scale, scale_ * opt_.backoff);
+    streak_ = 0;
+    ++skipped_;
+    return false;
+  }
+
+  const float inv = 1.0f / scale_;
+  for (Param* p : params) {
+    const int64_t n = p->grad.numel();
+    for (int64_t i = 0; i < n; ++i) p->grad[i] *= inv;
+  }
+  ++good_;
+  if (++streak_ >= opt_.growth_interval) {
+    scale_ = std::min(opt_.max_scale, scale_ * opt_.growth);
+    streak_ = 0;
+  }
+  return true;
+}
+
+}  // namespace hanayo::model

@@ -1,0 +1,58 @@
+#pragma once
+// Dynamic loss scaling for mixed-precision training (Micikevicius et al.,
+// cited by the paper's related work §6).
+//
+// With fp16 gradients, small values underflow to zero. The standard remedy
+// multiplies the loss by a scale S (so every gradient is S times larger),
+// and divides it back out before the optimizer step. The scale adapts:
+//  * if any gradient is non-finite (the scaled backward overflowed), the
+//    step is SKIPPED and S is multiplied by `backoff` (< 1);
+//  * after `growth_interval` consecutive good steps, S is multiplied by
+//    `growth` (> 1), probing for the largest safe scale.
+
+#include <cstdint>
+#include <vector>
+
+#include "model/layers.hpp"
+
+namespace hanayo::model {
+
+class DynamicLossScaler {
+ public:
+  struct Options {
+    float initial_scale = 65536.0f;
+    float growth = 2.0f;
+    float backoff = 0.5f;
+    int growth_interval = 2000;
+    float min_scale = 1.0f;
+    float max_scale = 16777216.0f;  // 2^24
+  };
+
+  DynamicLossScaler() : DynamicLossScaler(Options{}) {}
+  explicit DynamicLossScaler(Options opt);
+
+  /// Current multiplier to apply to the loss before backward.
+  float scale() const { return scale_; }
+
+  /// Number of steps skipped because of overflow, and taken successfully.
+  int64_t skipped_steps() const { return skipped_; }
+  int64_t good_steps() const { return good_; }
+
+  /// Inspects the (scaled) gradients. If all are finite, divides them by
+  /// the scale in place and returns true (caller should step the
+  /// optimizer). Otherwise zeroes them, backs the scale off, and returns
+  /// false (caller must skip the step).
+  bool unscale_and_check(const std::vector<Param*>& params);
+
+  /// True if `v` is NaN or ±inf (exposed for tests).
+  static bool non_finite(float v);
+
+ private:
+  Options opt_;
+  float scale_;
+  int streak_ = 0;
+  int64_t skipped_ = 0;
+  int64_t good_ = 0;
+};
+
+}  // namespace hanayo::model

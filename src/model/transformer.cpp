@@ -1,0 +1,442 @@
+#include "model/transformer.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace hanayo::model {
+
+// ------------------------------------------------------------- LayerDesc
+
+int64_t LayerDesc::param_count() const {
+  switch (type) {
+    case Type::Embedding:
+      return vocab * hidden + seq * hidden;
+    case Type::Block:
+      // qkv: h*3h + 3h, out: h*h + h, 2 LN: 4h, mlp: h*f + f + f*h + h
+      return hidden * 3 * hidden + 3 * hidden + hidden * hidden + hidden +
+             4 * hidden + hidden * ffn + ffn + ffn * hidden + hidden;
+    case Type::AttnHalf:
+      return hidden * 3 * hidden + 3 * hidden + hidden * hidden + hidden +
+             2 * hidden;
+    case Type::MlpHalf:
+      return 2 * hidden + hidden * ffn + ffn + ffn * hidden + hidden;
+    case Type::FinalNorm:
+      return 2 * hidden;
+    case Type::LMHead:
+      return hidden * vocab + vocab;
+  }
+  return 0;
+}
+
+double LayerDesc::fwd_flops(int64_t tokens) const {
+  const double t = static_cast<double>(tokens);
+  const double h = static_cast<double>(hidden);
+  switch (type) {
+    case Type::Embedding:
+      return t * h;  // gather + add
+    case Type::Block: {
+      const double f = static_cast<double>(ffn);
+      const double qkv = 2.0 * t * h * 3.0 * h;
+      const double attn = 2.0 * 2.0 * t * static_cast<double>(seq) * h;
+      const double out = 2.0 * t * h * h;
+      const double mlp = 2.0 * t * h * f * 2.0;
+      return qkv + attn + out + mlp;
+    }
+    case Type::AttnHalf: {
+      const double qkv = 2.0 * t * h * 3.0 * h;
+      const double attn = 2.0 * 2.0 * t * static_cast<double>(seq) * h;
+      const double out = 2.0 * t * h * h;
+      return qkv + attn + out;
+    }
+    case Type::MlpHalf:
+      return 2.0 * t * h * static_cast<double>(ffn) * 2.0;
+    case Type::FinalNorm:
+      return 8.0 * t * h;
+    case Type::LMHead:
+      return 2.0 * t * h * static_cast<double>(vocab);
+  }
+  return 0.0;
+}
+
+int64_t LayerDesc::activation_bytes(int64_t tokens) const {
+  // Mixed-precision training (the paper's setup): activations are fp16.
+  const int64_t f4 = 2;
+  switch (type) {
+    case Type::Embedding:
+      return tokens * f4;  // cached token ids
+    case Type::Block: {
+      // ln1 xhat + qkv + probs + ctx + ln2 xhat + fc1 in + gelu in + fc2 in
+      const int64_t probs = (tokens / (seq > 0 ? seq : 1)) * heads * seq * seq;
+      return (tokens * hidden * 5 + tokens * 3 * hidden + probs +
+              tokens * ffn * 2) * f4;
+    }
+    case Type::AttnHalf: {
+      const int64_t probs = (tokens / (seq > 0 ? seq : 1)) * heads * seq * seq;
+      return (tokens * hidden * 4 + tokens * 3 * hidden + probs) * f4;
+    }
+    case Type::MlpHalf:
+      return (tokens * hidden * 2 + tokens * ffn * 2) * f4;
+    case Type::FinalNorm:
+      return tokens * hidden * f4;
+    case Type::LMHead:
+      return tokens * hidden * f4;
+  }
+  return 0;
+}
+
+int64_t LayerDesc::output_bytes(int64_t tokens) const {
+  // fp16 activations cross stage boundaries in mixed-precision training.
+  switch (type) {
+    case Type::LMHead:
+      return tokens * vocab * 2;
+    default:
+      return tokens * hidden * 2;
+  }
+}
+
+// ------------------------------------------------------------ ModelConfig
+
+ModelConfig ModelConfig::gpt_paper() {
+  ModelConfig c;
+  c.name = "gpt-128L";
+  c.layers = 128;
+  c.heads = 16;
+  c.hidden = 1024;
+  c.vocab = 50257;
+  c.seq = 1024;
+  c.causal = true;
+  return c;
+}
+
+ModelConfig ModelConfig::bert_paper() {
+  ModelConfig c;
+  c.name = "bert-64L";
+  c.layers = 64;
+  c.heads = 64;
+  c.hidden = 2560;
+  c.vocab = 30522;
+  c.seq = 512;
+  c.causal = false;
+  return c;
+}
+
+ModelConfig ModelConfig::tiny(int64_t layers, int64_t hidden, int64_t heads,
+                              int64_t vocab, int64_t seq, bool causal) {
+  ModelConfig c;
+  c.name = "tiny";
+  c.layers = layers;
+  c.hidden = hidden;
+  c.heads = heads;
+  c.vocab = vocab;
+  c.seq = seq;
+  c.causal = causal;
+  return c;
+}
+
+namespace {
+ModelConfig preset(const char* name, int64_t layers, int64_t heads,
+                   int64_t hidden, int64_t vocab, int64_t seq, bool causal) {
+  ModelConfig c;
+  c.name = name;
+  c.layers = layers;
+  c.heads = heads;
+  c.hidden = hidden;
+  c.vocab = vocab;
+  c.seq = seq;
+  c.causal = causal;
+  return c;
+}
+}  // namespace
+
+ModelConfig ModelConfig::gpt2_small() {
+  return preset("gpt2-small", 12, 12, 768, 50257, 1024, true);
+}
+ModelConfig ModelConfig::gpt2_medium() {
+  return preset("gpt2-medium", 24, 16, 1024, 50257, 1024, true);
+}
+ModelConfig ModelConfig::gpt2_xl() {
+  return preset("gpt2-xl", 48, 25, 1600, 50257, 1024, true);
+}
+ModelConfig ModelConfig::bert_base() {
+  return preset("bert-base", 12, 12, 768, 30522, 512, false);
+}
+ModelConfig ModelConfig::bert_large() {
+  return preset("bert-large", 24, 16, 1024, 30522, 512, false);
+}
+
+std::vector<LayerDesc> ModelConfig::layer_descs() const {
+  std::vector<LayerDesc> out;
+  out.reserve(static_cast<size_t>(layers + 3));
+  int idx = 0;
+  LayerDesc emb;
+  emb.type = LayerDesc::Type::Embedding;
+  emb.index = idx++;
+  emb.hidden = hidden;
+  emb.vocab = vocab;
+  emb.seq = seq;
+  emb.causal = causal;
+  out.push_back(emb);
+  for (int64_t i = 0; i < layers; ++i) {
+    LayerDesc b;
+    b.index = idx;
+    b.hidden = hidden;
+    b.heads = heads;
+    b.ffn = 4 * hidden;
+    b.seq = seq;
+    b.causal = causal;
+    if (split_blocks) {
+      b.type = LayerDesc::Type::AttnHalf;
+      b.index = idx++;
+      out.push_back(b);
+      b.type = LayerDesc::Type::MlpHalf;
+      b.index = idx++;
+      out.push_back(b);
+    } else {
+      b.type = LayerDesc::Type::Block;
+      b.index = idx++;
+      out.push_back(b);
+    }
+  }
+  LayerDesc fn;
+  fn.type = LayerDesc::Type::FinalNorm;
+  fn.index = idx++;
+  fn.hidden = hidden;
+  fn.seq = seq;
+  out.push_back(fn);
+  LayerDesc head;
+  head.type = LayerDesc::Type::LMHead;
+  head.index = idx++;
+  head.hidden = hidden;
+  head.vocab = vocab;
+  head.seq = seq;
+  out.push_back(head);
+  return out;
+}
+
+int64_t ModelConfig::total_params() const {
+  int64_t n = 0;
+  for (const LayerDesc& d : layer_descs()) n += d.param_count();
+  return n;
+}
+
+// ----------------------------------------------------------------- Block
+
+Block::Block(std::string name, int64_t hidden, int64_t heads, bool causal,
+             Rng& rng, float init_std)
+    : name_(std::move(name)),
+      ln1_(name_ + ".ln1", hidden),
+      attn_(name_ + ".attn", hidden, heads, causal, rng, init_std),
+      ln2_(name_ + ".ln2", hidden),
+      fc1_(name_ + ".fc1", hidden, 4 * hidden, rng, init_std),
+      act_(name_ + ".gelu"),
+      fc2_(name_ + ".fc2", 4 * hidden, hidden, rng, init_std) {}
+
+Tensor Block::forward(const Tensor& x, int mb) {
+  Tensor a = attn_.forward(ln1_.forward(x, mb), mb);
+  Tensor r1 = tensor::add(x, a);
+  Tensor m = fc2_.forward(act_.forward(fc1_.forward(ln2_.forward(r1, mb), mb), mb), mb);
+  return tensor::add(r1, m);
+}
+
+Tensor Block::backward(const Tensor& dy, int mb) {
+  // y = r1 + mlp(ln2(r1)); dy flows to both branches.
+  Tensor dmlp = ln2_.backward(
+      fc1_.backward(act_.backward(fc2_.backward(dy, mb), mb), mb), mb);
+  Tensor dr1 = tensor::add(dy, dmlp);
+  // r1 = x + attn(ln1(x))
+  Tensor dattn = ln1_.backward(attn_.backward(dr1, mb), mb);
+  return tensor::add(dr1, dattn);
+}
+
+void Block::collect_params(std::vector<Param*>& out) {
+  ln1_.collect_params(out);
+  attn_.collect_params(out);
+  ln2_.collect_params(out);
+  fc1_.collect_params(out);
+  fc2_.collect_params(out);
+}
+
+int64_t Block::cached_bytes() const {
+  return ln1_.cached_bytes() + attn_.cached_bytes() + ln2_.cached_bytes() +
+         fc1_.cached_bytes() + act_.cached_bytes() + fc2_.cached_bytes();
+}
+
+void Block::drop_cache(int mb) {
+  ln1_.drop_cache(mb);
+  attn_.drop_cache(mb);
+  ln2_.drop_cache(mb);
+  fc1_.drop_cache(mb);
+  act_.drop_cache(mb);
+  fc2_.drop_cache(mb);
+}
+
+// ---------------------------------------------------------- AttnResidual
+
+AttnResidual::AttnResidual(std::string name, int64_t hidden, int64_t heads,
+                           bool causal, Rng& rng, float init_std)
+    : name_(std::move(name)),
+      ln_(name_ + ".ln", hidden),
+      attn_(name_ + ".attn", hidden, heads, causal, rng, init_std) {}
+
+Tensor AttnResidual::forward(const Tensor& x, int mb) {
+  return tensor::add(x, attn_.forward(ln_.forward(x, mb), mb));
+}
+
+Tensor AttnResidual::backward(const Tensor& dy, int mb) {
+  Tensor dbranch = ln_.backward(attn_.backward(dy, mb), mb);
+  return tensor::add(dy, dbranch);
+}
+
+void AttnResidual::collect_params(std::vector<Param*>& out) {
+  ln_.collect_params(out);
+  attn_.collect_params(out);
+}
+
+int64_t AttnResidual::cached_bytes() const {
+  return ln_.cached_bytes() + attn_.cached_bytes();
+}
+
+void AttnResidual::drop_cache(int mb) {
+  ln_.drop_cache(mb);
+  attn_.drop_cache(mb);
+}
+
+// ----------------------------------------------------------- MlpResidual
+
+MlpResidual::MlpResidual(std::string name, int64_t hidden, Rng& rng,
+                         float init_std)
+    : name_(std::move(name)),
+      ln_(name_ + ".ln", hidden),
+      fc1_(name_ + ".fc1", hidden, 4 * hidden, rng, init_std),
+      act_(name_ + ".gelu"),
+      fc2_(name_ + ".fc2", 4 * hidden, hidden, rng, init_std) {}
+
+Tensor MlpResidual::forward(const Tensor& x, int mb) {
+  Tensor m = fc2_.forward(act_.forward(fc1_.forward(ln_.forward(x, mb), mb), mb), mb);
+  return tensor::add(x, m);
+}
+
+Tensor MlpResidual::backward(const Tensor& dy, int mb) {
+  Tensor dbranch = ln_.backward(
+      fc1_.backward(act_.backward(fc2_.backward(dy, mb), mb), mb), mb);
+  return tensor::add(dy, dbranch);
+}
+
+void MlpResidual::collect_params(std::vector<Param*>& out) {
+  ln_.collect_params(out);
+  fc1_.collect_params(out);
+  fc2_.collect_params(out);
+}
+
+int64_t MlpResidual::cached_bytes() const {
+  return ln_.cached_bytes() + fc1_.cached_bytes() + act_.cached_bytes() +
+         fc2_.cached_bytes();
+}
+
+void MlpResidual::drop_cache(int mb) {
+  ln_.drop_cache(mb);
+  fc1_.drop_cache(mb);
+  act_.drop_cache(mb);
+  fc2_.drop_cache(mb);
+}
+
+// ------------------------------------------------------------ build_layer
+
+std::unique_ptr<Layer> build_layer(const LayerDesc& d, uint64_t base_seed,
+                                   float init_std) {
+  // One RNG per layer, seeded by the global layer index: init is independent
+  // of which worker builds the layer and of build order.
+  Rng rng(base_seed * 0x1000193ULL + static_cast<uint64_t>(d.index) + 1);
+  const std::string nm = "L" + std::to_string(d.index);
+  switch (d.type) {
+    case LayerDesc::Type::Embedding:
+      return std::make_unique<Embedding>(nm + ".emb", d.vocab, d.seq, d.hidden,
+                                         rng, init_std);
+    case LayerDesc::Type::Block:
+      return std::make_unique<Block>(nm + ".blk", d.hidden, d.heads, d.causal,
+                                     rng, init_std);
+    case LayerDesc::Type::AttnHalf:
+      return std::make_unique<AttnResidual>(nm + ".attn", d.hidden, d.heads,
+                                            d.causal, rng, init_std);
+    case LayerDesc::Type::MlpHalf:
+      return std::make_unique<MlpResidual>(nm + ".mlp", d.hidden, rng, init_std);
+    case LayerDesc::Type::FinalNorm:
+      return std::make_unique<LayerNorm>(nm + ".lnf", d.hidden);
+    case LayerDesc::Type::LMHead:
+      return std::make_unique<Linear>(nm + ".head", d.hidden, d.vocab, rng,
+                                      init_std);
+  }
+  throw std::logic_error("build_layer: unknown type");
+}
+
+// ------------------------------------------------------------ StageModule
+
+StageModule::StageModule(const std::vector<LayerDesc>& descs, int begin,
+                         int end, uint64_t base_seed, float init_std)
+    : begin_(begin), end_(end) {
+  if (begin < 0 || end > static_cast<int>(descs.size()) || begin > end) {
+    throw std::invalid_argument("StageModule: bad layer range");
+  }
+  for (int i = begin; i < end; ++i) {
+    layers_.push_back(build_layer(descs[static_cast<size_t>(i)], base_seed, init_std));
+  }
+}
+
+Tensor StageModule::forward(const Tensor& x, int mb) {
+  Tensor h = x;
+  for (auto& l : layers_) h = l->forward(h, mb);
+  if (recompute_) {
+    for (auto& l : layers_) l->drop_cache(mb);
+    saved_inputs_[mb] = x;
+  }
+  return h;
+}
+
+Tensor StageModule::backward(const Tensor& dy, int mb) {
+  if (recompute_) {
+    const auto it = saved_inputs_.find(mb);
+    if (it == saved_inputs_.end()) {
+      throw std::logic_error("StageModule: recompute backward without forward");
+    }
+    // Rebuild the caches with a second forward pass (deterministic, so the
+    // gradients are bit-identical to the cached path).
+    Tensor h = it->second;
+    for (auto& l : layers_) h = l->forward(h, mb);
+    saved_inputs_.erase(it);
+  }
+  Tensor g = dy;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g, mb);
+  }
+  return g;
+}
+
+std::vector<Param*> StageModule::params() {
+  std::vector<Param*> out;
+  for (auto& l : layers_) l->collect_params(out);
+  return out;
+}
+
+void StageModule::zero_grads() {
+  for (Param* p : params()) p->zero_grad();
+}
+
+int64_t StageModule::cached_bytes() const {
+  int64_t b = 0;
+  for (const auto& l : layers_) b += l->cached_bytes();
+  for (const auto& [mb, t] : saved_inputs_) b += t.bytes();
+  return b;
+}
+
+int64_t StageModule::param_count() const {
+  int64_t n = 0;
+  for (const auto& l : layers_) {
+    std::vector<Param*> ps;
+    const_cast<Layer&>(*l).collect_params(ps);
+    for (Param* p : ps) n += p->value.numel();
+  }
+  return n;
+}
+
+}  // namespace hanayo::model

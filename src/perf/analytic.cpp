@@ -1,0 +1,77 @@
+#include "perf/analytic.hpp"
+
+#include <algorithm>
+
+namespace hanayo::perf {
+
+namespace {
+double ratio(double bubble, double compute) {
+  return bubble / (compute + bubble);
+}
+}  // namespace
+
+double bubble_ratio_gpipe(const AnalyticParams& p) {
+  const double bubble = (p.P - 1) * (p.tf + p.tb + 2.0 * p.tc);
+  return ratio(bubble, p.B * (p.tf + p.tb));
+}
+
+double bubble_ratio_dapple(const AnalyticParams& p) {
+  // Same fill/drain bubble as GPipe; 1F1B changes memory, not idle time.
+  return bubble_ratio_gpipe(p);
+}
+
+double bubble_ratio_gems(const AnalyticParams& p) {
+  const double bubble = (p.P - 1) * (p.tf + p.tb + 2.0 * p.tc) +
+                        (p.B / 2.0 - 1.0) * p.tb;
+  return ratio(bubble, p.B * (p.tf + p.tb));
+}
+
+double bubble_ratio_chimera(const AnalyticParams& p) {
+  const double bubble = (p.P / 2.0 - 1.0) * (p.tf + p.tb + 2.0 * p.tc);
+  return ratio(bubble, p.B * (p.tf + p.tb));
+}
+
+double bubble_ratio_interleaved(const AnalyticParams& p, int V) {
+  const double bubble = (p.P - 1) * (p.tf + p.tb) / std::max(1, V) +
+                        (p.P - 1) * 2.0 * p.tc;
+  return ratio(bubble, p.B * (p.tf + p.tb));
+}
+
+double bubble_ratio_hanayo(const AnalyticParams& p) {
+  const double P = p.P, W = std::max(1, p.W);
+  const double num = (1.0 / W) * p.tb +
+                     (1.0 + 2.0 * W + 2.0 / P + (P - 2.0) / 3.0) * p.tc;
+  const double den = (P / (P - 1.0)) * p.tf +
+                     (1.0 / (2.0 * W) + P / (P - 1.0)) * p.tb +
+                     ((P - 2.0) / 2.0 + 4.0 * W) * p.tc;
+  return num / den;
+}
+
+double bubble_ratio_hanayo_simplified(int P, int W) {
+  return (2.0 * P - 2.0) / (3.0 * P * W + P - 1.0);
+}
+
+double weight_factor_gpipe() { return 1.0; }
+double weight_factor_dapple() { return 1.0; }
+double weight_factor_chimera() { return 2.0; }
+double weight_factor_hanayo() { return 1.0; }
+
+double act_units_gpipe(int B) {
+  // Every micro-batch's activation is alive simultaneously on each device.
+  return B;
+}
+
+double act_units_dapple(int P, int B) {
+  // Device 0 warms up with min(P, B) in-flight activations.
+  return std::min(P, B);
+}
+
+double act_units_hanayo(int P, int W, int B) {
+  // Device 0 holds the first chunk's warmup (up to ~P micro-batches) plus
+  // one activation for each of its later chunks, each 1/(2W) the size of a
+  // DAPPLE stage activation.
+  const double cap = std::min(P, B);
+  return (cap + (2.0 * W - 1.0)) / (2.0 * W);
+}
+
+}  // namespace hanayo::perf

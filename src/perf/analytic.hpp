@@ -1,0 +1,54 @@
+#pragma once
+// Closed-form performance model (paper §3.4, Fig. 1, Fig. 2).
+//
+// Symbols follow the paper's Table 1: P workers, B micro-batches, W waves,
+// T_F / T_B the per-worker forward/backward time of one micro-batch
+// (a complete pass divided by P), T_C one P2P transfer.
+//
+// Bubble-time formulas (per device, one iteration):
+//   GPipe / DAPPLE : (P-1)(T_F + T_B)           [classic fill/drain]
+//   GEMS           : (P-1)(T_F + T_B) + (B/2-1) T_B
+//                    (two active micro-batches; the replica pair hides the
+//                    second forward but not the backwards — modelled after
+//                    the characterisation in the Chimera paper; only used
+//                    for Fig. 1)
+//   Chimera (2 rep): (P/2-1)(T_F + T_B)          [bidirectional halves it]
+//   Hanayo (W)     : paper Eq. (1), which with T_C = 0 and T_B = 2 T_F
+//                    simplifies to (2P-2)/(3PW + P - 1).
+// Ratios are bubble / (compute + bubble), compute = B (T_F + T_B).
+
+namespace hanayo::perf {
+
+struct AnalyticParams {
+  int P = 8;
+  int B = 8;
+  int W = 1;       ///< waves (Hanayo only)
+  double tf = 1.0; ///< T_F
+  double tb = 2.0; ///< T_B
+  double tc = 0.0; ///< T_C
+};
+
+double bubble_ratio_gpipe(const AnalyticParams& p);
+double bubble_ratio_dapple(const AnalyticParams& p);
+double bubble_ratio_gems(const AnalyticParams& p);
+double bubble_ratio_chimera(const AnalyticParams& p);
+/// Megatron interleaved 1F1B with V chunks: fill/drain shrinks by 1/V.
+double bubble_ratio_interleaved(const AnalyticParams& p, int V);
+/// Paper Eq. (1), verbatim.
+double bubble_ratio_hanayo(const AnalyticParams& p);
+/// The simplified closed form (2P-2)/(3PW+P-1); valid for tb = 2 tf, tc = 0.
+double bubble_ratio_hanayo_simplified(int P, int W);
+
+/// Fig. 2 memory rows: weight copies per device relative to one model / P.
+double weight_factor_gpipe();
+double weight_factor_dapple();
+double weight_factor_chimera();
+double weight_factor_hanayo();
+
+/// Peak activation count (in units of one stage's activation) on the most
+/// loaded device, per Fig. 3's Ma axes.
+double act_units_gpipe(int B);
+double act_units_dapple(int P, int B);
+double act_units_hanayo(int P, int W, int B);
+
+}  // namespace hanayo::perf

@@ -1,0 +1,59 @@
+#pragma once
+// Cost-model calibration against the real runtime.
+//
+// The simulator's inputs — seconds per FLOP, the backward/forward ratio,
+// link bandwidth and latency — are normally taken from hardware specs
+// (sim/cluster.cpp). This module measures them instead, on the machine the
+// library is actually running on: stage compute is timed on the real
+// tensor/model stack, and the P2P parameters are fitted from ping-pong
+// round trips through the real transport. A simulator fed with calibrated
+// numbers predicts *this* machine's pipeline behaviour, which is how the
+// paper's Fig. 10-style search would be driven in practice.
+
+#include "model/transformer.hpp"
+#include "sim/cluster.hpp"
+#include "sim/cost_model.hpp"
+
+namespace hanayo::perf {
+
+struct Calibration {
+  /// Seconds of compute per forward FLOP on this machine.
+  double sec_per_flop = 0.0;
+  /// Measured T_B / T_F (the paper assumes 2.0).
+  double bwd_fwd_ratio = 2.0;
+  /// Fitted transport bandwidth (bytes/s) and per-message latency (s).
+  double bytes_per_s = 0.0;
+  double latency_s = 0.0;
+
+  bool valid() const {
+    return sec_per_flop > 0 && bwd_fwd_ratio > 0 && bytes_per_s > 0 &&
+           latency_s >= 0;
+  }
+};
+
+/// Times forwards/backwards of the full model on one micro-batch of
+/// `mb_sequences` sequences, repeated `repeats` times; returns seconds per
+/// FLOP and the measured backward/forward ratio.
+Calibration calibrate_compute(const model::ModelConfig& cfg, int mb_sequences,
+                              int repeats = 3);
+
+/// Fits (latency, bandwidth) of the in-process transport from ping-pong
+/// round trips at a small and a large payload. Fills the comm fields of
+/// `cal` in place.
+void calibrate_comm(Calibration& cal, int repeats = 50);
+
+/// Runs both calibrations.
+Calibration calibrate(const model::ModelConfig& cfg, int mb_sequences,
+                      int compute_repeats = 3, int comm_repeats = 50);
+
+/// A homogeneous cluster whose parameters are this machine's measurements:
+/// feeding it to the simulator predicts local pipeline runs.
+sim::Cluster calibrated_cluster(int devices, const Calibration& cal,
+                                double mem_bytes = 64e9);
+
+/// Per-stage costs for `cfg` split into `stages`, using the measured
+/// sec_per_flop and bwd/fwd ratio instead of the spec-derived defaults.
+sim::PipelineCosts calibrated_costs(const model::ModelConfig& cfg, int stages,
+                                    int mb_sequences, const Calibration& cal);
+
+}  // namespace hanayo::perf

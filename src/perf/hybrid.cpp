@@ -1,0 +1,175 @@
+#include "perf/hybrid.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "schedule/validate.hpp"
+
+namespace hanayo::perf {
+
+using schedule::Algo;
+
+std::string HybridCandidate::to_string() const {
+  std::ostringstream os;
+  os << "T=" << T << " " << pipe.to_string();
+  if (usable() && tp_comm_s > 0.0) {
+    os << ", tp-comm " << tp_comm_s << " s/mb";
+  }
+  return os.str();
+}
+
+double tp_allreduce_seconds(double bytes, int T, double bw, double lat) {
+  if (T <= 1) return 0.0;
+  // Ring allreduce: 2(T−1)/T of the payload crosses each link, plus one
+  // latency per step (2(T−1) steps).
+  return 2.0 * (T - 1) / static_cast<double>(T) * bytes / bw +
+         2.0 * (T - 1) * lat;
+}
+
+namespace {
+
+/// The cluster's best link (TP groups are mapped onto the fastest
+/// interconnect, as Megatron does with NVLink inside a node).
+std::pair<double, double> best_link(const sim::Cluster& cluster) {
+  double bw = 0.0, lat = 1.0;
+  for (int i = 0; i < cluster.devices; ++i) {
+    for (int j = 0; j < cluster.devices; ++j) {
+      if (i == j) continue;
+      if (cluster.bandwidth(i, j) > bw) {
+        bw = cluster.bandwidth(i, j);
+        lat = cluster.lat(i, j);
+      }
+    }
+  }
+  return {bw, lat};
+}
+
+}  // namespace
+
+HybridCandidate evaluate_hybrid(const model::ModelConfig& m,
+                                const sim::Cluster& cluster, Algo algo, int T,
+                                int D, int P, int W, int B, int mb_sequences) {
+  if (T < 1) throw std::invalid_argument("evaluate_hybrid: T >= 1");
+  HybridCandidate hc;
+  hc.T = T;
+  if (T == 1) {
+    hc.pipe = evaluate(m, cluster, algo, D, P, W, B, mb_sequences);
+    return hc;
+  }
+
+  // Reproduce evaluate()'s feasibility checks on the sharded model.
+  Candidate& c = hc.pipe;
+  c.algo = algo;
+  c.D = D;
+  c.P = P;
+  c.W = W;
+  c.B = B;
+  c.mb_sequences = mb_sequences;
+  if (algo == Algo::Chimera && (P % 2 != 0 || B < 2)) {
+    c.feasible = false;
+    c.note = "Chimera needs even P and B >= 2";
+    return hc;
+  }
+  schedule::ScheduleRequest req;
+  req.algo = algo;
+  req.P = P;
+  req.B = B;
+  req.waves = W;
+  req.vchunks = W;
+  const int S = schedule::stages_for(req);
+  const int total_layers = static_cast<int>(m.layer_descs().size());
+  if (S > total_layers) {
+    c.feasible = false;
+    c.note = "stages (" + std::to_string(S) + ") exceed layers (" +
+             std::to_string(total_layers) + ")";
+    return hc;
+  }
+
+  sim::PipelineCosts costs = sim::compute_costs(m, S, mb_sequences, cluster);
+
+  // Shard compute / weights / resident activations by T; boundary traffic
+  // is unchanged (the full hidden activation crosses stage boundaries).
+  for (double& v : costs.fwd_s) v /= T;
+  for (double& v : costs.bwd_s) v /= T;
+  for (double& v : costs.weight_bytes) v /= T;
+  for (double& v : costs.act_bytes) v /= T;
+
+  // TP collectives: 2 allreduces per block per forward (and per backward)
+  // of one [mb, seq, hidden] fp16 activation, distributed over the stages
+  // proportionally to their compute share.
+  const auto [bw, lat] = best_link(cluster);
+  const double act_bytes =
+      static_cast<double>(mb_sequences) * m.seq * m.hidden * 2.0;
+  const double per_block = 2.0 * tp_allreduce_seconds(act_bytes, T, bw, lat);
+  const double total_fwd_tp = per_block * static_cast<double>(m.layers);
+  const double fwd_total = costs.total_fwd();
+  hc.tp_comm_s = 2.0 * total_fwd_tp;  // forward + backward
+  if (fwd_total > 0.0) {
+    for (size_t s = 0; s < costs.fwd_s.size(); ++s) {
+      const double share = costs.fwd_s[s] / fwd_total;
+      costs.fwd_s[s] += total_fwd_tp * share;
+      costs.bwd_s[s] += total_fwd_tp * share;
+    }
+  }
+
+  const schedule::Schedule sched = schedule::make_schedule(req);
+  sim::SimOptions opt;
+  opt.dp = D;
+  opt.devmap = sim::DeviceMap{P, 0};
+  const sim::SimResult res = sim::simulate(sched, costs, cluster, opt);
+
+  c.throughput_seq_s = res.throughput_seq_per_s(B * mb_sequences) * D;
+  c.bubble_ratio = res.bubble_ratio;
+  double peak = 0.0;
+  for (double x : res.peak_mem_bytes) peak = std::max(peak, x);
+  c.peak_mem_gb = peak / 1e9;
+  c.oom = res.oom;
+  return hc;
+}
+
+std::vector<HybridCandidate> plan_hybrid(const HybridRequest& req) {
+  std::vector<HybridCandidate> out;
+  const int N = req.total_devices;
+  for (const int T : req.tp_options) {
+    if (T < 1 || N % T != 0) continue;
+    const int rest = N / T;
+    for (int P = req.min_pipeline; P <= rest; ++P) {
+      if (rest % P != 0) continue;
+      const int D = rest / P;
+      const int per_replica = req.batch_sequences / D;
+      if (per_replica < 1) continue;
+      for (int mb_seq = 1; mb_seq <= per_replica; mb_seq *= 2) {
+        if (per_replica % mb_seq != 0) continue;
+        const int B = per_replica / mb_seq;
+        for (Algo algo : req.algos) {
+          if (algo == Algo::Hanayo || algo == Algo::Interleaved) {
+            for (int W : req.wave_options) {
+              out.push_back(evaluate_hybrid(req.model, req.cluster, algo, T,
+                                            D, P, W, B, mb_seq));
+            }
+          } else {
+            out.push_back(evaluate_hybrid(req.model, req.cluster, algo, T, D,
+                                          P, 1, B, mb_seq));
+          }
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HybridCandidate& a, const HybridCandidate& b) {
+              if (a.usable() != b.usable()) return a.usable();
+              return a.pipe.throughput_seq_s > b.pipe.throughput_seq_s;
+            });
+  return out;
+}
+
+std::optional<HybridCandidate> best_hybrid(
+    const std::vector<HybridCandidate>& cands) {
+  for (const HybridCandidate& c : cands) {
+    if (c.usable()) return c;
+  }
+  return std::nullopt;
+}
+
+}  // namespace hanayo::perf

@@ -1,0 +1,68 @@
+#pragma once
+// Hybrid tensor x data x pipeline parallelism planning.
+//
+// The paper's related work (§6): "Megatron-LM combines tensor parallelism
+// and pipeline parallelism for large model training, utilizing tensor
+// parallelism within nodes and pipeline parallelism between nodes." This
+// module adds the tensor-parallel (TP) axis to the §5.3 configuration
+// search as an analytic overlay on the pipeline simulator:
+//
+//  * compute, weights and resident activations per device divide by T
+//    (Megatron shards attention heads and the MLP inner dimension);
+//  * every transformer block pays 2 activation-sized allreduces across the
+//    TP group per forward and 2 per backward (ring time over the cluster's
+//    fastest links — TP is always mapped to the best interconnect);
+//  * stage-boundary P2P volumes are unchanged (the [b, t, h] activation is
+//    replicated across the TP group at layer boundaries).
+//
+// A configuration uses T * D * P devices. TP trades compute for collective
+// communication, so it wins exactly where the paper says it does: on fast
+// intra-node links, and when the pipeline axis is exhausted (more stages
+// than layers).
+
+#include "perf/planner.hpp"
+
+namespace hanayo::perf {
+
+struct HybridCandidate {
+  Candidate pipe;          ///< the pipeline-level evaluation (per TP shard)
+  int T = 1;               ///< tensor-parallel degree
+  double tp_comm_s = 0.0;  ///< TP allreduce seconds added per micro-batch
+                           ///< forward+backward of the whole model
+
+  bool usable() const { return pipe.feasible && !pipe.oom; }
+  std::string to_string() const;
+};
+
+struct HybridRequest {
+  model::ModelConfig model;
+  sim::Cluster cluster;
+  int total_devices = 8;
+  int batch_sequences = 8;
+  std::vector<int> tp_options = {1, 2, 4, 8};
+  std::vector<schedule::Algo> algos = {
+      schedule::Algo::GPipe, schedule::Algo::Dapple, schedule::Algo::Chimera,
+      schedule::Algo::ChimeraWave, schedule::Algo::Hanayo};
+  std::vector<int> wave_options = {1, 2, 4};
+  int min_pipeline = 2;
+};
+
+/// Evaluates one fully specified (T, D, P, W, B, mb) configuration.
+HybridCandidate evaluate_hybrid(const model::ModelConfig& m,
+                                const sim::Cluster& cluster,
+                                schedule::Algo algo, int T, int D, int P,
+                                int W, int B, int mb_sequences);
+
+/// Enumerates every feasible (T, D, P, W, B) splitting of the request,
+/// sorted by throughput with usable configurations first.
+std::vector<HybridCandidate> plan_hybrid(const HybridRequest& req);
+
+/// First usable candidate, if any.
+std::optional<HybridCandidate> best_hybrid(
+    const std::vector<HybridCandidate>& cands);
+
+/// Ring-allreduce seconds for `bytes` across `T` members over a link of
+/// `bw` bytes/s and `lat` s latency (exposed for tests).
+double tp_allreduce_seconds(double bytes, int T, double bw, double lat);
+
+}  // namespace hanayo::perf

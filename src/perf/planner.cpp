@@ -1,0 +1,118 @@
+#include "perf/planner.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "schedule/validate.hpp"
+
+namespace hanayo::perf {
+
+using schedule::Algo;
+
+std::string Candidate::to_string() const {
+  std::ostringstream os;
+  os << schedule::algo_name(algo) << " D=" << D << " P=" << P;
+  if (algo == Algo::Hanayo || algo == Algo::Interleaved) os << " W=" << W;
+  os << " B=" << B << " mb=" << mb_sequences;
+  if (!feasible) {
+    os << "  [infeasible: " << note << "]";
+  } else if (oom) {
+    os << "  [OOM, peak " << peak_mem_gb << " GB]";
+  } else {
+    os << "  " << throughput_seq_s << " seq/s, bubble " << bubble_ratio
+       << ", peak " << peak_mem_gb << " GB";
+  }
+  return os.str();
+}
+
+Candidate evaluate(const model::ModelConfig& m, const sim::Cluster& cluster,
+                   Algo algo, int D, int P, int W, int B, int mb_sequences) {
+  Candidate c;
+  c.algo = algo;
+  c.D = D;
+  c.P = P;
+  c.W = W;
+  c.B = B;
+  c.mb_sequences = mb_sequences;
+
+  if (algo == Algo::Chimera && (P % 2 != 0 || B < 2)) {
+    c.feasible = false;
+    c.note = "Chimera needs even P and B >= 2";
+    return c;
+  }
+
+  schedule::ScheduleRequest req;
+  req.algo = algo;
+  req.P = P;
+  req.B = B;
+  req.waves = W;
+  req.vchunks = W;
+  const int S = schedule::stages_for(req);
+  const int total_layers = static_cast<int>(m.layer_descs().size());
+  if (S > total_layers) {
+    c.feasible = false;
+    c.note = "stages (" + std::to_string(S) + ") exceed layers (" +
+             std::to_string(total_layers) + ")";
+    return c;
+  }
+  const schedule::Schedule sched = schedule::make_schedule(req);
+  const sim::PipelineCosts costs = sim::compute_costs(m, S, mb_sequences, cluster);
+  sim::SimOptions opt;
+  opt.dp = D;
+  // Chimera's second weight copy is part of the algorithm (not DP), so the
+  // replica pair shares the pipeline's devices; everything else uses one
+  // block of P devices per replica.
+  opt.devmap = sim::DeviceMap{P, 0};
+  const sim::SimResult res = sim::simulate(sched, costs, cluster, opt);
+
+  c.throughput_seq_s = res.throughput_seq_per_s(B * mb_sequences) * D;
+  c.bubble_ratio = res.bubble_ratio;
+  double peak = 0.0;
+  for (double x : res.peak_mem_bytes) peak = std::max(peak, x);
+  c.peak_mem_gb = peak / 1e9;
+  c.oom = res.oom;
+  return c;
+}
+
+std::vector<Candidate> plan(const PlanRequest& req) {
+  std::vector<Candidate> out;
+  const int N = req.total_devices;
+  for (int P = req.min_pipeline; P <= N; ++P) {
+    if (N % P != 0) continue;
+    const int D = N / P;
+    // Micro-batches per pipeline: split the global batch so each replica
+    // gets an equal share; each micro-batch is 1 sequence unless the batch
+    // doesn't divide, in which case larger micro-batches are tried.
+    const int per_replica = req.batch_sequences / D;
+    if (per_replica < 1) continue;
+    for (int mb_seq = 1; mb_seq <= per_replica; mb_seq *= 2) {
+      if (per_replica % mb_seq != 0) continue;
+      const int B = per_replica / mb_seq;
+      if (B < 1) continue;
+      for (Algo algo : req.algos) {
+        if (algo == Algo::Hanayo || algo == Algo::Interleaved) {
+          for (int W : req.wave_options) {
+            out.push_back(evaluate(req.model, req.cluster, algo, D, P, W, B, mb_seq));
+          }
+        } else {
+          out.push_back(evaluate(req.model, req.cluster, algo, D, P, 1, B, mb_seq));
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Candidate& a, const Candidate& b) {
+    const bool ga = a.feasible && !a.oom, gb = b.feasible && !b.oom;
+    if (ga != gb) return ga;
+    return a.throughput_seq_s > b.throughput_seq_s;
+  });
+  return out;
+}
+
+std::optional<Candidate> best(const std::vector<Candidate>& cands) {
+  for (const Candidate& c : cands) {
+    if (c.feasible && !c.oom) return c;
+  }
+  return std::nullopt;
+}
+
+}  // namespace hanayo::perf

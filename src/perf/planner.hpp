@@ -1,0 +1,62 @@
+#pragma once
+// Parallelism-configuration search (paper §5.3 / Fig. 10).
+//
+// Given N devices, a model and a cluster, the planner enumerates
+// (D, P) factorisations, micro-batch counts and — for Hanayo — wave counts,
+// validates and simulates each candidate, filters OOM configurations, and
+// ranks by simulated throughput. This is the "unified performance model
+// with adaptability to choose from various pipeline parallelism strategies"
+// of the paper's related-work positioning.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/transformer.hpp"
+#include "schedule/algorithms.hpp"
+#include "sim/event_sim.hpp"
+
+namespace hanayo::perf {
+
+struct Candidate {
+  schedule::Algo algo = schedule::Algo::Hanayo;
+  int D = 1;          ///< data-parallel replicas
+  int P = 1;          ///< pipeline depth
+  int W = 1;          ///< waves (Hanayo) / V (Interleaved)
+  int B = 1;          ///< micro-batches per pipeline per iteration
+  int mb_sequences = 1;
+  double throughput_seq_s = 0.0;  ///< simulated, all replicas combined
+  double bubble_ratio = 0.0;
+  double peak_mem_gb = 0.0;
+  bool oom = false;
+  bool feasible = true;           ///< partition/stage constraints satisfied
+  std::string note;
+
+  std::string to_string() const;
+};
+
+struct PlanRequest {
+  model::ModelConfig model;
+  sim::Cluster cluster;          ///< must have >= N devices
+  int total_devices = 8;         ///< N
+  int batch_sequences = 8;       ///< global batch per iteration (sequences)
+  std::vector<schedule::Algo> algos = {
+      schedule::Algo::GPipe, schedule::Algo::Dapple, schedule::Algo::Chimera,
+      schedule::Algo::ChimeraWave, schedule::Algo::Hanayo};
+  std::vector<int> wave_options = {1, 2, 4, 8};
+  int min_pipeline = 2;
+};
+
+/// Evaluates one fully specified candidate (also used by the benches).
+Candidate evaluate(const model::ModelConfig& m, const sim::Cluster& cluster,
+                   schedule::Algo algo, int D, int P, int W, int B,
+                   int mb_sequences);
+
+/// Full search; results sorted by throughput, best first. OOM/infeasible
+/// candidates are included (marked) so Fig. 10's "OOM" cells can be printed.
+std::vector<Candidate> plan(const PlanRequest& req);
+
+/// Best non-OOM candidate, if any.
+std::optional<Candidate> best(const std::vector<Candidate>& cands);
+
+}  // namespace hanayo::perf

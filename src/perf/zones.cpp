@@ -1,0 +1,84 @@
+#include "perf/zones.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hanayo::perf {
+
+std::string zone_name(Zone z) {
+  switch (z) {
+    case Zone::A: return "A";
+    case Zone::B: return "B";
+    case Zone::C: return "C";
+    case Zone::D: return "D";
+  }
+  return "?";
+}
+
+ZoneBreakdown decompose_bubbles(const sim::SimResult& result, int devices) {
+  if (devices <= 0) {
+    throw std::invalid_argument("decompose_bubbles: devices must be positive");
+  }
+  if (result.timeline.empty()) {
+    throw std::invalid_argument(
+        "decompose_bubbles: timeline empty — simulate with record_timeline");
+  }
+
+  // Bucket and time-sort the compute spans per device.
+  std::vector<std::vector<const sim::TimelineSpan*>> per_dev(
+      static_cast<size_t>(devices));
+  for (const sim::TimelineSpan& s : result.timeline) {
+    if (s.device < 0 || s.device >= devices) {
+      throw std::invalid_argument("decompose_bubbles: span device out of range");
+    }
+    per_dev[static_cast<size_t>(s.device)].push_back(&s);
+  }
+  for (auto& v : per_dev) {
+    std::sort(v.begin(), v.end(),
+              [](const sim::TimelineSpan* a, const sim::TimelineSpan* b) {
+                return a->start < b->start;
+              });
+  }
+
+  ZoneBreakdown out;
+  out.per_device.assign(static_cast<size_t>(devices), {});
+  constexpr double kEps = 1e-12;
+
+  const auto add = [&](int dev, Zone z, double a, double b) {
+    if (b - a <= kEps) return;
+    out.spans.push_back(IdleSpan{dev, z, a, b});
+    out.total[static_cast<size_t>(z)] += b - a;
+    out.per_device[static_cast<size_t>(dev)][static_cast<size_t>(z)] += b - a;
+  };
+
+  for (int d = 0; d < devices; ++d) {
+    const auto& spans = per_dev[static_cast<size_t>(d)];
+    double cursor = 0.0;
+    bool seen_backward = false;
+    for (const sim::TimelineSpan* s : spans) {
+      if (s->start > cursor + kEps) {
+        Zone z;
+        if (!s->backward) {
+          // Waiting on a forward activation: ramp-up until the device has
+          // run its first backward, a cross-communication stall afterwards.
+          z = seen_backward ? Zone::D : Zone::A;
+        } else {
+          // Waiting to start a backward: the first time this happens after
+          // a forward it is the fwd/bwd turnaround (B); between backwards it
+          // is the backward chain (C).
+          z = seen_backward ? Zone::C : Zone::B;
+        }
+        add(d, z, cursor, s->start);
+      }
+      cursor = std::max(cursor, s->end);
+      seen_backward = seen_backward || s->backward;
+    }
+    // Trailing idle until the flush: drain of the backward chain.
+    if (result.makespan > cursor + kEps) {
+      add(d, Zone::C, cursor, result.makespan);
+    }
+  }
+  return out;
+}
+
+}  // namespace hanayo::perf

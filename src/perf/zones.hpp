@@ -1,0 +1,64 @@
+#pragma once
+// Bubble-zone decomposition (paper §3.4, Fig. 7).
+//
+// The paper distinguishes four kinds of idle time in a wave-like pipeline:
+//   Zone A — waiting for the forward activation of a peer during ramp-up
+//            (single bubble ≈ T_F/2W + T_C);
+//   Zone B — the forward/backward cost discrepancy at the turnaround
+//            (≈ (P−LR)/2W · (T_B − T_F) + 2T_C);
+//   Zone C — waiting on the backward chain during drain (≈ T_B + 2T_C);
+//   Zone D — stalls from batched cross-communication at wave turns.
+//
+// This module classifies every idle interval of a simulated timeline into
+// those zones by the computation that ends the wait:
+//   * the device has not computed yet, or resumes with a Forward having
+//     only run Forwards so far                      -> A (ramp-up wait)
+//   * resumes with a Backward after a Forward       -> B (turnaround)
+//   * resumes with a Backward after a Backward      -> C (backward chain)
+//   * resumes with a Forward after a Backward       -> D (steady-state
+//     stall: the forward's activation was delayed by cross-communication)
+//   * trailing idle until the flush                 -> C (drain)
+//
+// The decomposition is exact: the four zones partition a device's idle time,
+// and summed over devices they equal P·makespan − Σ busy.
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "sim/event_sim.hpp"
+
+namespace hanayo::perf {
+
+enum class Zone : int { A = 0, B = 1, C = 2, D = 3 };
+
+std::string zone_name(Zone z);
+
+/// One classified idle interval on one device.
+struct IdleSpan {
+  int device = 0;
+  Zone zone = Zone::A;
+  double start = 0.0;
+  double end = 0.0;
+  double length() const { return end - start; }
+};
+
+struct ZoneBreakdown {
+  /// Total idle seconds per zone, summed over all devices.
+  std::array<double, 4> total{};
+  /// Per-device per-zone idle seconds: [device][zone].
+  std::vector<std::array<double, 4>> per_device;
+  /// Every classified interval (for the gallery renderer / debugging).
+  std::vector<IdleSpan> spans;
+
+  double total_idle() const {
+    return total[0] + total[1] + total[2] + total[3];
+  }
+  double zone(Zone z) const { return total[static_cast<size_t>(z)]; }
+};
+
+/// Decomposes the idle time of a simulated schedule. `result` must have been
+/// produced with SimOptions::record_timeline = true; throws otherwise.
+ZoneBreakdown decompose_bubbles(const sim::SimResult& result, int devices);
+
+}  // namespace hanayo::perf

@@ -1,0 +1,61 @@
+#include "schedule/actions.hpp"
+
+#include <sstream>
+
+namespace hanayo::schedule {
+
+std::string algo_name(Algo a) {
+  switch (a) {
+    case Algo::GPipe: return "GPipe";
+    case Algo::Dapple: return "DAPPLE";
+    case Algo::Interleaved: return "Interleaved";
+    case Algo::Chimera: return "Chimera";
+    case Algo::ChimeraWave: return "Chimera-wave";
+    case Algo::Hanayo: return "Hanayo";
+    case Algo::PipeDream: return "PipeDream";
+  }
+  return "?";
+}
+
+std::string op_name(Op op) {
+  switch (op) {
+    case Op::LoadInput: return "LoadInput";
+    case Op::Forward: return "F";
+    case Op::SendAct: return "SendAct";
+    case Op::RecvAct: return "RecvAct";
+    case Op::Backward: return "B";
+    case Op::SendGrad: return "SendGrad";
+    case Op::RecvGrad: return "RecvGrad";
+    case Op::Flush: return "Flush";
+    case Op::OptStep: return "OptStep";
+  }
+  return "?";
+}
+
+int Schedule::count(Op op) const {
+  int n = 0;
+  for (const DeviceScript& s : scripts) {
+    for (const Action& a : s.actions) {
+      if (a.op == op) ++n;
+    }
+  }
+  return n;
+}
+
+std::string Schedule::to_string() const {
+  std::ostringstream os;
+  os << algo_name(algo) << " P=" << P << " B=" << B;
+  if (W > 0) os << " W=" << W;
+  os << " S=" << placement.stages() << "\n";
+  for (const DeviceScript& s : scripts) {
+    os << "  dev" << s.device << ":";
+    for (const Action& a : s.actions) {
+      os << ' ' << op_name(a.op);
+      if (a.mb >= 0) os << '(' << a.mb << ',' << a.pos << ')';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace hanayo::schedule

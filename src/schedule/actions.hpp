@@ -1,0 +1,73 @@
+#pragma once
+// The action-list IR (paper §4.1).
+//
+// DeepSpeed-style instructions broken into finer granularity and augmented
+// with the target device rank and the local module rank, exactly as the
+// paper describes. A `Schedule` is the complete static program of one
+// training iteration: one ordered action list per device.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "schedule/placement.hpp"
+
+namespace hanayo::schedule {
+
+enum class Algo {
+  GPipe,
+  Dapple,        ///< 1F1B
+  Interleaved,   ///< Megatron-LM interleaved 1F1B
+  Chimera,       ///< bidirectional, 2 model replicas
+  ChimeraWave,   ///< Chimera after the Fig. 5 wave transform (= zigzag W=1)
+  Hanayo,        ///< wave pipeline, parameterised by W
+  PipeDream,     ///< asynchronous 1F1B, no flush (paper §2.3 / Fig. 4b);
+                 ///< built by make_async_schedule, not make_schedule
+};
+
+std::string algo_name(Algo a);
+
+enum class Op : uint8_t {
+  LoadInput,   ///< fetch micro-batch inputs (first position of a route)
+  Forward,     ///< forward of (mb, pos) on local chunk
+  SendAct,     ///< send activation of (mb, pos) to peer
+  RecvAct,     ///< receive activation of (mb, pos-1) from peer
+  Backward,    ///< backward of (mb, pos); at the last position this also
+               ///< computes the loss from the stored logits
+  SendGrad,    ///< send input-gradient of (mb, pos) to peer
+  RecvGrad,    ///< receive output-gradient (produced by (mb, pos+1)) from peer
+  Flush,       ///< synchronisation point: all compute done, DP allreduce
+  OptStep,     ///< apply optimizer to local chunks
+};
+
+std::string op_name(Op op);
+
+struct Action {
+  Op op = Op::Forward;
+  int mb = -1;     ///< micro-batch index
+  int pos = -1;    ///< position along the route (= model stage index)
+  int route = 0;
+  int chunk = -1;  ///< local module rank executing / owning the data
+  int peer = -1;   ///< remote device rank for Send*/Recv*
+};
+
+struct DeviceScript {
+  int device = -1;
+  std::vector<Action> actions;
+};
+
+struct Schedule {
+  Algo algo = Algo::GPipe;
+  int P = 0;      ///< pipeline devices
+  int B = 0;      ///< micro-batches per iteration
+  int W = 0;      ///< waves (Hanayo), interleave depth V (Interleaved), else 0
+  Placement placement;
+  std::vector<DeviceScript> scripts;
+
+  /// Total count of a given op across all devices.
+  int count(Op op) const;
+  /// Multi-line human-readable dump (for debugging / the gallery example).
+  std::string to_string() const;
+};
+
+}  // namespace hanayo::schedule

@@ -1,0 +1,61 @@
+#include "schedule/algorithms.hpp"
+
+#include <stdexcept>
+
+namespace hanayo::schedule {
+
+Placement make_placement(const ScheduleRequest& req) {
+  switch (req.algo) {
+    case Algo::GPipe:
+    case Algo::Dapple:
+      return Placement::linear(req.P);
+    case Algo::Interleaved:
+      return Placement::interleaved(req.P, req.vchunks);
+    case Algo::Chimera:
+      return Placement::chimera(req.P);
+    case Algo::ChimeraWave:
+      // The Fig. 5 transform: one wave, replicas re-interpreted as data
+      // parallelism (handled by the caller's D).
+      return Placement::zigzag(req.P, 1);
+    case Algo::Hanayo:
+      return Placement::zigzag(req.P, req.waves);
+    case Algo::PipeDream:
+      return Placement::linear(req.P);
+  }
+  throw std::invalid_argument("make_placement: unknown algo");
+}
+
+Schedule make_schedule(const ScheduleRequest& req) {
+  if (req.algo == Algo::PipeDream) {
+    throw std::invalid_argument(
+        "make_schedule: PipeDream is asynchronous; use make_async_schedule");
+  }
+  GenOptions opt;
+  opt.tf = req.tf;
+  opt.tb = req.tb;
+  opt.all_forward_first = (req.algo == Algo::GPipe);
+  // The steady-state in-flight cap is exact for the linear 1F1B placement
+  // (it reproduces DAPPLE's classic P-rank warmup). For wave/interleaved/
+  // bidirectional placements the same bound throttles the warmup phase —
+  // a backward is a full wave round-trip away, so capping forwards at the
+  // steady-state level just idles the device. Those schedules rely on the
+  // eager backward-first policy to bound activation lifetime instead
+  // (paper: "a schedule that consumes the activation as soon as it is
+  // generated").
+  opt.inflight_cap = (req.algo == Algo::Dapple);
+  const int waves = (req.algo == Algo::Hanayo)        ? req.waves
+                    : (req.algo == Algo::ChimeraWave) ? 1
+                    : (req.algo == Algo::Interleaved) ? req.vchunks
+                                                      : 0;
+  return generate(req.algo, waves, make_placement(req), req.B, opt);
+}
+
+int stages_for(const ScheduleRequest& req) {
+  return make_placement(req).stages();
+}
+
+int weight_replication_factor(Algo algo) {
+  return algo == Algo::Chimera ? 2 : 1;
+}
+
+}  // namespace hanayo::schedule

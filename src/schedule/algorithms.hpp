@@ -1,0 +1,33 @@
+#pragma once
+// Catalogue of the synchronous pipeline algorithms evaluated in the paper.
+
+#include "schedule/generator.hpp"
+
+namespace hanayo::schedule {
+
+/// Everything needed to build one pipeline's schedule.
+struct ScheduleRequest {
+  Algo algo = Algo::Hanayo;
+  int P = 4;       ///< pipeline devices
+  int B = 8;       ///< micro-batches per iteration
+  int waves = 1;   ///< Hanayo W; ignored elsewhere
+  int vchunks = 2; ///< Interleaved chunk count V; ignored elsewhere
+  /// Relative stage costs used for scheduling-order decisions.
+  double tf = 1.0;
+  double tb = 2.0;
+};
+
+/// Builds the placement an algorithm uses.
+Placement make_placement(const ScheduleRequest& req);
+
+/// Builds the complete per-device action lists for an algorithm.
+Schedule make_schedule(const ScheduleRequest& req);
+
+/// Number of model stages the algorithm partitions the network into.
+int stages_for(const ScheduleRequest& req);
+
+/// Weight-memory factor relative to "one model / P" (2 for Chimera because
+/// of the replica; 1 for everything else, which is the paper's point).
+int weight_replication_factor(Algo algo);
+
+}  // namespace hanayo::schedule

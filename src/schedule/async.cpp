@@ -1,0 +1,262 @@
+#include "schedule/async.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace hanayo::schedule {
+
+namespace {
+
+/// Emits the receive + compute + send block for one forward of `m` on
+/// device `d` of a P-stage linear pipeline.
+void emit_forward(DeviceScript& ds, int m, int d, int P) {
+  if (d == 0) {
+    ds.actions.push_back({Op::LoadInput, m, 0, 0, 0, -1});
+  } else {
+    ds.actions.push_back({Op::RecvAct, m, d, 0, 0, d - 1});
+  }
+  ds.actions.push_back({Op::Forward, m, d, 0, 0, -1});
+  if (d < P - 1) {
+    ds.actions.push_back({Op::SendAct, m, d, 0, 0, d + 1});
+  }
+}
+
+/// Emits the receive + compute + update + send block for one backward.
+void emit_backward(DeviceScript& ds, int m, int d, int P) {
+  if (d < P - 1) {
+    ds.actions.push_back({Op::RecvGrad, m, d, 0, 0, d + 1});
+  }
+  ds.actions.push_back({Op::Backward, m, d, 0, 0, -1});
+  if (d > 0) {
+    ds.actions.push_back({Op::SendGrad, m, d, 0, 0, d - 1});
+  }
+  // Apply this micro-batch's gradient immediately — the defining property
+  // of the asynchronous scheme (no flush, per-micro-batch updates).
+  ds.actions.push_back({Op::OptStep, m, d, 0, 0, -1});
+}
+
+std::string at(int device, size_t idx, const Action& a) {
+  std::ostringstream os;
+  os << "dev" << device << "[" << idx << "] " << op_name(a.op)
+     << "(mb=" << a.mb << ", pos=" << a.pos << ", peer=" << a.peer << ")";
+  return os.str();
+}
+
+}  // namespace
+
+Schedule make_async_schedule(const AsyncRequest& req) {
+  if (req.P < 1 || req.total_micro_batches < 1) {
+    throw std::invalid_argument("make_async_schedule: P and stream >= 1");
+  }
+  const int P = req.P;
+  const int N = req.total_micro_batches;
+
+  Schedule sched;
+  sched.algo = Algo::PipeDream;
+  sched.P = P;
+  sched.B = N;
+  sched.W = 0;
+  sched.placement = Placement::linear(P);
+  sched.scripts.resize(static_cast<size_t>(P));
+
+  for (int d = 0; d < P; ++d) {
+    DeviceScript& ds = sched.scripts[static_cast<size_t>(d)];
+    ds.device = d;
+    const int warmup = std::min(P - 1 - d, N);
+    for (int m = 0; m < warmup; ++m) emit_forward(ds, m, d, P);
+    // Steady state: strict 1F1B until the stream of forwards runs dry.
+    int nb = 0;
+    for (int nf = warmup; nf < N; ++nf) {
+      emit_forward(ds, nf, d, P);
+      emit_backward(ds, nb++, d, P);
+    }
+    // Drain the remaining backwards.
+    for (; nb < N; ++nb) emit_backward(ds, nb, d, P);
+  }
+  return sched;
+}
+
+ValidationResult validate_async(const Schedule& sched) {
+  const int P = sched.P;
+  const int N = sched.B;
+  const auto fail = [](std::string msg) {
+    return ValidationResult{false, std::move(msg)};
+  };
+  if (static_cast<int>(sched.scripts.size()) != P) {
+    return fail("script count != P");
+  }
+
+  // (1) completeness on the owning device, OptStep placement, no Flush;
+  // (2) send/recv pairing.
+  std::map<std::pair<int, int>, int> fwd_count, bwd_count;
+  std::map<std::tuple<int, int, int, int>, int> act_send, act_recv, grad_send,
+      grad_recv;
+
+  for (const DeviceScript& ds : sched.scripts) {
+    const int d = ds.device;
+    int last_backward_mb = -1;
+    bool opt_pending = false;  // a Backward awaiting its OptStep
+    for (size_t i = 0; i < ds.actions.size(); ++i) {
+      const Action& a = ds.actions[i];
+      switch (a.op) {
+        case Op::Forward:
+        case Op::Backward: {
+          if (a.mb < 0 || a.mb >= N || a.pos != d) {
+            return fail("compute out of range/place: " + at(d, i, a));
+          }
+          if (a.op == Op::Backward) {
+            if (opt_pending) {
+              return fail("Backward before previous OptStep: " + at(d, i, a));
+            }
+            last_backward_mb = a.mb;
+            opt_pending = true;
+          }
+          auto& cnt = (a.op == Op::Forward) ? fwd_count : bwd_count;
+          ++cnt[{a.mb, a.pos}];
+          break;
+        }
+        case Op::OptStep:
+          if (!opt_pending || a.mb != last_backward_mb) {
+            return fail("OptStep without matching Backward: " + at(d, i, a));
+          }
+          opt_pending = false;
+          break;
+        case Op::SendAct:
+          ++act_send[{a.mb, a.pos, d, a.peer}];
+          break;
+        case Op::RecvAct:
+          ++act_recv[{a.mb, a.pos - 1, a.peer, d}];
+          break;
+        case Op::SendGrad:
+          ++grad_send[{a.mb, a.pos, d, a.peer}];
+          break;
+        case Op::RecvGrad:
+          ++grad_recv[{a.mb, a.pos + 1, a.peer, d}];
+          break;
+        case Op::LoadInput:
+          if (d != 0) return fail("LoadInput off device 0: " + at(d, i, a));
+          break;
+        case Op::Flush:
+          return fail("async schedule contains Flush: " + at(d, i, a));
+      }
+    }
+    if (opt_pending) {
+      return fail("dev" + std::to_string(d) + " ends with an unapplied Backward");
+    }
+  }
+  for (int m = 0; m < N; ++m) {
+    for (int d = 0; d < P; ++d) {
+      if (fwd_count[{m, d}] != 1) {
+        return fail("F(" + std::to_string(m) + "," + std::to_string(d) + ") count != 1");
+      }
+      if (bwd_count[{m, d}] != 1) {
+        return fail("B(" + std::to_string(m) + "," + std::to_string(d) + ") count != 1");
+      }
+    }
+  }
+  if (act_send != act_recv) return fail("activation sends and recvs do not pair up");
+  if (grad_send != grad_recv) return fail("gradient sends and recvs do not pair up");
+
+  // (3) executability with blocking receives (no flush barrier involved).
+  std::set<std::tuple<int, int, int, int>> acts_sent, grads_sent;
+  std::set<std::tuple<int, int, int>> fwd_out, grad_out;
+  std::vector<size_t> pc(static_cast<size_t>(P), 0);
+  size_t total_done = 0, total_actions = 0;
+  for (const auto& ds : sched.scripts) total_actions += ds.actions.size();
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (const DeviceScript& ds : sched.scripts) {
+      const int d = ds.device;
+      auto& i = pc[static_cast<size_t>(d)];
+      while (i < ds.actions.size()) {
+        const Action& a = ds.actions[i];
+        bool can = false;
+        switch (a.op) {
+          case Op::LoadInput:
+            fwd_out.insert({d, a.mb, -1});
+            can = true;
+            break;
+          case Op::Forward:
+            can = fwd_out.count({d, a.mb, a.pos == 0 ? -1 : a.pos - 1}) > 0;
+            if (can) fwd_out.insert({d, a.mb, a.pos});
+            break;
+          case Op::SendAct:
+            can = fwd_out.count({d, a.mb, a.pos}) > 0;
+            if (can) acts_sent.insert({a.mb, a.pos, d, a.peer});
+            break;
+          case Op::RecvAct:
+            can = acts_sent.count({a.mb, a.pos - 1, a.peer, d}) > 0;
+            if (can) fwd_out.insert({d, a.mb, a.pos - 1});
+            break;
+          case Op::Backward: {
+            const bool fwd_ok = fwd_out.count({d, a.mb, a.pos}) > 0;
+            const bool grad_ok =
+                (a.pos == P - 1) || grad_out.count({d, a.mb, a.pos + 1}) > 0;
+            can = fwd_ok && grad_ok;
+            if (can) grad_out.insert({d, a.mb, a.pos});
+            break;
+          }
+          case Op::SendGrad:
+            can = grad_out.count({d, a.mb, a.pos}) > 0;
+            if (can) grads_sent.insert({a.mb, a.pos, d, a.peer});
+            break;
+          case Op::RecvGrad:
+            can = grads_sent.count({a.mb, a.pos + 1, a.peer, d}) > 0;
+            if (can) grad_out.insert({d, a.mb, a.pos + 1});
+            break;
+          case Op::OptStep:
+            can = true;
+            break;
+          case Op::Flush:
+            can = false;  // already rejected above
+            break;
+        }
+        if (!can) break;
+        ++i;
+        ++total_done;
+        progress = true;
+      }
+    }
+  }
+  if (total_done != total_actions) {
+    for (const DeviceScript& ds : sched.scripts) {
+      const size_t i = pc[static_cast<size_t>(ds.device)];
+      if (i < ds.actions.size()) {
+        return fail("deadlock: stuck at " + at(ds.device, i, ds.actions[i]));
+      }
+    }
+    return fail("deadlock (unknown site)");
+  }
+  return {};
+}
+
+int async_staleness(const Schedule& sched, int device) {
+  if (device < 0 || device >= sched.P) {
+    throw std::invalid_argument("async_staleness: device out of range");
+  }
+  const DeviceScript& ds = sched.scripts[static_cast<size_t>(device)];
+  // For each micro-batch, count OptSteps executed between its Forward and
+  // its Backward in this device's program order.
+  std::map<int, int> opt_at_forward;  // mb -> #OptSteps seen at its Forward
+  int opts = 0;
+  int worst = 0;
+  for (const Action& a : ds.actions) {
+    if (a.op == Op::Forward) {
+      opt_at_forward[a.mb] = opts;
+    } else if (a.op == Op::Backward) {
+      const auto it = opt_at_forward.find(a.mb);
+      if (it != opt_at_forward.end()) {
+        worst = std::max(worst, opts - it->second);
+      }
+    } else if (a.op == Op::OptStep) {
+      ++opts;
+    }
+  }
+  return worst;
+}
+
+}  // namespace hanayo::schedule

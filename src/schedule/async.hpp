@@ -1,0 +1,47 @@
+#pragma once
+// Asynchronous pipeline parallelism (paper §2.3, Fig. 4b).
+//
+// Asynchronous schemes "remove the flush and allow for more relaxed
+// dependency constraints. As a result, they tend to have a lower bubble
+// ratio" — at the cost of weight staleness: the weights used for a
+// micro-batch's backward are older than the latest update. PipeDream
+// compensates with weight stashing (each stage keeps the weight version a
+// micro-batch saw in its forward and reuses it in the backward); without
+// stashing the scheme behaves like PipeMare's discrepancy-tolerant variant.
+//
+// This module generates the PipeDream 1F1B schedule over a continuous
+// stream of micro-batches (no Flush; an OptStep follows every Backward),
+// plus its own validator and staleness analysis. The paper evaluates only
+// synchronous schemes but explicitly notes "the strategies and
+// optimizations we propose can also be applied to asynchronous pipeline
+// parallelism implementation" — this module is that application.
+
+#include "schedule/actions.hpp"
+#include "schedule/validate.hpp"
+
+namespace hanayo::schedule {
+
+struct AsyncRequest {
+  int P = 4;                  ///< pipeline devices (= stages, linear placement)
+  int total_micro_batches = 16;  ///< length of the continuous stream
+};
+
+/// Builds the per-device action lists of the asynchronous 1F1B pipeline:
+/// device d runs P−1−d warmup forwards, then strict one-forward-one-backward
+/// with an OptStep applied immediately after every Backward, then drains.
+/// There is no Flush. Schedule::B is the stream length.
+Schedule make_async_schedule(const AsyncRequest& req);
+
+/// Async counterpart of `validate`: completeness (every (mb, stage) has one
+/// Forward and one Backward on the owning device), send/recv pairing,
+/// deadlock-freedom with blocking receives, one OptStep directly after each
+/// Backward, and the absence of Flush.
+ValidationResult validate_async(const Schedule& sched);
+
+/// Weight staleness of device d: the maximum number of optimizer updates
+/// applied between a micro-batch's Forward and its Backward on that device.
+/// For the PipeDream 1F1B schedule this is exactly P−1−d (the number of
+/// weight versions a stashing implementation must keep, minus one).
+int async_staleness(const Schedule& sched, int device);
+
+}  // namespace hanayo::schedule

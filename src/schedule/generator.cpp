@@ -1,0 +1,259 @@
+#include "schedule/generator.hpp"
+
+#include <cmath>
+#include <map>
+#include <queue>
+#include <set>
+#include <stdexcept>
+#include <tuple>
+
+namespace hanayo::schedule {
+
+namespace {
+
+/// One compute node of the iteration DAG.
+struct Node {
+  int m = 0;        // micro-batch
+  int pos = 0;      // route position
+  int route = 0;
+  bool backward = false;
+  int device = -1;
+  int chunk = -1;
+};
+
+/// Priority key: wavefront depth, then micro-batch, then backward-first.
+using Key = std::tuple<int, int, int>;  // (depth, m, pos)
+
+}  // namespace
+
+int inflight_cap_for(int pos, int stages, int chunks_per_device, double tf,
+                     double tb) {
+  // An activation produced at position `pos` is consumed after the
+  // micro-batch travels to the end of the route and back:
+  //   round_trip = (S-1-pos) * (tf + tb) + tb.
+  // In steady state a device finishes one micro-batch's worth of work every
+  //   period = chunks_per_device * (tf + tb),
+  // so the chunk accumulates ceil(round_trip / period) live activations.
+  const double round_trip = (stages - 1 - pos) * (tf + tb) + tb;
+  const double period = chunks_per_device * (tf + tb);
+  const int cap = static_cast<int>(std::ceil(round_trip / period - 1e-9));
+  return cap < 1 ? 1 : cap;
+}
+
+Schedule generate(Algo algo, int waves, const Placement& pl, int B,
+                  const GenOptions& opt) {
+  if (B < 1) throw std::invalid_argument("generate: B < 1");
+  const int S = pl.stages();
+  const int P = pl.devices();
+  if (S < 1 || P < 1) throw std::invalid_argument("generate: empty placement");
+  if (pl.routes() == 2 && B < 2) {
+    throw std::invalid_argument("generate: bidirectional placement needs B >= 2");
+  }
+
+  // ---- Build the node table. Node id: ((m * S) + pos) * 2 + backward.
+  const auto node_id = [S](int m, int pos, bool bw) {
+    return ((m * S) + pos) * 2 + (bw ? 1 : 0);
+  };
+  std::vector<Node> nodes(static_cast<size_t>(B * S * 2));
+  std::vector<int> route_of(static_cast<size_t>(B));
+  std::vector<int> route_start(static_cast<size_t>(pl.routes()), -1);
+  for (int m = 0; m < B; ++m) {
+    const int r = pl.route_of_mb(m, B);
+    route_of[static_cast<size_t>(m)] = r;
+    if (route_start[static_cast<size_t>(r)] < 0) route_start[static_cast<size_t>(r)] = m;
+    for (int pos = 0; pos < S; ++pos) {
+      const DevChunk dc = pl.at(r, pos);
+      for (int bw = 0; bw < 2; ++bw) {
+        Node& n = nodes[static_cast<size_t>(node_id(m, pos, bw != 0))];
+        n.m = m;
+        n.pos = pos;
+        n.route = r;
+        n.backward = (bw != 0);
+        n.device = dc.device;
+        n.chunk = dc.chunk;
+      }
+    }
+  }
+
+  // ---- Greedy earliest-ready list scheduling.
+  const double tfb = opt.tf + opt.tb;
+  std::vector<double> dev_free(static_cast<size_t>(P), 0.0);
+  std::vector<std::set<std::pair<Key, int>>> ready_f(static_cast<size_t>(P));
+  std::vector<std::set<std::pair<Key, int>>> ready_b(static_cast<size_t>(P));
+  std::vector<char> done(nodes.size(), 0);
+  std::vector<char> started(nodes.size(), 0);
+  // In-flight activations per (device, chunk): F started minus B completed.
+  std::vector<std::vector<int>> inflight(static_cast<size_t>(P),
+                                         std::vector<int>(static_cast<size_t>(pl.chunks_per_device()), 0));
+  // Remaining forwards per device, for the GPipe phase barrier.
+  std::vector<int> fwd_remaining(static_cast<size_t>(P), 0);
+  for (int m = 0; m < B; ++m) {
+    for (int pos = 0; pos < S; ++pos) {
+      ++fwd_remaining[static_cast<size_t>(nodes[static_cast<size_t>(node_id(m, pos, false))].device)];
+    }
+  }
+
+  const auto f_key = [&](const Node& n) {
+    const int mloc = n.m - route_start[static_cast<size_t>(n.route)];
+    return Key{mloc + n.pos, n.m, n.pos};
+  };
+  const auto b_key = [&](const Node& n) {
+    const int mloc = n.m - route_start[static_cast<size_t>(n.route)];
+    return Key{mloc + (S - 1 - n.pos), n.m, S - 1 - n.pos};
+  };
+
+  for (int m = 0; m < B; ++m) {
+    const Node& n = nodes[static_cast<size_t>(node_id(m, 0, false))];
+    ready_f[static_cast<size_t>(n.device)].insert({f_key(n), node_id(m, 0, false)});
+  }
+
+  // Completion events: (time, node id). Order ties by node id for determinism.
+  using Event = std::pair<double, int>;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+
+  // Per-device order of started compute nodes — this *is* the schedule.
+  std::vector<std::vector<int>> order(static_cast<size_t>(P));
+
+  const auto try_start = [&](int d, double now) {
+    if (dev_free[static_cast<size_t>(d)] > now + 1e-12) return;  // busy
+    auto& rf = ready_f[static_cast<size_t>(d)];
+    auto& rb = ready_b[static_cast<size_t>(d)];
+    int pick = -1;
+    if (opt.all_forward_first) {
+      if (!rf.empty()) {
+        pick = rf.begin()->second;
+        rf.erase(rf.begin());
+      } else if (fwd_remaining[static_cast<size_t>(d)] == 0 && !rb.empty()) {
+        pick = rb.begin()->second;
+        rb.erase(rb.begin());
+      }
+    } else {
+      if (!rb.empty()) {
+        pick = rb.begin()->second;
+        rb.erase(rb.begin());
+      } else if (!rf.empty()) {
+        // Respect the in-flight cap: scan ready forwards in priority order
+        // and take the first admissible one.
+        for (auto it = rf.begin(); it != rf.end(); ++it) {
+          const Node& n = nodes[static_cast<size_t>(it->second)];
+          if (opt.inflight_cap) {
+            const int cap = inflight_cap_for(n.pos, S, pl.chunks_per_device(), opt.tf, opt.tb);
+            if (inflight[static_cast<size_t>(d)][static_cast<size_t>(n.chunk)] >= cap) continue;
+          }
+          pick = it->second;
+          rf.erase(it);
+          break;
+        }
+      }
+    }
+    if (pick < 0) return;
+    const Node& n = nodes[static_cast<size_t>(pick)];
+    started[static_cast<size_t>(pick)] = 1;
+    if (!n.backward) {
+      ++inflight[static_cast<size_t>(d)][static_cast<size_t>(n.chunk)];
+      --fwd_remaining[static_cast<size_t>(d)];
+    }
+    const double cost = n.backward ? opt.tb : opt.tf;
+    dev_free[static_cast<size_t>(d)] = now + cost;
+    order[static_cast<size_t>(d)].push_back(pick);
+    events.push({now + cost, pick});
+  };
+
+  for (int d = 0; d < P; ++d) try_start(d, 0.0);
+
+  size_t completed = 0;
+  const size_t total = nodes.size();
+  (void)tfb;
+  while (!events.empty()) {
+    const auto [t, id] = events.top();
+    events.pop();
+    done[static_cast<size_t>(id)] = 1;
+    ++completed;
+    const Node& n = nodes[static_cast<size_t>(id)];
+
+    // Release successors.
+    std::vector<int> touched_devices;
+    const auto make_ready = [&](int succ_id, bool bw) {
+      const Node& s = nodes[static_cast<size_t>(succ_id)];
+      if (bw) {
+        ready_b[static_cast<size_t>(s.device)].insert({b_key(s), succ_id});
+      } else {
+        ready_f[static_cast<size_t>(s.device)].insert({f_key(s), succ_id});
+      }
+      touched_devices.push_back(s.device);
+    };
+
+    if (!n.backward) {
+      if (n.pos + 1 < S) {
+        make_ready(node_id(n.m, n.pos + 1, false), false);
+      } else {
+        make_ready(node_id(n.m, n.pos, true), true);  // B(m, S-1) after F(m, S-1)
+      }
+    } else {
+      --inflight[static_cast<size_t>(n.device)][static_cast<size_t>(n.chunk)];
+      if (n.pos > 0) make_ready(node_id(n.m, n.pos - 1, true), true);
+    }
+
+    // The finishing device is free again; devices with new ready work may
+    // also start (they may have been idle since before `t`).
+    try_start(n.device, t);
+    for (int d : touched_devices) try_start(d, std::max(t, dev_free[static_cast<size_t>(d)]));
+    // A device whose cap blocked it may now be unblocked (its inflight
+    // decreased); `n.device` is covered above, caps only change there.
+  }
+  if (completed != total) {
+    throw std::logic_error("generate: scheduling did not complete (internal)");
+  }
+
+  // ---- Emit action lists from the per-device start order.
+  Schedule sched;
+  sched.algo = algo;
+  sched.P = P;
+  sched.B = B;
+  sched.W = waves;
+  sched.placement = pl;
+  sched.scripts.resize(static_cast<size_t>(P));
+  for (int d = 0; d < P; ++d) {
+    DeviceScript& ds = sched.scripts[static_cast<size_t>(d)];
+    ds.device = d;
+    for (int id : order[static_cast<size_t>(d)]) {
+      const Node& n = nodes[static_cast<size_t>(id)];
+      if (!n.backward) {
+        if (n.pos == 0) {
+          ds.actions.push_back(Action{Op::LoadInput, n.m, 0, n.route, n.chunk, -1});
+        } else {
+          const DevChunk prod = pl.at(n.route, n.pos - 1);
+          if (prod.device != d) {
+            ds.actions.push_back(Action{Op::RecvAct, n.m, n.pos, n.route, n.chunk, prod.device});
+          }
+        }
+        ds.actions.push_back(Action{Op::Forward, n.m, n.pos, n.route, n.chunk, -1});
+        if (n.pos + 1 < S) {
+          const DevChunk cons = pl.at(n.route, n.pos + 1);
+          if (cons.device != d) {
+            ds.actions.push_back(Action{Op::SendAct, n.m, n.pos, n.route, n.chunk, cons.device});
+          }
+        }
+      } else {
+        if (n.pos + 1 < S) {
+          const DevChunk prod = pl.at(n.route, n.pos + 1);
+          if (prod.device != d) {
+            ds.actions.push_back(Action{Op::RecvGrad, n.m, n.pos, n.route, n.chunk, prod.device});
+          }
+        }
+        ds.actions.push_back(Action{Op::Backward, n.m, n.pos, n.route, n.chunk, -1});
+        if (n.pos > 0) {
+          const DevChunk cons = pl.at(n.route, n.pos - 1);
+          if (cons.device != d) {
+            ds.actions.push_back(Action{Op::SendGrad, n.m, n.pos, n.route, n.chunk, cons.device});
+          }
+        }
+      }
+    }
+    ds.actions.push_back(Action{Op::Flush, -1, -1, 0, -1, -1});
+    ds.actions.push_back(Action{Op::OptStep, -1, -1, 0, -1, -1});
+  }
+  return sched;
+}
+
+}  // namespace hanayo::schedule

@@ -1,0 +1,52 @@
+#pragma once
+// The unified schedule generator (paper §3: "the Hanayo unified framework
+// enables the expression of mainstream pipeline parallel algorithms in a
+// universal manner").
+//
+// Every synchronous pipeline algorithm is expressed as
+//     placement  +  scheduling policy
+// and compiled by one greedy earliest-ready list scheduler into per-device
+// action lists. Dependencies are the per-micro-batch chain
+//     F(m,0) -> ... -> F(m,S-1) -> B(m,S-1) -> ... -> B(m,0).
+//
+// Policies:
+//  * AllForwardThenBackward — a device runs backwards only after finishing
+//    every forward assigned to it (GPipe, Fig. 3a).
+//  * OneFOneB — backwards run as soon as they are ready and take priority
+//    over forwards (consume the activation as early as possible); forward
+//    admission is limited by a per-chunk in-flight cap derived from the
+//    activation round-trip time, which reproduces DAPPLE's classic
+//    "P − rank" warmup exactly and generalises it to interleaved/wave
+//    placements.
+//
+// Ties are broken by the wavefront order (m + pos, m) for forwards and
+// (m + S−1−pos, m) for backwards, which yields the paper's drawn schedules.
+
+#include "schedule/actions.hpp"
+
+namespace hanayo::schedule {
+
+struct GenOptions {
+  /// Relative per-stage compute costs used for ordering decisions. The paper
+  /// draws (and we default to) backward = 2x forward.
+  double tf = 1.0;
+  double tb = 2.0;
+  /// GPipe phase barrier.
+  bool all_forward_first = false;
+  /// Enable the 1F1B in-flight cap (off for GPipe).
+  bool inflight_cap = true;
+};
+
+/// Compiles (placement, B, policy) into a complete schedule. Throws on
+/// infeasible inputs (B < 1, placement empty, Chimera with odd B when
+/// routes = 2 is allowed — the halves just differ by one).
+Schedule generate(Algo algo, int waves, const Placement& placement, int B,
+                  const GenOptions& opt);
+
+/// The in-flight cap used by the OneFOneB policy for a chunk whose route
+/// position is `pos` (exposed for tests): number of activations this chunk
+/// may hold before its first backward returns, in steady state.
+int inflight_cap_for(int pos, int stages, int chunks_per_device, double tf,
+                     double tb);
+
+}  // namespace hanayo::schedule

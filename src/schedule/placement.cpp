@@ -1,0 +1,90 @@
+#include "schedule/placement.hpp"
+
+#include <stdexcept>
+
+namespace hanayo::schedule {
+
+int Placement::route_of_mb(int m, int B) const {
+  if (routes() == 1) return 0;
+  return (m < (B + 1) / 2) ? 0 : 1;
+}
+
+Placement Placement::linear(int P) {
+  if (P <= 0) throw std::invalid_argument("linear placement: P <= 0");
+  Placement p;
+  p.kind_ = "linear";
+  p.devices_ = P;
+  p.chunks_per_device_ = 1;
+  p.stages_ = P;
+  p.route_map_.resize(1);
+  p.stage_of_.assign(static_cast<size_t>(P), {});
+  for (int s = 0; s < P; ++s) {
+    p.route_map_[0].push_back(DevChunk{s, 0});
+    p.stage_of_[static_cast<size_t>(s)] = {s};
+  }
+  return p;
+}
+
+Placement Placement::interleaved(int P, int V) {
+  if (P <= 0 || V <= 0) throw std::invalid_argument("interleaved placement: bad P/V");
+  Placement p;
+  p.kind_ = "interleaved";
+  p.devices_ = P;
+  p.chunks_per_device_ = V;
+  p.stages_ = P * V;
+  p.route_map_.resize(1);
+  p.stage_of_.assign(static_cast<size_t>(P), std::vector<int>(static_cast<size_t>(V), -1));
+  for (int s = 0; s < p.stages_; ++s) {
+    const int d = s % P;
+    const int c = s / P;
+    p.route_map_[0].push_back(DevChunk{d, c});
+    p.stage_of_[static_cast<size_t>(d)][static_cast<size_t>(c)] = s;
+  }
+  return p;
+}
+
+Placement Placement::zigzag(int P, int W) {
+  if (P <= 0 || W <= 0) throw std::invalid_argument("zigzag placement: bad P/W");
+  Placement p;
+  p.kind_ = "zigzag";
+  p.devices_ = P;
+  p.chunks_per_device_ = 2 * W;
+  p.stages_ = 2 * W * P;
+  p.route_map_.resize(1);
+  p.stage_of_.assign(static_cast<size_t>(P), {});
+  std::vector<int> next_chunk(static_cast<size_t>(P), 0);
+  for (int s = 0; s < p.stages_; ++s) {
+    const int leg = s / P;          // which monotone run
+    const int off = s % P;          // offset within the run
+    const int d = (leg % 2 == 0) ? off : (P - 1 - off);
+    const int c = next_chunk[static_cast<size_t>(d)]++;
+    p.route_map_[0].push_back(DevChunk{d, c});
+    p.stage_of_[static_cast<size_t>(d)].push_back(s);
+  }
+  return p;
+}
+
+Placement Placement::chimera(int P) {
+  if (P <= 0 || P % 2 != 0) {
+    throw std::invalid_argument("chimera placement: P must be positive and even");
+  }
+  Placement p;
+  p.kind_ = "chimera";
+  p.devices_ = P;
+  p.chunks_per_device_ = 2;
+  p.stages_ = P;
+  p.replicas_ = 2;
+  p.route_map_.resize(2);
+  p.stage_of_.assign(static_cast<size_t>(P), std::vector<int>(2, -1));
+  for (int s = 0; s < P; ++s) {
+    // Route 0 (down): stage s on device s, chunk 0.
+    p.route_map_[0].push_back(DevChunk{s, 0});
+    p.stage_of_[static_cast<size_t>(s)][0] = s;
+    // Route 1 (up): stage s on device P-1-s, chunk 1.
+    p.route_map_[1].push_back(DevChunk{P - 1 - s, 1});
+    p.stage_of_[static_cast<size_t>(P - 1 - s)][1] = s;
+  }
+  return p;
+}
+
+}  // namespace hanayo::schedule

@@ -1,0 +1,74 @@
+#pragma once
+// Stage placements — where each pipeline stage lives.
+//
+// The paper's unified framework (§3) separates *what* is computed (the chain
+// of S model stages per micro-batch) from *where* (which device, which local
+// module a.k.a. chunk) and *when* (the scheduling policy, see generator.hpp).
+// A `Placement` answers the "where":
+//
+//  * linear      — stage s on device s (GPipe, DAPPLE).           S = P
+//  * interleaved — stage s on device s mod P (Megatron).          S = V*P
+//  * zigzag      — the wave path 0,1,…,P−1,P−1,…,1,0,0,1,… (Hanayo with W
+//                  waves; also Chimera-wave with W=1).            S = 2*W*P
+//                  Consecutive stages at the turning points share a device,
+//                  which is exactly the "no communication" property of the
+//                  Fig. 5 transform.
+//  * chimera     — two mirrored linear pipelines sharing devices; route 0
+//                  runs down (stage s on device s), route 1 runs up (stage s
+//                  on device P−1−s). Each device holds 2 model replicas'
+//                  chunks.                                         S = P
+
+#include <string>
+#include <vector>
+
+namespace hanayo::schedule {
+
+/// Identifies a (device, local module rank) pair.
+struct DevChunk {
+  int device = -1;
+  int chunk = -1;
+  bool operator==(const DevChunk&) const = default;
+};
+
+class Placement {
+ public:
+  /// P.
+  int devices() const { return devices_; }
+  /// Local modules per device (the paper's "local module rank" space).
+  int chunks_per_device() const { return chunks_per_device_; }
+  /// Model stages (positions along one route).
+  int stages() const { return stages_; }
+  /// Independent micro-batch routes (2 for Chimera, else 1).
+  int routes() const { return static_cast<int>(route_map_.size()); }
+  /// How many copies of each model stage's weights exist (2 for Chimera).
+  int replicas() const { return replicas_; }
+
+  /// Where position `pos` of route `r` executes.
+  DevChunk at(int route, int pos) const { return route_map_[static_cast<size_t>(route)][static_cast<size_t>(pos)]; }
+
+  /// Model stage whose weights live at (device, chunk). With replicas > 1,
+  /// several (device, chunk) pairs may map to the same stage.
+  int stage_of(int device, int chunk) const { return stage_of_[static_cast<size_t>(device)][static_cast<size_t>(chunk)]; }
+
+  /// Which route micro-batch m (of B) takes. Chimera sends the first half
+  /// down and the second half up (Fig. 3c); everything else uses route 0.
+  int route_of_mb(int m, int B) const;
+
+  const std::string& kind() const { return kind_; }
+
+  static Placement linear(int P);
+  static Placement interleaved(int P, int V);
+  static Placement zigzag(int P, int W);
+  static Placement chimera(int P);
+
+ private:
+  std::string kind_;
+  int devices_ = 0;
+  int chunks_per_device_ = 0;
+  int stages_ = 0;
+  int replicas_ = 1;
+  std::vector<std::vector<DevChunk>> route_map_;  // [route][pos]
+  std::vector<std::vector<int>> stage_of_;        // [device][chunk]
+};
+
+}  // namespace hanayo::schedule

@@ -1,0 +1,189 @@
+#include "schedule/validate.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace hanayo::schedule {
+
+namespace {
+
+std::string where(int device, size_t idx, const Action& a) {
+  std::ostringstream os;
+  os << "dev" << device << "[" << idx << "] " << op_name(a.op) << "(mb=" << a.mb
+     << ", pos=" << a.pos << ", peer=" << a.peer << ")";
+  return os.str();
+}
+
+}  // namespace
+
+ValidationResult validate(const Schedule& sched) {
+  const Placement& pl = sched.placement;
+  const int S = pl.stages();
+  const int B = sched.B;
+  const auto fail = [](std::string msg) {
+    return ValidationResult{false, std::move(msg)};
+  };
+
+  if (static_cast<int>(sched.scripts.size()) != sched.P) {
+    return fail("script count != P");
+  }
+
+  // ---- (1) completeness + device correctness, (2) comm pairing.
+  std::map<std::pair<int, int>, int> fwd_count, bwd_count;
+  // key: (mb, pos, src, dst) -> count, separately for act and grad
+  std::map<std::tuple<int, int, int, int>, int> act_send, act_recv, grad_send, grad_recv;
+
+  for (const DeviceScript& ds : sched.scripts) {
+    bool saw_flush = false, saw_opt = false;
+    for (size_t i = 0; i < ds.actions.size(); ++i) {
+      const Action& a = ds.actions[i];
+      if (saw_opt) return fail("action after OptStep: " + where(ds.device, i, a));
+      switch (a.op) {
+        case Op::Forward:
+        case Op::Backward: {
+          if (a.mb < 0 || a.mb >= B || a.pos < 0 || a.pos >= S) {
+            return fail("compute out of range: " + where(ds.device, i, a));
+          }
+          const DevChunk dc = pl.at(pl.route_of_mb(a.mb, B), a.pos);
+          if (dc.device != ds.device) {
+            return fail("compute on wrong device: " + where(ds.device, i, a));
+          }
+          if (dc.chunk != a.chunk) {
+            return fail("compute on wrong chunk: " + where(ds.device, i, a));
+          }
+          auto& cnt = (a.op == Op::Forward) ? fwd_count : bwd_count;
+          ++cnt[{a.mb, a.pos}];
+          break;
+        }
+        case Op::SendAct:
+          ++act_send[{a.mb, a.pos, ds.device, a.peer}];
+          break;
+        case Op::RecvAct:
+          // RecvAct at pos expects the activation produced at pos-1.
+          ++act_recv[{a.mb, a.pos - 1, a.peer, ds.device}];
+          break;
+        case Op::SendGrad:
+          ++grad_send[{a.mb, a.pos, ds.device, a.peer}];
+          break;
+        case Op::RecvGrad:
+          // RecvGrad at pos expects the gradient produced by pos+1.
+          ++grad_recv[{a.mb, a.pos + 1, a.peer, ds.device}];
+          break;
+        case Op::LoadInput:
+          if (a.pos != 0) return fail("LoadInput at pos!=0: " + where(ds.device, i, a));
+          break;
+        case Op::Flush:
+          saw_flush = true;
+          break;
+        case Op::OptStep:
+          if (!saw_flush) return fail("OptStep before Flush on dev" + std::to_string(ds.device));
+          saw_opt = true;
+          break;
+      }
+    }
+    if (!saw_flush || !saw_opt) {
+      return fail("dev" + std::to_string(ds.device) + " missing Flush/OptStep");
+    }
+  }
+
+  for (int m = 0; m < B; ++m) {
+    for (int pos = 0; pos < S; ++pos) {
+      if (fwd_count[{m, pos}] != 1) {
+        return fail("F(" + std::to_string(m) + "," + std::to_string(pos) + ") count != 1");
+      }
+      if (bwd_count[{m, pos}] != 1) {
+        return fail("B(" + std::to_string(m) + "," + std::to_string(pos) + ") count != 1");
+      }
+    }
+  }
+  if (act_send != act_recv) return fail("activation sends and recvs do not pair up");
+  if (grad_send != grad_recv) return fail("gradient sends and recvs do not pair up");
+
+  // ---- (3) executability with blocking receives.
+  // Executed message sets, keyed like the pairing maps.
+  std::set<std::tuple<int, int, int, int>> acts_sent, grads_sent;
+  // Data availability per device: activations/grads a device can consume.
+  // produced[(dev, mb, pos)] for forward outputs present on dev;
+  // gradin[(dev, mb, pos)] for output-gradients present on dev.
+  std::set<std::tuple<int, int, int>> fwd_out, grad_out, loaded;
+  std::vector<size_t> pc(static_cast<size_t>(sched.P), 0);
+
+  bool progress = true;
+  size_t total_done = 0, total_actions = 0;
+  for (const auto& ds : sched.scripts) total_actions += ds.actions.size();
+
+  while (progress) {
+    progress = false;
+    for (const DeviceScript& ds : sched.scripts) {
+      auto& i = pc[static_cast<size_t>(ds.device)];
+      while (i < ds.actions.size()) {
+        const Action& a = ds.actions[i];
+        const int d = ds.device;
+        bool can = false;
+        switch (a.op) {
+          case Op::LoadInput:
+            loaded.insert({d, a.mb, 0});
+            can = true;
+            break;
+          case Op::Forward: {
+            if (a.pos == 0) {
+              can = loaded.count({d, a.mb, 0}) > 0;
+            } else {
+              can = fwd_out.count({d, a.mb, a.pos - 1}) > 0;
+            }
+            if (can) fwd_out.insert({d, a.mb, a.pos});
+            break;
+          }
+          case Op::SendAct:
+            can = fwd_out.count({d, a.mb, a.pos}) > 0;
+            if (can) acts_sent.insert({a.mb, a.pos, d, a.peer});
+            break;
+          case Op::RecvAct:
+            can = acts_sent.count({a.mb, a.pos - 1, a.peer, d}) > 0;
+            if (can) fwd_out.insert({d, a.mb, a.pos - 1});
+            break;
+          case Op::Backward: {
+            // Needs own forward done and, unless last position, the gradient
+            // from pos+1 (local or received).
+            const bool fwd_ok = fwd_out.count({d, a.mb, a.pos}) > 0;
+            const bool grad_ok =
+                (a.pos == S - 1) || grad_out.count({d, a.mb, a.pos + 1}) > 0;
+            can = fwd_ok && grad_ok;
+            if (can) grad_out.insert({d, a.mb, a.pos});
+            break;
+          }
+          case Op::SendGrad:
+            can = grad_out.count({d, a.mb, a.pos}) > 0;
+            if (can) grads_sent.insert({a.mb, a.pos, d, a.peer});
+            break;
+          case Op::RecvGrad:
+            can = grads_sent.count({a.mb, a.pos + 1, a.peer, d}) > 0;
+            if (can) grad_out.insert({d, a.mb, a.pos + 1});
+            break;
+          case Op::Flush:
+          case Op::OptStep:
+            can = true;
+            break;
+        }
+        if (!can) break;
+        ++i;
+        ++total_done;
+        progress = true;
+      }
+    }
+  }
+  if (total_done != total_actions) {
+    for (const DeviceScript& ds : sched.scripts) {
+      const size_t i = pc[static_cast<size_t>(ds.device)];
+      if (i < ds.actions.size()) {
+        return fail("deadlock: stuck at " + where(ds.device, i, ds.actions[i]));
+      }
+    }
+    return fail("deadlock (unknown site)");
+  }
+
+  return {};
+}
+
+}  // namespace hanayo::schedule

@@ -1,0 +1,27 @@
+#pragma once
+// Static schedule verification.
+//
+// Before a schedule reaches the runtime or the simulator it is proven:
+//  (1) complete  — every (micro-batch, position) has exactly one Forward and
+//      one Backward, on the device the placement dictates;
+//  (2) paired    — every SendAct/SendGrad has exactly one matching
+//      RecvAct/RecvGrad with inverse endpoints;
+//  (3) executable — interpreting all device scripts concurrently with
+//      blocking receives reaches completion (no deadlock, no use of data
+//      that was never produced);
+//  (4) terminated — each device ends with Flush followed by OptStep.
+
+#include <string>
+
+#include "schedule/actions.hpp"
+
+namespace hanayo::schedule {
+
+struct ValidationResult {
+  bool ok = true;
+  std::string error;  ///< first problem found, empty when ok
+};
+
+ValidationResult validate(const Schedule& sched);
+
+}  // namespace hanayo::schedule

@@ -1,0 +1,105 @@
+#include "sim/cluster.hpp"
+
+#include <stdexcept>
+
+namespace hanayo::sim {
+
+namespace {
+constexpr double kGB = 1e9;
+
+Cluster base(std::string name, int n, double flops, double mem) {
+  Cluster c;
+  c.name = std::move(name);
+  c.devices = n;
+  c.flops_per_s = flops;
+  c.mem_bytes = mem;
+  c.bw.assign(static_cast<size_t>(n * n), 0.0);
+  c.latency.assign(static_cast<size_t>(n * n), 0.0);
+  return c;
+}
+
+void set_link(Cluster& c, int a, int b, double bw, double lat) {
+  c.bw[static_cast<size_t>(a * c.devices + b)] = bw;
+  c.bw[static_cast<size_t>(b * c.devices + a)] = bw;
+  c.latency[static_cast<size_t>(a * c.devices + b)] = lat;
+  c.latency[static_cast<size_t>(b * c.devices + a)] = lat;
+}
+}  // namespace
+
+double Cluster::transfer_time(int src, int dst, double bytes) const {
+  if (src == dst) return 0.0;
+  const double b = bandwidth(src, dst);
+  if (b <= 0.0) throw std::logic_error("transfer over zero-bandwidth link");
+  return lat(src, dst) + bytes / b;
+}
+
+Cluster Cluster::tacc(int n) {
+  // A100-40GB; effective ~95 TFLOP/s mixed precision; 3 GPUs per node on
+  // PCIe (~22 GB/s effective), InfiniBand between nodes (~11 GB/s effective).
+  Cluster c = base("TACC", n, 95e12, 40.0 * kGB);
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      const bool same_node = (a / 3) == (b / 3);
+      if (same_node) {
+        set_link(c, a, b, 22.0 * kGB, 4e-6);
+      } else {
+        set_link(c, a, b, 11.0 * kGB, 9e-6);
+      }
+    }
+  }
+  return c;
+}
+
+Cluster Cluster::pc() {
+  // 8x A100-80GB, NVLink only inside pairs (0,1),(2,3),(4,5),(6,7)
+  // (~230 GB/s effective), PCIe elsewhere.
+  Cluster c = base("PC", 8, 95e12, 80.0 * kGB);
+  for (int a = 0; a < 8; ++a) {
+    for (int b = a + 1; b < 8; ++b) {
+      if (a / 2 == b / 2) {
+        set_link(c, a, b, 230.0 * kGB, 2e-6);
+      } else {
+        set_link(c, a, b, 22.0 * kGB, 4e-6);
+      }
+    }
+  }
+  return c;
+}
+
+Cluster Cluster::fc() {
+  // 8x A100-80GB fully connected over NVSwitch.
+  Cluster c = base("FC", 8, 95e12, 80.0 * kGB);
+  for (int a = 0; a < 8; ++a) {
+    for (int b = a + 1; b < 8; ++b) set_link(c, a, b, 230.0 * kGB, 2e-6);
+  }
+  return c;
+}
+
+Cluster Cluster::tc() {
+  // 8x V100-32GB, DGX-1-style hybrid cube-mesh: NVLink between hypercube
+  // neighbours plus the two 2-hop ring links; PCIe otherwise.
+  Cluster c = base("TC", 8, 28e12, 32.0 * kGB);
+  for (int a = 0; a < 8; ++a) {
+    for (int b = a + 1; b < 8; ++b) {
+      const int diff = a ^ b;
+      const bool nvlink = (diff == 1 || diff == 2 || diff == 4);
+      if (nvlink) {
+        set_link(c, a, b, 45.0 * kGB, 3e-6);
+      } else {
+        set_link(c, a, b, 14.0 * kGB, 5e-6);
+      }
+    }
+  }
+  return c;
+}
+
+Cluster Cluster::uniform(int n, double flops, double mem, double bw_bytes,
+                         double lat) {
+  Cluster c = base("uniform", n, flops, mem);
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) set_link(c, a, b, bw_bytes, lat);
+  }
+  return c;
+}
+
+}  // namespace hanayo::sim

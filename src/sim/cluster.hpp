@@ -1,0 +1,47 @@
+#pragma once
+// Models of the paper's four evaluation clusters (§5):
+//   TACC — Lonestar6, A100-40GB, 3 GPUs/node, no NVLink, IB between nodes
+//   PC   — local server, 8x A100-80GB, NVLink between pairs (0,1),(2,3),...
+//   FC   — local server, 8x A100-80GB, fully connected NVLink
+//   TC   — Tencent GN10Xp, 8x V100-32GB, DGX-1-style NVLink mesh
+//
+// A cluster is a set of devices with an effective compute rate plus a
+// directed bandwidth/latency matrix. Values are calibrated to the public
+// hardware specs (effective, not peak); the reproduction target is the
+// *relative* behaviour of schedules across interconnect regimes, not
+// absolute TFLOP/s.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hanayo::sim {
+
+struct Cluster {
+  std::string name;
+  int devices = 0;
+  double flops_per_s = 0.0;    ///< effective per-device compute rate
+  double mem_bytes = 0.0;      ///< per-device memory capacity
+  std::vector<double> bw;      ///< [src*devices+dst] bytes/s; 0 on diagonal
+  std::vector<double> latency; ///< [src*devices+dst] seconds
+
+  double bandwidth(int src, int dst) const { return bw[static_cast<size_t>(src * devices + dst)]; }
+  double lat(int src, int dst) const { return latency[static_cast<size_t>(src * devices + dst)]; }
+
+  /// Transfer time for `bytes` between two devices (0 if src == dst).
+  double transfer_time(int src, int dst, double bytes) const;
+
+  /// TACC Lonestar6 model with n devices (3 per node).
+  static Cluster tacc(int n);
+  /// Local 8-GPU A100 server, NVLink in pairs.
+  static Cluster pc();
+  /// Local 8-GPU A100 server, full NVLink.
+  static Cluster fc();
+  /// Tencent cloud 8-GPU V100 server (DGX-1-like hybrid mesh).
+  static Cluster tc();
+  /// Homogeneous cluster for tests: every link `bw_bytes`/`lat` s.
+  static Cluster uniform(int n, double flops, double mem, double bw_bytes,
+                         double lat);
+};
+
+}  // namespace hanayo::sim

@@ -1,0 +1,49 @@
+#include "sim/cost_model.hpp"
+
+#include <stdexcept>
+
+namespace hanayo::sim {
+
+double PipelineCosts::total_fwd() const {
+  double s = 0.0;
+  for (double x : fwd_s) s += x;
+  return s;
+}
+
+double PipelineCosts::total_bwd() const {
+  double s = 0.0;
+  for (double x : bwd_s) s += x;
+  return s;
+}
+
+PipelineCosts compute_costs(const model::ModelConfig& cfg, int stages,
+                            int mb_sequences, const Cluster& cluster,
+                            bool recompute) {
+  if (mb_sequences < 1) throw std::invalid_argument("compute_costs: mb_sequences < 1");
+  const auto descs = cfg.layer_descs();
+  const int64_t tokens = static_cast<int64_t>(mb_sequences) * cfg.seq;
+  const auto ranges = model::partition_layers(descs, stages, tokens);
+
+  PipelineCosts pc;
+  pc.fwd_s.reserve(static_cast<size_t>(stages));
+  for (int s = 0; s < stages; ++s) {
+    const model::StageStats st = model::stage_stats(descs, ranges[static_cast<size_t>(s)], tokens);
+    const double f = st.fwd_flops / cluster.flops_per_s;
+    pc.fwd_s.push_back(f);
+    // With recomputation the backward re-runs the stage forward first.
+    pc.bwd_s.push_back(f * kBwdFwdRatio + (recompute ? f : 0.0));
+    pc.weight_bytes.push_back(static_cast<double>(st.param_bytes));
+    if (recompute) {
+      // Only the stage input (one boundary activation) stays resident.
+      pc.act_bytes.push_back(static_cast<double>(tokens * cfg.hidden * 2));
+    } else {
+      pc.act_bytes.push_back(static_cast<double>(st.activation_bytes));
+    }
+    if (s + 1 < stages) {
+      pc.boundary_bytes.push_back(static_cast<double>(st.output_bytes));
+    }
+  }
+  return pc;
+}
+
+}  // namespace hanayo::sim

@@ -1,0 +1,50 @@
+#pragma once
+// Translates (model, partition, cluster) into per-action costs for the
+// event simulator: T_F / T_B per stage and per-boundary transfer volumes —
+// the quantities the paper's performance model (§3.4) is written in.
+
+#include <vector>
+
+#include "model/partition.hpp"
+#include "schedule/actions.hpp"
+#include "sim/cluster.hpp"
+
+namespace hanayo::sim {
+
+struct PipelineCosts {
+  /// Per model-stage forward/backward compute seconds (one micro-batch).
+  std::vector<double> fwd_s;
+  std::vector<double> bwd_s;
+  /// Bytes of the activation crossing boundary pos -> pos+1 (index pos;
+  /// size stages-1). Gradients are the same size in the reverse direction.
+  std::vector<double> boundary_bytes;
+  /// Per-stage weight bytes and per-micro-batch saved-activation bytes.
+  std::vector<double> weight_bytes;
+  std::vector<double> act_bytes;
+
+  double total_fwd() const;
+  double total_bwd() const;
+};
+
+/// Ratio of backward to forward compute cost. The paper draws and assumes
+/// T_B = 2 T_F throughout.
+inline constexpr double kBwdFwdRatio = 2.0;
+
+/// Builds stage costs for a model partitioned into `stages` stages with
+/// micro-batches of `mb_sequences` sequences. With `recompute` (activation
+/// checkpointing) each stage saves only its input between forward and
+/// backward, and the backward pays an extra forward.
+PipelineCosts compute_costs(const model::ModelConfig& cfg, int stages,
+                            int mb_sequences, const Cluster& cluster,
+                            bool recompute = false);
+
+/// Maps pipeline rank -> physical device id. `replica` selects the block of
+/// the cluster used by one data-parallel replica (replica r uses devices
+/// [r*P, (r+1)*P)).
+struct DeviceMap {
+  int P = 0;
+  int replica = 0;
+  int physical(int pipeline_rank) const { return replica * P + pipeline_rank; }
+};
+
+}  // namespace hanayo::sim

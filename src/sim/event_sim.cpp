@@ -1,0 +1,252 @@
+#include "sim/event_sim.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "sim/memory.hpp"
+
+namespace hanayo::sim {
+
+using schedule::Action;
+using schedule::DeviceScript;
+using schedule::Op;
+using schedule::Schedule;
+
+namespace {
+
+/// Key for message timestamps: (is_grad, mb, producing pos).
+struct MsgKey {
+  int grad;
+  int mb;
+  int pos;
+  auto operator<=>(const MsgKey&) const = default;
+};
+
+}  // namespace
+
+SimResult simulate(const Schedule& sched, const PipelineCosts& costs,
+                   const Cluster& cluster, const SimOptions& opt) {
+  const int P = sched.P;
+  const int S = sched.placement.stages();
+  if (static_cast<int>(costs.fwd_s.size()) != S) {
+    throw std::invalid_argument("simulate: costs stage count mismatch");
+  }
+  DeviceMap dm = opt.devmap;
+  if (dm.P == 0) dm.P = P;
+
+  std::vector<double> clock(static_cast<size_t>(P), 0.0);
+  std::vector<double> busy(static_cast<size_t>(P), 0.0);
+  std::vector<size_t> pc(static_cast<size_t>(P), 0);
+
+  // Dataflow timestamps.
+  std::map<MsgKey, double> arrival;                      // cross-device messages
+  std::map<std::tuple<int, int, int>, double> fwd_out;   // (dev, mb, pos) -> t
+  std::map<std::tuple<int, int, int>, double> fwd_in;    // received activations
+  std::map<std::tuple<int, int, int>, double> grad_out;  // produced input-grads
+  std::map<std::tuple<int, int, int>, double> grad_in;   // received output-grads
+  std::map<std::pair<int, int>, double> link_free;       // (src, dst) physical
+
+  // Memory accounting (see memory.hpp for the static part).
+  std::vector<double> weight_mem = device_weight_bytes(sched.placement, costs,
+                                                       opt.state_factor);
+  std::vector<double> cur_mem = weight_mem;
+  std::vector<double> peak_mem = weight_mem;
+
+  std::vector<TimelineSpan> timeline;
+  double comm_bytes = 0.0;
+
+  const auto send = [&](int src_rank, int dst_rank, double ready, double bytes,
+                        MsgKey key) {
+    const int ps = dm.physical(src_rank);
+    const int pd = dm.physical(dst_rank);
+    double& lf = link_free[{ps, pd}];
+    const double start = std::max(ready, lf);
+    const double dur = cluster.transfer_time(ps, pd, bytes);
+    lf = start + dur;
+    arrival[key] = start + dur;
+    comm_bytes += bytes;
+  };
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (const DeviceScript& ds : sched.scripts) {
+      const int d = ds.device;
+      auto& i = pc[static_cast<size_t>(d)];
+      while (i < ds.actions.size()) {
+        const Action& a = ds.actions[i];
+        bool can = false;
+        switch (a.op) {
+          case Op::LoadInput:
+            fwd_in[{d, a.mb, -1}] = clock[static_cast<size_t>(d)];
+            can = true;
+            break;
+          case Op::Forward: {
+            double ready;
+            bool have = false;
+            if (a.pos == 0) {
+              const auto it = fwd_in.find({d, a.mb, -1});
+              have = it != fwd_in.end();
+              ready = have ? it->second : 0.0;
+            } else if (auto it = fwd_out.find({d, a.mb, a.pos - 1}); it != fwd_out.end()) {
+              have = true;
+              ready = it->second;  // produced locally (wave turn)
+            } else if (auto it2 = fwd_in.find({d, a.mb, a.pos - 1}); it2 != fwd_in.end()) {
+              have = true;
+              ready = it2->second;  // received
+            } else {
+              ready = 0.0;
+            }
+            if (!have) break;
+            const double start = std::max(clock[static_cast<size_t>(d)], ready);
+            const double cost = costs.fwd_s[static_cast<size_t>(a.pos)];
+            clock[static_cast<size_t>(d)] = start + cost;
+            busy[static_cast<size_t>(d)] += cost;
+            fwd_out[{d, a.mb, a.pos}] = start + cost;
+            if (opt.record_timeline) {
+              timeline.push_back(TimelineSpan{d, a.mb, a.pos, false, start, start + cost});
+            }
+            cur_mem[static_cast<size_t>(d)] += costs.act_bytes[static_cast<size_t>(a.pos)];
+            peak_mem[static_cast<size_t>(d)] = std::max(peak_mem[static_cast<size_t>(d)], cur_mem[static_cast<size_t>(d)]);
+            can = true;
+            break;
+          }
+          case Op::SendAct: {
+            const auto it = fwd_out.find({d, a.mb, a.pos});
+            if (it == fwd_out.end()) break;
+            send(d, a.peer, it->second, costs.boundary_bytes[static_cast<size_t>(a.pos)],
+                 MsgKey{0, a.mb, a.pos});
+            can = true;
+            break;
+          }
+          case Op::RecvAct: {
+            const auto it = arrival.find(MsgKey{0, a.mb, a.pos - 1});
+            if (it == arrival.end()) break;
+            fwd_in[{d, a.mb, a.pos - 1}] = it->second;
+            can = true;
+            break;
+          }
+          case Op::Backward: {
+            const auto fit = fwd_out.find({d, a.mb, a.pos});
+            if (fit == fwd_out.end()) break;
+            double gready = fit->second;  // last position: loss is local
+            if (a.pos < S - 1) {
+              bool have = false;
+              if (auto it = grad_out.find({d, a.mb, a.pos + 1}); it != grad_out.end()) {
+                gready = std::max(gready, it->second);
+                have = true;
+              } else if (auto it2 = grad_in.find({d, a.mb, a.pos + 1}); it2 != grad_in.end()) {
+                gready = std::max(gready, it2->second);
+                have = true;
+              }
+              if (!have) break;
+            }
+            const double start = std::max(clock[static_cast<size_t>(d)], gready);
+            const double cost = costs.bwd_s[static_cast<size_t>(a.pos)];
+            clock[static_cast<size_t>(d)] = start + cost;
+            busy[static_cast<size_t>(d)] += cost;
+            grad_out[{d, a.mb, a.pos}] = start + cost;
+            if (opt.record_timeline) {
+              timeline.push_back(TimelineSpan{d, a.mb, a.pos, true, start, start + cost});
+            }
+            cur_mem[static_cast<size_t>(d)] -= costs.act_bytes[static_cast<size_t>(a.pos)];
+            can = true;
+            break;
+          }
+          case Op::SendGrad: {
+            const auto it = grad_out.find({d, a.mb, a.pos});
+            if (it == grad_out.end()) break;
+            send(d, a.peer, it->second, costs.boundary_bytes[static_cast<size_t>(a.pos - 1)],
+                 MsgKey{1, a.mb, a.pos});
+            can = true;
+            break;
+          }
+          case Op::RecvGrad: {
+            const auto it = arrival.find(MsgKey{1, a.mb, a.pos + 1});
+            if (it == arrival.end()) break;
+            grad_in[{d, a.mb, a.pos + 1}] = it->second;
+            can = true;
+            break;
+          }
+          case Op::Flush: {
+            // Executable only when every device has nothing but Flush /
+            // OptStep left (synchronous pipeline flush).
+            bool all_done = true;
+            for (const DeviceScript& other : sched.scripts) {
+              const size_t j = pc[static_cast<size_t>(other.device)];
+              for (size_t k = j; k < other.actions.size(); ++k) {
+                const Op o = other.actions[k].op;
+                if (o != Op::Flush && o != Op::OptStep) {
+                  all_done = false;
+                  break;
+                }
+              }
+              if (!all_done) break;
+            }
+            can = all_done;
+            break;
+          }
+          case Op::OptStep:
+            can = true;
+            break;
+        }
+        if (!can) break;
+        ++i;
+        progress = true;
+      }
+    }
+  }
+  for (int d = 0; d < P; ++d) {
+    if (pc[static_cast<size_t>(d)] != sched.scripts[static_cast<size_t>(d)].actions.size()) {
+      throw std::logic_error("simulate: schedule deadlocked (validate first)");
+    }
+  }
+
+  SimResult res;
+  res.timeline = std::move(timeline);
+  res.busy = busy;
+  res.peak_mem_bytes = peak_mem;
+  res.weight_mem_bytes = weight_mem;
+  res.comm_bytes = comm_bytes;
+  double makespan = 0.0;
+  for (double t : clock) makespan = std::max(makespan, t);
+
+  // Data-parallel gradient allreduce at flush: ring allreduce of this
+  // device's weight gradients across the D replicas, over the slowest link
+  // of the replica group.
+  if (opt.dp > 1) {
+    double worst = 0.0;
+    for (int d = 0; d < P; ++d) {
+      // Gradient volume = weight bytes (one copy, not the state factor).
+      const double grad_bytes = weight_mem[static_cast<size_t>(d)] / opt.state_factor;
+      double slowest_bw = 1e30;
+      double lat = 0.0;
+      for (int r = 0; r + 1 < opt.dp; ++r) {
+        const int pa = r * P + d;
+        const int pb = (r + 1) * P + d;
+        if (pb >= cluster.devices) continue;
+        slowest_bw = std::min(slowest_bw, cluster.bandwidth(pa, pb));
+        lat = std::max(lat, cluster.lat(pa, pb));
+      }
+      if (slowest_bw < 1e30) {
+        const double t = 2.0 * (opt.dp - 1) / static_cast<double>(opt.dp) *
+                             grad_bytes / slowest_bw +
+                         lat * opt.dp;
+        worst = std::max(worst, t);
+      }
+    }
+    makespan += worst;
+  }
+
+  res.makespan = makespan;
+  double total_busy = 0.0;
+  for (double b : busy) total_busy += b;
+  res.bubble_ratio = makespan > 0.0 ? 1.0 - total_busy / (P * makespan) : 0.0;
+  for (double m : peak_mem) {
+    if (m > cluster.mem_bytes) res.oom = true;
+  }
+  return res;
+}
+
+}  // namespace hanayo::sim

@@ -1,0 +1,62 @@
+#pragma once
+// Discrete-event execution of a schedule against a cluster cost model.
+//
+// Each device interprets its action list sequentially; sends are
+// asynchronous (they occupy the link, not the device — the paper's
+// computation/communication overlap via prefetching); receives transfer a
+// timestamp, and the wait — if any — is paid by the consuming compute
+// action. The result is the iteration makespan, per-device busy time (hence
+// bubble ratio), and the peak-memory trace used for Fig. 8 and the OOM
+// checks of Figs. 10-12.
+
+#include <vector>
+
+#include "schedule/actions.hpp"
+#include "sim/cost_model.hpp"
+
+namespace hanayo::sim {
+
+struct SimOptions {
+  /// Data-parallel replica count; adds a gradient allreduce at flush.
+  int dp = 1;
+  /// Bytes of weight state resident per weight byte (weights + grads +
+  /// optimizer momentum).
+  double state_factor = 3.0;
+  /// Map from pipeline rank to physical device.
+  DeviceMap devmap;
+  /// Record per-compute-op spans into SimResult::timeline (for the gallery
+  /// renderer and the Chrome-trace exporter).
+  bool record_timeline = false;
+};
+
+/// One executed compute span in the simulated timeline.
+struct TimelineSpan {
+  int device = 0;
+  int mb = 0;
+  int pos = 0;
+  bool backward = false;
+  double start = 0.0;
+  double end = 0.0;
+};
+
+struct SimResult {
+  double makespan = 0.0;                 ///< seconds per iteration
+  std::vector<double> busy;              ///< per pipeline rank
+  std::vector<double> peak_mem_bytes;    ///< per pipeline rank
+  std::vector<double> weight_mem_bytes;  ///< static part of the above
+  double bubble_ratio = 0.0;             ///< 1 - sum(busy)/(P*makespan)
+  double comm_bytes = 0.0;               ///< total P2P payload
+  bool oom = false;                      ///< any device over capacity
+  std::vector<TimelineSpan> timeline;    ///< filled when record_timeline
+
+  double throughput_seq_per_s(int batch_sequences) const {
+    return makespan > 0.0 ? batch_sequences / makespan : 0.0;
+  }
+};
+
+/// Runs the simulation. `costs` must have been built with the same stage
+/// count as `sched.placement.stages()`.
+SimResult simulate(const schedule::Schedule& sched, const PipelineCosts& costs,
+                   const Cluster& cluster, const SimOptions& opt = {});
+
+}  // namespace hanayo::sim

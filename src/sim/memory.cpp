@@ -1,0 +1,20 @@
+#include "sim/memory.hpp"
+
+namespace hanayo::sim {
+
+std::vector<double> device_weight_bytes(const schedule::Placement& pl,
+                                        const PipelineCosts& costs,
+                                        double state_factor) {
+  std::vector<double> out(static_cast<size_t>(pl.devices()), 0.0);
+  for (int d = 0; d < pl.devices(); ++d) {
+    for (int c = 0; c < pl.chunks_per_device(); ++c) {
+      const int st = pl.stage_of(d, c);
+      if (st >= 0) {
+        out[static_cast<size_t>(d)] += costs.weight_bytes[static_cast<size_t>(st)] * state_factor;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hanayo::sim

@@ -1,0 +1,20 @@
+#pragma once
+// Static (weight-state) memory accounting per device.
+
+#include <vector>
+
+#include "schedule/placement.hpp"
+#include "sim/cost_model.hpp"
+
+namespace hanayo::sim {
+
+/// Bytes of resident weight state per pipeline rank:
+///   sum over the device's chunks of stage weight bytes, times
+///   `state_factor` (weights + grads + optimizer momentum = 3.0 default).
+/// For Chimera this naturally doubles, because each device owns two
+/// replicas' chunks — the paper's 2x Mw.
+std::vector<double> device_weight_bytes(const schedule::Placement& pl,
+                                        const PipelineCosts& costs,
+                                        double state_factor);
+
+}  // namespace hanayo::sim

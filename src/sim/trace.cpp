@@ -1,0 +1,50 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace hanayo::sim {
+
+std::string ascii_timeline(const SimResult& res, int devices, double slot) {
+  double end = 0.0;
+  for (const TimelineSpan& s : res.timeline) end = std::max(end, s.end);
+  const int width = static_cast<int>(std::ceil(end / slot - 1e-9));
+  std::vector<std::string> rows(static_cast<size_t>(devices),
+                                std::string(static_cast<size_t>(width), '.'));
+  for (const TimelineSpan& s : res.timeline) {
+    const int c0 = static_cast<int>(std::floor(s.start / slot + 1e-9));
+    const int c1 = static_cast<int>(std::ceil(s.end / slot - 1e-9));
+    const char glyph = s.backward ? static_cast<char>('a' + s.mb % 26)
+                                  : static_cast<char>('0' + s.mb % 10);
+    for (int c = c0; c < c1 && c < width; ++c) {
+      rows[static_cast<size_t>(s.device)][static_cast<size_t>(c)] = glyph;
+    }
+  }
+  std::ostringstream os;
+  for (int d = 0; d < devices; ++d) {
+    os << "  P" << d << " |" << rows[static_cast<size_t>(d)] << "|\n";
+  }
+  return os.str();
+}
+
+std::string chrome_trace_json(const SimResult& res) {
+  std::ostringstream os;
+  os << "[\n";
+  bool first = true;
+  for (const TimelineSpan& s : res.timeline) {
+    if (!first) os << ",\n";
+    first = false;
+    // Times in microseconds, as the trace format expects.
+    os << "  {\"name\": \"" << (s.backward ? "B" : "F") << "(mb=" << s.mb
+       << ",pos=" << s.pos << ")\", \"cat\": \""
+       << (s.backward ? "backward" : "forward") << "\", \"ph\": \"X\", \"ts\": "
+       << s.start * 1e6 << ", \"dur\": " << (s.end - s.start) * 1e6
+       << ", \"pid\": 0, \"tid\": " << s.device << ", \"args\": {\"mb\": "
+       << s.mb << ", \"pos\": " << s.pos << "}}";
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+}  // namespace hanayo::sim

@@ -1,0 +1,21 @@
+#pragma once
+// Timeline exporters: render a simulated schedule as an ASCII chart (the
+// paper's Fig. 3 style) or as a Chrome-trace JSON (`chrome://tracing`,
+// Perfetto) for interactive inspection.
+
+#include <string>
+
+#include "sim/event_sim.hpp"
+
+namespace hanayo::sim {
+
+/// ASCII rendering of a recorded timeline: one row per device, digits for
+/// forward slots, letters for backward slots, '.' for idle. `slot` is the
+/// wall-time width of one character (pick the forward stage time).
+std::string ascii_timeline(const SimResult& res, int devices, double slot);
+
+/// Chrome-trace (about://tracing) JSON of the recorded timeline, one track
+/// per device, with micro-batch/position metadata on each span.
+std::string chrome_trace_json(const SimResult& res);
+
+}  // namespace hanayo::sim

@@ -1,0 +1,85 @@
+#include "tensor/half.hpp"
+
+#include <bit>
+
+namespace hanayo::tensor {
+
+uint16_t float_to_half(float f) {
+  const uint32_t bits = std::bit_cast<uint32_t>(f);
+  const uint32_t sign = (bits >> 16) & 0x8000u;
+  const uint32_t exp = (bits >> 23) & 0xFFu;
+  uint32_t mant = bits & 0x7FFFFFu;
+
+  if (exp == 0xFFu) {
+    // Inf / NaN: keep a non-zero mantissa bit for NaN.
+    return static_cast<uint16_t>(sign | 0x7C00u | (mant ? 0x200u : 0u));
+  }
+
+  // Unbiased exponent; fp16 bias is 15, fp32 bias is 127.
+  const int32_t e = static_cast<int32_t>(exp) - 127 + 15;
+
+  if (e >= 0x1F) {
+    // Overflow: saturate to infinity.
+    return static_cast<uint16_t>(sign | 0x7C00u);
+  }
+  if (e <= 0) {
+    // Subnormal or zero. Shift the (implicit-1) mantissa right; round to
+    // nearest even on the bits shifted out.
+    if (e < -10) return static_cast<uint16_t>(sign);  // underflow to ±0
+    mant |= 0x800000u;                                // implicit leading 1
+    const int shift = 14 - e;                         // 14..24
+    const uint32_t half_mant = mant >> shift;
+    const uint32_t rem = mant & ((1u << shift) - 1u);
+    const uint32_t halfway = 1u << (shift - 1);
+    uint32_t rounded = half_mant;
+    if (rem > halfway || (rem == halfway && (half_mant & 1u))) ++rounded;
+    return static_cast<uint16_t>(sign | rounded);
+  }
+
+  // Normal: round mantissa from 23 to 10 bits, to nearest even.
+  uint32_t half = sign | (static_cast<uint32_t>(e) << 10) | (mant >> 13);
+  const uint32_t rem = mant & 0x1FFFu;
+  if (rem > 0x1000u || (rem == 0x1000u && (half & 1u))) {
+    ++half;  // may carry into the exponent — that is correct (1.111.. -> 10.0)
+  }
+  return static_cast<uint16_t>(half);
+}
+
+float half_to_float(uint16_t h) {
+  const uint32_t sign = (static_cast<uint32_t>(h) & 0x8000u) << 16;
+  const uint32_t exp = (h >> 10) & 0x1Fu;
+  const uint32_t mant = h & 0x3FFu;
+
+  uint32_t bits;
+  if (exp == 0x1Fu) {
+    bits = sign | 0x7F800000u | (mant << 13);  // inf / NaN
+  } else if (exp == 0) {
+    if (mant == 0) {
+      bits = sign;  // ±0
+    } else {
+      // Subnormal: normalise.
+      int e = -1;
+      uint32_t m = mant;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & 0x400u) == 0);
+      bits = sign | (static_cast<uint32_t>(127 - 15 - e) << 23) |
+             ((m & 0x3FFu) << 13);
+    }
+  } else {
+    bits = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+  return std::bit_cast<float>(bits);
+}
+
+Tensor fp16_round_trip(const Tensor& t) {
+  Tensor out(t.shape());
+  const int64_t n = t.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = half_to_float(float_to_half(t[i]));
+  }
+  return out;
+}
+
+}  // namespace hanayo::tensor

@@ -1,0 +1,38 @@
+#pragma once
+// IEEE 754 binary16 conversion, from scratch.
+//
+// The paper's training setup is mixed precision (§6 cites Micikevicius et
+// al.): activations and the P2P transfers between pipeline stages are fp16,
+// halving both the activation memory (the Ma axis of Fig. 3) and the
+// communication volume that the bubble model charges as T_C. This module is
+// the codec; comm/fp16.hpp applies it to pipeline transfers.
+//
+// Conversion follows the standard: round-to-nearest-even, gradual underflow
+// to subnormals, saturation of out-of-range magnitudes to ±inf, NaN
+// preservation.
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace hanayo::tensor {
+
+/// Converts one float to binary16 bits (round-to-nearest-even).
+uint16_t float_to_half(float f);
+
+/// Converts binary16 bits to float (exact).
+float half_to_float(uint16_t h);
+
+/// Quantizes every element through fp16 and back — the numerical effect of
+/// storing/transmitting the tensor in half precision.
+Tensor fp16_round_trip(const Tensor& t);
+
+/// Largest finite fp16 value (65504) and smallest positive normal (2^-14).
+inline constexpr float kHalfMax = 65504.0f;
+inline constexpr float kHalfMinNormal = 6.103515625e-05f;
+
+/// Maximum relative rounding error of fp16 for normal values: 2^-11.
+inline constexpr float kHalfEps = 4.8828125e-04f;
+
+}  // namespace hanayo::tensor

@@ -1,0 +1,59 @@
+#pragma once
+// Numerical kernels used by the model substrate.
+//
+// All kernels are straightforward scalar loops with a fixed summation order —
+// determinism matters more than raw speed here, because the test suite
+// compares pipeline-parallel training against a sequential baseline.
+
+#include "tensor/tensor.hpp"
+
+namespace hanayo::tensor {
+
+/// C = A (m×k) * B (k×n). A and B must be 2-d.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C = A (m×k) * B^T (n×k). Used for backward passes without materialising
+/// the transpose.
+Tensor matmul_bt(const Tensor& a, const Tensor& b);
+
+/// C = A^T (k×m) * B (k×n).
+Tensor matmul_at(const Tensor& a, const Tensor& b);
+
+/// 2-d transpose.
+Tensor transpose(const Tensor& a);
+
+/// Elementwise binary ops (shapes must match).
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+
+/// Scalar ops.
+Tensor add_scalar(const Tensor& a, float s);
+Tensor mul_scalar(const Tensor& a, float s);
+
+/// Adds a length-n bias row to every row of a (..., n) tensor.
+Tensor add_bias(const Tensor& a, const Tensor& bias);
+
+/// Column-wise sum of a 2-d tensor -> length-n vector. (Bias gradient.)
+Tensor col_sum(const Tensor& a);
+
+/// Full reductions.
+float sum(const Tensor& a);
+float mean(const Tensor& a);
+float max_abs(const Tensor& a);
+
+/// Row-wise softmax over the last dimension (any rank; treated as 2-d).
+Tensor softmax_lastdim(const Tensor& a);
+
+/// GELU (tanh approximation) and its derivative given the forward input.
+Tensor gelu(const Tensor& a);
+Tensor gelu_grad(const Tensor& x, const Tensor& dy);
+
+/// max elementwise |a - b|; used heavily in tests.
+float max_abs_diff(const Tensor& a, const Tensor& b);
+
+/// true iff all |a-b| <= atol + rtol*|b| elementwise and shapes match.
+bool allclose(const Tensor& a, const Tensor& b, float rtol = 1e-5f,
+              float atol = 1e-6f);
+
+}  // namespace hanayo::tensor

@@ -1,0 +1,74 @@
+#include "tensor/rng.hpp"
+
+#include <cmath>
+
+namespace hanayo::tensor {
+
+namespace {
+uint64_t splitmix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+uint64_t Rng::next_u64() {
+  const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+float Rng::uniform() {
+  // 24 high bits -> float in [0, 1).
+  return static_cast<float>(next_u64() >> 40) * (1.0f / 16777216.0f);
+}
+
+float Rng::uniform(float lo, float hi) { return lo + (hi - lo) * uniform(); }
+
+float Rng::normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; guard against log(0).
+  float u1 = uniform();
+  if (u1 < 1e-12f) u1 = 1e-12f;
+  const float u2 = uniform();
+  const float r = std::sqrt(-2.0f * std::log(u1));
+  const float theta = 6.283185307179586f * u2;
+  cached_normal_ = r * std::sin(theta);
+  have_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+int64_t Rng::index(int64_t n) {
+  return static_cast<int64_t>(next_u64() % static_cast<uint64_t>(n));
+}
+
+Tensor Rng::randn(Shape shape, float std) {
+  Tensor t(std::move(shape));
+  for (float& x : t.flat()) x = normal() * std;
+  return t;
+}
+
+Tensor Rng::rand(Shape shape, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (float& x : t.flat()) x = uniform(lo, hi);
+  return t;
+}
+
+}  // namespace hanayo::tensor

@@ -1,0 +1,43 @@
+#pragma once
+// Deterministic random number generation for reproducible experiments.
+//
+// Every stochastic component in the repo (weight init, synthetic workload
+// generation) draws from an explicitly seeded `Rng` so that pipeline runs on
+// P workers can be compared bit-for-bit against a sequential baseline.
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace hanayo::tensor {
+
+/// xoshiro256** — small, fast, high-quality PRNG; deterministic across
+/// platforms (unlike std::normal_distribution, whose output is
+/// implementation-defined).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform in [0, 1).
+  float uniform();
+  /// Uniform in [lo, hi).
+  float uniform(float lo, float hi);
+  /// Standard normal via Box-Muller (deterministic given the seed).
+  float normal();
+  /// Uniform integer in [0, n).
+  int64_t index(int64_t n);
+
+  /// Tensor with iid N(0, std^2) entries.
+  Tensor randn(Shape shape, float std = 1.0f);
+  /// Tensor with iid U[lo, hi) entries.
+  Tensor rand(Shape shape, float lo = 0.0f, float hi = 1.0f);
+
+  uint64_t next_u64();
+
+ private:
+  uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  float cached_normal_ = 0.0f;
+};
+
+}  // namespace hanayo::tensor

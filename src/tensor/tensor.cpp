@@ -1,0 +1,91 @@
+#include "tensor/tensor.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace hanayo::tensor {
+
+int64_t shape_numel(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    if (d < 0) throw std::invalid_argument("negative dimension in shape");
+    n *= d;
+  }
+  return n;
+}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)),
+      data_(static_cast<size_t>(shape_numel(shape_)), fill) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (shape_numel(shape_) != static_cast<int64_t>(data_.size())) {
+    throw std::invalid_argument("data size does not match shape");
+  }
+}
+
+int64_t Tensor::size(int64_t i) const {
+  const int64_t d = dim();
+  if (i < 0) i += d;
+  if (i < 0 || i >= d) throw std::out_of_range("Tensor::size index");
+  return shape_[static_cast<size_t>(i)];
+}
+
+float& Tensor::at(int64_t r, int64_t c) {
+  return data_[static_cast<size_t>(r * size(-1) + c)];
+}
+float Tensor::at(int64_t r, int64_t c) const {
+  return data_[static_cast<size_t>(r * size(-1) + c)];
+}
+float& Tensor::at(int64_t n, int64_t t, int64_t h) {
+  return data_[static_cast<size_t>((n * size(1) + t) * size(2) + h)];
+}
+float Tensor::at(int64_t n, int64_t t, int64_t h) const {
+  return data_[static_cast<size_t>((n * size(1) + t) * size(2) + h)];
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  if (shape_numel(new_shape) != numel()) {
+    throw std::invalid_argument("reshape: numel mismatch");
+  }
+  Tensor out;
+  out.shape_ = std::move(new_shape);
+  out.data_ = data_;
+  return out;
+}
+
+Tensor Tensor::flattened_2d() const {
+  if (dim() < 2) throw std::invalid_argument("flattened_2d: need dim>=2");
+  int64_t cols = size(-1);
+  return reshaped({numel() / cols, cols});
+}
+
+void Tensor::fill(float v) {
+  for (float& x : data_) x = v;
+}
+
+void Tensor::add_(const Tensor& other) {
+  if (!same_shape(other)) throw std::invalid_argument("add_: shape mismatch");
+  const float* src = other.data();
+  float* dst = data();
+  const int64_t n = numel();
+  for (int64_t i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+void Tensor::scale_(float s) {
+  for (float& x : data_) x *= s;
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream os;
+  os << '[';
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << ", ";
+    os << shape_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace hanayo::tensor

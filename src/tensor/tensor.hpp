@@ -1,0 +1,91 @@
+#pragma once
+// Dense row-major float tensor.
+//
+// This is the computational substrate for the Hanayo runtime: activations,
+// gradients and parameters are all `Tensor`s. The class is deliberately
+// value-semantic (copyable, movable) so that the message-passing layer can
+// move payloads between workers without sharing mutable state.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hanayo::tensor {
+
+/// Shape of a tensor; up to 4 dimensions are used in practice
+/// ([batch, seq, hidden] for activations, [rows, cols] for weights).
+using Shape = std::vector<int64_t>;
+
+class Tensor {
+ public:
+  /// An empty 0-d tensor (numel() == 0).
+  Tensor() = default;
+
+  /// A tensor of the given shape with every element set to `fill`.
+  explicit Tensor(Shape shape, float fill = 0.0f);
+
+  /// A tensor wrapping existing data (copied); data.size() must equal the
+  /// product of `shape`.
+  Tensor(Shape shape, std::vector<float> data);
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape), 0.0f); }
+  static Tensor ones(Shape shape) { return Tensor(std::move(shape), 1.0f); }
+  static Tensor full(Shape shape, float v) { return Tensor(std::move(shape), v); }
+
+  /// Number of elements.
+  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+  /// Number of dimensions.
+  int64_t dim() const { return static_cast<int64_t>(shape_.size()); }
+  /// Extent of dimension `i` (supports negative indices, python-style).
+  int64_t size(int64_t i) const;
+  const Shape& shape() const { return shape_; }
+  bool empty() const { return data_.empty(); }
+  /// Bytes occupied by the payload (used by the memory accountant).
+  int64_t bytes() const { return numel() * static_cast<int64_t>(sizeof(float)); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> flat() { return {data_.data(), data_.size()}; }
+  std::span<const float> flat() const { return {data_.data(), data_.size()}; }
+
+  float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
+  float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+
+  /// 2-d element access: (row, col).
+  float& at(int64_t r, int64_t c);
+  float at(int64_t r, int64_t c) const;
+  /// 3-d element access: (n, t, h).
+  float& at(int64_t n, int64_t t, int64_t h);
+  float at(int64_t n, int64_t t, int64_t h) const;
+
+  /// Returns a tensor with the same data and a new shape; numel must match.
+  Tensor reshaped(Shape new_shape) const;
+  /// Reinterprets [a, b, c] as [a*b, c] (no copy of semantics, data shared
+  /// by value copy). Requires dim() >= 2.
+  Tensor flattened_2d() const;
+
+  /// In-place fill.
+  void fill(float v);
+  /// In-place zero.
+  void zero() { fill(0.0f); }
+
+  /// Elementwise in-place accumulate: *this += other. Shapes must match.
+  void add_(const Tensor& other);
+  /// Elementwise in-place scale: *this *= s.
+  void scale_(float s);
+
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  /// Human-readable "[2, 3, 4]" string for diagnostics.
+  std::string shape_str() const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+/// Product of all extents; throws on negative extents.
+int64_t shape_numel(const Shape& shape);
+
+}  // namespace hanayo::tensor

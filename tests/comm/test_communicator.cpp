@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "comm/communicator.hpp"
+
+namespace hc = hanayo::comm;
+namespace ht = hanayo::tensor;
+
+TEST(Tag, EncodesFieldsDistinctly) {
+  const auto t1 = hc::make_tag(hc::Kind::Activation, 1, 2);
+  const auto t2 = hc::make_tag(hc::Kind::Gradient, 1, 2);
+  const auto t3 = hc::make_tag(hc::Kind::Activation, 2, 2);
+  const auto t4 = hc::make_tag(hc::Kind::Activation, 1, 3);
+  const auto t5 = hc::make_tag(hc::Kind::Activation, 1, 2, 1);
+  EXPECT_NE(t1, t2);
+  EXPECT_NE(t1, t3);
+  EXPECT_NE(t1, t4);
+  EXPECT_NE(t1, t5);
+}
+
+TEST(Communicator, RankBoundsChecked) {
+  hc::World w(2);
+  EXPECT_THROW(hc::Communicator(&w, 2), std::invalid_argument);
+  hc::Communicator c(&w, 0);
+  EXPECT_THROW(c.isend(5, 0, ht::Tensor({1})), std::invalid_argument);
+  EXPECT_THROW(c.irecv(-1, 0, nullptr), std::invalid_argument);
+}
+
+TEST(Communicator, SendRecvRoundTrip) {
+  hc::World w(2);
+  hc::Communicator c0(&w, 0), c1(&w, 1);
+  std::thread t([&] { c1.send(0, 3, ht::Tensor({2}, std::vector<float>{7, 8})); });
+  ht::Tensor got = c0.recv(1, 3);
+  t.join();
+  EXPECT_FLOAT_EQ(got[0], 7.0f);
+  EXPECT_FLOAT_EQ(got[1], 8.0f);
+}
+
+TEST(Communicator, IsendCompletesImmediately) {
+  hc::World w(2);
+  hc::Communicator c0(&w, 0);
+  auto req = c0.isend(1, 1, ht::Tensor({1}));
+  EXPECT_TRUE(req->test());
+}
+
+TEST(Communicator, IrecvThenIsend) {
+  hc::World w(2);
+  hc::Communicator c0(&w, 0), c1(&w, 1);
+  ht::Tensor out;
+  auto r = c0.irecv(1, 4, &out);
+  EXPECT_FALSE(r->test());
+  c1.isend(0, 4, ht::Tensor({1}, std::vector<float>{9}));
+  r->wait();
+  EXPECT_FLOAT_EQ(out[0], 9.0f);
+}
+
+TEST(Communicator, CountersTrackTraffic) {
+  hc::World w(2);
+  hc::Communicator c0(&w, 0);
+  c0.isend(1, 1, ht::Tensor({4}));
+  c0.isend(1, 2, ht::Tensor({2}));
+  EXPECT_EQ(c0.messages_sent(), 2);
+  EXPECT_EQ(c0.bytes_sent(), 24);
+}
+
+TEST(Communicator, BatchIsendIrecvMutualExchange) {
+  // The wave-turn pattern: both ranks send to and receive from each other.
+  // Posting order must not deadlock regardless of which side runs first.
+  hc::World w(2);
+  auto run = [&](int rank, float val, float* got) {
+    hc::Communicator c(&w, rank);
+    ht::Tensor to_send({1}, std::vector<float>{val});
+    ht::Tensor recv_buf;
+    std::vector<hc::P2POp> ops;
+    ops.push_back({hc::P2POp::Dir::Recv, 1 - rank, 11, &recv_buf});
+    ops.push_back({hc::P2POp::Dir::Send, 1 - rank, 11, &to_send});
+    auto reqs = c.batch_isend_irecv(ops);
+    hc::Communicator::wait_all(reqs);
+    *got = recv_buf[0];
+  };
+  float g0 = 0, g1 = 0;
+  std::thread t0([&] { run(0, 100, &g0); });
+  std::thread t1([&] { run(1, 200, &g1); });
+  t0.join();
+  t1.join();
+  EXPECT_FLOAT_EQ(g0, 200.0f);
+  EXPECT_FLOAT_EQ(g1, 100.0f);
+}
+
+TEST(Communicator, ManyMessagesOrderedPerTag) {
+  hc::World w(2);
+  hc::Communicator c0(&w, 0), c1(&w, 1);
+  std::thread t([&] {
+    for (int i = 0; i < 100; ++i) {
+      c1.isend(0, 5, ht::Tensor({1}, std::vector<float>{static_cast<float>(i)}));
+    }
+  });
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FLOAT_EQ(c0.recv(1, 5)[0], static_cast<float>(i));
+  }
+  t.join();
+}
+
+TEST(Communicator, StressManyThreadsManyTags) {
+  const int n = 8;
+  hc::World w(n);
+  std::vector<std::thread> ts;
+  std::atomic<int> failures{0};
+  for (int r = 0; r < n; ++r) {
+    ts.emplace_back([&, r] {
+      hc::Communicator c(&w, r);
+      // Everyone sends to everyone.
+      for (int dst = 0; dst < n; ++dst) {
+        if (dst == r) continue;
+        c.isend(dst, hc::make_tag(hc::Kind::Control, r, 0),
+                ht::Tensor({1}, std::vector<float>{static_cast<float>(r)}));
+      }
+      for (int src = 0; src < n; ++src) {
+        if (src == r) continue;
+        ht::Tensor got = c.recv(src, hc::make_tag(hc::Kind::Control, src, 0));
+        if (got[0] != static_cast<float>(src)) ++failures;
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}

@@ -1,0 +1,84 @@
+// fp16-packed pipeline transfers.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "comm/fp16.hpp"
+
+namespace hc = hanayo::comm;
+namespace ht = hanayo::tensor;
+
+TEST(Fp16Pack, RoundTripsShapesAndValues) {
+  for (const ht::Shape& shape :
+       {ht::Shape{5}, ht::Shape{2, 3}, ht::Shape{2, 3, 4}, ht::Shape{7, 1}}) {
+    ht::Tensor t(shape);
+    for (int64_t i = 0; i < t.numel(); ++i) {
+      t[i] = 0.125f * static_cast<float>(i) - 2.0f;  // fp16-exact values
+    }
+    const ht::Tensor packed = hc::pack_fp16(t);
+    const ht::Tensor back = hc::unpack_fp16(packed);
+    ASSERT_EQ(back.shape(), t.shape());
+    for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(back[i], t[i]) << i;
+  }
+}
+
+TEST(Fp16Pack, OddElementCountHandled) {
+  ht::Tensor t({3}, std::vector<float>{1.0f, 2.0f, 3.0f});
+  const ht::Tensor back = hc::unpack_fp16(hc::pack_fp16(t));
+  ASSERT_EQ(back.numel(), 3);
+  EXPECT_EQ(back[0], 1.0f);
+  EXPECT_EQ(back[1], 2.0f);
+  EXPECT_EQ(back[2], 3.0f);
+}
+
+TEST(Fp16Pack, HalvesThePayload) {
+  ht::Tensor t({64, 64});  // 4096 floats = 16 KiB
+  const ht::Tensor packed = hc::pack_fp16(t);
+  // header: 1 + dims; payload: n/2 float words.
+  EXPECT_EQ(packed.numel(), 3 + 4096 / 2);
+  EXPECT_LT(packed.bytes(), t.bytes() / 2 + 4 * 16);
+}
+
+TEST(Fp16Pack, QuantizesThroughHalf) {
+  ht::Tensor t({2}, std::vector<float>{1.0003f, 70000.0f});
+  const ht::Tensor back = hc::unpack_fp16(hc::pack_fp16(t));
+  EXPECT_EQ(back[0], 1.0f);
+  EXPECT_EQ(back[1], std::numeric_limits<float>::infinity());
+}
+
+TEST(Fp16Pack, RejectsMalformedInput) {
+  EXPECT_THROW(hc::pack_fp16(ht::Tensor{}), std::invalid_argument);
+  EXPECT_THROW(hc::unpack_fp16(ht::Tensor{}), std::invalid_argument);
+  // Header claims 2 dims but carries none.
+  ht::Tensor bad({1}, std::vector<float>{2.0f});
+  EXPECT_THROW(hc::unpack_fp16(bad), std::invalid_argument);
+  // Wrong payload length: header promises 5 elements (3 packed words) but
+  // only 2 words follow.
+  ht::Tensor bad2({4}, std::vector<float>{1.0f, 5.0f, 0.0f, 0.0f});
+  EXPECT_THROW(hc::unpack_fp16(bad2), std::invalid_argument);
+  // Negative extent.
+  ht::Tensor bad3({2}, std::vector<float>{1.0f, -3.0f});
+  EXPECT_THROW(hc::unpack_fp16(bad3), std::invalid_argument);
+}
+
+TEST(Fp16Pack, SendRecvAcrossThreads) {
+  hc::World w(2);
+  ht::Tensor payload({2, 4});
+  for (int64_t i = 0; i < payload.numel(); ++i) {
+    payload[i] = 0.25f * static_cast<float>(i);
+  }
+  std::thread sender([&] {
+    hc::Communicator c(&w, 0);
+    hc::isend_fp16(c, 1, hc::make_tag(hc::Kind::Activation, 0, 0), payload)
+        ->wait();
+  });
+  ht::Tensor got;
+  {
+    hc::Communicator c(&w, 1);
+    got = hc::recv_fp16(c, 0, hc::make_tag(hc::Kind::Activation, 0, 0));
+  }
+  sender.join();
+  ASSERT_EQ(got.shape(), payload.shape());
+  for (int64_t i = 0; i < payload.numel(); ++i) EXPECT_EQ(got[i], payload[i]);
+}

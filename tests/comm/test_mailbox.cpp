@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "comm/mailbox.hpp"
+
+namespace hc = hanayo::comm;
+namespace ht = hanayo::tensor;
+
+TEST(Mailbox, PutThenGet) {
+  hc::Mailbox box;
+  box.put(hc::Message{0, 7, ht::Tensor({2}, std::vector<float>{1, 2})});
+  ht::Tensor t = box.get(0, 7);
+  EXPECT_FLOAT_EQ(t[1], 2.0f);
+  EXPECT_EQ(box.pending(), 0u);
+}
+
+TEST(Mailbox, GetMatchesOnSrcAndTag) {
+  hc::Mailbox box;
+  box.put(hc::Message{1, 5, ht::Tensor({1}, std::vector<float>{10})});
+  box.put(hc::Message{0, 5, ht::Tensor({1}, std::vector<float>{20})});
+  box.put(hc::Message{0, 6, ht::Tensor({1}, std::vector<float>{30})});
+  EXPECT_FLOAT_EQ(box.get(0, 6)[0], 30.0f);
+  EXPECT_FLOAT_EQ(box.get(0, 5)[0], 20.0f);
+  EXPECT_FLOAT_EQ(box.get(1, 5)[0], 10.0f);
+}
+
+TEST(Mailbox, FifoPerSignature) {
+  hc::Mailbox box;
+  box.put(hc::Message{0, 1, ht::Tensor({1}, std::vector<float>{1})});
+  box.put(hc::Message{0, 1, ht::Tensor({1}, std::vector<float>{2})});
+  EXPECT_FLOAT_EQ(box.get(0, 1)[0], 1.0f);
+  EXPECT_FLOAT_EQ(box.get(0, 1)[0], 2.0f);
+}
+
+TEST(Mailbox, GetBlocksUntilPut) {
+  hc::Mailbox box;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    box.put(hc::Message{3, 9, ht::Tensor({1}, std::vector<float>{42})});
+  });
+  ht::Tensor t = box.get(3, 9);
+  producer.join();
+  EXPECT_FLOAT_EQ(t[0], 42.0f);
+}
+
+TEST(Mailbox, AsyncRecvAlreadyQueued) {
+  hc::Mailbox box;
+  box.put(hc::Message{0, 2, ht::Tensor({1}, std::vector<float>{5})});
+  ht::Tensor out;
+  auto req = std::make_shared<hc::RequestState>();
+  box.get_async(0, 2, &out, req);
+  EXPECT_TRUE(req->test());
+  EXPECT_FLOAT_EQ(out[0], 5.0f);
+}
+
+TEST(Mailbox, AsyncRecvCompletesOnArrival) {
+  hc::Mailbox box;
+  ht::Tensor out;
+  auto req = std::make_shared<hc::RequestState>();
+  box.get_async(4, 8, &out, req);
+  EXPECT_FALSE(req->test());
+  box.put(hc::Message{4, 8, ht::Tensor({1}, std::vector<float>{6})});
+  req->wait();
+  EXPECT_FLOAT_EQ(out[0], 6.0f);
+}
+
+TEST(Mailbox, AsyncRecvIgnoresNonMatching) {
+  hc::Mailbox box;
+  ht::Tensor out;
+  auto req = std::make_shared<hc::RequestState>();
+  box.get_async(4, 8, &out, req);
+  box.put(hc::Message{4, 9, ht::Tensor({1}, std::vector<float>{1})});
+  EXPECT_FALSE(req->test());
+  EXPECT_EQ(box.pending(), 1u);
+  box.put(hc::Message{4, 8, ht::Tensor({1}, std::vector<float>{2})});
+  req->wait();
+  EXPECT_FLOAT_EQ(out[0], 2.0f);
+}
+
+TEST(World, RejectsNonPositiveRanks) {
+  EXPECT_THROW(hc::World(0), std::invalid_argument);
+}
+
+TEST(World, BarrierSynchronises) {
+  hc::World world(4);
+  std::atomic<int> before{0}, after{0};
+  std::vector<std::thread> ts;
+  for (int r = 0; r < 4; ++r) {
+    ts.emplace_back([&] {
+      ++before;
+      world.barrier();
+      EXPECT_EQ(before.load(), 4);
+      ++after;
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(after.load(), 4);
+}
+
+TEST(World, BarrierReusable) {
+  hc::World world(2);
+  for (int iter = 0; iter < 50; ++iter) {
+    std::thread other([&] { world.barrier(); });
+    world.barrier();
+    other.join();
+  }
+  SUCCEED();
+}

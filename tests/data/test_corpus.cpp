@@ -1,0 +1,107 @@
+// Synthetic corpus: determinism, structure, learnability.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "data/corpus.hpp"
+
+namespace hd = hanayo::data;
+
+TEST(Corpus, DeterministicAcrossInstances) {
+  hd::SyntheticCorpus a(101, 7), b(101, 7);
+  EXPECT_EQ(a.tokens(0, 256), b.tokens(0, 256));
+  EXPECT_EQ(a.tokens(1000, 64), b.tokens(1000, 64));
+}
+
+TEST(Corpus, SeedsProduceDifferentStreams) {
+  hd::SyntheticCorpus a(101, 7), b(101, 8);
+  EXPECT_NE(a.tokens(0, 256), b.tokens(0, 256));
+}
+
+TEST(Corpus, RandomAccessMatchesSequentialRead) {
+  // tokens(offset, n) must equal the corresponding slice of a longer read —
+  // the property sharded loading depends on.
+  hd::SyntheticCorpus c(67, 21);
+  const auto full = c.tokens(0, 512);
+  for (int64_t off : {0L, 1L, 63L, 64L, 65L, 200L, 450L}) {
+    const auto part = c.tokens(off, 50);
+    for (int64_t i = 0; i < 50; ++i) {
+      ASSERT_EQ(part[static_cast<size_t>(i)], full[static_cast<size_t>(off + i)])
+          << "offset " << off << " + " << i;
+    }
+  }
+}
+
+TEST(Corpus, TokensStayInVocabulary) {
+  hd::SyntheticCorpus c(31, 3);
+  for (const int32_t t : c.tokens(0, 4096)) {
+    ASSERT_GE(t, 0);
+    ASSERT_LT(t, 31);
+  }
+}
+
+TEST(Corpus, TransitionsFollowTheDeclaredModel) {
+  // Empirical next-token frequencies must match transition_prob: the
+  // preferred successor of a frequent token should appear far more often
+  // than the uniform-smoothing rate.
+  hd::SyntheticCorpus c(53, 11, /*branching=*/4);
+  const auto toks = c.tokens(0, 200000);
+  std::map<std::pair<int32_t, int32_t>, int64_t> bigram;
+  std::map<int32_t, int64_t> unigram;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if ((i + 1) % 64 == 0) continue;  // block boundary: chain restarts
+    ++bigram[{toks[i], toks[i + 1]}];
+    ++unigram[toks[i]];
+  }
+  // Check the most frequent context token.
+  int32_t ctx = 0;
+  int64_t best = 0;
+  for (const auto& [t, n] : unigram) {
+    if (n > best) {
+      best = n;
+      ctx = t;
+    }
+  }
+  ASSERT_GT(best, 1000);
+  for (int32_t next = 0; next < 53; ++next) {
+    const double expected = c.transition_prob(ctx, next);
+    const auto it = bigram.find({ctx, next});
+    const double observed =
+        it == bigram.end() ? 0.0
+                           : static_cast<double>(it->second) / static_cast<double>(best);
+    EXPECT_NEAR(observed, expected, 0.05) << "ctx=" << ctx << " next=" << next;
+  }
+}
+
+TEST(Corpus, TransitionProbsSumToOne) {
+  hd::SyntheticCorpus c(37, 5);
+  for (int32_t cur : {0, 7, 36}) {
+    double sum = 0.0;
+    for (int32_t next = 0; next < 37; ++next) sum += c.transition_prob(cur, next);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "cur=" << cur;
+  }
+}
+
+TEST(Corpus, FillBatchShiftsTargetsByOne) {
+  hd::SyntheticCorpus c(41, 13);
+  hanayo::tensor::Tensor in, tgt;
+  c.fill_batch(/*first_sequence=*/3, /*sequences=*/2, /*seq_len=*/10, &in, &tgt);
+  ASSERT_EQ(in.shape(), (hanayo::tensor::Shape{2, 10}));
+  ASSERT_EQ(tgt.shape(), (hanayo::tensor::Shape{2, 10}));
+  for (int64_t s = 0; s < 2; ++s) {
+    const auto toks = c.tokens((3 + s) * 11, 11);
+    for (int64_t t = 0; t < 10; ++t) {
+      EXPECT_EQ(static_cast<int32_t>(in.at(s, t)), toks[static_cast<size_t>(t)]);
+      EXPECT_EQ(static_cast<int32_t>(tgt.at(s, t)), toks[static_cast<size_t>(t + 1)]);
+    }
+  }
+}
+
+TEST(Corpus, RejectsBadArguments) {
+  EXPECT_THROW(hd::SyntheticCorpus(1, 0), std::invalid_argument);
+  EXPECT_THROW(hd::SyntheticCorpus(10, 0, 0), std::invalid_argument);
+  hd::SyntheticCorpus c(10, 1);
+  EXPECT_THROW(c.tokens(-1, 5), std::invalid_argument);
+  EXPECT_THROW(c.fill_batch(0, 1, 4, nullptr, nullptr), std::invalid_argument);
+}

@@ -1,0 +1,137 @@
+// Sharded deterministic data loading.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/hanayo.hpp"
+#include "data/dataloader.hpp"
+
+namespace hd = hanayo::data;
+using hanayo::runtime::Batch;
+
+namespace {
+
+hd::LoaderConfig small_cfg() {
+  hd::LoaderConfig cfg;
+  cfg.dataset_sequences = 64;
+  cfg.seq_len = 8;
+  cfg.micro_batches = 4;
+  cfg.mb_sequences = 1;
+  cfg.dp = 2;
+  cfg.seed = 5;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(DataLoader, ShapesAndCounts) {
+  hd::SyntheticCorpus corpus(101, 3);
+  hd::DataLoader loader(&corpus, small_cfg());
+  EXPECT_EQ(loader.batch_rows(), 8);      // 2 replicas x 4 micro-batches
+  EXPECT_EQ(loader.batches_per_epoch(), 8);  // 64 / 8
+  const Batch b = loader.batch(0, 0);
+  EXPECT_EQ(b.inputs.shape(), (hanayo::tensor::Shape{8, 8}));
+  EXPECT_EQ(b.targets.shape(), (hanayo::tensor::Shape{8, 8}));
+}
+
+TEST(DataLoader, Deterministic) {
+  hd::SyntheticCorpus corpus(101, 3);
+  hd::DataLoader a(&corpus, small_cfg());
+  hd::DataLoader b(&corpus, small_cfg());
+  EXPECT_EQ(a.batch_indices(2, 3), b.batch_indices(2, 3));
+  const Batch ba = a.batch(1, 4), bb = b.batch(1, 4);
+  EXPECT_EQ(hanayo::tensor::max_abs_diff(ba.inputs, bb.inputs), 0.0f);
+}
+
+TEST(DataLoader, EpochCoversDatasetExactlyOnce) {
+  hd::SyntheticCorpus corpus(101, 3);
+  hd::DataLoader loader(&corpus, small_cfg());
+  std::set<int64_t> seen;
+  for (int64_t s = 0; s < loader.batches_per_epoch(); ++s) {
+    for (int64_t i : loader.batch_indices(0, s)) {
+      EXPECT_TRUE(seen.insert(i).second) << "index " << i << " repeated";
+    }
+  }
+  EXPECT_EQ(static_cast<int64_t>(seen.size()), 64);
+}
+
+TEST(DataLoader, EpochsReshuffle) {
+  hd::SyntheticCorpus corpus(101, 3);
+  hd::DataLoader loader(&corpus, small_cfg());
+  EXPECT_NE(loader.batch_indices(0, 0), loader.batch_indices(1, 0));
+}
+
+TEST(DataLoader, ShuffleOffIsSequential) {
+  hd::SyntheticCorpus corpus(101, 3);
+  auto cfg = small_cfg();
+  cfg.shuffle = false;
+  hd::DataLoader loader(&corpus, cfg);
+  const auto idx = loader.batch_indices(0, 1);
+  for (size_t i = 0; i < idx.size(); ++i) {
+    EXPECT_EQ(idx[i], 8 + static_cast<int64_t>(i));
+  }
+}
+
+TEST(DataLoader, ReplicaShardsAreDisjointRows) {
+  // Rows [r*B*mb, (r+1)*B*mb) of a batch belong to replica r; across
+  // replicas the dataset indices never overlap within one step.
+  hd::SyntheticCorpus corpus(101, 3);
+  hd::DataLoader loader(&corpus, small_cfg());
+  const auto idx = loader.batch_indices(0, 2);
+  std::set<int64_t> replica0(idx.begin(), idx.begin() + 4);
+  std::set<int64_t> replica1(idx.begin() + 4, idx.end());
+  for (int64_t i : replica0) EXPECT_EQ(replica1.count(i), 0u);
+}
+
+TEST(DataLoader, RejectsBadConfigs) {
+  hd::SyntheticCorpus corpus(101, 3);
+  EXPECT_THROW(hd::DataLoader(nullptr, small_cfg()), std::invalid_argument);
+  auto tiny = small_cfg();
+  tiny.dataset_sequences = 4;  // smaller than one 8-row batch
+  EXPECT_THROW(hd::DataLoader(&corpus, tiny), std::invalid_argument);
+  hd::DataLoader ok(&corpus, small_cfg());
+  EXPECT_THROW(ok.batch(0, 99), std::out_of_range);
+}
+
+TEST(DataLoader, TrainsThePipelineOnStructuredData) {
+  // End-to-end: the Markov corpus is learnable — training on real loader
+  // batches beats the uniform-noise entropy floor log(V) and improves on
+  // the first-step loss.
+  const auto model = hanayo::ModelConfig::tiny(/*layers=*/4, /*hidden=*/24,
+                                               /*heads=*/2, /*vocab=*/31,
+                                               /*seq=*/8);
+  hd::SyntheticCorpus corpus(model.vocab, 17);
+  hd::LoaderConfig lc;
+  lc.dataset_sequences = 128;
+  lc.seq_len = model.seq;
+  lc.micro_batches = 4;
+  lc.dp = 1;
+  lc.seed = 2;
+  hd::DataLoader loader(&corpus, lc);
+
+  hanayo::TrainerConfig tc;
+  tc.model = model;
+  tc.sched.algo = hanayo::Algo::Hanayo;
+  tc.sched.P = 2;
+  tc.sched.B = 4;
+  tc.sched.waves = 1;
+  tc.lr = 0.1f;
+  tc.momentum = 0.9f;
+  tc.seed = 1;
+  hanayo::Trainer trainer(tc);
+  ASSERT_EQ(trainer.batch_rows(), loader.batch_rows());
+
+  float first = 0.0f, last = 0.0f;
+  int step_count = 0;
+  for (int64_t epoch = 0; epoch < 6; ++epoch) {
+    for (int64_t s = 0; s < loader.batches_per_epoch(); ++s) {
+      last = trainer.train_step(loader.batch(epoch, s));
+      if (step_count++ == 0) first = last;
+    }
+  }
+  EXPECT_LT(last, first);
+  EXPECT_LT(last, std::log(static_cast<float>(model.vocab)));
+}

@@ -1,0 +1,213 @@
+// The paper's headline quantitative claims, pinned as regression tests on
+// the simulator. The benches print the full tables; these assertions are
+// the invariants a reviewer would check — who wins, in which regime, and
+// with what scaling behaviour.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/hanayo.hpp"
+
+using namespace hanayo;
+
+namespace {
+
+/// Simulated end-to-end throughput of one configuration (the Fig. 9-12
+/// machinery): BERT-paper model with operator-granularity stages so every
+/// wave count in the sweep is partitionable.
+perf::Candidate eval(const Cluster& cluster, Algo algo, int D, int P, int W,
+                     int B) {
+  ModelConfig bert = ModelConfig::bert_paper();
+  bert.split_blocks = true;
+  return perf::evaluate(bert, cluster, algo, D, P, W, B, 1);
+}
+
+double best_hanayo(const Cluster& cluster, int D, int P, int B,
+                   int* best_w = nullptr) {
+  double best = 0.0;
+  for (int W : {2, 4, 8}) {
+    const auto c = eval(cluster, Algo::Hanayo, D, P, W, B);
+    if (c.feasible && !c.oom && c.throughput_seq_s > best) {
+      best = c.throughput_seq_s;
+      if (best_w != nullptr) *best_w = W;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+TEST(PaperClaims, Fig9HanayoBeatsChimeraWaveOnEveryCluster) {
+  // §5.2: "Hanayo consistently outperforms Chimera by 15.7%...28.0%" on the
+  // four clusters at (D=1, P=8). We assert the win on every cluster and a
+  // material margin (> 5%).
+  const Cluster clusters[] = {Cluster::pc(), Cluster::fc(), Cluster::tacc(8),
+                              Cluster::tc()};
+  for (const Cluster& cl : clusters) {
+    const double chimera =
+        eval(cl, Algo::ChimeraWave, 1, 8, 1, 8).throughput_seq_s;
+    const double hanayo = best_hanayo(cl, 1, 8, 8);
+    EXPECT_GT(hanayo, 1.05 * chimera) << cl.name;
+  }
+}
+
+TEST(PaperClaims, Fig9GPipeAndDappleAreComparable) {
+  // §5.2: "GPipe and DAPPLE maintain similar throughput across the
+  // experiments" (their schedules differ in memory, not total idle).
+  for (const Cluster& cl : {Cluster::fc(), Cluster::tacc(8)}) {
+    const double g = eval(cl, Algo::GPipe, 1, 8, 1, 8).throughput_seq_s;
+    const double d = eval(cl, Algo::Dapple, 1, 8, 1, 8).throughput_seq_s;
+    EXPECT_NEAR(g, d, 0.05 * d) << cl.name;
+  }
+}
+
+TEST(PaperClaims, OptimalWaveCountDropsOnPoorInterconnect) {
+  // §5.2: "For clusters with poor interconnection, such as TACC, the
+  // optimal wave number will be lower since the extra communication incurs
+  // a higher cost."
+  int w_fc = 0, w_tacc = 0;
+  best_hanayo(Cluster::fc(), 1, 8, 8, &w_fc);
+  best_hanayo(Cluster::tacc(8), 1, 8, 8, &w_tacc);
+  EXPECT_LE(w_tacc, w_fc);
+  EXPECT_GT(w_fc, 2);  // good links sustain deep waves
+}
+
+namespace {
+
+/// Planner-chosen best Hanayo throughput, as the Fig. 11/12 benches do it.
+double planned_hanayo(int devices, int batch) {
+  ModelConfig bert = ModelConfig::bert_paper();
+  bert.split_blocks = true;
+  perf::PlanRequest req;
+  req.model = bert;
+  req.cluster = Cluster::tacc(devices);
+  req.total_devices = devices;
+  req.batch_sequences = batch;
+  req.algos = {Algo::Hanayo};
+  req.wave_options = {1, 2, 4, 8};
+  req.min_pipeline = 4;
+  const auto b = perf::best(perf::plan(req));
+  return b ? b->throughput_seq_s : 0.0;
+}
+
+}  // namespace
+
+TEST(PaperClaims, Fig11WeakScalingEfficiencyStaysHigh) {
+  // §5.4: the paper measures 99.8-100.1% parallel efficiency scaling
+  // 8 -> 32 devices with the batch. Our simulator charges the
+  // non-overlapped DP gradient allreduce over TACC's inter-node links
+  // (which the paper's >100% GPU-batching measurement masks), so the
+  // simulated efficiency sits lower — assert it stays above 65% and that
+  // throughput still grows superlinearly in absolute terms.
+  const double t8 = planned_hanayo(8, 8);
+  const double t16 = planned_hanayo(16, 16);
+  const double t32 = planned_hanayo(32, 32);
+  ASSERT_GT(t8, 0.0);
+  EXPECT_GT(t16 / (2.0 * t8), 0.65);
+  EXPECT_GT(t32 / (4.0 * t8), 0.65);
+  EXPECT_LT(t32 / (4.0 * t8), 1.1);
+  EXPECT_GT(t16, t8);
+  EXPECT_GT(t32, t16);
+}
+
+TEST(PaperClaims, Fig12StrongScalingIsMonotonic) {
+  // §5.5: a fixed batch accelerates with more devices (paper: 1.88x at 16,
+  // 3.38x at 32; we measure ~1.7x / ~2.3x — the gap is the same
+  // non-overlapped allreduce as in weak scaling). Assert monotonic growth
+  // with material floors, and that Hanayo never loses to the paper's
+  // comparator (Chimera-wave) at any scale.
+  const int batch = 32;
+  const double t8 = planned_hanayo(8, batch);
+  const double t16 = planned_hanayo(16, batch);
+  const double t32 = planned_hanayo(32, batch);
+  ASSERT_GT(t8, 0.0);
+  EXPECT_GT(t16, 1.5 * t8);
+  EXPECT_GT(t32, 2.0 * t8);
+  EXPECT_GT(t32, t16);
+
+  ModelConfig bert = ModelConfig::bert_paper();
+  bert.split_blocks = true;
+  for (int devices : {8, 16, 32}) {
+    perf::PlanRequest req;
+    req.model = bert;
+    req.cluster = Cluster::tacc(devices);
+    req.total_devices = devices;
+    req.batch_sequences = batch;
+    req.algos = {Algo::ChimeraWave};
+    req.min_pipeline = 4;
+    const auto cw = perf::best(perf::plan(req));
+    ASSERT_TRUE(cw.has_value());
+    const double hanayo = planned_hanayo(devices, batch);
+    EXPECT_GE(hanayo, cw->throughput_seq_s) << devices << " devices";
+  }
+}
+
+TEST(PaperClaims, Fig8DappleHasTheMostUnbalancedMemory) {
+  // §5.1: DAPPLE's variance (16.85) dwarfs Chimera's (2.86) and Hanayo's
+  // (1.44). Compare per-device peak-memory variance on the TACC-32 setup.
+  ModelConfig bert = ModelConfig::bert_paper();
+  const auto var_of = [&](Algo algo, int W) {
+    schedule::ScheduleRequest req;
+    req.algo = algo;
+    req.P = 8;
+    req.B = 8;
+    req.waves = W;
+    const auto costs = sim::compute_costs(bert, schedule::stages_for(req), 1,
+                                          Cluster::tacc(8));
+    const auto res =
+        simulate(schedule::make_schedule(req), costs, Cluster::tacc(8));
+    double mean = 0.0;
+    for (double m : res.peak_mem_bytes) mean += m / 1e9;
+    mean /= static_cast<double>(res.peak_mem_bytes.size());
+    double var = 0.0;
+    for (double m : res.peak_mem_bytes) {
+      var += (m / 1e9 - mean) * (m / 1e9 - mean);
+    }
+    return var / static_cast<double>(res.peak_mem_bytes.size());
+  };
+  const double v_dapple = var_of(Algo::Dapple, 1);
+  const double v_hanayo = var_of(Algo::Hanayo, 2);
+  EXPECT_GT(v_dapple, 2.0 * v_hanayo);
+}
+
+TEST(PaperClaims, Eq1TracksSimulatedBubbleRatio) {
+  // §3.4: the closed form and the event simulation must agree on level
+  // (within 10 points at T_C = 0 — Eq. 1 is the paper's approximation, not
+  // an exact count) and, more importantly, on the trend: both strictly
+  // decrease with the wave count.
+  for (int P : {4, 8}) {
+    double prev_sim = 1.0, prev_eq = 1.0;
+    for (int W : {1, 2, 4}) {
+      schedule::ScheduleRequest req;
+      req.algo = Algo::Hanayo;
+      req.P = P;
+      req.B = P;
+      req.waves = W;
+      const int S = schedule::stages_for(req);
+      sim::PipelineCosts c;
+      c.fwd_s.assign(static_cast<size_t>(S), 1.0 / S);
+      c.bwd_s.assign(static_cast<size_t>(S), 2.0 / S);
+      c.boundary_bytes.assign(static_cast<size_t>(S - 1), 0.0);
+      c.weight_bytes.assign(static_cast<size_t>(S), 0.0);
+      c.act_bytes.assign(static_cast<size_t>(S), 0.0);
+      const auto res = simulate(schedule::make_schedule(req), c,
+                                Cluster::uniform(P, 1.0, 1e18, 1e18, 0.0));
+      const double eq = perf::bubble_ratio_hanayo_simplified(P, W);
+      EXPECT_NEAR(res.bubble_ratio, eq, 0.10) << "P=" << P << " W=" << W;
+      EXPECT_LT(res.bubble_ratio, prev_sim) << "P=" << P << " W=" << W;
+      EXPECT_LT(eq, prev_eq);
+      prev_sim = res.bubble_ratio;
+      prev_eq = eq;
+    }
+  }
+}
+
+TEST(PaperClaims, MoreWavesMoreThroughputOnFastLinks) {
+  // §3.3 "It can achieve increasingly higher throughput as the number of
+  // waves increases" — on the fully-connected NVLink cluster.
+  const Cluster fc = Cluster::fc();
+  const double h2 = eval(fc, Algo::Hanayo, 1, 8, 2, 8).throughput_seq_s;
+  const double h4 = eval(fc, Algo::Hanayo, 1, 8, 4, 8).throughput_seq_s;
+  EXPECT_GT(h4, h2);
+}

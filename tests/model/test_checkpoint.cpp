@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "model/checkpoint.hpp"
+#include "model/transformer.hpp"
+#include "tensor/ops.hpp"
+
+namespace hm = hanayo::model;
+namespace ht = hanayo::tensor;
+
+namespace {
+
+class CheckpointTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("hanayo_ckpt_test_" + std::to_string(::getpid()) + "_" +
+              testing::UnitTest::GetInstance()->current_test_info()->name() + ".bin"))
+                .string();
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::string path_;
+};
+
+}  // namespace
+
+TEST_F(CheckpointTest, RoundTripFullModel) {
+  const auto cfg = hm::ModelConfig::tiny(3, 16, 2, 31, 8);
+  const auto descs = cfg.layer_descs();
+  hm::StageModule a(descs, 0, static_cast<int>(descs.size()), 1, cfg.init_std);
+  hm::StageModule b(descs, 0, static_cast<int>(descs.size()), 2, cfg.init_std);
+  hm::save_checkpoint(path_, a.params());
+  hm::load_checkpoint(path_, b.params());
+  const auto pa = a.params(), pb = b.params();
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(ht::max_abs_diff(pa[i]->value, pb[i]->value), 0.0f) << pa[i]->name;
+  }
+}
+
+TEST_F(CheckpointTest, PartialLoadBySlice) {
+  // Save the full model; load only a middle stage's slice — the
+  // repartitioning scenario.
+  const auto cfg = hm::ModelConfig::tiny(4, 16, 2, 31, 8);
+  const auto descs = cfg.layer_descs();
+  hm::StageModule full(descs, 0, static_cast<int>(descs.size()), 5, cfg.init_std);
+  hm::save_checkpoint(path_, full.params());
+  hm::StageModule slice(descs, 2, 4, 99, cfg.init_std);  // different seed
+  hm::load_checkpoint(path_, slice.params());
+  // The slice now matches the full model's layers 2..3.
+  hm::StageModule ref(descs, 2, 4, 5, cfg.init_std);
+  const auto ps = slice.params(), pr = ref.params();
+  for (size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_EQ(ht::max_abs_diff(ps[i]->value, pr[i]->value), 0.0f);
+  }
+}
+
+TEST_F(CheckpointTest, NamesListed) {
+  const auto cfg = hm::ModelConfig::tiny(1, 8, 2, 17, 4);
+  const auto descs = cfg.layer_descs();
+  hm::StageModule m(descs, 0, static_cast<int>(descs.size()), 1, cfg.init_std);
+  hm::save_checkpoint(path_, m.params());
+  const auto names = hm::checkpoint_names(path_);
+  EXPECT_EQ(names.size(), m.params().size());
+}
+
+TEST_F(CheckpointTest, MissingParamThrows) {
+  const auto cfg = hm::ModelConfig::tiny(1, 8, 2, 17, 4);
+  const auto descs = cfg.layer_descs();
+  hm::StageModule head_only(descs, 0, 1, 1, cfg.init_std);
+  hm::save_checkpoint(path_, head_only.params());
+  hm::StageModule full(descs, 0, static_cast<int>(descs.size()), 1, cfg.init_std);
+  EXPECT_THROW(hm::load_checkpoint(path_, full.params()), std::runtime_error);
+}
+
+TEST_F(CheckpointTest, ShapeMismatchThrows) {
+  hm::Param p1("x", ht::Tensor({2, 3}, 1.0f));
+  hm::save_checkpoint(path_, {&p1});
+  hm::Param p2("x", ht::Tensor({3, 2}));
+  EXPECT_THROW(hm::load_checkpoint(path_, {&p2}), std::runtime_error);
+}
+
+TEST_F(CheckpointTest, BadMagicThrows) {
+  {
+    std::ofstream os(path_, std::ios::binary);
+    os << "NOTACKPT........";
+  }
+  hm::Param p("x", ht::Tensor({1}));
+  EXPECT_THROW(hm::load_checkpoint(path_, {&p}), std::runtime_error);
+}
+
+TEST_F(CheckpointTest, MissingFileThrows) {
+  hm::Param p("x", ht::Tensor({1}));
+  EXPECT_THROW(hm::load_checkpoint("/nonexistent/dir/x.bin", {&p}),
+               std::runtime_error);
+  EXPECT_THROW(hm::save_checkpoint("/nonexistent/dir/x.bin", {&p}),
+               std::runtime_error);
+}

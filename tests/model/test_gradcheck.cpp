@@ -1,0 +1,167 @@
+// Finite-difference gradient checks for every layer and the loss.
+//
+// Strategy: wrap loss L(x, theta) = sum(w .* layer(x)) for a fixed random
+// weighting w; compare analytic dL/dx and dL/dtheta against central
+// differences.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "model/attention.hpp"
+#include "model/loss.hpp"
+#include "model/transformer.hpp"
+#include "tensor/ops.hpp"
+
+namespace hm = hanayo::model;
+namespace ht = hanayo::tensor;
+
+namespace {
+
+// Evaluates sum(w .* layer.forward(x)) without touching layer state keyed
+// at mb index `mb`.
+float weighted_output(hm::Layer& layer, const ht::Tensor& x, const ht::Tensor& w,
+                      int mb) {
+  ht::Tensor y = layer.forward(x, mb);
+  const float s = ht::sum(ht::mul(y, w));
+  // Run a backward to free the micro-batch cache, then discard the param
+  // grads it accumulated (callers zero grads before the pass they measure).
+  layer.backward(ht::Tensor(y.shape()), mb);
+  return s;
+}
+
+void check_input_grad(hm::Layer& layer, ht::Tensor x, float tol = 2e-2f) {
+  ht::Rng rng(99);
+  // First run to learn the output shape.
+  ht::Tensor y0 = layer.forward(x, 0);
+  ht::Tensor w = rng.randn(y0.shape());
+  ht::Tensor dx = layer.backward(w, 0);
+  const float eps = 1e-2f;
+  // Check a subset of coordinates for speed.
+  const int64_t n = x.numel();
+  const int64_t step = std::max<int64_t>(1, n / 24);
+  for (int64_t i = 0; i < n; i += step) {
+    ht::Tensor xp = x, xm = x;
+    xp[i] += eps;
+    xm[i] -= eps;
+    const float fp = weighted_output(layer, xp, w, 1);
+    const float fm = weighted_output(layer, xm, w, 2);
+    const float fd = (fp - fm) / (2 * eps);
+    EXPECT_NEAR(dx[i], fd, tol * std::max(1.0f, std::fabs(fd))) << "input coord " << i;
+  }
+}
+
+void check_param_grads(hm::Layer& layer, ht::Tensor x, float tol = 2e-2f) {
+  ht::Rng rng(123);
+  ht::Tensor y0 = layer.forward(x, 0);
+  ht::Tensor w = rng.randn(y0.shape());
+  std::vector<hm::Param*> ps;
+  layer.collect_params(ps);
+  for (hm::Param* p : ps) p->zero_grad();
+  layer.backward(w, 0);
+  const float eps = 1e-2f;
+  for (hm::Param* p : ps) {
+    const int64_t n = p->value.numel();
+    const int64_t step = std::max<int64_t>(1, n / 8);
+    for (int64_t i = 0; i < n; i += step) {
+      const float orig = p->value[i];
+      p->value[i] = orig + eps;
+      const float fp = weighted_output(layer, x, w, 1);
+      p->value[i] = orig - eps;
+      const float fm = weighted_output(layer, x, w, 2);
+      p->value[i] = orig;
+      const float fd = (fp - fm) / (2 * eps);
+      EXPECT_NEAR(p->grad[i], fd, tol * std::max(1.0f, std::fabs(fd)))
+          << p->name << " coord " << i;
+    }
+  }
+}
+
+}  // namespace
+
+TEST(GradCheck, Linear) {
+  ht::Rng rng(1);
+  hm::Linear lin("l", 5, 4, rng, 0.3f);
+  check_input_grad(lin, rng.randn({3, 5}));
+  check_param_grads(lin, rng.randn({3, 5}));
+}
+
+TEST(GradCheck, LayerNorm) {
+  ht::Rng rng(2);
+  hm::LayerNorm ln("ln", 6);
+  check_input_grad(ln, rng.randn({4, 6}));
+  check_param_grads(ln, rng.randn({4, 6}));
+}
+
+TEST(GradCheck, Gelu) {
+  ht::Rng rng(3);
+  hm::Gelu g("g");
+  check_input_grad(g, rng.randn({4, 5}));
+}
+
+TEST(GradCheck, AttentionCausal) {
+  ht::Rng rng(4);
+  hm::MultiHeadAttention mha("a", 8, 2, /*causal=*/true, rng, 0.3f);
+  check_input_grad(mha, rng.randn({2, 4, 8}), 3e-2f);
+}
+
+TEST(GradCheck, AttentionBidirectional) {
+  ht::Rng rng(5);
+  hm::MultiHeadAttention mha("a", 8, 2, /*causal=*/false, rng, 0.3f);
+  check_input_grad(mha, rng.randn({2, 4, 8}), 3e-2f);
+}
+
+TEST(GradCheck, AttentionParams) {
+  ht::Rng rng(6);
+  hm::MultiHeadAttention mha("a", 6, 2, true, rng, 0.3f);
+  check_param_grads(mha, rng.randn({1, 3, 6}), 3e-2f);
+}
+
+TEST(GradCheck, Block) {
+  ht::Rng rng(7);
+  hm::Block blk("b", 8, 2, true, rng, 0.2f);
+  check_input_grad(blk, rng.randn({1, 4, 8}), 4e-2f);
+}
+
+TEST(GradCheck, Embedding) {
+  ht::Rng rng(8);
+  hm::Embedding emb("e", 7, 5, 4, rng, 0.3f);
+  ht::Tensor ids({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  check_param_grads(emb, ids, 2e-2f);
+}
+
+TEST(GradCheck, CrossEntropy) {
+  ht::Rng rng(9);
+  ht::Tensor logits = rng.randn({4, 5});
+  ht::Tensor targets({4}, std::vector<float>{0, 2, 4, 1});
+  auto [loss, dl] = hm::cross_entropy(logits, targets);
+  const float eps = 1e-2f;
+  for (int64_t i = 0; i < logits.numel(); ++i) {
+    ht::Tensor lp = logits, lm = logits;
+    lp[i] += eps;
+    lm[i] -= eps;
+    const float fp = hm::cross_entropy(lp, targets).first;
+    const float fm = hm::cross_entropy(lm, targets).first;
+    EXPECT_NEAR(dl[i], (fp - fm) / (2 * eps), 2e-3f) << "logit " << i;
+  }
+  EXPECT_GT(loss, 0.0f);
+}
+
+TEST(GradCheck, CrossEntropyScale) {
+  ht::Rng rng(10);
+  ht::Tensor logits = rng.randn({3, 4});
+  ht::Tensor targets({3}, std::vector<float>{1, 2, 3});
+  auto [l1, d1] = hm::cross_entropy(logits, targets, 1.0f);
+  auto [l2, d2] = hm::cross_entropy(logits, targets, 0.5f);
+  EXPECT_NEAR(l2, 0.5f * l1, 1e-6f);
+  EXPECT_TRUE(ht::allclose(d2, ht::mul_scalar(d1, 0.5f), 1e-5f, 1e-7f));
+}
+
+TEST(GradCheck, CrossEntropyRejectsBadTargets) {
+  ht::Tensor logits({2, 3});
+  ht::Tensor bad({2}, std::vector<float>{0, 3});
+  EXPECT_THROW(hm::cross_entropy(logits, bad), std::out_of_range);
+  ht::Tensor wrong_count({3});
+  EXPECT_THROW(hm::cross_entropy(logits, wrong_count), std::invalid_argument);
+}

@@ -1,0 +1,63 @@
+// Learning-rate schedules.
+
+#include <gtest/gtest.h>
+
+#include "model/lr_schedule.hpp"
+
+namespace hm = hanayo::model;
+
+TEST(LrSchedule, ConstantIsConstant) {
+  const auto s = hm::LrSchedule::constant(0.3f);
+  EXPECT_FLOAT_EQ(s.at(0), 0.3f);
+  EXPECT_FLOAT_EQ(s.at(1000000), 0.3f);
+}
+
+TEST(LrSchedule, WarmupRampsLinearly) {
+  const auto s = hm::LrSchedule::warmup_linear(1.0f, /*warmup=*/10, /*total=*/20);
+  // step k during warmup gives base * (k+1)/warmup.
+  EXPECT_FLOAT_EQ(s.at(0), 0.1f);
+  EXPECT_FLOAT_EQ(s.at(4), 0.5f);
+  EXPECT_FLOAT_EQ(s.at(9), 1.0f);
+}
+
+TEST(LrSchedule, LinearDecayReachesMin) {
+  const auto s = hm::LrSchedule::warmup_linear(1.0f, 10, 20, /*min_lr=*/0.2f);
+  EXPECT_FLOAT_EQ(s.at(10), 1.0f);               // decay start
+  EXPECT_FLOAT_EQ(s.at(15), 0.6f);               // halfway
+  EXPECT_FLOAT_EQ(s.at(20), 0.2f);               // end
+  EXPECT_FLOAT_EQ(s.at(100), 0.2f);              // holds after total
+}
+
+TEST(LrSchedule, CosineDecayShape) {
+  const auto s = hm::LrSchedule::warmup_cosine(1.0f, 0, 100, 0.0f);
+  EXPECT_FLOAT_EQ(s.at(0), 1.0f);
+  EXPECT_NEAR(s.at(50), 0.5f, 1e-6f);   // half-cosine midpoint
+  EXPECT_NEAR(s.at(100), 0.0f, 1e-6f);
+  // Cosine stays above the linear chord in the first half, below in the
+  // second — the defining difference between the two decays.
+  const auto lin = hm::LrSchedule::warmup_linear(1.0f, 0, 100, 0.0f);
+  EXPECT_GT(s.at(25), lin.at(25));
+  EXPECT_LT(s.at(75), lin.at(75));
+}
+
+TEST(LrSchedule, WarmupThenCosine) {
+  const auto s = hm::LrSchedule::warmup_cosine(2.0f, 10, 110, 0.0f);
+  EXPECT_FLOAT_EQ(s.at(4), 1.0f);   // mid-warmup
+  EXPECT_FLOAT_EQ(s.at(9), 2.0f);   // warmup peak
+  EXPECT_NEAR(s.at(60), 1.0f, 1e-5f);  // cosine midpoint of [10, 110]
+}
+
+TEST(LrSchedule, RejectsBadArguments) {
+  EXPECT_THROW(hm::LrSchedule::warmup_linear(1.0f, -1, 10), std::invalid_argument);
+  EXPECT_THROW(hm::LrSchedule::warmup_linear(1.0f, 20, 10), std::invalid_argument);
+  EXPECT_THROW(hm::LrSchedule::warmup_cosine(1.0f, 5, 2), std::invalid_argument);
+  const auto s = hm::LrSchedule::constant(1.0f);
+  EXPECT_THROW(s.at(-1), std::invalid_argument);
+}
+
+TEST(LrSchedule, DegenerateDecayWindowHoldsMin) {
+  // total == warmup: nothing to decay over; after warmup the rate is min_lr.
+  const auto s = hm::LrSchedule::warmup_linear(1.0f, 5, 5, 0.25f);
+  EXPECT_FLOAT_EQ(s.at(4), 1.0f);
+  EXPECT_FLOAT_EQ(s.at(5), 0.25f);
+}

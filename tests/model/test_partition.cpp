@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "model/partition.hpp"
+
+namespace hm = hanayo::model;
+
+namespace {
+const auto kCfg = hm::ModelConfig::tiny(14, 16, 2, 31, 8);
+}
+
+TEST(Partition, CoversAllLayersContiguously) {
+  const auto descs = kCfg.layer_descs();
+  for (int s : {1, 2, 3, 5, 8}) {
+    const auto ranges = hm::partition_layers(descs, s, 8);
+    ASSERT_EQ(static_cast<int>(ranges.size()), s);
+    EXPECT_EQ(ranges.front().begin, 0);
+    EXPECT_EQ(ranges.back().end, static_cast<int>(descs.size()));
+    for (size_t i = 0; i + 1 < ranges.size(); ++i) {
+      EXPECT_EQ(ranges[i].end, ranges[i + 1].begin);
+      EXPECT_GE(ranges[i].size(), 1);
+    }
+  }
+}
+
+TEST(Partition, EveryStageNonEmptyAtMaxStages) {
+  const auto descs = kCfg.layer_descs();
+  const int n = static_cast<int>(descs.size());
+  const auto ranges = hm::partition_layers(descs, n, 8);
+  for (const auto& r : ranges) EXPECT_EQ(r.size(), 1);
+}
+
+TEST(Partition, MoreStagesThanLayersThrows) {
+  const auto descs = kCfg.layer_descs();
+  EXPECT_THROW(hm::partition_layers(descs, static_cast<int>(descs.size()) + 1, 8),
+               std::invalid_argument);
+  EXPECT_THROW(hm::partition_layers(descs, 0, 8), std::invalid_argument);
+}
+
+TEST(Partition, BalancesFlops) {
+  const auto descs = kCfg.layer_descs();
+  const auto ranges = hm::partition_layers(descs, 4, 8);
+  std::vector<double> loads;
+  double total = 0.0;
+  for (const auto& r : ranges) {
+    const auto st = hm::stage_stats(descs, r, 8);
+    loads.push_back(st.fwd_flops);
+    total += st.fwd_flops;
+  }
+  const double avg = total / 4.0;
+  for (double l : loads) {
+    // No stage should exceed twice the average for this nearly homogeneous
+    // network (blocks dominate, the head is one layer).
+    EXPECT_LT(l, 2.0 * avg + 1.0);
+  }
+}
+
+TEST(Partition, BottleneckIsOptimalForUniformBlocks) {
+  // 14 equal blocks + 3 light layers into 4 stages: the bottleneck must be
+  // at most ceil(17/4) = 5 block-equivalents of the heaviest layer.
+  const auto descs = kCfg.layer_descs();
+  const auto ranges = hm::partition_layers(descs, 4, 8);
+  double heaviest_layer = 0.0;
+  for (const auto& d : descs) heaviest_layer = std::max(heaviest_layer, d.fwd_flops(8));
+  double bottleneck = 0.0;
+  for (const auto& r : ranges) {
+    bottleneck = std::max(bottleneck, hm::stage_stats(descs, r, 8).fwd_flops);
+  }
+  EXPECT_LE(bottleneck, 5.0 * heaviest_layer);
+}
+
+TEST(StageStats, SumsMatchWholeModel) {
+  const auto descs = kCfg.layer_descs();
+  const auto ranges = hm::partition_layers(descs, 3, 8);
+  double flops = 0.0;
+  int64_t params = 0;
+  for (const auto& r : ranges) {
+    const auto st = hm::stage_stats(descs, r, 8);
+    flops += st.fwd_flops;
+    params += st.param_bytes;
+  }
+  double ref_flops = 0.0;
+  int64_t ref_params = 0;
+  for (const auto& d : descs) {
+    ref_flops += d.fwd_flops(8);
+    ref_params += d.param_count() * 4;
+  }
+  EXPECT_NEAR(flops, ref_flops, 1e-6 * ref_flops);
+  EXPECT_EQ(params, ref_params);
+}
+
+TEST(StageStats, OutputBytesComeFromLastLayer) {
+  const auto descs = kCfg.layer_descs();
+  const hm::StageRange r{0, 2};
+  const auto st = hm::stage_stats(descs, r, 8);
+  EXPECT_EQ(st.output_bytes, descs[1].output_bytes(8));
+}

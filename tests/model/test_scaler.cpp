@@ -1,0 +1,115 @@
+// Dynamic loss scaling.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/scaler.hpp"
+
+namespace hm = hanayo::model;
+
+namespace {
+
+hm::Param make_param(std::vector<float> grads) {
+  const int64_t n = static_cast<int64_t>(grads.size());
+  hm::Param p("w", hanayo::tensor::Tensor({n}));
+  p.grad = hanayo::tensor::Tensor({n}, std::move(grads));
+  return p;
+}
+
+}  // namespace
+
+TEST(Scaler, UnscalesFiniteGradients) {
+  hm::DynamicLossScaler::Options opt;
+  opt.initial_scale = 8.0f;
+  hm::DynamicLossScaler s(opt);
+  hm::Param p = make_param({8.0f, -16.0f, 0.0f});
+  EXPECT_TRUE(s.unscale_and_check({&p}));
+  EXPECT_FLOAT_EQ(p.grad[0], 1.0f);
+  EXPECT_FLOAT_EQ(p.grad[1], -2.0f);
+  EXPECT_FLOAT_EQ(p.grad[2], 0.0f);
+  EXPECT_EQ(s.good_steps(), 1);
+  EXPECT_EQ(s.skipped_steps(), 0);
+  EXPECT_FLOAT_EQ(s.scale(), 8.0f);  // interval not reached
+}
+
+TEST(Scaler, OverflowSkipsAndBacksOff) {
+  hm::DynamicLossScaler::Options opt;
+  opt.initial_scale = 1024.0f;
+  opt.backoff = 0.5f;
+  hm::DynamicLossScaler s(opt);
+  hm::Param p = make_param({1.0f, std::numeric_limits<float>::infinity()});
+  EXPECT_FALSE(s.unscale_and_check({&p}));
+  EXPECT_FLOAT_EQ(s.scale(), 512.0f);
+  EXPECT_EQ(s.skipped_steps(), 1);
+  // Gradients were zeroed, not divided.
+  EXPECT_FLOAT_EQ(p.grad[0], 0.0f);
+  EXPECT_FLOAT_EQ(p.grad[1], 0.0f);
+}
+
+TEST(Scaler, NanAlsoTriggersBackoff) {
+  hm::DynamicLossScaler s;
+  hm::Param p = make_param({NAN});
+  const float before = s.scale();
+  EXPECT_FALSE(s.unscale_and_check({&p}));
+  EXPECT_LT(s.scale(), before);
+}
+
+TEST(Scaler, GrowsAfterStreak) {
+  hm::DynamicLossScaler::Options opt;
+  opt.initial_scale = 4.0f;
+  opt.growth = 2.0f;
+  opt.growth_interval = 3;
+  hm::DynamicLossScaler s(opt);
+  for (int i = 0; i < 3; ++i) {
+    hm::Param p = make_param({1.0f});
+    EXPECT_TRUE(s.unscale_and_check({&p}));
+  }
+  EXPECT_FLOAT_EQ(s.scale(), 8.0f);
+  // An overflow resets the streak.
+  hm::Param bad = make_param({NAN});
+  s.unscale_and_check({&bad});
+  EXPECT_FLOAT_EQ(s.scale(), 4.0f);
+  hm::Param good = make_param({1.0f});
+  s.unscale_and_check({&good});
+  EXPECT_FLOAT_EQ(s.scale(), 4.0f);  // streak restarted, not grown yet
+}
+
+TEST(Scaler, ScaleClampedToBounds) {
+  hm::DynamicLossScaler::Options opt;
+  opt.initial_scale = 2.0f;
+  opt.min_scale = 1.0f;
+  opt.max_scale = 4.0f;
+  opt.growth_interval = 1;
+  hm::DynamicLossScaler s(opt);
+  for (int i = 0; i < 5; ++i) {
+    hm::Param p = make_param({1.0f});
+    s.unscale_and_check({&p});
+  }
+  EXPECT_FLOAT_EQ(s.scale(), 4.0f);  // clamped at max
+  for (int i = 0; i < 8; ++i) {
+    hm::Param p = make_param({NAN});
+    s.unscale_and_check({&p});
+  }
+  EXPECT_FLOAT_EQ(s.scale(), 1.0f);  // clamped at min
+}
+
+TEST(Scaler, RejectsBadOptions) {
+  hm::DynamicLossScaler::Options opt;
+  opt.growth = 1.0f;  // must be > 1
+  EXPECT_THROW(hm::DynamicLossScaler{opt}, std::invalid_argument);
+  opt = {};
+  opt.backoff = 1.5f;  // must be < 1
+  EXPECT_THROW(hm::DynamicLossScaler{opt}, std::invalid_argument);
+  opt = {};
+  opt.initial_scale = -1.0f;
+  EXPECT_THROW(hm::DynamicLossScaler{opt}, std::invalid_argument);
+}
+
+TEST(Scaler, NonFinitePredicate) {
+  EXPECT_TRUE(hm::DynamicLossScaler::non_finite(NAN));
+  EXPECT_TRUE(hm::DynamicLossScaler::non_finite(INFINITY));
+  EXPECT_TRUE(hm::DynamicLossScaler::non_finite(-INFINITY));
+  EXPECT_FALSE(hm::DynamicLossScaler::non_finite(0.0f));
+  EXPECT_FALSE(hm::DynamicLossScaler::non_finite(-65504.0f));
+}

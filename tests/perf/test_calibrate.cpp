@@ -1,0 +1,87 @@
+// Cost-model calibration against the live machine. Timing-based, so every
+// assertion is a sanity bound, not an exact value.
+
+#include <gtest/gtest.h>
+
+#include "perf/calibrate.hpp"
+#include "schedule/algorithms.hpp"
+#include "sim/event_sim.hpp"
+
+namespace hp = hanayo::perf;
+namespace hm = hanayo::model;
+namespace hs = hanayo::schedule;
+namespace hsim = hanayo::sim;
+
+namespace {
+const auto kModel = hm::ModelConfig::tiny(/*layers=*/6, /*hidden=*/32,
+                                          /*heads=*/2, /*vocab=*/101,
+                                          /*seq=*/16);
+}  // namespace
+
+TEST(Calibrate, ComputeProducesPlausibleNumbers) {
+  const auto cal = hp::calibrate_compute(kModel, /*mb_sequences=*/2, 2);
+  EXPECT_GT(cal.sec_per_flop, 0.0);
+  EXPECT_LT(cal.sec_per_flop, 1e-3);  // even a slow machine beats 1 kFLOP/s
+  // Backward costs more than forward but less than 8x (paper assumes 2x).
+  EXPECT_GT(cal.bwd_fwd_ratio, 0.5);
+  EXPECT_LT(cal.bwd_fwd_ratio, 8.0);
+}
+
+TEST(Calibrate, CommFitIsPositive) {
+  hp::Calibration cal;
+  cal.sec_per_flop = 1e-9;
+  hp::calibrate_comm(cal, /*repeats=*/20);
+  EXPECT_GT(cal.bytes_per_s, 1e6);  // in-process transfers move >1 MB/s
+  EXPECT_GE(cal.latency_s, 0.0);
+  EXPECT_LT(cal.latency_s, 0.1);
+  EXPECT_TRUE(cal.valid());
+}
+
+TEST(Calibrate, RejectsBadArguments) {
+  EXPECT_THROW(hp::calibrate_compute(kModel, 0, 1), std::invalid_argument);
+  EXPECT_THROW(hp::calibrate_compute(kModel, 1, 0), std::invalid_argument);
+  hp::Calibration c;
+  EXPECT_THROW(hp::calibrate_comm(c, 0), std::invalid_argument);
+  EXPECT_THROW(hp::calibrated_cluster(4, hp::Calibration{}), std::invalid_argument);
+  EXPECT_THROW(hp::calibrated_costs(kModel, 2, 1, hp::Calibration{}),
+               std::invalid_argument);
+}
+
+TEST(Calibrate, CalibratedSimulationIsWellFormed) {
+  // End-to-end: measure, build cluster + costs, simulate a schedule. The
+  // simulation must be self-consistent (finite makespan, bubble in [0,1],
+  // makespan at least the critical-path compute of one device).
+  auto cal = hp::calibrate_compute(kModel, 1, 2);
+  hp::calibrate_comm(cal, 10);
+  const auto cluster = hp::calibrated_cluster(4, cal);
+
+  hs::ScheduleRequest req;
+  req.algo = hs::Algo::Hanayo;
+  req.P = 4;
+  req.B = 4;
+  req.waves = 1;
+  const auto costs =
+      hp::calibrated_costs(kModel, hs::stages_for(req), 1, cal);
+  const auto res = hsim::simulate(hs::make_schedule(req), costs, cluster);
+  EXPECT_GT(res.makespan, 0.0);
+  EXPECT_GE(res.bubble_ratio, 0.0);
+  EXPECT_LE(res.bubble_ratio, 1.0);
+  // Per-device compute of the whole iteration bounds the makespan below.
+  const double compute_per_device =
+      (costs.total_fwd() + costs.total_bwd()) * req.B / req.P;
+  EXPECT_GE(res.makespan, 0.9 * compute_per_device);
+}
+
+TEST(Calibrate, CostsScaleWithMeasuredRatio) {
+  hp::Calibration cal;
+  cal.sec_per_flop = 1e-9;
+  cal.bwd_fwd_ratio = 3.0;
+  cal.bytes_per_s = 1e9;
+  cal.latency_s = 1e-6;
+  const auto costs = hp::calibrated_costs(kModel, 2, 1, cal);
+  ASSERT_EQ(costs.fwd_s.size(), 2u);
+  for (size_t s = 0; s < costs.fwd_s.size(); ++s) {
+    EXPECT_GT(costs.fwd_s[s], 0.0);
+    EXPECT_DOUBLE_EQ(costs.bwd_s[s], 3.0 * costs.fwd_s[s]);
+  }
+}

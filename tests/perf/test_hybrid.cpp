@@ -1,0 +1,107 @@
+// Hybrid tensor x data x pipeline planning.
+
+#include <gtest/gtest.h>
+
+#include "perf/hybrid.hpp"
+
+namespace hp = hanayo::perf;
+namespace hm = hanayo::model;
+namespace hs = hanayo::schedule;
+namespace hsim = hanayo::sim;
+
+namespace {
+const auto kModel = hm::ModelConfig::bert_paper();
+}  // namespace
+
+TEST(Hybrid, TpOneMatchesPipelinePlanner) {
+  const auto cluster = hsim::Cluster::tacc(8);
+  const auto base = hp::evaluate(kModel, cluster, hs::Algo::Hanayo, 2, 4, 2, 4, 1);
+  const auto hyb =
+      hp::evaluate_hybrid(kModel, cluster, hs::Algo::Hanayo, 1, 2, 4, 2, 4, 1);
+  EXPECT_DOUBLE_EQ(base.throughput_seq_s, hyb.pipe.throughput_seq_s);
+  EXPECT_DOUBLE_EQ(base.peak_mem_gb, hyb.pipe.peak_mem_gb);
+  EXPECT_DOUBLE_EQ(hyb.tp_comm_s, 0.0);
+}
+
+TEST(Hybrid, TensorParallelismShrinksPerDeviceMemory) {
+  const auto cluster = hsim::Cluster::fc();
+  const auto t1 =
+      hp::evaluate_hybrid(kModel, cluster, hs::Algo::Hanayo, 1, 1, 4, 2, 8, 1);
+  const auto t2 =
+      hp::evaluate_hybrid(kModel, cluster, hs::Algo::Hanayo, 2, 1, 4, 2, 8, 1);
+  ASSERT_TRUE(t1.pipe.feasible);
+  ASSERT_TRUE(t2.pipe.feasible);
+  // Weights and activations halve; some memory is activation transfers, so
+  // expect a substantial (but not exactly 2x) drop.
+  EXPECT_LT(t2.pipe.peak_mem_gb, 0.7 * t1.pipe.peak_mem_gb);
+  EXPECT_GT(t2.tp_comm_s, 0.0);
+}
+
+TEST(Hybrid, AllreduceModelIsMonotonic) {
+  // More members or more bytes cost more; faster links cost less.
+  EXPECT_DOUBLE_EQ(hp::tp_allreduce_seconds(1e6, 1, 1e9, 1e-6), 0.0);
+  const double t2 = hp::tp_allreduce_seconds(1e6, 2, 1e9, 1e-6);
+  const double t4 = hp::tp_allreduce_seconds(1e6, 4, 1e9, 1e-6);
+  EXPECT_GT(t2, 0.0);
+  EXPECT_GT(t4, t2);
+  EXPECT_LT(hp::tp_allreduce_seconds(1e6, 4, 1e10, 1e-6), t4);
+  EXPECT_GT(hp::tp_allreduce_seconds(2e6, 4, 1e9, 1e-6), t4);
+}
+
+TEST(Hybrid, SlowLinksPunishTensorParallelism) {
+  // On a uniformly slow interconnect the TP allreduces dominate: T=2 must
+  // lose throughput against T=1 at the same (D, P).
+  const auto slow = hsim::Cluster::uniform(8, 100e12, 80e9, 1e9, 5e-6);
+  const auto t1 =
+      hp::evaluate_hybrid(kModel, slow, hs::Algo::Hanayo, 1, 1, 4, 2, 8, 1);
+  const auto t2 =
+      hp::evaluate_hybrid(kModel, slow, hs::Algo::Hanayo, 2, 1, 4, 2, 8, 1);
+  EXPECT_GT(t1.pipe.throughput_seq_s, t2.pipe.throughput_seq_s);
+}
+
+TEST(Hybrid, FastLinksMakeTensorParallelismCompetitive) {
+  // With NVLink-class links and the pipeline axis capped (few layers), TP
+  // is the only way to use all devices: the hybrid plan on 16 devices must
+  // beat the best pure-pipeline plan for a 12-layer model.
+  const auto model = hm::ModelConfig::gpt2_small();  // 12 layers
+  const auto fast = hsim::Cluster::uniform(16, 100e12, 80e9, 200e9, 1e-6);
+
+  hp::PlanRequest pure;
+  pure.model = model;
+  pure.cluster = fast;
+  pure.total_devices = 16;
+  pure.batch_sequences = 16;
+  const auto pure_best = hp::best(hp::plan(pure));
+
+  hp::HybridRequest hyb;
+  hyb.model = model;
+  hyb.cluster = fast;
+  hyb.total_devices = 16;
+  hyb.batch_sequences = 16;
+  const auto hyb_best = hp::best_hybrid(hp::plan_hybrid(hyb));
+
+  ASSERT_TRUE(pure_best.has_value());
+  ASSERT_TRUE(hyb_best.has_value());
+  EXPECT_GE(hyb_best->pipe.throughput_seq_s, pure_best->throughput_seq_s);
+}
+
+TEST(Hybrid, PlanOnlyEmitsValidDeviceSplits) {
+  hp::HybridRequest req;
+  req.model = kModel;
+  req.cluster = hsim::Cluster::uniform(12, 100e12, 80e9, 1e11, 1e-6);
+  req.total_devices = 12;
+  req.batch_sequences = 12;
+  req.tp_options = {1, 2, 3, 4, 5};  // 5 does not divide 12
+  const auto cands = hp::plan_hybrid(req);
+  ASSERT_FALSE(cands.empty());
+  for (const auto& c : cands) {
+    EXPECT_EQ(12 % (c.T * c.pipe.D * c.pipe.P), 0) << c.to_string();
+    EXPECT_NE(c.T, 5);
+  }
+}
+
+TEST(Hybrid, RejectsBadTp) {
+  EXPECT_THROW(hp::evaluate_hybrid(kModel, hsim::Cluster::fc(),
+                                   hs::Algo::Hanayo, 0, 1, 4, 1, 4, 1),
+               std::invalid_argument);
+}

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "perf/planner.hpp"
+
+namespace hm = hanayo::model;
+namespace hs = hanayo::schedule;
+namespace hsim = hanayo::sim;
+namespace hp = hanayo::perf;
+
+namespace {
+const auto kModel = hm::ModelConfig::tiny(30, 32, 2, 101, 16);
+}
+
+TEST(Planner, EvaluateProducesThroughput) {
+  const auto cluster = hsim::Cluster::uniform(8, 1e12, 1e12, 1e11, 1e-6);
+  const auto c = hp::evaluate(kModel, cluster, hs::Algo::Hanayo, 1, 4, 2, 8, 1);
+  EXPECT_TRUE(c.feasible);
+  EXPECT_FALSE(c.oom);
+  EXPECT_GT(c.throughput_seq_s, 0.0);
+  EXPECT_GT(c.peak_mem_gb, 0.0);
+  EXPECT_FALSE(c.to_string().empty());
+}
+
+TEST(Planner, InfeasibleWhenStagesExceedLayers) {
+  const auto cluster = hsim::Cluster::uniform(8, 1e12, 1e12, 1e11, 1e-6);
+  // 33 layers total; Hanayo with P=8, W=4 needs 64 stages.
+  const auto c = hp::evaluate(kModel, cluster, hs::Algo::Hanayo, 1, 8, 4, 8, 1);
+  EXPECT_FALSE(c.feasible);
+  EXPECT_NE(c.note.find("stages"), std::string::npos);
+}
+
+TEST(Planner, ChimeraNeedsEvenP) {
+  const auto cluster = hsim::Cluster::uniform(6, 1e12, 1e12, 1e11, 1e-6);
+  const auto c = hp::evaluate(kModel, cluster, hs::Algo::Chimera, 2, 3, 1, 4, 1);
+  EXPECT_FALSE(c.feasible);
+}
+
+TEST(Planner, OomDetected) {
+  const auto cluster = hsim::Cluster::uniform(8, 1e12, 1e5, 1e11, 1e-6);
+  const auto c = hp::evaluate(kModel, cluster, hs::Algo::GPipe, 1, 4, 1, 8, 1);
+  EXPECT_TRUE(c.oom);
+}
+
+TEST(Planner, PlanEnumeratesFactorisations) {
+  hp::PlanRequest req;
+  req.model = kModel;
+  req.cluster = hsim::Cluster::uniform(8, 1e12, 1e12, 1e11, 1e-6);
+  req.total_devices = 8;
+  req.batch_sequences = 8;
+  req.wave_options = {1, 2};
+  const auto cands = hp::plan(req);
+  EXPECT_FALSE(cands.empty());
+  // Must contain both a P=8 and a P=4/D=2 candidate.
+  bool p8 = false, p4 = false;
+  for (const auto& c : cands) {
+    if (c.P == 8 && c.D == 1) p8 = true;
+    if (c.P == 4 && c.D == 2) p4 = true;
+  }
+  EXPECT_TRUE(p8);
+  EXPECT_TRUE(p4);
+}
+
+TEST(Planner, ResultsSortedByThroughput) {
+  hp::PlanRequest req;
+  req.model = kModel;
+  req.cluster = hsim::Cluster::uniform(8, 1e12, 1e12, 1e11, 1e-6);
+  req.total_devices = 8;
+  req.batch_sequences = 8;
+  req.wave_options = {1, 2};
+  const auto cands = hp::plan(req);
+  for (size_t i = 0; i + 1 < cands.size(); ++i) {
+    const bool gi = cands[i].feasible && !cands[i].oom;
+    const bool gj = cands[i + 1].feasible && !cands[i + 1].oom;
+    if (gi && gj) {
+      EXPECT_GE(cands[i].throughput_seq_s, cands[i + 1].throughput_seq_s);
+    }
+  }
+  const auto b = hp::best(cands);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->throughput_seq_s, cands.front().throughput_seq_s);
+}
+
+TEST(Planner, HanayoWinsOnFastInterconnectUnderMemoryCap) {
+  // The paper's conclusion: with good links and a realistic per-device
+  // memory budget the wave structure wins the search. The memory cap is the
+  // essential ingredient — with unbounded memory the planner would pick
+  // Chimera at extreme data parallelism, paying its 2x weight replication
+  // (67 GB/device here) for a near-zero bubble; a 40 GB A100 rules that
+  // out, which is precisely the paper's argument for decoupling bubble
+  // reduction from replication.
+  hp::PlanRequest req;
+  // The paper's BERT: heavy enough that Chimera's replication actually
+  // exceeds the 40 GB budget at small P (P=2 needs ~67 GB/device).
+  req.model = hm::ModelConfig::bert_paper();
+  req.cluster = hsim::Cluster::uniform(8, 1e12, 40e9, 1e12, 1e-7);
+  req.total_devices = 8;
+  req.batch_sequences = 8;
+  req.wave_options = {1, 2};
+  const auto b = hp::best(hp::plan(req));
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->algo, hs::Algo::Hanayo) << b->to_string();
+  EXPECT_EQ(b->W, 2) << b->to_string();
+}
+
+TEST(Planner, BestReturnsNulloptWhenAllOom) {
+  hp::PlanRequest req;
+  req.model = kModel;
+  req.cluster = hsim::Cluster::uniform(8, 1e12, 1e3, 1e11, 1e-6);
+  req.total_devices = 8;
+  req.batch_sequences = 8;
+  req.wave_options = {1};
+  const auto cands = hp::plan(req);
+  EXPECT_FALSE(hp::best(cands).has_value());
+}

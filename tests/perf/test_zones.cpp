@@ -1,0 +1,160 @@
+// Bubble-zone decomposition (paper Fig. 7).
+
+#include <gtest/gtest.h>
+
+#include "perf/zones.hpp"
+#include "schedule/algorithms.hpp"
+#include "sim/event_sim.hpp"
+
+namespace hp = hanayo::perf;
+namespace hs = hanayo::schedule;
+namespace hsim = hanayo::sim;
+
+namespace {
+
+/// Costs with the TOTAL forward pass fixed at `total_fwd` seconds (so stage
+/// counts are comparable), T_B = 2 T_F, negligible communication payloads.
+hsim::PipelineCosts costs_total(int S, double total_fwd = 8.0) {
+  hsim::PipelineCosts c;
+  c.fwd_s.assign(static_cast<size_t>(S), total_fwd / S);
+  c.bwd_s.assign(static_cast<size_t>(S), 2.0 * total_fwd / S);
+  c.boundary_bytes.assign(static_cast<size_t>(S > 0 ? S - 1 : 0), 1.0);
+  c.weight_bytes.assign(static_cast<size_t>(S), 1.0);
+  c.act_bytes.assign(static_cast<size_t>(S), 1.0);
+  return c;
+}
+
+hsim::SimResult run(hs::Algo algo, int P, int B, int W) {
+  hs::ScheduleRequest req;
+  req.algo = algo;
+  req.P = P;
+  req.B = B;
+  req.waves = W;
+  req.vchunks = W;
+  const auto sched = hs::make_schedule(req);
+  hsim::SimOptions opt;
+  opt.record_timeline = true;
+  return hsim::simulate(sched, costs_total(hs::stages_for(req)),
+                        hsim::Cluster::uniform(P, 1.0, 1e18, 1e12, 0.0), opt);
+}
+
+}  // namespace
+
+TEST(Zones, RequiresTimeline) {
+  hsim::SimResult empty;
+  EXPECT_THROW(hp::decompose_bubbles(empty, 4), std::invalid_argument);
+}
+
+TEST(Zones, RejectsBadDeviceCount) {
+  const auto res = run(hs::Algo::Dapple, 2, 4, 1);
+  EXPECT_THROW(hp::decompose_bubbles(res, 0), std::invalid_argument);
+  EXPECT_THROW(hp::decompose_bubbles(res, 1), std::invalid_argument);  // span device 1 out of range
+}
+
+struct ZoneCase {
+  hs::Algo algo;
+  int P, B, W;
+};
+
+class ZonePartition : public testing::TestWithParam<ZoneCase> {};
+
+TEST_P(ZonePartition, ZonesExactlyPartitionIdleTime) {
+  const auto [algo, P, B, W] = GetParam();
+  const auto res = run(algo, P, B, W);
+  const auto zb = hp::decompose_bubbles(res, P);
+
+  double busy_total = 0.0;
+  for (double b : res.busy) busy_total += b;
+  const double idle = P * res.makespan - busy_total;
+  EXPECT_NEAR(zb.total_idle(), idle, 1e-9 * std::max(1.0, idle));
+
+  // Per-device: zones sum to that device's idle.
+  for (int d = 0; d < P; ++d) {
+    double dev_idle = 0.0;
+    for (double z : zb.per_device[static_cast<size_t>(d)]) dev_idle += z;
+    EXPECT_NEAR(dev_idle, res.makespan - res.busy[static_cast<size_t>(d)],
+                1e-9 * res.makespan)
+        << "device " << d;
+  }
+
+  // Spans well-formed: inside [0, makespan], positive, non-overlapping per
+  // device (they are emitted in time order per device).
+  std::vector<double> last_end(static_cast<size_t>(P), 0.0);
+  for (const auto& s : zb.spans) {
+    EXPECT_GE(s.start, 0.0);
+    EXPECT_LE(s.end, res.makespan + 1e-9);
+    EXPECT_GT(s.length(), 0.0);
+    EXPECT_GE(s.start, last_end[static_cast<size_t>(s.device)] - 1e-12);
+    last_end[static_cast<size_t>(s.device)] = s.end;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ZonePartition,
+    testing::Values(ZoneCase{hs::Algo::GPipe, 4, 4, 1},
+                    ZoneCase{hs::Algo::Dapple, 4, 4, 1},
+                    ZoneCase{hs::Algo::Dapple, 4, 8, 1},
+                    ZoneCase{hs::Algo::Hanayo, 4, 4, 1},
+                    ZoneCase{hs::Algo::Hanayo, 4, 4, 2},
+                    ZoneCase{hs::Algo::Hanayo, 8, 8, 2},
+                    ZoneCase{hs::Algo::ChimeraWave, 4, 4, 1},
+                    ZoneCase{hs::Algo::Interleaved, 4, 4, 2}));
+
+TEST(Zones, GPipeHasNoSteadyStateStalls) {
+  // GPipe never runs a forward after a backward, so Zone D must be empty;
+  // its dominant idle is the fwd/bwd turnaround (the big mid-pipeline
+  // lozenge of Fig. 3a) plus ramp/drain.
+  const auto res = run(hs::Algo::GPipe, 4, 4, 1);
+  const auto zb = hp::decompose_bubbles(res, 4);
+  EXPECT_DOUBLE_EQ(zb.zone(hp::Zone::D), 0.0);
+  EXPECT_GT(zb.zone(hp::Zone::A), 0.0);
+  EXPECT_GT(zb.zone(hp::Zone::B), 0.0);
+}
+
+TEST(Zones, FirstDeviceNeverWaitsInZoneAOnLinearPlacements) {
+  // With the linear placement device 0 holds only stage 0, which never
+  // waits on a peer's forward. (Wave placements do NOT have this property:
+  // there device 0 also holds the final stage, whose forward input arrives
+  // from device 1 — that wait is real Zone A time.)
+  for (const hs::Algo algo : {hs::Algo::GPipe, hs::Algo::Dapple}) {
+    const auto res = run(algo, 4, 4, 1);
+    const auto zb = hp::decompose_bubbles(res, 4);
+    EXPECT_DOUBLE_EQ(zb.per_device[0][static_cast<size_t>(hp::Zone::A)], 0.0)
+        << hs::algo_name(algo);
+  }
+  const auto res = run(hs::Algo::Hanayo, 4, 4, 1);
+  const auto zb = hp::decompose_bubbles(res, 4);
+  EXPECT_GT(zb.per_device[0][static_cast<size_t>(hp::Zone::A)], 0.0);
+}
+
+TEST(Zones, RampUpIdleGrowsWithDeviceRank) {
+  // Later DAPPLE devices wait longer before their first forward (the
+  // staircase of Fig. 3b): Zone A per device is non-decreasing in rank.
+  const auto res = run(hs::Algo::Dapple, 4, 8, 1);
+  const auto zb = hp::decompose_bubbles(res, 4);
+  for (int d = 0; d + 1 < 4; ++d) {
+    EXPECT_LE(zb.per_device[static_cast<size_t>(d)][0],
+              zb.per_device[static_cast<size_t>(d + 1)][0] + 1e-9)
+        << "device " << d;
+  }
+}
+
+TEST(Zones, MoreWavesShrinkRampUpIdle) {
+  // The paper's headline mechanism (§3.3): doubling the waves halves the
+  // ramp-up bubbles. With total compute fixed, Zone A idle must strictly
+  // decrease from W=1 to W=2.
+  const auto r1 = run(hs::Algo::Hanayo, 4, 4, 1);
+  const auto r2 = run(hs::Algo::Hanayo, 4, 4, 2);
+  const auto z1 = hp::decompose_bubbles(r1, 4);
+  const auto z2 = hp::decompose_bubbles(r2, 4);
+  EXPECT_LT(z2.zone(hp::Zone::A), z1.zone(hp::Zone::A));
+  // And the total bubble shrinks with it.
+  EXPECT_LT(r2.makespan, r1.makespan);
+}
+
+TEST(Zones, ZoneNamesAreStable) {
+  EXPECT_EQ(hp::zone_name(hp::Zone::A), "A");
+  EXPECT_EQ(hp::zone_name(hp::Zone::B), "B");
+  EXPECT_EQ(hp::zone_name(hp::Zone::C), "C");
+  EXPECT_EQ(hp::zone_name(hp::Zone::D), "D");
+}

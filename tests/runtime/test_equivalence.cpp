@@ -1,0 +1,181 @@
+// The strongest correctness statement in the repo: training with ANY
+// pipeline schedule on P worker threads must produce the same losses and the
+// same parameters as sequential single-process training (up to float
+// accumulation-order noise, since schedules accumulate micro-batch
+// gradients in different orders).
+
+#include <gtest/gtest.h>
+
+#include "core/hanayo.hpp"
+
+using namespace hanayo;
+
+namespace {
+
+struct Case {
+  Algo algo;
+  int P;
+  int B;
+  int W;
+  int dp;
+};
+
+std::string case_name(const testing::TestParamInfo<Case>& info) {
+  const Case& c = info.param;
+  std::string algo = schedule::algo_name(c.algo);
+  std::erase_if(algo, [](char ch) { return !std::isalnum(static_cast<unsigned char>(ch)); });
+  return algo + "_P" + std::to_string(c.P) + "_B" + std::to_string(c.B) +
+         "_W" + std::to_string(c.W) + "_D" + std::to_string(c.dp);
+}
+
+class PipelineEquivalence : public testing::TestWithParam<Case> {};
+
+constexpr float kTol = 3e-4f;
+
+}  // namespace
+
+TEST_P(PipelineEquivalence, MatchesSequentialTraining) {
+  const Case c = GetParam();
+  // Enough layers that every stage count in the sweep is feasible.
+  const ModelConfig mc = ModelConfig::tiny(/*layers=*/14, /*hidden=*/16,
+                                           /*heads=*/2, /*vocab=*/37, /*seq=*/6);
+
+  TrainerConfig tc;
+  tc.model = mc;
+  tc.sched.algo = c.algo;
+  tc.sched.P = c.P;
+  tc.sched.B = c.B;
+  tc.sched.waves = c.W;
+  tc.sched.vchunks = c.W;
+  tc.dp = c.dp;
+  tc.mb_sequences = 1;
+  tc.seed = 77;
+  tc.opt = OptKind::Sgd;
+  tc.lr = 0.05f;
+  tc.momentum = 0.9f;
+  Trainer trainer(tc);
+
+  SequentialEngine ref(mc, c.B * c.dp, 1, 77, OptKind::Sgd, 0.05f, 0.9f);
+
+  Rng rng(5);
+  for (int step = 0; step < 3; ++step) {
+    const Batch batch = synthetic_batch(mc, trainer.batch_rows(), rng);
+    const float pl = trainer.train_step(batch);
+    const float sl = ref.train_step(batch);
+    EXPECT_NEAR(pl, sl, 5e-4f) << "step " << step;
+  }
+
+  // Parameters must agree after several optimizer steps.
+  auto pipe_params = trainer.snapshot_params();
+  std::map<std::string, Tensor> seq_params;
+  for (model::Param* p : ref.module().params()) seq_params.emplace(p->name, p->value);
+  ASSERT_EQ(pipe_params.size(), seq_params.size());
+  for (const auto& [name, val] : seq_params) {
+    const auto it = pipe_params.find(name);
+    ASSERT_NE(it, pipe_params.end()) << name;
+    EXPECT_LE(tensor::max_abs_diff(it->second, val), kTol) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedules, PipelineEquivalence,
+    testing::Values(
+        // GPipe
+        Case{Algo::GPipe, 2, 2, 1, 1}, Case{Algo::GPipe, 4, 4, 1, 1},
+        Case{Algo::GPipe, 4, 8, 1, 1},
+        // DAPPLE / 1F1B
+        Case{Algo::Dapple, 2, 4, 1, 1}, Case{Algo::Dapple, 4, 4, 1, 1},
+        Case{Algo::Dapple, 4, 8, 1, 1}, Case{Algo::Dapple, 3, 5, 1, 1},
+        // Interleaved
+        Case{Algo::Interleaved, 2, 4, 2, 1}, Case{Algo::Interleaved, 4, 8, 2, 1},
+        // Chimera (bidirectional, replicated weights)
+        Case{Algo::Chimera, 2, 4, 1, 1}, Case{Algo::Chimera, 4, 8, 1, 1},
+        // Chimera-wave
+        Case{Algo::ChimeraWave, 2, 4, 1, 1}, Case{Algo::ChimeraWave, 4, 8, 1, 1},
+        // Hanayo, various wave counts
+        Case{Algo::Hanayo, 2, 2, 1, 1}, Case{Algo::Hanayo, 2, 4, 2, 1},
+        Case{Algo::Hanayo, 4, 4, 1, 1}, Case{Algo::Hanayo, 4, 8, 1, 1},
+        Case{Algo::Hanayo, 3, 6, 2, 1}, Case{Algo::Hanayo, 2, 8, 3, 1},
+        // Data parallelism on top
+        Case{Algo::Dapple, 2, 2, 1, 2}, Case{Algo::Hanayo, 2, 4, 1, 2},
+        Case{Algo::Chimera, 2, 4, 1, 2}),
+    case_name);
+
+TEST(PipelineEquivalenceExtra, Hanayo4Waves) {
+  // W=4 on P=2 needs 16 stages; give the model enough layers.
+  const ModelConfig mc = ModelConfig::tiny(16, 16, 2, 37, 6);
+  TrainerConfig tc;
+  tc.model = mc;
+  tc.sched.algo = Algo::Hanayo;
+  tc.sched.P = 2;
+  tc.sched.B = 4;
+  tc.sched.waves = 4;
+  tc.seed = 3;
+  tc.lr = 0.05f;
+  Trainer trainer(tc);
+  SequentialEngine ref(mc, 4, 1, 3, OptKind::Sgd, 0.05f);
+  Rng rng(8);
+  const Batch batch = synthetic_batch(mc, trainer.batch_rows(), rng);
+  EXPECT_NEAR(trainer.train_step(batch), ref.train_step(batch), 5e-4f);
+}
+
+TEST(PipelineEquivalenceExtra, AdamWOptimizer) {
+  const ModelConfig mc = ModelConfig::tiny(6, 16, 2, 37, 6);
+  TrainerConfig tc;
+  tc.model = mc;
+  tc.sched.algo = Algo::Hanayo;
+  tc.sched.P = 2;
+  tc.sched.B = 4;
+  tc.sched.waves = 1;
+  tc.opt = OptKind::AdamW;
+  tc.lr = 0.01f;
+  tc.seed = 9;
+  Trainer trainer(tc);
+  SequentialEngine ref(mc, 4, 1, 9, OptKind::AdamW, 0.01f);
+  Rng rng(2);
+  for (int step = 0; step < 2; ++step) {
+    const Batch batch = synthetic_batch(mc, trainer.batch_rows(), rng);
+    EXPECT_NEAR(trainer.train_step(batch), ref.train_step(batch), 5e-4f);
+  }
+}
+
+TEST(PipelineEquivalenceExtra, MultiSequenceMicroBatches) {
+  const ModelConfig mc = ModelConfig::tiny(6, 16, 2, 37, 6);
+  TrainerConfig tc;
+  tc.model = mc;
+  tc.sched.algo = Algo::Dapple;
+  tc.sched.P = 2;
+  tc.sched.B = 3;
+  tc.mb_sequences = 2;
+  tc.seed = 4;
+  tc.lr = 0.05f;
+  Trainer trainer(tc);
+  SequentialEngine ref(mc, 3, 2, 4, OptKind::Sgd, 0.05f);
+  Rng rng(6);
+  const Batch batch = synthetic_batch(mc, trainer.batch_rows(), rng);
+  EXPECT_NEAR(trainer.train_step(batch), ref.train_step(batch), 5e-4f);
+}
+
+TEST(PipelineEquivalenceExtra, PrefetchDepthDoesNotChangeResults) {
+  const ModelConfig mc = ModelConfig::tiny(8, 16, 2, 37, 6);
+  Rng rng(12);
+  float losses[3];
+  int idx = 0;
+  for (int depth : {0, 2, 16}) {
+    TrainerConfig tc;
+    tc.model = mc;
+    tc.sched.algo = Algo::Hanayo;
+    tc.sched.P = 2;
+    tc.sched.B = 4;
+    tc.sched.waves = 2;
+    tc.prefetch_depth = depth;
+    tc.seed = 21;
+    tc.lr = 0.05f;
+    Trainer trainer(tc);
+    Rng brng(33);
+    const Batch batch = synthetic_batch(mc, trainer.batch_rows(), brng);
+    losses[idx++] = trainer.train_step(batch);
+  }
+  EXPECT_FLOAT_EQ(losses[0], losses[1]);
+  EXPECT_FLOAT_EQ(losses[1], losses[2]);
+}

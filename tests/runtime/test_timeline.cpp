@@ -1,0 +1,100 @@
+// Real-runtime timeline instrumentation.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/hanayo.hpp"
+
+using namespace hanayo;
+
+namespace {
+
+TrainerConfig cfg(bool record) {
+  TrainerConfig tc;
+  tc.model = ModelConfig::tiny(/*layers=*/8, /*hidden=*/16, /*heads=*/2,
+                               /*vocab=*/31, /*seq=*/6);
+  tc.sched.algo = Algo::Hanayo;
+  tc.sched.P = 2;
+  tc.sched.B = 4;
+  tc.sched.waves = 2;
+  tc.seed = 44;
+  tc.record_timeline = record;
+  return tc;
+}
+
+}  // namespace
+
+TEST(RuntimeTimeline, OffByDefault) {
+  Trainer t(cfg(false));
+  Rng rng(1);
+  t.train_step(synthetic_batch(cfg(false).model, t.batch_rows(), rng));
+  for (const auto& spans : t.last_timeline()) EXPECT_TRUE(spans.empty());
+}
+
+TEST(RuntimeTimeline, RecordsEveryComputeAction) {
+  Trainer t(cfg(true));
+  Rng rng(2);
+  t.train_step(synthetic_batch(cfg(true).model, t.batch_rows(), rng));
+  const auto timeline = t.last_timeline();
+  const auto& sched = t.schedule();
+  ASSERT_EQ(timeline.size(), 2u);
+  for (int d = 0; d < 2; ++d) {
+    int fb = 0;
+    for (const auto& a : sched.scripts[static_cast<size_t>(d)].actions) {
+      if (a.op == schedule::Op::Forward || a.op == schedule::Op::Backward) ++fb;
+    }
+    EXPECT_EQ(static_cast<int>(timeline[static_cast<size_t>(d)].size()), fb)
+        << "device " << d;
+  }
+}
+
+TEST(RuntimeTimeline, SpansAreOrderedAndPositive) {
+  Trainer t(cfg(true));
+  Rng rng(3);
+  t.train_step(synthetic_batch(cfg(true).model, t.batch_rows(), rng));
+  for (const auto& spans : t.last_timeline()) {
+    double prev_end = 0.0;
+    for (const auto& s : spans) {
+      EXPECT_GE(s.start, 0.0);
+      EXPECT_GT(s.end, s.start);
+      // A worker thread executes its actions sequentially.
+      EXPECT_GE(s.start, prev_end - 1e-9);
+      prev_end = s.end;
+    }
+  }
+}
+
+TEST(RuntimeTimeline, ForwardPrecedesItsBackward) {
+  Trainer t(cfg(true));
+  Rng rng(4);
+  t.train_step(synthetic_batch(cfg(true).model, t.batch_rows(), rng));
+  std::map<std::pair<int, int>, double> fwd_end, bwd_start;
+  for (const auto& spans : t.last_timeline()) {
+    for (const auto& s : spans) {
+      if (s.backward) {
+        bwd_start[{s.mb, s.pos}] = s.start;
+      } else {
+        fwd_end[{s.mb, s.pos}] = s.end;
+      }
+    }
+  }
+  ASSERT_FALSE(fwd_end.empty());
+  ASSERT_EQ(fwd_end.size(), bwd_start.size());
+  for (const auto& [key, fe] : fwd_end) {
+    const auto it = bwd_start.find(key);
+    ASSERT_NE(it, bwd_start.end());
+    EXPECT_LE(fe, it->second + 1e-9)
+        << "mb=" << key.first << " pos=" << key.second;
+  }
+}
+
+TEST(RuntimeTimeline, ResetEachStep) {
+  Trainer t(cfg(true));
+  Rng rng(5);
+  const Batch batch = synthetic_batch(cfg(true).model, t.batch_rows(), rng);
+  t.train_step(batch);
+  const size_t n0 = t.last_timeline()[0].size();
+  t.train_step(batch);
+  EXPECT_EQ(t.last_timeline()[0].size(), n0);  // not accumulated
+}

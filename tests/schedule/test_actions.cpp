@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "schedule/algorithms.hpp"
+
+namespace hs = hanayo::schedule;
+
+TEST(Actions, OpNamesDistinct) {
+  std::set<std::string> names;
+  for (hs::Op op : {hs::Op::LoadInput, hs::Op::Forward, hs::Op::SendAct,
+                    hs::Op::RecvAct, hs::Op::Backward, hs::Op::SendGrad,
+                    hs::Op::RecvGrad, hs::Op::Flush, hs::Op::OptStep}) {
+    names.insert(hs::op_name(op));
+  }
+  EXPECT_EQ(names.size(), 9u);
+}
+
+TEST(Actions, AlgoNamesDistinct) {
+  std::set<std::string> names;
+  for (hs::Algo a : {hs::Algo::GPipe, hs::Algo::Dapple, hs::Algo::Interleaved,
+                     hs::Algo::Chimera, hs::Algo::ChimeraWave, hs::Algo::Hanayo}) {
+    names.insert(hs::algo_name(a));
+  }
+  EXPECT_EQ(names.size(), 6u);
+}
+
+TEST(Actions, CountSumsAcrossDevices) {
+  hs::ScheduleRequest req;
+  req.algo = hs::Algo::Dapple;
+  req.P = 3;
+  req.B = 5;
+  const auto s = hs::make_schedule(req);
+  // 5 micro-batches x 3 stages of each kind.
+  EXPECT_EQ(s.count(hs::Op::Forward), 15);
+  EXPECT_EQ(s.count(hs::Op::Backward), 15);
+  // Linear pipeline: every interior boundary crossed once per micro-batch.
+  EXPECT_EQ(s.count(hs::Op::SendAct), 5 * 2);
+  EXPECT_EQ(s.count(hs::Op::RecvGrad), 5 * 2);
+}
+
+TEST(Actions, ToStringContainsEveryDevice) {
+  hs::ScheduleRequest req;
+  req.algo = hs::Algo::Hanayo;
+  req.P = 3;
+  req.B = 2;
+  req.waves = 1;
+  const auto s = hs::make_schedule(req);
+  const std::string str = s.to_string();
+  EXPECT_NE(str.find("dev0:"), std::string::npos);
+  EXPECT_NE(str.find("dev1:"), std::string::npos);
+  EXPECT_NE(str.find("dev2:"), std::string::npos);
+  EXPECT_NE(str.find("Hanayo"), std::string::npos);
+  EXPECT_NE(str.find("W=1"), std::string::npos);
+}
+
+TEST(Actions, CommActionsCarryValidPeers) {
+  for (auto algo : {hs::Algo::Dapple, hs::Algo::Hanayo, hs::Algo::Chimera}) {
+    hs::ScheduleRequest req;
+    req.algo = algo;
+    req.P = 4;
+    req.B = 4;
+    req.waves = 2;
+    const auto s = hs::make_schedule(req);
+    for (const auto& ds : s.scripts) {
+      for (const auto& a : ds.actions) {
+        switch (a.op) {
+          case hs::Op::SendAct:
+          case hs::Op::RecvAct:
+          case hs::Op::SendGrad:
+          case hs::Op::RecvGrad:
+            EXPECT_GE(a.peer, 0);
+            EXPECT_LT(a.peer, 4);
+            EXPECT_NE(a.peer, ds.device) << "self-send";
+            break;
+          default:
+            EXPECT_EQ(a.peer, -1);
+        }
+      }
+    }
+  }
+}
+
+TEST(Actions, ComputeActionsCarryValidChunks) {
+  hs::ScheduleRequest req;
+  req.algo = hs::Algo::Hanayo;
+  req.P = 2;
+  req.B = 3;
+  req.waves = 2;
+  const auto s = hs::make_schedule(req);
+  for (const auto& ds : s.scripts) {
+    for (const auto& a : ds.actions) {
+      if (a.op == hs::Op::Forward || a.op == hs::Op::Backward) {
+        EXPECT_GE(a.chunk, 0);
+        EXPECT_LT(a.chunk, s.placement.chunks_per_device());
+      }
+    }
+  }
+}
+
+TEST(Actions, FlushIsSecondToLastEverywhere) {
+  for (auto algo : {hs::Algo::GPipe, hs::Algo::Hanayo}) {
+    hs::ScheduleRequest req;
+    req.algo = algo;
+    req.P = 3;
+    req.B = 2;
+    const auto s = hs::make_schedule(req);
+    for (const auto& ds : s.scripts) {
+      ASSERT_GE(ds.actions.size(), 2u);
+      EXPECT_EQ(ds.actions[ds.actions.size() - 2].op, hs::Op::Flush);
+      EXPECT_EQ(ds.actions.back().op, hs::Op::OptStep);
+    }
+  }
+}

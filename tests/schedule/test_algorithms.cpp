@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "schedule/algorithms.hpp"
+
+namespace hs = hanayo::schedule;
+
+TEST(Algorithms, PlacementKinds) {
+  hs::ScheduleRequest req;
+  req.P = 4;
+  req.algo = hs::Algo::GPipe;
+  EXPECT_EQ(hs::make_placement(req).kind(), "linear");
+  req.algo = hs::Algo::Dapple;
+  EXPECT_EQ(hs::make_placement(req).kind(), "linear");
+  req.algo = hs::Algo::Interleaved;
+  EXPECT_EQ(hs::make_placement(req).kind(), "interleaved");
+  req.algo = hs::Algo::Chimera;
+  EXPECT_EQ(hs::make_placement(req).kind(), "chimera");
+  req.algo = hs::Algo::ChimeraWave;
+  EXPECT_EQ(hs::make_placement(req).kind(), "zigzag");
+  req.algo = hs::Algo::Hanayo;
+  EXPECT_EQ(hs::make_placement(req).kind(), "zigzag");
+}
+
+TEST(Algorithms, StageCounts) {
+  hs::ScheduleRequest req;
+  req.P = 4;
+  req.waves = 2;
+  req.vchunks = 3;
+  req.algo = hs::Algo::GPipe;
+  EXPECT_EQ(hs::stages_for(req), 4);
+  req.algo = hs::Algo::Hanayo;
+  EXPECT_EQ(hs::stages_for(req), 16);  // 2*W*P
+  req.algo = hs::Algo::ChimeraWave;
+  EXPECT_EQ(hs::stages_for(req), 8);   // 2*P
+  req.algo = hs::Algo::Interleaved;
+  EXPECT_EQ(hs::stages_for(req), 12);  // V*P
+  req.algo = hs::Algo::Chimera;
+  EXPECT_EQ(hs::stages_for(req), 4);
+}
+
+TEST(Algorithms, WeightReplication) {
+  EXPECT_EQ(hs::weight_replication_factor(hs::Algo::Chimera), 2);
+  EXPECT_EQ(hs::weight_replication_factor(hs::Algo::Hanayo), 1);
+  EXPECT_EQ(hs::weight_replication_factor(hs::Algo::GPipe), 1);
+  EXPECT_EQ(hs::weight_replication_factor(hs::Algo::ChimeraWave), 1);
+}
+
+TEST(Algorithms, Names) {
+  EXPECT_EQ(hs::algo_name(hs::Algo::Hanayo), "Hanayo");
+  EXPECT_EQ(hs::algo_name(hs::Algo::ChimeraWave), "Chimera-wave");
+}
+
+TEST(Algorithms, ScheduleRecordsParameters) {
+  hs::ScheduleRequest req;
+  req.algo = hs::Algo::Hanayo;
+  req.P = 2;
+  req.B = 4;
+  req.waves = 3;
+  const auto s = hs::make_schedule(req);
+  EXPECT_EQ(s.P, 2);
+  EXPECT_EQ(s.B, 4);
+  EXPECT_EQ(s.W, 3);
+  EXPECT_EQ(s.algo, hs::Algo::Hanayo);
+  EXPECT_FALSE(s.to_string().empty());
+}

@@ -1,0 +1,223 @@
+// Asynchronous (PipeDream-style) schedule generation and validation.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "schedule/algorithms.hpp"
+#include "schedule/async.hpp"
+#include "sim/event_sim.hpp"
+
+namespace hs = hanayo::schedule;
+
+namespace {
+hs::Schedule make(int P, int N) {
+  return hs::make_async_schedule({.P = P, .total_micro_batches = N});
+}
+}  // namespace
+
+TEST(AsyncSchedule, BasicShape) {
+  const hs::Schedule s = make(4, 8);
+  EXPECT_EQ(s.algo, hs::Algo::PipeDream);
+  EXPECT_EQ(s.P, 4);
+  EXPECT_EQ(s.B, 8);
+  ASSERT_EQ(s.scripts.size(), 4u);
+  // One F + one B per (mb, device), one OptStep per backward, no Flush.
+  EXPECT_EQ(s.count(hs::Op::Forward), 32);
+  EXPECT_EQ(s.count(hs::Op::Backward), 32);
+  EXPECT_EQ(s.count(hs::Op::OptStep), 32);
+  EXPECT_EQ(s.count(hs::Op::Flush), 0);
+  // P-1 boundaries, one act down + one grad up per mb each.
+  EXPECT_EQ(s.count(hs::Op::SendAct), 3 * 8);
+  EXPECT_EQ(s.count(hs::Op::RecvAct), 3 * 8);
+  EXPECT_EQ(s.count(hs::Op::SendGrad), 3 * 8);
+  EXPECT_EQ(s.count(hs::Op::RecvGrad), 3 * 8);
+  EXPECT_EQ(s.count(hs::Op::LoadInput), 8);
+}
+
+TEST(AsyncSchedule, ValidatesCleanly) {
+  for (int P : {1, 2, 3, 4, 8}) {
+    for (int N : {1, 2, 5, 16}) {
+      const hs::Schedule s = make(P, N);
+      const auto vr = hs::validate_async(s);
+      EXPECT_TRUE(vr.ok) << "P=" << P << " N=" << N << ": " << vr.error;
+    }
+  }
+}
+
+TEST(AsyncSchedule, EveryOptStepFollowsItsBackward) {
+  const hs::Schedule s = make(3, 6);
+  for (const auto& ds : s.scripts) {
+    int last_bwd = -1;
+    for (const auto& a : ds.actions) {
+      if (a.op == hs::Op::Backward) last_bwd = a.mb;
+      if (a.op == hs::Op::OptStep) {
+        EXPECT_EQ(a.mb, last_bwd) << "device " << ds.device;
+        last_bwd = -1;  // consumed
+      }
+    }
+  }
+}
+
+TEST(AsyncSchedule, StalenessIsDepthMinusRank) {
+  // PipeDream 1F1B: device d sees P-1-d updates between a micro-batch's
+  // forward and backward (once the stream is long enough to reach steady
+  // state) — the number of weight versions stashing must retain.
+  for (int P : {2, 4, 6}) {
+    const hs::Schedule s = make(P, 4 * P);
+    for (int d = 0; d < P; ++d) {
+      EXPECT_EQ(hs::async_staleness(s, d), P - 1 - d) << "P=" << P << " d=" << d;
+    }
+  }
+}
+
+TEST(AsyncSchedule, LastDeviceHasNoStaleness) {
+  const hs::Schedule s = make(4, 16);
+  EXPECT_EQ(hs::async_staleness(s, 3), 0);
+}
+
+TEST(AsyncSchedule, SingleDeviceDegeneratesToSequentialPerBatchSgd) {
+  const hs::Schedule s = make(1, 5);
+  const auto vr = hs::validate_async(s);
+  ASSERT_TRUE(vr.ok) << vr.error;
+  // Exactly LoadInput, F, B, OptStep per micro-batch, in order.
+  const auto& acts = s.scripts[0].actions;
+  ASSERT_EQ(acts.size(), 20u);
+  for (int m = 0; m < 5; ++m) {
+    EXPECT_EQ(acts[static_cast<size_t>(4 * m)].op, hs::Op::LoadInput);
+    EXPECT_EQ(acts[static_cast<size_t>(4 * m + 1)].op, hs::Op::Forward);
+    EXPECT_EQ(acts[static_cast<size_t>(4 * m + 2)].op, hs::Op::Backward);
+    EXPECT_EQ(acts[static_cast<size_t>(4 * m + 3)].op, hs::Op::OptStep);
+    EXPECT_EQ(acts[static_cast<size_t>(4 * m)].mb, m);
+  }
+  EXPECT_EQ(hs::async_staleness(s, 0), 0);
+}
+
+TEST(AsyncSchedule, SteadyStateBubbleVanishesWithStreamLength) {
+  // Fig. 4b's point, quantified: without a flush the fill/drain cost is
+  // paid once, so the bubble ratio decays toward zero as the stream grows
+  // and the per-micro-batch time approaches the pure compute bound.
+  const int P = 4;
+  auto simulate_stream = [&](int N) {
+    const hs::Schedule s = make(P, N);
+    hanayo::sim::PipelineCosts c;
+    c.fwd_s.assign(P, 1.0);
+    c.bwd_s.assign(P, 2.0);
+    c.boundary_bytes.assign(P - 1, 0.0);
+    c.weight_bytes.assign(P, 0.0);
+    c.act_bytes.assign(P, 1.0);
+    return hanayo::sim::simulate(
+        s, c, hanayo::sim::Cluster::uniform(P, 1.0, 1e18, 1e18, 0.0));
+  };
+  double prev = 1.0;
+  for (const int N : {8, 32, 128}) {
+    const auto res = simulate_stream(N);
+    EXPECT_LT(res.bubble_ratio, prev) << "N=" << N;
+    prev = res.bubble_ratio;
+    // Per micro-batch wall time >= the per-device compute bound (3 units).
+    EXPECT_GE(res.makespan / N, 3.0 - 1e-9);
+  }
+  EXPECT_LT(prev, 0.1);  // near-zero bubble at N=128
+  // The asymptote: makespan/N -> tf + tb exactly.
+  EXPECT_NEAR(simulate_stream(128).makespan / 128.0, 3.0, 0.2);
+}
+
+TEST(AsyncSchedule, RejectsBadInputs) {
+  EXPECT_THROW(make(0, 4), std::invalid_argument);
+  EXPECT_THROW(make(4, 0), std::invalid_argument);
+}
+
+TEST(AsyncSchedule, SyncGeneratorRefusesPipeDream) {
+  hs::ScheduleRequest req;
+  req.algo = hs::Algo::PipeDream;
+  EXPECT_THROW(hs::make_schedule(req), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Validator mutation tests: corrupting a valid async schedule in any way the
+// validator claims to detect must flip it to rejected.
+
+namespace {
+hs::Schedule corrupt(hs::Schedule s, const std::function<void(hs::Schedule&)>& fn) {
+  fn(s);
+  return s;
+}
+}  // namespace
+
+TEST(AsyncValidator, DetectsDroppedBackward) {
+  const auto bad = corrupt(make(3, 4), [](hs::Schedule& s) {
+    auto& acts = s.scripts[1].actions;
+    for (size_t i = 0; i < acts.size(); ++i) {
+      if (acts[i].op == hs::Op::Backward) {
+        // Remove the Backward and its OptStep.
+        acts.erase(acts.begin() + static_cast<long>(i),
+                   acts.begin() + static_cast<long>(i) + 2);
+        break;
+      }
+    }
+  });
+  EXPECT_FALSE(hs::validate_async(bad).ok);
+}
+
+TEST(AsyncValidator, DetectsMissingOptStep) {
+  const auto bad = corrupt(make(2, 3), [](hs::Schedule& s) {
+    auto& acts = s.scripts[0].actions;
+    for (size_t i = 0; i < acts.size(); ++i) {
+      if (acts[i].op == hs::Op::OptStep) {
+        acts.erase(acts.begin() + static_cast<long>(i));
+        break;
+      }
+    }
+  });
+  EXPECT_FALSE(hs::validate_async(bad).ok);
+}
+
+TEST(AsyncValidator, DetectsUnpairedSend) {
+  const auto bad = corrupt(make(3, 4), [](hs::Schedule& s) {
+    auto& acts = s.scripts[0].actions;
+    for (size_t i = 0; i < acts.size(); ++i) {
+      if (acts[i].op == hs::Op::SendAct) {
+        acts.erase(acts.begin() + static_cast<long>(i));
+        break;
+      }
+    }
+  });
+  EXPECT_FALSE(hs::validate_async(bad).ok);
+}
+
+TEST(AsyncValidator, DetectsInjectedFlush) {
+  const auto bad = corrupt(make(2, 2), [](hs::Schedule& s) {
+    s.scripts[0].actions.push_back({hs::Op::Flush, -1, -1, 0, -1, -1});
+  });
+  EXPECT_FALSE(hs::validate_async(bad).ok);
+}
+
+TEST(AsyncValidator, DetectsComputeOnWrongDevice) {
+  const auto bad = corrupt(make(3, 2), [](hs::Schedule& s) {
+    for (auto& a : s.scripts[1].actions) {
+      if (a.op == hs::Op::Forward) {
+        a.pos = 2;  // claims stage 2 while living on device 1
+        break;
+      }
+    }
+  });
+  EXPECT_FALSE(hs::validate_async(bad).ok);
+}
+
+TEST(AsyncValidator, DetectsReorderingDeadlock) {
+  // Swapping a RecvGrad in front of the SendAct the peer is waiting on
+  // creates a cycle the executability check must catch.
+  const auto bad = corrupt(make(2, 2), [](hs::Schedule& s) {
+    auto& acts = s.scripts[0].actions;
+    // Move the first RecvGrad to the very front.
+    for (size_t i = 0; i < acts.size(); ++i) {
+      if (acts[i].op == hs::Op::RecvGrad) {
+        const hs::Action a = acts[i];
+        acts.erase(acts.begin() + static_cast<long>(i));
+        acts.insert(acts.begin(), a);
+        break;
+      }
+    }
+  });
+  EXPECT_FALSE(hs::validate_async(bad).ok);
+}

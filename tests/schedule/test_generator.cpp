@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "schedule/algorithms.hpp"
+#include "schedule/generator.hpp"
+
+namespace hs = hanayo::schedule;
+
+TEST(InflightCap, ReproducesDappleWarmup) {
+  // Linear placement, S = P, 1 chunk, tf=1 tb=2: cap at device d must be
+  // the classic P - d.
+  const int P = 8;
+  for (int d = 0; d < P; ++d) {
+    EXPECT_EQ(hs::inflight_cap_for(d, P, 1, 1.0, 2.0), P - d) << "d=" << d;
+  }
+}
+
+TEST(InflightCap, LastPositionIsOne) {
+  EXPECT_EQ(hs::inflight_cap_for(15, 16, 4, 1.0, 2.0), 1);
+}
+
+TEST(Generator, RejectsBadInputs) {
+  const auto pl = hs::Placement::linear(2);
+  EXPECT_THROW(hs::generate(hs::Algo::GPipe, 0, pl, 0, {}), std::invalid_argument);
+}
+
+namespace {
+// Extracts the per-device sequence of compute ops as (op, mb, pos) triples.
+std::vector<std::vector<std::tuple<hs::Op, int, int>>> compute_ops(
+    const hs::Schedule& s) {
+  std::vector<std::vector<std::tuple<hs::Op, int, int>>> out(s.scripts.size());
+  for (const auto& ds : s.scripts) {
+    for (const auto& a : ds.actions) {
+      if (a.op == hs::Op::Forward || a.op == hs::Op::Backward) {
+        out[static_cast<size_t>(ds.device)].push_back({a.op, a.mb, a.pos});
+      }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+TEST(Generator, GPipeAllForwardsBeforeBackwards) {
+  hs::ScheduleRequest req;
+  req.algo = hs::Algo::GPipe;
+  req.P = 4;
+  req.B = 6;
+  const auto s = hs::make_schedule(req);
+  for (const auto& dev : compute_ops(s)) {
+    bool seen_backward = false;
+    for (const auto& [op, m, pos] : dev) {
+      if (op == hs::Op::Backward) seen_backward = true;
+      if (seen_backward) EXPECT_EQ(op, hs::Op::Backward);
+    }
+  }
+}
+
+TEST(Generator, DappleLastDeviceAlternates1F1B) {
+  hs::ScheduleRequest req;
+  req.algo = hs::Algo::Dapple;
+  req.P = 4;
+  req.B = 8;
+  const auto s = hs::make_schedule(req);
+  const auto ops = compute_ops(s)[3];  // last device
+  // Classic 1F1B: F0 B0 F1 B1 ...
+  ASSERT_EQ(ops.size(), 16u);
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (i % 2 == 0) {
+      EXPECT_EQ(std::get<0>(ops[i]), hs::Op::Forward) << i;
+      EXPECT_EQ(std::get<1>(ops[i]), static_cast<int>(i / 2)) << i;
+    } else {
+      EXPECT_EQ(std::get<0>(ops[i]), hs::Op::Backward) << i;
+      EXPECT_EQ(std::get<1>(ops[i]), static_cast<int>(i / 2)) << i;
+    }
+  }
+}
+
+TEST(Generator, DappleFirstDeviceWarmupIsP) {
+  hs::ScheduleRequest req;
+  req.algo = hs::Algo::Dapple;
+  req.P = 4;
+  req.B = 8;
+  const auto s = hs::make_schedule(req);
+  const auto ops = compute_ops(s)[0];
+  int warmup = 0;
+  while (warmup < static_cast<int>(ops.size()) &&
+         std::get<0>(ops[static_cast<size_t>(warmup)]) == hs::Op::Forward) {
+    ++warmup;
+  }
+  EXPECT_EQ(warmup, 4);  // P forwards in flight before the first backward
+}
+
+TEST(Generator, HanayoWaveTurnRunsSameMicrobatchTwice) {
+  // At the wave turn (last device), F(m, P-1) is immediately followed by
+  // F(m, P) for the same micro-batch — the "no communication" local hop.
+  hs::ScheduleRequest req;
+  req.algo = hs::Algo::Hanayo;
+  req.P = 4;
+  req.B = 4;
+  req.waves = 1;
+  const auto s = hs::make_schedule(req);
+  const auto ops = compute_ops(s)[3];
+  ASSERT_GE(ops.size(), 2u);
+  EXPECT_EQ(std::get<0>(ops[0]), hs::Op::Forward);
+  EXPECT_EQ(std::get<2>(ops[0]), 3);  // pos 3
+  EXPECT_EQ(std::get<0>(ops[1]), hs::Op::Forward);
+  EXPECT_EQ(std::get<1>(ops[1]), std::get<1>(ops[0]));  // same micro-batch
+  EXPECT_EQ(std::get<2>(ops[1]), 4);  // pos 4
+}
+
+TEST(Generator, ComputeCountsMatchBTimesStages) {
+  for (auto algo : {hs::Algo::GPipe, hs::Algo::Dapple, hs::Algo::Hanayo,
+                    hs::Algo::ChimeraWave, hs::Algo::Chimera, hs::Algo::Interleaved}) {
+    hs::ScheduleRequest req;
+    req.algo = algo;
+    req.P = 4;
+    req.B = 8;
+    req.waves = 2;
+    req.vchunks = 2;
+    const auto s = hs::make_schedule(req);
+    const int S = s.placement.stages();
+    EXPECT_EQ(s.count(hs::Op::Forward), 8 * S) << hs::algo_name(algo);
+    EXPECT_EQ(s.count(hs::Op::Backward), 8 * S) << hs::algo_name(algo);
+    EXPECT_EQ(s.count(hs::Op::LoadInput), 8) << hs::algo_name(algo);
+    EXPECT_EQ(s.count(hs::Op::Flush), 4) << hs::algo_name(algo);
+    EXPECT_EQ(s.count(hs::Op::OptStep), 4) << hs::algo_name(algo);
+  }
+}
+
+TEST(Generator, SendsEqualRecvs) {
+  for (auto algo : {hs::Algo::GPipe, hs::Algo::Dapple, hs::Algo::Hanayo,
+                    hs::Algo::Chimera}) {
+    hs::ScheduleRequest req;
+    req.algo = algo;
+    req.P = 4;
+    req.B = 4;
+    req.waves = 2;
+    const auto s = hs::make_schedule(req);
+    EXPECT_EQ(s.count(hs::Op::SendAct), s.count(hs::Op::RecvAct));
+    EXPECT_EQ(s.count(hs::Op::SendGrad), s.count(hs::Op::RecvGrad));
+  }
+}
+
+TEST(Generator, HanayoCommVolumeScalesWithWaves) {
+  // More waves -> more boundaries -> more sends, but the turn boundaries
+  // stay local: sends per micro-batch = 2*(2WP - 1 - (2W - 1)) = 2*2W(P-1).
+  for (int W : {1, 2, 4}) {
+    hs::ScheduleRequest req;
+    req.algo = hs::Algo::Hanayo;
+    req.P = 4;
+    req.B = 4;
+    req.waves = W;
+    const auto s = hs::make_schedule(req);
+    const int expect_per_mb = 2 * W * (4 - 1);
+    EXPECT_EQ(s.count(hs::Op::SendAct), 4 * expect_per_mb) << "W=" << W;
+    EXPECT_EQ(s.count(hs::Op::SendGrad), 4 * expect_per_mb) << "W=" << W;
+  }
+}
+
+TEST(Generator, LoadInputOnRouteStartDevice) {
+  hs::ScheduleRequest req;
+  req.algo = hs::Algo::Chimera;
+  req.P = 4;
+  req.B = 8;
+  const auto s = hs::make_schedule(req);
+  // Route 0 micro-batches (0..3) load on device 0; route 1 (4..7) on dev 3.
+  for (const auto& ds : s.scripts) {
+    for (const auto& a : ds.actions) {
+      if (a.op != hs::Op::LoadInput) continue;
+      if (a.mb < 4) {
+        EXPECT_EQ(ds.device, 0);
+      } else {
+        EXPECT_EQ(ds.device, 3);
+      }
+    }
+  }
+}

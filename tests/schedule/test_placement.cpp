@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "schedule/placement.hpp"
+
+namespace hs = hanayo::schedule;
+
+TEST(Placement, Linear) {
+  const auto p = hs::Placement::linear(4);
+  EXPECT_EQ(p.devices(), 4);
+  EXPECT_EQ(p.stages(), 4);
+  EXPECT_EQ(p.chunks_per_device(), 1);
+  EXPECT_EQ(p.routes(), 1);
+  EXPECT_EQ(p.replicas(), 1);
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(p.at(0, s).device, s);
+    EXPECT_EQ(p.at(0, s).chunk, 0);
+    EXPECT_EQ(p.stage_of(s, 0), s);
+  }
+}
+
+TEST(Placement, Interleaved) {
+  const auto p = hs::Placement::interleaved(4, 2);
+  EXPECT_EQ(p.stages(), 8);
+  EXPECT_EQ(p.chunks_per_device(), 2);
+  EXPECT_EQ(p.at(0, 5).device, 1);  // stage 5 -> device 5 % 4
+  EXPECT_EQ(p.at(0, 5).chunk, 1);   // chunk 5 / 4
+  EXPECT_EQ(p.stage_of(1, 1), 5);
+}
+
+TEST(Placement, ZigzagOneWaveIsVShape) {
+  const auto p = hs::Placement::zigzag(4, 1);
+  EXPECT_EQ(p.stages(), 8);
+  EXPECT_EQ(p.chunks_per_device(), 2);
+  const int want[8] = {0, 1, 2, 3, 3, 2, 1, 0};
+  for (int s = 0; s < 8; ++s) EXPECT_EQ(p.at(0, s).device, want[s]) << s;
+  // Turning point: stages 3 and 4 share device 3 — the "no communication"
+  // property of the Fig. 5 transform.
+  EXPECT_EQ(p.at(0, 3).device, p.at(0, 4).device);
+}
+
+TEST(Placement, ZigzagTwoWaves) {
+  const auto p = hs::Placement::zigzag(4, 2);
+  EXPECT_EQ(p.stages(), 16);
+  EXPECT_EQ(p.chunks_per_device(), 4);
+  const int want[16] = {0, 1, 2, 3, 3, 2, 1, 0, 0, 1, 2, 3, 3, 2, 1, 0};
+  for (int s = 0; s < 16; ++s) EXPECT_EQ(p.at(0, s).device, want[s]) << s;
+  // Each device hosts 4 distinct chunks, in visit order.
+  EXPECT_EQ(p.stage_of(0, 0), 0);
+  EXPECT_EQ(p.stage_of(0, 1), 7);
+  EXPECT_EQ(p.stage_of(0, 2), 8);
+  EXPECT_EQ(p.stage_of(0, 3), 15);
+}
+
+TEST(Placement, ZigzagEveryDeviceHas2WChunks) {
+  for (int P : {2, 4, 8}) {
+    for (int W : {1, 2, 4}) {
+      const auto p = hs::Placement::zigzag(P, W);
+      EXPECT_EQ(p.stages(), 2 * W * P);
+      for (int d = 0; d < P; ++d) {
+        std::set<int> stages;
+        for (int c = 0; c < 2 * W; ++c) stages.insert(p.stage_of(d, c));
+        EXPECT_EQ(static_cast<int>(stages.size()), 2 * W);
+      }
+    }
+  }
+}
+
+TEST(Placement, ChimeraBidirectional) {
+  const auto p = hs::Placement::chimera(4);
+  EXPECT_EQ(p.routes(), 2);
+  EXPECT_EQ(p.replicas(), 2);
+  EXPECT_EQ(p.stages(), 4);
+  // Route 0 goes down, route 1 goes up.
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(p.at(0, s).device, s);
+    EXPECT_EQ(p.at(1, s).device, 3 - s);
+  }
+  // Device d holds stage d (chunk 0) and stage P-1-d (chunk 1).
+  EXPECT_EQ(p.stage_of(0, 0), 0);
+  EXPECT_EQ(p.stage_of(0, 1), 3);
+  EXPECT_EQ(p.stage_of(2, 0), 2);
+  EXPECT_EQ(p.stage_of(2, 1), 1);
+}
+
+TEST(Placement, ChimeraRouteSplit) {
+  const auto p = hs::Placement::chimera(4);
+  EXPECT_EQ(p.route_of_mb(0, 8), 0);
+  EXPECT_EQ(p.route_of_mb(3, 8), 0);
+  EXPECT_EQ(p.route_of_mb(4, 8), 1);
+  EXPECT_EQ(p.route_of_mb(7, 8), 1);
+  // Odd B: first half rounds up.
+  EXPECT_EQ(p.route_of_mb(2, 5), 0);
+  EXPECT_EQ(p.route_of_mb(3, 5), 1);
+}
+
+TEST(Placement, ChimeraRequiresEvenP) {
+  EXPECT_THROW(hs::Placement::chimera(3), std::invalid_argument);
+}
+
+TEST(Placement, InvalidArgsThrow) {
+  EXPECT_THROW(hs::Placement::linear(0), std::invalid_argument);
+  EXPECT_THROW(hs::Placement::zigzag(4, 0), std::invalid_argument);
+  EXPECT_THROW(hs::Placement::interleaved(0, 2), std::invalid_argument);
+}

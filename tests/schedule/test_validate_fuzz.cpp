@@ -1,0 +1,186 @@
+// Validator mutation fuzzing: every guaranteed-harmful corruption of a
+// valid schedule must be rejected. The mutations are the failure classes a
+// buggy scheduler could realistically emit — dropped compute, dropped or
+// retargeted communication, duplicated work, out-of-range indices,
+// order-induced deadlock.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "schedule/algorithms.hpp"
+#include "schedule/validate.hpp"
+
+namespace hs = hanayo::schedule;
+
+namespace {
+
+struct FuzzConfig {
+  hs::Algo algo;
+  int P, B, W;
+};
+
+std::string cfg_name(const testing::TestParamInfo<FuzzConfig>& info) {
+  std::string algo = hs::algo_name(info.param.algo);
+  std::erase_if(algo, [](char c) { return !std::isalnum(static_cast<unsigned char>(c)); });
+  return algo + "_P" + std::to_string(info.param.P) + "_B" +
+         std::to_string(info.param.B) + "_W" + std::to_string(info.param.W);
+}
+
+hs::Schedule make(const FuzzConfig& c) {
+  hs::ScheduleRequest req;
+  req.algo = c.algo;
+  req.P = c.P;
+  req.B = c.B;
+  req.waves = c.W;
+  req.vchunks = c.W;
+  return hs::make_schedule(req);
+}
+
+/// Indices of all actions of `op` as (device, index) pairs.
+std::vector<std::pair<int, size_t>> find_ops(const hs::Schedule& s, hs::Op op) {
+  std::vector<std::pair<int, size_t>> out;
+  for (const auto& ds : s.scripts) {
+    for (size_t i = 0; i < ds.actions.size(); ++i) {
+      if (ds.actions[i].op == op) out.push_back({ds.device, i});
+    }
+  }
+  return out;
+}
+
+void erase_at(hs::Schedule& s, std::pair<int, size_t> where) {
+  auto& acts = s.scripts[static_cast<size_t>(where.first)].actions;
+  acts.erase(acts.begin() + static_cast<long>(where.second));
+}
+
+class ValidatorFuzz : public testing::TestWithParam<FuzzConfig> {};
+
+}  // namespace
+
+TEST_P(ValidatorFuzz, BaseScheduleIsValid) {
+  const auto s = make(GetParam());
+  const auto vr = hs::validate(s);
+  EXPECT_TRUE(vr.ok) << vr.error;
+}
+
+TEST_P(ValidatorFuzz, DetectsEveryDroppedCompute) {
+  const auto base = make(GetParam());
+  std::mt19937 rng(42);
+  for (const hs::Op op : {hs::Op::Forward, hs::Op::Backward}) {
+    auto sites = find_ops(base, op);
+    ASSERT_FALSE(sites.empty());
+    // Sample up to 6 sites to keep the sweep fast.
+    std::shuffle(sites.begin(), sites.end(), rng);
+    sites.resize(std::min<size_t>(sites.size(), 6));
+    for (const auto& site : sites) {
+      hs::Schedule bad = base;
+      erase_at(bad, site);
+      EXPECT_FALSE(hs::validate(bad).ok)
+          << hs::op_name(op) << " dropped at dev" << site.first << "["
+          << site.second << "]";
+    }
+  }
+}
+
+TEST_P(ValidatorFuzz, DetectsEveryDroppedTransfer) {
+  const auto base = make(GetParam());
+  std::mt19937 rng(43);
+  for (const hs::Op op :
+       {hs::Op::SendAct, hs::Op::RecvAct, hs::Op::SendGrad, hs::Op::RecvGrad}) {
+    auto sites = find_ops(base, op);
+    if (sites.empty()) continue;  // P=1-style configs have no transfers
+    std::shuffle(sites.begin(), sites.end(), rng);
+    sites.resize(std::min<size_t>(sites.size(), 6));
+    for (const auto& site : sites) {
+      hs::Schedule bad = base;
+      erase_at(bad, site);
+      EXPECT_FALSE(hs::validate(bad).ok)
+          << hs::op_name(op) << " dropped at dev" << site.first;
+    }
+  }
+}
+
+TEST_P(ValidatorFuzz, DetectsDuplicatedCompute) {
+  const auto base = make(GetParam());
+  const auto fwds = find_ops(base, hs::Op::Forward);
+  ASSERT_FALSE(fwds.empty());
+  hs::Schedule bad = base;
+  auto& acts = bad.scripts[static_cast<size_t>(fwds[0].first)].actions;
+  acts.insert(acts.begin() + static_cast<long>(fwds[0].second),
+              acts[fwds[0].second]);
+  EXPECT_FALSE(hs::validate(bad).ok);
+}
+
+TEST_P(ValidatorFuzz, DetectsOutOfRangeMicroBatch) {
+  const auto base = make(GetParam());
+  hs::Schedule bad = base;
+  for (auto& ds : bad.scripts) {
+    for (auto& a : ds.actions) {
+      if (a.op == hs::Op::Forward) {
+        a.mb = base.B + 5;
+        EXPECT_FALSE(hs::validate(bad).ok);
+        return;
+      }
+    }
+  }
+  FAIL() << "no forward found";
+}
+
+TEST_P(ValidatorFuzz, DetectsRetargetedSend) {
+  const auto base = make(GetParam());
+  const auto sends = find_ops(base, hs::Op::SendAct);
+  if (sends.empty()) GTEST_SKIP() << "no cross-device transfers";
+  hs::Schedule bad = base;
+  auto& a = bad.scripts[static_cast<size_t>(sends[0].first)]
+                .actions[sends[0].second];
+  // Point the send at the sender itself: always a pairing violation, even
+  // at P=2 where no other legitimate peer exists.
+  a.peer = sends[0].first;
+  EXPECT_FALSE(hs::validate(bad).ok);
+}
+
+TEST_P(ValidatorFuzz, DetectsMissingFlush) {
+  hs::Schedule bad = make(GetParam());
+  for (auto& ds : bad.scripts) {
+    std::erase_if(ds.actions,
+                  [](const hs::Action& a) { return a.op == hs::Op::Flush; });
+    break;  // only device 0 — still invalid
+  }
+  EXPECT_FALSE(hs::validate(bad).ok);
+}
+
+TEST_P(ValidatorFuzz, DetectsRecvHoistedAboveItsSendDependency) {
+  // Hoisting the LAST receive of a device to the very front makes the
+  // device block before doing the work its peers depend on — the
+  // executability pass must find the cycle (or the pairing pass an
+  // inconsistency) for every config with at least one transfer.
+  const auto base = make(GetParam());
+  hs::Schedule bad = base;
+  for (auto& ds : bad.scripts) {
+    for (size_t i = ds.actions.size(); i-- > 0;) {
+      const hs::Op op = ds.actions[i].op;
+      if ((op == hs::Op::RecvGrad || op == hs::Op::RecvAct) && i > 0) {
+        const hs::Action a = ds.actions[i];
+        ds.actions.erase(ds.actions.begin() + static_cast<long>(i));
+        ds.actions.insert(ds.actions.begin(), a);
+        const auto vr = hs::validate(bad);
+        EXPECT_FALSE(vr.ok) << "hoist on dev" << ds.device;
+        return;
+      }
+    }
+  }
+  GTEST_SKIP() << "no transfers to hoist";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ValidatorFuzz,
+    testing::Values(FuzzConfig{hs::Algo::GPipe, 4, 4, 1},
+                    FuzzConfig{hs::Algo::Dapple, 4, 8, 1},
+                    FuzzConfig{hs::Algo::Dapple, 3, 5, 1},
+                    FuzzConfig{hs::Algo::Interleaved, 4, 8, 2},
+                    FuzzConfig{hs::Algo::Chimera, 4, 4, 1},
+                    FuzzConfig{hs::Algo::ChimeraWave, 4, 4, 1},
+                    FuzzConfig{hs::Algo::Hanayo, 4, 4, 1},
+                    FuzzConfig{hs::Algo::Hanayo, 4, 8, 2},
+                    FuzzConfig{hs::Algo::Hanayo, 2, 4, 4}),
+    cfg_name);

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "sim/cluster.hpp"
+
+namespace hsim = hanayo::sim;
+
+TEST(Cluster, UniformLinks) {
+  const auto c = hsim::Cluster::uniform(4, 1e12, 1e9, 1e10, 1e-6);
+  EXPECT_EQ(c.devices, 4);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      if (a == b) continue;
+      EXPECT_DOUBLE_EQ(c.bandwidth(a, b), 1e10);
+    }
+  }
+}
+
+TEST(Cluster, TransferTime) {
+  const auto c = hsim::Cluster::uniform(2, 1e12, 1e9, 1e9, 1e-5);
+  EXPECT_DOUBLE_EQ(c.transfer_time(0, 0, 1e9), 0.0);
+  EXPECT_DOUBLE_EQ(c.transfer_time(0, 1, 1e9), 1e-5 + 1.0);
+}
+
+TEST(Cluster, TaccIntraNodeFasterThanInterNode) {
+  const auto c = hsim::Cluster::tacc(9);
+  // Devices 0,1,2 share node 0; device 3 is on node 1.
+  EXPECT_GT(c.bandwidth(0, 1), c.bandwidth(0, 3));
+  EXPECT_LT(c.lat(0, 1), c.lat(0, 3));
+  EXPECT_EQ(c.name, "TACC");
+}
+
+TEST(Cluster, PcPairsFasterThanCross) {
+  const auto c = hsim::Cluster::pc();
+  EXPECT_GT(c.bandwidth(0, 1), c.bandwidth(0, 2));
+  EXPECT_GT(c.bandwidth(2, 3), c.bandwidth(1, 2));
+}
+
+TEST(Cluster, FcAllLinksEqual) {
+  const auto c = hsim::Cluster::fc();
+  const double bw = c.bandwidth(0, 1);
+  for (int a = 0; a < 8; ++a) {
+    for (int b = 0; b < 8; ++b) {
+      if (a != b) EXPECT_DOUBLE_EQ(c.bandwidth(a, b), bw);
+    }
+  }
+}
+
+TEST(Cluster, TcHypercubeNeighbours) {
+  const auto c = hsim::Cluster::tc();
+  // 0-1, 0-2, 0-4 are NVLink; 0-3, 0-7 are not.
+  EXPECT_GT(c.bandwidth(0, 1), c.bandwidth(0, 3));
+  EXPECT_GT(c.bandwidth(0, 4), c.bandwidth(0, 7));
+  EXPECT_LT(c.flops_per_s, hsim::Cluster::fc().flops_per_s);  // V100 < A100
+  EXPECT_LT(c.mem_bytes, hsim::Cluster::fc().mem_bytes);
+}
+
+TEST(Cluster, FourClustersDistinctRegimes) {
+  // FC should have the best interconnect, TACC the worst (for the worst
+  // pair), matching the paper's characterisation.
+  const auto fc = hsim::Cluster::fc();
+  const auto pc = hsim::Cluster::pc();
+  const auto tacc = hsim::Cluster::tacc(8);
+  double fc_min = 1e30, pc_min = 1e30, tacc_min = 1e30;
+  for (int a = 0; a < 8; ++a) {
+    for (int b = 0; b < 8; ++b) {
+      if (a == b) continue;
+      fc_min = std::min(fc_min, fc.bandwidth(a, b));
+      pc_min = std::min(pc_min, pc.bandwidth(a, b));
+      tacc_min = std::min(tacc_min, tacc.bandwidth(a, b));
+    }
+  }
+  EXPECT_GT(fc_min, pc_min);
+  EXPECT_GT(pc_min, tacc_min);
+}

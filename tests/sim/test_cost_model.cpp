@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "sim/cost_model.hpp"
+
+namespace hm = hanayo::model;
+namespace hsim = hanayo::sim;
+
+namespace {
+const auto kModel = hm::ModelConfig::tiny(14, 32, 2, 101, 16);
+const auto kCluster = hsim::Cluster::uniform(8, 1e12, 16e9, 1e10, 1e-6);
+}
+
+TEST(CostModel, StageCountsAndPositivity) {
+  const auto c = hsim::compute_costs(kModel, 4, 2, kCluster);
+  ASSERT_EQ(c.fwd_s.size(), 4u);
+  ASSERT_EQ(c.bwd_s.size(), 4u);
+  ASSERT_EQ(c.boundary_bytes.size(), 3u);
+  for (double t : c.fwd_s) EXPECT_GT(t, 0.0);
+  for (double b : c.boundary_bytes) EXPECT_GT(b, 0.0);
+}
+
+TEST(CostModel, BackwardIsTwiceForward) {
+  const auto c = hsim::compute_costs(kModel, 4, 2, kCluster);
+  for (size_t s = 0; s < 4; ++s) {
+    EXPECT_DOUBLE_EQ(c.bwd_s[s], hsim::kBwdFwdRatio * c.fwd_s[s]);
+  }
+}
+
+TEST(CostModel, TotalComputeInvariantAcrossStageCounts) {
+  const auto c4 = hsim::compute_costs(kModel, 4, 2, kCluster);
+  const auto c8 = hsim::compute_costs(kModel, 8, 2, kCluster);
+  EXPECT_NEAR(c4.total_fwd(), c8.total_fwd(), 1e-9 * c4.total_fwd());
+  EXPECT_NEAR(c4.total_bwd(), c8.total_bwd(), 1e-9 * c4.total_bwd());
+}
+
+TEST(CostModel, LargerMicroBatchCostsMore) {
+  const auto c1 = hsim::compute_costs(kModel, 4, 1, kCluster);
+  const auto c2 = hsim::compute_costs(kModel, 4, 2, kCluster);
+  EXPECT_GT(c2.total_fwd(), c1.total_fwd());
+  EXPECT_GT(c2.boundary_bytes[0], c1.boundary_bytes[0]);
+}
+
+TEST(CostModel, FasterClusterIsCheaper) {
+  const auto slow = hsim::Cluster::uniform(8, 1e12, 16e9, 1e10, 1e-6);
+  const auto fast = hsim::Cluster::uniform(8, 4e12, 16e9, 1e10, 1e-6);
+  const auto cs = hsim::compute_costs(kModel, 4, 1, slow);
+  const auto cf = hsim::compute_costs(kModel, 4, 1, fast);
+  EXPECT_NEAR(cs.total_fwd(), 4.0 * cf.total_fwd(), 1e-9 * cs.total_fwd());
+}
+
+TEST(CostModel, WeightBytesSumToModel) {
+  const auto c = hsim::compute_costs(kModel, 4, 1, kCluster);
+  double sum = 0.0;
+  for (double w : c.weight_bytes) sum += w;
+  EXPECT_DOUBLE_EQ(sum, static_cast<double>(kModel.total_params() * 4));
+}
+
+TEST(CostModel, DeviceMapOffsets) {
+  const hsim::DeviceMap dm{4, 1};
+  EXPECT_EQ(dm.physical(0), 4);
+  EXPECT_EQ(dm.physical(3), 7);
+}
+
+TEST(CostModel, RejectsBadMicroBatch) {
+  EXPECT_THROW(hsim::compute_costs(kModel, 4, 0, kCluster), std::invalid_argument);
+}

@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include "perf/analytic.hpp"
+#include "schedule/algorithms.hpp"
+#include "sim/event_sim.hpp"
+
+namespace hm = hanayo::model;
+namespace hs = hanayo::schedule;
+namespace hsim = hanayo::sim;
+namespace hp = hanayo::perf;
+
+namespace {
+
+// A model with enough identical blocks that stages are uniform.
+const auto kModel = hm::ModelConfig::tiny(30, 32, 2, 101, 16);
+// A very fast interconnect makes communication negligible, so simulated
+// bubble ratios can be compared against the analytic tc=0 formulas.
+const auto kFast = hsim::Cluster::uniform(8, 1e12, 1e12, 1e13, 1e-9);
+
+// Perfectly uniform stage costs (tb = 2 tf, negligible comm): the setting
+// the paper's closed-form bubble analysis assumes.
+hsim::PipelineCosts uniform_costs(int S) {
+  hsim::PipelineCosts c;
+  c.fwd_s.assign(static_cast<size_t>(S), 1e-3);
+  c.bwd_s.assign(static_cast<size_t>(S), 2e-3);
+  c.boundary_bytes.assign(static_cast<size_t>(S - 1), 1e4);
+  c.weight_bytes.assign(static_cast<size_t>(S), 1e6);
+  c.act_bytes.assign(static_cast<size_t>(S), 1e5);
+  return c;
+}
+
+hsim::SimResult run_uniform(hs::Algo algo, int P, int B, int W) {
+  hs::ScheduleRequest req;
+  req.algo = algo;
+  req.P = P;
+  req.B = B;
+  req.waves = W;
+  req.vchunks = W;
+  const auto sched = hs::make_schedule(req);
+  return hsim::simulate(sched, uniform_costs(sched.placement.stages()), kFast);
+}
+
+hsim::SimResult run(hs::Algo algo, int P, int B, int W,
+                    const hsim::Cluster& cluster) {
+  hs::ScheduleRequest req;
+  req.algo = algo;
+  req.P = P;
+  req.B = B;
+  req.waves = W;
+  req.vchunks = W;
+  const auto sched = hs::make_schedule(req);
+  const auto costs = hsim::compute_costs(kModel, sched.placement.stages(), 1, cluster);
+  return hsim::simulate(sched, costs, cluster);
+}
+
+}  // namespace
+
+TEST(EventSim, SingleDeviceHasNoBubble) {
+  const auto r = run(hs::Algo::GPipe, 1, 4, 1, kFast);
+  EXPECT_NEAR(r.bubble_ratio, 0.0, 1e-6);
+  EXPECT_GT(r.makespan, 0.0);
+}
+
+TEST(EventSim, MakespanAtLeastCriticalPath) {
+  const auto r = run(hs::Algo::Dapple, 4, 8, 1, kFast);
+  const auto costs = hsim::compute_costs(kModel, 4, 1, kFast);
+  // One device must do B * (its stage fwd+bwd) work.
+  double max_stage = 0.0;
+  for (size_t s = 0; s < 4; ++s) {
+    max_stage = std::max(max_stage, costs.fwd_s[s] + costs.bwd_s[s]);
+  }
+  EXPECT_GE(r.makespan, 8 * max_stage - 1e-12);
+}
+
+TEST(EventSim, GPipeBubbleMatchesAnalytic) {
+  for (int P : {2, 4, 8}) {
+    const int B = P;  // the paper's Fig. 1 setting
+    const auto r = run(hs::Algo::GPipe, P, B, 1, kFast);
+    hp::AnalyticParams ap;
+    ap.P = P;
+    ap.B = B;
+    const double expect = hp::bubble_ratio_gpipe(ap);
+    EXPECT_NEAR(r.bubble_ratio, expect, 0.06) << "P=" << P;
+  }
+}
+
+TEST(EventSim, DappleBubbleMatchesAnalytic) {
+  for (int P : {2, 4, 8}) {
+    const auto r = run(hs::Algo::Dapple, P, P, 1, kFast);
+    hp::AnalyticParams ap;
+    ap.P = P;
+    ap.B = P;
+    EXPECT_NEAR(r.bubble_ratio, hp::bubble_ratio_dapple(ap), 0.06) << "P=" << P;
+  }
+}
+
+TEST(EventSim, HanayoBubbleDecreasesWithWaves) {
+  // Under the paper's idealised assumptions (uniform stages, tb = 2 tf,
+  // negligible comm), more waves strictly shrink the bubble.
+  const auto r1 = run_uniform(hs::Algo::Hanayo, 4, 4, 1);
+  const auto r2 = run_uniform(hs::Algo::Hanayo, 4, 4, 2);
+  const auto r4 = run_uniform(hs::Algo::Hanayo, 4, 4, 4);
+  EXPECT_LT(r2.bubble_ratio, r1.bubble_ratio);
+  EXPECT_LT(r4.bubble_ratio, r2.bubble_ratio);
+}
+
+TEST(EventSim, HanayoBubbleTracksPaperFormula) {
+  // Simulated bubble ratio vs. the paper's (2P-2)/(3PW+P-1), B = P.
+  for (int P : {4, 8}) {
+    for (int W : {1, 2}) {
+      const auto r = run_uniform(hs::Algo::Hanayo, P, P, W);
+      const double expect = hp::bubble_ratio_hanayo_simplified(P, W);
+      // The greedy schedule may slightly beat the closed form (the paper's
+      // analysis is conservative about zone-B bubbles); it must never be
+      // much worse.
+      EXPECT_LT(r.bubble_ratio, expect + 0.05) << "P=" << P << " W=" << W;
+      EXPECT_GT(r.bubble_ratio, expect - 0.12) << "P=" << P << " W=" << W;
+    }
+  }
+}
+
+TEST(EventSim, HanayoBeatsDappleAndGPipe) {
+  for (int P : {2, 4}) {
+    const auto g = run(hs::Algo::GPipe, P, P, 1, kFast);
+    const auto d = run(hs::Algo::Dapple, P, P, 1, kFast);
+    const auto h = run(hs::Algo::Hanayo, P, P, 2, kFast);
+    EXPECT_LT(h.makespan, g.makespan) << "P=" << P;
+    EXPECT_LT(h.makespan, d.makespan) << "P=" << P;
+  }
+}
+
+TEST(EventSim, HanayoBeatsChimeraWave) {
+  // The paper's headline comparison, on a fast interconnect, same memory.
+  const auto cw = run(hs::Algo::ChimeraWave, 4, 8, 1, kFast);
+  const auto h4 = run(hs::Algo::Hanayo, 4, 8, 4, kFast);
+  EXPECT_LT(h4.makespan, cw.makespan);
+}
+
+TEST(EventSim, MoreMicroBatchesLowerBubble) {
+  const auto b4 = run(hs::Algo::Dapple, 4, 4, 1, kFast);
+  const auto b16 = run(hs::Algo::Dapple, 4, 16, 1, kFast);
+  EXPECT_LT(b16.bubble_ratio, b4.bubble_ratio);
+}
+
+TEST(EventSim, BusyTimeEqualsComputePerDevice) {
+  const auto costs = hsim::compute_costs(kModel, 8, 1, kFast);
+  hs::ScheduleRequest req;
+  req.algo = hs::Algo::Hanayo;
+  req.P = 4;
+  req.B = 4;
+  req.waves = 1;
+  const auto sched = hs::make_schedule(req);
+  const auto r = hsim::simulate(sched, costs, kFast);
+  // Device d computes B micro-batches through each of its chunks.
+  for (int d = 0; d < 4; ++d) {
+    double expect = 0.0;
+    for (int c = 0; c < sched.placement.chunks_per_device(); ++c) {
+      const int st = sched.placement.stage_of(d, c);
+      expect += 4 * (costs.fwd_s[static_cast<size_t>(st)] + costs.bwd_s[static_cast<size_t>(st)]);
+    }
+    EXPECT_NEAR(r.busy[static_cast<size_t>(d)], expect, 1e-9) << "d=" << d;
+  }
+}
+
+TEST(EventSim, SlowNetworkHurtsMoreWaves) {
+  // With a very slow interconnect the extra boundaries of many waves cost
+  // real time; W=4 must lose more (relative to fast network) than W=1.
+  const auto slow = hsim::Cluster::uniform(8, 1e12, 1e12, 2e7, 1e-5);
+  const auto h1_fast = run(hs::Algo::Hanayo, 4, 4, 1, kFast);
+  const auto h1_slow = run(hs::Algo::Hanayo, 4, 4, 1, slow);
+  const auto h4_fast = run(hs::Algo::Hanayo, 4, 4, 4, kFast);
+  const auto h4_slow = run(hs::Algo::Hanayo, 4, 4, 4, slow);
+  const double pen1 = h1_slow.makespan / h1_fast.makespan;
+  const double pen4 = h4_slow.makespan / h4_fast.makespan;
+  EXPECT_GT(pen4, pen1);
+}
+
+TEST(EventSim, ChimeraWeightMemoryIsDouble) {
+  const auto costs = hsim::compute_costs(kModel, 4, 1, kFast);
+  hs::ScheduleRequest creq;
+  creq.algo = hs::Algo::Chimera;
+  creq.P = 4;
+  creq.B = 8;
+  const auto cs = hs::make_schedule(creq);
+  const auto cr = hsim::simulate(cs, costs, kFast);
+
+  hs::ScheduleRequest dreq;
+  dreq.algo = hs::Algo::Dapple;
+  dreq.P = 4;
+  dreq.B = 8;
+  const auto dsch = hs::make_schedule(dreq);
+  const auto dr = hsim::simulate(dsch, costs, kFast);
+
+  double cmax = 0.0, dmax = 0.0;
+  for (double x : cr.weight_mem_bytes) cmax = std::max(cmax, x);
+  for (double x : dr.weight_mem_bytes) dmax = std::max(dmax, x);
+  EXPECT_NEAR(cmax / dmax, 2.0, 0.4);
+}
+
+TEST(EventSim, HanayoWeightMemoryMatchesDapple) {
+  // The paper's memory headline: no replication, same Mw as 1F1B.
+  const auto costs_d = hsim::compute_costs(kModel, 4, 1, kFast);
+  const auto costs_h = hsim::compute_costs(kModel, 16, 1, kFast);
+  hs::ScheduleRequest dreq;
+  dreq.algo = hs::Algo::Dapple;
+  dreq.P = 4;
+  dreq.B = 8;
+  const auto dr = hsim::simulate(hs::make_schedule(dreq), costs_d, kFast);
+  hs::ScheduleRequest hreq;
+  hreq.algo = hs::Algo::Hanayo;
+  hreq.P = 4;
+  hreq.B = 8;
+  hreq.waves = 2;
+  const auto hr = hsim::simulate(hs::make_schedule(hreq), costs_h, kFast);
+  double dtot = 0.0, htot = 0.0, dmax = 0.0, hmax = 0.0;
+  for (double x : dr.weight_mem_bytes) {
+    dtot += x;
+    dmax = std::max(dmax, x);
+  }
+  for (double x : hr.weight_mem_bytes) {
+    htot += x;
+    hmax = std::max(hmax, x);
+  }
+  EXPECT_NEAR(htot, dtot, 0.02 * dtot);   // same total weights
+  EXPECT_LT(hmax, 1.35 * dmax);           // and no device holds a replica
+}
+
+TEST(EventSim, OomFlagOnTinyMemory) {
+  const auto tiny_mem = hsim::Cluster::uniform(8, 1e12, 1e3, 1e13, 1e-9);
+  const auto r = run(hs::Algo::GPipe, 4, 4, 1, tiny_mem);
+  EXPECT_TRUE(r.oom);
+}
+
+TEST(EventSim, GPipePeakActivationExceedsDapple) {
+  const auto g = run(hs::Algo::GPipe, 4, 8, 1, kFast);
+  const auto d = run(hs::Algo::Dapple, 4, 8, 1, kFast);
+  double gmax = 0.0, dmax = 0.0;
+  for (size_t i = 0; i < 4; ++i) {
+    gmax = std::max(gmax, g.peak_mem_bytes[i] - g.weight_mem_bytes[i]);
+    dmax = std::max(dmax, d.peak_mem_bytes[i] - d.weight_mem_bytes[i]);
+  }
+  EXPECT_GT(gmax, dmax);
+}
+
+TEST(EventSim, DataParallelAllreduceAddsTime) {
+  const auto cluster = hsim::Cluster::uniform(8, 1e12, 1e12, 1e9, 1e-6);
+  hs::ScheduleRequest req;
+  req.algo = hs::Algo::Dapple;
+  req.P = 4;
+  req.B = 4;
+  const auto sched = hs::make_schedule(req);
+  const auto costs = hsim::compute_costs(kModel, 4, 1, cluster);
+  hsim::SimOptions o1, o2;
+  o2.dp = 2;
+  const auto r1 = hsim::simulate(sched, costs, cluster, o1);
+  const auto r2 = hsim::simulate(sched, costs, cluster, o2);
+  EXPECT_GT(r2.makespan, r1.makespan);
+}
+
+TEST(EventSim, ThroughputHelper) {
+  hsim::SimResult r;
+  r.makespan = 2.0;
+  EXPECT_DOUBLE_EQ(r.throughput_seq_per_s(8), 4.0);
+}

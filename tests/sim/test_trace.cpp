@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "schedule/algorithms.hpp"
+#include "sim/trace.hpp"
+
+namespace hs = hanayo::schedule;
+namespace hsim = hanayo::sim;
+
+namespace {
+
+hsim::SimResult run_recorded(hs::Algo algo, int P, int B, int W) {
+  hs::ScheduleRequest req;
+  req.algo = algo;
+  req.P = P;
+  req.B = B;
+  req.waves = W;
+  const auto sched = hs::make_schedule(req);
+  const int S = sched.placement.stages();
+  hsim::PipelineCosts costs;
+  costs.fwd_s.assign(static_cast<size_t>(S), 1.0);
+  costs.bwd_s.assign(static_cast<size_t>(S), 2.0);
+  costs.boundary_bytes.assign(static_cast<size_t>(S - 1), 0.0);
+  costs.weight_bytes.assign(static_cast<size_t>(S), 0.0);
+  costs.act_bytes.assign(static_cast<size_t>(S), 1.0);
+  hsim::SimOptions opt;
+  opt.record_timeline = true;
+  return hsim::simulate(sched, costs, hsim::Cluster::uniform(P, 1.0, 1e18, 1e18, 0.0), opt);
+}
+
+}  // namespace
+
+TEST(Timeline, OffByDefault) {
+  hs::ScheduleRequest req;
+  req.algo = hs::Algo::Dapple;
+  req.P = 2;
+  req.B = 2;
+  const auto sched = hs::make_schedule(req);
+  hsim::PipelineCosts costs;
+  costs.fwd_s = {1.0, 1.0};
+  costs.bwd_s = {2.0, 2.0};
+  costs.boundary_bytes = {0.0};
+  costs.weight_bytes = {0.0, 0.0};
+  costs.act_bytes = {1.0, 1.0};
+  const auto res = hsim::simulate(sched, costs, hsim::Cluster::uniform(2, 1.0, 1e18, 1e18, 0.0));
+  EXPECT_TRUE(res.timeline.empty());
+}
+
+TEST(Timeline, RecordsEveryComputeOp) {
+  const auto res = run_recorded(hs::Algo::Hanayo, 4, 4, 1);
+  // 2 * B * S spans (forward + backward).
+  EXPECT_EQ(res.timeline.size(), 2u * 4u * 8u);
+}
+
+TEST(Timeline, NoOverlapPerDevice) {
+  const auto res = run_recorded(hs::Algo::Hanayo, 4, 8, 2);
+  for (int d = 0; d < 4; ++d) {
+    std::vector<std::pair<double, double>> spans;
+    for (const auto& s : res.timeline) {
+      if (s.device == d) spans.push_back({s.start, s.end});
+    }
+    std::sort(spans.begin(), spans.end());
+    for (size_t i = 0; i + 1 < spans.size(); ++i) {
+      EXPECT_LE(spans[i].second, spans[i + 1].first + 1e-9) << "device " << d;
+    }
+  }
+}
+
+TEST(Timeline, SpansSumToBusyTime) {
+  const auto res = run_recorded(hs::Algo::Dapple, 4, 6, 1);
+  std::vector<double> sum(4, 0.0);
+  for (const auto& s : res.timeline) sum[static_cast<size_t>(s.device)] += s.end - s.start;
+  for (int d = 0; d < 4; ++d) {
+    EXPECT_NEAR(sum[static_cast<size_t>(d)], res.busy[static_cast<size_t>(d)], 1e-9);
+  }
+}
+
+TEST(Timeline, BackwardAfterItsForward) {
+  const auto res = run_recorded(hs::Algo::Hanayo, 2, 4, 2);
+  std::map<std::pair<int, int>, double> fend, bstart;
+  for (const auto& s : res.timeline) {
+    if (s.backward) {
+      bstart[{s.mb, s.pos}] = s.start;
+    } else {
+      fend[{s.mb, s.pos}] = s.end;
+    }
+  }
+  for (const auto& [key, t] : bstart) {
+    EXPECT_GE(t + 1e-9, fend.at(key)) << "mb=" << key.first << " pos=" << key.second;
+  }
+}
+
+TEST(AsciiTimeline, RendersRowsWithGlyphs) {
+  const auto res = run_recorded(hs::Algo::Dapple, 2, 2, 1);
+  const std::string art = hsim::ascii_timeline(res, 2, 1.0);
+  EXPECT_NE(art.find("P0 |"), std::string::npos);
+  EXPECT_NE(art.find("P1 |"), std::string::npos);
+  EXPECT_NE(art.find('0'), std::string::npos);  // forward of mb 0
+  EXPECT_NE(art.find('a'), std::string::npos);  // backward of mb 0
+}
+
+TEST(ChromeTrace, ValidStructure) {
+  const auto res = run_recorded(hs::Algo::Dapple, 2, 2, 1);
+  const std::string json = hsim::chrome_trace_json(res);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\": 1"), std::string::npos);
+  // One entry per span.
+  size_t count = 0, pos = 0;
+  while ((pos = json.find("\"name\"", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, res.timeline.size());
+}

@@ -1,0 +1,115 @@
+// IEEE binary16 codec.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "tensor/half.hpp"
+
+namespace ht = hanayo::tensor;
+
+TEST(Half, ExactValuesRoundTrip) {
+  // Everything with <= 11 significant bits and exponent in [-14, 15] is
+  // representable exactly.
+  for (float v : {0.0f, 1.0f, -1.0f, 2.0f, 0.5f, 0.25f, 1.5f, -3.75f,
+                  2048.0f, -2048.0f, 65504.0f, 6.103515625e-05f}) {
+    EXPECT_EQ(ht::half_to_float(ht::float_to_half(v)), v) << v;
+  }
+  // Integers up to 2^11 are exact.
+  for (int i = 0; i <= 2048; i += 97) {
+    const float v = static_cast<float>(i);
+    EXPECT_EQ(ht::half_to_float(ht::float_to_half(v)), v) << i;
+  }
+}
+
+TEST(Half, SignedZeroPreserved) {
+  const uint16_t pz = ht::float_to_half(0.0f);
+  const uint16_t nz = ht::float_to_half(-0.0f);
+  EXPECT_EQ(pz, 0x0000);
+  EXPECT_EQ(nz, 0x8000);
+  EXPECT_TRUE(std::signbit(ht::half_to_float(nz)));
+}
+
+TEST(Half, InfinityAndNaN) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(ht::half_to_float(ht::float_to_half(inf)), inf);
+  EXPECT_EQ(ht::half_to_float(ht::float_to_half(-inf)), -inf);
+  EXPECT_TRUE(std::isnan(ht::half_to_float(ht::float_to_half(NAN))));
+}
+
+TEST(Half, OverflowSaturatesToInfinity) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(ht::half_to_float(ht::float_to_half(1e6f)), inf);
+  EXPECT_EQ(ht::half_to_float(ht::float_to_half(-1e6f)), -inf);
+  // 65504 is the largest finite fp16; 65520 is exactly halfway to the next
+  // step and ties away (the 65504 mantissa is odd) -> infinity.
+  EXPECT_EQ(ht::half_to_float(ht::float_to_half(65504.0f)), 65504.0f);
+  EXPECT_EQ(ht::half_to_float(ht::float_to_half(65520.0f)), inf);
+  // Just below halfway stays finite.
+  EXPECT_EQ(ht::half_to_float(ht::float_to_half(65519.0f)), 65504.0f);
+}
+
+TEST(Half, SubnormalsRoundTrip) {
+  // 2^-24 is the smallest positive subnormal.
+  const float tiny = std::ldexp(1.0f, -24);
+  EXPECT_EQ(ht::half_to_float(ht::float_to_half(tiny)), tiny);
+  // Half of it underflows to zero (ties-to-even on the 0/1 boundary).
+  EXPECT_EQ(ht::half_to_float(ht::float_to_half(std::ldexp(1.0f, -25))), 0.0f);
+  // A mid-range subnormal: 3 * 2^-24.
+  const float sub = 3.0f * tiny;
+  EXPECT_EQ(ht::half_to_float(ht::float_to_half(sub)), sub);
+  // Subnormal sign preserved.
+  EXPECT_EQ(ht::half_to_float(ht::float_to_half(-tiny)), -tiny);
+}
+
+TEST(Half, RoundToNearestEven) {
+  // 1 + 2^-11 sits exactly between 1 and 1 + 2^-10; the tie goes to the
+  // even mantissa (1.0).
+  EXPECT_EQ(ht::half_to_float(ht::float_to_half(1.0f + std::ldexp(1.0f, -11))), 1.0f);
+  // 1 + 3*2^-11 sits between 1 + 2^-10 and 1 + 2^-9; tie to even picks
+  // 1 + 2^-10 + 2^-10 = 1 + 2^-9 (mantissa 10 is even? mantissa bits:
+  // candidates 0b01 (odd low bit) and 0b10 (even) -> picks 0b10).
+  EXPECT_EQ(ht::half_to_float(ht::float_to_half(1.0f + 3.0f * std::ldexp(1.0f, -11))),
+            1.0f + std::ldexp(1.0f, -9));
+  // Non-ties round to nearest.
+  EXPECT_EQ(ht::half_to_float(ht::float_to_half(1.0003f)), 1.0f);
+}
+
+TEST(Half, RelativeErrorBoundedForNormals) {
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<float> mag(ht::kHalfMinNormal, 60000.0f);
+  std::bernoulli_distribution sign(0.5);
+  for (int i = 0; i < 5000; ++i) {
+    const float v = (sign(rng) ? 1.0f : -1.0f) * mag(rng);
+    const float rt = ht::half_to_float(ht::float_to_half(v));
+    EXPECT_LE(std::abs(rt - v), ht::kHalfEps * std::abs(v)) << v;
+  }
+}
+
+TEST(Half, TensorRoundTripQuantizes) {
+  ht::Tensor t({4}, std::vector<float>{1.0f, 1.0003f, -2.5f, 70000.0f});
+  const ht::Tensor q = ht::fp16_round_trip(t);
+  EXPECT_EQ(q[0], 1.0f);
+  EXPECT_EQ(q[1], 1.0f);  // rounded
+  EXPECT_EQ(q[2], -2.5f);
+  EXPECT_EQ(q[3], std::numeric_limits<float>::infinity());
+  EXPECT_EQ(q.shape(), t.shape());
+}
+
+TEST(Half, ExhaustiveHalfToFloatToHalfIdentity) {
+  // Every half bit pattern must survive half->float->half unchanged
+  // (float is a superset of half; NaN payloads are canonicalised so we
+  // compare the quiet bit only for NaNs).
+  for (uint32_t h = 0; h <= 0xFFFF; ++h) {
+    const uint16_t in = static_cast<uint16_t>(h);
+    const float f = ht::half_to_float(in);
+    const uint16_t out = ht::float_to_half(f);
+    if (std::isnan(f)) {
+      EXPECT_EQ(out & 0x7C00, 0x7C00);
+      EXPECT_NE(out & 0x3FF, 0);
+    } else {
+      EXPECT_EQ(out, in) << "bits " << h;
+    }
+  }
+}

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "tensor/rng.hpp"
+
+namespace ht = hanayo::tensor;
+
+TEST(Ops, Matmul) {
+  ht::Tensor a({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  ht::Tensor b({3, 2}, std::vector<float>{7, 8, 9, 10, 11, 12});
+  ht::Tensor c = ht::matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(Ops, MatmulShapeMismatchThrows) {
+  ht::Tensor a({2, 3});
+  ht::Tensor b({2, 3});
+  EXPECT_THROW(ht::matmul(a, b), std::invalid_argument);
+}
+
+TEST(Ops, MatmulVariantsAgree) {
+  ht::Rng rng(7);
+  ht::Tensor a = rng.randn({4, 5});
+  ht::Tensor b = rng.randn({5, 3});
+  ht::Tensor ref = ht::matmul(a, b);
+  // matmul_bt(a, b^T) == a b
+  EXPECT_TRUE(ht::allclose(ht::matmul_bt(a, ht::transpose(b)), ref, 1e-5f, 1e-6f));
+  // matmul_at(a^T, b) == a b
+  EXPECT_TRUE(ht::allclose(ht::matmul_at(ht::transpose(a), b), ref, 1e-5f, 1e-6f));
+}
+
+TEST(Ops, Transpose) {
+  ht::Tensor a({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  ht::Tensor t = ht::transpose(a);
+  EXPECT_EQ(t.size(0), 3);
+  EXPECT_FLOAT_EQ(t.at(2, 1), 6.0f);
+}
+
+TEST(Ops, ElementwiseBinary) {
+  ht::Tensor a({2}, std::vector<float>{1, 2});
+  ht::Tensor b({2}, std::vector<float>{3, 5});
+  EXPECT_FLOAT_EQ(ht::add(a, b)[1], 7.0f);
+  EXPECT_FLOAT_EQ(ht::sub(b, a)[0], 2.0f);
+  EXPECT_FLOAT_EQ(ht::mul(a, b)[1], 10.0f);
+}
+
+TEST(Ops, ScalarOps) {
+  ht::Tensor a({2}, std::vector<float>{1, 2});
+  EXPECT_FLOAT_EQ(ht::add_scalar(a, 1.0f)[0], 2.0f);
+  EXPECT_FLOAT_EQ(ht::mul_scalar(a, 3.0f)[1], 6.0f);
+}
+
+TEST(Ops, AddBiasAndColSum) {
+  ht::Tensor a({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  ht::Tensor bias({3}, std::vector<float>{10, 20, 30});
+  ht::Tensor y = ht::add_bias(a, bias);
+  EXPECT_FLOAT_EQ(y.at(1, 2), 36.0f);
+  ht::Tensor s = ht::col_sum(a);
+  EXPECT_FLOAT_EQ(s[0], 5.0f);
+  EXPECT_FLOAT_EQ(s[2], 9.0f);
+}
+
+TEST(Ops, Reductions) {
+  ht::Tensor a({4}, std::vector<float>{1, -2, 3, -4});
+  EXPECT_FLOAT_EQ(ht::sum(a), -2.0f);
+  EXPECT_FLOAT_EQ(ht::mean(a), -0.5f);
+  EXPECT_FLOAT_EQ(ht::max_abs(a), 4.0f);
+}
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  ht::Rng rng(3);
+  ht::Tensor a = rng.randn({5, 7});
+  ht::Tensor s = ht::softmax_lastdim(a);
+  for (int64_t i = 0; i < 5; ++i) {
+    float row = 0.0f;
+    for (int64_t j = 0; j < 7; ++j) {
+      const float p = s.at(i, j);
+      EXPECT_GE(p, 0.0f);
+      row += p;
+    }
+    EXPECT_NEAR(row, 1.0f, 1e-5f);
+  }
+}
+
+TEST(Ops, SoftmaxIsShiftInvariant) {
+  ht::Tensor a({1, 3}, std::vector<float>{1, 2, 3});
+  ht::Tensor b({1, 3}, std::vector<float>{101, 102, 103});
+  EXPECT_TRUE(ht::allclose(ht::softmax_lastdim(a), ht::softmax_lastdim(b), 1e-5f, 1e-6f));
+}
+
+TEST(Ops, GeluValues) {
+  ht::Tensor x({3}, std::vector<float>{-1.0f, 0.0f, 1.0f});
+  ht::Tensor y = ht::gelu(x);
+  EXPECT_NEAR(y[0], -0.1588f, 1e-3f);
+  EXPECT_FLOAT_EQ(y[1], 0.0f);
+  EXPECT_NEAR(y[2], 0.8412f, 1e-3f);
+}
+
+TEST(Ops, GeluGradMatchesFiniteDifference) {
+  ht::Rng rng(11);
+  ht::Tensor x = rng.randn({10});
+  ht::Tensor dy = ht::Tensor::ones({10});
+  ht::Tensor g = ht::gelu_grad(x, dy);
+  const float eps = 1e-3f;
+  for (int64_t i = 0; i < 10; ++i) {
+    ht::Tensor xp = x, xm = x;
+    xp[i] += eps;
+    xm[i] -= eps;
+    const float fd = (ht::gelu(xp)[i] - ht::gelu(xm)[i]) / (2 * eps);
+    EXPECT_NEAR(g[i], fd, 2e-3f) << "at " << i;
+  }
+}
+
+TEST(Ops, MaxAbsDiffAndAllclose) {
+  ht::Tensor a({2}, std::vector<float>{1, 2});
+  ht::Tensor b({2}, std::vector<float>{1, 2.001f});
+  EXPECT_NEAR(ht::max_abs_diff(a, b), 0.001f, 1e-6f);
+  EXPECT_FALSE(ht::allclose(a, b, 1e-6f, 1e-6f));
+  EXPECT_TRUE(ht::allclose(a, b, 1e-2f, 1e-2f));
+  ht::Tensor c({3});
+  EXPECT_FALSE(ht::allclose(a, c));
+}

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "tensor/rng.hpp"
+
+namespace ht = hanayo::tensor;
+
+TEST(Rng, DeterministicGivenSeed) {
+  ht::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  ht::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInRange) {
+  ht::Rng r(5);
+  for (int i = 0; i < 1000; ++i) {
+    const float u = r.uniform();
+    EXPECT_GE(u, 0.0f);
+    EXPECT_LT(u, 1.0f);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const float u = r.uniform(-2.0f, 3.0f);
+    EXPECT_GE(u, -2.0f);
+    EXPECT_LT(u, 3.0f);
+  }
+}
+
+TEST(Rng, NormalMomentsRoughlyStandard) {
+  ht::Rng r(9);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const float x = r.normal();
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, IndexInBounds) {
+  ht::Rng r(13);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t k = r.index(7);
+    EXPECT_GE(k, 0);
+    EXPECT_LT(k, 7);
+  }
+}
+
+TEST(Rng, RandnTensorShapeAndStd) {
+  ht::Rng r(21);
+  ht::Tensor t = r.randn({100, 100}, 0.5f);
+  EXPECT_EQ(t.numel(), 10000);
+  double sq = 0.0;
+  for (float x : t.flat()) sq += x * x;
+  EXPECT_NEAR(sq / 10000.0, 0.25, 0.02);
+}
+
+TEST(Rng, RandTensorRange) {
+  ht::Rng r(22);
+  ht::Tensor t = r.rand({1000}, 2.0f, 4.0f);
+  for (float x : t.flat()) {
+    EXPECT_GE(x, 2.0f);
+    EXPECT_LT(x, 4.0f);
+  }
+}

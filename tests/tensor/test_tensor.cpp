@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.hpp"
+
+namespace ht = hanayo::tensor;
+
+TEST(Tensor, DefaultIsEmpty) {
+  ht::Tensor t;
+  EXPECT_EQ(t.numel(), 0);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(Tensor, ShapeAndFill) {
+  ht::Tensor t({2, 3}, 1.5f);
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.dim(), 2);
+  EXPECT_EQ(t.size(0), 2);
+  EXPECT_EQ(t.size(1), 3);
+  EXPECT_EQ(t.size(-1), 3);
+  for (int64_t i = 0; i < 6; ++i) EXPECT_FLOAT_EQ(t[i], 1.5f);
+}
+
+TEST(Tensor, FromData) {
+  ht::Tensor t({2, 2}, std::vector<float>{1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(t.at(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(t.at(1, 0), 3.0f);
+}
+
+TEST(Tensor, FromDataSizeMismatchThrows) {
+  EXPECT_THROW(ht::Tensor({2, 2}, std::vector<float>{1, 2, 3}),
+               std::invalid_argument);
+}
+
+TEST(Tensor, NegativeShapeThrows) {
+  EXPECT_THROW(ht::Tensor({2, -1}), std::invalid_argument);
+}
+
+TEST(Tensor, ThreeDAccess) {
+  ht::Tensor t({2, 3, 4});
+  t.at(1, 2, 3) = 7.0f;
+  EXPECT_FLOAT_EQ(t[1 * 12 + 2 * 4 + 3], 7.0f);
+}
+
+TEST(Tensor, Reshape) {
+  ht::Tensor t({2, 6}, 2.0f);
+  ht::Tensor r = t.reshaped({3, 4});
+  EXPECT_EQ(r.size(0), 3);
+  EXPECT_EQ(r.size(1), 4);
+  EXPECT_THROW(t.reshaped({5, 5}), std::invalid_argument);
+}
+
+TEST(Tensor, Flattened2d) {
+  ht::Tensor t({2, 3, 4});
+  ht::Tensor f = t.flattened_2d();
+  EXPECT_EQ(f.size(0), 6);
+  EXPECT_EQ(f.size(1), 4);
+  ht::Tensor one_d({5});
+  EXPECT_THROW(one_d.flattened_2d(), std::invalid_argument);
+}
+
+TEST(Tensor, AddInPlace) {
+  ht::Tensor a({3}, 1.0f);
+  ht::Tensor b({3}, 2.0f);
+  a.add_(b);
+  EXPECT_FLOAT_EQ(a[0], 3.0f);
+  ht::Tensor c({4});
+  EXPECT_THROW(a.add_(c), std::invalid_argument);
+}
+
+TEST(Tensor, ScaleInPlace) {
+  ht::Tensor a({2}, 3.0f);
+  a.scale_(2.0f);
+  EXPECT_FLOAT_EQ(a[1], 6.0f);
+}
+
+TEST(Tensor, ZeroAndBytes) {
+  ht::Tensor a({2, 2}, 5.0f);
+  EXPECT_EQ(a.bytes(), 16);
+  a.zero();
+  EXPECT_FLOAT_EQ(a[3], 0.0f);
+}
+
+TEST(Tensor, ShapeStr) {
+  ht::Tensor a({2, 3});
+  EXPECT_EQ(a.shape_str(), "[2, 3]");
+}
+
+TEST(Tensor, SizeOutOfRangeThrows) {
+  ht::Tensor a({2, 3});
+  EXPECT_THROW(a.size(2), std::out_of_range);
+  EXPECT_THROW(a.size(-3), std::out_of_range);
+}
+
+TEST(Tensor, ZerosOnesFull) {
+  EXPECT_FLOAT_EQ(ht::Tensor::zeros({2})[0], 0.0f);
+  EXPECT_FLOAT_EQ(ht::Tensor::ones({2})[1], 1.0f);
+  EXPECT_FLOAT_EQ(ht::Tensor::full({2}, 4.0f)[0], 4.0f);
+}
