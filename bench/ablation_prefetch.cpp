@@ -13,24 +13,25 @@ using namespace hanayo;
 namespace {
 
 double time_steps(int prefetch_depth, int steps) {
-  TrainerConfig cfg;
-  cfg.model = ModelConfig::tiny(/*layers=*/16, /*hidden=*/48, /*heads=*/4,
-                                /*vocab=*/211, /*seq=*/16);
-  cfg.sched.algo = Algo::Hanayo;
-  cfg.sched.P = 4;
-  cfg.sched.B = 8;
-  cfg.sched.waves = 2;
-  cfg.lr = 0.01f;
-  cfg.seed = 7;
-  cfg.prefetch_depth = prefetch_depth;
-  Trainer trainer(cfg);
+  const ModelConfig model = ModelConfig::tiny(/*layers=*/16, /*hidden=*/48,
+                                              /*heads=*/4, /*vocab=*/211,
+                                              /*seq=*/16);
+  Session session = Session::builder()
+                        .model(model)
+                        .algo(Algo::Hanayo)
+                        .pipeline(4)
+                        .micro_batches(8)
+                        .waves(2)
+                        .learning_rate(0.01f)
+                        .seed(7)
+                        .prefetch_depth(prefetch_depth)
+                        .build();
   Rng rng(1);
-  const Batch batch = synthetic_batch(cfg.model, trainer.batch_rows(), rng);
-  trainer.train_step(batch);  // warmup
-  const auto t0 = std::chrono::steady_clock::now();
-  for (int i = 0; i < steps; ++i) trainer.train_step(batch);
-  const auto t1 = std::chrono::steady_clock::now();
-  return std::chrono::duration<double>(t1 - t0).count() / steps;
+  const Batch batch = synthetic_batch(model, session.batch_rows(), rng);
+  session.step(batch);  // warmup
+  double total = 0.0;
+  for (int i = 0; i < steps; ++i) total += session.step(batch).wall_s;
+  return total / steps;
 }
 
 }  // namespace

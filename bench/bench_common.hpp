@@ -11,11 +11,23 @@ namespace bench {
 
 using namespace hanayo;
 
-/// Simulates one fully specified configuration and returns the result;
-/// thin wrapper over perf::evaluate used by every fig* binary.
+/// Simulates one fully specified configuration and returns the planner row;
+/// a Session on the Sim backend — the same dry-run every fig* binary would
+/// get from Session::predict(), and bit-identical to perf::evaluate.
 inline perf::Candidate eval(const ModelConfig& m, const Cluster& cluster,
                             Algo algo, int D, int P, int W, int B, int mb) {
-  return perf::evaluate(m, cluster, algo, D, P, W, B, mb);
+  Session session = Session::builder()
+                        .model(m)
+                        .algo(algo)
+                        .pipeline(P)
+                        .micro_batches(B)
+                        .waves(W)
+                        .data_parallel(D)
+                        .mb_sequences(mb)
+                        .cluster(cluster)
+                        .backend(BackendKind::Sim)
+                        .build();
+  return session.report().candidate;
 }
 
 inline void print_header(const std::string& title) {

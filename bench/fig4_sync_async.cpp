@@ -75,38 +75,37 @@ int main() {
                                        /*heads=*/2, /*vocab=*/29, /*seq=*/6);
   const int steps = 12;
 
-  TrainerConfig sc;
-  sc.model = model;
-  sc.sched.algo = Algo::Dapple;
-  sc.sched.P = 3;
-  sc.sched.B = 4;
-  sc.lr = 0.2f;  // sync updates once per step on the full batch gradient
-  sc.seed = 7;
-  Trainer sync_tr(sc);
-
-  runtime::AsyncTrainerConfig ac;
-  ac.model = model;
-  ac.P = 3;
-  ac.micro_batches = 4;
-  ac.lr = 0.05f;  // async updates per micro-batch: 4x more updates per step
-  ac.seed = 7;
-  ac.weight_stashing = true;
-  runtime::AsyncTrainer async_tr(ac);
+  // Same Session API, two execution engines: synchronous worker threads
+  // and the flush-free asynchronous runtime.
+  Session sync_tr = Session::builder()
+                        .model(model)
+                        .algo(Algo::Dapple)
+                        .pipeline(3)
+                        .micro_batches(4)
+                        .learning_rate(0.2f)  // one update/step, full batch
+                        .seed(7)
+                        .backend(BackendKind::Threads)
+                        .build();
+  Session async_tr = Session::builder()
+                         .model(model)
+                         .pipeline(3)
+                         .micro_batches(4)
+                         .learning_rate(0.05f)  // 4x more updates per step
+                         .seed(7)
+                         .weight_stashing(true)
+                         .backend(BackendKind::Async)
+                         .build();
 
   Rng rng(5);
   const Batch batch = synthetic_batch(model, sync_tr.batch_rows(), rng);
-  float sync_first = 0.0f, sync_last = 0.0f;
-  for (int s = 0; s < steps; ++s) {
-    const float l = sync_tr.train_step(batch);
-    if (s == 0) sync_first = l;
-    sync_last = l;
-  }
-  const auto async_losses = async_tr.train(batch, steps);
+  const RunReport sync_rep = sync_tr.run(batch, steps);
+  const RunReport async_rep = async_tr.run(batch, steps);
 
   std::printf("\n  convergence on a fixed tiny batch, %d steps (real runtime):\n", steps);
-  std::printf("    sync  DAPPLE   : loss %.3f -> %.3f\n", sync_first, sync_last);
+  std::printf("    sync  DAPPLE   : loss %.3f -> %.3f\n",
+              sync_rep.steps.front().loss, sync_rep.final_loss());
   std::printf("    async PipeDream: loss %.3f -> %.3f  (stale gradients)\n",
-              async_losses.front(), async_losses.back());
+              async_rep.steps.front().loss, async_rep.final_loss());
   std::printf(
       "\nThe paper (and this library) stays synchronous: asynchronous updates\n"
       "train on stale weights and complicate convergence (§2.3). The bubble\n"

@@ -10,31 +10,28 @@ using namespace hanayo;
 
 namespace {
 
-TrainerConfig cfg_for(Algo algo, int P, int B, int W) {
-  TrainerConfig tc;
-  // 14 blocks -> 17 partitionable layers: enough for Hanayo W=2 on P=4
-  // (16 stages), the deepest configuration in the sweep.
-  tc.model = ModelConfig::tiny(/*layers=*/14, /*hidden=*/32, /*heads=*/2,
-                               /*vocab=*/101, /*seq=*/8);
-  tc.sched.algo = algo;
-  tc.sched.P = P;
-  tc.sched.B = B;
-  tc.sched.waves = W;
-  tc.sched.vchunks = W;
-  tc.seed = 1;
-  tc.lr = 0.01f;
-  return tc;
-}
-
 void run_bench(benchmark::State& state, Algo algo, int W) {
   const int P = static_cast<int>(state.range(0));
   const int B = 8;
-  const TrainerConfig cfg = cfg_for(algo, P, B, W);
-  Trainer trainer(cfg);
+  // 14 blocks -> 17 partitionable layers: enough for Hanayo W=2 on P=4
+  // (16 stages), the deepest configuration in the sweep.
+  const ModelConfig model = ModelConfig::tiny(/*layers=*/14, /*hidden=*/32,
+                                              /*heads=*/2, /*vocab=*/101,
+                                              /*seq=*/8);
+  Session session = Session::builder()
+                        .model(model)
+                        .algo(algo)
+                        .pipeline(P)
+                        .micro_batches(B)
+                        .waves(W)
+                        .vchunks(W)
+                        .seed(1)
+                        .learning_rate(0.01f)
+                        .build();
   Rng rng(2);
-  const Batch batch = synthetic_batch(cfg.model, trainer.batch_rows(), rng);
+  const Batch batch = synthetic_batch(model, session.batch_rows(), rng);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(trainer.train_step(batch));
+    benchmark::DoNotOptimize(session.step(batch).loss);
   }
   state.SetItemsProcessed(state.iterations() * B);
 }
@@ -60,11 +57,17 @@ BENCHMARK(BM_TrainStep_Hanayo2)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
 static void BM_SequentialReference(benchmark::State& state) {
   const auto model = ModelConfig::tiny(12, 32, 2, 101, 8);
-  SequentialEngine eng(model, 8, 1, 1, OptKind::Sgd, 0.01f);
+  Session session = Session::builder()
+                        .model(model)
+                        .micro_batches(8)
+                        .seed(1)
+                        .learning_rate(0.01f)
+                        .backend(BackendKind::Reference)
+                        .build();
   Rng rng(3);
   const Batch batch = synthetic_batch(model, 8, rng);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(eng.train_step(batch));
+    benchmark::DoNotOptimize(session.step(batch).loss);
   }
   state.SetItemsProcessed(state.iterations() * 8);
 }

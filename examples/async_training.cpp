@@ -3,16 +3,16 @@
 // Trains the same tiny GPT twice on real worker threads: synchronously with
 // the Hanayo wave schedule (flush + full-batch update per step) and
 // asynchronously with the PipeDream schedule (no flush, per-micro-batch
-// updates on stale weights, PipeDream-style weight stashing). Prints the
-// loss trajectories side by side plus the async scheme's staleness/stash
-// ledger — the trade the paper declines.
+// updates on stale weights, PipeDream-style weight stashing) — both through
+// the same Session API, selected by the backend. Prints the loss
+// trajectories side by side plus the async scheme's staleness/stash ledger
+// — the trade the paper declines.
 //
 //   ./examples/async_training
 
 #include <cstdio>
 
 #include "core/hanayo.hpp"
-#include "runtime/async_trainer.hpp"
 
 using namespace hanayo;
 
@@ -21,45 +21,49 @@ int main() {
                                        /*heads=*/2, /*vocab=*/67, /*seq=*/8);
   const int P = 4, B = 8, steps = 15;
 
-  TrainerConfig sync_cfg;
-  sync_cfg.model = model;
-  sync_cfg.sched.algo = Algo::Hanayo;
-  sync_cfg.sched.P = P;
-  sync_cfg.sched.B = B;
-  sync_cfg.sched.waves = 1;
-  sync_cfg.lr = 0.4f;  // one update per step from the averaged batch gradient
-  sync_cfg.seed = 3;
-  Trainer sync_tr(sync_cfg);
+  Session sync = Session::builder()
+                     .model(model)
+                     .algo(Algo::Hanayo)
+                     .pipeline(P)
+                     .micro_batches(B)
+                     .waves(1)
+                     .learning_rate(0.4f)  // one update per step, full batch
+                     .seed(3)
+                     .backend(BackendKind::Threads)
+                     .build();
 
-  runtime::AsyncTrainerConfig async_cfg;
-  async_cfg.model = model;
-  async_cfg.P = P;
-  async_cfg.micro_batches = B;
-  async_cfg.lr = 0.05f;  // B updates per step, each from one micro-batch
-  async_cfg.seed = 3;
-  async_cfg.weight_stashing = true;
-  runtime::AsyncTrainer async_tr(async_cfg);
+  Session async = Session::builder()
+                      .model(model)
+                      .pipeline(P)
+                      .micro_batches(B)
+                      .learning_rate(0.05f)  // B updates/step, one mb each
+                      .seed(3)
+                      .weight_stashing(true)
+                      .backend(BackendKind::Async)
+                      .build();
 
   Rng rng(17);
-  const Batch batch = synthetic_batch(model, sync_tr.batch_rows(), rng);
+  const Batch batch = synthetic_batch(model, sync.batch_rows(), rng);
 
   std::printf("training a %lld-layer GPT on %d workers, fixed batch of %d\n",
               static_cast<long long>(model.layers), P, B);
   std::printf("\n  %-6s %-14s %-14s\n", "step", "sync Hanayo", "async PipeDream");
 
-  const auto async_losses = async_tr.train(batch, steps);
+  // The async engine consumes the whole span as one continuous micro-batch
+  // stream (no flush between logical steps).
+  const RunReport async_rep = async.run(batch, steps);
   for (int s = 0; s < steps; ++s) {
-    const float sl = sync_tr.train_step(batch);
-    std::printf("  %-6d %-14.4f %-14.4f\n", s, sl,
-                async_losses[static_cast<size_t>(s)]);
+    const StepReport sync_step = sync.step(batch);
+    std::printf("  %-6d %-14.4f %-14.4f\n", s, sync_step.loss,
+                async_rep.steps[static_cast<size_t>(s)].loss);
   }
 
   std::printf("\nasync staleness ledger (the cost of removing the flush):\n");
-  const auto& st = async_tr.last_stats();
   for (int d = 0; d < P; ++d) {
     std::printf("  device %d: %d weight version(s) stashed, peak %lld bytes\n",
-                d, st.stash_entries[static_cast<size_t>(d)],
-                static_cast<long long>(st.stash_bytes[static_cast<size_t>(d)]));
+                d, async_rep.memory.stash_entries[static_cast<size_t>(d)],
+                static_cast<long long>(
+                    async_rep.memory.stash_bytes[static_cast<size_t>(d)]));
   }
   std::printf(
       "\nBoth runs fit the batch; the async run pays stash memory and uses\n"

@@ -1,7 +1,7 @@
 // BERT-style pre-training scenario (the paper's §5 workload, scaled to run
 // on CPU threads): a bidirectional encoder trained with token-level cross
-// entropy under every pipeline scheme, comparing loss trajectories and
-// per-device memory balance.
+// entropy under every pipeline scheme — one Session per scheme — comparing
+// loss trajectories and per-device memory balance.
 //
 //   $ ./examples/bert_pretraining
 
@@ -36,27 +36,24 @@ int main() {
   std::printf("%-12s %10s %10s %16s\n", "scheme", "loss@0", "loss@8",
               "peak cache (kB/worker)");
   for (const Scheme& s : schemes) {
-    TrainerConfig cfg;
-    cfg.model = bert;
-    cfg.sched.algo = s.algo;
-    cfg.sched.P = 4;
-    cfg.sched.B = 8;
-    cfg.sched.waves = s.W;
-    cfg.lr = 0.05f;
-    cfg.momentum = 0.9f;
-    cfg.seed = 1234;
-    Trainer trainer(cfg);
+    Session session = Session::builder()
+                          .model(bert)
+                          .algo(s.algo)
+                          .pipeline(4)
+                          .micro_batches(8)
+                          .waves(s.W)
+                          .learning_rate(0.05f)
+                          .momentum(0.9f)
+                          .seed(1234)
+                          .build();
     Rng rng(99);  // identical data stream for every scheme
-    const Batch fixed = synthetic_batch(bert, trainer.batch_rows(), rng);
-    float first = 0.0f, last = 0.0f;
-    for (int step = 0; step < 9; ++step) {
-      const float l = trainer.train_step(fixed);
-      if (step == 0) first = l;
-      last = l;
+    const Batch fixed = synthetic_batch(bert, session.batch_rows(), rng);
+    const RunReport rep = session.run(fixed, 9);
+    std::printf("%-12s %10.4f %10.4f       ", s.label, rep.steps.front().loss,
+                rep.final_loss());
+    for (int64_t p : rep.memory.peak_cache_bytes) {
+      std::printf("%5lld ", static_cast<long long>(p / 1024));
     }
-    const auto peaks = trainer.peak_cache_bytes();
-    std::printf("%-12s %10.4f %10.4f       ", s.label, first, last);
-    for (int64_t p : peaks) std::printf("%5lld ", static_cast<long long>(p / 1024));
     std::printf("\n");
   }
 

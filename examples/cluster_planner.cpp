@@ -1,6 +1,9 @@
 // Cluster planner: given a model and a cluster, search the parallelism
 // configuration space — (D, P), micro-batching, wave count, algorithm — and
 // print the ranked plans (the paper's §5.3 / Fig. 10 procedure as a tool).
+// The recommended configuration is then dry-run as a Session on the Sim
+// backend: the exact session you would .backend(BackendKind::Threads) to
+// train for real, validated and priced before any execution.
 //
 //   $ ./examples/cluster_planner [devices] [batch]
 
@@ -40,6 +43,26 @@ int main(int argc, char** argv) {
   const auto b = perf::best(candidates);
   if (b) {
     std::printf("\nrecommended: %s\n", b->to_string().c_str());
+
+    // Turn the winning row into a Session and dry-run it on the simulator —
+    // same numbers as the planner (same cost model), but now as a session
+    // you can point at the Threads backend unchanged.
+    Session session = Session::builder()
+                          .model(model)
+                          .algo(b->algo)
+                          .pipeline(b->P)
+                          .micro_batches(b->B)
+                          .waves(b->W)
+                          .data_parallel(b->D)
+                          .mb_sequences(b->mb_sequences)
+                          .cluster(req.cluster)
+                          .backend(BackendKind::Sim)
+                          .build();
+    Batch none;  // the Sim backend executes nothing
+    const RunReport rep = session.run(none, 1);
+    std::printf("dry-run:     %s\n", rep.to_string().c_str());
+    std::printf("             predicted iteration time %.3f s\n",
+                rep.steps[0].wall_s);
   } else {
     std::printf("\nno feasible configuration (all OOM)\n");
   }

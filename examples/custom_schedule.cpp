@@ -2,7 +2,8 @@
 // algorithm — "we also offer interfaces for users to modify existing
 // schemes or develop their own" (§4.1). This example builds a non-standard
 // placement (an asymmetric zigzag), compiles it with the unified generator,
-// validates it, and trains with it.
+// validates it, simulates it, and then trains the equivalent configuration
+// through the Session front door.
 //
 //   $ ./examples/custom_schedule
 
@@ -45,20 +46,21 @@ int main() {
   std::printf("simulated: makespan %.3e s, bubble ratio %.1f%%\n", res.makespan,
               100.0 * res.bubble_ratio);
 
-  // 5. ...and the real runtime.
-  TrainerConfig cfg;
-  cfg.model = model;
-  cfg.sched.algo = Algo::Hanayo;
-  cfg.sched.P = P;
-  cfg.sched.B = B;
-  cfg.sched.waves = W;
-  cfg.lr = 0.05f;
-  cfg.seed = 5;
-  Trainer trainer(cfg);
+  // 5. ...and the real runtime, behind the Session front door. The builder
+  //    compiles the same zigzag for (Hanayo, P=3, W=2).
+  Session session = Session::builder()
+                        .model(model)
+                        .algo(Algo::Hanayo)
+                        .pipeline(P)
+                        .micro_batches(B)
+                        .waves(W)
+                        .learning_rate(0.05f)
+                        .seed(5)
+                        .build();
   Rng rng(1);
-  const Batch batch = synthetic_batch(model, trainer.batch_rows(), rng);
-  float loss = 0.0f;
-  for (int i = 0; i < 5; ++i) loss = trainer.train_step(batch);
-  std::printf("trained 5 steps on %d worker threads, final loss %.4f\n", P, loss);
+  const Batch batch = synthetic_batch(model, session.batch_rows(), rng);
+  const RunReport rep = session.run(batch, 5);
+  std::printf("trained 5 steps on %d worker threads, final loss %.4f\n", P,
+              rep.final_loss());
   return 0;
 }

@@ -3,9 +3,9 @@
 //
 //   1. pre-train a small GPT on a broad synthetic distribution with
 //      DAPPLE on 2 workers; save a checkpoint;
-//   2. reload the checkpoint into a *different* parallel configuration —
-//      Hanayo with 2 waves on 4 workers (the strong-scaling move of
-//      Fig. 12) — and fine-tune on a narrow distribution;
+//   2. reload the checkpoint into a *different* Session configuration —
+//      Hanayo on 4 workers (the strong-scaling move of Fig. 12) — and
+//      fine-tune on a narrow distribution;
 //   3. verify the warm start: the fine-tune loss starts far below a
 //      cold-started model's.
 //
@@ -44,20 +44,20 @@ int main() {
   // ---- Phase 1: pre-train, DAPPLE on 2 workers.
   std::printf("phase 1: pre-training with DAPPLE, P=2, B=8\n");
   {
-    TrainerConfig cfg;
-    cfg.model = model;
-    cfg.sched.algo = Algo::Dapple;
-    cfg.sched.P = 2;
-    cfg.sched.B = 8;
-    cfg.lr = 0.08f;
-    cfg.momentum = 0.9f;
-    cfg.seed = 1;
-    Trainer pre(cfg);
+    Session pre = Session::builder()
+                      .model(model)
+                      .algo(Algo::Dapple)
+                      .pipeline(2)
+                      .micro_batches(8)
+                      .learning_rate(0.08f)
+                      .momentum(0.9f)
+                      .seed(1)
+                      .build();
     Rng rng(100);
     for (int step = 0; step < 12; ++step) {
       const Batch b = synthetic_batch(model, pre.batch_rows(), rng);
-      const float loss = pre.train_step(b);
-      if (step % 4 == 0) std::printf("  step %2d  loss %.4f\n", step, loss);
+      const StepReport r = pre.step(b);
+      if (step % 4 == 0) std::printf("  step %2d  loss %.4f\n", step, r.loss);
     }
     pre.save_checkpoint(ckpt);
     std::printf("  saved %zu parameters to %s\n",
@@ -65,26 +65,26 @@ int main() {
   }
 
   // ---- Phase 2: fine-tune under a different parallel configuration.
-  std::printf("\nphase 2: fine-tuning with Hanayo W=2, P=4, B=8 (re-partitioned)\n");
-  TrainerConfig cfg;
-  cfg.model = model;
-  cfg.sched.algo = Algo::Hanayo;
-  cfg.sched.P = 4;
-  cfg.sched.B = 8;
-  cfg.sched.waves = 1;
-  cfg.lr = 0.04f;
-  cfg.momentum = 0.9f;
-  cfg.seed = 2;  // different init — overwritten by the checkpoint
-  Trainer warm(cfg);
+  std::printf("\nphase 2: fine-tuning with Hanayo, P=4, B=8 (re-partitioned)\n");
+  auto finetune_cfg = Session::builder()
+                          .model(model)
+                          .algo(Algo::Hanayo)
+                          .pipeline(4)
+                          .micro_batches(8)
+                          .waves(1)
+                          .learning_rate(0.04f)
+                          .momentum(0.9f)
+                          .seed(2);  // different init — overwritten by the ckpt
+  Session warm = finetune_cfg.build();
   warm.load_checkpoint(ckpt);
-  Trainer cold(cfg);  // same config, no warm start
+  Session cold = finetune_cfg.build();  // same config, no warm start
 
   Rng task_rng(7);
   const Batch probe = task_batch(model, warm.batch_rows(), task_rng);
   float warm_loss = 0.0f, cold_loss = 0.0f;
   for (int step = 0; step < 8; ++step) {
-    warm_loss = warm.train_step(probe);
-    cold_loss = cold.train_step(probe);
+    warm_loss = warm.step(probe).loss;
+    cold_loss = cold.step(probe).loss;
     std::printf("  step %2d  warm %.4f   cold %.4f\n", step, warm_loss, cold_loss);
   }
   std::printf("\nwarm start finished %.1f%% lower than cold start — the\n"

@@ -1,7 +1,8 @@
 // Composing the orthogonal memory/volume techniques of the paper's related
 // work (§6) with the wave pipeline: ZeRO-1 optimizer-state sharding,
 // activation recomputation, and fp16 stage transfers — all on the real
-// multi-threaded runtime, all combined with data parallelism.
+// multi-threaded runtime, all combined with data parallelism, all toggled
+// from the same Session builder.
 //
 // Prints, for each configuration, the training loss after a few steps (to
 // show nothing broke), the peak activation-cache bytes per worker (what
@@ -44,32 +45,33 @@ int main() {
               "peak act cache", "optimizer state");
 
   for (const Variant& v : variants) {
-    TrainerConfig cfg;
-    cfg.model = model;
-    cfg.sched.algo = Algo::Hanayo;
-    cfg.sched.P = 2;
-    cfg.sched.B = 4;
-    cfg.sched.waves = 1;
-    cfg.dp = 2;
-    cfg.opt = OptKind::AdamW;
-    cfg.lr = 1e-3f;
-    cfg.seed = 9;
-    cfg.zero1 = v.zero1;
-    cfg.recompute = v.recompute;
-    cfg.fp16_comm = v.fp16;
-    Trainer t(cfg);
+    Session session = Session::builder()
+                          .model(model)
+                          .algo(Algo::Hanayo)
+                          .pipeline(2)
+                          .micro_batches(4)
+                          .waves(1)
+                          .data_parallel(2)
+                          .optimizer(OptKind::AdamW)
+                          .learning_rate(1e-3f)
+                          .seed(9)
+                          .zero1(v.zero1)
+                          .recompute(v.recompute)
+                          .fp16_comm(v.fp16)
+                          .build();
 
     Rng rng(21);
     float loss = 0.0f;
     for (int s = 0; s < 5; ++s) {
-      const Batch batch = synthetic_batch(model, t.batch_rows(), rng);
-      loss = t.train_step(batch);
+      const Batch batch = synthetic_batch(model, session.batch_rows(), rng);
+      loss = session.step(batch).loss;
     }
-    const auto cache = t.peak_cache_bytes();
-    const auto opt_state = t.optimizer_state_bytes();
-    const int64_t cache_max = *std::max_element(cache.begin(), cache.end());
+    const MemoryReport mem = session.report().memory;
+    const int64_t cache_max = *std::max_element(mem.peak_cache_bytes.begin(),
+                                                mem.peak_cache_bytes.end());
     const int64_t opt_total =
-        std::accumulate(opt_state.begin(), opt_state.end(), int64_t{0});
+        std::accumulate(mem.optimizer_state_bytes.begin(),
+                        mem.optimizer_state_bytes.end(), int64_t{0});
     std::printf("  %-14s %-10.4f %10lld bytes   %10lld bytes\n", v.name, loss,
                 static_cast<long long>(cache_max),
                 static_cast<long long>(opt_total));

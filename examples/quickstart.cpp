@@ -3,7 +3,9 @@
 //
 //   $ ./examples/quickstart
 //
-// Walks through the three core objects: ModelConfig, TrainerConfig, Trainer.
+// Walks through the core objects: ModelConfig, Session, StepReport. The
+// same builder drives every execution engine — swap the .backend() call to
+// run the sequential reference or the discrete-event simulator instead.
 
 #include <cstdio>
 
@@ -26,36 +28,39 @@ int main() {
               static_cast<long long>(model.hidden),
               static_cast<long long>(model.total_params()));
 
-  // 2. Pick the parallelism. Hanayo with 2 waves on 4 workers partitions the
-  //    network into 2*W*P = 16 stages along the wave path.
-  TrainerConfig cfg;
-  cfg.model = model;
-  cfg.sched.algo = Algo::Hanayo;
-  cfg.sched.P = 4;
-  cfg.sched.B = 8;      // micro-batches per iteration
-  cfg.sched.waves = 2;  // W
-  cfg.lr = 0.05f;
-  cfg.momentum = 0.9f;
-  cfg.seed = 42;
-  Trainer trainer(cfg);
+  // 2. Pick the parallelism and the engine. Hanayo with 2 waves on 4
+  //    workers partitions the network into 2*W*P = 16 stages.
+  auto configured = Session::builder()
+                        .model(model)
+                        .algo(Algo::Hanayo)
+                        .pipeline(4)
+                        .micro_batches(8)
+                        .waves(2)
+                        .learning_rate(0.05f)
+                        .momentum(0.9f)
+                        .seed(42);
+  Session session = configured.backend(BackendKind::Threads).build();
   std::printf("schedule: %s, %d stages, %d actions on worker 0\n\n",
-              schedule::algo_name(cfg.sched.algo).c_str(),
-              trainer.schedule().placement.stages(),
-              static_cast<int>(trainer.schedule().scripts[0].actions.size()));
+              schedule::algo_name(session.config().sched.algo).c_str(),
+              session.schedule().placement.stages(),
+              static_cast<int>(session.schedule().scripts[0].actions.size()));
 
-  // 3. Train on synthetic data; a sequential engine cross-checks the math.
-  SequentialEngine reference(model, cfg.sched.B, 1, cfg.seed, OptKind::Sgd,
-                             cfg.lr, cfg.momentum);
+  // 3. Train on synthetic data; the Reference backend — same builder,
+  //    different engine — cross-checks the math.
+  Session reference = configured.backend(BackendKind::Reference).build();
   Rng rng(7);
   for (int step = 0; step < 10; ++step) {
-    const Batch batch = synthetic_batch(model, trainer.batch_rows(), rng);
-    const float pipeline_loss = trainer.train_step(batch);
-    const float sequential_loss = reference.train_step(batch);
+    const Batch batch = synthetic_batch(model, session.batch_rows(), rng);
+    const StepReport pipeline = session.step(batch);
+    const StepReport sequential = reference.step(batch);
     std::printf("step %2d  pipeline loss %.4f   sequential loss %.4f   |diff| %.2e\n",
-                step, pipeline_loss, sequential_loss,
-                std::abs(pipeline_loss - sequential_loss));
+                step, pipeline.loss, sequential.loss,
+                std::abs(pipeline.loss - sequential.loss));
   }
 
+  // 4. One structured report for the whole run, rendered exactly like a
+  //    planner row (same formatter).
+  std::printf("\nrun report: %s\n", session.report().to_string().c_str());
   std::printf("\nLoss decreased and matches sequential training: the wave\n"
               "schedule computes exactly the same gradients, just in parallel.\n");
   return 0;

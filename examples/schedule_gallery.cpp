@@ -1,6 +1,7 @@
 // Schedule gallery: renders the paper's Fig. 3 timelines as ASCII charts —
-// GPipe, DAPPLE, Chimera, Hanayo with 1 and 2 waves — using the simulator's
-// timeline recorder, and writes a Chrome-trace JSON for the last one.
+// GPipe, DAPPLE, Chimera, Hanayo with 1 and 2 waves — each one a Session on
+// the Sim backend with normalised per-stage costs, and writes a
+// Chrome-trace JSON for the last one.
 //
 //   $ ./examples/schedule_gallery
 //
@@ -18,13 +19,13 @@ using namespace hanayo;
 namespace {
 
 sim::SimResult render(const char* title, Algo algo, int P, int B, int W) {
+  // Stage count for this scheme, taken from the schedule request.
   schedule::ScheduleRequest req;
   req.algo = algo;
   req.P = P;
   req.B = B;
   req.waves = W;
-  const Schedule sched = make_schedule(req);
-  const int S = sched.placement.stages();
+  const int S = schedule::stages_for(req);
 
   // Uniform per-stage costs scaled so one *pipeline-equivalent* stage
   // (a P-th of the model) costs 1.0 forward: schemes with more, smaller
@@ -36,11 +37,20 @@ sim::SimResult render(const char* title, Algo algo, int P, int B, int W) {
   costs.boundary_bytes.assign(static_cast<size_t>(S - 1), 0.0);
   costs.weight_bytes.assign(static_cast<size_t>(S), 0.0);
   costs.act_bytes.assign(static_cast<size_t>(S), 1.0);
-  const Cluster cluster = Cluster::uniform(P, 1.0, 1e18, 1e18, 0.0);
 
-  sim::SimOptions opt;
-  opt.record_timeline = true;
-  const sim::SimResult res = simulate(sched, costs, cluster, opt);
+  Session session = Session::builder()
+                        .algo(algo)
+                        .pipeline(P)
+                        .micro_batches(B)
+                        .waves(W)
+                        .cluster(Cluster::uniform(P, 1.0, 1e18, 1e18, 0.0))
+                        .sim_costs(costs)
+                        .record_timeline()
+                        .backend(BackendKind::Sim)
+                        .build();
+  Batch none;  // nothing executes on the Sim backend
+  const RunReport rep = session.run(none, 1);
+  const sim::SimResult& res = *rep.sim;
   std::printf("\n%s   (bubble ratio %.1f%%)\n", title, 100.0 * res.bubble_ratio);
   std::printf("%s", sim::ascii_timeline(res, P, tf).c_str());
   return res;

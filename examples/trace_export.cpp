@@ -1,9 +1,12 @@
 // Timeline tooling: simulate a schedule, print the paper-style ASCII chart
 // (Fig. 3), decompose its bubbles into the Fig. 7 zones, and write a
-// Chrome-trace JSON loadable in chrome://tracing or Perfetto.
+// Chrome-trace JSON loadable in chrome://tracing or Perfetto. Both runs —
+// the predicted one and the real threaded one — are Sessions; only the
+// backend differs.
 //
 //   ./examples/trace_export [out.json]
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 
@@ -16,14 +19,9 @@ using namespace hanayo;
 int main(int argc, char** argv) {
   const std::string out_path = argc > 1 ? argv[1] : "hanayo_trace.json";
 
-  schedule::ScheduleRequest req;
-  req.algo = Algo::Hanayo;
-  req.P = 4;
-  req.B = 4;
-  req.waves = 2;
-  const auto sched = make_schedule(req);
+  const int P = 4, B = 4, W = 2;
+  const int S = 2 * W * P;  // wave-path stage count
 
-  const int S = schedule::stages_for(req);
   sim::PipelineCosts costs;
   costs.fwd_s.assign(static_cast<size_t>(S), 8.0 / S);
   costs.bwd_s.assign(static_cast<size_t>(S), 16.0 / S);
@@ -31,16 +29,25 @@ int main(int argc, char** argv) {
   costs.weight_bytes.assign(static_cast<size_t>(S), 1e6);
   costs.act_bytes.assign(static_cast<size_t>(S), 1e5);
 
-  sim::SimOptions opt;
-  opt.record_timeline = true;
-  const auto res = simulate(sched, costs, Cluster::fc(), opt);
+  Session sim_session = Session::builder()
+                            .algo(Algo::Hanayo)
+                            .pipeline(P)
+                            .micro_batches(B)
+                            .waves(W)
+                            .cluster(Cluster::fc())
+                            .sim_costs(costs)
+                            .record_timeline()
+                            .backend(BackendKind::Sim)
+                            .build();
+  Batch none;
+  const RunReport predicted = sim_session.run(none, 1);
+  const sim::SimResult& res = *predicted.sim;
 
   std::printf("Hanayo W=%d on P=%d, B=%d — makespan %.2f s, bubble %.1f%%\n\n",
-              req.waves, req.P, req.B, res.makespan,
-              100.0 * res.bubble_ratio);
-  std::printf("%s\n", sim::ascii_timeline(res, req.P, costs.fwd_s[0]).c_str());
+              W, P, B, res.makespan, 100.0 * res.bubble_ratio);
+  std::printf("%s\n", sim::ascii_timeline(res, P, costs.fwd_s[0]).c_str());
 
-  const auto zones = perf::decompose_bubbles(res, req.P);
+  const auto zones = perf::decompose_bubbles(res, P);
   std::printf("bubble zones (Fig. 7): A=%.2f  B=%.2f  C=%.2f  D=%.2f\n",
               zones.zone(perf::Zone::A), zones.zone(perf::Zone::B),
               zones.zone(perf::Zone::C), zones.zone(perf::Zone::D));
@@ -55,23 +62,28 @@ int main(int argc, char** argv) {
               out_path.c_str());
 
   // --- Same schedule on the REAL runtime: record wall-clock spans. -------
-  TrainerConfig tc;
   // 16 pipeline stages (P=4, W=2) need >= 16 layers to partition.
-  tc.model = ModelConfig::tiny(/*layers=*/14, /*hidden=*/32, /*heads=*/2,
-                               /*vocab=*/67, /*seq=*/12);
-  tc.sched = req;
-  tc.seed = 8;
-  tc.record_timeline = true;
-  Trainer trainer(tc);
+  Session live = Session::builder()
+                     .model(ModelConfig::tiny(/*layers=*/14, /*hidden=*/32,
+                                              /*heads=*/2, /*vocab=*/67,
+                                              /*seq=*/12))
+                     .algo(Algo::Hanayo)
+                     .pipeline(P)
+                     .micro_batches(B)
+                     .waves(W)
+                     .seed(8)
+                     .record_timeline()
+                     .backend(BackendKind::Threads)
+                     .build();
   Rng rng(4);
-  const Batch batch = synthetic_batch(tc.model, trainer.batch_rows(), rng);
-  trainer.train_step(batch);
+  const Batch batch =
+      synthetic_batch(live.config().model, live.batch_rows(), rng);
+  const RunReport measured = live.run(batch, 1);
 
   sim::SimResult real;
   double makespan = 0.0;
-  const auto timeline = trainer.last_timeline();
-  for (int d = 0; d < req.P; ++d) {
-    for (const auto& s : timeline[static_cast<size_t>(d)]) {
+  for (int d = 0; d < P; ++d) {
+    for (const auto& s : measured.timeline[static_cast<size_t>(d)]) {
       real.timeline.push_back(sim::TimelineSpan{d, s.mb, s.pos, s.backward,
                                                 s.start, s.end});
       makespan = std::max(makespan, s.end);

@@ -1,0 +1,58 @@
+#include <chrono>
+
+#include "api/backends_impl.hpp"
+
+namespace hanayo::api {
+
+AsyncBackend::AsyncBackend(const SessionConfig& cfg)
+    : cfg_(cfg), trainer_(cfg.async_config()) {}
+
+StepReport AsyncBackend::step(const runtime::Batch& batch, int step_index) {
+  return run(batch, 1, step_index).front();
+}
+
+std::vector<StepReport> AsyncBackend::run(const runtime::Batch& batch,
+                                          int steps, int first_index) {
+  // One continuous stream of steps * B micro-batches, so the pipeline never
+  // drains between logical steps — splitting this into per-step calls would
+  // reintroduce the flush the asynchronous scheme exists to remove.
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<float> losses = trainer_.train(batch, steps);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::vector<StepReport> out;
+  out.reserve(losses.size());
+  for (size_t i = 0; i < losses.size(); ++i) {
+    StepReport r;
+    r.step = first_index + static_cast<int>(i);
+    r.loss = losses[i];
+    r.wall_s = wall / static_cast<double>(losses.size());
+    out.push_back(r);
+  }
+  return out;
+}
+
+void AsyncBackend::finalize(RunReport& report) const {
+  report.backend = BackendKind::Async;
+  const runtime::AsyncStats& stats = trainer_.last_stats();
+  report.memory.stash_bytes = stats.stash_bytes;
+  report.memory.stash_entries = stats.stash_entries;
+
+  perf::Candidate& c = report.candidate;
+  c.algo = schedule::Algo::PipeDream;  // the async engine runs one schedule
+  c.D = 1;
+  c.P = cfg_.sched.P;
+  c.W = 1;
+  c.B = cfg_.sched.B;
+  c.mb_sequences = cfg_.mb_sequences;
+  c.note = "measured, async (no flush)";
+  const double wall = report.total_wall_s();
+  if (wall > 0.0 && !report.steps.empty()) {
+    c.throughput_seq_s =
+        static_cast<double>(report.steps.size()) * trainer_.batch_rows() /
+        wall;
+  }
+}
+
+}  // namespace hanayo::api

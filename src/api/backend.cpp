@@ -1,0 +1,48 @@
+#include "api/backend.hpp"
+
+#include <stdexcept>
+
+#include "api/backends_impl.hpp"
+
+namespace hanayo::api {
+
+std::vector<StepReport> Backend::run(const runtime::Batch& batch, int steps,
+                                     int first_index) {
+  std::vector<StepReport> out;
+  out.reserve(static_cast<size_t>(steps));
+  for (int i = 0; i < steps; ++i) {
+    out.push_back(step(batch, first_index + i));
+  }
+  return out;
+}
+
+std::map<std::string, tensor::Tensor> Backend::snapshot_params() {
+  throw std::logic_error(std::string(backend_name(kind())) +
+                         " backend holds no parameters to snapshot");
+}
+
+void Backend::save_checkpoint(const std::string&, bool) {
+  throw std::logic_error(std::string(backend_name(kind())) +
+                         " backend cannot save checkpoints");
+}
+
+void Backend::load_checkpoint(const std::string&) {
+  throw std::logic_error(std::string(backend_name(kind())) +
+                         " backend cannot load checkpoints");
+}
+
+std::unique_ptr<Backend> make_backend(const SessionConfig& cfg) {
+  switch (cfg.backend) {
+    case BackendKind::Threads:
+      return std::make_unique<ThreadBackend>(cfg);
+    case BackendKind::Reference:
+      return std::make_unique<ReferenceBackend>(cfg);
+    case BackendKind::Sim:
+      return std::make_unique<SimBackend>(cfg);
+    case BackendKind::Async:
+      return std::make_unique<AsyncBackend>(cfg);
+  }
+  throw std::invalid_argument("unknown backend kind");
+}
+
+}  // namespace hanayo::api

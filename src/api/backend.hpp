@@ -1,0 +1,60 @@
+#pragma once
+// The pluggable execution engine behind a Session. Three engines ship:
+// worker threads (the real pipeline runtime), the sequential reference, and
+// the discrete-event simulator — plus the asynchronous no-flush runtime.
+// All of them speak StepReport/RunReport, so callers swap engines without
+// touching the rest of their code.
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "api/config.hpp"
+#include "api/report.hpp"
+
+namespace hanayo::api {
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  virtual BackendKind kind() const = 0;
+
+  /// Executes (or, for Sim, predicts) one training step. `step_index` is
+  /// the session's 0-based step counter.
+  virtual StepReport step(const runtime::Batch& batch, int step_index) = 0;
+
+  /// Executes `steps` consecutive steps over the same batch. The default
+  /// loops step(); the Async engine overrides it to keep its pipeline
+  /// continuously full across the whole span (its defining property).
+  virtual std::vector<StepReport> run(const runtime::Batch& batch, int steps,
+                                      int first_index);
+
+  /// Batch rows one step consumes.
+  virtual int64_t batch_rows() const = 0;
+
+  /// The compiled schedule, when the engine executes one (null for the
+  /// sequential reference).
+  virtual const schedule::Schedule* schedule() const { return nullptr; }
+
+  /// Parameters by name (replica 0). Throws std::logic_error when the
+  /// engine holds no real parameters (Sim).
+  virtual std::map<std::string, tensor::Tensor> snapshot_params();
+
+  /// Name-addressed checkpoint I/O; partition-independent, so a session
+  /// saved under one (P, W) restores under any other. Throws
+  /// std::logic_error on engines without parameter state.
+  virtual void save_checkpoint(const std::string& path,
+                               bool include_optimizer);
+  virtual void load_checkpoint(const std::string& path);
+
+  /// Adds backend-specific results (memory ledger, timeline, simulated or
+  /// measured candidate numbers) to the session's cumulative report.
+  virtual void finalize(RunReport& report) const = 0;
+};
+
+/// Builds the engine `cfg.backend` names. Throws std::invalid_argument on
+/// configurations the engine rejects (the validator's diagnosis included).
+std::unique_ptr<Backend> make_backend(const SessionConfig& cfg);
+
+}  // namespace hanayo::api

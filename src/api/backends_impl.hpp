@@ -1,0 +1,107 @@
+#pragma once
+// Internal: the four concrete engines behind api::make_backend. Not part of
+// the public surface — include "api/session.hpp" instead.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/backend.hpp"
+#include "runtime/async_trainer.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/trainer.hpp"
+
+namespace hanayo::api {
+
+/// Multi-threaded pipeline workers — wraps runtime::Trainer.
+class ThreadBackend final : public Backend {
+ public:
+  explicit ThreadBackend(const SessionConfig& cfg);
+
+  BackendKind kind() const override { return BackendKind::Threads; }
+  StepReport step(const runtime::Batch& batch, int step_index) override;
+  int64_t batch_rows() const override { return trainer_.batch_rows(); }
+  const schedule::Schedule* schedule() const override {
+    return &trainer_.schedule();
+  }
+  std::map<std::string, tensor::Tensor> snapshot_params() override {
+    return trainer_.snapshot_params();
+  }
+  void save_checkpoint(const std::string& path,
+                       bool include_optimizer) override {
+    trainer_.save_checkpoint(path, include_optimizer);
+  }
+  void load_checkpoint(const std::string& path) override {
+    trainer_.load_checkpoint(path);
+  }
+  void finalize(RunReport& report) const override;
+
+ private:
+  SessionConfig cfg_;
+  runtime::Trainer trainer_;
+};
+
+/// Single-process sequential ground truth — wraps runtime::SequentialEngine.
+class ReferenceBackend final : public Backend {
+ public:
+  explicit ReferenceBackend(const SessionConfig& cfg);
+
+  BackendKind kind() const override { return BackendKind::Reference; }
+  StepReport step(const runtime::Batch& batch, int step_index) override;
+  int64_t batch_rows() const override;
+  std::map<std::string, tensor::Tensor> snapshot_params() override;
+  void save_checkpoint(const std::string& path,
+                       bool include_optimizer) override;
+  void load_checkpoint(const std::string& path) override;
+  void finalize(RunReport& report) const override;
+
+ private:
+  SessionConfig cfg_;
+  runtime::SequentialEngine engine_;
+};
+
+/// Discrete-event dry run — wraps sim::simulate + perf::evaluate. Steps
+/// execute nothing; they report the predicted iteration makespan.
+class SimBackend final : public Backend {
+ public:
+  explicit SimBackend(const SessionConfig& cfg);
+
+  BackendKind kind() const override { return BackendKind::Sim; }
+  StepReport step(const runtime::Batch& batch, int step_index) override;
+  int64_t batch_rows() const override;
+  /// Null when the configuration was infeasible (no schedule compiled).
+  const schedule::Schedule* schedule() const override;
+  void finalize(RunReport& report) const override;
+
+ private:
+  SessionConfig cfg_;
+  schedule::Schedule sched_;
+  sim::SimResult result_;
+  perf::Candidate candidate_;
+};
+
+/// Asynchronous no-flush pipeline — wraps runtime::AsyncTrainer.
+class AsyncBackend final : public Backend {
+ public:
+  explicit AsyncBackend(const SessionConfig& cfg);
+
+  BackendKind kind() const override { return BackendKind::Async; }
+  StepReport step(const runtime::Batch& batch, int step_index) override;
+  std::vector<StepReport> run(const runtime::Batch& batch, int steps,
+                              int first_index) override;
+  int64_t batch_rows() const override { return trainer_.batch_rows(); }
+  const schedule::Schedule* schedule() const override {
+    return &trainer_.schedule();
+  }
+  std::map<std::string, tensor::Tensor> snapshot_params() override {
+    return trainer_.snapshot_params();
+  }
+  void finalize(RunReport& report) const override;
+
+ private:
+  SessionConfig cfg_;
+  runtime::AsyncTrainer trainer_;
+};
+
+}  // namespace hanayo::api

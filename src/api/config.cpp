@@ -1,0 +1,49 @@
+#include "api/config.hpp"
+
+namespace hanayo::api {
+
+sim::Cluster SessionConfig::effective_cluster() const {
+  if (cluster) return *cluster;
+  // Homogeneous stand-in: A100-ish compute, 40 GB, PCIe-class links. The
+  // paper's calibrated clusters (sim::Cluster::tacc/pc/fc/tc) are a builder
+  // call away; this default just makes predict() usable out of the box.
+  const int devices = std::max(1, dp) * std::max(1, sched.P);
+  return sim::Cluster::uniform(devices, 100e12, 40e9, 12e9, 5e-6);
+}
+
+runtime::TrainerConfig SessionConfig::trainer_config() const {
+  runtime::TrainerConfig tc;
+  tc.model = model;
+  tc.sched = sched;
+  tc.dp = dp;
+  tc.mb_sequences = mb_sequences;
+  tc.seed = seed;
+  tc.opt = opt;
+  tc.lr = lr;
+  tc.momentum = momentum;
+  tc.prefetch_depth = prefetch_depth;
+  tc.recompute = recompute;
+  tc.zero1 = zero1;
+  tc.fp16_comm = fp16_comm;
+  tc.max_grad_norm = max_grad_norm;
+  tc.lr_schedule = lr_schedule;
+  tc.record_timeline = record_timeline;
+  return tc;
+}
+
+runtime::AsyncTrainerConfig SessionConfig::async_config() const {
+  runtime::AsyncTrainerConfig ac;
+  ac.model = model;
+  ac.P = sched.P;
+  ac.micro_batches = sched.B;
+  ac.mb_sequences = mb_sequences;
+  ac.seed = seed;
+  ac.opt = opt;
+  ac.lr = lr;
+  ac.momentum = momentum;
+  ac.weight_stashing = weight_stashing;
+  ac.prefetch_depth = prefetch_depth;
+  return ac;
+}
+
+}  // namespace hanayo::api

@@ -1,0 +1,62 @@
+#pragma once
+// One configuration struct for every execution path. The Session builder
+// fills this; each backend lowers it to its engine's native config
+// (TrainerConfig, AsyncTrainerConfig, or the simulator's request), so the
+// legacy structs stay as thin compatibility shims underneath.
+
+#include <optional>
+
+#include "api/report.hpp"
+#include "model/lr_schedule.hpp"
+#include "runtime/async_trainer.hpp"
+#include "runtime/trainer.hpp"
+#include "schedule/algorithms.hpp"
+#include "sim/cluster.hpp"
+#include "sim/cost_model.hpp"
+
+namespace hanayo::api {
+
+struct SessionConfig {
+  model::ModelConfig model;
+  schedule::ScheduleRequest sched;  ///< algo, P, B, waves, vchunks
+  BackendKind backend = BackendKind::Threads;
+  int dp = 1;             ///< data-parallel replicas (Threads/Sim)
+  int mb_sequences = 1;   ///< sequences per micro-batch
+  uint64_t seed = 1;
+  runtime::OptKind opt = runtime::OptKind::Sgd;
+  float lr = 0.1f;
+  float momentum = 0.0f;
+  int prefetch_depth = 2;
+  bool recompute = false;     ///< activation recomputation on all stages
+  bool zero1 = false;         ///< ZeRO-1 optimizer-state sharding
+  bool fp16_comm = false;     ///< fp16 stage-boundary transfers
+  float max_grad_norm = 0.0f; ///< global grad-norm clip (0 disables)
+  std::optional<model::LrSchedule> lr_schedule;
+  bool record_timeline = false;
+  bool weight_stashing = true;  ///< Async backend: PipeDream weight stashing
+
+  /// Cluster used by the Sim backend and by Session::predict(). Defaults to
+  /// a uniform dp*P-device cluster when unset.
+  std::optional<sim::Cluster> cluster;
+  /// Sim backend: override the model-derived per-stage costs (the schedule
+  /// gallery's normalised timelines use this).
+  std::optional<sim::PipelineCosts> sim_costs;
+
+  /// The cluster predict()/Sim fall back on: homogeneous, one device per
+  /// (replica, pipeline rank).
+  sim::Cluster effective_cluster() const;
+
+  /// The W the planner's evaluator expects: chunk count for Interleaved
+  /// (perf::evaluate feeds its W into both waves and vchunks), wave count
+  /// for everything else.
+  int effective_W() const {
+    return sched.algo == schedule::Algo::Interleaved ? sched.vchunks
+                                                     : sched.waves;
+  }
+
+  /// Lowerings to the legacy per-engine configs.
+  runtime::TrainerConfig trainer_config() const;
+  runtime::AsyncTrainerConfig async_config() const;
+};
+
+}  // namespace hanayo::api

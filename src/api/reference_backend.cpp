@@ -1,0 +1,80 @@
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "api/backends_impl.hpp"
+#include "model/checkpoint.hpp"
+
+namespace hanayo::api {
+
+ReferenceBackend::ReferenceBackend(const SessionConfig& cfg)
+    : cfg_(cfg),
+      engine_(cfg.model, cfg.sched.B, cfg.mb_sequences, cfg.seed, cfg.opt,
+              cfg.lr, cfg.momentum) {
+  if (cfg.max_grad_norm > 0.0f) engine_.set_max_grad_norm(cfg.max_grad_norm);
+  if (cfg.lr_schedule) engine_.set_lr_schedule(*cfg.lr_schedule);
+  if (cfg.recompute) engine_.module().set_recompute(true);
+}
+
+StepReport ReferenceBackend::step(const runtime::Batch& batch,
+                                  int step_index) {
+  StepReport r;
+  r.step = step_index;
+  const auto t0 = std::chrono::steady_clock::now();
+  r.loss = engine_.train_step(batch);
+  r.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return r;
+}
+
+int64_t ReferenceBackend::batch_rows() const {
+  return static_cast<int64_t>(cfg_.sched.B) * cfg_.mb_sequences;
+}
+
+std::map<std::string, tensor::Tensor> ReferenceBackend::snapshot_params() {
+  std::map<std::string, tensor::Tensor> out;
+  for (model::Param* p : engine_.module().params()) {
+    out.emplace(p->name, p->value);
+  }
+  return out;
+}
+
+void ReferenceBackend::save_checkpoint(const std::string& path,
+                                       bool include_optimizer) {
+  if (include_optimizer) {
+    throw std::logic_error(
+        "reference backend saves parameters only (include_optimizer is a "
+        "Threads-backend feature)");
+  }
+  model::save_checkpoint(path, engine_.module().params());
+}
+
+void ReferenceBackend::load_checkpoint(const std::string& path) {
+  model::load_checkpoint(path, engine_.module().params());
+}
+
+void ReferenceBackend::finalize(RunReport& report) const {
+  report.backend = BackendKind::Reference;
+  // SequentialEngine::module() is non-const; reading cached_bytes mutates
+  // nothing.
+  auto& engine = const_cast<runtime::SequentialEngine&>(engine_);
+  report.memory.peak_cache_bytes = {engine.module().cached_bytes()};
+
+  perf::Candidate& c = report.candidate;
+  c.algo = cfg_.sched.algo;
+  c.D = 1;  // the reference is one process: no data or pipeline parallelism
+  c.P = 1;
+  c.W = 1;
+  c.B = cfg_.sched.B;
+  c.mb_sequences = cfg_.mb_sequences;
+  c.bubble_ratio = 0.0;  // nothing to overlap, nothing to bubble
+  c.note = "measured, sequential reference";
+  const double wall = report.total_wall_s();
+  if (wall > 0.0 && !report.steps.empty()) {
+    c.throughput_seq_s =
+        static_cast<double>(report.steps.size()) * batch_rows() / wall;
+  }
+}
+
+}  // namespace hanayo::api

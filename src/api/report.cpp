@@ -1,0 +1,47 @@
+#include "api/report.hpp"
+
+#include <limits>
+
+#include "perf/format.hpp"
+
+namespace hanayo::api {
+
+const char* backend_name(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::Threads: return "threads";
+    case BackendKind::Reference: return "reference";
+    case BackendKind::Sim: return "sim";
+    case BackendKind::Async: return "async";
+  }
+  return "?";
+}
+
+float RunReport::final_loss() const {
+  if (steps.empty()) return std::numeric_limits<float>::quiet_NaN();
+  return steps.back().loss;
+}
+
+double RunReport::total_wall_s() const {
+  double total = 0.0;
+  for (const StepReport& s : steps) total += s.wall_s;
+  return total;
+}
+
+std::string RunReport::to_string() const {
+  perf::PerfRow row;
+  row.algo = candidate.algo;
+  row.D = candidate.D;
+  row.P = candidate.P;
+  row.W = candidate.W;
+  row.B = candidate.B;
+  row.mb_sequences = candidate.mb_sequences;
+  row.throughput_seq_s = candidate.throughput_seq_s;
+  row.bubble_ratio = candidate.bubble_ratio;
+  row.peak_mem_gb = candidate.peak_mem_gb;
+  row.oom = candidate.oom;
+  row.feasible = candidate.feasible;
+  row.note = candidate.note.empty() ? backend_name(backend) : candidate.note;
+  return perf::format_row(row);
+}
+
+}  // namespace hanayo::api

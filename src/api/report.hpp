@@ -1,0 +1,70 @@
+#pragma once
+// Structured results shared by every Session backend. One vocabulary
+// replaces the scattered per-runtime accessors (Trainer::last_timeline,
+// peak_cache_bytes, AsyncTrainer::last_stats, simulate()'s SimResult):
+// whatever executes a step — worker threads, the sequential reference, or
+// the discrete-event simulator — reports through StepReport / RunReport.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "perf/planner.hpp"
+#include "runtime/worker.hpp"
+#include "sim/event_sim.hpp"
+
+namespace hanayo::api {
+
+/// Which engine executes the session's schedule.
+enum class BackendKind {
+  Threads,    ///< multi-threaded pipeline workers (runtime::Trainer)
+  Reference,  ///< single-process sequential ground truth (SequentialEngine)
+  Sim,        ///< discrete-event cost-model simulation (sim::simulate)
+  Async,      ///< asynchronous 1F1B threads, no flush (runtime::AsyncTrainer)
+};
+
+const char* backend_name(BackendKind kind);
+
+/// Result of one training step on any backend.
+struct StepReport {
+  int step = 0;          ///< 0-based index within this session
+  float loss = 0.0f;     ///< global mean loss (NaN for Sim: nothing executed)
+  double wall_s = 0.0;   ///< measured wall time; predicted makespan for Sim
+  bool predicted = false;  ///< true when the numbers come from the simulator
+};
+
+/// Memory footprint of the last executed step. Entries are empty when a
+/// backend has no such notion (e.g. stash ledgers outside Async).
+struct MemoryReport {
+  std::vector<int64_t> peak_cache_bytes;       ///< per pipeline rank
+  std::vector<int64_t> optimizer_state_bytes;  ///< per worker, replica-major
+  std::vector<int64_t> stash_bytes;            ///< async weight stash peak
+  std::vector<int> stash_entries;              ///< async stashed versions
+};
+
+/// Cumulative result of a session's steps — the one result type every
+/// backend produces. `candidate` echoes the configuration plus the
+/// throughput/bubble/memory numbers (simulated for Sim, measured for live
+/// backends), so a run renders exactly like a planner row.
+struct RunReport {
+  BackendKind backend = BackendKind::Threads;
+  perf::Candidate candidate;
+  std::vector<StepReport> steps;
+  MemoryReport memory;
+  /// Real compute spans per pipeline rank (replica 0); filled when the
+  /// session was built with record_timeline on a Threads backend.
+  std::vector<std::vector<runtime::ComputeSpan>> timeline;
+  /// The raw simulation, when the backend is Sim (timeline spans included
+  /// when record_timeline was set).
+  std::optional<sim::SimResult> sim;
+
+  /// Loss of the last step (NaN if no steps ran or the backend is Sim).
+  float final_loss() const;
+  /// Sum of the per-step wall (or predicted) seconds.
+  double total_wall_s() const;
+  /// One Fig. 10-style row via the same formatter as Candidate::to_string.
+  std::string to_string() const;
+};
+
+}  // namespace hanayo::api

@@ -1,0 +1,48 @@
+#include "api/session.hpp"
+
+#include <stdexcept>
+
+namespace hanayo::api {
+
+Session::Builder Session::builder() { return Builder(); }
+
+Session::Session(SessionConfig cfg)
+    : cfg_(std::move(cfg)), backend_(make_backend(cfg_)) {}
+
+StepReport Session::step(const runtime::Batch& batch) {
+  StepReport r = backend_->step(batch, static_cast<int>(steps_.size()));
+  steps_.push_back(r);
+  return r;
+}
+
+RunReport Session::run(const runtime::Batch& batch, int steps) {
+  const std::vector<StepReport> reports =
+      backend_->run(batch, steps, static_cast<int>(steps_.size()));
+  steps_.insert(steps_.end(), reports.begin(), reports.end());
+  return report();
+}
+
+RunReport Session::report() const {
+  RunReport rep;
+  rep.backend = backend_->kind();
+  rep.steps = steps_;
+  backend_->finalize(rep);
+  return rep;
+}
+
+perf::Candidate Session::predict() const {
+  return perf::evaluate(cfg_.model, cfg_.effective_cluster(), cfg_.sched.algo,
+                        cfg_.dp, cfg_.sched.P, cfg_.effective_W(),
+                        cfg_.sched.B, cfg_.mb_sequences);
+}
+
+const schedule::Schedule& Session::schedule() const {
+  const schedule::Schedule* s = backend_->schedule();
+  if (!s) {
+    throw std::logic_error(std::string(backend_name(backend_->kind())) +
+                           " backend compiles no schedule");
+  }
+  return *s;
+}
+
+}  // namespace hanayo::api

@@ -1,0 +1,91 @@
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "api/backends_impl.hpp"
+#include "sim/cost_model.hpp"
+
+namespace hanayo::api {
+
+SimBackend::SimBackend(const SessionConfig& cfg) : cfg_(cfg) {
+  const sim::Cluster cluster = cfg.effective_cluster();
+
+  candidate_.algo = cfg.sched.algo;
+  candidate_.D = cfg.dp;
+  candidate_.P = cfg.sched.P;
+  candidate_.W = cfg.effective_W();
+  candidate_.B = cfg.sched.B;
+  candidate_.mb_sequences = cfg.mb_sequences;
+
+  // Feasibility gates match perf::evaluate, and — like the planner — an
+  // infeasible configuration is a *result*, not an exception: the point of
+  // a dry run is to find out before paying for real execution.
+  if (!cfg.sim_costs) {
+    if (cfg.sched.algo == schedule::Algo::Chimera &&
+        (cfg.sched.P % 2 != 0 || cfg.sched.B < 2)) {
+      candidate_.feasible = false;
+      candidate_.note = "Chimera needs even P and B >= 2";
+      return;
+    }
+    const int S = schedule::stages_for(cfg.sched);
+    const int total_layers = static_cast<int>(cfg.model.layer_descs().size());
+    if (S > total_layers) {
+      candidate_.feasible = false;
+      candidate_.note = "stages (" + std::to_string(S) + ") exceed layers (" +
+                        std::to_string(total_layers) + ")";
+      return;
+    }
+  }
+
+  sched_ = schedule::make_schedule(cfg.sched);
+  const int S = sched_.placement.stages();
+  const sim::PipelineCosts costs =
+      cfg.sim_costs ? *cfg.sim_costs
+                    : sim::compute_costs(cfg.model, S, cfg.mb_sequences,
+                                         cluster, cfg.recompute);
+
+  sim::SimOptions opt;
+  opt.dp = cfg.dp;
+  opt.devmap = sim::DeviceMap{cfg.sched.P, 0};
+  opt.record_timeline = cfg.record_timeline;
+  result_ = sim::simulate(sched_, costs, cluster, opt);
+
+  // Same schedule, same costs, same simulation as perf::evaluate — which is
+  // exactly why these numbers are bit-identical to a planner row (asserted
+  // in tests/api/test_session.cpp) without running the simulation twice.
+  candidate_.throughput_seq_s =
+      result_.throughput_seq_per_s(cfg.sched.B * cfg.mb_sequences) * cfg.dp;
+  candidate_.bubble_ratio = result_.bubble_ratio;
+  double peak = 0.0;
+  for (double x : result_.peak_mem_bytes) peak = std::max(peak, x);
+  candidate_.peak_mem_gb = peak / 1e9;
+  candidate_.oom = result_.oom;
+}
+
+StepReport SimBackend::step(const runtime::Batch&, int step_index) {
+  StepReport r;
+  r.step = step_index;
+  r.loss = std::numeric_limits<float>::quiet_NaN();  // nothing executed
+  r.wall_s = result_.makespan;
+  r.predicted = true;
+  return r;
+}
+
+const schedule::Schedule* SimBackend::schedule() const {
+  // Infeasible configurations compile no schedule; hand back null so
+  // Session::schedule() throws instead of exposing an empty Schedule.
+  return sched_.scripts.empty() ? nullptr : &sched_;
+}
+
+int64_t SimBackend::batch_rows() const {
+  return static_cast<int64_t>(cfg_.dp) * cfg_.sched.B * cfg_.mb_sequences;
+}
+
+void SimBackend::finalize(RunReport& report) const {
+  report.backend = BackendKind::Sim;
+  report.sim = result_;
+  report.candidate = candidate_;
+}
+
+}  // namespace hanayo::api

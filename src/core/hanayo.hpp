@@ -1,24 +1,42 @@
 #pragma once
 // Hanayo — wave-like pipeline parallelism (SC '23 reproduction).
 //
-// Single-include public API. Typical use:
+// Single-include public API. The front door is hanayo::Session: one builder
+// for model + schedule + execution engine, one result vocabulary
+// (StepReport / RunReport) for every engine:
 //
 //   #include "core/hanayo.hpp"
 //
-//   hanayo::TrainerConfig cfg;
-//   cfg.model = hanayo::ModelConfig::tiny(/*layers=*/8);
-//   cfg.sched.algo = hanayo::Algo::Hanayo;
-//   cfg.sched.P = 4;        // pipeline workers
-//   cfg.sched.B = 8;        // micro-batches
-//   cfg.sched.waves = 2;    // W
-//   hanayo::Trainer trainer(cfg);
-//   float loss = trainer.train_step(batch);
+//   auto session = hanayo::Session::builder()
+//                      .model(hanayo::ModelConfig::tiny(/*layers=*/14))
+//                      .algo(hanayo::Algo::Hanayo)
+//                      .pipeline(4)        // P workers
+//                      .micro_batches(8)   // B per iteration
+//                      .waves(2)           // W
+//                      .backend(hanayo::BackendKind::Threads)
+//                      .build();
+//   hanayo::Rng rng(7);
+//   const auto batch = hanayo::synthetic_batch(session.config().model,
+//                                              session.batch_rows(), rng);
+//   float loss = session.step(batch).loss;
 //
-// For planning without running (what the paper's Fig. 10 search does):
+// Swap .backend(BackendKind::Sim) to dry-run the same configuration on the
+// discrete-event cost model (predicted throughput/memory, nothing
+// executed), or call session.predict() on any session. For the paper's
+// Fig. 10 configuration search over a whole cluster:
 //
-//   auto plans = hanayo::plan({.model = ..., .cluster = hanayo::Cluster::tacc(32),
-//                              .total_devices = 32, .batch_sequences = 8});
+//   hanayo::PlanRequest req;
+//   req.model = hanayo::ModelConfig::bert_paper();
+//   req.cluster = hanayo::Cluster::tacc(32);
+//   req.total_devices = 32;
+//   req.batch_sequences = 8;
+//   auto plans = hanayo::plan(req);  // ranked perf::Candidate rows
+//
+// The pre-Session entry points (Trainer, AsyncTrainer, SequentialEngine and
+// their config structs) remain available below as compatibility shims; the
+// Session backends are thin wrappers over them.
 
+#include "api/session.hpp"
 #include "comm/collectives.hpp"
 #include "comm/fp16.hpp"
 #include "data/corpus.hpp"
@@ -50,6 +68,13 @@
 namespace hanayo {
 
 // Re-export the primary vocabulary types at the top level.
+using api::Backend;
+using api::BackendKind;
+using api::MemoryReport;
+using api::RunReport;
+using api::Session;
+using api::SessionConfig;
+using api::StepReport;
 using data::DataLoader;
 using data::LoaderConfig;
 using data::SyntheticCorpus;

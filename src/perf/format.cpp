@@ -1,0 +1,27 @@
+#include "perf/format.hpp"
+
+#include <sstream>
+
+namespace hanayo::perf {
+
+std::string format_row(const PerfRow& row) {
+  using schedule::Algo;
+  std::ostringstream os;
+  os << schedule::algo_name(row.algo) << " D=" << row.D << " P=" << row.P;
+  if (row.algo == Algo::Hanayo || row.algo == Algo::Interleaved) {
+    os << " W=" << row.W;
+  }
+  os << " B=" << row.B << " mb=" << row.mb_sequences;
+  if (!row.feasible) {
+    os << "  [infeasible: " << row.note << "]";
+  } else if (row.oom) {
+    os << "  [OOM, peak " << row.peak_mem_gb << " GB]";
+  } else {
+    os << "  " << row.throughput_seq_s << " seq/s, bubble " << row.bubble_ratio
+       << ", peak " << row.peak_mem_gb << " GB";
+    if (!row.note.empty()) os << " (" << row.note << ")";
+  }
+  return os.str();
+}
+
+}  // namespace hanayo::perf

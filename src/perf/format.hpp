@@ -1,0 +1,34 @@
+#pragma once
+// One formatter for Fig. 10-style configuration rows, shared by the
+// planner's `Candidate::to_string()` and the runtime's
+// `api::RunReport::to_string()`, so planner tables and live-run reports
+// render identically.
+
+#include <string>
+
+#include "schedule/generator.hpp"
+
+namespace hanayo::perf {
+
+/// Everything one table row needs. Both planner candidates (simulated) and
+/// live runs (measured) lower themselves to this.
+struct PerfRow {
+  schedule::Algo algo = schedule::Algo::Hanayo;
+  int D = 1;   ///< data-parallel replicas
+  int P = 1;   ///< pipeline depth
+  int W = 1;   ///< waves (Hanayo) / chunks (Interleaved)
+  int B = 1;   ///< micro-batches per pipeline per iteration
+  int mb_sequences = 1;
+  double throughput_seq_s = 0.0;
+  double bubble_ratio = 0.0;
+  double peak_mem_gb = 0.0;
+  bool oom = false;
+  bool feasible = true;
+  std::string note;  ///< infeasibility diagnosis, or a source tag ("measured")
+};
+
+/// Renders one row: "<scheme> D=.. P=.. [W=..] B=.. mb=..  <numbers>".
+/// Infeasible rows show the note; OOM rows show the peak memory.
+std::string format_row(const PerfRow& row);
+
+}  // namespace hanayo::perf

@@ -1,8 +1,8 @@
 #include "perf/planner.hpp"
 
 #include <algorithm>
-#include <sstream>
 
+#include "perf/format.hpp"
 #include "schedule/validate.hpp"
 
 namespace hanayo::perf {
@@ -10,19 +10,20 @@ namespace hanayo::perf {
 using schedule::Algo;
 
 std::string Candidate::to_string() const {
-  std::ostringstream os;
-  os << schedule::algo_name(algo) << " D=" << D << " P=" << P;
-  if (algo == Algo::Hanayo || algo == Algo::Interleaved) os << " W=" << W;
-  os << " B=" << B << " mb=" << mb_sequences;
-  if (!feasible) {
-    os << "  [infeasible: " << note << "]";
-  } else if (oom) {
-    os << "  [OOM, peak " << peak_mem_gb << " GB]";
-  } else {
-    os << "  " << throughput_seq_s << " seq/s, bubble " << bubble_ratio
-       << ", peak " << peak_mem_gb << " GB";
-  }
-  return os.str();
+  PerfRow row;
+  row.algo = algo;
+  row.D = D;
+  row.P = P;
+  row.W = W;
+  row.B = B;
+  row.mb_sequences = mb_sequences;
+  row.throughput_seq_s = throughput_seq_s;
+  row.bubble_ratio = bubble_ratio;
+  row.peak_mem_gb = peak_mem_gb;
+  row.oom = oom;
+  row.feasible = feasible;
+  row.note = note;
+  return format_row(row);
 }
 
 Candidate evaluate(const model::ModelConfig& m, const sim::Cluster& cluster,
