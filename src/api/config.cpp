@@ -1,5 +1,9 @@
 #include "api/config.hpp"
 
+#include <algorithm>
+
+#include "tensor/parallel.hpp"
+
 namespace hanayo::api {
 
 sim::Cluster SessionConfig::effective_cluster() const {
@@ -9,6 +13,14 @@ sim::Cluster SessionConfig::effective_cluster() const {
   // call away; this default just makes predict() usable out of the box.
   const int devices = std::max(1, dp) * std::max(1, sched.P);
   return sim::Cluster::uniform(devices, 100e12, 40e9, 12e9, 5e-6);
+}
+
+int SessionConfig::effective_intra_op_threads() const {
+  if (intra_op_threads > 0) return intra_op_threads;
+  const bool multi_worker =
+      (backend == BackendKind::Threads || backend == BackendKind::Async) &&
+      std::max(1, dp) * std::max(1, sched.P) > 1;
+  return multi_worker ? 1 : tensor::max_intra_op_threads();
 }
 
 runtime::TrainerConfig SessionConfig::trainer_config() const {

@@ -27,6 +27,12 @@ struct SessionConfig {
   float lr = 0.1f;
   float momentum = 0.0f;
   int prefetch_depth = 2;
+  /// Intra-op kernel threads per worker (tensor::parallel pool). 0 = auto:
+  /// 1 when the backend runs dp*P worker threads of its own (so P x W
+  /// inter-op workers are not multiplied by kernel threads), all hardware
+  /// threads for the single-worker Reference engine. Kernel results are
+  /// bit-identical for any value (deterministic row partitioning).
+  int intra_op_threads = 0;
   bool recompute = false;     ///< activation recomputation on all stages
   bool zero1 = false;         ///< ZeRO-1 optimizer-state sharding
   bool fp16_comm = false;     ///< fp16 stage-boundary transfers
@@ -45,6 +51,10 @@ struct SessionConfig {
   /// The cluster predict()/Sim fall back on: homogeneous, one device per
   /// (replica, pipeline rank).
   sim::Cluster effective_cluster() const;
+
+  /// The intra-op thread count this config resolves to (the auto rule
+  /// above applied).
+  int effective_intra_op_threads() const;
 
   /// The W the planner's evaluator expects: chunk count for Interleaved
   /// (perf::evaluate feeds its W into both waves and vchunks), wave count

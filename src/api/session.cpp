@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "tensor/parallel.hpp"
+
 namespace hanayo::api {
 
 Session::Builder Session::builder() { return Builder(); }
@@ -10,12 +12,20 @@ Session::Session(SessionConfig cfg)
     : cfg_(std::move(cfg)), backend_(make_backend(cfg_)) {}
 
 StepReport Session::step(const runtime::Batch& batch) {
+  // The kernel pool is process-global; apply this session's resolved
+  // intra-op setting for the duration of the step and restore it after, so
+  // interleaved sessions (and non-Session kernel users, which keep the
+  // conservative default) never inherit another configuration. Results are
+  // thread-count independent, so this only affects performance, never
+  // numerics.
+  tensor::IntraOpScope scope(cfg_.effective_intra_op_threads());
   StepReport r = backend_->step(batch, static_cast<int>(steps_.size()));
   steps_.push_back(r);
   return r;
 }
 
 RunReport Session::run(const runtime::Batch& batch, int steps) {
+  tensor::IntraOpScope scope(cfg_.effective_intra_op_threads());
   const std::vector<StepReport> reports =
       backend_->run(batch, steps, static_cast<int>(steps_.size()));
   steps_.insert(steps_.end(), reports.begin(), reports.end());

@@ -113,6 +113,8 @@ class Session::Builder {
   Builder& learning_rate(float lr) { cfg_.lr = lr; return *this; }
   Builder& momentum(float m) { cfg_.momentum = m; return *this; }
   Builder& prefetch_depth(int d) { cfg_.prefetch_depth = d; return *this; }
+  /// Kernel threads per worker; 0 picks automatically (see SessionConfig).
+  Builder& intra_op_threads(int n) { cfg_.intra_op_threads = n; return *this; }
   Builder& recompute(bool on = true) { cfg_.recompute = on; return *this; }
   Builder& zero1(bool on = true) { cfg_.zero1 = on; return *this; }
   Builder& fp16_comm(bool on = true) { cfg_.fp16_comm = on; return *this; }

@@ -2,8 +2,11 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
+#include "tensor/kernels.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/parallel.hpp"
 
 namespace hanayo::model {
 
@@ -24,53 +27,71 @@ MultiHeadAttention::MultiHeadAttention(std::string name, int64_t hidden,
   }
 }
 
+// The (batch, head) pairs are fully independent: each one reads its own
+// Q/K/V panels (strided slices of the fused [b, t, 3h] projection) and
+// writes disjoint slices of probs/ctx (forward) or dqkv (backward). The
+// intra-op pool splits the pairs; inside a pair the blocked GEMM kernels
+// run inline, so results are bit-identical for any thread count.
+//
+// Within a pair, the score-matrix rows are processed in fixed blocks of
+// kRowBlock; a causal pair bounds every GEMM's column extent by the
+// block's last row (jext), so the masked upper triangle costs no FLOPs —
+// the same triangular saving the seed's scalar loops had. The extent
+// depends only on the row index, never on the thread count.
+namespace {
+constexpr int64_t kRowBlock = 64;
+}
+
 Tensor MultiHeadAttention::forward(const Tensor& x, int mb) {
   const int64_t b = x.size(0), t = x.size(1);
   Tensor qkv = qkv_proj_.forward(x, mb);  // [b, t, 3h]
   Tensor probs({b, heads_, t, t});
   Tensor ctx({b, t, hidden_});
   const float scale = 1.0f / std::sqrt(static_cast<float>(dk_));
+  const int64_t h3 = 3 * hidden_;
+  const float* qkvp = qkv.data();
+  float* probsp = probs.data();
+  float* ctxp = ctx.data();
+  const bool causal = causal_;
+  const int64_t heads = heads_, dk = dk_, hidden = hidden_;
 
-  for (int64_t n = 0; n < b; ++n) {
-    for (int64_t hh = 0; hh < heads_; ++hh) {
-      const int64_t qoff = hh * dk_;
-      const int64_t koff = hidden_ + hh * dk_;
-      const int64_t voff = 2 * hidden_ + hh * dk_;
-      float* prob = probs.data() + ((n * heads_ + hh) * t) * t;
-      // scores + softmax row by row
-      for (int64_t i = 0; i < t; ++i) {
-        const float* q = qkv.data() + (n * t + i) * 3 * hidden_ + qoff;
-        float* prow = prob + i * t;
-        const int64_t jmax = causal_ ? i + 1 : t;
-        float mx = -1e30f;
-        for (int64_t j = 0; j < jmax; ++j) {
-          const float* k = qkv.data() + (n * t + j) * 3 * hidden_ + koff;
-          float s = 0.0f;
-          for (int64_t d = 0; d < dk_; ++d) s += q[d] * k[d];
-          s *= scale;
-          prow[j] = s;
-          mx = std::max(mx, s);
+  parallel_for(b * heads, 1, [&](int64_t p0, int64_t p1) {
+    for (int64_t p = p0; p < p1; ++p) {
+      const int64_t n = p / heads, hh = p % heads;
+      const float* q = qkvp + n * t * h3 + hh * dk;
+      const float* k = q + hidden;
+      const float* v = k + hidden;
+      float* prob = probsp + p * t * t;
+      for (int64_t i0 = 0; i0 < t; i0 += kRowBlock) {
+        const int64_t i1 = std::min(i0 + kRowBlock, t);
+        const int64_t jext = causal ? i1 : t;  // columns rows < i1 can see
+        // scores = Q K^T for this row block (blocked GEMM, triangular cut)
+        kernels::gemm_bt(i1 - i0, jext, dk, q + i0 * h3, h3, k, h3,
+                         prob + i0 * t, t, false);
+        // scale + causal mask + row softmax
+        for (int64_t i = i0; i < i1; ++i) {
+          float* prow = prob + i * t;
+          const int64_t jmax = causal ? i + 1 : t;
+          float mx = -1e30f;
+          for (int64_t j = 0; j < jmax; ++j) {
+            prow[j] *= scale;
+            mx = std::max(mx, prow[j]);
+          }
+          double denom = 0.0;
+          for (int64_t j = 0; j < jmax; ++j) {
+            prow[j] = std::exp(prow[j] - mx);
+            denom += prow[j];
+          }
+          const float inv = static_cast<float>(1.0 / denom);
+          for (int64_t j = 0; j < jmax; ++j) prow[j] *= inv;
+          for (int64_t j = jmax; j < t; ++j) prow[j] = 0.0f;
         }
-        double denom = 0.0;
-        for (int64_t j = 0; j < jmax; ++j) {
-          prow[j] = std::exp(prow[j] - mx);
-          denom += prow[j];
-        }
-        const float inv = static_cast<float>(1.0 / denom);
-        for (int64_t j = 0; j < jmax; ++j) prow[j] *= inv;
-        for (int64_t j = jmax; j < t; ++j) prow[j] = 0.0f;
-        // context = probs @ V
-        float* c = ctx.data() + (n * t + i) * hidden_ + hh * dk_;
-        for (int64_t d = 0; d < dk_; ++d) c[d] = 0.0f;
-        for (int64_t j = 0; j < jmax; ++j) {
-          const float p = prow[j];
-          if (p == 0.0f) continue;
-          const float* v = qkv.data() + (n * t + j) * 3 * hidden_ + voff;
-          for (int64_t d = 0; d < dk_; ++d) c[d] += p * v[d];
-        }
+        // context = probs @ V over the visible columns only
+        kernels::gemm(i1 - i0, dk, jext, prob + i0 * t, t, v, h3,
+                      ctxp + (n * t + i0) * hidden + hh * dk, hidden, false);
       }
     }
-  }
+  });
 
   Tensor y = out_proj_.forward(ctx, mb);
   cache_[mb] = Saved{std::move(qkv), std::move(probs), std::move(ctx)};
@@ -88,51 +109,66 @@ Tensor MultiHeadAttention::backward(const Tensor& dy, int mb) {
   const int64_t b = dctx.size(0), t = dctx.size(1);
   Tensor dqkv({b, t, 3 * hidden_});
   const float scale = 1.0f / std::sqrt(static_cast<float>(dk_));
+  const int64_t h3 = 3 * hidden_;
+  const float* qkvp = qkv.data();
+  const float* probsp = probs.data();
+  const float* dctxp = dctx.data();
+  float* dqkvp = dqkv.data();
+  const bool causal = causal_;
+  const int64_t heads = heads_, dk = dk_, hidden = hidden_;
 
-  for (int64_t n = 0; n < b; ++n) {
-    for (int64_t hh = 0; hh < heads_; ++hh) {
-      const int64_t qoff = hh * dk_;
-      const int64_t koff = hidden_ + hh * dk_;
-      const int64_t voff = 2 * hidden_ + hh * dk_;
-      const float* prob = probs.data() + ((n * heads_ + hh) * t) * t;
-      for (int64_t i = 0; i < t; ++i) {
-        const int64_t jmax = causal_ ? i + 1 : t;
-        const float* dc = dctx.data() + (n * t + i) * hidden_ + hh * dk_;
-        const float* prow = prob + i * t;
-        // dV[j] += P[i,j] * dctx[i];  dP[i,j] = dctx[i] . V[j]
-        // dS = P * (dP - sum_j dP*P)   (softmax backward)
-        // dQ[i] += dS[i,j] * K[j] * scale;  dK[j] += dS[i,j] * Q[i] * scale
-        double dot_dp_p = 0.0;
-        // First pass: dP and the softmax-correction dot product.
-        // Store dP temporarily in a small stack buffer via two passes.
-        for (int64_t j = 0; j < jmax; ++j) {
-          const float* v = qkv.data() + (n * t + j) * 3 * hidden_ + voff;
-          float dp = 0.0f;
-          for (int64_t d = 0; d < dk_; ++d) dp += dc[d] * v[d];
-          dot_dp_p += static_cast<double>(dp) * prow[j];
-        }
-        const float* q = qkv.data() + (n * t + i) * 3 * hidden_ + qoff;
-        float* dq = dqkv.data() + (n * t + i) * 3 * hidden_ + qoff;
-        for (int64_t j = 0; j < jmax; ++j) {
-          const float* v = qkv.data() + (n * t + j) * 3 * hidden_ + voff;
-          const float* k = qkv.data() + (n * t + j) * 3 * hidden_ + koff;
-          float* dv = dqkv.data() + (n * t + j) * 3 * hidden_ + voff;
-          float* dk = dqkv.data() + (n * t + j) * 3 * hidden_ + koff;
-          const float p = prow[j];
-          float dp = 0.0f;
-          for (int64_t d = 0; d < dk_; ++d) {
-            dv[d] += p * dc[d];
-            dp += dc[d] * v[d];
+  parallel_for(b * heads, 1, [&](int64_t p0, int64_t p1) {
+    // Per-thread scratch for dP/dS; grows once, then steady-state reuse.
+    thread_local std::vector<float> scratch;
+    if (static_cast<int64_t>(scratch.size()) < t * t) {
+      scratch.resize(static_cast<size_t>(t * t));
+    }
+    float* ds = scratch.data();
+    for (int64_t p = p0; p < p1; ++p) {
+      const int64_t n = p / heads, hh = p % heads;
+      const float* q = qkvp + n * t * h3 + hh * dk;
+      const float* k = q + hidden;
+      const float* v = k + hidden;
+      float* dq = dqkvp + n * t * h3 + hh * dk;
+      float* dkp = dq + hidden;
+      float* dv = dkp + hidden;
+      const float* prob = probsp + p * t * t;
+      const float* dc = dctxp + n * t * hidden + hh * dk;
+      for (int64_t i0 = 0; i0 < t; i0 += kRowBlock) {
+        const int64_t i1 = std::min(i0 + kRowBlock, t);
+        const int64_t mbr = i1 - i0;
+        const int64_t jext = causal ? i1 : t;
+        const float* prob_b = prob + i0 * t;
+        const float* dc_b = dc + i0 * hidden;
+        float* ds_b = ds + i0 * t;
+        // dV[0:jext] += P^T dctx over this row block (row blocks ascend,
+        // so each dV element still accumulates in ascending-i order)
+        kernels::gemm_at(jext, dk, mbr, prob_b, t, dc_b, hidden, dv, h3,
+                         true);
+        // dP = dctx V^T for the visible columns
+        kernels::gemm_bt(mbr, jext, dk, dc_b, hidden, v, h3, ds_b, t, false);
+        // dS = P * (dP - sum_j dP*P) * scale (softmax backward), masked
+        for (int64_t i = i0; i < i1; ++i) {
+          const int64_t jmax = causal ? i + 1 : t;
+          const float* prow = prob + i * t;
+          float* dsrow = ds + i * t;
+          double dot_dp_p = 0.0;
+          for (int64_t j = 0; j < jmax; ++j) {
+            dot_dp_p += static_cast<double>(dsrow[j]) * prow[j];
           }
-          const float ds = p * (dp - static_cast<float>(dot_dp_p)) * scale;
-          for (int64_t d = 0; d < dk_; ++d) {
-            dq[d] += ds * k[d];
-            dk[d] += ds * q[d];
+          const float dot = static_cast<float>(dot_dp_p);
+          for (int64_t j = 0; j < jmax; ++j) {
+            dsrow[j] = prow[j] * (dsrow[j] - dot) * scale;
           }
+          for (int64_t j = jmax; j < t; ++j) dsrow[j] = 0.0f;
         }
+        // dQ += dS K;  dK += dS^T Q — visible columns only
+        kernels::gemm(mbr, dk, jext, ds_b, t, k, h3, dq + i0 * h3, h3, true);
+        kernels::gemm_at(jext, dk, mbr, ds_b, t, q + i0 * h3, h3, dkp, h3,
+                         true);
       }
     }
-  }
+  });
 
   cache_.erase(it);
   return qkv_proj_.backward(dqkv, mb);

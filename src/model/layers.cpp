@@ -3,7 +3,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/kernels.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/parallel.hpp"
 
 namespace hanayo::model {
 
@@ -28,17 +30,20 @@ Linear::Linear(std::string name, int64_t in, int64_t out, Rng& rng,
       b_(name_ + ".b", Tensor({out})) {}
 
 Tensor Linear::forward(const Tensor& x, int mb) {
-  Tensor x2 = x.flattened_2d();
-  if (x2.size(1) != in_) {
+  if (x.dim() < 2 || x.size(-1) != in_) {
     throw std::invalid_argument(name_ + ": input dim " + x.shape_str());
   }
-  Tensor y = add_bias(matmul(x2, w_.value), b_.value);
-  cache_shape_[mb] = x.shape();
-  cache_x_[mb] = std::move(x2);
-  // Output keeps the leading dims of the input, last dim becomes out_.
-  tensor::Shape out_shape = cache_shape_[mb];
+  // The GEMM reads x as [rows, in_] in place — no flatten copy, no reshape
+  // copy on the way out; the bias is a row-wise epilogue over y.
+  const int64_t rows = x.numel() / in_;
+  tensor::Shape out_shape = x.shape();
   out_shape.back() = out_;
-  return y.reshaped(std::move(out_shape));
+  Tensor y(std::move(out_shape));
+  kernels::gemm(rows, out_, in_, x.data(), in_, w_.value.data(), out_,
+                y.data(), out_, /*accumulate=*/false);
+  add_bias_(y, b_.value);
+  cache_x_[mb] = x;
+  return y;
 }
 
 Tensor Linear::backward(const Tensor& dy, int mb) {
@@ -47,15 +52,19 @@ Tensor Linear::backward(const Tensor& dy, int mb) {
     throw std::logic_error(name_ + ": backward without forward for mb " +
                            std::to_string(mb));
   }
-  Tensor dy2 = dy.flattened_2d();
-  const Tensor& x2 = it->second;
-  w_.grad.add_(matmul_at(x2, dy2));
-  b_.grad.add_(col_sum(dy2));
-  Tensor dx = matmul_bt(dy2, w_.value);
-  tensor::Shape in_shape = cache_shape_[mb];
+  const Tensor& x = it->second;
+  const int64_t rows = x.numel() / in_;
+  // dW += x^T dy, accumulated straight into the gradient — no temporary.
+  kernels::gemm_at(in_, out_, rows, x.data(), in_, dy.data(), out_,
+                   w_.grad.data(), out_, /*accumulate=*/true);
+  // db += column sums of dy, straight into the gradient.
+  col_sum_accum(dy, b_.grad);
+  // dx = dy W^T, written into a tensor that already has the input's shape.
+  Tensor dx(x.shape());
+  kernels::gemm_bt(rows, in_, out_, dy.data(), out_, w_.value.data(), out_,
+                   dx.data(), in_, /*accumulate=*/false);
   cache_x_.erase(it);
-  cache_shape_.erase(mb);
-  return dx.reshaped(std::move(in_shape));
+  return dx;
 }
 
 void Linear::collect_params(std::vector<Param*>& out) {
@@ -65,10 +74,7 @@ void Linear::collect_params(std::vector<Param*>& out) {
 
 int64_t Linear::cached_bytes() const { return map_bytes(cache_x_); }
 
-void Linear::drop_cache(int mb) {
-  cache_x_.erase(mb);
-  cache_shape_.erase(mb);
-}
+void Linear::drop_cache(int mb) { cache_x_.erase(mb); }
 
 // -------------------------------------------------------------- LayerNorm
 
@@ -86,7 +92,10 @@ Tensor LayerNorm::forward(const Tensor& x, int mb) {
   Tensor xhat(x.shape());
   Tensor inv_std({rows});
   Tensor y(x.shape());
-  for (int64_t i = 0; i < rows; ++i) {
+  // Rows are independent (the learned gain/bias are read-only here), so the
+  // intra-op pool can split them; per-row accumulation order is unchanged.
+  parallel_for(rows, 16, [&](int64_t r0, int64_t r1) {
+  for (int64_t i = r0; i < r1; ++i) {
     const float* row = x.data() + i * n;
     double mu = 0.0;
     for (int64_t j = 0; j < n; ++j) mu += row[j];
@@ -106,6 +115,7 @@ Tensor LayerNorm::forward(const Tensor& x, int mb) {
       yr[j] = xh[j] * g_.value[j] + b_.value[j];
     }
   }
+  });
   cache_xhat_[mb] = std::move(xhat);
   cache_inv_std_[mb] = std::move(inv_std);
   return y;

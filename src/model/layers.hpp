@@ -80,8 +80,7 @@ class Linear : public Layer {
   std::string name_;
   int64_t in_, out_;
   Param w_, b_;
-  std::unordered_map<int, Tensor> cache_x_;  // input, flattened 2-d
-  std::unordered_map<int, tensor::Shape> cache_shape_;
+  std::unordered_map<int, Tensor> cache_x_;  // forward input (original shape)
 };
 
 /// LayerNorm over the last dimension with learned gain/bias.

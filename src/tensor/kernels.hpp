@@ -1,0 +1,68 @@
+#pragma once
+// Blocked, SIMD-friendly compute kernels for the tensor substrate.
+//
+// The raw `kernels::gemm*` entry points operate on strided float panels so
+// the model layer can multiply slices of larger tensors (per-head Q/K/V
+// panels inside a [b, t, 3h] projection, weight matrices inside parameter
+// structs) without materialising transposes or copies. The Tensor-level
+// `*_into` / `*_accum` wrappers write into caller-owned outputs and
+// accumulate into gradients without temporaries.
+//
+// Determinism contract: for a given problem, every output element is
+// accumulated in ascending-k order regardless of blocking, SIMD width or
+// the intra-op thread count. Threads partition output *rows* only, so the
+// per-element reduction order never changes and results are bit-identical
+// for 1 and N intra-op threads — the property the Threads-vs-Reference
+// session equivalence tests rely on.
+
+#include "tensor/tensor.hpp"
+
+namespace hanayo::tensor::kernels {
+
+/// C (m x n, row stride ldc) = or += A (m x k, lda) * B (k x n, ldb).
+/// Cache-blocked with an MR x NR register micro-kernel whose inner loop is
+/// contiguous in B and C rows (vectorisable, FMA-able). When `accumulate`
+/// is false C is overwritten, otherwise the product is added to it.
+void gemm(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
+          const float* b, int64_t ldb, float* c, int64_t ldc,
+          bool accumulate);
+
+/// C (m x n, ldc) = or += A (m x k, lda) * B^T where B is n x k (ldb).
+/// B is packed transposed into a per-thread scratch once, then reuses the
+/// contiguous-inner-loop kernel; no caller-visible transpose temporary.
+void gemm_bt(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
+             const float* b, int64_t ldb, float* c, int64_t ldc,
+             bool accumulate);
+
+/// C (m x n, ldc) = or += A^T * B where A is k x m (lda) and B is k x n
+/// (ldb). A is packed transposed into a per-thread scratch.
+void gemm_at(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
+             const float* b, int64_t ldb, float* c, int64_t ldc,
+             bool accumulate);
+
+/// dst (cols x rows, dense) = transpose of src (rows x cols, row stride
+/// ld). Cache-blocked; also the packing primitive behind gemm_bt/gemm_at.
+void transpose_pack(const float* src, int64_t rows, int64_t cols, int64_t ld,
+                    float* dst);
+
+}  // namespace hanayo::tensor::kernels
+
+namespace hanayo::tensor {
+
+/// out (m x n) = a (m x k) * b (k x n); out must be pre-shaped {m, n}.
+void matmul_into(const Tensor& a, const Tensor& b, Tensor& out);
+/// out += a * b (gradient accumulation without a temporary).
+void matmul_accum(const Tensor& a, const Tensor& b, Tensor& out);
+
+/// out (m x n) = a (m x k) * b^T with b (n x k).
+void matmul_bt_into(const Tensor& a, const Tensor& b, Tensor& out);
+void matmul_bt_accum(const Tensor& a, const Tensor& b, Tensor& out);
+
+/// out (m x n) = a^T * b with a (k x m), b (k x n).
+void matmul_at_into(const Tensor& a, const Tensor& b, Tensor& out);
+void matmul_at_accum(const Tensor& a, const Tensor& b, Tensor& out);
+
+/// out (n x m) = transpose of 2-d a (m x n); out must be pre-shaped.
+void transpose_into(const Tensor& a, Tensor& out);
+
+}  // namespace hanayo::tensor

@@ -3,12 +3,20 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/kernels.hpp"
+#include "tensor/parallel.hpp"
+
 namespace hanayo::tensor {
 
 namespace {
 void check_2d(const Tensor& t, const char* who) {
   if (t.dim() != 2) throw std::invalid_argument(std::string(who) + ": need 2-d tensor");
 }
+
+// Elementwise ops below this size run inline; above it they split across
+// the intra-op pool (each index is independent, so any split is exact).
+constexpr int64_t kRowGrain = 16;
+constexpr int64_t kElemGrain = 1 << 14;
 }  // namespace
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
@@ -17,19 +25,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const int64_t m = a.size(0), k = a.size(1), n = b.size(1);
   if (b.size(0) != k) throw std::invalid_argument("matmul: inner dim mismatch");
   Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    float* crow = pc + i * n;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  kernels::gemm(m, n, k, a.data(), k, b.data(), n, c.data(), n, false);
   return c;
 }
 
@@ -39,16 +35,7 @@ Tensor matmul_bt(const Tensor& a, const Tensor& b) {
   const int64_t m = a.size(0), k = a.size(1), n = b.size(0);
   if (b.size(1) != k) throw std::invalid_argument("matmul_bt: inner dim mismatch");
   Tensor c({m, n});
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a.data() + i * k;
-    float* crow = c.data() + i * n;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* brow = b.data() + j * k;
-      float acc = 0.0f;
-      for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      crow[j] = acc;
-    }
-  }
+  kernels::gemm_bt(m, n, k, a.data(), k, b.data(), k, c.data(), n, false);
   return c;
 }
 
@@ -58,25 +45,14 @@ Tensor matmul_at(const Tensor& a, const Tensor& b) {
   const int64_t k = a.size(0), m = a.size(1), n = b.size(1);
   if (b.size(0) != k) throw std::invalid_argument("matmul_at: inner dim mismatch");
   Tensor c({m, n});
-  for (int64_t kk = 0; kk < k; ++kk) {
-    const float* arow = a.data() + kk * m;
-    const float* brow = b.data() + kk * n;
-    for (int64_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c.data() + i * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  kernels::gemm_at(m, n, k, a.data(), m, b.data(), n, c.data(), n, false);
   return c;
 }
 
 Tensor transpose(const Tensor& a) {
   check_2d(a, "transpose");
-  const int64_t m = a.size(0), n = a.size(1);
-  Tensor t({n, m});
-  for (int64_t i = 0; i < m; ++i)
-    for (int64_t j = 0; j < n; ++j) t.at(j, i) = a.at(i, j);
+  Tensor t({a.size(1), a.size(0)});
+  transpose_into(a, t);
   return t;
 }
 
@@ -112,26 +88,43 @@ Tensor mul_scalar(const Tensor& a, float s) {
   return c;
 }
 
-Tensor add_bias(const Tensor& a, const Tensor& bias) {
+void add_bias_(Tensor& a, const Tensor& bias) {
   const int64_t n = a.size(-1);
   if (bias.numel() != n) throw std::invalid_argument("add_bias: bias length mismatch");
-  Tensor c = a;
   const int64_t rows = a.numel() / n;
-  for (int64_t i = 0; i < rows; ++i) {
-    float* row = c.data() + i * n;
-    for (int64_t j = 0; j < n; ++j) row[j] += bias[j];
-  }
+  float* data = a.data();
+  const float* bp = bias.data();
+  parallel_for(rows, kRowGrain, [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      float* row = data + i * n;
+      for (int64_t j = 0; j < n; ++j) row[j] += bp[j];
+    }
+  });
+}
+
+Tensor add_bias(const Tensor& a, const Tensor& bias) {
+  Tensor c = a;
+  add_bias_(c, bias);
   return c;
 }
 
-Tensor col_sum(const Tensor& a) {
+void col_sum_accum(const Tensor& a, Tensor& out) {
   const int64_t n = a.size(-1);
+  if (out.numel() != n) throw std::invalid_argument("col_sum: output length mismatch");
   const int64_t rows = a.numel() / n;
-  Tensor s({n});
-  for (int64_t i = 0; i < rows; ++i) {
-    const float* row = a.data() + i * n;
-    for (int64_t j = 0; j < n; ++j) s[j] += row[j];
-  }
+  const float* data = a.data();
+  float* op = out.data();
+  parallel_for(n, 64, [&](int64_t c0, int64_t c1) {
+    for (int64_t i = 0; i < rows; ++i) {
+      const float* row = data + i * n;
+      for (int64_t j = c0; j < c1; ++j) op[j] += row[j];
+    }
+  });
+}
+
+Tensor col_sum(const Tensor& a) {
+  Tensor s({a.size(-1)});
+  col_sum_accum(a, s);
   return s;
 }
 
@@ -156,18 +149,21 @@ Tensor softmax_lastdim(const Tensor& a) {
   const int64_t n = a.size(-1);
   const int64_t rows = a.numel() / n;
   Tensor out = a;
-  for (int64_t i = 0; i < rows; ++i) {
-    float* row = out.data() + i * n;
-    float mx = row[0];
-    for (int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
-    double denom = 0.0;
-    for (int64_t j = 0; j < n; ++j) {
-      row[j] = std::exp(row[j] - mx);
-      denom += row[j];
+  float* data = out.data();
+  parallel_for(rows, kRowGrain, [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      float* row = data + i * n;
+      float mx = row[0];
+      for (int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+      double denom = 0.0;
+      for (int64_t j = 0; j < n; ++j) {
+        row[j] = std::exp(row[j] - mx);
+        denom += row[j];
+      }
+      const float inv = static_cast<float>(1.0 / denom);
+      for (int64_t j = 0; j < n; ++j) row[j] *= inv;
     }
-    const float inv = static_cast<float>(1.0 / denom);
-    for (int64_t j = 0; j < n; ++j) row[j] *= inv;
-  }
+  });
   return out;
 }
 
@@ -177,26 +173,34 @@ constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
 
 Tensor gelu(const Tensor& a) {
   Tensor out = a;
-  for (float& x : out.flat()) {
-    const float t = std::tanh(kGeluC * (x + 0.044715f * x * x * x));
-    x = 0.5f * x * (1.0f + t);
-  }
+  float* data = out.data();
+  parallel_for(out.numel(), kElemGrain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const float x = data[i];
+      const float t = std::tanh(kGeluC * (x + 0.044715f * x * x * x));
+      data[i] = 0.5f * x * (1.0f + t);
+    }
+  });
   return out;
 }
 
 Tensor gelu_grad(const Tensor& x, const Tensor& dy) {
   if (!x.same_shape(dy)) throw std::invalid_argument("gelu_grad: shape mismatch");
   Tensor dx(x.shape());
-  const int64_t n = x.numel();
-  for (int64_t i = 0; i < n; ++i) {
-    const float v = x[i];
-    const float inner = kGeluC * (v + 0.044715f * v * v * v);
-    const float t = std::tanh(inner);
-    const float sech2 = 1.0f - t * t;
-    const float dinner = kGeluC * (1.0f + 3.0f * 0.044715f * v * v);
-    const float g = 0.5f * (1.0f + t) + 0.5f * v * sech2 * dinner;
-    dx[i] = dy[i] * g;
-  }
+  const float* xp = x.data();
+  const float* dyp = dy.data();
+  float* dxp = dx.data();
+  parallel_for(x.numel(), kElemGrain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const float v = xp[i];
+      const float inner = kGeluC * (v + 0.044715f * v * v * v);
+      const float t = std::tanh(inner);
+      const float sech2 = 1.0f - t * t;
+      const float dinner = kGeluC * (1.0f + 3.0f * 0.044715f * v * v);
+      const float g = 0.5f * (1.0f + t) + 0.5f * v * sech2 * dinner;
+      dxp[i] = dyp[i] * g;
+    }
+  });
   return dx;
 }
 

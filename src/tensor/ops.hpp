@@ -1,9 +1,13 @@
 #pragma once
-// Numerical kernels used by the model substrate.
+// Numerical ops used by the model substrate.
 //
-// All kernels are straightforward scalar loops with a fixed summation order —
-// determinism matters more than raw speed here, because the test suite
-// compares pipeline-parallel training against a sequential baseline.
+// The GEMM variants and the row-wise ops are backed by the blocked,
+// intra-op-parallel kernels in tensor/kernels.hpp. Every op keeps a fixed
+// per-element summation order that is independent of blocking and thread
+// count — determinism still matters more than raw speed, because the test
+// suite compares pipeline-parallel training against a sequential baseline.
+// Hot paths that want to avoid the returned temporaries should call the
+// `*_into` / `*_accum` forms in tensor/kernels.hpp directly.
 
 #include "tensor/tensor.hpp"
 
@@ -33,9 +37,15 @@ Tensor mul_scalar(const Tensor& a, float s);
 
 /// Adds a length-n bias row to every row of a (..., n) tensor.
 Tensor add_bias(const Tensor& a, const Tensor& bias);
+/// In-place form: a += bias on every row (no copy; the Linear epilogue).
+void add_bias_(Tensor& a, const Tensor& bias);
 
 /// Column-wise sum of a 2-d tensor -> length-n vector. (Bias gradient.)
 Tensor col_sum(const Tensor& a);
+/// Accumulating form: out += column sums of a (..., n); out has length n.
+/// Columns are split across threads, each summed over rows in ascending
+/// order, so the result is thread-count independent.
+void col_sum_accum(const Tensor& a, Tensor& out);
 
 /// Full reductions.
 float sum(const Tensor& a);

@@ -1,0 +1,207 @@
+#include "tensor/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hanayo::tensor {
+
+namespace {
+
+int hardware_threads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+std::atomic<int> g_intra_op_threads{1};
+
+// True while the current thread is executing inside a parallel_for region
+// (pool workers permanently; the submitter for the duration of its chunks).
+// Nested parallel_for calls run inline instead of deadlocking on the pool
+// that is executing them.
+thread_local bool t_in_parallel_region = false;
+
+// One job = one parallel_for call: a static partition of [0, n) into
+// `chunks` pieces. Workers claim chunk indices from an atomic counter; the
+// partition itself (and therefore every result) does not depend on which
+// thread runs which chunk. The job is shared-owned so a worker that wakes
+// late — after the submitter has already returned — still reads valid
+// memory when it finds no chunk left to claim. `fn` lives on the
+// submitter's stack, which is safe: a chunk can only be claimed while the
+// submitter is still blocked waiting for that chunk to finish.
+struct Job {
+  const std::function<void(int64_t, int64_t)>* fn = nullptr;
+  int64_t n = 0;
+  int chunks = 0;
+  std::atomic<int> next{0};
+  std::atomic<int> done{0};
+  // First exception thrown by any chunk (submitter or worker); rethrown on
+  // the submitter after every chunk has retired, so `fn` stays alive until
+  // no thread can touch it.
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+};
+
+// RAII for the nesting flag so an exception unwinding through a chunk
+// cannot leave the thread permanently marked as inside a parallel region.
+struct ParallelRegionGuard {
+  ParallelRegionGuard() { t_in_parallel_region = true; }
+  ~ParallelRegionGuard() { t_in_parallel_region = false; }
+};
+
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool* p = new Pool();  // leaked: workers must outlive static dtors
+    return *p;
+  }
+
+  void run(const std::function<void(int64_t, int64_t)>& fn, int64_t n,
+           int chunks) {
+    // One job at a time. A submitter that finds the pool busy (e.g. two
+    // pipeline workers both configured with >1 intra-op threads) runs its
+    // whole range inline instead of idling on the lock — degrading to
+    // inter-op parallelism rather than serialising it. The partition
+    // changing from N chunks to 1 is result-neutral by the determinism
+    // contract.
+    std::unique_lock<std::mutex> submit(submit_mu_, std::try_to_lock);
+    if (!submit.owns_lock()) {
+      fn(0, n);
+      return;
+    }
+    ensure_workers(chunks - 1);
+    auto job = std::make_shared<Job>();
+    job->fn = &fn;
+    job->n = n;
+    job->chunks = chunks;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      job_ = job;
+      ++generation_;
+    }
+    cv_.notify_all();
+    {
+      // The submitter is a chunk executor too; flag it so kernels it calls
+      // from inside a chunk don't try to re-enter the pool.
+      ParallelRegionGuard guard;
+      work_on(*job);
+    }
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      done_cv_.wait(lk, [&] {
+        return job->done.load(std::memory_order_acquire) >= job->chunks;
+      });
+      job_.reset();
+    }
+    // Safe to rethrow only now: every chunk has retired, so no thread can
+    // still dereference the caller's fn.
+    if (job->failed.load(std::memory_order_acquire)) {
+      std::rethrow_exception(job->error);
+    }
+  }
+
+ private:
+  Pool() = default;
+
+  static void run_chunk(const Job& job, int c) {
+    const int64_t per = job.n / job.chunks;
+    const int64_t extra = job.n % job.chunks;
+    const int64_t begin = c * per + std::min<int64_t>(c, extra);
+    const int64_t end = begin + per + (c < extra ? 1 : 0);
+    (*job.fn)(begin, end);
+  }
+
+  // Claims and runs chunks until none remain; returns after contributing
+  // this thread's completions to job.done (with a wakeup if it finished the
+  // job). A throwing chunk records its exception on the job and still
+  // counts as done, so the submitter's wait always terminates and can
+  // rethrow afterwards.
+  void work_on(Job& job) {
+    bool finished_job = false;
+    for (int c = job.next.fetch_add(1, std::memory_order_relaxed);
+         c < job.chunks; c = job.next.fetch_add(1, std::memory_order_relaxed)) {
+      try {
+        run_chunk(job, c);
+      } catch (...) {
+        // First failure wins; its error write is published to the
+        // submitter by this thread's done increment below. Remaining
+        // chunks still run (they are independent), keeping the done count
+        // exact so the submitter's wait always terminates.
+        if (!job.failed.exchange(true, std::memory_order_acq_rel)) {
+          job.error = std::current_exception();
+        }
+      }
+      const int d = job.done.fetch_add(1, std::memory_order_acq_rel) + 1;
+      finished_job = (d == job.chunks);
+    }
+    if (finished_job) {
+      std::lock_guard<std::mutex> lk(mu_);
+      done_cv_.notify_all();
+    }
+  }
+
+  void ensure_workers(int want) {
+    std::lock_guard<std::mutex> lk(mu_);
+    while (static_cast<int>(workers_.size()) < want) {
+      workers_.emplace_back([this] { worker_loop(); });
+      workers_.back().detach();
+    }
+  }
+
+  void worker_loop() {
+    t_in_parallel_region = true;
+    uint64_t seen = 0;
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [&] { return generation_ != seen && job_ != nullptr; });
+        seen = generation_;
+        job = job_;
+      }
+      work_on(*job);
+    }
+  }
+
+  std::mutex submit_mu_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  std::shared_ptr<Job> job_;
+  uint64_t generation_ = 0;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace
+
+int intra_op_threads() {
+  return g_intra_op_threads.load(std::memory_order_relaxed);
+}
+
+void set_intra_op_threads(int n) {
+  if (n <= 0) n = hardware_threads();
+  g_intra_op_threads.store(n, std::memory_order_relaxed);
+}
+
+int max_intra_op_threads() { return hardware_threads(); }
+
+void parallel_for(int64_t n, int64_t grain,
+                  const std::function<void(int64_t, int64_t)>& fn) {
+  if (n <= 0) return;
+  if (grain < 1) grain = 1;
+  const int threads = intra_op_threads();
+  const int64_t max_chunks = (n + grain - 1) / grain;
+  const int chunks = static_cast<int>(std::min<int64_t>(threads, max_chunks));
+  if (chunks <= 1 || t_in_parallel_region) {
+    fn(0, n);
+    return;
+  }
+  Pool::instance().run(fn, n, chunks);
+}
+
+}  // namespace hanayo::tensor

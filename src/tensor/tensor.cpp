@@ -16,10 +16,13 @@ int64_t shape_numel(const Shape& shape) {
 
 Tensor::Tensor(Shape shape, float fill)
     : shape_(std::move(shape)),
-      data_(static_cast<size_t>(shape_numel(shape_)), fill) {}
+      data_(static_cast<size_t>(shape_numel(shape_)), fill),
+      last_dim_(shape_.empty() ? 0 : shape_.back()) {}
 
 Tensor::Tensor(Shape shape, std::vector<float> data)
-    : shape_(std::move(shape)), data_(std::move(data)) {
+    : shape_(std::move(shape)),
+      data_(std::move(data)),
+      last_dim_(shape_.empty() ? 0 : shape_.back()) {
   if (shape_numel(shape_) != static_cast<int64_t>(data_.size())) {
     throw std::invalid_argument("data size does not match shape");
   }
@@ -32,25 +35,13 @@ int64_t Tensor::size(int64_t i) const {
   return shape_[static_cast<size_t>(i)];
 }
 
-float& Tensor::at(int64_t r, int64_t c) {
-  return data_[static_cast<size_t>(r * size(-1) + c)];
-}
-float Tensor::at(int64_t r, int64_t c) const {
-  return data_[static_cast<size_t>(r * size(-1) + c)];
-}
-float& Tensor::at(int64_t n, int64_t t, int64_t h) {
-  return data_[static_cast<size_t>((n * size(1) + t) * size(2) + h)];
-}
-float Tensor::at(int64_t n, int64_t t, int64_t h) const {
-  return data_[static_cast<size_t>((n * size(1) + t) * size(2) + h)];
-}
-
 Tensor Tensor::reshaped(Shape new_shape) const {
   if (shape_numel(new_shape) != numel()) {
     throw std::invalid_argument("reshape: numel mismatch");
   }
   Tensor out;
   out.shape_ = std::move(new_shape);
+  out.last_dim_ = out.shape_.empty() ? 0 : out.shape_.back();
   out.data_ = data_;
   return out;
 }

@@ -52,12 +52,21 @@ class Tensor {
   float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
   float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
 
-  /// 2-d element access: (row, col).
-  float& at(int64_t r, int64_t c);
-  float at(int64_t r, int64_t c) const;
-  /// 3-d element access: (n, t, h).
-  float& at(int64_t n, int64_t t, int64_t h);
-  float at(int64_t n, int64_t t, int64_t h) const;
+  /// 2-d element access: (row, col). Unchecked and inline against the
+  /// cached row stride — cheap enough to use in element loops.
+  float& at(int64_t r, int64_t c) {
+    return data_[static_cast<size_t>(r * last_dim_ + c)];
+  }
+  float at(int64_t r, int64_t c) const {
+    return data_[static_cast<size_t>(r * last_dim_ + c)];
+  }
+  /// 3-d element access: (n, t, h). Unchecked.
+  float& at(int64_t n, int64_t t, int64_t h) {
+    return data_[static_cast<size_t>((n * shape_[1] + t) * shape_[2] + h)];
+  }
+  float at(int64_t n, int64_t t, int64_t h) const {
+    return data_[static_cast<size_t>((n * shape_[1] + t) * shape_[2] + h)];
+  }
 
   /// Returns a tensor with the same data and a new shape; numel must match.
   Tensor reshaped(Shape new_shape) const;
@@ -83,6 +92,9 @@ class Tensor {
  private:
   Shape shape_;
   std::vector<float> data_;
+  /// Extent of the last dimension, cached so at(r, c) is a single multiply
+  /// rather than a bounds-checked size(-1) call per element access.
+  int64_t last_dim_ = 0;
 };
 
 /// Product of all extents; throws on negative extents.
