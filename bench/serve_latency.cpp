@@ -1,0 +1,134 @@
+// Serving latency/throughput sweep: prefill tokens/sec and per-token decode
+// latency across pipeline depth, wave count and concurrent batch size,
+// measured on the real forward-only runtime and set against the forward-only
+// event simulation's prediction for the same configuration.
+//
+//   $ ./bench/serve_latency [out.json]
+//
+// Emits BENCH_serve.json (CI's bench-smoke job uploads it per PR, mirroring
+// BENCH_gemm.json for the kernel layer).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/hanayo.hpp"
+
+using namespace hanayo;
+
+namespace {
+
+struct Row {
+  std::string algo;
+  int P = 0, W = 0, batch = 0;
+  int64_t prompt_tokens = 0;
+  int new_tokens = 0;
+  double prefill_tok_s = 0.0;
+  double overall_tok_s = 0.0;  ///< generated tokens / (prefill + decode) wall
+  double per_token_ms = 0.0;   ///< mean decode-pass latency
+  double predicted_per_token_ms = 0.0;
+};
+
+Row run_config(const ModelConfig& model, Algo algo, int P, int W, int batch,
+               int64_t prompt_len, int new_tokens) {
+  auto server = InferenceSession::builder()
+                    .model(model)
+                    .algo(algo)
+                    .pipeline(P)
+                    .waves(W)
+                    .backend(BackendKind::Threads)
+                    .max_batch(batch)
+                    .max_new_tokens(new_tokens)
+                    .prompt_tokens(prompt_len)
+                    .seed(7)
+                    .build();
+  Rng rng(13);
+  // Two full batches: the second re-fills freed slots (continuous batching).
+  for (int r = 0; r < 2 * batch; ++r) {
+    Tensor prompt({1, prompt_len});
+    for (int64_t i = 0; i < prompt_len; ++i) {
+      prompt[i] = static_cast<float>(rng.index(model.vocab));
+    }
+    server.enqueue(prompt);
+  }
+  (void)server.run();
+  const ServeReport rep = server.report();
+  const ServeReport sla = server.predict();
+
+  Row row;
+  row.algo = schedule::algo_name(algo);
+  row.P = P;
+  row.W = W;
+  row.batch = batch;
+  row.prompt_tokens = rep.prompt_tokens;
+  row.new_tokens = new_tokens;
+  row.prefill_tok_s = rep.prefill_tokens_per_s();
+  row.overall_tok_s = rep.tokens_per_s();
+  row.per_token_ms = rep.per_token_latency_s() * 1e3;
+  row.predicted_per_token_ms = sla.per_token_latency_s() * 1e3;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_serve.json";
+  const ModelConfig model = ModelConfig::tiny(/*layers=*/8, /*hidden=*/64,
+                                              /*heads=*/4, /*vocab=*/512,
+                                              /*seq=*/64);
+  const int64_t prompt_len = 16;
+  const int new_tokens = 8;
+
+  struct Config {
+    Algo algo;
+    int P, W;
+  };
+  const std::vector<Config> grid = {
+      {Algo::GPipe, 2, 1},  {Algo::Dapple, 2, 1}, {Algo::Hanayo, 2, 1},
+      {Algo::Hanayo, 2, 2}, {Algo::Hanayo, 4, 1},
+  };
+
+  std::vector<Row> rows;
+  for (const Config& c : grid) {
+    for (int batch : {1, 4}) {
+      std::printf("serve %-8s P=%d W=%d batch=%d ...\n",
+                  schedule::algo_name(c.algo).c_str(), c.P, c.W, batch);
+      rows.push_back(
+          run_config(model, c.algo, c.P, c.W, batch, prompt_len, new_tokens));
+    }
+  }
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"serve_latency\",\n");
+  std::fprintf(f, "  \"model\": {\"layers\": %lld, \"hidden\": %lld, "
+               "\"seq\": %lld, \"vocab\": %lld},\n",
+               static_cast<long long>(model.layers),
+               static_cast<long long>(model.hidden),
+               static_cast<long long>(model.seq),
+               static_cast<long long>(model.vocab));
+  std::fprintf(f, "  \"prompt_tokens_per_seq\": %lld,\n",
+               static_cast<long long>(prompt_len));
+  std::fprintf(f, "  \"new_tokens_per_seq\": %d,\n", new_tokens);
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"algo\": \"%s\", \"P\": %d, \"W\": %d, \"max_batch\": %d, "
+        "\"prompt_tokens\": %lld, \"prefill_tok_s\": %.1f, "
+        "\"overall_tok_s\": %.1f, \"per_token_ms\": %.4f, "
+        "\"predicted_per_token_ms\": %.4f}%s\n",
+        r.algo.c_str(), r.P, r.W, r.batch,
+        static_cast<long long>(r.prompt_tokens), r.prefill_tok_s,
+        r.overall_tok_s, r.per_token_ms, r.predicted_per_token_ms,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu rows)\n", out_path.c_str(), rows.size());
+  return 0;
+}

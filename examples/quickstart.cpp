@@ -40,10 +40,13 @@ int main() {
                         .momentum(0.9f)
                         .seed(42);
   Session session = configured.backend(BackendKind::Threads).build();
+  // schedule() is nullptr on engines that execute none (Reference, an
+  // infeasible Sim dry run); the Threads engine always compiles one.
+  const Schedule* sched = session.schedule();
   std::printf("schedule: %s, %d stages, %d actions on worker 0\n\n",
               schedule::algo_name(session.config().sched.algo).c_str(),
-              session.schedule().placement.stages(),
-              static_cast<int>(session.schedule().scripts[0].actions.size()));
+              sched->placement.stages(),
+              static_cast<int>(sched->scripts[0].actions.size()));
 
   // 3. Train on synthetic data; the Reference backend — same builder,
   //    different engine — cross-checks the math.

@@ -6,16 +6,20 @@
 
 namespace hanayo::api {
 
-sim::Cluster SessionConfig::effective_cluster() const {
+sim::Cluster EngineConfig::effective_cluster() const {
   if (cluster) return *cluster;
+  const int devices = std::max(1, dp) * std::max(1, sched.P);
+  if (calibration && calibration->valid()) {
+    // This machine's measured compute rate and transport fit.
+    return perf::calibrated_cluster(devices, *calibration);
+  }
   // Homogeneous stand-in: A100-ish compute, 40 GB, PCIe-class links. The
   // paper's calibrated clusters (sim::Cluster::tacc/pc/fc/tc) are a builder
   // call away; this default just makes predict() usable out of the box.
-  const int devices = std::max(1, dp) * std::max(1, sched.P);
   return sim::Cluster::uniform(devices, 100e12, 40e9, 12e9, 5e-6);
 }
 
-int SessionConfig::effective_intra_op_threads() const {
+int EngineConfig::effective_intra_op_threads() const {
   if (intra_op_threads > 0) return intra_op_threads;
   const bool multi_worker =
       (backend == BackendKind::Threads || backend == BackendKind::Async) &&
@@ -23,10 +27,18 @@ int SessionConfig::effective_intra_op_threads() const {
   return multi_worker ? 1 : tensor::max_intra_op_threads();
 }
 
+schedule::ScheduleRequest EngineConfig::effective_sched() const {
+  schedule::ScheduleRequest req = sched;
+  if (calibration && calibration->bwd_fwd_ratio > 0) {
+    req.tb = req.tf * calibration->bwd_fwd_ratio;
+  }
+  return req;
+}
+
 runtime::TrainerConfig SessionConfig::trainer_config() const {
   runtime::TrainerConfig tc;
   tc.model = model;
-  tc.sched = sched;
+  tc.sched = effective_sched();
   tc.dp = dp;
   tc.mb_sequences = mb_sequences;
   tc.seed = seed;
@@ -56,6 +68,23 @@ runtime::AsyncTrainerConfig SessionConfig::async_config() const {
   ac.weight_stashing = weight_stashing;
   ac.prefetch_depth = prefetch_depth;
   return ac;
+}
+
+int64_t InferenceConfig::effective_prompt_tokens() const {
+  if (prompt_tokens) return *prompt_tokens;
+  const int64_t room = model.seq - max_new_tokens + 1;
+  return std::clamp<int64_t>(model.seq / 2, 1, std::max<int64_t>(room, 1));
+}
+
+runtime::InferConfig InferenceConfig::infer_config() const {
+  runtime::InferConfig ic;
+  ic.model = model;
+  ic.sched = effective_sched();
+  ic.max_batch = max_batch;
+  ic.max_new_tokens = max_new_tokens;
+  ic.seed = seed;
+  ic.prefetch_depth = prefetch_depth;
+  return ic;
 }
 
 }  // namespace hanayo::api

@@ -1,14 +1,19 @@
 #pragma once
-// One configuration struct for every execution path. The Session builder
-// fills this; each backend lowers it to its engine's native config
-// (TrainerConfig, AsyncTrainerConfig, or the simulator's request), so the
-// legacy structs stay as thin compatibility shims underneath.
+// One configuration vocabulary for every execution path, factored along the
+// task axis: `EngineConfig` is the shared core (model, schedule shape,
+// engine choice, determinism and dry-run knobs) that both the training
+// `SessionConfig` and the serving `InferenceConfig` extend. The builders
+// fill these; each backend lowers its config to the engine's native struct
+// (TrainerConfig, AsyncTrainerConfig, InferConfig, or the simulator's
+// request), so the legacy structs stay as thin compatibility shims.
 
 #include <optional>
 
 #include "api/report.hpp"
 #include "model/lr_schedule.hpp"
+#include "perf/calibrate.hpp"
 #include "runtime/async_trainer.hpp"
+#include "runtime/infer.hpp"
 #include "runtime/trainer.hpp"
 #include "schedule/algorithms.hpp"
 #include "sim/cluster.hpp"
@@ -16,39 +21,36 @@
 
 namespace hanayo::api {
 
-struct SessionConfig {
+/// Configuration shared by every session type, training or serving.
+struct EngineConfig {
   model::ModelConfig model;
-  schedule::ScheduleRequest sched;  ///< algo, P, B, waves, vchunks
+  schedule::ScheduleRequest sched;  ///< algo, P, B, waves, vchunks, tf/tb
   BackendKind backend = BackendKind::Threads;
-  int dp = 1;             ///< data-parallel replicas (Threads/Sim)
+  int dp = 1;             ///< data-parallel replicas (training Threads/Sim)
   int mb_sequences = 1;   ///< sequences per micro-batch
   uint64_t seed = 1;
-  runtime::OptKind opt = runtime::OptKind::Sgd;
-  float lr = 0.1f;
-  float momentum = 0.0f;
   int prefetch_depth = 2;
   /// Intra-op kernel threads per worker (tensor::parallel pool). 0 = auto:
-  /// 1 when the backend runs dp*P worker threads of its own (so P x W
-  /// inter-op workers are not multiplied by kernel threads), all hardware
-  /// threads for the single-worker Reference engine. Kernel results are
-  /// bit-identical for any value (deterministic row partitioning).
+  /// 1 when the backend runs multiple worker threads of its own (so inter-op
+  /// workers are not multiplied by kernel threads), all hardware threads for
+  /// the single-worker Reference engine. Kernel results are bit-identical
+  /// for any value (deterministic row partitioning).
   int intra_op_threads = 0;
-  bool recompute = false;     ///< activation recomputation on all stages
-  bool zero1 = false;         ///< ZeRO-1 optimizer-state sharding
-  bool fp16_comm = false;     ///< fp16 stage-boundary transfers
-  float max_grad_norm = 0.0f; ///< global grad-norm clip (0 disables)
-  std::optional<model::LrSchedule> lr_schedule;
   bool record_timeline = false;
-  bool weight_stashing = true;  ///< Async backend: PipeDream weight stashing
 
-  /// Cluster used by the Sim backend and by Session::predict(). Defaults to
-  /// a uniform dp*P-device cluster when unset.
+  /// Cluster used by the Sim backend and by predict(). Defaults to a uniform
+  /// dp*P-device cluster when unset (a calibration, when present, replaces
+  /// the default with this machine's measured numbers).
   std::optional<sim::Cluster> cluster;
-  /// Sim backend: override the model-derived per-stage costs (the schedule
-  /// gallery's normalised timelines use this).
-  std::optional<sim::PipelineCosts> sim_costs;
+  /// Measured compute/transport parameters (perf::calibrate). When set, the
+  /// lowered schedule requests use the *measured* backward/forward ratio for
+  /// their ordering costs instead of the paper's drawn tb = 2 tf, and
+  /// predict()/Sim fall back on a calibrated cluster — so the planner's cost
+  /// model tracks the real kernel layer, not seed-era constants.
+  std::optional<perf::Calibration> calibration;
 
-  /// The cluster predict()/Sim fall back on: homogeneous, one device per
+  /// The cluster predict()/Sim fall back on: calibrated when a calibration
+  /// is present, else homogeneous spec defaults; one device per
   /// (replica, pipeline rank).
   sim::Cluster effective_cluster() const;
 
@@ -64,9 +66,52 @@ struct SessionConfig {
                                                      : sched.waves;
   }
 
+  /// The schedule request engines compile: `sched` with the calibration's
+  /// measured tb/tf ratio applied to the ordering costs (when present).
+  schedule::ScheduleRequest effective_sched() const;
+};
+
+/// Training-session configuration (hanayo::Session).
+struct SessionConfig : EngineConfig {
+  runtime::OptKind opt = runtime::OptKind::Sgd;
+  float lr = 0.1f;
+  float momentum = 0.0f;
+  bool recompute = false;     ///< activation recomputation on all stages
+  bool zero1 = false;         ///< ZeRO-1 optimizer-state sharding
+  bool fp16_comm = false;     ///< fp16 stage-boundary transfers
+  float max_grad_norm = 0.0f; ///< global grad-norm clip (0 disables)
+  std::optional<model::LrSchedule> lr_schedule;
+  bool weight_stashing = true;  ///< Async backend: PipeDream weight stashing
+  /// Sim backend: override the model-derived per-stage costs (the schedule
+  /// gallery's normalised timelines use this).
+  std::optional<sim::PipelineCosts> sim_costs;
+
   /// Lowerings to the legacy per-engine configs.
   runtime::TrainerConfig trainer_config() const;
   runtime::AsyncTrainerConfig async_config() const;
+};
+
+/// Token-selection policy for serving. Greedy is the only policy so far —
+/// it is also the policy the cross-backend equivalence guarantee is stated
+/// for (argmax of bit-identical logits).
+enum class Sampling { Greedy };
+
+/// Serving-session configuration (hanayo::InferenceSession). `sched.B` is
+/// ignored: the engine compiles one forward-only schedule per concurrent
+/// batch size as the request mix changes.
+struct InferenceConfig : EngineConfig {
+  int max_batch = 4;        ///< concurrent decode streams (KV-cache slots)
+  int max_new_tokens = 16;  ///< default continuation length per request
+  Sampling sampling = Sampling::Greedy;
+  /// Nominal prompt length used by predict() and the Sim backend (the
+  /// measured backends use real request lengths). Defaults to half the
+  /// model's positions, clamped so prompt + continuation fits.
+  std::optional<int64_t> prompt_tokens;
+
+  int64_t effective_prompt_tokens() const;
+
+  /// Lowering to the serving runtime's native config.
+  runtime::InferConfig infer_config() const;
 };
 
 }  // namespace hanayo::api

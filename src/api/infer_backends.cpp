@@ -1,0 +1,229 @@
+// The three concrete serving engines behind api::make_infer_backend:
+// pipelined worker threads (runtime::InferencePipeline), the sequential
+// full-prefix-recompute reference, and the forward-only event simulation.
+
+#include <chrono>
+#include <deque>
+#include <stdexcept>
+#include <string>
+
+#include "api/inference.hpp"
+#include "runtime/infer.hpp"
+
+namespace hanayo::api {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Pipelined forward-only wave schedules with KV-cache decode and
+/// continuous batching — wraps runtime::InferencePipeline.
+class ThreadInferBackend final : public InferBackend {
+ public:
+  explicit ThreadInferBackend(const InferenceConfig& cfg)
+      : cfg_(cfg), pipeline_(cfg.infer_config()) {}
+
+  BackendKind kind() const override { return BackendKind::Threads; }
+
+  int64_t enqueue(tensor::Tensor prompt, int max_new_tokens) override {
+    return pipeline_.enqueue(std::move(prompt), max_new_tokens);
+  }
+
+  std::vector<Completion> drain() override { return pipeline_.drain(); }
+
+  const schedule::Schedule* schedule() const override {
+    // The full-batch program — representative of the steady serving state.
+    return &const_cast<runtime::InferencePipeline&>(pipeline_).schedule_for(
+        cfg_.max_batch);
+  }
+
+  void finalize(ServeReport& rep) const override {
+    const runtime::ServeStats& st = pipeline_.stats();
+    rep.backend = BackendKind::Threads;
+    rep.requests = st.requests;
+    rep.prompt_tokens = st.prompt_tokens;
+    rep.generated_tokens = st.generated_tokens;
+    rep.prefill_passes = st.prefill_passes;
+    rep.decode_passes = st.decode_passes;
+    rep.prefill_s = st.prefill_s;
+    rep.decode_s = st.decode_s;
+    rep.peak_kv_bytes = st.peak_kv_bytes;
+  }
+
+ private:
+  InferenceConfig cfg_;
+  runtime::InferencePipeline pipeline_;
+};
+
+/// Sequential ground truth: one full-prefix recompute per generated token,
+/// no KV reuse across steps, no pipeline. Greedy tokens are bit-identical
+/// to the Threads backend — that equivalence is the serving analogue of the
+/// Threads-vs-Reference training-loss guarantee.
+class ReferenceInferBackend final : public InferBackend {
+ public:
+  explicit ReferenceInferBackend(const InferenceConfig& cfg)
+      : cfg_(cfg),
+        module_(cfg.model.layer_descs(), 0,
+                static_cast<int>(cfg.model.layer_descs().size()), cfg.seed,
+                cfg.model.init_std) {}
+
+  BackendKind kind() const override { return BackendKind::Reference; }
+
+  int64_t enqueue(tensor::Tensor prompt, int max_new_tokens) override {
+    // Same admission rules as the pipeline, by construction (shared helper).
+    runtime::InferRequest r = runtime::make_infer_request(
+        std::move(prompt), max_new_tokens, cfg_.max_new_tokens,
+        cfg_.model.seq, next_id_++);
+    const int64_t id = r.id;
+    stats_.requests += 1;
+    stats_.prompt_tokens += r.prompt.size(1);
+    queue_.push_back(std::move(r));
+    return id;
+  }
+
+  std::vector<Completion> drain() override {
+    std::vector<Completion> out;
+    while (!queue_.empty()) {
+      runtime::InferRequest r = std::move(queue_.front());
+      queue_.pop_front();
+      std::vector<int64_t> seq;
+      for (int64_t i = 0; i < r.prompt.size(1); ++i) {
+        seq.push_back(static_cast<int64_t>(r.prompt[i]));
+      }
+      Completion c;
+      c.id = r.id;
+      c.prompt_tokens = r.prompt.size(1);
+      for (int step = 0; step < r.max_new_tokens; ++step) {
+        const auto t0 = std::chrono::steady_clock::now();
+        tensor::Tensor x({1, static_cast<int64_t>(seq.size())});
+        for (size_t i = 0; i < seq.size(); ++i) {
+          x[static_cast<int64_t>(i)] = static_cast<float>(seq[i]);
+        }
+        // Full-prefix recompute: a fresh KV stream every step.
+        module_.drop_slot(0);
+        tensor::Tensor y = module_.decode(x, 0, 0);
+        stats_.peak_kv_bytes =
+            std::max(stats_.peak_kv_bytes, module_.slot_bytes());
+        const int64_t best = runtime::greedy_argmax_last_row(y);
+        seq.push_back(best);
+        c.tokens.push_back(best);
+        stats_.generated_tokens += 1;
+        const double wall = seconds_since(t0);
+        if (step == 0) {
+          stats_.prefill_passes += 1;
+          stats_.prefill_s += wall;
+        } else {
+          stats_.decode_passes += 1;
+          stats_.decode_s += wall;
+        }
+      }
+      module_.drop_slot(0);
+      out.push_back(std::move(c));
+    }
+    return out;
+  }
+
+  void finalize(ServeReport& rep) const override {
+    rep.backend = BackendKind::Reference;
+    rep.requests = stats_.requests;
+    rep.prompt_tokens = stats_.prompt_tokens;
+    rep.generated_tokens = stats_.generated_tokens;
+    rep.prefill_passes = stats_.prefill_passes;
+    rep.decode_passes = stats_.decode_passes;
+    rep.prefill_s = stats_.prefill_s;
+    rep.decode_s = stats_.decode_s;
+    rep.peak_kv_bytes = stats_.peak_kv_bytes;
+  }
+
+ private:
+  struct Stats {
+    int64_t requests = 0, prompt_tokens = 0, generated_tokens = 0;
+    int prefill_passes = 0, decode_passes = 0;
+    double prefill_s = 0.0, decode_s = 0.0;
+    int64_t peak_kv_bytes = 0;
+  };
+
+  InferenceConfig cfg_;
+  model::StageModule module_;
+  std::deque<runtime::InferRequest> queue_;
+  int64_t next_id_ = 0;
+  Stats stats_;
+};
+
+/// Forward-only dry run: executes nothing; enqueue/drain book-keep request
+/// ids and the report is predict_serving's event-simulated timeline — the
+/// same code path as InferenceSession::predict(), hence exact agreement.
+class SimInferBackend final : public InferBackend {
+ public:
+  explicit SimInferBackend(const InferenceConfig& cfg) : cfg_(cfg) {}
+
+  BackendKind kind() const override { return BackendKind::Sim; }
+
+  int64_t enqueue(tensor::Tensor, int) override { return next_id_++; }
+
+  std::vector<Completion> drain() override {
+    std::vector<Completion> out;
+    for (int64_t id = drained_; id < next_id_; ++id) {
+      Completion c;
+      c.id = id;
+      out.push_back(std::move(c));  // predicted: no tokens are produced
+    }
+    drained_ = next_id_;
+    return out;
+  }
+
+  const schedule::Schedule* schedule() const override {
+    if (sched_.scripts.empty()) {
+      schedule::ScheduleRequest req = cfg_.effective_sched();
+      req.B = cfg_.max_batch;
+      const int S = schedule::stages_for(req);
+      if (S > static_cast<int>(cfg_.model.layer_descs().size())) {
+        return nullptr;  // infeasible: no schedule compiles
+      }
+      sched_ = schedule::make_forward_schedule(req);
+    }
+    return &sched_;
+  }
+
+  void finalize(ServeReport& rep) const override {
+    rep = predict_serving(cfg_);
+    rep.backend = BackendKind::Sim;
+  }
+
+ private:
+  InferenceConfig cfg_;
+  mutable schedule::Schedule sched_;
+  int64_t next_id_ = 0;
+  int64_t drained_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<InferBackend> make_infer_backend(const InferenceConfig& cfg) {
+  // Causality is a model property, not a feasibility result: no serving
+  // engine — not even the dry run — can greedily extend a bidirectional
+  // model's prefix, so every backend rejects it up front.
+  if (!cfg.model.causal) {
+    throw std::invalid_argument(
+        "inference: greedy decode needs a causal model (each new token may "
+        "only extend, never revise, the prefix)");
+  }
+  switch (cfg.backend) {
+    case BackendKind::Threads:
+      return std::make_unique<ThreadInferBackend>(cfg);
+    case BackendKind::Reference:
+      return std::make_unique<ReferenceInferBackend>(cfg);
+    case BackendKind::Sim:
+      return std::make_unique<SimInferBackend>(cfg);
+    case BackendKind::Async:
+      throw std::invalid_argument(
+          "inference: the Async (no-flush) runtime is a training engine; "
+          "serving uses Threads, Reference or Sim");
+  }
+  throw std::invalid_argument("unknown backend kind");
+}
+
+}  // namespace hanayo::api

@@ -1,0 +1,109 @@
+#include "api/inference.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "schedule/validate.hpp"
+#include "sim/event_sim.hpp"
+#include "tensor/parallel.hpp"
+
+namespace hanayo::api {
+
+InferenceSession::Builder InferenceSession::builder() { return Builder(); }
+
+InferenceSession::InferenceSession(InferenceConfig cfg)
+    : cfg_(std::move(cfg)), backend_(make_infer_backend(cfg_)) {}
+
+int64_t InferenceSession::enqueue(tensor::Tensor prompt, int max_new_tokens) {
+  return backend_->enqueue(std::move(prompt), max_new_tokens);
+}
+
+std::vector<Completion> InferenceSession::run() {
+  // Same process-global kernel-pool rule as Session::step: serving workers
+  // are inter-op threads, so the auto rule gives each one inline kernels;
+  // the single-worker Reference generator gets the whole pool.
+  tensor::IntraOpScope scope(cfg_.effective_intra_op_threads());
+  return backend_->drain();
+}
+
+ServeReport InferenceSession::report() const {
+  ServeReport rep;
+  rep.backend = backend_->kind();
+  backend_->finalize(rep);
+  return rep;
+}
+
+ServeReport predict_serving(const InferenceConfig& cfg) {
+  ServeReport rep;
+  rep.backend = cfg.backend;
+  rep.predicted = true;
+
+  // Feasibility is a result, not an exception — the point of a dry run is
+  // to find out before building an engine (same stance as the Sim backend).
+  if (!cfg.model.causal) {
+    rep.feasible = false;
+    rep.note = "greedy decode needs a causal model";
+    return rep;
+  }
+  if (cfg.sched.algo == schedule::Algo::Chimera ||
+      cfg.sched.algo == schedule::Algo::PipeDream) {
+    rep.feasible = false;
+    rep.note = std::string(schedule::algo_name(cfg.sched.algo)) +
+               " has no forward-only program";
+    return rep;
+  }
+  schedule::ScheduleRequest req = cfg.effective_sched();
+  req.B = cfg.max_batch;
+  const int S = schedule::stages_for(req);
+  const int total_layers = static_cast<int>(cfg.model.layer_descs().size());
+  if (S > total_layers) {
+    rep.feasible = false;
+    rep.note = "stages (" + std::to_string(S) + ") exceed layers (" +
+               std::to_string(total_layers) + ")";
+    return rep;
+  }
+
+  const sim::Cluster cluster = cfg.effective_cluster();
+  const schedule::Schedule sched = schedule::make_forward_schedule(req);
+  sim::SimOptions opt;
+  opt.dp = 1;
+  opt.state_factor = 1.0;  // inference holds weights, no grads/optimizer
+  opt.devmap = sim::DeviceMap{cfg.sched.P, 0};
+
+  const int64_t plen = cfg.effective_prompt_tokens();
+  const int steps = cfg.max_new_tokens;
+
+  // One full-batch prefill pass: every micro-batch carries a whole prompt.
+  const sim::PipelineCosts prefill_costs =
+      sim::infer_costs(cfg.model, S, 1, plen, plen, cluster);
+  const sim::SimResult prefill =
+      sim::simulate(sched, prefill_costs, cluster, opt);
+
+  // steps - 1 decode passes (the prefill emits the first token), costed at
+  // the mean KV-cache depth of the decode phase.
+  sim::SimResult decode;
+  if (steps > 1) {
+    const int64_t mean_ctx = plen + steps / 2;
+    const sim::PipelineCosts decode_costs =
+        sim::infer_costs(cfg.model, S, 1, 1, mean_ctx, cluster);
+    decode = sim::simulate(sched, decode_costs, cluster, opt);
+  }
+
+  rep.requests = cfg.max_batch;
+  rep.prompt_tokens = static_cast<int64_t>(cfg.max_batch) * plen;
+  rep.generated_tokens = static_cast<int64_t>(cfg.max_batch) * steps;
+  rep.prefill_passes = 1;
+  rep.decode_passes = steps - 1;
+  rep.prefill_s = prefill.makespan;
+  rep.decode_s = decode.makespan * (steps - 1);
+  // KV rows resident at the end: per device, the per-pass act bytes times
+  // the final context length of every stream.
+  double kv = 0.0;
+  for (double x : prefill_costs.act_bytes) kv += x;
+  rep.peak_kv_bytes = static_cast<int64_t>(
+      kv / static_cast<double>(plen) *
+      static_cast<double>(plen + steps - 1) * cfg.max_batch);
+  return rep;
+}
+
+}  // namespace hanayo::api

@@ -1,0 +1,135 @@
+#pragma once
+// hanayo::InferenceSession — the serving front door of the library.
+//
+// The paper frames wave scheduling as a universal way to express pipeline
+// execution; forward-only inference is its second instantiation. The same
+// builder chain that configures a training Session configures a serving
+// pipeline — plus serving knobs — and underneath, the same schedule
+// generator compiles forward-only wave programs that the worker runtime
+// streams prefill micro-batches and KV-cache decode steps through:
+//
+//   auto server = hanayo::InferenceSession::builder()
+//                     .model(hanayo::ModelConfig::tiny(14))
+//                     .algo(hanayo::Algo::Hanayo)
+//                     .pipeline(4).waves(2)
+//                     .backend(hanayo::BackendKind::Threads)
+//                     .max_batch(4).max_new_tokens(8)
+//                     .sampling(hanayo::Sampling::Greedy)
+//                     .build();
+//   server.enqueue(prompt_ids);               // [t] token-id tensor
+//   auto done = server.run();                 // Completion{id, tokens}
+//   std::puts(server.report().to_string().c_str());
+//   auto sla = server.predict();              // forward-only dry run
+//
+// Guarantees, mirroring the training side: Threads and Reference produce
+// token-identical greedy decodes (KV-cache decode is bit-identical to a
+// full-prefix recompute on the deterministic kernels), and predict() agrees
+// exactly with the Sim backend's forward-only timeline.
+
+#include <memory>
+#include <vector>
+
+#include "api/config.hpp"
+#include "api/report.hpp"
+#include "api/session.hpp"
+
+namespace hanayo::api {
+
+using runtime::Completion;
+
+/// The pluggable serving engine behind an InferenceSession: pipelined
+/// worker threads, the sequential full-prefix-recompute reference, or the
+/// forward-only event simulation.
+class InferBackend {
+ public:
+  virtual ~InferBackend() = default;
+
+  virtual BackendKind kind() const = 0;
+
+  /// Queues a prompt ([t] or [1, t] token ids); returns the request id.
+  virtual int64_t enqueue(tensor::Tensor prompt, int max_new_tokens) = 0;
+
+  /// Generates until the queue is empty; completions in enqueue order.
+  /// (Sim predicts instead of executing: completions carry no tokens.)
+  virtual std::vector<Completion> drain() = 0;
+
+  /// The forward-only schedule for a full batch, when the engine compiles
+  /// one (null for the sequential reference).
+  virtual const schedule::Schedule* schedule() const { return nullptr; }
+
+  /// Fills the serving counters (measured, or predicted for Sim).
+  virtual void finalize(ServeReport& rep) const = 0;
+};
+
+/// Builds the serving engine `cfg.backend` names. Throws
+/// std::invalid_argument on configurations no engine accepts (non-causal
+/// models, the Async backend). Algorithm/stage feasibility follows each
+/// engine's stance: the live backends throw at construction
+/// (Chimera/PipeDream, infeasible stage counts), while the Sim dry run —
+/// like the training Sim backend — reports them as an infeasible result.
+std::unique_ptr<InferBackend> make_infer_backend(const InferenceConfig& cfg);
+
+/// The forward-only timeline prediction for a serving configuration: one
+/// full-batch prefill pass plus max_new_tokens - 1 decode passes, event-
+/// simulated against the config's cluster. This is the single code path
+/// behind InferenceSession::predict() and the Sim backend's report, which
+/// is why the two agree exactly (the serving analogue of Sim ≡ evaluate).
+ServeReport predict_serving(const InferenceConfig& cfg);
+
+class InferenceSession {
+ public:
+  class Builder;
+
+  /// Entry point: InferenceSession::builder().model(...)....build().
+  static Builder builder();
+
+  /// Builds and validates the configured serving engine. Throws on
+  /// configurations the engine rejects.
+  explicit InferenceSession(InferenceConfig cfg);
+
+  InferenceSession(InferenceSession&&) = default;
+  InferenceSession& operator=(InferenceSession&&) = default;
+
+  /// Queues a prompt ([t] or [1, t] token-id tensor). `max_new_tokens` of 0
+  /// uses the config default. Returns the request id.
+  int64_t enqueue(tensor::Tensor prompt, int max_new_tokens = 0);
+
+  /// Serves every queued request to completion (continuous batching up to
+  /// max_batch concurrent streams); returns completions in enqueue order.
+  std::vector<Completion> run();
+
+  /// Cumulative serving report (predicted numbers on the Sim backend).
+  ServeReport report() const;
+
+  /// Forward-only timeline prediction for this configuration — available on
+  /// every backend, no execution.
+  ServeReport predict() const { return predict_serving(cfg_); }
+
+  /// The compiled forward-only schedule, or nullptr when the engine
+  /// executes none (the sequential Reference).
+  const schedule::Schedule* schedule() const { return backend_->schedule(); }
+
+  const InferenceConfig& config() const { return cfg_; }
+  InferBackend& backend() { return *backend_; }
+
+ private:
+  InferenceConfig cfg_;
+  std::unique_ptr<InferBackend> backend_;
+};
+
+/// Serving builder: the shared core plus serving knobs.
+class InferenceSession::Builder
+    : public BuilderCore<InferenceSession::Builder, InferenceConfig> {
+ public:
+  /// Concurrent decode streams (KV-cache slots / continuous-batch width).
+  Builder& max_batch(int n) { cfg_.max_batch = n; return *this; }
+  /// Default continuation length per request.
+  Builder& max_new_tokens(int n) { cfg_.max_new_tokens = n; return *this; }
+  Builder& sampling(Sampling s) { cfg_.sampling = s; return *this; }
+  /// Nominal prompt length for predict()/Sim (see InferenceConfig).
+  Builder& prompt_tokens(int64_t n) { cfg_.prompt_tokens = n; return *this; }
+
+  InferenceSession build() { return InferenceSession(cfg_); }
+};
+
+}  // namespace hanayo::api

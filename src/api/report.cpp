@@ -1,5 +1,6 @@
 #include "api/report.hpp"
 
+#include <cstdio>
 #include <limits>
 
 #include "perf/format.hpp"
@@ -42,6 +43,36 @@ std::string RunReport::to_string() const {
   row.feasible = candidate.feasible;
   row.note = candidate.note.empty() ? backend_name(backend) : candidate.note;
   return perf::format_row(row);
+}
+
+double ServeReport::prefill_tokens_per_s() const {
+  return prefill_s > 0.0 ? static_cast<double>(prompt_tokens) / prefill_s : 0.0;
+}
+
+double ServeReport::tokens_per_s() const {
+  const double wall = total_wall_s();
+  return wall > 0.0 ? static_cast<double>(generated_tokens) / wall : 0.0;
+}
+
+double ServeReport::per_token_latency_s() const {
+  return decode_passes > 0 ? decode_s / decode_passes : 0.0;
+}
+
+std::string ServeReport::to_string() const {
+  if (!feasible) {
+    return std::string("serve [") + backend_name(backend) +
+           "] infeasible: " + note;
+  }
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "serve [%s%s] %lld req, %lld prompt tok @ %.0f tok/s prefill, "
+                "%lld new tok @ %.0f tok/s, %.2f ms/token",
+                backend_name(backend), predicted ? ", predicted" : "",
+                static_cast<long long>(requests),
+                static_cast<long long>(prompt_tokens), prefill_tokens_per_s(),
+                static_cast<long long>(generated_tokens), tokens_per_s(),
+                per_token_latency_s() * 1e3);
+  return buf;
 }
 
 }  // namespace hanayo::api

@@ -67,4 +67,33 @@ struct RunReport {
   std::string to_string() const;
 };
 
+/// Cumulative result of an InferenceSession — the serving analogue of
+/// RunReport. Measured on the live backends; predicted (from the
+/// forward-only event simulation) for Sim and for predict() on any backend.
+struct ServeReport {
+  BackendKind backend = BackendKind::Threads;
+  bool predicted = false;
+  bool feasible = true;     ///< stage constraints satisfied (predictions)
+  std::string note;
+  int64_t requests = 0;
+  int64_t prompt_tokens = 0;
+  int64_t generated_tokens = 0;
+  int prefill_passes = 0;   ///< pipeline passes containing a prefill
+  int decode_passes = 0;    ///< pure decode passes
+  double prefill_s = 0.0;
+  double decode_s = 0.0;
+  int64_t peak_kv_bytes = 0;
+
+  double total_wall_s() const { return prefill_s + decode_s; }
+  /// Prompt tokens absorbed per second of prefill time.
+  double prefill_tokens_per_s() const;
+  /// Generated tokens per second over the whole run (the serving headline).
+  double tokens_per_s() const;
+  /// Mean decode-pass latency — the time one batch of sequences waits for
+  /// its next token.
+  double per_token_latency_s() const;
+  /// One-line human-readable summary.
+  std::string to_string() const;
+};
+
 }  // namespace hanayo::api

@@ -43,16 +43,8 @@ RunReport Session::report() const {
 perf::Candidate Session::predict() const {
   return perf::evaluate(cfg_.model, cfg_.effective_cluster(), cfg_.sched.algo,
                         cfg_.dp, cfg_.sched.P, cfg_.effective_W(),
-                        cfg_.sched.B, cfg_.mb_sequences);
-}
-
-const schedule::Schedule& Session::schedule() const {
-  const schedule::Schedule* s = backend_->schedule();
-  if (!s) {
-    throw std::logic_error(std::string(backend_name(backend_->kind())) +
-                           " backend compiles no schedule");
-  }
-  return *s;
+                        cfg_.sched.B, cfg_.mb_sequences,
+                        cfg_.calibration ? &*cfg_.calibration : nullptr);
 }
 
 }  // namespace hanayo::api

@@ -1,5 +1,5 @@
 #pragma once
-// hanayo::Session — the one front door to the library.
+// hanayo::Session — the training front door of the library.
 //
 // The paper's claim is that a single wave-scheduling framework subsumes
 // GPipe/DAPPLE/Chimera-style pipelines under one performance model; the
@@ -21,6 +21,10 @@
 //   auto step = session.step(batch);          // StepReport{loss, wall_s}
 //   auto pred = session.predict();            // planner row, no execution
 //   auto report = session.report();           // RunReport for the session
+//
+// The serving counterpart (hanayo::InferenceSession, api/inference.hpp)
+// shares this builder core: the same model/schedule/backend chain plus
+// serving knobs builds a forward-only wave pipeline with KV-cache decode.
 
 #include <map>
 #include <memory>
@@ -31,6 +35,41 @@
 #include "api/report.hpp"
 
 namespace hanayo::api {
+
+/// The chainable configuration core shared by every session builder:
+/// setters for the EngineConfig fields, each returning the concrete builder
+/// so training- and serving-specific setters chain freely in any order.
+/// `Config` must derive from EngineConfig.
+template <class Derived, class Config>
+class BuilderCore {
+ public:
+  Derived& model(model::ModelConfig m) { cfg_.model = std::move(m); return self(); }
+  Derived& algo(schedule::Algo a) { cfg_.sched.algo = a; return self(); }
+  Derived& pipeline(int P) { cfg_.sched.P = P; return self(); }
+  Derived& waves(int W) { cfg_.sched.waves = W; return self(); }
+  Derived& vchunks(int V) { cfg_.sched.vchunks = V; return self(); }
+  /// Wholesale schedule request (algo, P, B, waves, vchunks, tf, tb).
+  Derived& schedule(schedule::ScheduleRequest req) { cfg_.sched = req; return self(); }
+  Derived& backend(BackendKind kind) { cfg_.backend = kind; return self(); }
+  Derived& mb_sequences(int n) { cfg_.mb_sequences = n; return self(); }
+  Derived& seed(uint64_t s) { cfg_.seed = s; return self(); }
+  Derived& prefetch_depth(int d) { cfg_.prefetch_depth = d; return self(); }
+  /// Kernel threads per worker; 0 picks automatically (see EngineConfig).
+  Derived& intra_op_threads(int n) { cfg_.intra_op_threads = n; return self(); }
+  Derived& record_timeline(bool on = true) { cfg_.record_timeline = on; return self(); }
+  Derived& cluster(sim::Cluster c) { cfg_.cluster = std::move(c); return self(); }
+  /// Feed this machine's measured kernel/transport numbers (perf::calibrate)
+  /// into the schedule ordering costs and the predict()/Sim cost model.
+  Derived& calibration(perf::Calibration cal) { cfg_.calibration = std::move(cal); return self(); }
+
+  const Config& config() const { return cfg_; }
+
+ protected:
+  Config cfg_;
+
+ private:
+  Derived& self() { return static_cast<Derived&>(*this); }
+};
 
 class Session {
  public:
@@ -65,9 +104,9 @@ class Session {
   /// Batch rows one step consumes.
   int64_t batch_rows() const { return backend_->batch_rows(); }
 
-  /// The compiled schedule. Throws std::logic_error on the Reference
-  /// backend (which executes none).
-  const schedule::Schedule& schedule() const;
+  /// The compiled schedule, or nullptr when the engine executes none (the
+  /// sequential Reference, or an infeasible Sim dry run).
+  const schedule::Schedule* schedule() const { return backend_->schedule(); }
 
   /// Parameters by name (replica 0) — the cross-backend equivalence hook.
   std::map<std::string, tensor::Tensor> snapshot_params() {
@@ -93,43 +132,24 @@ class Session {
   std::vector<StepReport> steps_;
 };
 
-/// Chainable configuration; every setter returns *this. Unset fields keep
-/// the SessionConfig defaults.
-class Session::Builder {
+/// Training builder: the shared core plus optimizer/regularisation knobs.
+/// Unset fields keep the SessionConfig defaults.
+class Session::Builder : public BuilderCore<Session::Builder, SessionConfig> {
  public:
-  Builder& model(model::ModelConfig m) { cfg_.model = std::move(m); return *this; }
-  Builder& algo(schedule::Algo a) { cfg_.sched.algo = a; return *this; }
-  Builder& pipeline(int P) { cfg_.sched.P = P; return *this; }
   Builder& micro_batches(int B) { cfg_.sched.B = B; return *this; }
-  Builder& waves(int W) { cfg_.sched.waves = W; return *this; }
-  Builder& vchunks(int V) { cfg_.sched.vchunks = V; return *this; }
-  /// Wholesale schedule request (algo, P, B, waves, vchunks, tf, tb).
-  Builder& schedule(schedule::ScheduleRequest req) { cfg_.sched = req; return *this; }
-  Builder& backend(BackendKind kind) { cfg_.backend = kind; return *this; }
   Builder& data_parallel(int dp) { cfg_.dp = dp; return *this; }
-  Builder& mb_sequences(int n) { cfg_.mb_sequences = n; return *this; }
-  Builder& seed(uint64_t s) { cfg_.seed = s; return *this; }
   Builder& optimizer(runtime::OptKind k) { cfg_.opt = k; return *this; }
   Builder& learning_rate(float lr) { cfg_.lr = lr; return *this; }
   Builder& momentum(float m) { cfg_.momentum = m; return *this; }
-  Builder& prefetch_depth(int d) { cfg_.prefetch_depth = d; return *this; }
-  /// Kernel threads per worker; 0 picks automatically (see SessionConfig).
-  Builder& intra_op_threads(int n) { cfg_.intra_op_threads = n; return *this; }
   Builder& recompute(bool on = true) { cfg_.recompute = on; return *this; }
   Builder& zero1(bool on = true) { cfg_.zero1 = on; return *this; }
   Builder& fp16_comm(bool on = true) { cfg_.fp16_comm = on; return *this; }
   Builder& max_grad_norm(float v) { cfg_.max_grad_norm = v; return *this; }
   Builder& lr_schedule(model::LrSchedule s) { cfg_.lr_schedule = std::move(s); return *this; }
-  Builder& record_timeline(bool on = true) { cfg_.record_timeline = on; return *this; }
   Builder& weight_stashing(bool on) { cfg_.weight_stashing = on; return *this; }
-  Builder& cluster(sim::Cluster c) { cfg_.cluster = std::move(c); return *this; }
   Builder& sim_costs(sim::PipelineCosts c) { cfg_.sim_costs = std::move(c); return *this; }
 
-  const SessionConfig& config() const { return cfg_; }
   Session build() { return Session(cfg_); }
-
- private:
-  SessionConfig cfg_;
 };
 
 }  // namespace hanayo::api

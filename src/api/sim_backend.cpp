@@ -38,12 +38,16 @@ SimBackend::SimBackend(const SessionConfig& cfg) : cfg_(cfg) {
     }
   }
 
-  sched_ = schedule::make_schedule(cfg.sched);
+  sched_ = schedule::make_schedule(cfg.effective_sched());
   const int S = sched_.placement.stages();
+  const double bwd_ratio =
+      cfg.calibration && cfg.calibration->bwd_fwd_ratio > 0
+          ? cfg.calibration->bwd_fwd_ratio
+          : sim::kBwdFwdRatio;
   const sim::PipelineCosts costs =
       cfg.sim_costs ? *cfg.sim_costs
                     : sim::compute_costs(cfg.model, S, cfg.mb_sequences,
-                                         cluster, cfg.recompute);
+                                         cluster, cfg.recompute, bwd_ratio);
 
   sim::SimOptions opt;
   opt.dp = cfg.dp;

@@ -32,10 +32,29 @@
 //   req.batch_sequences = 8;
 //   auto plans = hanayo::plan(req);  // ranked perf::Candidate rows
 //
+// Serving is the same builder chain with serving knobs: a forward-only wave
+// pipeline with per-stream KV caches, continuous batching up to max_batch,
+// and greedy decode that is token-identical across Threads and Reference:
+//
+//   auto server = hanayo::InferenceSession::builder()
+//                     .model(hanayo::ModelConfig::tiny(/*layers=*/14))
+//                     .algo(hanayo::Algo::Hanayo)
+//                     .pipeline(4).waves(2)
+//                     .backend(hanayo::BackendKind::Threads)
+//                     .max_batch(4).max_new_tokens(4)
+//                     .sampling(hanayo::Sampling::Greedy)
+//                     .build();
+//   hanayo::Tensor prompt({1, 5});          // token ids
+//   server.enqueue(prompt);
+//   auto completions = server.run();        // Completion{id, tokens}
+//   auto serve_report = server.report();    // tokens/sec, ms/token
+//   auto sla = server.predict();            // forward-only dry run
+//
 // The pre-Session entry points (Trainer, AsyncTrainer, SequentialEngine and
 // their config structs) remain available below as compatibility shims; the
 // Session backends are thin wrappers over them.
 
+#include "api/inference.hpp"
 #include "api/session.hpp"
 #include "comm/collectives.hpp"
 #include "comm/fp16.hpp"
@@ -70,8 +89,14 @@ namespace hanayo {
 // Re-export the primary vocabulary types at the top level.
 using api::Backend;
 using api::BackendKind;
+using api::Completion;
+using api::EngineConfig;
+using api::InferenceConfig;
+using api::InferenceSession;
 using api::MemoryReport;
 using api::RunReport;
+using api::Sampling;
+using api::ServeReport;
 using api::Session;
 using api::SessionConfig;
 using api::StepReport;

@@ -1,6 +1,7 @@
 #include "model/attention.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 #include <vector>
 
@@ -172,6 +173,108 @@ Tensor MultiHeadAttention::backward(const Tensor& dy, int mb) {
 
   cache_.erase(it);
   return qkv_proj_.backward(dqkv, mb);
+}
+
+Tensor MultiHeadAttention::forward_infer(const Tensor& x, int64_t pos0,
+                                         int slot) {
+  const int64_t b = x.size(0), t = x.size(1);
+  Tensor qkv = qkv_proj_.forward_infer(x, pos0, slot);  // [b, t, 3h]
+
+  KvSlot& kv = kv_[slot];
+  if (kv.len == 0) kv.batch = b;
+  if (kv.batch != b) {
+    throw std::invalid_argument(name_ + ": slot batch changed mid-stream");
+  }
+  if (pos0 != kv.len) {
+    throw std::logic_error(name_ + ": decode out of order (pos0 " +
+                           std::to_string(pos0) + ", cached " +
+                           std::to_string(kv.len) + ")");
+  }
+
+  // Append this call's K/V rows (time-major: one contiguous row per token).
+  const int64_t row = b * hidden_;  // b * heads * dk
+  const int64_t total = kv.len + t;
+  if (kv.k.numel() < total * row) {
+    const int64_t cap = kv.k.numel() / std::max<int64_t>(row, 1);
+    const int64_t newcap = std::max<int64_t>({total, 2 * cap, 16});
+    Tensor nk({newcap, row}), nv({newcap, row});
+    if (kv.len > 0) {
+      std::memcpy(nk.data(), kv.k.data(),
+                  static_cast<size_t>(kv.len * row) * sizeof(float));
+      std::memcpy(nv.data(), kv.v.data(),
+                  static_cast<size_t>(kv.len * row) * sizeof(float));
+    }
+    kv.k = std::move(nk);
+    kv.v = std::move(nv);
+  }
+  const int64_t h3 = 3 * hidden_;
+  for (int64_t j = 0; j < t; ++j) {
+    for (int64_t n = 0; n < b; ++n) {
+      const float* src = qkv.data() + (n * t + j) * h3;
+      float* kdst = kv.k.data() + (kv.len + j) * row + n * hidden_;
+      float* vdst = kv.v.data() + (kv.len + j) * row + n * hidden_;
+      std::memcpy(kdst, src + hidden_,
+                  static_cast<size_t>(hidden_) * sizeof(float));
+      std::memcpy(vdst, src + 2 * hidden_,
+                  static_cast<size_t>(hidden_) * sizeof(float));
+    }
+  }
+  kv.len = total;
+
+  // Attend each new token over the cached prefix. Extents are per *row*
+  // (jext = absolute position + 1), so every row's value is identical
+  // whether the prefix arrived in one prefill call or token by token.
+  Tensor probs({b * heads_, t, total});
+  Tensor ctx({b, t, hidden_});
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dk_));
+  const float* qkvp = qkv.data();
+  const float* kcache = kv.k.data();
+  const float* vcache = kv.v.data();
+  float* probsp = probs.data();
+  float* ctxp = ctx.data();
+  const bool causal = causal_;
+  const int64_t heads = heads_, dk = dk_, hidden = hidden_;
+
+  parallel_for(b * heads, 1, [&](int64_t p0, int64_t p1) {
+    for (int64_t p = p0; p < p1; ++p) {
+      const int64_t n = p / heads, hh = p % heads;
+      const float* q = qkvp + n * t * h3 + hh * dk;
+      const float* kc = kcache + (n * heads + hh) * dk;
+      const float* vc = vcache + (n * heads + hh) * dk;
+      float* prob = probsp + p * t * total;
+      for (int64_t r = 0; r < t; ++r) {
+        const int64_t jmax = causal ? pos0 + r + 1 : total;
+        float* prow = prob + r * total;
+        // scores = q_r K^T over the visible prefix (strided cache panel)
+        kernels::gemm_bt(1, jmax, dk, q + r * h3, h3, kc, row, prow, total,
+                         false);
+        // scale + row softmax — the same arithmetic as the training forward
+        float mx = -1e30f;
+        for (int64_t j = 0; j < jmax; ++j) {
+          prow[j] *= scale;
+          mx = std::max(mx, prow[j]);
+        }
+        double denom = 0.0;
+        for (int64_t j = 0; j < jmax; ++j) {
+          prow[j] = std::exp(prow[j] - mx);
+          denom += prow[j];
+        }
+        const float inv = static_cast<float>(1.0 / denom);
+        for (int64_t j = 0; j < jmax; ++j) prow[j] *= inv;
+        // context = probs @ V over the visible prefix
+        kernels::gemm(1, dk, jmax, prow, total, vc, row,
+                      ctxp + (n * t + r) * hidden + hh * dk, hidden, false);
+      }
+    }
+  });
+
+  return out_proj_.forward_infer(ctx, pos0, slot);
+}
+
+int64_t MultiHeadAttention::slot_bytes() const {
+  int64_t bytes = 0;
+  for (const auto& [s, kv] : kv_) bytes += kv.k.bytes() + kv.v.bytes();
+  return bytes;
 }
 
 void MultiHeadAttention::collect_params(std::vector<Param*>& out) {

@@ -15,6 +15,16 @@ class MultiHeadAttention : public Layer {
 
   Tensor forward(const Tensor& x, int mb) override;
   Tensor backward(const Tensor& dy, int mb) override;
+  /// Incremental-decode forward. Appends the K/V rows of `x`'s tokens to the
+  /// slot's cache, then attends each new token over the whole cached prefix
+  /// with the strided gemm_bt/gemm kernels. `pos0` must equal the cached
+  /// length (tokens arrive in order). The last row is bit-identical to a
+  /// full-prefix recompute: K/V rows are per-token ascending-k dots whichever
+  /// call produced them, and the final row's score/context extents coincide
+  /// with the row-blocked training path's.
+  Tensor forward_infer(const Tensor& x, int64_t pos0, int slot) override;
+  void drop_slot(int slot) override { kv_.erase(slot); }
+  int64_t slot_bytes() const override;
   void collect_params(std::vector<Param*>& out) override;
   void drop_cache(int mb) override;
   std::string name() const override { return name_; }
@@ -27,12 +37,24 @@ class MultiHeadAttention : public Layer {
     Tensor ctx;    // [b, t, h] pre-output-projection context
   };
 
+  /// Per-decode-stream KV cache, time-major so appending a token appends
+  /// one contiguous row: k/v are [cap, b*heads*dk]; row j holds every
+  /// (batch, head)'s key/value of token j, and the per-(b,head) panel at
+  /// column (n*heads + hh)*dk has constant row stride b*heads*dk — exactly
+  /// the strided layout gemm_bt/gemm consume.
+  struct KvSlot {
+    Tensor k, v;
+    int64_t len = 0;
+    int64_t batch = 0;
+  };
+
   std::string name_;
   int64_t hidden_, heads_, dk_;
   bool causal_;
   Linear qkv_proj_;
   Linear out_proj_;
   std::unordered_map<int, Saved> cache_;
+  std::unordered_map<int, KvSlot> kv_;
 };
 
 }  // namespace hanayo::model

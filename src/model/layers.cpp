@@ -67,6 +67,24 @@ Tensor Linear::backward(const Tensor& dy, int mb) {
   return dx;
 }
 
+Tensor Linear::forward_infer(const Tensor& x, int64_t, int) {
+  if (x.dim() < 2 || x.size(-1) != in_) {
+    throw std::invalid_argument(name_ + ": input dim " + x.shape_str());
+  }
+  // Same GEMM + bias epilogue as forward(); nothing saved. Each output
+  // element is an independent ascending-k dot, so a row's result does not
+  // depend on how many rows share the call — the property KV-cache decode
+  // relies on.
+  const int64_t rows = x.numel() / in_;
+  tensor::Shape out_shape = x.shape();
+  out_shape.back() = out_;
+  Tensor y(std::move(out_shape));
+  kernels::gemm(rows, out_, in_, x.data(), in_, w_.value.data(), out_,
+                y.data(), out_, /*accumulate=*/false);
+  add_bias_(y, b_.value);
+  return y;
+}
+
 void Linear::collect_params(std::vector<Param*>& out) {
   out.push_back(&w_);
   out.push_back(&b_);
@@ -156,6 +174,36 @@ Tensor LayerNorm::backward(const Tensor& dy, int mb) {
   return dx;
 }
 
+Tensor LayerNorm::forward_infer(const Tensor& x, int64_t, int) {
+  const int64_t n = x.size(-1);
+  if (n != dim_) throw std::invalid_argument(name_ + ": dim mismatch");
+  const int64_t rows = x.numel() / n;
+  Tensor y(x.shape());
+  // Row-for-row the same arithmetic as forward(), without the xhat/inv_std
+  // caches.
+  parallel_for(rows, 16, [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const float* row = x.data() + i * n;
+      double mu = 0.0;
+      for (int64_t j = 0; j < n; ++j) mu += row[j];
+      mu /= static_cast<double>(n);
+      double var = 0.0;
+      for (int64_t j = 0; j < n; ++j) {
+        const double d = row[j] - mu;
+        var += d * d;
+      }
+      var /= static_cast<double>(n);
+      const float is = static_cast<float>(1.0 / std::sqrt(var + eps_));
+      float* yr = y.data() + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float xh = (row[j] - static_cast<float>(mu)) * is;
+        yr[j] = xh * g_.value[j] + b_.value[j];
+      }
+    }
+  });
+  return y;
+}
+
 void LayerNorm::collect_params(std::vector<Param*>& out) {
   out.push_back(&g_);
   out.push_back(&b_);
@@ -184,6 +232,8 @@ Tensor Gelu::backward(const Tensor& dy, int mb) {
   cache_x_.erase(it);
   return dx;
 }
+
+Tensor Gelu::forward_infer(const Tensor& x, int64_t, int) { return gelu(x); }
 
 int64_t Gelu::cached_bytes() const { return map_bytes(cache_x_); }
 
@@ -236,6 +286,26 @@ Tensor Embedding::backward(const Tensor& dy, int mb) {
   }
   cache_ids_.erase(it);
   return Tensor();  // no upstream gradient for token ids
+}
+
+Tensor Embedding::forward_infer(const Tensor& x, int64_t pos0, int) {
+  if (x.dim() != 2) throw std::invalid_argument(name_ + ": expect [b, t] ids");
+  const int64_t b = x.size(0), t = x.size(1);
+  if (pos0 < 0 || pos0 + t > max_seq_) {
+    throw std::invalid_argument(name_ + ": decode past max sequence length");
+  }
+  Tensor y({b, t, hidden_});
+  for (int64_t i = 0; i < b; ++i) {
+    for (int64_t j = 0; j < t; ++j) {
+      const auto id = static_cast<int64_t>(x.at(i, j));
+      if (id < 0 || id >= vocab_) throw std::out_of_range(name_ + ": token id");
+      const float* trow = tok_.value.data() + id * hidden_;
+      const float* prow = pos_.value.data() + (pos0 + j) * hidden_;
+      float* yrow = y.data() + (i * t + j) * hidden_;
+      for (int64_t h = 0; h < hidden_; ++h) yrow[h] = trow[h] + prow[h];
+    }
+  }
+  return y;
 }
 
 void Embedding::collect_params(std::vector<Param*>& out) {

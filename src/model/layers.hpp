@@ -45,6 +45,23 @@ class Layer {
   virtual Tensor forward(const Tensor& x, int mb) = 0;
   virtual Tensor backward(const Tensor& dy, int mb) = 0;
 
+  /// Inference forward: computes exactly the same function as `forward` but
+  /// saves nothing for backward. `pos0` is the absolute sequence position of
+  /// the first row of `x` (tokens [pos0, pos0 + t) of the sequence); `slot`
+  /// identifies the decode stream, so stateful layers (attention's KV cache)
+  /// can keep one incremental context per in-flight sequence. Stateless
+  /// layers ignore both. Numerics contract: for causal models, the *last
+  /// row* of the result is bit-identical whether the prefix was processed in
+  /// one call (pos0 = 0) or token-by-token through the same slot — the
+  /// ascending-k kernels make KV-cache decode match full-prefix recompute.
+  virtual Tensor forward_infer(const Tensor& x, int64_t pos0, int slot) = 0;
+
+  /// Frees any per-stream inference state held for `slot` (KV caches).
+  virtual void drop_slot(int slot) { (void)slot; }
+
+  /// Bytes of per-stream inference state (KV caches) currently held.
+  virtual int64_t slot_bytes() const { return 0; }
+
   /// Appends pointers to this layer's parameters (stable across calls).
   virtual void collect_params(std::vector<Param*>& out) = 0;
 
@@ -67,6 +84,7 @@ class Linear : public Layer {
 
   Tensor forward(const Tensor& x, int mb) override;
   Tensor backward(const Tensor& dy, int mb) override;
+  Tensor forward_infer(const Tensor& x, int64_t pos0, int slot) override;
   void collect_params(std::vector<Param*>& out) override;
   std::string name() const override { return name_; }
   int64_t cached_bytes() const override;
@@ -90,6 +108,7 @@ class LayerNorm : public Layer {
 
   Tensor forward(const Tensor& x, int mb) override;
   Tensor backward(const Tensor& dy, int mb) override;
+  Tensor forward_infer(const Tensor& x, int64_t pos0, int slot) override;
   void collect_params(std::vector<Param*>& out) override;
   void drop_cache(int mb) override;
   std::string name() const override { return name_; }
@@ -111,6 +130,7 @@ class Gelu : public Layer {
 
   Tensor forward(const Tensor& x, int mb) override;
   Tensor backward(const Tensor& dy, int mb) override;
+  Tensor forward_infer(const Tensor& x, int64_t pos0, int slot) override;
   void collect_params(std::vector<Param*>&) override {}
   void drop_cache(int mb) override { cache_x_.erase(mb); }
   std::string name() const override { return name_; }
@@ -131,6 +151,9 @@ class Embedding : public Layer {
 
   Tensor forward(const Tensor& x, int mb) override;
   Tensor backward(const Tensor& dy, int mb) override;
+  /// Positional rows are read at `pos0 + j`: decoding token `pos0` embeds
+  /// with the same positional vector the full-prefix forward would use.
+  Tensor forward_infer(const Tensor& x, int64_t pos0, int slot) override;
   void collect_params(std::vector<Param*>& out) override;
   void drop_cache(int mb) override { cache_ids_.erase(mb); }
   std::string name() const override { return name_; }

@@ -249,6 +249,17 @@ Tensor Block::backward(const Tensor& dy, int mb) {
   return tensor::add(dr1, dattn);
 }
 
+Tensor Block::forward_infer(const Tensor& x, int64_t pos0, int slot) {
+  Tensor a = attn_.forward_infer(ln1_.forward_infer(x, pos0, slot), pos0, slot);
+  Tensor r1 = tensor::add(x, a);
+  Tensor m = fc2_.forward_infer(
+      act_.forward_infer(
+          fc1_.forward_infer(ln2_.forward_infer(r1, pos0, slot), pos0, slot),
+          pos0, slot),
+      pos0, slot);
+  return tensor::add(r1, m);
+}
+
 void Block::collect_params(std::vector<Param*>& out) {
   ln1_.collect_params(out);
   attn_.collect_params(out);
@@ -288,6 +299,11 @@ Tensor AttnResidual::backward(const Tensor& dy, int mb) {
   return tensor::add(dy, dbranch);
 }
 
+Tensor AttnResidual::forward_infer(const Tensor& x, int64_t pos0, int slot) {
+  return tensor::add(
+      x, attn_.forward_infer(ln_.forward_infer(x, pos0, slot), pos0, slot));
+}
+
 void AttnResidual::collect_params(std::vector<Param*>& out) {
   ln_.collect_params(out);
   attn_.collect_params(out);
@@ -321,6 +337,15 @@ Tensor MlpResidual::backward(const Tensor& dy, int mb) {
   Tensor dbranch = ln_.backward(
       fc1_.backward(act_.backward(fc2_.backward(dy, mb), mb), mb), mb);
   return tensor::add(dy, dbranch);
+}
+
+Tensor MlpResidual::forward_infer(const Tensor& x, int64_t pos0, int slot) {
+  Tensor m = fc2_.forward_infer(
+      act_.forward_infer(
+          fc1_.forward_infer(ln_.forward_infer(x, pos0, slot), pos0, slot),
+          pos0, slot),
+      pos0, slot);
+  return tensor::add(x, m);
 }
 
 void MlpResidual::collect_params(std::vector<Param*>& out) {
@@ -410,6 +435,22 @@ Tensor StageModule::backward(const Tensor& dy, int mb) {
     g = (*it)->backward(g, mb);
   }
   return g;
+}
+
+Tensor StageModule::decode(const Tensor& x, int64_t pos0, int slot) {
+  Tensor h = x;
+  for (auto& l : layers_) h = l->forward_infer(h, pos0, slot);
+  return h;
+}
+
+void StageModule::drop_slot(int slot) {
+  for (auto& l : layers_) l->drop_slot(slot);
+}
+
+int64_t StageModule::slot_bytes() const {
+  int64_t b = 0;
+  for (const auto& l : layers_) b += l->slot_bytes();
+  return b;
 }
 
 std::vector<Param*> StageModule::params() {

@@ -95,6 +95,9 @@ class Block : public Layer {
 
   Tensor forward(const Tensor& x, int mb) override;
   Tensor backward(const Tensor& dy, int mb) override;
+  Tensor forward_infer(const Tensor& x, int64_t pos0, int slot) override;
+  void drop_slot(int slot) override { attn_.drop_slot(slot); }
+  int64_t slot_bytes() const override { return attn_.slot_bytes(); }
   void collect_params(std::vector<Param*>& out) override;
   void drop_cache(int mb) override;
   std::string name() const override { return name_; }
@@ -117,6 +120,9 @@ class AttnResidual : public Layer {
                Rng& rng, float init_std);
   Tensor forward(const Tensor& x, int mb) override;
   Tensor backward(const Tensor& dy, int mb) override;
+  Tensor forward_infer(const Tensor& x, int64_t pos0, int slot) override;
+  void drop_slot(int slot) override { attn_.drop_slot(slot); }
+  int64_t slot_bytes() const override { return attn_.slot_bytes(); }
   void collect_params(std::vector<Param*>& out) override;
   void drop_cache(int mb) override;
   std::string name() const override { return name_; }
@@ -134,6 +140,7 @@ class MlpResidual : public Layer {
   MlpResidual(std::string name, int64_t hidden, Rng& rng, float init_std);
   Tensor forward(const Tensor& x, int mb) override;
   Tensor backward(const Tensor& dy, int mb) override;
+  Tensor forward_infer(const Tensor& x, int64_t pos0, int slot) override;
   void collect_params(std::vector<Param*>& out) override;
   void drop_cache(int mb) override;
   std::string name() const override { return name_; }
@@ -165,6 +172,21 @@ class StageModule {
 
   Tensor forward(const Tensor& x, int mb);
   Tensor backward(const Tensor& dy, int mb);
+
+  /// Incremental-decode forward through this stage's layers: nothing is
+  /// saved for backward, attention layers extend their per-`slot` KV cache,
+  /// and positional state is read at absolute offset `pos0`. For causal
+  /// models the last row of the result is bit-identical to a full-prefix
+  /// recompute (see Layer::forward_infer).
+  Tensor decode(const Tensor& x, int64_t pos0, int slot);
+
+  /// Frees the KV caches of one decode stream (called when a served
+  /// sequence completes and its slot is recycled).
+  void drop_slot(int slot);
+
+  /// Bytes of KV-cache state currently held across all decode streams —
+  /// the serving analogue of `cached_bytes`.
+  int64_t slot_bytes() const;
 
   /// Activation recomputation (gradient checkpointing, Chen et al. 2016 —
   /// one of the orthogonal memory techniques the paper's related work

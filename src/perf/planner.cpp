@@ -27,7 +27,8 @@ std::string Candidate::to_string() const {
 }
 
 Candidate evaluate(const model::ModelConfig& m, const sim::Cluster& cluster,
-                   Algo algo, int D, int P, int W, int B, int mb_sequences) {
+                   Algo algo, int D, int P, int W, int B, int mb_sequences,
+                   const Calibration* cal) {
   Candidate c;
   c.algo = algo;
   c.D = D;
@@ -48,6 +49,7 @@ Candidate evaluate(const model::ModelConfig& m, const sim::Cluster& cluster,
   req.B = B;
   req.waves = W;
   req.vchunks = W;
+  if (cal && cal->bwd_fwd_ratio > 0) req.tb = req.tf * cal->bwd_fwd_ratio;
   const int S = schedule::stages_for(req);
   const int total_layers = static_cast<int>(m.layer_descs().size());
   if (S > total_layers) {
@@ -57,7 +59,9 @@ Candidate evaluate(const model::ModelConfig& m, const sim::Cluster& cluster,
     return c;
   }
   const schedule::Schedule sched = schedule::make_schedule(req);
-  const sim::PipelineCosts costs = sim::compute_costs(m, S, mb_sequences, cluster);
+  const sim::PipelineCosts costs = sim::compute_costs(
+      m, S, mb_sequences, cluster, /*recompute=*/false,
+      cal && cal->bwd_fwd_ratio > 0 ? cal->bwd_fwd_ratio : sim::kBwdFwdRatio);
   sim::SimOptions opt;
   opt.dp = D;
   // Chimera's second weight copy is part of the algorithm (not DP), so the
@@ -90,13 +94,17 @@ std::vector<Candidate> plan(const PlanRequest& req) {
       if (per_replica % mb_seq != 0) continue;
       const int B = per_replica / mb_seq;
       if (B < 1) continue;
+      const Calibration* cal =
+          req.calibration ? &*req.calibration : nullptr;
       for (Algo algo : req.algos) {
         if (algo == Algo::Hanayo || algo == Algo::Interleaved) {
           for (int W : req.wave_options) {
-            out.push_back(evaluate(req.model, req.cluster, algo, D, P, W, B, mb_seq));
+            out.push_back(
+                evaluate(req.model, req.cluster, algo, D, P, W, B, mb_seq, cal));
           }
         } else {
-          out.push_back(evaluate(req.model, req.cluster, algo, D, P, 1, B, mb_seq));
+          out.push_back(
+              evaluate(req.model, req.cluster, algo, D, P, 1, B, mb_seq, cal));
         }
       }
     }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "model/transformer.hpp"
+#include "perf/calibrate.hpp"
 #include "schedule/algorithms.hpp"
 #include "sim/event_sim.hpp"
 
@@ -45,12 +46,20 @@ struct PlanRequest {
       schedule::Algo::ChimeraWave, schedule::Algo::Hanayo};
   std::vector<int> wave_options = {1, 2, 4, 8};
   int min_pipeline = 2;
+  /// When set, every candidate is costed with this machine's measured
+  /// kernel numbers: the schedule's ordering costs use the measured tb/tf
+  /// ratio and the backward stage costs scale by it, instead of the paper's
+  /// drawn T_B = 2 T_F (the cluster should then come from
+  /// perf::calibrated_cluster so the time axis matches too).
+  std::optional<Calibration> calibration;
 };
 
-/// Evaluates one fully specified candidate (also used by the benches).
+/// Evaluates one fully specified candidate (also used by the benches). With
+/// `cal`, the measured backward/forward ratio replaces the drawn tb = 2 tf
+/// in both the schedule ordering and the simulated backward costs.
 Candidate evaluate(const model::ModelConfig& m, const sim::Cluster& cluster,
                    schedule::Algo algo, int D, int P, int W, int B,
-                   int mb_sequences);
+                   int mb_sequences, const Calibration* cal = nullptr);
 
 /// Full search; results sorted by throughput, best first. OOM/infeasible
 /// candidates are included (marked) so Fig. 10's "OOM" cells can be printed.

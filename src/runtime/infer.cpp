@@ -1,0 +1,375 @@
+#include "runtime/infer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "schedule/validate.hpp"
+
+namespace hanayo::runtime {
+
+using comm::Kind;
+using comm::make_tag;
+using schedule::Action;
+using schedule::Op;
+using tensor::Tensor;
+
+int64_t greedy_argmax_last_row(const Tensor& logits) {
+  const int64_t t = logits.size(1), V = logits.size(2);
+  const float* row = logits.data() + (t - 1) * V;
+  int64_t best = 0;
+  for (int64_t v = 1; v < V; ++v) {
+    if (row[v] > row[best]) best = v;
+  }
+  return best;
+}
+
+InferRequest make_infer_request(Tensor prompt, int max_new_tokens,
+                                int default_new_tokens, int64_t model_seq,
+                                int64_t id) {
+  if (prompt.dim() == 1) prompt = prompt.reshaped({1, prompt.numel()});
+  if (prompt.dim() != 2 || prompt.size(0) != 1 || prompt.numel() < 1) {
+    throw std::invalid_argument("enqueue: prompt must be [t] or [1, t] ids");
+  }
+  const int want = max_new_tokens > 0 ? max_new_tokens : default_new_tokens;
+  if (prompt.size(1) + want - 1 > model_seq) {
+    throw std::invalid_argument(
+        "enqueue: prompt + continuation exceeds the model's " +
+        std::to_string(model_seq) + " positions");
+  }
+  InferRequest r;
+  r.id = id;
+  r.prompt = std::move(prompt);
+  r.max_new_tokens = want;
+  return r;
+}
+
+// ----------------------------------------------------------- InferWorker
+
+/// One serving pipeline worker: owns the local stage chunks (the same
+/// partition the trainer would build) and interprets the forward-only action
+/// list of one pass, with the trainer's receive prefetching. The last-stage
+/// worker additionally turns each micro-batch's final-row logits into the
+/// greedy next token.
+class InferWorker {
+ public:
+  InferWorker(const InferConfig& cfg, const schedule::Placement& pl, int rank,
+              comm::Communicator comm)
+      : rank_(rank), prefetch_depth_(cfg.prefetch_depth), comm_(std::move(comm)) {
+    const auto descs = cfg.model.layer_descs();
+    const auto ranges =
+        model::partition_layers(descs, pl.stages(), cfg.model.seq);
+    for (int c = 0; c < pl.chunks_per_device(); ++c) {
+      const model::StageRange& r =
+          ranges[static_cast<size_t>(pl.stage_of(rank, c))];
+      chunks_.emplace_back(descs, r.begin, r.end, cfg.seed,
+                           cfg.model.init_std);
+    }
+  }
+
+  /// Interprets this device's script for one pass. `plan[mb]` describes
+  /// micro-batch mb's decode stream.
+  void run_pass(const schedule::Schedule& sched,
+                const std::vector<PassEntry>& plan) {
+    const schedule::DeviceScript& script =
+        sched.scripts[static_cast<size_t>(rank_)];
+    const int S = sched.placement.stages();
+    act_.clear();
+    next_tokens_.assign(plan.size(), -1);
+    for (const PassEntry& e : plan) {
+      if (e.fresh) {
+        for (model::StageModule& c : chunks_) c.drop_slot(e.slot);
+      }
+    }
+
+    // Receive prefetching, as in Worker::run_iteration (paper §4.2).
+    struct Posted {
+      comm::Request req;
+      std::unique_ptr<Tensor> slot;
+    };
+    std::map<size_t, Posted> posted;
+    size_t scan = 0;
+    int outstanding = 0;
+    const auto post_recv = [&](size_t idx) {
+      const Action& a = script.actions[idx];
+      Posted ps;
+      ps.slot = std::make_unique<Tensor>();
+      ps.req = comm_.irecv(a.peer, make_tag(Kind::Activation, a.mb, a.pos - 1),
+                           ps.slot.get());
+      posted.emplace(idx, std::move(ps));
+    };
+    const auto prefetch = [&] {
+      while (scan < script.actions.size() && outstanding < prefetch_depth_) {
+        const Op op = script.actions[scan].op;
+        if (op == Op::Flush) break;
+        if (op == Op::RecvAct) {
+          post_recv(scan);
+          ++outstanding;
+        }
+        ++scan;
+      }
+    };
+    prefetch();
+
+    for (size_t i = 0; i < script.actions.size(); ++i) {
+      const Action& a = script.actions[i];
+      switch (a.op) {
+        case Op::LoadInput:
+          act_[{a.mb, -1}] = plan[static_cast<size_t>(a.mb)].input;
+          break;
+
+        case Op::RecvAct: {
+          auto it = posted.find(i);
+          if (it == posted.end()) {
+            post_recv(i);
+            ++outstanding;
+            if (scan <= i) scan = i + 1;
+            it = posted.find(i);
+          }
+          it->second.req->wait();
+          --outstanding;
+          act_[{a.mb, a.pos - 1}] = std::move(*it->second.slot);
+          posted.erase(it);
+          prefetch();
+          break;
+        }
+
+        case Op::Forward: {
+          const auto key = std::pair<int, int>{a.mb, a.pos == 0 ? -1 : a.pos - 1};
+          const auto it = act_.find(key);
+          if (it == act_.end()) {
+            throw std::logic_error("InferWorker: missing input activation");
+          }
+          const PassEntry& e = plan[static_cast<size_t>(a.mb)];
+          Tensor y = chunks_[static_cast<size_t>(a.chunk)].decode(
+              it->second, e.pos0, e.slot);
+          act_.erase(it);
+          if (a.pos == S - 1) {
+            next_tokens_[static_cast<size_t>(a.mb)] = greedy_argmax_last_row(y);
+          } else {
+            act_[{a.mb, a.pos}] = std::move(y);
+          }
+          prefetch();
+          break;
+        }
+
+        case Op::SendAct: {
+          const auto it = act_.find({a.mb, a.pos});
+          if (it == act_.end()) {
+            throw std::logic_error("InferWorker: missing activation to send");
+          }
+          comm_.isend(a.peer, make_tag(Kind::Activation, a.mb, a.pos),
+                      std::move(it->second));
+          act_.erase(it);
+          break;
+        }
+
+        case Op::Flush:
+          comm_.barrier();
+          break;
+
+        default:
+          throw std::logic_error(
+              "InferWorker: backward-phase action in forward-only schedule");
+      }
+    }
+  }
+
+  const std::vector<int64_t>& next_tokens() const { return next_tokens_; }
+
+  void drop_slot(int slot) {
+    for (model::StageModule& c : chunks_) c.drop_slot(slot);
+  }
+
+  int64_t kv_bytes() const {
+    int64_t b = 0;
+    for (const model::StageModule& c : chunks_) b += c.slot_bytes();
+    return b;
+  }
+
+ private:
+  int rank_;
+  int prefetch_depth_;
+  comm::Communicator comm_;
+  std::vector<model::StageModule> chunks_;
+  std::vector<int64_t> next_tokens_;
+  std::map<std::pair<int, int>, Tensor> act_;
+};
+
+// ------------------------------------------------------ InferencePipeline
+
+InferencePipeline::InferencePipeline(InferConfig cfg) : cfg_(std::move(cfg)) {
+  if (!cfg_.model.causal) {
+    throw std::invalid_argument(
+        "InferencePipeline: greedy decode needs a causal model (each new "
+        "token may only extend, never revise, the prefix)");
+  }
+  if (cfg_.max_batch < 1) {
+    throw std::invalid_argument("InferencePipeline: max_batch < 1");
+  }
+  if (cfg_.max_new_tokens < 1) {
+    throw std::invalid_argument("InferencePipeline: max_new_tokens < 1");
+  }
+  // Compiling B=1 up front surfaces unsupported algorithms (Chimera,
+  // PipeDream) and infeasible stage counts at construction time.
+  (void)schedule_for(1);
+  placement_ = schedule::make_placement(cfg_.sched);
+  last_stage_device_ = placement_.at(0, placement_.stages() - 1).device;
+
+  const int P = cfg_.sched.P;
+  world_ = std::make_unique<comm::World>(P);
+  for (int d = 0; d < P; ++d) {
+    workers_.push_back(std::make_unique<InferWorker>(
+        cfg_, placement_, d, comm::Communicator(world_.get(), d)));
+  }
+  for (int s = cfg_.max_batch - 1; s >= 0; --s) free_slots_.push_back(s);
+}
+
+InferencePipeline::~InferencePipeline() = default;
+
+const schedule::Schedule& InferencePipeline::schedule_for(int batch) {
+  auto it = sched_cache_.find(batch);
+  if (it == sched_cache_.end()) {
+    schedule::ScheduleRequest req = cfg_.sched;
+    req.B = batch;
+    schedule::Schedule sched = schedule::make_forward_schedule(req);
+    const schedule::ValidationResult vr = schedule::validate(sched);
+    if (!vr.ok) {
+      throw std::logic_error("InferencePipeline: invalid schedule: " + vr.error);
+    }
+    it = sched_cache_.emplace(batch, std::move(sched)).first;
+  }
+  return it->second;
+}
+
+int64_t InferencePipeline::enqueue(tensor::Tensor prompt, int max_new_tokens) {
+  InferRequest r = make_infer_request(std::move(prompt), max_new_tokens,
+                                      cfg_.max_new_tokens, cfg_.model.seq,
+                                      next_id_++);
+  const int64_t id = r.id;
+  ++stats_.requests;
+  stats_.prompt_tokens += r.prompt.size(1);
+  queue_.push_back(std::move(r));
+  return id;
+}
+
+void InferencePipeline::admit() {
+  while (!queue_.empty() && !free_slots_.empty()) {
+    InferRequest r = std::move(queue_.front());
+    queue_.pop_front();
+    ActiveSeq seq;
+    seq.id = r.id;
+    seq.slot = free_slots_.back();
+    free_slots_.pop_back();
+    seq.prompt_tokens = r.prompt.size(1);
+    seq.remaining = r.max_new_tokens;
+    seq.input_prompt = std::move(r.prompt);
+    active_.push_back(std::move(seq));
+  }
+}
+
+void InferencePipeline::run_pass() {
+  std::vector<PassEntry> plan;
+  plan.reserve(active_.size());
+  bool any_prefill = false;
+  for (ActiveSeq& seq : active_) {
+    PassEntry e;
+    e.slot = seq.slot;
+    if (!seq.prefilled) {
+      e.pos0 = 0;
+      e.fresh = true;
+      e.input = seq.input_prompt;
+      any_prefill = true;
+    } else {
+      e.pos0 = seq.len;
+      Tensor one({1, 1});
+      one[0] = static_cast<float>(seq.last_token);
+      e.input = std::move(one);
+    }
+    plan.push_back(std::move(e));
+  }
+
+  const schedule::Schedule& sched =
+      schedule_for(static_cast<int>(plan.size()));
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(workers_.size());
+  std::vector<std::exception_ptr> errors(workers_.size());
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    threads.emplace_back([&, i] {
+      try {
+        workers_[i]->run_pass(sched, plan);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (any_prefill) {
+    ++stats_.prefill_passes;
+    stats_.prefill_s += wall;
+  } else {
+    ++stats_.decode_passes;
+    stats_.decode_s += wall;
+  }
+
+  // Sample the KV footprint before completed streams are dropped: the pass
+  // that finishes a sequence is exactly when its cache is fullest.
+  int64_t kv = 0;
+  for (const auto& w : workers_) kv += w->kv_bytes();
+  stats_.peak_kv_bytes = std::max(stats_.peak_kv_bytes, kv);
+
+  const std::vector<int64_t>& toks =
+      workers_[static_cast<size_t>(last_stage_device_)]->next_tokens();
+  std::vector<ActiveSeq> still;
+  still.reserve(active_.size());
+  for (size_t i = 0; i < active_.size(); ++i) {
+    ActiveSeq& seq = active_[i];
+    const int64_t tok = toks[i];
+    if (!seq.prefilled) {
+      seq.prefilled = true;
+      seq.len = seq.prompt_tokens;
+      seq.input_prompt = Tensor();
+    } else {
+      seq.len += 1;
+    }
+    seq.generated.push_back(tok);
+    seq.last_token = tok;
+    --seq.remaining;
+    ++stats_.generated_tokens;
+    if (seq.remaining == 0) {
+      Completion c;
+      c.id = seq.id;
+      c.prompt_tokens = seq.prompt_tokens;
+      c.tokens = std::move(seq.generated);
+      done_.push_back(std::move(c));
+      for (auto& w : workers_) w->drop_slot(seq.slot);
+      free_slots_.push_back(seq.slot);
+    } else {
+      still.push_back(std::move(seq));
+    }
+  }
+  active_ = std::move(still);
+}
+
+std::vector<Completion> InferencePipeline::drain() {
+  admit();
+  while (!active_.empty()) {
+    run_pass();
+    admit();
+  }
+  std::vector<Completion> out = std::move(done_);
+  done_.clear();
+  std::sort(out.begin(), out.end(),
+            [](const Completion& a, const Completion& b) { return a.id < b.id; });
+  return out;
+}
+
+}  // namespace hanayo::runtime

@@ -1,0 +1,145 @@
+#pragma once
+// Forward-only pipeline serving runtime.
+//
+// The training runtime interprets a wave schedule's F/B program; serving is
+// the same machinery with the backward half removed and a feedback edge
+// added: the last stage's greedy token re-enters stage 0 as the next decode
+// step's input. The engine keeps a FIFO request queue and batches admitted
+// sequences up to `max_batch` concurrent decode streams — continuous
+// batching at pass granularity: whenever a sequence completes, the freed
+// slot is handed to the next queued request at the following pass boundary,
+// and that request's prefill micro-batch rides through the pipeline
+// alongside the ongoing sequences' decode micro-batches.
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "model/transformer.hpp"
+#include "runtime/worker.hpp"
+#include "schedule/algorithms.hpp"
+
+namespace hanayo::runtime {
+
+/// One queued generation request. `prompt` is a [t] or [1, t] tensor of
+/// token ids.
+struct InferRequest {
+  int64_t id = -1;
+  tensor::Tensor prompt;
+  int max_new_tokens = 0;
+};
+
+/// One finished request: the greedily decoded continuation, in generation
+/// order (tokens of one sequence are never reordered).
+struct Completion {
+  int64_t id = -1;
+  int64_t prompt_tokens = 0;
+  std::vector<int64_t> tokens;
+};
+
+struct InferConfig {
+  model::ModelConfig model;
+  /// algo, P, waves/vchunks and the tf/tb ordering costs. `B` is ignored:
+  /// the engine compiles one forward-only schedule per concurrent-sequence
+  /// count as the batch composition changes.
+  schedule::ScheduleRequest sched;
+  int max_batch = 4;       ///< concurrent decode streams (KV-cache slots)
+  int max_new_tokens = 16; ///< default continuation length per request
+  uint64_t seed = 1;
+  int prefetch_depth = 2;
+};
+
+/// Cumulative serving counters (see api::ServeReport for the user-facing
+/// vocabulary these feed).
+struct ServeStats {
+  int64_t requests = 0;
+  int64_t prompt_tokens = 0;
+  int64_t generated_tokens = 0;
+  int prefill_passes = 0;  ///< passes containing at least one prefill entry
+  int decode_passes = 0;   ///< pure decode passes
+  double prefill_s = 0.0;
+  double decode_s = 0.0;
+  int64_t peak_kv_bytes = 0;  ///< max over passes, summed across devices
+};
+
+/// Greedy head shared by every serving engine: the argmax of the final
+/// row of a [1, t, V] logits tensor, first index winning ties. Threads and
+/// Reference both select through this, which is what makes their
+/// token-identity guarantee a single-definition property.
+int64_t greedy_argmax_last_row(const tensor::Tensor& logits);
+
+/// Shared request admission: normalises a [t] or [1, t] prompt, applies the
+/// config-default continuation length, and enforces the positional bound
+/// (prompt + continuation - 1 must fit `model_seq`; the last generated
+/// token never re-enters the cache). Throws std::invalid_argument.
+InferRequest make_infer_request(tensor::Tensor prompt, int max_new_tokens,
+                                int default_new_tokens, int64_t model_seq,
+                                int64_t id);
+
+/// One micro-batch of one pipeline pass (internal, shared with InferWorker).
+struct PassEntry {
+  int slot = 0;        ///< KV-cache stream
+  int64_t pos0 = 0;    ///< absolute position of input's first token
+  bool fresh = false;  ///< first pass of a sequence: reset the slot first
+  tensor::Tensor input;  ///< [1, t] token ids (prompt, or one decoded token)
+};
+
+class InferWorker;
+
+class InferencePipeline {
+ public:
+  /// Builds dp=1 pipeline workers for `cfg.sched.P` devices. Requires a
+  /// causal model (greedy decode re-feeds the last position) and a
+  /// unidirectional algorithm (no Chimera).
+  explicit InferencePipeline(InferConfig cfg);
+  ~InferencePipeline();
+
+  /// Queues a prompt; returns the request id. `max_new_tokens` of 0 uses the
+  /// config default. Throws if prompt length + continuation would exceed the
+  /// model's positional table (`model.seq`).
+  int64_t enqueue(tensor::Tensor prompt, int max_new_tokens = 0);
+
+  /// Runs pipeline passes until every queued request has completed; returns
+  /// the completions of this drain in enqueue order.
+  std::vector<Completion> drain();
+
+  bool idle() const { return queue_.empty() && active_.empty(); }
+  const ServeStats& stats() const { return stats_; }
+  const InferConfig& config() const { return cfg_; }
+
+  /// The forward-only schedule compiled for `batch` concurrent sequences
+  /// (compiled and validated on first use, then cached).
+  const schedule::Schedule& schedule_for(int batch);
+
+ private:
+  struct ActiveSeq {
+    int64_t id = -1;
+    int slot = -1;
+    int64_t len = 0;          ///< tokens already in the KV cache
+    int64_t prompt_tokens = 0;
+    int remaining = 0;        ///< new tokens still to generate
+    bool prefilled = false;
+    int64_t last_token = -1;
+    tensor::Tensor input_prompt;  ///< pending prompt (dropped after prefill)
+    std::vector<int64_t> generated;
+  };
+
+  void admit();
+  void run_pass();
+
+  InferConfig cfg_;
+  schedule::Placement placement_;
+  int last_stage_device_ = 0;
+  std::unique_ptr<comm::World> world_;
+  std::vector<std::unique_ptr<InferWorker>> workers_;
+  std::map<int, schedule::Schedule> sched_cache_;
+  std::deque<InferRequest> queue_;
+  std::vector<ActiveSeq> active_;
+  std::vector<int> free_slots_;
+  std::vector<Completion> done_;
+  int64_t next_id_ = 0;
+  ServeStats stats_;
+};
+
+}  // namespace hanayo::runtime

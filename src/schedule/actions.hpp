@@ -61,6 +61,10 @@ struct Schedule {
   int P = 0;      ///< pipeline devices
   int B = 0;      ///< micro-batches per iteration
   int W = 0;      ///< waves (Hanayo), interleave depth V (Interleaved), else 0
+  /// Forward-only (inference) program: the F-chain of every micro-batch with
+  /// no Backward/SendGrad/RecvGrad/OptStep actions. Each device still ends
+  /// with Flush, which the serving runtime uses as the pass barrier.
+  bool forward_only = false;
   Placement placement;
   std::vector<DeviceScript> scripts;
 

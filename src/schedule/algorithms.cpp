@@ -50,6 +50,28 @@ Schedule make_schedule(const ScheduleRequest& req) {
   return generate(req.algo, waves, make_placement(req), req.B, opt);
 }
 
+Schedule make_forward_schedule(const ScheduleRequest& req) {
+  if (req.algo == Algo::PipeDream) {
+    throw std::invalid_argument(
+        "make_forward_schedule: PipeDream is asynchronous training only");
+  }
+  if (req.algo == Algo::Chimera) {
+    throw std::invalid_argument(
+        "make_forward_schedule: Chimera's bidirectional routes need backward "
+        "waves; use Hanayo/ChimeraWave for forward-only pipelines");
+  }
+  GenOptions opt;
+  opt.tf = req.tf;
+  opt.tb = req.tb;
+  opt.forward_only = true;
+  opt.inflight_cap = false;  // nothing ever consumes an activation
+  const int waves = (req.algo == Algo::Hanayo)        ? req.waves
+                    : (req.algo == Algo::ChimeraWave) ? 1
+                    : (req.algo == Algo::Interleaved) ? req.vchunks
+                                                      : 0;
+  return generate(req.algo, waves, make_placement(req), req.B, opt);
+}
+
 int stages_for(const ScheduleRequest& req) {
   return make_placement(req).stages();
 }

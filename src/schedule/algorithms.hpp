@@ -23,6 +23,14 @@ Placement make_placement(const ScheduleRequest& req);
 /// Builds the complete per-device action lists for an algorithm.
 Schedule make_schedule(const ScheduleRequest& req);
 
+/// Builds the forward-only (inference) program of an algorithm: the same
+/// placement and wavefront ordering, but only the F-chain of every
+/// micro-batch — no Backward/SendGrad/RecvGrad/OptStep. The serving runtime
+/// streams prefill micro-batches and decode steps through these schedules.
+/// Chimera is rejected (its bidirectional routes exist to overlap backward
+/// waves; forward-only it degenerates to two half-pipelines).
+Schedule make_forward_schedule(const ScheduleRequest& req);
+
 /// Number of model stages the algorithm partitions the network into.
 int stages_for(const ScheduleRequest& req);
 

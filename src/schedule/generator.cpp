@@ -50,11 +50,13 @@ Schedule generate(Algo algo, int waves, const Placement& pl, int B,
     throw std::invalid_argument("generate: bidirectional placement needs B >= 2");
   }
 
-  // ---- Build the node table. Node id: ((m * S) + pos) * 2 + backward.
-  const auto node_id = [S](int m, int pos, bool bw) {
-    return ((m * S) + pos) * 2 + (bw ? 1 : 0);
+  // ---- Build the node table. Node id: ((m * S) + pos) * ops + backward,
+  // where ops is 1 for forward-only programs (no backward nodes exist).
+  const int ops = opt.forward_only ? 1 : 2;
+  const auto node_id = [S, ops](int m, int pos, bool bw) {
+    return ((m * S) + pos) * ops + (bw ? 1 : 0);
   };
-  std::vector<Node> nodes(static_cast<size_t>(B * S * 2));
+  std::vector<Node> nodes(static_cast<size_t>(B * S * ops));
   std::vector<int> route_of(static_cast<size_t>(B));
   std::vector<int> route_start(static_cast<size_t>(pl.routes()), -1);
   for (int m = 0; m < B; ++m) {
@@ -63,7 +65,7 @@ Schedule generate(Algo algo, int waves, const Placement& pl, int B,
     if (route_start[static_cast<size_t>(r)] < 0) route_start[static_cast<size_t>(r)] = m;
     for (int pos = 0; pos < S; ++pos) {
       const DevChunk dc = pl.at(r, pos);
-      for (int bw = 0; bw < 2; ++bw) {
+      for (int bw = 0; bw < ops; ++bw) {
         Node& n = nodes[static_cast<size_t>(node_id(m, pos, bw != 0))];
         n.m = m;
         n.pos = pos;
@@ -136,7 +138,7 @@ Schedule generate(Algo algo, int waves, const Placement& pl, int B,
         // and take the first admissible one.
         for (auto it = rf.begin(); it != rf.end(); ++it) {
           const Node& n = nodes[static_cast<size_t>(it->second)];
-          if (opt.inflight_cap) {
+          if (opt.inflight_cap && !opt.forward_only) {
             const int cap = inflight_cap_for(n.pos, S, pl.chunks_per_device(), opt.tf, opt.tb);
             if (inflight[static_cast<size_t>(d)][static_cast<size_t>(n.chunk)] >= cap) continue;
           }
@@ -186,7 +188,7 @@ Schedule generate(Algo algo, int waves, const Placement& pl, int B,
     if (!n.backward) {
       if (n.pos + 1 < S) {
         make_ready(node_id(n.m, n.pos + 1, false), false);
-      } else {
+      } else if (!opt.forward_only) {
         make_ready(node_id(n.m, n.pos, true), true);  // B(m, S-1) after F(m, S-1)
       }
     } else {
@@ -211,6 +213,7 @@ Schedule generate(Algo algo, int waves, const Placement& pl, int B,
   sched.P = P;
   sched.B = B;
   sched.W = waves;
+  sched.forward_only = opt.forward_only;
   sched.placement = pl;
   sched.scripts.resize(static_cast<size_t>(P));
   for (int d = 0; d < P; ++d) {
@@ -251,7 +254,9 @@ Schedule generate(Algo algo, int waves, const Placement& pl, int B,
       }
     }
     ds.actions.push_back(Action{Op::Flush, -1, -1, 0, -1, -1});
-    ds.actions.push_back(Action{Op::OptStep, -1, -1, 0, -1, -1});
+    if (!opt.forward_only) {
+      ds.actions.push_back(Action{Op::OptStep, -1, -1, 0, -1, -1});
+    }
   }
   return sched;
 }

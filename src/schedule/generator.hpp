@@ -35,6 +35,10 @@ struct GenOptions {
   bool all_forward_first = false;
   /// Enable the 1F1B in-flight cap (off for GPipe).
   bool inflight_cap = true;
+  /// Emit the F-chain only (inference): no Backward/SendGrad/RecvGrad nodes
+  /// and no OptStep — each device ends with the Flush pass barrier. The
+  /// in-flight cap is ignored (no backward ever releases an activation).
+  bool forward_only = false;
 };
 
 /// Compiles (placement, B, policy) into a complete schedule. Throws on

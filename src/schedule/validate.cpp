@@ -39,6 +39,15 @@ ValidationResult validate(const Schedule& sched) {
     for (size_t i = 0; i < ds.actions.size(); ++i) {
       const Action& a = ds.actions[i];
       if (saw_opt) return fail("action after OptStep: " + where(ds.device, i, a));
+      if (sched.forward_only && saw_flush) {
+        return fail("action after Flush: " + where(ds.device, i, a));
+      }
+      if (sched.forward_only &&
+          (a.op == Op::Backward || a.op == Op::SendGrad ||
+           a.op == Op::RecvGrad || a.op == Op::OptStep)) {
+        return fail("backward-phase action in forward-only schedule: " +
+                    where(ds.device, i, a));
+      }
       switch (a.op) {
         case Op::Forward:
         case Op::Backward: {
@@ -82,7 +91,11 @@ ValidationResult validate(const Schedule& sched) {
           break;
       }
     }
-    if (!saw_flush || !saw_opt) {
+    if (sched.forward_only) {
+      if (!saw_flush) {
+        return fail("dev" + std::to_string(ds.device) + " missing Flush");
+      }
+    } else if (!saw_flush || !saw_opt) {
       return fail("dev" + std::to_string(ds.device) + " missing Flush/OptStep");
     }
   }
@@ -92,7 +105,7 @@ ValidationResult validate(const Schedule& sched) {
       if (fwd_count[{m, pos}] != 1) {
         return fail("F(" + std::to_string(m) + "," + std::to_string(pos) + ") count != 1");
       }
-      if (bwd_count[{m, pos}] != 1) {
+      if (!sched.forward_only && bwd_count[{m, pos}] != 1) {
         return fail("B(" + std::to_string(m) + "," + std::to_string(pos) + ") count != 1");
       }
     }

@@ -10,6 +10,12 @@
 //      blocking receives reaches completion (no deadlock, no use of data
 //      that was never produced);
 //  (4) terminated — each device ends with Flush followed by OptStep.
+//
+// Forward-only schedules (Schedule::forward_only, the serving programs) are
+// held to the same standard with the backward half removed: exactly one
+// Forward per (micro-batch, position), no Backward/SendGrad/RecvGrad/OptStep
+// anywhere, activation sends paired, executable, and each device terminated
+// by Flush alone.
 
 #include <string>
 

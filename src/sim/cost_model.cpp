@@ -18,7 +18,7 @@ double PipelineCosts::total_bwd() const {
 
 PipelineCosts compute_costs(const model::ModelConfig& cfg, int stages,
                             int mb_sequences, const Cluster& cluster,
-                            bool recompute) {
+                            bool recompute, double bwd_ratio) {
   if (mb_sequences < 1) throw std::invalid_argument("compute_costs: mb_sequences < 1");
   const auto descs = cfg.layer_descs();
   const int64_t tokens = static_cast<int64_t>(mb_sequences) * cfg.seq;
@@ -31,7 +31,7 @@ PipelineCosts compute_costs(const model::ModelConfig& cfg, int stages,
     const double f = st.fwd_flops / cluster.flops_per_s;
     pc.fwd_s.push_back(f);
     // With recomputation the backward re-runs the stage forward first.
-    pc.bwd_s.push_back(f * kBwdFwdRatio + (recompute ? f : 0.0));
+    pc.bwd_s.push_back(f * bwd_ratio + (recompute ? f : 0.0));
     pc.weight_bytes.push_back(static_cast<double>(st.param_bytes));
     if (recompute) {
       // Only the stage input (one boundary activation) stays resident.
@@ -41,6 +41,53 @@ PipelineCosts compute_costs(const model::ModelConfig& cfg, int stages,
     }
     if (s + 1 < stages) {
       pc.boundary_bytes.push_back(static_cast<double>(st.output_bytes));
+    }
+  }
+  return pc;
+}
+
+PipelineCosts infer_costs(const model::ModelConfig& cfg, int stages,
+                          int mb_sequences, int64_t new_tokens,
+                          int64_t context_tokens, const Cluster& cluster) {
+  if (mb_sequences < 1 || new_tokens < 1 || context_tokens < new_tokens) {
+    throw std::invalid_argument("infer_costs: bad token counts");
+  }
+  // Partition exactly like the serving runtime (and the trainer): stage
+  // boundaries are chosen for full-sequence balance, not per-pass balance.
+  const auto descs = cfg.layer_descs();
+  const int64_t full_tokens = static_cast<int64_t>(mb_sequences) * cfg.seq;
+  const auto ranges = model::partition_layers(descs, stages, full_tokens);
+
+  // Cost each stage with the pass's shape: `tokens` fresh rows whose
+  // attention term spans the cached context.
+  auto pass_descs = descs;
+  for (auto& d : pass_descs) d.seq = context_tokens;
+  const int64_t tokens = static_cast<int64_t>(mb_sequences) * new_tokens;
+
+  PipelineCosts pc;
+  pc.fwd_s.reserve(static_cast<size_t>(stages));
+  for (int s = 0; s < stages; ++s) {
+    const model::StageRange& r = ranges[static_cast<size_t>(s)];
+    double flops = 0.0;
+    double kv_bytes = 0.0;
+    for (int i = r.begin; i < r.end; ++i) {
+      const model::LayerDesc& d = pass_descs[static_cast<size_t>(i)];
+      flops += d.fwd_flops(tokens);
+      if (d.type == model::LayerDesc::Type::Block ||
+          d.type == model::LayerDesc::Type::AttnHalf) {
+        kv_bytes += 2.0 * static_cast<double>(tokens * d.hidden) * 4.0;
+      }
+    }
+    const model::StageStats st =
+        model::stage_stats(descs, r, full_tokens);
+    pc.fwd_s.push_back(flops / cluster.flops_per_s);
+    pc.bwd_s.push_back(pc.fwd_s.back() * kBwdFwdRatio);
+    pc.weight_bytes.push_back(static_cast<double>(st.param_bytes));
+    pc.act_bytes.push_back(kv_bytes);
+    if (s + 1 < stages) {
+      // fp32 activations of the new tokens cross the boundary.
+      pc.boundary_bytes.push_back(
+          static_cast<double>(tokens * cfg.hidden * 4));
     }
   }
   return pc;

@@ -33,10 +33,24 @@ inline constexpr double kBwdFwdRatio = 2.0;
 /// Builds stage costs for a model partitioned into `stages` stages with
 /// micro-batches of `mb_sequences` sequences. With `recompute` (activation
 /// checkpointing) each stage saves only its input between forward and
-/// backward, and the backward pays an extra forward.
+/// backward, and the backward pays an extra forward. `bwd_ratio` overrides
+/// the paper's drawn T_B = 2 T_F with a measured ratio (perf::calibrate).
 PipelineCosts compute_costs(const model::ModelConfig& cfg, int stages,
                             int mb_sequences, const Cluster& cluster,
-                            bool recompute = false);
+                            bool recompute = false,
+                            double bwd_ratio = kBwdFwdRatio);
+
+/// Forward-only (serving) stage costs for one pipeline pass. A micro-batch
+/// carries `mb_sequences` sequences of `new_tokens` fresh tokens each
+/// (prompt length for prefill, 1 for a decode step), attending over a
+/// KV-cache context of `context_tokens`. Only the F-chain is costed —
+/// `bwd_s` is filled with the usual ratio for completeness but forward-only
+/// schedules never execute it; `act_bytes` accounts the fp32 K/V rows each
+/// stage appends per micro-batch, and boundaries carry fp32 activations of
+/// the new tokens only.
+PipelineCosts infer_costs(const model::ModelConfig& cfg, int stages,
+                          int mb_sequences, int64_t new_tokens,
+                          int64_t context_tokens, const Cluster& cluster);
 
 /// Maps pipeline rank -> physical device id. `replica` selects the block of
 /// the cluster used by one data-parallel replica (replica r uses devices

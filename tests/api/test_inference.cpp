@@ -1,0 +1,238 @@
+// The InferenceSession façade: serving engines behind one API must agree —
+// Threads (pipelined KV-cache decode) with Reference (sequential full-prefix
+// recompute) token-for-token, predict() with the Sim backend number-for-
+// number — and the request queue must batch without reordering.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/hanayo.hpp"
+
+using namespace hanayo;
+
+namespace {
+
+// 6 blocks + embedding/norm/head = 9 partitionable layers: enough for the
+// 2*W*P = 8 stages of the wave configuration below.
+const ModelConfig kTiny = ModelConfig::tiny(/*layers=*/6, /*hidden=*/32,
+                                            /*heads=*/2, /*vocab=*/67,
+                                            /*seq=*/24);
+
+InferenceSession::Builder tiny_server(Algo algo, int P, int W) {
+  return InferenceSession::builder()
+      .model(kTiny)
+      .algo(algo)
+      .pipeline(P)
+      .waves(W)
+      .seed(42)
+      .max_batch(3)
+      .max_new_tokens(5);
+}
+
+Tensor random_prompt(Rng& rng, int64_t len) {
+  Tensor p({1, len});
+  for (int64_t i = 0; i < len; ++i) {
+    p[i] = static_cast<float>(rng.index(kTiny.vocab));
+  }
+  return p;
+}
+
+}  // namespace
+
+// ---- (a) Threads == Reference, token for token --------------------------
+
+TEST(InferenceSession, ThreadsMatchReferenceGreedyTokens) {
+  for (Algo algo : {Algo::Hanayo, Algo::GPipe, Algo::Dapple}) {
+    const int W = algo == Algo::Hanayo ? 2 : 1;
+    InferenceSession threads =
+        tiny_server(algo, 2, W).backend(BackendKind::Threads).build();
+    InferenceSession reference =
+        tiny_server(algo, 2, W).backend(BackendKind::Reference).build();
+
+    Rng rng(9);
+    for (int r = 0; r < 5; ++r) {
+      Tensor prompt = random_prompt(rng, 4 + r);
+      threads.enqueue(prompt);
+      reference.enqueue(prompt);
+    }
+    const auto a = threads.run();
+    const auto b = reference.run();
+    ASSERT_EQ(a.size(), 5u);
+    ASSERT_EQ(b.size(), 5u);
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id);
+      ASSERT_EQ(a[i].tokens.size(), b[i].tokens.size());
+      for (size_t t = 0; t < a[i].tokens.size(); ++t) {
+        EXPECT_EQ(a[i].tokens[t], b[i].tokens[t])
+            << schedule::algo_name(algo) << " req " << i << " token " << t;
+      }
+    }
+  }
+}
+
+TEST(InferenceSession, WaveCountDoesNotChangeTokens) {
+  // Different wave partitions of the same model decode the same text —
+  // the serving analogue of the cross-(P, W) training equivalence.
+  std::vector<std::vector<int64_t>> decoded;
+  for (auto [P, W] : {std::pair{2, 1}, {2, 2}, {4, 1}}) {
+    InferenceSession s = tiny_server(Algo::Hanayo, P, W).build();
+    Rng rng(21);
+    s.enqueue(random_prompt(rng, 6));
+    const auto done = s.run();
+    ASSERT_EQ(done.size(), 1u);
+    decoded.push_back(done[0].tokens);
+  }
+  EXPECT_EQ(decoded[0], decoded[1]);
+  EXPECT_EQ(decoded[0], decoded[2]);
+}
+
+// ---- (b) request queue: continuous batching without reordering ----------
+
+TEST(InferenceSession, QueueBatchesBeyondMaxBatchInOrder) {
+  InferenceSession s = tiny_server(Algo::Hanayo, 2, 1).build();
+  InferenceSession ref =
+      tiny_server(Algo::Hanayo, 2, 1).backend(BackendKind::Reference).build();
+
+  // 8 requests through a max_batch of 3, with staggered lengths so slots
+  // free at different passes (continuous batching re-fills mid-stream).
+  Rng rng(33);
+  std::vector<int64_t> ids;
+  for (int r = 0; r < 8; ++r) {
+    Tensor prompt = random_prompt(rng, 3 + (r % 4));
+    const int want = 2 + (r % 3);
+    ids.push_back(s.enqueue(prompt, want));
+    ref.enqueue(prompt, want);
+  }
+  const auto done = s.run();
+  const auto expect = ref.run();
+
+  ASSERT_EQ(done.size(), 8u);
+  for (size_t i = 0; i < done.size(); ++i) {
+    // Completions come back in enqueue order with the caller's ids...
+    EXPECT_EQ(done[i].id, ids[i]);
+    // ...each sequence's tokens in generation order (never reordered):
+    // greedy equality with the sequential reference proves both.
+    EXPECT_EQ(done[i].tokens, expect[i].tokens) << "request " << i;
+  }
+  const auto rep = s.report();
+  EXPECT_EQ(rep.requests, 8);
+  EXPECT_GT(rep.decode_passes, 0);
+  EXPECT_GT(rep.generated_tokens, 0);
+  EXPECT_GT(rep.peak_kv_bytes, 0);
+  EXPECT_FALSE(rep.predicted);
+}
+
+TEST(InferenceSession, RunDrainsIncrementally) {
+  InferenceSession s = tiny_server(Algo::Dapple, 2, 1).build();
+  Rng rng(4);
+  const int64_t id0 = s.enqueue(random_prompt(rng, 4), 2);
+  ASSERT_EQ(s.run().size(), 1u);
+  const int64_t id1 = s.enqueue(random_prompt(rng, 4), 2);
+  const auto second = s.run();
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].id, id1);
+  EXPECT_NE(id0, id1);
+}
+
+TEST(InferenceSession, RejectsOverlongPrompts) {
+  InferenceSession s = tiny_server(Algo::Dapple, 2, 1).build();
+  Tensor too_long({1, kTiny.seq + 1});
+  EXPECT_THROW(s.enqueue(too_long), std::invalid_argument);
+  // Fits only if prompt + continuation - 1 <= seq.
+  Tensor tight({1, kTiny.seq});
+  tight.fill(1.0f);
+  EXPECT_THROW(s.enqueue(tight, 4), std::invalid_argument);
+  EXPECT_NO_THROW(s.enqueue(tight, 1));
+}
+
+// ---- (c) predict() == Sim backend ----------------------------------------
+
+TEST(InferenceSession, PredictAgreesWithSimBackend) {
+  const Cluster cluster = Cluster::fc();
+  auto b = tiny_server(Algo::Hanayo, 2, 2).cluster(cluster);
+  InferenceSession live = b.backend(BackendKind::Threads).build();
+  InferenceSession sim = b.backend(BackendKind::Sim).build();
+
+  const ServeReport from_live = live.predict();
+  sim.enqueue(Tensor({1, 4}, std::vector<float>(4, 1.0f)));
+  const auto completions = sim.run();
+  ASSERT_EQ(completions.size(), 1u);
+  EXPECT_TRUE(completions[0].tokens.empty());  // predicted: nothing executed
+  const ServeReport from_sim = sim.report();
+
+  EXPECT_TRUE(from_live.predicted);
+  EXPECT_TRUE(from_sim.predicted);
+  EXPECT_EQ(from_live.prefill_s, from_sim.prefill_s);
+  EXPECT_EQ(from_live.decode_s, from_sim.decode_s);
+  EXPECT_EQ(from_live.tokens_per_s(), from_sim.tokens_per_s());
+  EXPECT_EQ(from_live.per_token_latency_s(), from_sim.per_token_latency_s());
+  EXPECT_EQ(from_live.peak_kv_bytes, from_sim.peak_kv_bytes);
+  EXPECT_GT(from_sim.prefill_s, 0.0);
+  EXPECT_GT(from_sim.decode_s, 0.0);
+}
+
+TEST(InferenceSession, PredictReportsInfeasibleStageCounts) {
+  // 9 partitionable layers cannot host 2*W*P = 16 stages; like the training
+  // dry run, prediction reports infeasibility instead of throwing.
+  const ServeReport rep = tiny_server(Algo::Hanayo, 4, 2)
+                              .backend(BackendKind::Sim)
+                              .build()
+                              .report();
+  EXPECT_FALSE(rep.feasible);
+  EXPECT_NE(rep.to_string().find("infeasible"), std::string::npos);
+}
+
+// ---- (d) schedules and misfits -------------------------------------------
+
+TEST(InferenceSession, SchedulesAreForwardOnly) {
+  InferenceSession s = tiny_server(Algo::Hanayo, 2, 2).build();
+  ASSERT_NE(s.schedule(), nullptr);
+  EXPECT_TRUE(s.schedule()->forward_only);
+  EXPECT_EQ(s.schedule()->count(schedule::Op::Backward), 0);
+
+  InferenceSession ref =
+      tiny_server(Algo::Hanayo, 2, 2).backend(BackendKind::Reference).build();
+  EXPECT_EQ(ref.schedule(), nullptr);
+}
+
+TEST(InferenceSession, RejectsUnservableConfigurations) {
+  EXPECT_THROW(tiny_server(Algo::Chimera, 2, 1).build(),
+               std::invalid_argument);
+  EXPECT_THROW(tiny_server(Algo::Hanayo, 2, 1)
+                   .backend(BackendKind::Async)
+                   .build(),
+               std::invalid_argument);
+  // Bidirectional (BERT-style) models cannot greedily extend a prefix.
+  ModelConfig bert = kTiny;
+  bert.causal = false;
+  EXPECT_THROW(
+      InferenceSession::builder().model(bert).algo(Algo::Dapple).pipeline(2).build(),
+      std::invalid_argument);
+}
+
+// ---- The doc-comment serving quickstart from core/hanayo.hpp compiles ----
+
+TEST(InferenceSession, DocCommentServingQuickstartCompilesAndRuns) {
+  auto server = hanayo::InferenceSession::builder()
+                    .model(hanayo::ModelConfig::tiny(/*layers=*/14))
+                    .algo(hanayo::Algo::Hanayo)
+                    .pipeline(4)
+                    .waves(2)
+                    .backend(hanayo::BackendKind::Threads)
+                    .max_batch(4)
+                    .max_new_tokens(4)
+                    .sampling(hanayo::Sampling::Greedy)
+                    .build();
+  hanayo::Tensor prompt({1, 5});  // token ids (0 is a valid id)
+  server.enqueue(prompt);
+  const auto completions = server.run();
+  ASSERT_EQ(completions.size(), 1u);
+  EXPECT_EQ(completions[0].tokens.size(), 4u);
+  const auto serve_report = server.report();
+  EXPECT_EQ(serve_report.generated_tokens, 4);
+  const auto sla = server.predict();
+  EXPECT_TRUE(sla.predicted);
+  EXPECT_TRUE(sla.feasible);
+}

@@ -164,10 +164,29 @@ TEST(Session, SimBackendMatchesEvaluateForInterleaved) {
   EXPECT_EQ(rep.candidate.peak_mem_gb, direct.peak_mem_gb);
 }
 
+// ---- schedule() is a pointer: nullptr exactly when no schedule exists ---
+
 TEST(Session, InfeasibleSimSessionHasNoSchedule) {
   Session s =
       tiny_builder(Algo::Hanayo, 4, 8, 4).backend(BackendKind::Sim).build();
-  EXPECT_THROW(s.schedule(), std::logic_error);
+  EXPECT_EQ(s.schedule(), nullptr);
+}
+
+TEST(Session, ReferenceBackendHasNoSchedule) {
+  Session s =
+      tiny_builder(Algo::Hanayo, 2, 4, 1).backend(BackendKind::Reference).build();
+  EXPECT_EQ(s.schedule(), nullptr);
+}
+
+TEST(Session, ThreadAndSimBackendsExposeTheirSchedule) {
+  Session live = tiny_builder(Algo::Hanayo, 2, 4, 2).build();
+  ASSERT_NE(live.schedule(), nullptr);
+  EXPECT_EQ(live.schedule()->P, 2);
+  EXPECT_FALSE(live.schedule()->forward_only);
+  Session sim =
+      tiny_builder(Algo::Hanayo, 2, 4, 2).backend(BackendKind::Sim).build();
+  ASSERT_NE(sim.schedule(), nullptr);
+  EXPECT_EQ(sim.schedule()->B, 4);
 }
 
 TEST(Session, SimBackendHasNoParameters) {

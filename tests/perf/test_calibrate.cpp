@@ -3,7 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include "api/config.hpp"
 #include "perf/calibrate.hpp"
+#include "perf/planner.hpp"
 #include "schedule/algorithms.hpp"
 #include "sim/event_sim.hpp"
 
@@ -84,4 +86,42 @@ TEST(Calibrate, CostsScaleWithMeasuredRatio) {
     EXPECT_GT(costs.fwd_s[s], 0.0);
     EXPECT_DOUBLE_EQ(costs.bwd_s[s], 3.0 * costs.fwd_s[s]);
   }
+}
+
+TEST(Calibrate, MeasuredRatioReachesPlannerAndSessions) {
+  // The wiring the ROADMAP asked for: a calibration fed to the planner (or
+  // a session builder) replaces the drawn tb = 2 tf with the measured
+  // kernel ratio, in both the schedule ordering and the simulated costs.
+  hp::Calibration cal;
+  cal.sec_per_flop = 1e-9;
+  cal.bwd_fwd_ratio = 3.0;
+  cal.bytes_per_s = 1e9;
+  cal.latency_s = 1e-6;
+  const auto cluster = hp::calibrated_cluster(4, cal);
+
+  const auto plain = hp::evaluate(kModel, cluster, hs::Algo::Hanayo,
+                                  /*D=*/1, /*P=*/2, /*W=*/1, /*B=*/4, 1);
+  const auto measured = hp::evaluate(kModel, cluster, hs::Algo::Hanayo, 1, 2,
+                                     1, 4, 1, &cal);
+  ASSERT_TRUE(plain.feasible);
+  ASSERT_TRUE(measured.feasible);
+  // A 3x backward is costlier than the assumed 2x: throughput must drop.
+  EXPECT_LT(measured.throughput_seq_s, plain.throughput_seq_s);
+
+  // The session lowering applies the same ratio to the compiled schedule's
+  // ordering costs and defaults the cluster to the calibrated one.
+  hanayo::api::SessionConfig cfg;
+  cfg.model = kModel;
+  cfg.sched.P = 2;
+  cfg.sched.B = 4;
+  cfg.calibration = cal;
+  EXPECT_DOUBLE_EQ(cfg.effective_sched().tb, 3.0 * cfg.effective_sched().tf);
+  EXPECT_DOUBLE_EQ(cfg.trainer_config().sched.tb, 3.0);
+  EXPECT_DOUBLE_EQ(cfg.effective_cluster().flops_per_s, 1.0 / cal.sec_per_flop);
+
+  hanayo::api::InferenceConfig icfg;
+  icfg.model = kModel;
+  icfg.sched.P = 2;
+  icfg.calibration = cal;
+  EXPECT_DOUBLE_EQ(icfg.infer_config().sched.tb, 3.0);
 }

@@ -1,0 +1,111 @@
+// Forward-only (serving) schedules: the F-chain without B actions must pass
+// the same static verification as training schedules — completeness,
+// communication pairing, executability, Flush termination — across the
+// whole algorithm x (P, B, W) grid the serving engine can request.
+
+#include <gtest/gtest.h>
+
+#include "schedule/algorithms.hpp"
+#include "schedule/validate.hpp"
+
+using namespace hanayo::schedule;
+
+namespace {
+
+ScheduleRequest request(Algo algo, int P, int B, int W) {
+  ScheduleRequest req;
+  req.algo = algo;
+  req.P = P;
+  req.B = B;
+  req.waves = W;
+  req.vchunks = W > 1 ? W : 2;
+  return req;
+}
+
+}  // namespace
+
+TEST(ForwardOnly, ValidatesAcrossAlgoGrid) {
+  const Algo algos[] = {Algo::GPipe, Algo::Dapple, Algo::Interleaved,
+                        Algo::ChimeraWave, Algo::Hanayo};
+  for (Algo algo : algos) {
+    for (int P : {2, 4}) {
+      for (int B : {1, 3, 8}) {
+        for (int W : {1, 2}) {
+          if (algo != Algo::Hanayo && algo != Algo::Interleaved && W > 1) {
+            continue;  // wave/chunk count only parameterises those two
+          }
+          const ScheduleRequest req = request(algo, P, B, W);
+          const Schedule sched = make_forward_schedule(req);
+          const ValidationResult vr = validate(sched);
+          EXPECT_TRUE(vr.ok) << algo_name(algo) << " P=" << P << " B=" << B
+                             << " W=" << W << ": " << vr.error;
+          EXPECT_TRUE(sched.forward_only);
+        }
+      }
+    }
+  }
+}
+
+TEST(ForwardOnly, ContainsNoBackwardPhase) {
+  const Schedule sched = make_forward_schedule(request(Algo::Hanayo, 4, 8, 2));
+  EXPECT_EQ(sched.count(Op::Backward), 0);
+  EXPECT_EQ(sched.count(Op::SendGrad), 0);
+  EXPECT_EQ(sched.count(Op::RecvGrad), 0);
+  EXPECT_EQ(sched.count(Op::OptStep), 0);
+  // Every (mb, pos) forward exists exactly once; every device flushes.
+  EXPECT_EQ(sched.count(Op::Forward), 8 * sched.placement.stages());
+  EXPECT_EQ(sched.count(Op::Flush), sched.P);
+}
+
+TEST(ForwardOnly, SendsAndRecvsPairAcrossWaveTurns) {
+  // A zigzag wave path turns on a device without communication; every other
+  // boundary must pair a SendAct with one RecvAct.
+  const Schedule sched = make_forward_schedule(request(Algo::Hanayo, 2, 4, 2));
+  EXPECT_EQ(sched.count(Op::SendAct), sched.count(Op::RecvAct));
+  EXPECT_GT(sched.count(Op::SendAct), 0);
+}
+
+TEST(ForwardOnly, SingleMicroBatchIsValid) {
+  // B = 1 is the lone-sequence decode pass the serving engine issues when
+  // only one stream is active; the training generator would also need its
+  // backward to exist.
+  for (Algo algo : {Algo::GPipe, Algo::Dapple, Algo::Hanayo}) {
+    const Schedule sched = make_forward_schedule(request(algo, 4, 1, 1));
+    const ValidationResult vr = validate(sched);
+    EXPECT_TRUE(vr.ok) << algo_name(algo) << ": " << vr.error;
+  }
+}
+
+TEST(ForwardOnly, RejectsAsyncAndBidirectionalAlgos) {
+  EXPECT_THROW(make_forward_schedule(request(Algo::PipeDream, 4, 4, 1)),
+               std::invalid_argument);
+  EXPECT_THROW(make_forward_schedule(request(Algo::Chimera, 4, 4, 1)),
+               std::invalid_argument);
+}
+
+TEST(ForwardOnly, ValidatorRejectsBackwardContamination) {
+  // Splice a Backward into a forward-only program: the validator must name
+  // the contamination rather than demand a matching backward chain.
+  Schedule sched = make_forward_schedule(request(Algo::Dapple, 2, 2, 1));
+  sched.scripts[0].actions.insert(
+      sched.scripts[0].actions.begin(),
+      Action{Op::Backward, 0, 0, 0, 0, -1});
+  const ValidationResult vr = validate(sched);
+  EXPECT_FALSE(vr.ok);
+  EXPECT_NE(vr.error.find("forward-only"), std::string::npos) << vr.error;
+}
+
+TEST(ForwardOnly, ValidatorRequiresFlushTermination) {
+  Schedule sched = make_forward_schedule(request(Algo::Dapple, 2, 2, 1));
+  sched.scripts[1].actions.pop_back();  // drop the Flush
+  const ValidationResult vr = validate(sched);
+  EXPECT_FALSE(vr.ok);
+}
+
+TEST(ForwardOnly, TrainingSchedulesStillRoundTrip) {
+  // The same generator still emits full training programs; the flag
+  // distinguishes them.
+  const Schedule sched = make_schedule(request(Algo::Hanayo, 2, 4, 2));
+  EXPECT_FALSE(sched.forward_only);
+  EXPECT_TRUE(validate(sched).ok);
+}
