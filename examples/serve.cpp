@@ -1,13 +1,15 @@
-// Serving quickstart: a forward-only Hanayo wave pipeline decoding greedy
-// continuations with per-stream KV caches and continuous batching.
+// Serving quickstart: a forward-only Hanayo wave pipeline decoding
+// continuations with per-stream KV caches and continuous batching — first
+// greedy on one replica, then seeded top-k sampling with a stop token on
+// dp=2 replicas draining one shared queue.
 //
 //   $ ./examples/serve
 //
 // Walks through the serving objects: InferenceSession, Completion,
 // ServeReport. The same builder core that configures training Sessions
 // configures the server; swap .backend() for the sequential reference (it
-// decodes token-identical text) or the Sim dry run (predicted tokens/sec
-// before executing anything).
+// decodes token-identical text under every sampling policy) or the Sim dry
+// run (predicted tokens/sec before executing anything).
 
 #include <cstdio>
 
@@ -35,7 +37,7 @@ int main() {
                     .backend(BackendKind::Threads)
                     .max_batch(3)
                     .max_new_tokens(12)
-                    .sampling(Sampling::Greedy)
+                    .sampling(Sampling::Greedy())
                     .seed(42)
                     .build();
   const Schedule* sched = server.schedule();
@@ -107,5 +109,42 @@ int main() {
   }
   std::printf("\npipeline tokens %s the sequential reference's.\n",
               identical ? "exactly match" : "DIVERGE FROM");
+
+  // 8. Production knobs: seeded top-k sampling (every request gets its own
+  //    RNG stream split from seed + request id, so the decode is
+  //    reproducible), a stop token that ends sequences early, and dp=2
+  //    pipeline replicas pulling from one shared request queue.
+  auto farm = InferenceSession::builder()
+                  .model(model)
+                  .algo(Algo::Hanayo)
+                  .pipeline(2)
+                  .waves(1)
+                  .backend(BackendKind::Threads)
+                  .max_batch(2)
+                  .max_new_tokens(12)
+                  .sampling(Sampling::TopK(8, 0.8f))
+                  .eos(7)  // token id 7 ends a sequence
+                  .data_parallel(2)
+                  .seed(42)
+                  .build();
+  Rng rng3(11);
+  for (int r = 0; r < 6; ++r) {
+    Tensor prompt({1, 6});
+    for (int64_t i = 0; i < 6; ++i) {
+      prompt[i] = static_cast<float>(rng3.index(model.vocab));
+    }
+    farm.enqueue(prompt);
+  }
+  const auto sampled = farm.run();
+  std::printf("\ntop-k sampled on dp=2 replicas (stop token 7):\n");
+  for (const Completion& c : sampled) {
+    std::printf("request %lld [%s]:", static_cast<long long>(c.id),
+                c.stop_reason == StopReason::StopToken ? "stop" : "cap");
+    for (int64_t t : c.tokens) std::printf(" %lld", static_cast<long long>(t));
+    std::printf("\n");
+  }
+  const ServeReport frep = farm.report();
+  std::printf("measured:  %s\n", frep.to_string().c_str());
+  std::printf("predicted: %s\n", farm.predict().to_string().c_str());
   return identical ? 0 : 1;
 }

@@ -80,8 +80,11 @@ runtime::InferConfig InferenceConfig::infer_config() const {
   runtime::InferConfig ic;
   ic.model = model;
   ic.sched = effective_sched();
+  ic.dp = dp;
   ic.max_batch = max_batch;
   ic.max_new_tokens = max_new_tokens;
+  ic.sampling = sampling;
+  ic.stop_tokens = stop_tokens;
   ic.seed = seed;
   ic.prefetch_depth = prefetch_depth;
   return ic;

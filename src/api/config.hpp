@@ -26,7 +26,10 @@ struct EngineConfig {
   model::ModelConfig model;
   schedule::ScheduleRequest sched;  ///< algo, P, B, waves, vchunks, tf/tb
   BackendKind backend = BackendKind::Threads;
-  int dp = 1;             ///< data-parallel replicas (training Threads/Sim)
+  /// Data-parallel replicas. Training: gradient-averaged replicas
+  /// (Threads/Sim). Serving: independent pipeline replicas draining one
+  /// shared request queue (runtime::InferenceServer).
+  int dp = 1;
   int mb_sequences = 1;   ///< sequences per micro-batch
   uint64_t seed = 1;
   int prefetch_depth = 2;
@@ -91,18 +94,27 @@ struct SessionConfig : EngineConfig {
   runtime::AsyncTrainerConfig async_config() const;
 };
 
-/// Token-selection policy for serving. Greedy is the only policy so far —
-/// it is also the policy the cross-backend equivalence guarantee is stated
-/// for (argmax of bit-identical logits).
-enum class Sampling { Greedy };
+/// Token-selection policy for serving: Sampling::Greedy() (the argmax of
+/// bit-identical logits — the policy the cross-backend equivalence
+/// guarantee was first stated for), Sampling::TopK(k, temperature) or
+/// Sampling::Temperature(t). The stochastic policies draw from a
+/// per-request RNG stream split from (seed, request id), which extends the
+/// token-identity guarantee to them: same seed → same tokens on Threads
+/// and Reference, on any replica, in any batch composition.
+using runtime::Sampling;
+using runtime::StopReason;
 
 /// Serving-session configuration (hanayo::InferenceSession). `sched.B` is
 /// ignored: the engine compiles one forward-only schedule per concurrent
 /// batch size as the request mix changes.
 struct InferenceConfig : EngineConfig {
   int max_batch = 4;        ///< concurrent decode streams (KV-cache slots)
-  int max_new_tokens = 16;  ///< default continuation length per request
-  Sampling sampling = Sampling::Greedy;
+  int max_new_tokens = 16;  ///< default continuation cap per request
+  Sampling sampling;        ///< greedy / top-k / temperature (default greedy)
+  /// Emitting any of these ids ends a sequence early (the id is recorded as
+  /// the last token; the Completion says StopReason::StopToken); the KV
+  /// slot frees at the next pass boundary.
+  std::vector<int64_t> stop_tokens;
   /// Nominal prompt length used by predict() and the Sim backend (the
   /// measured backends use real request lengths). Defaults to half the
   /// model's positions, clamped so prompt + continuation fits.

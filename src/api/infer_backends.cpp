@@ -1,6 +1,7 @@
 // The three concrete serving engines behind api::make_infer_backend:
-// pipelined worker threads (runtime::InferencePipeline), the sequential
-// full-prefix-recompute reference, and the forward-only event simulation.
+// data-parallel pipelined worker replicas (runtime::InferenceServer), the
+// sequential full-prefix-recompute reference, and the forward-only event
+// simulation.
 
 #include <chrono>
 #include <deque>
@@ -9,6 +10,7 @@
 
 #include "api/inference.hpp"
 #include "runtime/infer.hpp"
+#include "tensor/rng.hpp"
 
 namespace hanayo::api {
 
@@ -20,48 +22,45 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 }
 
 /// Pipelined forward-only wave schedules with KV-cache decode and
-/// continuous batching — wraps runtime::InferencePipeline.
+/// continuous batching; dp > 1 runs that many pipeline replicas off one
+/// shared request queue — wraps runtime::InferenceServer.
 class ThreadInferBackend final : public InferBackend {
  public:
   explicit ThreadInferBackend(const InferenceConfig& cfg)
-      : cfg_(cfg), pipeline_(cfg.infer_config()) {}
+      : cfg_(cfg), server_(cfg.infer_config()) {}
 
   BackendKind kind() const override { return BackendKind::Threads; }
 
   int64_t enqueue(tensor::Tensor prompt, int max_new_tokens) override {
-    return pipeline_.enqueue(std::move(prompt), max_new_tokens);
+    return server_.enqueue(std::move(prompt), max_new_tokens);
   }
 
-  std::vector<Completion> drain() override { return pipeline_.drain(); }
+  std::vector<Completion> drain() override { return server_.drain(); }
 
   const schedule::Schedule* schedule() const override {
     // The full-batch program — representative of the steady serving state.
-    return &const_cast<runtime::InferencePipeline&>(pipeline_).schedule_for(
+    return &const_cast<runtime::InferenceServer&>(server_).schedule_for(
         cfg_.max_batch);
   }
 
   void finalize(ServeReport& rep) const override {
-    const runtime::ServeStats& st = pipeline_.stats();
     rep.backend = BackendKind::Threads;
-    rep.requests = st.requests;
-    rep.prompt_tokens = st.prompt_tokens;
-    rep.generated_tokens = st.generated_tokens;
-    rep.prefill_passes = st.prefill_passes;
-    rep.decode_passes = st.decode_passes;
-    rep.prefill_s = st.prefill_s;
-    rep.decode_s = st.decode_s;
-    rep.peak_kv_bytes = st.peak_kv_bytes;
+    rep.dp = server_.dp();
+    rep.replicas = server_.replica_stats();
+    rep.set_totals(runtime::merge_stats(rep.replicas));
   }
 
  private:
   InferenceConfig cfg_;
-  runtime::InferencePipeline pipeline_;
+  runtime::InferenceServer server_;
 };
 
 /// Sequential ground truth: one full-prefix recompute per generated token,
-/// no KV reuse across steps, no pipeline. Greedy tokens are bit-identical
-/// to the Threads backend — that equivalence is the serving analogue of the
-/// Threads-vs-Reference training-loss guarantee.
+/// no KV reuse across steps, no pipeline, no replication (dp is ignored —
+/// replicas hold identical weights, so the reference for any assignment is
+/// the same). Tokens are bit-identical to the Threads backend under every
+/// sampling policy: logits match bitwise, and both engines select through
+/// sample_last_row with the same per-request (seed, id) RNG stream.
 class ReferenceInferBackend final : public InferBackend {
  public:
   explicit ReferenceInferBackend(const InferenceConfig& cfg)
@@ -78,8 +77,6 @@ class ReferenceInferBackend final : public InferBackend {
         std::move(prompt), max_new_tokens, cfg_.max_new_tokens,
         cfg_.model.seq, next_id_++);
     const int64_t id = r.id;
-    stats_.requests += 1;
-    stats_.prompt_tokens += r.prompt.size(1);
     queue_.push_back(std::move(r));
     return id;
   }
@@ -89,6 +86,12 @@ class ReferenceInferBackend final : public InferBackend {
     while (!queue_.empty()) {
       runtime::InferRequest r = std::move(queue_.front());
       queue_.pop_front();
+      stats_.requests += 1;
+      stats_.prompt_tokens += r.prompt.size(1);
+      // The request's own sampling stream — the same split the pipeline
+      // replicas use, which is what makes stochastic decodes comparable.
+      tensor::Rng rng(
+          tensor::Rng::split(cfg_.seed, static_cast<uint64_t>(r.id)));
       std::vector<int64_t> seq;
       for (int64_t i = 0; i < r.prompt.size(1); ++i) {
         seq.push_back(static_cast<int64_t>(r.prompt[i]));
@@ -98,6 +101,7 @@ class ReferenceInferBackend final : public InferBackend {
       c.prompt_tokens = r.prompt.size(1);
       for (int step = 0; step < r.max_new_tokens; ++step) {
         const auto t0 = std::chrono::steady_clock::now();
+        const float u = cfg_.sampling.stochastic() ? rng.uniform() : 0.0f;
         tensor::Tensor x({1, static_cast<int64_t>(seq.size())});
         for (size_t i = 0; i < seq.size(); ++i) {
           x[static_cast<int64_t>(i)] = static_cast<float>(seq[i]);
@@ -107,7 +111,7 @@ class ReferenceInferBackend final : public InferBackend {
         tensor::Tensor y = module_.decode(x, 0, 0);
         stats_.peak_kv_bytes =
             std::max(stats_.peak_kv_bytes, module_.slot_bytes());
-        const int64_t best = runtime::greedy_argmax_last_row(y);
+        const int64_t best = runtime::sample_last_row(y, cfg_.sampling, u);
         seq.push_back(best);
         c.tokens.push_back(best);
         stats_.generated_tokens += 1;
@@ -119,6 +123,10 @@ class ReferenceInferBackend final : public InferBackend {
           stats_.decode_passes += 1;
           stats_.decode_s += wall;
         }
+        if (runtime::is_stop_token(cfg_.stop_tokens, best)) {
+          c.stop_reason = runtime::StopReason::StopToken;
+          break;
+        }
       }
       module_.drop_slot(0);
       out.push_back(std::move(c));
@@ -128,29 +136,16 @@ class ReferenceInferBackend final : public InferBackend {
 
   void finalize(ServeReport& rep) const override {
     rep.backend = BackendKind::Reference;
-    rep.requests = stats_.requests;
-    rep.prompt_tokens = stats_.prompt_tokens;
-    rep.generated_tokens = stats_.generated_tokens;
-    rep.prefill_passes = stats_.prefill_passes;
-    rep.decode_passes = stats_.decode_passes;
-    rep.prefill_s = stats_.prefill_s;
-    rep.decode_s = stats_.decode_s;
-    rep.peak_kv_bytes = stats_.peak_kv_bytes;
+    rep.dp = 1;  // sequential: there is nothing to replicate
+    rep.set_totals(stats_);
   }
 
  private:
-  struct Stats {
-    int64_t requests = 0, prompt_tokens = 0, generated_tokens = 0;
-    int prefill_passes = 0, decode_passes = 0;
-    double prefill_s = 0.0, decode_s = 0.0;
-    int64_t peak_kv_bytes = 0;
-  };
-
   InferenceConfig cfg_;
   model::StageModule module_;
   std::deque<runtime::InferRequest> queue_;
   int64_t next_id_ = 0;
-  Stats stats_;
+  runtime::ServeStats stats_;
 };
 
 /// Forward-only dry run: executes nothing; enqueue/drain book-keep request
@@ -204,12 +199,17 @@ class SimInferBackend final : public InferBackend {
 
 std::unique_ptr<InferBackend> make_infer_backend(const InferenceConfig& cfg) {
   // Causality is a model property, not a feasibility result: no serving
-  // engine — not even the dry run — can greedily extend a bidirectional
-  // model's prefix, so every backend rejects it up front.
+  // engine — not even the dry run — can extend a bidirectional model's
+  // prefix token by token, so every backend rejects it up front. The same
+  // goes for unusable sampling parameters and replica counts.
   if (!cfg.model.causal) {
     throw std::invalid_argument(
-        "inference: greedy decode needs a causal model (each new token may "
+        "inference: decode needs a causal model (each new token may "
         "only extend, never revise, the prefix)");
+  }
+  cfg.sampling.validate();
+  if (cfg.dp < 1) {
+    throw std::invalid_argument("inference: dp < 1");
   }
   switch (cfg.backend) {
     case BackendKind::Threads:

@@ -1,6 +1,7 @@
 #include "api/inference.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 
 #include "schedule/validate.hpp"
@@ -32,6 +33,32 @@ ServeReport InferenceSession::report() const {
   backend_->finalize(rep);
   return rep;
 }
+
+namespace {
+
+/// Expected per-sequence continuation length under stop tokens, for the
+/// dry-run cost model: each generated token is approximated as uniform over
+/// the vocabulary, so a set of s distinct stop ids stops a sequence with
+/// p = s/V per token and E[len] = sum_{t=1..cap} (1-p)^(t-1) — the
+/// geometric partial sum, capped by max_new_tokens. (An approximation by
+/// construction: real logits are anything but uniform. It exists so dp / SLA
+/// planning can account for early exits at all; the measured backends
+/// report real lengths.)
+int expected_new_tokens(const InferenceConfig& cfg) {
+  if (cfg.stop_tokens.empty()) return cfg.max_new_tokens;
+  std::vector<int64_t> uniq = cfg.stop_tokens;
+  std::sort(uniq.begin(), uniq.end());
+  uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+  const double p = std::min(
+      1.0, static_cast<double>(uniq.size()) /
+               static_cast<double>(std::max<int64_t>(cfg.model.vocab, 1)));
+  if (p >= 1.0) return 1;
+  const double cap = static_cast<double>(cfg.max_new_tokens);
+  const double e_len = (1.0 - std::pow(1.0 - p, cap)) / p;
+  return std::max(1, static_cast<int>(std::llround(e_len)));
+}
+
+}  // namespace
 
 ServeReport predict_serving(const InferenceConfig& cfg) {
   ServeReport rep;
@@ -65,13 +92,18 @@ ServeReport predict_serving(const InferenceConfig& cfg) {
 
   const sim::Cluster cluster = cfg.effective_cluster();
   const schedule::Schedule sched = schedule::make_forward_schedule(req);
+  // Replicas are fully independent (disjoint devices, no collective), so
+  // event-simulating one replica's timeline and replicating the numbers is
+  // exact, not an approximation.
   sim::SimOptions opt;
   opt.dp = 1;
   opt.state_factor = 1.0;  // inference holds weights, no grads/optimizer
   opt.devmap = sim::DeviceMap{cfg.sched.P, 0};
 
+  const int dp = std::max(1, cfg.dp);
   const int64_t plen = cfg.effective_prompt_tokens();
-  const int steps = cfg.max_new_tokens;
+  // Stop tokens shorten the modelled continuation (see expected_new_tokens).
+  const int steps = expected_new_tokens(cfg);
 
   // One full-batch prefill pass: every micro-batch carries a whole prompt.
   const sim::PipelineCosts prefill_costs =
@@ -89,20 +121,28 @@ ServeReport predict_serving(const InferenceConfig& cfg) {
     decode = sim::simulate(sched, decode_costs, cluster, opt);
   }
 
-  rep.requests = cfg.max_batch;
-  rep.prompt_tokens = static_cast<int64_t>(cfg.max_batch) * plen;
-  rep.generated_tokens = static_cast<int64_t>(cfg.max_batch) * steps;
-  rep.prefill_passes = 1;
-  rep.decode_passes = steps - 1;
-  rep.prefill_s = prefill.makespan;
-  rep.decode_s = decode.makespan * (steps - 1);
+  // Per-replica nominal load: one full batch of prompts to completion.
+  runtime::ServeStats per;
+  per.requests = cfg.max_batch;
+  per.prompt_tokens = static_cast<int64_t>(cfg.max_batch) * plen;
+  per.generated_tokens = static_cast<int64_t>(cfg.max_batch) * steps;
+  per.prefill_passes = 1;
+  per.decode_passes = steps - 1;
+  per.prefill_s = prefill.makespan;
+  per.decode_s = decode.makespan * (steps - 1);
   // KV rows resident at the end: per device, the per-pass act bytes times
   // the final context length of every stream.
   double kv = 0.0;
   for (double x : prefill_costs.act_bytes) kv += x;
-  rep.peak_kv_bytes = static_cast<int64_t>(
+  per.peak_kv_bytes = static_cast<int64_t>(
       kv / static_cast<double>(plen) *
       static_cast<double>(plen + steps - 1) * cfg.max_batch);
+
+  // dp replicas drain the same load concurrently: sums over replicas, same
+  // convention as the measured merge (runtime::merge_stats).
+  rep.dp = dp;
+  rep.replicas.assign(static_cast<size_t>(dp), per);
+  rep.set_totals(runtime::merge_stats(rep.replicas));
   return rep;
 }
 

@@ -14,17 +14,23 @@
 //                     .pipeline(4).waves(2)
 //                     .backend(hanayo::BackendKind::Threads)
 //                     .max_batch(4).max_new_tokens(8)
-//                     .sampling(hanayo::Sampling::Greedy)
+//                     .sampling(hanayo::Sampling::TopK(8, 0.8f))
+//                     .eos(2)                 // stop token id
+//                     .data_parallel(2)       // dp pipeline replicas
 //                     .build();
 //   server.enqueue(prompt_ids);               // [t] token-id tensor
-//   auto done = server.run();                 // Completion{id, tokens}
+//   auto done = server.run();                 // Completion{id, tokens, stop_reason}
 //   std::puts(server.report().to_string().c_str());
 //   auto sla = server.predict();              // forward-only dry run
 //
 // Guarantees, mirroring the training side: Threads and Reference produce
-// token-identical greedy decodes (KV-cache decode is bit-identical to a
-// full-prefix recompute on the deterministic kernels), and predict() agrees
-// exactly with the Sim backend's forward-only timeline.
+// token-identical decodes under every sampling policy — greedy because the
+// logits are bit-identical (KV-cache decode equals a full-prefix recompute
+// on the deterministic kernels), top-k/temperature because each request
+// samples from its own RNG stream split from (seed, request id), which no
+// batch composition or replica assignment can shift — and predict() agrees
+// exactly with the Sim backend's forward-only timeline, including the dp
+// and early-stop modelling.
 
 #include <memory>
 #include <vector>
@@ -69,9 +75,12 @@ class InferBackend {
 /// like the training Sim backend — reports them as an infeasible result.
 std::unique_ptr<InferBackend> make_infer_backend(const InferenceConfig& cfg);
 
-/// The forward-only timeline prediction for a serving configuration: one
-/// full-batch prefill pass plus max_new_tokens - 1 decode passes, event-
-/// simulated against the config's cluster. This is the single code path
+/// The forward-only timeline prediction for a serving configuration: per
+/// replica, one full-batch prefill pass plus decode passes for the expected
+/// continuation length (max_new_tokens, shortened by the geometric
+/// stop-token model when stop tokens are configured), event-simulated
+/// against the config's cluster and replicated over cfg.dp (replicas are
+/// independent, so replication is exact). This is the single code path
 /// behind InferenceSession::predict() and the Sim backend's report, which
 /// is why the two agree exactly (the serving analogue of Sim ≡ evaluate).
 ServeReport predict_serving(const InferenceConfig& cfg);
@@ -123,9 +132,20 @@ class InferenceSession::Builder
  public:
   /// Concurrent decode streams (KV-cache slots / continuous-batch width).
   Builder& max_batch(int n) { cfg_.max_batch = n; return *this; }
-  /// Default continuation length per request.
+  /// Default continuation cap per request.
   Builder& max_new_tokens(int n) { cfg_.max_new_tokens = n; return *this; }
+  /// Token-selection policy: Sampling::Greedy() (default),
+  /// Sampling::TopK(k, temperature) or Sampling::Temperature(t).
   Builder& sampling(Sampling s) { cfg_.sampling = s; return *this; }
+  /// Replaces the stop-token set: any of these ids ends a sequence early.
+  Builder& stop_tokens(std::vector<int64_t> ids) {
+    cfg_.stop_tokens = std::move(ids);
+    return *this;
+  }
+  /// Adds one stop token (chainable; EOS is just a stop token by convention).
+  Builder& eos(int64_t id) { cfg_.stop_tokens.push_back(id); return *this; }
+  /// Data-parallel serving replicas draining one shared request queue.
+  Builder& data_parallel(int dp) { cfg_.dp = dp; return *this; }
   /// Nominal prompt length for predict()/Sim (see InferenceConfig).
   Builder& prompt_tokens(int64_t n) { cfg_.prompt_tokens = n; return *this; }
 

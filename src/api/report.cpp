@@ -1,5 +1,6 @@
 #include "api/report.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <limits>
 
@@ -45,12 +46,40 @@ std::string RunReport::to_string() const {
   return perf::format_row(row);
 }
 
+void ServeReport::set_totals(const runtime::ServeStats& st) {
+  requests = st.requests;
+  prompt_tokens = st.prompt_tokens;
+  generated_tokens = st.generated_tokens;
+  prefill_passes = st.prefill_passes;
+  decode_passes = st.decode_passes;
+  prefill_s = st.prefill_s;
+  decode_s = st.decode_s;
+  peak_kv_bytes = st.peak_kv_bytes;
+}
+
+double ServeReport::wall_estimate_s() const {
+  if (replicas.empty()) return total_wall_s() / std::max(1, dp);
+  double w = 0.0;
+  for (const runtime::ServeStats& r : replicas) {
+    w = std::max(w, r.prefill_s + r.decode_s);
+  }
+  return w;
+}
+
+double ServeReport::prefill_wall_estimate_s() const {
+  if (replicas.empty()) return prefill_s / std::max(1, dp);
+  double w = 0.0;
+  for (const runtime::ServeStats& r : replicas) w = std::max(w, r.prefill_s);
+  return w;
+}
+
 double ServeReport::prefill_tokens_per_s() const {
-  return prefill_s > 0.0 ? static_cast<double>(prompt_tokens) / prefill_s : 0.0;
+  const double wall = prefill_wall_estimate_s();
+  return wall > 0.0 ? static_cast<double>(prompt_tokens) / wall : 0.0;
 }
 
 double ServeReport::tokens_per_s() const {
-  const double wall = total_wall_s();
+  const double wall = wall_estimate_s();
   return wall > 0.0 ? static_cast<double>(generated_tokens) / wall : 0.0;
 }
 
@@ -63,11 +92,13 @@ std::string ServeReport::to_string() const {
     return std::string("serve [") + backend_name(backend) +
            "] infeasible: " + note;
   }
+  char dp_tag[24] = "";
+  if (dp > 1) std::snprintf(dp_tag, sizeof(dp_tag), ", dp=%d", dp);
   char buf[256];
   std::snprintf(buf, sizeof(buf),
-                "serve [%s%s] %lld req, %lld prompt tok @ %.0f tok/s prefill, "
+                "serve [%s%s%s] %lld req, %lld prompt tok @ %.0f tok/s prefill, "
                 "%lld new tok @ %.0f tok/s, %.2f ms/token",
-                backend_name(backend), predicted ? ", predicted" : "",
+                backend_name(backend), dp_tag, predicted ? ", predicted" : "",
                 static_cast<long long>(requests),
                 static_cast<long long>(prompt_tokens), prefill_tokens_per_s(),
                 static_cast<long long>(generated_tokens), tokens_per_s(),

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "perf/planner.hpp"
+#include "runtime/infer.hpp"
 #include "runtime/worker.hpp"
 #include "sim/event_sim.hpp"
 
@@ -70,11 +71,18 @@ struct RunReport {
 /// Cumulative result of an InferenceSession — the serving analogue of
 /// RunReport. Measured on the live backends; predicted (from the
 /// forward-only event simulation) for Sim and for predict() on any backend.
+///
+/// With dp > 1 replicas, counters and seconds are *sums over replicas*
+/// (seconds are busy time, not elapsed time — replicas run concurrently);
+/// `replicas` keeps the per-replica breakdown, and the throughput
+/// accessors divide the summed seconds by dp to recover the concurrent
+/// wall-clock estimate.
 struct ServeReport {
   BackendKind backend = BackendKind::Threads;
   bool predicted = false;
   bool feasible = true;     ///< stage constraints satisfied (predictions)
   std::string note;
+  int dp = 1;               ///< serving replicas the sums below span
   int64_t requests = 0;
   int64_t prompt_tokens = 0;
   int64_t generated_tokens = 0;
@@ -83,14 +91,30 @@ struct ServeReport {
   double prefill_s = 0.0;
   double decode_s = 0.0;
   int64_t peak_kv_bytes = 0;
+  /// Per-replica counters (index = replica id); empty on the sequential
+  /// Reference, one entry per replica on Threads and in predictions.
+  std::vector<runtime::ServeStats> replicas;
 
+  /// Copies the merged counters of a drain into this report (the one
+  /// ServeStats -> ServeReport mapping; backends and predict_serving both
+  /// go through here).
+  void set_totals(const runtime::ServeStats& st);
+
+  /// Summed busy seconds across replicas (== elapsed time when dp == 1).
   double total_wall_s() const { return prefill_s + decode_s; }
-  /// Prompt tokens absorbed per second of prefill time.
+  /// Elapsed-time estimate for the concurrent replicas: the slowest
+  /// replica's busy seconds when the per-replica breakdown is present
+  /// (robust to skewed admission — an idle replica contributes nothing),
+  /// else the summed seconds divided by dp.
+  double wall_estimate_s() const;
+  double prefill_wall_estimate_s() const;
+  /// Prompt tokens absorbed per second of (concurrent) prefill time.
   double prefill_tokens_per_s() const;
-  /// Generated tokens per second over the whole run (the serving headline).
+  /// Generated tokens per second over the whole run (the serving headline;
+  /// scales with dp since replicas decode concurrently).
   double tokens_per_s() const;
   /// Mean decode-pass latency — the time one batch of sequences waits for
-  /// its next token.
+  /// its next token. A per-pass mean, so dp leaves it unchanged.
   double per_token_latency_s() const;
   /// One-line human-readable summary.
   std::string to_string() const;

@@ -34,7 +34,9 @@
 //
 // Serving is the same builder chain with serving knobs: a forward-only wave
 // pipeline with per-stream KV caches, continuous batching up to max_batch,
-// and greedy decode that is token-identical across Threads and Reference:
+// seeded sampling (greedy / top-k / temperature), stop tokens, and dp
+// pipeline replicas behind one shared queue — with decode that is
+// token-identical across Threads and Reference, replicas, and runs:
 //
 //   auto server = hanayo::InferenceSession::builder()
 //                     .model(hanayo::ModelConfig::tiny(/*layers=*/14))
@@ -42,13 +44,16 @@
 //                     .pipeline(4).waves(2)
 //                     .backend(hanayo::BackendKind::Threads)
 //                     .max_batch(4).max_new_tokens(4)
-//                     .sampling(hanayo::Sampling::Greedy)
+//                     .sampling(hanayo::Sampling::TopK(8, 0.8f))
+//                     .eos(2)               // stop-token id
+//                     .data_parallel(2)     // dp replicas, one shared queue
+//                     .seed(7)              // per-request sampling streams
 //                     .build();
 //   hanayo::Tensor prompt({1, 5});          // token ids
 //   server.enqueue(prompt);
-//   auto completions = server.run();        // Completion{id, tokens}
-//   auto serve_report = server.report();    // tokens/sec, ms/token
-//   auto sla = server.predict();            // forward-only dry run
+//   auto completions = server.run();        // Completion{id, tokens, stop_reason}
+//   auto serve_report = server.report();    // tokens/sec, ms/token, per-replica
+//   auto sla = server.predict();            // forward-only dry run (models dp)
 //
 // The pre-Session entry points (Trainer, AsyncTrainer, SequentialEngine and
 // their config structs) remain available below as compatibility shims; the
@@ -97,6 +102,7 @@ using api::MemoryReport;
 using api::RunReport;
 using api::Sampling;
 using api::ServeReport;
+using api::StopReason;
 using api::Session;
 using api::SessionConfig;
 using api::StepReport;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <numeric>
 #include <stdexcept>
 #include <thread>
 
@@ -13,7 +15,17 @@ using comm::Kind;
 using comm::make_tag;
 using schedule::Action;
 using schedule::Op;
+using tensor::Rng;
 using tensor::Tensor;
+
+void Sampling::validate() const {
+  if (kind == Kind::TopK && k < 1) {
+    throw std::invalid_argument("sampling: top-k needs k >= 1");
+  }
+  if (stochastic() && !(temperature > 0.0f)) {
+    throw std::invalid_argument("sampling: temperature must be > 0");
+  }
+}
 
 int64_t greedy_argmax_last_row(const Tensor& logits) {
   const int64_t t = logits.size(1), V = logits.size(2);
@@ -23,6 +35,83 @@ int64_t greedy_argmax_last_row(const Tensor& logits) {
     if (row[v] > row[best]) best = v;
   }
   return best;
+}
+
+int64_t sample_last_row(const Tensor& logits, const Sampling& s, float u) {
+  if (!s.stochastic()) return greedy_argmax_last_row(logits);
+  const int64_t t = logits.size(1), V = logits.size(2);
+  const float* row = logits.data() + (t - 1) * V;
+  const double T = static_cast<double>(s.temperature);
+
+  if (s.kind == Sampling::Kind::TopK) {
+    // Candidate pool: the k best ids, ranked (logit desc, index asc). The
+    // rank order doubles as the CDF walk order, so ties and rounding
+    // resolve identically on every backend, and u = 0 always lands on the
+    // most likely candidate.
+    const int64_t k = std::min<int64_t>(std::max(s.k, 1), V);
+    std::vector<int64_t> cand(static_cast<size_t>(V));
+    std::iota(cand.begin(), cand.end(), int64_t{0});
+    const auto by_logit = [row](int64_t a, int64_t b) {
+      return row[a] > row[b] || (row[a] == row[b] && a < b);
+    };
+    std::partial_sort(cand.begin(), cand.begin() + k, cand.end(), by_logit);
+    cand.resize(static_cast<size_t>(k));
+    // Stable softmax at temperature T; invert the CDF at u. Sequential
+    // double accumulation: deterministic given identical logits.
+    const double mx = static_cast<double>(row[cand.front()]);
+    double total = 0.0;
+    std::vector<double> cum(cand.size());
+    for (size_t i = 0; i < cand.size(); ++i) {
+      total += std::exp((static_cast<double>(row[cand[i]]) - mx) / T);
+      cum[i] = total;
+    }
+    const double target = static_cast<double>(u) * total;
+    for (size_t i = 0; i < cand.size(); ++i) {
+      if (cum[i] > target) return cand[i];
+    }
+    return cand.back();
+  }
+
+  // Temperature over the full vocabulary: three O(V) passes in ascending
+  // index order, no scratch — this runs per generated token on the serving
+  // hot path. The walk order is arbitrary for a CDF inversion; the
+  // cross-backend guarantee only needs it fixed and the accumulation
+  // sequential (identical bits wherever the logits came from).
+  double mx = static_cast<double>(row[0]);
+  for (int64_t v = 1; v < V; ++v) {
+    mx = std::max(mx, static_cast<double>(row[v]));
+  }
+  double total = 0.0;
+  for (int64_t v = 0; v < V; ++v) {
+    total += std::exp((static_cast<double>(row[v]) - mx) / T);
+  }
+  const double target = static_cast<double>(u) * total;
+  double cum = 0.0;
+  for (int64_t v = 0; v < V; ++v) {
+    cum += std::exp((static_cast<double>(row[v]) - mx) / T);
+    if (cum > target) return v;
+  }
+  return V - 1;
+}
+
+bool is_stop_token(const std::vector<int64_t>& stop_tokens, int64_t tok) {
+  return std::find(stop_tokens.begin(), stop_tokens.end(), tok) !=
+         stop_tokens.end();
+}
+
+ServeStats merge_stats(const std::vector<ServeStats>& per_replica) {
+  ServeStats m;
+  for (const ServeStats& s : per_replica) {
+    m.requests += s.requests;
+    m.prompt_tokens += s.prompt_tokens;
+    m.generated_tokens += s.generated_tokens;
+    m.prefill_passes += s.prefill_passes;
+    m.decode_passes += s.decode_passes;
+    m.prefill_s += s.prefill_s;
+    m.decode_s += s.decode_s;
+    m.peak_kv_bytes += s.peak_kv_bytes;
+  }
+  return m;
 }
 
 InferRequest make_infer_request(Tensor prompt, int max_new_tokens,
@@ -45,18 +134,40 @@ InferRequest make_infer_request(Tensor prompt, int max_new_tokens,
   return r;
 }
 
+// ------------------------------------------------------------ RequestQueue
+
+void RequestQueue::push(InferRequest r) {
+  std::lock_guard<std::mutex> lk(mu_);
+  q_.push_back(std::move(r));
+}
+
+bool RequestQueue::pop(InferRequest& out) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (q_.empty()) return false;
+  out = std::move(q_.front());
+  q_.pop_front();
+  return true;
+}
+
+bool RequestQueue::empty() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return q_.empty();
+}
+
 // ----------------------------------------------------------- InferWorker
 
 /// One serving pipeline worker: owns the local stage chunks (the same
 /// partition the trainer would build) and interprets the forward-only action
 /// list of one pass, with the trainer's receive prefetching. The last-stage
 /// worker additionally turns each micro-batch's final-row logits into the
-/// greedy next token.
+/// next token via the configured sampling policy (the micro-batch's uniform
+/// draw rides in on its PassEntry).
 class InferWorker {
  public:
   InferWorker(const InferConfig& cfg, const schedule::Placement& pl, int rank,
               comm::Communicator comm)
-      : rank_(rank), prefetch_depth_(cfg.prefetch_depth), comm_(std::move(comm)) {
+      : rank_(rank), prefetch_depth_(cfg.prefetch_depth),
+        sampling_(cfg.sampling), comm_(std::move(comm)) {
     const auto descs = cfg.model.layer_descs();
     const auto ranges =
         model::partition_layers(descs, pl.stages(), cfg.model.seq);
@@ -146,7 +257,8 @@ class InferWorker {
               it->second, e.pos0, e.slot);
           act_.erase(it);
           if (a.pos == S - 1) {
-            next_tokens_[static_cast<size_t>(a.mb)] = greedy_argmax_last_row(y);
+            next_tokens_[static_cast<size_t>(a.mb)] =
+                sample_last_row(y, sampling_, e.u);
           } else {
             act_[{a.mb, a.pos}] = std::move(y);
           }
@@ -191,6 +303,7 @@ class InferWorker {
  private:
   int rank_;
   int prefetch_depth_;
+  Sampling sampling_;
   comm::Communicator comm_;
   std::vector<model::StageModule> chunks_;
   std::vector<int64_t> next_tokens_;
@@ -199,10 +312,11 @@ class InferWorker {
 
 // ------------------------------------------------------ InferencePipeline
 
-InferencePipeline::InferencePipeline(InferConfig cfg) : cfg_(std::move(cfg)) {
+InferencePipeline::InferencePipeline(InferConfig cfg, RequestQueue* shared)
+    : cfg_(std::move(cfg)), queue_(shared ? shared : &own_queue_) {
   if (!cfg_.model.causal) {
     throw std::invalid_argument(
-        "InferencePipeline: greedy decode needs a causal model (each new "
+        "InferencePipeline: decode needs a causal model (each new "
         "token may only extend, never revise, the prefix)");
   }
   if (cfg_.max_batch < 1) {
@@ -211,6 +325,7 @@ InferencePipeline::InferencePipeline(InferConfig cfg) : cfg_(std::move(cfg)) {
   if (cfg_.max_new_tokens < 1) {
     throw std::invalid_argument("InferencePipeline: max_new_tokens < 1");
   }
+  cfg_.sampling.validate();
   // Compiling B=1 up front surfaces unsupported algorithms (Chimera,
   // PipeDream) and infeasible stage counts at construction time.
   (void)schedule_for(1);
@@ -243,21 +358,30 @@ const schedule::Schedule& InferencePipeline::schedule_for(int batch) {
   return it->second;
 }
 
+int64_t InferencePipeline::slot_bytes() const {
+  int64_t b = 0;
+  for (const auto& w : workers_) b += w->kv_bytes();
+  return b;
+}
+
 int64_t InferencePipeline::enqueue(tensor::Tensor prompt, int max_new_tokens) {
   InferRequest r = make_infer_request(std::move(prompt), max_new_tokens,
                                       cfg_.max_new_tokens, cfg_.model.seq,
                                       next_id_++);
   const int64_t id = r.id;
-  ++stats_.requests;
-  stats_.prompt_tokens += r.prompt.size(1);
-  queue_.push_back(std::move(r));
+  queue_->push(std::move(r));
   return id;
 }
 
 void InferencePipeline::admit() {
-  while (!queue_.empty() && !free_slots_.empty()) {
-    InferRequest r = std::move(queue_.front());
-    queue_.pop_front();
+  // A request counts toward this replica's stats when the replica actually
+  // admits it — with a shared queue, that is what makes per-replica stats
+  // merge into exact cluster totals.
+  while (!free_slots_.empty()) {
+    InferRequest r;
+    if (!queue_->pop(r)) break;
+    ++stats_.requests;
+    stats_.prompt_tokens += r.prompt.size(1);
     ActiveSeq seq;
     seq.id = r.id;
     seq.slot = free_slots_.back();
@@ -265,6 +389,7 @@ void InferencePipeline::admit() {
     seq.prompt_tokens = r.prompt.size(1);
     seq.remaining = r.max_new_tokens;
     seq.input_prompt = std::move(r.prompt);
+    seq.rng = Rng(Rng::split(cfg_.seed, static_cast<uint64_t>(seq.id)));
     active_.push_back(std::move(seq));
   }
 }
@@ -276,6 +401,10 @@ void InferencePipeline::run_pass() {
   for (ActiveSeq& seq : active_) {
     PassEntry e;
     e.slot = seq.slot;
+    // One uniform per generated token, drawn from the request's own stream:
+    // draw order is per-sequence, so batch composition, pass interleaving
+    // and replica assignment cannot shift it.
+    if (cfg_.sampling.stochastic()) e.u = seq.rng.uniform();
     if (!seq.prefilled) {
       e.pos0 = 0;
       e.fresh = true;
@@ -322,9 +451,7 @@ void InferencePipeline::run_pass() {
 
   // Sample the KV footprint before completed streams are dropped: the pass
   // that finishes a sequence is exactly when its cache is fullest.
-  int64_t kv = 0;
-  for (const auto& w : workers_) kv += w->kv_bytes();
-  stats_.peak_kv_bytes = std::max(stats_.peak_kv_bytes, kv);
+  stats_.peak_kv_bytes = std::max(stats_.peak_kv_bytes, slot_bytes());
 
   const std::vector<int64_t>& toks =
       workers_[static_cast<size_t>(last_stage_device_)]->next_tokens();
@@ -344,11 +471,15 @@ void InferencePipeline::run_pass() {
     seq.last_token = tok;
     --seq.remaining;
     ++stats_.generated_tokens;
-    if (seq.remaining == 0) {
+    // A stop token ends the sequence at this pass boundary (the token is
+    // recorded); otherwise the continuation cap decides.
+    const bool hit_stop = is_stop_token(cfg_.stop_tokens, tok);
+    if (hit_stop || seq.remaining == 0) {
       Completion c;
       c.id = seq.id;
       c.prompt_tokens = seq.prompt_tokens;
       c.tokens = std::move(seq.generated);
+      c.stop_reason = hit_stop ? StopReason::StopToken : StopReason::MaxTokens;
       done_.push_back(std::move(c));
       for (auto& w : workers_) w->drop_slot(seq.slot);
       free_slots_.push_back(seq.slot);
@@ -370,6 +501,75 @@ std::vector<Completion> InferencePipeline::drain() {
   std::sort(out.begin(), out.end(),
             [](const Completion& a, const Completion& b) { return a.id < b.id; });
   return out;
+}
+
+// ------------------------------------------------------- InferenceServer
+
+InferenceServer::InferenceServer(InferConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.dp < 1) {
+    throw std::invalid_argument("InferenceServer: dp < 1");
+  }
+  for (int r = 0; r < cfg_.dp; ++r) {
+    replicas_.push_back(std::make_unique<InferencePipeline>(cfg_, &queue_));
+  }
+}
+
+InferenceServer::~InferenceServer() = default;
+
+int64_t InferenceServer::enqueue(tensor::Tensor prompt, int max_new_tokens) {
+  InferRequest r = make_infer_request(std::move(prompt), max_new_tokens,
+                                      cfg_.max_new_tokens, cfg_.model.seq,
+                                      next_id_++);
+  const int64_t id = r.id;
+  queue_.push(std::move(r));
+  return id;
+}
+
+std::vector<Completion> InferenceServer::drain() {
+  std::vector<std::vector<Completion>> per(replicas_.size());
+  if (replicas_.size() == 1) {
+    per[0] = replicas_[0]->drain();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(replicas_.size());
+    std::vector<std::exception_ptr> errors(replicas_.size());
+    for (size_t r = 0; r < replicas_.size(); ++r) {
+      threads.emplace_back([&, r] {
+        try {
+          per[r] = replicas_[r]->drain();
+        } catch (...) {
+          errors[r] = std::current_exception();
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (const auto& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+  }
+  std::vector<Completion> out;
+  for (auto& v : per) {
+    out.insert(out.end(), std::make_move_iterator(v.begin()),
+               std::make_move_iterator(v.end()));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Completion& a, const Completion& b) { return a.id < b.id; });
+  return out;
+}
+
+ServeStats InferenceServer::stats() const { return merge_stats(replica_stats()); }
+
+std::vector<ServeStats> InferenceServer::replica_stats() const {
+  std::vector<ServeStats> out;
+  out.reserve(replicas_.size());
+  for (const auto& r : replicas_) out.push_back(r->stats());
+  return out;
+}
+
+int64_t InferenceServer::slot_bytes() const {
+  int64_t b = 0;
+  for (const auto& r : replicas_) b += r->slot_bytes();
+  return b;
 }
 
 }  // namespace hanayo::runtime

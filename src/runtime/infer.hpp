@@ -3,24 +3,73 @@
 //
 // The training runtime interprets a wave schedule's F/B program; serving is
 // the same machinery with the backward half removed and a feedback edge
-// added: the last stage's greedy token re-enters stage 0 as the next decode
-// step's input. The engine keeps a FIFO request queue and batches admitted
-// sequences up to `max_batch` concurrent decode streams — continuous
-// batching at pass granularity: whenever a sequence completes, the freed
-// slot is handed to the next queued request at the following pass boundary,
-// and that request's prefill micro-batch rides through the pipeline
-// alongside the ongoing sequences' decode micro-batches.
+// added: the last stage's selected token re-enters stage 0 as the next
+// decode step's input. The engine keeps a FIFO request queue and batches
+// admitted sequences up to `max_batch` concurrent decode streams —
+// continuous batching at pass granularity: whenever a sequence completes
+// (its continuation cap, or a stop token), the freed KV slot is handed to
+// the next queued request at the following pass boundary, and that
+// request's prefill micro-batch rides through the pipeline alongside the
+// ongoing sequences' decode micro-batches.
+//
+// Token selection is a policy (`Sampling`): greedy argmax, or seeded
+// top-k / temperature sampling driven by a per-request RNG stream split
+// from (InferConfig::seed, request id) — so stochastic decodes are
+// bit-identical across the Threads and Reference engines, across runs, and
+// across data-parallel replica assignment.
+//
+// `dp > 1` scales out with `InferenceServer`: dp independent
+// InferencePipeline replicas (each its own comm::World of P workers)
+// drain one shared mutex-guarded RequestQueue, and per-replica ServeStats
+// merge into cluster totals.
 
 #include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "model/transformer.hpp"
 #include "runtime/worker.hpp"
 #include "schedule/algorithms.hpp"
+#include "tensor/rng.hpp"
 
 namespace hanayo::runtime {
+
+/// Token-selection policy for serving. The factories mirror the historical
+/// enum spelling: `Sampling::Greedy()` is the deterministic argmax the
+/// cross-backend token-identity guarantee was first stated for; TopK and
+/// Temperature are the stochastic policies, driven by one uniform draw per
+/// generated token from the request's seeded RNG stream — which is what
+/// keeps them equally testable.
+struct Sampling {
+  enum class Kind { Greedy, TopK, Temperature };
+  Kind kind = Kind::Greedy;
+  int k = 0;                 ///< TopK: candidate-pool size (>= 1)
+  float temperature = 1.0f;  ///< softmax temperature (> 0)
+
+  static Sampling Greedy() { return {}; }
+  static Sampling TopK(int k, float temperature = 1.0f) {
+    Sampling s;
+    s.kind = Kind::TopK;
+    s.k = k;
+    s.temperature = temperature;
+    return s;
+  }
+  static Sampling Temperature(float t) {
+    Sampling s;
+    s.kind = Kind::Temperature;
+    s.temperature = t;
+    return s;
+  }
+
+  /// True when decoding consumes RNG draws (anything but greedy).
+  bool stochastic() const { return kind != Kind::Greedy; }
+
+  /// Throws std::invalid_argument on unusable parameters (TopK k < 1,
+  /// temperature <= 0).
+  void validate() const;
+};
 
 /// One queued generation request. `prompt` is a [t] or [1, t] tensor of
 /// token ids.
@@ -30,12 +79,20 @@ struct InferRequest {
   int max_new_tokens = 0;
 };
 
-/// One finished request: the greedily decoded continuation, in generation
-/// order (tokens of one sequence are never reordered).
+/// Why a sequence stopped generating.
+enum class StopReason {
+  MaxTokens,  ///< hit its continuation cap
+  StopToken,  ///< emitted one of the configured stop tokens
+};
+
+/// One finished request: the decoded continuation, in generation order
+/// (tokens of one sequence are never reordered). A stop token, when one
+/// ends the sequence, is the last entry of `tokens`.
 struct Completion {
   int64_t id = -1;
   int64_t prompt_tokens = 0;
   std::vector<int64_t> tokens;
+  StopReason stop_reason = StopReason::MaxTokens;
 };
 
 struct InferConfig {
@@ -44,8 +101,13 @@ struct InferConfig {
   /// the engine compiles one forward-only schedule per concurrent-sequence
   /// count as the batch composition changes.
   schedule::ScheduleRequest sched;
+  int dp = 1;              ///< data-parallel pipeline replicas (InferenceServer)
   int max_batch = 4;       ///< concurrent decode streams (KV-cache slots)
-  int max_new_tokens = 16; ///< default continuation length per request
+  int max_new_tokens = 16; ///< default continuation cap per request
+  Sampling sampling;       ///< token-selection policy (default greedy)
+  /// Emitting any of these ids ends the sequence early (the id itself is
+  /// recorded); its KV slot frees at the next pass boundary.
+  std::vector<int64_t> stop_tokens;
   uint64_t seed = 1;
   int prefetch_depth = 2;
 };
@@ -63,11 +125,29 @@ struct ServeStats {
   int64_t peak_kv_bytes = 0;  ///< max over passes, summed across devices
 };
 
+/// Element-wise sum — replica stats into cluster totals. Counters and busy
+/// seconds add; peak_kv_bytes adds too, because replicas occupy disjoint
+/// devices (the sum is the cluster-wide footprint when peaks coincide).
+ServeStats merge_stats(const std::vector<ServeStats>& per_replica);
+
 /// Greedy head shared by every serving engine: the argmax of the final
 /// row of a [1, t, V] logits tensor, first index winning ties. Threads and
 /// Reference both select through this, which is what makes their
 /// token-identity guarantee a single-definition property.
 int64_t greedy_argmax_last_row(const tensor::Tensor& logits);
+
+/// The full selection head: greedy dispatches to the argmax; TopK /
+/// Temperature invert the (temperature-scaled, stable-softmax) CDF of the
+/// candidate pool at the request's uniform draw `u` in [0, 1). TopK ranks
+/// its pool (logit desc, index asc); Temperature walks the whole
+/// vocabulary in index order, O(V). Either way the walk order is fixed and
+/// the accumulation sequential double — bit-identical wherever the logits
+/// are.
+int64_t sample_last_row(const tensor::Tensor& logits, const Sampling& s,
+                        float u);
+
+/// True when `tok` is one of the configured stop tokens.
+bool is_stop_token(const std::vector<int64_t>& stop_tokens, int64_t tok);
 
 /// Shared request admission: normalises a [t] or [1, t] prompt, applies the
 /// config-default continuation length, and enforces the positional bound
@@ -77,11 +157,27 @@ InferRequest make_infer_request(tensor::Tensor prompt, int max_new_tokens,
                                 int default_new_tokens, int64_t model_seq,
                                 int64_t id);
 
+/// Mutex-guarded FIFO of pending requests — the single queue dp pipeline
+/// replicas drain concurrently (each pop hands one request to whichever
+/// replica has a free KV slot first).
+class RequestQueue {
+ public:
+  void push(InferRequest r);
+  /// Pops the oldest request into `out`; false when empty.
+  bool pop(InferRequest& out);
+  bool empty() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<InferRequest> q_;
+};
+
 /// One micro-batch of one pipeline pass (internal, shared with InferWorker).
 struct PassEntry {
   int slot = 0;        ///< KV-cache stream
   int64_t pos0 = 0;    ///< absolute position of input's first token
   bool fresh = false;  ///< first pass of a sequence: reset the slot first
+  float u = 0.0f;      ///< this step's uniform draw (stochastic sampling)
   tensor::Tensor input;  ///< [1, t] token ids (prompt, or one decoded token)
 };
 
@@ -89,10 +185,12 @@ class InferWorker;
 
 class InferencePipeline {
  public:
-  /// Builds dp=1 pipeline workers for `cfg.sched.P` devices. Requires a
-  /// causal model (greedy decode re-feeds the last position) and a
-  /// unidirectional algorithm (no Chimera).
-  explicit InferencePipeline(InferConfig cfg);
+  /// Builds one pipeline replica of `cfg.sched.P` worker devices. Requires
+  /// a causal model (decode re-feeds the last position) and a
+  /// unidirectional algorithm (no Chimera). When `shared` is non-null the
+  /// replica admits from that queue instead of its own (InferenceServer);
+  /// `cfg.dp` is ignored here — replication lives in InferenceServer.
+  explicit InferencePipeline(InferConfig cfg, RequestQueue* shared = nullptr);
   ~InferencePipeline();
 
   /// Queues a prompt; returns the request id. `max_new_tokens` of 0 uses the
@@ -100,13 +198,18 @@ class InferencePipeline {
   /// model's positional table (`model.seq`).
   int64_t enqueue(tensor::Tensor prompt, int max_new_tokens = 0);
 
-  /// Runs pipeline passes until every queued request has completed; returns
-  /// the completions of this drain in enqueue order.
+  /// Runs pipeline passes until the request queue is empty and every
+  /// admitted sequence has completed; returns the completions of this drain
+  /// in request-id (enqueue) order.
   std::vector<Completion> drain();
 
-  bool idle() const { return queue_.empty() && active_.empty(); }
+  bool idle() const { return queue_->empty() && active_.empty(); }
   const ServeStats& stats() const { return stats_; }
   const InferConfig& config() const { return cfg_; }
+
+  /// KV-cache bytes currently resident across this replica's workers —
+  /// 0 whenever no sequence is mid-flight (the no-slot-leak invariant).
+  int64_t slot_bytes() const;
 
   /// The forward-only schedule compiled for `batch` concurrent sequences
   /// (compiled and validated on first use, then cached).
@@ -122,6 +225,7 @@ class InferencePipeline {
     bool prefilled = false;
     int64_t last_token = -1;
     tensor::Tensor input_prompt;  ///< pending prompt (dropped after prefill)
+    tensor::Rng rng{0};       ///< per-request sampling stream (seed, id)
     std::vector<int64_t> generated;
   };
 
@@ -134,12 +238,55 @@ class InferencePipeline {
   std::unique_ptr<comm::World> world_;
   std::vector<std::unique_ptr<InferWorker>> workers_;
   std::map<int, schedule::Schedule> sched_cache_;
-  std::deque<InferRequest> queue_;
+  RequestQueue own_queue_;
+  RequestQueue* queue_ = nullptr;  ///< own_queue_, or the server's shared one
   std::vector<ActiveSeq> active_;
   std::vector<int> free_slots_;
   std::vector<Completion> done_;
   int64_t next_id_ = 0;
   ServeStats stats_;
+};
+
+/// Data-parallel serving: `cfg.dp` independent InferencePipeline replicas
+/// (identical weights — same seed — on disjoint comm::Worlds) drain one
+/// shared RequestQueue concurrently. Completions merge in request-id order;
+/// ServeStats are kept per replica and merged on demand. Because sampling
+/// streams are split from (seed, request id), which replica serves a
+/// request never changes its tokens.
+class InferenceServer {
+ public:
+  explicit InferenceServer(InferConfig cfg);
+  ~InferenceServer();
+
+  /// Queues a prompt on the shared queue; returns the request id.
+  int64_t enqueue(tensor::Tensor prompt, int max_new_tokens = 0);
+
+  /// Drains the shared queue on all replicas concurrently (one thread per
+  /// replica when dp > 1); completions of this drain in request-id order.
+  std::vector<Completion> drain();
+
+  int dp() const { return static_cast<int>(replicas_.size()); }
+  const InferConfig& config() const { return cfg_; }
+
+  /// Cluster totals (merge_stats over the replicas).
+  ServeStats stats() const;
+  /// Per-replica counters, index = replica id.
+  std::vector<ServeStats> replica_stats() const;
+
+  /// Resident KV bytes summed over replicas — 0 when fully drained.
+  int64_t slot_bytes() const;
+
+  /// Replica 0's compiled forward-only schedule for `batch` streams (all
+  /// replicas compile identical programs).
+  const schedule::Schedule& schedule_for(int batch) {
+    return replicas_[0]->schedule_for(batch);
+  }
+
+ private:
+  InferConfig cfg_;
+  RequestQueue queue_;
+  std::vector<std::unique_ptr<InferencePipeline>> replicas_;
+  int64_t next_id_ = 0;
 };
 
 }  // namespace hanayo::runtime

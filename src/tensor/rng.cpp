@@ -15,6 +15,13 @@ uint64_t splitmix64(uint64_t& x) {
 uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 }  // namespace
 
+uint64_t Rng::split(uint64_t seed, uint64_t stream) {
+  uint64_t x = seed;
+  uint64_t h = splitmix64(x);  // avalanche the seed before folding the stream
+  h += stream;
+  return splitmix64(h);
+}
+
 Rng::Rng(uint64_t seed) {
   uint64_t x = seed;
   for (auto& s : s_) s = splitmix64(x);

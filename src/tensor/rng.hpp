@@ -34,6 +34,13 @@ class Rng {
 
   uint64_t next_u64();
 
+  /// Derives an independent child seed from (seed, stream) — splitmix64 of
+  /// the hashed seed plus the stream id. Serving uses this to give every
+  /// request its own decode-sampling stream: `Rng(Rng::split(seed, id))`
+  /// draws the same values no matter which worker, replica, or batch
+  /// composition serves the request.
+  static uint64_t split(uint64_t seed, uint64_t stream);
+
  private:
   uint64_t s_[4];
   bool have_cached_normal_ = false;

@@ -223,16 +223,31 @@ TEST(InferenceSession, DocCommentServingQuickstartCompilesAndRuns) {
                     .backend(hanayo::BackendKind::Threads)
                     .max_batch(4)
                     .max_new_tokens(4)
-                    .sampling(hanayo::Sampling::Greedy)
+                    .sampling(hanayo::Sampling::TopK(8, 0.8f))
+                    .eos(2)
+                    .data_parallel(2)
+                    .seed(7)
                     .build();
   hanayo::Tensor prompt({1, 5});  // token ids (0 is a valid id)
   server.enqueue(prompt);
   const auto completions = server.run();
   ASSERT_EQ(completions.size(), 1u);
-  EXPECT_EQ(completions[0].tokens.size(), 4u);
+  ASSERT_GE(completions[0].tokens.size(), 1u);
+  ASSERT_LE(completions[0].tokens.size(), 4u);
+  // The stop reason and the decoded text agree: ended early (or exactly on
+  // the stop id) <=> the last token is the configured EOS.
+  if (completions[0].stop_reason == hanayo::StopReason::StopToken) {
+    EXPECT_EQ(completions[0].tokens.back(), 2);
+  } else {
+    EXPECT_EQ(completions[0].tokens.size(), 4u);
+  }
   const auto serve_report = server.report();
-  EXPECT_EQ(serve_report.generated_tokens, 4);
+  EXPECT_EQ(serve_report.dp, 2);
+  EXPECT_EQ(serve_report.generated_tokens,
+            static_cast<int64_t>(completions[0].tokens.size()));
+  EXPECT_EQ(serve_report.replicas.size(), 2u);
   const auto sla = server.predict();
   EXPECT_TRUE(sla.predicted);
   EXPECT_TRUE(sla.feasible);
+  EXPECT_EQ(sla.dp, 2);
 }

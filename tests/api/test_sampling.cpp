@@ -1,0 +1,265 @@
+// Seeded sampling: the serving token-identity guarantee extended beyond
+// greedy. Stochastic policies (top-k, temperature) draw one uniform per
+// generated token from a per-request RNG stream split from
+// (seed, request id), and every engine selects through the single
+// runtime::sample_last_row head — so the same seed decodes the same tokens
+// on Threads and Reference, on any data-parallel replica assignment, and
+// across runs; different seeds (and different requests) genuinely diverge.
+// The Sim backend executes nothing and produces no tokens, so its half of
+// the guarantee is structural: the one selection head these tests pin down
+// directly, plus the policy knobs never perturbing its predictions.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/hanayo.hpp"
+
+using namespace hanayo;
+
+namespace {
+
+// 6 blocks + embedding/norm/head = 9 partitionable layers: enough for the
+// 2*W*P = 8 stages of the widest wave configuration below.
+const ModelConfig kTiny = ModelConfig::tiny(/*layers=*/6, /*hidden=*/32,
+                                            /*heads=*/2, /*vocab=*/67,
+                                            /*seq=*/24);
+
+InferenceSession::Builder sampler(Sampling policy, uint64_t seed,
+                                  BackendKind backend, int dp = 1) {
+  return InferenceSession::builder()
+      .model(kTiny)
+      .algo(Algo::Hanayo)
+      .pipeline(2)
+      .waves(2)
+      .backend(backend)
+      .max_batch(3)
+      .max_new_tokens(6)
+      .sampling(policy)
+      .data_parallel(dp)
+      .seed(seed);
+}
+
+Tensor random_prompt(Rng& rng, int64_t len) {
+  Tensor p({1, len});
+  for (int64_t i = 0; i < len; ++i) {
+    p[i] = static_cast<float>(rng.index(kTiny.vocab));
+  }
+  return p;
+}
+
+/// Decodes `n` pseudo-random prompts (fixed stream) and returns each
+/// completion's tokens, in request order.
+std::vector<std::vector<int64_t>> decode(InferenceSession& s, int n,
+                                         uint64_t prompt_seed = 5) {
+  Rng rng(prompt_seed);
+  for (int r = 0; r < n; ++r) {
+    s.enqueue(random_prompt(rng, 3 + (r % 4)));
+  }
+  const auto done = s.run();
+  EXPECT_EQ(done.size(), static_cast<size_t>(n));
+  std::vector<std::vector<int64_t>> toks;
+  for (const auto& c : done) toks.push_back(c.tokens);
+  return toks;
+}
+
+}  // namespace
+
+// ---- Cross-backend identity for the stochastic policies ------------------
+
+TEST(SeededSampling, TopKIdenticalAcrossThreadsAndReference) {
+  InferenceSession threads =
+      sampler(Sampling::TopK(8, 0.8f), 42, BackendKind::Threads).build();
+  InferenceSession reference =
+      sampler(Sampling::TopK(8, 0.8f), 42, BackendKind::Reference).build();
+  const auto a = decode(threads, 5);
+  const auto b = decode(reference, 5);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "request " << i;
+  }
+}
+
+TEST(SeededSampling, TemperatureIdenticalAcrossThreadsAndReference) {
+  InferenceSession threads =
+      sampler(Sampling::Temperature(1.3f), 42, BackendKind::Threads).build();
+  InferenceSession reference =
+      sampler(Sampling::Temperature(1.3f), 42, BackendKind::Reference).build();
+  const auto a = decode(threads, 5);
+  const auto b = decode(reference, 5);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "request " << i;
+  }
+}
+
+// ---- Reproducibility and divergence --------------------------------------
+
+TEST(SeededSampling, SameSeedReproducesAcrossRuns) {
+  InferenceSession one =
+      sampler(Sampling::TopK(8, 1.0f), 42, BackendKind::Threads).build();
+  InferenceSession two =
+      sampler(Sampling::TopK(8, 1.0f), 42, BackendKind::Threads).build();
+  EXPECT_EQ(decode(one, 4), decode(two, 4));
+}
+
+TEST(SeededSampling, DifferentSeedsDiverge) {
+  InferenceSession one =
+      sampler(Sampling::TopK(8, 1.0f), 1, BackendKind::Threads).build();
+  InferenceSession two =
+      sampler(Sampling::TopK(8, 1.0f), 2, BackendKind::Threads).build();
+  EXPECT_NE(decode(one, 4), decode(two, 4));
+}
+
+TEST(SeededSampling, DifferentRequestsUseDifferentStreams) {
+  // The same prompt enqueued twice in one run gets different request ids,
+  // hence different sampling streams — the continuations should diverge
+  // even though every logit is identical. (6 draws over a 67-token vocab at
+  // temperature 1.5: a collision would be astronomically unlikely.)
+  InferenceSession s =
+      sampler(Sampling::Temperature(1.5f), 42, BackendKind::Threads).build();
+  Rng rng(5);
+  const Tensor prompt = random_prompt(rng, 4);
+  s.enqueue(prompt);
+  s.enqueue(prompt);
+  const auto done = s.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NE(done[0].tokens, done[1].tokens);
+}
+
+// ---- The greedy path is unchanged ----------------------------------------
+
+TEST(SeededSampling, GreedyPathUnchangedByPolicyStruct) {
+  // The default-constructed policy is greedy, spelled Sampling::Greedy();
+  // it consumes no RNG draws, so the PR 3 golden property — Threads and
+  // Reference token-identical for every algorithm — must hold verbatim.
+  for (Algo algo : {Algo::Hanayo, Algo::GPipe, Algo::Dapple}) {
+    const int W = algo == Algo::Hanayo ? 2 : 1;
+    InferenceSession dflt = InferenceSession::builder()
+                                .model(kTiny)
+                                .algo(algo)
+                                .pipeline(2)
+                                .waves(W)
+                                .seed(42)
+                                .max_batch(3)
+                                .max_new_tokens(5)
+                                .build();
+    InferenceSession greedy = sampler(Sampling::Greedy(), 42,
+                                      BackendKind::Threads)
+                                  .algo(algo)
+                                  .waves(W)
+                                  .max_new_tokens(5)
+                                  .build();
+    InferenceSession reference = sampler(Sampling::Greedy(), 42,
+                                         BackendKind::Reference)
+                                     .algo(algo)
+                                     .waves(W)
+                                     .max_new_tokens(5)
+                                     .build();
+    const auto a = decode(dflt, 3);
+    const auto b = decode(greedy, 3);
+    const auto c = decode(reference, 3);
+    EXPECT_EQ(a, b) << schedule::algo_name(algo);
+    EXPECT_EQ(a, c) << schedule::algo_name(algo);
+  }
+}
+
+// ---- Replica assignment cannot change tokens (acceptance criterion) ------
+
+TEST(SeededSampling, DpAssignmentDoesNotChangeTokens) {
+  // One request on dp=1 vs dp=2: whichever replica grabs it from the shared
+  // queue holds the same weights and the same (seed, id) sampling stream.
+  InferenceSession solo =
+      sampler(Sampling::TopK(8, 0.9f), 42, BackendKind::Threads, 1).build();
+  InferenceSession farm =
+      sampler(Sampling::TopK(8, 0.9f), 42, BackendKind::Threads, 2).build();
+  Rng rng(5);
+  const Tensor prompt = random_prompt(rng, 6);
+  solo.enqueue(prompt);
+  farm.enqueue(prompt);
+  const auto a = solo.run();
+  const auto b = farm.run();
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(a[0].tokens, b[0].tokens);
+
+  // A whole batch of requests, racing replicas: still identical per id, and
+  // identical to the sequential reference.
+  InferenceSession solo2 =
+      sampler(Sampling::TopK(8, 0.9f), 42, BackendKind::Threads, 1).build();
+  InferenceSession farm2 =
+      sampler(Sampling::TopK(8, 0.9f), 42, BackendKind::Threads, 2).build();
+  InferenceSession ref =
+      sampler(Sampling::TopK(8, 0.9f), 42, BackendKind::Reference).build();
+  const auto s1 = decode(solo2, 6);
+  const auto s2 = decode(farm2, 6);
+  const auto s3 = decode(ref, 6);
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(s1, s3);
+}
+
+TEST(SeededSampling, SimBackendAcceptsPoliciesWithoutExecuting) {
+  // The dry run executes nothing, so the policy can only flow through its
+  // prediction unchanged — same feasibility, no tokens.
+  InferenceSession sim =
+      sampler(Sampling::TopK(8, 0.9f), 42, BackendKind::Sim).build();
+  sim.enqueue(Tensor({1, 4}, std::vector<float>(4, 1.0f)));
+  const auto done = sim.run();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_TRUE(done[0].tokens.empty());
+  EXPECT_TRUE(sim.report().feasible);
+  const ServeReport greedy_pred =
+      sampler(Sampling::Greedy(), 42, BackendKind::Sim).build().report();
+  EXPECT_EQ(sim.report().decode_s, greedy_pred.decode_s);
+}
+
+// ---- The selection head itself -------------------------------------------
+
+TEST(SeededSampling, SampleLastRowProperties) {
+  // [1, 1, 5] logits with a clear order and one tie (indices 2 and 3).
+  Tensor logits({1, 1, 5});
+  logits[0] = 1.0f;
+  logits[1] = 4.0f;
+  logits[2] = 2.5f;
+  logits[3] = 2.5f;
+  logits[4] = -1.0f;
+
+  // Greedy: argmax, through the same head.
+  EXPECT_EQ(runtime::sample_last_row(logits, Sampling::Greedy(), 0.5f), 1);
+  // TopK(1) degenerates to greedy no matter the draw.
+  EXPECT_EQ(runtime::sample_last_row(logits, Sampling::TopK(1), 0.0f), 1);
+  EXPECT_EQ(runtime::sample_last_row(logits, Sampling::TopK(1), 0.999f), 1);
+  // TopK walks its pool in rank order, so u = 0 always lands on the
+  // highest-probability candidate.
+  EXPECT_EQ(runtime::sample_last_row(logits, Sampling::TopK(3, 1.0f), 0.0f), 1);
+  // Temperature walks the vocabulary in index order; at a near-zero
+  // temperature essentially all mass sits on the argmax, so any draw past
+  // the negligible head lands there.
+  EXPECT_EQ(
+      runtime::sample_last_row(logits, Sampling::Temperature(0.05f), 0.5f), 1);
+  EXPECT_EQ(
+      runtime::sample_last_row(logits, Sampling::Temperature(0.05f), 0.99f), 1);
+  // Ties rank by index: the pool of TopK(2) is {1, 2}, never 3.
+  for (float u : {0.0f, 0.3f, 0.6f, 0.9f}) {
+    const int64_t tok =
+        runtime::sample_last_row(logits, Sampling::TopK(2, 1.0f), u);
+    EXPECT_TRUE(tok == 1 || tok == 2) << "u=" << u << " tok=" << tok;
+  }
+  // u -> 1 walks to the tail of the candidate pool.
+  EXPECT_EQ(runtime::sample_last_row(logits, Sampling::TopK(2, 1.0f), 0.9999f),
+            2);
+}
+
+TEST(SeededSampling, RejectsUnusablePolicies) {
+  EXPECT_THROW(
+      sampler(Sampling::TopK(0), 42, BackendKind::Threads).build(),
+      std::invalid_argument);
+  EXPECT_THROW(
+      sampler(Sampling::Temperature(0.0f), 42, BackendKind::Threads).build(),
+      std::invalid_argument);
+  EXPECT_THROW(
+      sampler(Sampling::TopK(4, -1.0f), 42, BackendKind::Reference).build(),
+      std::invalid_argument);
+  // dp is validated on every backend, before any engine is built.
+  EXPECT_THROW(
+      sampler(Sampling::Greedy(), 42, BackendKind::Threads, 0).build(),
+      std::invalid_argument);
+}

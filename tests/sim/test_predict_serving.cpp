@@ -1,0 +1,156 @@
+// predict() ≡ Sim backend for the serving cost model, across the new axes:
+// dp replicas, early-stopping traffic (stop tokens shorten the modelled
+// continuation via the geometric expectation), and both the calibrated
+// (EngineConfig::calibration) and uncalibrated cluster paths. The equality
+// is the serving analogue of the training-side Sim ≡ evaluate guarantee:
+// one code path (api::predict_serving) feeds both, so these tests would
+// catch either side growing private arithmetic.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/hanayo.hpp"
+
+using namespace hanayo;
+
+namespace {
+
+const ModelConfig kTiny = ModelConfig::tiny(/*layers=*/6, /*hidden=*/32,
+                                            /*heads=*/2, /*vocab=*/67,
+                                            /*seq=*/24);
+
+InferenceSession::Builder server(int dp, std::vector<int64_t> stops = {}) {
+  return InferenceSession::builder()
+      .model(kTiny)
+      .algo(Algo::Hanayo)
+      .pipeline(2)
+      .waves(2)
+      .max_batch(3)
+      .max_new_tokens(8)
+      .stop_tokens(std::move(stops))
+      .data_parallel(dp)
+      .seed(42);
+}
+
+void expect_same_prediction(const ServeReport& a, const ServeReport& b) {
+  EXPECT_TRUE(a.predicted);
+  EXPECT_TRUE(b.predicted);
+  EXPECT_TRUE(a.feasible);
+  EXPECT_TRUE(b.feasible);
+  EXPECT_EQ(a.dp, b.dp);
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.prompt_tokens, b.prompt_tokens);
+  EXPECT_EQ(a.generated_tokens, b.generated_tokens);
+  EXPECT_EQ(a.prefill_passes, b.prefill_passes);
+  EXPECT_EQ(a.decode_passes, b.decode_passes);
+  EXPECT_EQ(a.prefill_s, b.prefill_s);
+  EXPECT_EQ(a.decode_s, b.decode_s);
+  EXPECT_EQ(a.peak_kv_bytes, b.peak_kv_bytes);
+  EXPECT_EQ(a.tokens_per_s(), b.tokens_per_s());
+  EXPECT_EQ(a.per_token_latency_s(), b.per_token_latency_s());
+  EXPECT_EQ(a.replicas.size(), b.replicas.size());
+}
+
+}  // namespace
+
+TEST(PredictServing, PredictEqualsSimBackendAcrossDpAndStops) {
+  for (int dp : {1, 2}) {
+    for (bool stops : {false, true}) {
+      std::vector<int64_t> stop_ids;
+      if (stops) stop_ids = {1, 2, 3, 4, 5, 6, 7, 8};
+      auto b = server(dp, stop_ids);
+      InferenceSession live = b.backend(BackendKind::Threads).build();
+      InferenceSession sim = b.backend(BackendKind::Sim).build();
+      const ServeReport from_live = live.predict();
+      const ServeReport from_sim = sim.report();
+      expect_same_prediction(from_live, from_sim);
+      EXPECT_EQ(from_sim.dp, dp);
+      ASSERT_EQ(from_sim.replicas.size(), static_cast<size_t>(dp));
+      EXPECT_GT(from_sim.prefill_s, 0.0);
+      EXPECT_GT(from_sim.decode_s, 0.0);
+    }
+  }
+}
+
+TEST(PredictServing, CalibratedPathAgreesToo) {
+  // A hand-built (but valid) calibration: the point is that both sides run
+  // the calibrated-cluster branch, not that the numbers match hardware.
+  perf::Calibration cal;
+  cal.sec_per_flop = 2e-11;
+  cal.bwd_fwd_ratio = 1.7;
+  cal.bytes_per_s = 5e9;
+  cal.latency_s = 2e-6;
+  ASSERT_TRUE(cal.valid());
+
+  for (int dp : {1, 2}) {
+    auto b = server(dp).calibration(cal);
+    InferenceSession live = b.backend(BackendKind::Threads).build();
+    InferenceSession sim = b.backend(BackendKind::Sim).build();
+    expect_same_prediction(live.predict(), sim.report());
+
+    // And calibration genuinely changes the prediction (the default spec
+    // cluster is 100 TFLOP/s; the calibrated one is 50 GFLOP/s).
+    const ServeReport uncal = server(dp).backend(BackendKind::Sim).build().report();
+    EXPECT_NE(sim.report().decode_s, uncal.decode_s);
+    EXPECT_NE(sim.report().prefill_s, uncal.prefill_s);
+  }
+}
+
+TEST(PredictServing, EarlyStopShortensTheTimeline) {
+  // 33 of 67 ids are stop tokens: the geometric model expects ~2 tokens per
+  // sequence instead of the full 8-token cap.
+  std::vector<int64_t> stops;
+  for (int64_t i = 0; i < 33; ++i) stops.push_back(i);
+  const ServeReport with = server(1, stops).backend(BackendKind::Sim).build().report();
+  const ServeReport without = server(1).backend(BackendKind::Sim).build().report();
+
+  EXPECT_LT(with.generated_tokens, without.generated_tokens);
+  EXPECT_LT(with.decode_passes, without.decode_passes);
+  EXPECT_LT(with.decode_s, without.decode_s);
+  EXPECT_LT(with.peak_kv_bytes, without.peak_kv_bytes);
+  // Prefill is unaffected: prompts are absorbed before any stop can land.
+  EXPECT_EQ(with.prefill_passes, without.prefill_passes);
+  EXPECT_GE(with.generated_tokens, 1);
+
+  // Duplicated stop ids must not double-count in the stop probability.
+  std::vector<int64_t> dup = stops;
+  dup.insert(dup.end(), stops.begin(), stops.end());
+  const ServeReport with_dup = server(1, dup).backend(BackendKind::Sim).build().report();
+  EXPECT_EQ(with.generated_tokens, with_dup.generated_tokens);
+  EXPECT_EQ(with.decode_s, with_dup.decode_s);
+}
+
+TEST(PredictServing, DpScalesSumsNotLatency) {
+  const ServeReport one = server(1).backend(BackendKind::Sim).build().report();
+  const ServeReport two = server(2).backend(BackendKind::Sim).build().report();
+
+  // Sums over replicas double...
+  EXPECT_EQ(two.requests, 2 * one.requests);
+  EXPECT_EQ(two.generated_tokens, 2 * one.generated_tokens);
+  EXPECT_EQ(two.prefill_passes, 2 * one.prefill_passes);
+  EXPECT_EQ(two.decode_passes, 2 * one.decode_passes);
+  EXPECT_DOUBLE_EQ(two.prefill_s, 2.0 * one.prefill_s);
+  EXPECT_DOUBLE_EQ(two.decode_s, 2.0 * one.decode_s);
+  EXPECT_EQ(two.peak_kv_bytes, 2 * one.peak_kv_bytes);
+  // ...throughput doubles (replicas decode concurrently), while the
+  // per-pass decode latency a waiting client sees is unchanged.
+  EXPECT_DOUBLE_EQ(two.tokens_per_s(), 2.0 * one.tokens_per_s());
+  EXPECT_DOUBLE_EQ(two.per_token_latency_s(), one.per_token_latency_s());
+}
+
+TEST(PredictServing, InfeasibleConfigurationsStillReportNotThrow) {
+  // 9 partitionable layers cannot host 2*W*P = 16 stages; the dry run
+  // reports infeasibility whatever the dp.
+  const ServeReport rep = InferenceSession::builder()
+                              .model(kTiny)
+                              .algo(Algo::Hanayo)
+                              .pipeline(4)
+                              .waves(2)
+                              .data_parallel(2)
+                              .backend(BackendKind::Sim)
+                              .build()
+                              .report();
+  EXPECT_FALSE(rep.feasible);
+  EXPECT_NE(rep.to_string().find("infeasible"), std::string::npos);
+}
