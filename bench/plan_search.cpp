@@ -1,0 +1,139 @@
+// Planner search bench: runs the training configuration search (perf::plan,
+// Fig. 10) and the decode-aware serving search (perf::plan_serving) on a
+// spec cluster, and emits BENCH_plan.json — the ranked candidates, the
+// chosen configuration, and the search wall-time — so CI records how the
+// unified planning core behaves (and how long it takes) on every PR.
+//
+//   $ ./bench/plan_search [out.json] [devices]
+//
+// Wall-times here measure the planner itself (schedule generation + event
+// simulation per cell), not the served model: the search is the product.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/hanayo.hpp"
+
+using namespace hanayo;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_plan.json";
+  const int devices = argc > 2 ? std::atoi(argv[2]) : 8;
+
+  const ModelConfig model = ModelConfig::tiny(/*layers=*/14, /*hidden=*/64,
+                                              /*heads=*/4, /*vocab=*/512,
+                                              /*seq=*/64);
+  const auto cluster = sim::Cluster::uniform(devices, 100e12, 40e9, 12e9, 5e-6);
+
+  // ---- Training search (Fig. 10) ----------------------------------------
+  PlanRequest treq;
+  treq.model = model;
+  treq.cluster = cluster;
+  treq.total_devices = devices;
+  treq.batch_sequences = devices;
+  treq.wave_options = {1, 2, 4};
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto train_rows = plan(treq);
+  const double train_wall = seconds_since(t0);
+  const auto train_best = perf::best(train_rows);
+
+  // ---- Serving search (decode-aware) ------------------------------------
+  ServeTarget starget;
+  starget.total_devices = devices;
+  starget.prompt_tokens = 16;
+  starget.max_new_tokens = 8;
+  starget.wave_options = {1, 2, 4};
+  starget.batch_options = {1, 2, 4, 8};
+  const auto t1 = std::chrono::steady_clock::now();
+  const auto serve_rows = plan_serving(cluster, model, starget);
+  const double serve_wall = seconds_since(t1);
+  const auto serve_best = best_serving(serve_rows);
+
+  std::printf("training: %zu candidates in %.3f s\n", train_rows.size(),
+              train_wall);
+  if (train_best) std::printf("  best: %s\n", train_best->to_string().c_str());
+  std::printf("serving:  %zu candidates in %.3f s\n", serve_rows.size(),
+              serve_wall);
+  if (serve_best) std::printf("  best: %s\n", serve_best->to_string().c_str());
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"plan_search\",\n");
+  std::fprintf(f, "  \"devices\": %d,\n", devices);
+  std::fprintf(f,
+               "  \"model\": {\"layers\": %lld, \"hidden\": %lld, "
+               "\"seq\": %lld, \"vocab\": %lld},\n",
+               static_cast<long long>(model.layers),
+               static_cast<long long>(model.hidden),
+               static_cast<long long>(model.seq),
+               static_cast<long long>(model.vocab));
+
+  std::fprintf(f, "  \"training\": {\n");
+  std::fprintf(f, "    \"candidates\": %zu,\n", train_rows.size());
+  std::fprintf(f, "    \"search_wall_s\": %.6f,\n", train_wall);
+  std::fprintf(f, "    \"chosen\": \"%s\",\n",
+               train_best ? json_escape(train_best->to_string()).c_str() : "");
+  std::fprintf(f, "    \"top\": [\n");
+  const size_t ttop = std::min<size_t>(train_rows.size(), 10);
+  for (size_t i = 0; i < ttop; ++i) {
+    std::fprintf(f, "      \"%s\"%s\n",
+                 json_escape(train_rows[i].to_string()).c_str(),
+                 i + 1 < ttop ? "," : "");
+  }
+  std::fprintf(f, "    ]\n  },\n");
+
+  std::fprintf(f, "  \"serving\": {\n");
+  std::fprintf(f, "    \"candidates\": %zu,\n", serve_rows.size());
+  std::fprintf(f, "    \"search_wall_s\": %.6f,\n", serve_wall);
+  if (serve_best) {
+    std::fprintf(f,
+                 "    \"chosen\": {\"algo\": \"%s\", \"dp\": %d, \"P\": %d, "
+                 "\"W\": %d, \"max_batch\": %d, \"tokens_per_s\": %.1f, "
+                 "\"per_token_ms\": %.6f, \"p50_ms\": %.6f, \"p99_ms\": %.6f, "
+                 "\"ttft_ms\": %.6f, \"peak_mem_gb\": %.4f},\n",
+                 schedule::algo_name(serve_best->algo).c_str(),
+                 serve_best->dp, serve_best->P, serve_best->W,
+                 serve_best->max_batch, serve_best->tokens_per_s,
+                 serve_best->token_latency_s * 1e3,
+                 serve_best->p50_token_latency_s * 1e3,
+                 serve_best->p99_token_latency_s * 1e3,
+                 serve_best->ttft_s * 1e3, serve_best->peak_mem_gb);
+  } else {
+    std::fprintf(f, "    \"chosen\": null,\n");
+  }
+  std::fprintf(f, "    \"top\": [\n");
+  const size_t stop_n = std::min<size_t>(serve_rows.size(), 10);
+  for (size_t i = 0; i < stop_n; ++i) {
+    std::fprintf(f, "      \"%s\"%s\n",
+                 json_escape(serve_rows[i].to_string()).c_str(),
+                 i + 1 < stop_n ? "," : "");
+  }
+  std::fprintf(f, "    ]\n  }\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

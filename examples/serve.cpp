@@ -146,5 +146,60 @@ int main() {
   const ServeReport frep = farm.report();
   std::printf("measured:  %s\n", frep.to_string().c_str());
   std::printf("predicted: %s\n", farm.predict().to_string().c_str());
+
+  // 9. Streaming completions: pass an on_token callback with the enqueue
+  //    and every selected token is delivered at the pass boundary that
+  //    produced it — token-at-a-time, before the batch finishes.
+  auto streamer = InferenceSession::builder()
+                      .model(model)
+                      .algo(Algo::Hanayo)
+                      .pipeline(2)
+                      .waves(1)
+                      .backend(BackendKind::Threads)
+                      .max_batch(2)
+                      .max_new_tokens(8)
+                      .eos(7)
+                      .seed(42)
+                      .build();
+  Rng rng4(3);
+  std::printf("\nstreaming (token-at-a-time):\n");
+  for (int r = 0; r < 2; ++r) {
+    Tensor prompt({1, 6});
+    for (int64_t i = 0; i < 6; ++i) {
+      prompt[i] = static_cast<float>(rng4.index(model.vocab));
+    }
+    streamer.enqueue(prompt, 0, [](const TokenEvent& e) {
+      std::printf("  req %lld token[%d] = %lld%s\n",
+                  static_cast<long long>(e.request_id), e.index,
+                  static_cast<long long>(e.token), e.last ? "  (done)" : "");
+    });
+  }
+  (void)streamer.run();
+
+  // 10. Self-configuration: the decode-aware planner searches
+  //     (algo, P, W, max_batch, dp) against a cluster and an SLA target;
+  //     auto_plan adopts the winner, and predict() then reproduces the
+  //     winning row's numbers bit-for-bit.
+  ServeTarget target;
+  target.total_devices = 4;
+  target.prompt_tokens = 10;
+  target.max_new_tokens = 8;
+  const auto rows = plan_serving(Cluster::uniform(4, 1e12, 1e9, 1e11, 1e-6),
+                                 model, target);
+  std::printf("\nserving planner (%zu candidates), top rows:\n", rows.size());
+  for (size_t i = 0; i < rows.size() && i < 3; ++i) {
+    std::printf("  %s\n", rows[i].to_string().c_str());
+  }
+  auto planned = InferenceSession::builder()
+                     .model(model)
+                     .backend(BackendKind::Sim)
+                     .cluster(Cluster::uniform(4, 1e12, 1e9, 1e11, 1e-6))
+                     .auto_plan(target)
+                     .build();
+  std::printf("auto_plan adopted: %s P=%d W=%d batch=%d dp=%d\n",
+              schedule::algo_name(planned.config().sched.algo).c_str(),
+              planned.config().sched.P, planned.config().sched.waves,
+              planned.config().max_batch, planned.config().dp);
+  std::printf("predict(): %s\n", planned.predict().to_string().c_str());
   return identical ? 0 : 1;
 }

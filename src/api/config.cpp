@@ -6,17 +6,22 @@
 
 namespace hanayo::api {
 
-sim::Cluster EngineConfig::effective_cluster() const {
-  if (cluster) return *cluster;
-  const int devices = std::max(1, dp) * std::max(1, sched.P);
-  if (calibration && calibration->valid()) {
+sim::Cluster planning_cluster(int devices,
+                              const std::optional<perf::Calibration>& cal) {
+  if (cal && cal->valid()) {
     // This machine's measured compute rate and transport fit.
-    return perf::calibrated_cluster(devices, *calibration);
+    return perf::calibrated_cluster(devices, *cal);
   }
   // Homogeneous stand-in: A100-ish compute, 40 GB, PCIe-class links. The
   // paper's calibrated clusters (sim::Cluster::tacc/pc/fc/tc) are a builder
   // call away; this default just makes predict() usable out of the box.
   return sim::Cluster::uniform(devices, 100e12, 40e9, 12e9, 5e-6);
+}
+
+sim::Cluster EngineConfig::effective_cluster() const {
+  if (cluster) return *cluster;
+  const int devices = std::max(1, dp) * std::max(1, sched.P);
+  return planning_cluster(devices, calibration);
 }
 
 int EngineConfig::effective_intra_op_threads() const {
@@ -72,8 +77,7 @@ runtime::AsyncTrainerConfig SessionConfig::async_config() const {
 
 int64_t InferenceConfig::effective_prompt_tokens() const {
   if (prompt_tokens) return *prompt_tokens;
-  const int64_t room = model.seq - max_new_tokens + 1;
-  return std::clamp<int64_t>(model.seq / 2, 1, std::max<int64_t>(room, 1));
+  return perf::Engine::default_prompt_tokens(model, max_new_tokens);
 }
 
 runtime::InferConfig InferenceConfig::infer_config() const {
@@ -85,6 +89,7 @@ runtime::InferConfig InferenceConfig::infer_config() const {
   ic.max_new_tokens = max_new_tokens;
   ic.sampling = sampling;
   ic.stop_tokens = stop_tokens;
+  ic.kv_fp16 = kv_fp16;
   ic.seed = seed;
   ic.prefetch_depth = prefetch_depth;
   return ic;

@@ -12,6 +12,7 @@
 #include "api/report.hpp"
 #include "model/lr_schedule.hpp"
 #include "perf/calibrate.hpp"
+#include "perf/engine.hpp"
 #include "runtime/async_trainer.hpp"
 #include "runtime/infer.hpp"
 #include "runtime/trainer.hpp"
@@ -110,11 +111,17 @@ using runtime::StopReason;
 struct InferenceConfig : EngineConfig {
   int max_batch = 4;        ///< concurrent decode streams (KV-cache slots)
   int max_new_tokens = 16;  ///< default continuation cap per request
-  Sampling sampling;        ///< greedy / top-k / temperature (default greedy)
+  Sampling sampling;        ///< greedy / top-k/top-p / temperature
   /// Emitting any of these ids ends a sequence early (the id is recorded as
   /// the last token; the Completion says StopReason::StopToken); the KV
   /// slot frees at the next pass boundary.
   std::vector<int64_t> stop_tokens;
+  /// Half-precision KV-cache storage: cached K/V panels are stored as fp16
+  /// words and converted back for the attention kernels, halving
+  /// slot_bytes() (decode logits change within fp16 rounding; the
+  /// cross-backend token-identity guarantee still holds, because every
+  /// engine quantizes identically).
+  bool kv_fp16 = false;
   /// Nominal prompt length used by predict() and the Sim backend (the
   /// measured backends use real request lengths). Defaults to half the
   /// model's positions, clamped so prompt + continuation fits.
@@ -124,6 +131,17 @@ struct InferenceConfig : EngineConfig {
 
   /// Lowering to the serving runtime's native config.
   runtime::InferConfig infer_config() const;
+
+  /// Lowering to the unified planning core's serving cell — the single
+  /// definition behind predict() ≡ Sim ≡ the serving planner's rows.
+  perf::ServingPoint serving_point() const;
 };
+
+/// The cluster a planning call falls back on before P/dp are fixed:
+/// calibrated to this machine when a valid calibration is given, else the
+/// homogeneous spec default — the same rule as EngineConfig::
+/// effective_cluster, parameterised by an explicit device count.
+sim::Cluster planning_cluster(int devices,
+                              const std::optional<perf::Calibration>& cal);
 
 }  // namespace hanayo::api

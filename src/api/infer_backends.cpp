@@ -31,8 +31,10 @@ class ThreadInferBackend final : public InferBackend {
 
   BackendKind kind() const override { return BackendKind::Threads; }
 
-  int64_t enqueue(tensor::Tensor prompt, int max_new_tokens) override {
-    return server_.enqueue(std::move(prompt), max_new_tokens);
+  int64_t enqueue(tensor::Tensor prompt, int max_new_tokens,
+                  TokenCallback on_token) override {
+    return server_.enqueue(std::move(prompt), max_new_tokens,
+                           std::move(on_token));
   }
 
   std::vector<Completion> drain() override { return server_.drain(); }
@@ -67,15 +69,21 @@ class ReferenceInferBackend final : public InferBackend {
       : cfg_(cfg),
         module_(cfg.model.layer_descs(), 0,
                 static_cast<int>(cfg.model.layer_descs().size()), cfg.seed,
-                cfg.model.init_std) {}
+                cfg.model.init_std) {
+    // Same half-precision cache quantization as the pipeline workers, so
+    // the token-identity guarantee extends to kv_fp16 runs.
+    module_.set_kv_fp16(cfg.kv_fp16);
+  }
 
   BackendKind kind() const override { return BackendKind::Reference; }
 
-  int64_t enqueue(tensor::Tensor prompt, int max_new_tokens) override {
+  int64_t enqueue(tensor::Tensor prompt, int max_new_tokens,
+                  TokenCallback on_token) override {
     // Same admission rules as the pipeline, by construction (shared helper).
     runtime::InferRequest r = runtime::make_infer_request(
         std::move(prompt), max_new_tokens, cfg_.max_new_tokens,
         cfg_.model.seq, next_id_++);
+    r.on_token = std::move(on_token);
     const int64_t id = r.id;
     queue_.push_back(std::move(r));
     return id;
@@ -123,7 +131,14 @@ class ReferenceInferBackend final : public InferBackend {
           stats_.decode_passes += 1;
           stats_.decode_s += wall;
         }
-        if (runtime::is_stop_token(cfg_.stop_tokens, best)) {
+        const bool hit_stop = runtime::is_stop_token(cfg_.stop_tokens, best);
+        // Streaming: one event per selected token, same boundary semantics
+        // as the pipeline's pass boundary.
+        if (r.on_token) {
+          r.on_token(runtime::TokenEvent{
+              r.id, best, step, hit_stop || step + 1 == r.max_new_tokens});
+        }
+        if (hit_stop) {
           c.stop_reason = runtime::StopReason::StopToken;
           break;
         }
@@ -157,7 +172,10 @@ class SimInferBackend final : public InferBackend {
 
   BackendKind kind() const override { return BackendKind::Sim; }
 
-  int64_t enqueue(tensor::Tensor, int) override { return next_id_++; }
+  // A dry run produces no tokens, so the streaming callback never fires.
+  int64_t enqueue(tensor::Tensor, int, TokenCallback) override {
+    return next_id_++;
+  }
 
   std::vector<Completion> drain() override {
     std::vector<Completion> out;

@@ -1,11 +1,11 @@
 #include "api/inference.hpp"
 
 #include <algorithm>
-#include <cmath>
+#include <stdexcept>
 #include <string>
 
-#include "schedule/validate.hpp"
-#include "sim/event_sim.hpp"
+#include "perf/engine.hpp"
+#include "perf/serve_planner.hpp"
 #include "tensor/parallel.hpp"
 
 namespace hanayo::api {
@@ -15,8 +15,10 @@ InferenceSession::Builder InferenceSession::builder() { return Builder(); }
 InferenceSession::InferenceSession(InferenceConfig cfg)
     : cfg_(std::move(cfg)), backend_(make_infer_backend(cfg_)) {}
 
-int64_t InferenceSession::enqueue(tensor::Tensor prompt, int max_new_tokens) {
-  return backend_->enqueue(std::move(prompt), max_new_tokens);
+int64_t InferenceSession::enqueue(tensor::Tensor prompt, int max_new_tokens,
+                                  TokenCallback on_token) {
+  return backend_->enqueue(std::move(prompt), max_new_tokens,
+                           std::move(on_token));
 }
 
 std::vector<Completion> InferenceSession::run() {
@@ -34,116 +36,99 @@ ServeReport InferenceSession::report() const {
   return rep;
 }
 
-namespace {
-
-/// Expected per-sequence continuation length under stop tokens, for the
-/// dry-run cost model: each generated token is approximated as uniform over
-/// the vocabulary, so a set of s distinct stop ids stops a sequence with
-/// p = s/V per token and E[len] = sum_{t=1..cap} (1-p)^(t-1) — the
-/// geometric partial sum, capped by max_new_tokens. (An approximation by
-/// construction: real logits are anything but uniform. It exists so dp / SLA
-/// planning can account for early exits at all; the measured backends
-/// report real lengths.)
-int expected_new_tokens(const InferenceConfig& cfg) {
-  if (cfg.stop_tokens.empty()) return cfg.max_new_tokens;
-  std::vector<int64_t> uniq = cfg.stop_tokens;
-  std::sort(uniq.begin(), uniq.end());
-  uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
-  const double p = std::min(
-      1.0, static_cast<double>(uniq.size()) /
-               static_cast<double>(std::max<int64_t>(cfg.model.vocab, 1)));
-  if (p >= 1.0) return 1;
-  const double cap = static_cast<double>(cfg.max_new_tokens);
-  const double e_len = (1.0 - std::pow(1.0 - p, cap)) / p;
-  return std::max(1, static_cast<int>(std::llround(e_len)));
+perf::ServingPoint InferenceConfig::serving_point() const {
+  perf::ServingPoint pt;
+  pt.algo = sched.algo;
+  pt.P = sched.P;
+  pt.W = effective_W();
+  pt.max_batch = max_batch;
+  pt.prompt_tokens = effective_prompt_tokens();
+  pt.max_new_tokens = max_new_tokens;
+  pt.stop_tokens = stop_tokens;
+  pt.kv_fp16 = kv_fp16;
+  pt.tf = sched.tf;
+  pt.tb = sched.tb;
+  return pt;
 }
-
-}  // namespace
 
 ServeReport predict_serving(const InferenceConfig& cfg) {
   ServeReport rep;
   rep.backend = cfg.backend;
   rep.predicted = true;
 
-  // Feasibility is a result, not an exception — the point of a dry run is
-  // to find out before building an engine (same stance as the Sim backend).
-  if (!cfg.model.causal) {
+  // The unified planning core does the work (feasibility is a result, not
+  // an exception — same stance as the Sim backend); this frontend only
+  // replicates the one-replica prediction over dp, which is exact because
+  // replicas are fully independent (disjoint devices, no collective).
+  const perf::Engine eng(cfg.model, cfg.effective_cluster(), cfg.calibration);
+  const perf::ServePrediction pred = eng.evaluate_serving(cfg.serving_point());
+  if (!pred.feasible) {
     rep.feasible = false;
-    rep.note = "greedy decode needs a causal model";
+    rep.note = pred.note;
     return rep;
   }
-  if (cfg.sched.algo == schedule::Algo::Chimera ||
-      cfg.sched.algo == schedule::Algo::PipeDream) {
-    rep.feasible = false;
-    rep.note = std::string(schedule::algo_name(cfg.sched.algo)) +
-               " has no forward-only program";
-    return rep;
-  }
-  schedule::ScheduleRequest req = cfg.effective_sched();
-  req.B = cfg.max_batch;
-  const int S = schedule::stages_for(req);
-  const int total_layers = static_cast<int>(cfg.model.layer_descs().size());
-  if (S > total_layers) {
-    rep.feasible = false;
-    rep.note = "stages (" + std::to_string(S) + ") exceed layers (" +
-               std::to_string(total_layers) + ")";
-    return rep;
-  }
-
-  const sim::Cluster cluster = cfg.effective_cluster();
-  const schedule::Schedule sched = schedule::make_forward_schedule(req);
-  // Replicas are fully independent (disjoint devices, no collective), so
-  // event-simulating one replica's timeline and replicating the numbers is
-  // exact, not an approximation.
-  sim::SimOptions opt;
-  opt.dp = 1;
-  opt.state_factor = 1.0;  // inference holds weights, no grads/optimizer
-  opt.devmap = sim::DeviceMap{cfg.sched.P, 0};
-
-  const int dp = std::max(1, cfg.dp);
-  const int64_t plen = cfg.effective_prompt_tokens();
-  // Stop tokens shorten the modelled continuation (see expected_new_tokens).
-  const int steps = expected_new_tokens(cfg);
-
-  // One full-batch prefill pass: every micro-batch carries a whole prompt.
-  const sim::PipelineCosts prefill_costs =
-      sim::infer_costs(cfg.model, S, 1, plen, plen, cluster);
-  const sim::SimResult prefill =
-      sim::simulate(sched, prefill_costs, cluster, opt);
-
-  // steps - 1 decode passes (the prefill emits the first token), costed at
-  // the mean KV-cache depth of the decode phase.
-  sim::SimResult decode;
-  if (steps > 1) {
-    const int64_t mean_ctx = plen + steps / 2;
-    const sim::PipelineCosts decode_costs =
-        sim::infer_costs(cfg.model, S, 1, 1, mean_ctx, cluster);
-    decode = sim::simulate(sched, decode_costs, cluster, opt);
-  }
-
-  // Per-replica nominal load: one full batch of prompts to completion.
-  runtime::ServeStats per;
-  per.requests = cfg.max_batch;
-  per.prompt_tokens = static_cast<int64_t>(cfg.max_batch) * plen;
-  per.generated_tokens = static_cast<int64_t>(cfg.max_batch) * steps;
-  per.prefill_passes = 1;
-  per.decode_passes = steps - 1;
-  per.prefill_s = prefill.makespan;
-  per.decode_s = decode.makespan * (steps - 1);
-  // KV rows resident at the end: per device, the per-pass act bytes times
-  // the final context length of every stream.
-  double kv = 0.0;
-  for (double x : prefill_costs.act_bytes) kv += x;
-  per.peak_kv_bytes = static_cast<int64_t>(
-      kv / static_cast<double>(plen) *
-      static_cast<double>(plen + steps - 1) * cfg.max_batch);
+  // The memory verdict rides along: a dry run exists to catch an
+  // over-memory configuration before an engine is built, so the same
+  // pruning signal the planner uses is surfaced here, timings and all.
+  rep.oom = pred.oom;
+  rep.peak_mem_gb = pred.peak_mem_gb;
 
   // dp replicas drain the same load concurrently: sums over replicas, same
   // convention as the measured merge (runtime::merge_stats).
-  rep.dp = dp;
-  rep.replicas.assign(static_cast<size_t>(dp), per);
+  rep.dp = std::max(1, cfg.dp);
+  rep.replicas.assign(static_cast<size_t>(rep.dp), pred.per_replica);
   rep.set_totals(runtime::merge_stats(rep.replicas));
   return rep;
+}
+
+InferenceSession::Builder& InferenceSession::Builder::auto_plan(
+    const perf::ServeTarget& target) {
+  // The planner needs a concrete cluster before P/dp are chosen: an
+  // explicit .cluster() wins, else the target's device count is lowered
+  // through the same calibrated-or-spec-default rule as effective_cluster.
+  // Every knob the target leaves unset is back-filled from the builder
+  // BEFORE planning, and the merged values are adopted back afterwards —
+  // so earlier builder calls are never silently clobbered by target
+  // defaults, and a later predict() prices the session exactly as the
+  // planner ranked it.
+  perf::ServeTarget t = target;
+  if (!t.calibration) t.calibration = cfg_.calibration;
+  cfg_.calibration = t.calibration;
+  if (t.max_new_tokens <= 0) t.max_new_tokens = cfg_.max_new_tokens;
+  if (t.stop_tokens.empty()) t.stop_tokens = cfg_.stop_tokens;
+  t.kv_fp16 = t.kv_fp16 || cfg_.kv_fp16;
+  const sim::Cluster cluster =
+      cfg_.cluster ? *cfg_.cluster
+                   : api::planning_cluster(t.total_devices, t.calibration);
+  const auto cands = perf::plan_serving(cluster, cfg_.model, t);
+  const auto pick = perf::best_serving(cands);
+  if (!pick) {
+    throw std::invalid_argument(
+        "auto_plan: no feasible serving configuration for " +
+        std::to_string(t.total_devices) + " devices (model layers: " +
+        std::to_string(cfg_.model.layer_descs().size()) + ")");
+  }
+  // Adopt the winning (algo, P, W, max_batch, dp) plus the load assumptions
+  // it was scored under, so a subsequent predict() reproduces the planner's
+  // winning row bit-for-bit.
+  cfg_.sched.algo = pick->algo;
+  cfg_.sched.P = pick->P;
+  cfg_.sched.waves = pick->W;
+  cfg_.sched.vchunks = pick->W;
+  cfg_.dp = pick->dp;
+  cfg_.max_batch = pick->max_batch;
+  cfg_.max_new_tokens = t.max_new_tokens;
+  cfg_.stop_tokens = t.stop_tokens;
+  cfg_.kv_fp16 = t.kv_fp16;
+  // An unset target prompt length means the candidates were scored under
+  // the default rule — clear any earlier builder override so predict()
+  // resolves to the same length the planner used.
+  if (t.prompt_tokens > 0) {
+    cfg_.prompt_tokens = t.prompt_tokens;
+  } else {
+    cfg_.prompt_tokens.reset();
+  }
+  return *this;
 }
 
 }  // namespace hanayo::api

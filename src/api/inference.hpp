@@ -38,10 +38,13 @@
 #include "api/config.hpp"
 #include "api/report.hpp"
 #include "api/session.hpp"
+#include "perf/serve_planner.hpp"
 
 namespace hanayo::api {
 
 using runtime::Completion;
+using runtime::TokenCallback;
+using runtime::TokenEvent;
 
 /// The pluggable serving engine behind an InferenceSession: pipelined
 /// worker threads, the sequential full-prefix-recompute reference, or the
@@ -53,7 +56,11 @@ class InferBackend {
   virtual BackendKind kind() const = 0;
 
   /// Queues a prompt ([t] or [1, t] token ids); returns the request id.
-  virtual int64_t enqueue(tensor::Tensor prompt, int max_new_tokens) = 0;
+  /// `on_token` (optional) streams each selected token back at the pass
+  /// boundary that produced it (the Sim dry run produces no tokens and
+  /// never calls it).
+  virtual int64_t enqueue(tensor::Tensor prompt, int max_new_tokens,
+                          TokenCallback on_token = {}) = 0;
 
   /// Generates until the queue is empty; completions in enqueue order.
   /// (Sim predicts instead of executing: completions carry no tokens.)
@@ -100,8 +107,13 @@ class InferenceSession {
   InferenceSession& operator=(InferenceSession&&) = default;
 
   /// Queues a prompt ([t] or [1, t] token-id tensor). `max_new_tokens` of 0
-  /// uses the config default. Returns the request id.
-  int64_t enqueue(tensor::Tensor prompt, int max_new_tokens = 0);
+  /// uses the config default. `on_token` (optional) streams the request's
+  /// tokens one at a time: it fires at every pass boundary with the newly
+  /// selected token, in generation order (with dp > 1 replicas, callbacks
+  /// of *different* requests may run concurrently from different replica
+  /// threads; one request's events never do). Returns the request id.
+  int64_t enqueue(tensor::Tensor prompt, int max_new_tokens = 0,
+                  TokenCallback on_token = {});
 
   /// Serves every queued request to completion (continuous batching up to
   /// max_batch concurrent streams); returns completions in enqueue order.
@@ -146,8 +158,19 @@ class InferenceSession::Builder
   Builder& eos(int64_t id) { cfg_.stop_tokens.push_back(id); return *this; }
   /// Data-parallel serving replicas draining one shared request queue.
   Builder& data_parallel(int dp) { cfg_.dp = dp; return *this; }
+  /// Half-precision KV-cache storage (see InferenceConfig::kv_fp16).
+  Builder& kv_fp16(bool on = true) { cfg_.kv_fp16 = on; return *this; }
   /// Nominal prompt length for predict()/Sim (see InferenceConfig).
   Builder& prompt_tokens(int64_t n) { cfg_.prompt_tokens = n; return *this; }
+
+  /// Self-configuration: runs the decode-aware serving planner
+  /// (perf::plan_serving) over (algo, P, W, max_batch, dp) against the
+  /// builder's cluster (or the target's device count lowered through the
+  /// calibrated-or-default rule) and adopts the winning candidate plus the
+  /// load assumptions it was scored under — so the session's predict()
+  /// reproduces the planner's winning row bit-for-bit. Throws
+  /// std::invalid_argument when no candidate is usable.
+  Builder& auto_plan(const perf::ServeTarget& target);
 
   InferenceSession build() { return InferenceSession(cfg_); }
 };

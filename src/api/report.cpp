@@ -57,34 +57,41 @@ void ServeReport::set_totals(const runtime::ServeStats& st) {
   peak_kv_bytes = st.peak_kv_bytes;
 }
 
+runtime::ServeStats ServeReport::totals() const {
+  runtime::ServeStats st;
+  st.requests = requests;
+  st.prompt_tokens = prompt_tokens;
+  st.generated_tokens = generated_tokens;
+  st.prefill_passes = prefill_passes;
+  st.decode_passes = decode_passes;
+  st.prefill_s = prefill_s;
+  st.decode_s = decode_s;
+  st.peak_kv_bytes = peak_kv_bytes;
+  return st;
+}
+
+// All rate accessors delegate to the runtime::serve_* arithmetic — the
+// same functions the serving planner's candidate rows use, which is what
+// makes planner ≡ predict() equality structural.
+
 double ServeReport::wall_estimate_s() const {
-  if (replicas.empty()) return total_wall_s() / std::max(1, dp);
-  double w = 0.0;
-  for (const runtime::ServeStats& r : replicas) {
-    w = std::max(w, r.prefill_s + r.decode_s);
-  }
-  return w;
+  return runtime::serve_wall_estimate_s(totals(), replicas, dp);
 }
 
 double ServeReport::prefill_wall_estimate_s() const {
-  if (replicas.empty()) return prefill_s / std::max(1, dp);
-  double w = 0.0;
-  for (const runtime::ServeStats& r : replicas) w = std::max(w, r.prefill_s);
-  return w;
+  return runtime::serve_prefill_wall_estimate_s(totals(), replicas, dp);
 }
 
 double ServeReport::prefill_tokens_per_s() const {
-  const double wall = prefill_wall_estimate_s();
-  return wall > 0.0 ? static_cast<double>(prompt_tokens) / wall : 0.0;
+  return runtime::serve_prefill_tokens_per_s(totals(), replicas, dp);
 }
 
 double ServeReport::tokens_per_s() const {
-  const double wall = wall_estimate_s();
-  return wall > 0.0 ? static_cast<double>(generated_tokens) / wall : 0.0;
+  return runtime::serve_tokens_per_s(totals(), replicas, dp);
 }
 
 double ServeReport::per_token_latency_s() const {
-  return decode_passes > 0 ? decode_s / decode_passes : 0.0;
+  return runtime::serve_per_token_latency_s(totals());
 }
 
 std::string ServeReport::to_string() const {
@@ -94,15 +101,20 @@ std::string ServeReport::to_string() const {
   }
   char dp_tag[24] = "";
   if (dp > 1) std::snprintf(dp_tag, sizeof(dp_tag), ", dp=%d", dp);
-  char buf[256];
+  char oom_tag[48] = "";
+  if (oom) {
+    std::snprintf(oom_tag, sizeof(oom_tag), " [OOM, peak %.2f GB]",
+                  peak_mem_gb);
+  }
+  char buf[304];
   std::snprintf(buf, sizeof(buf),
                 "serve [%s%s%s] %lld req, %lld prompt tok @ %.0f tok/s prefill, "
-                "%lld new tok @ %.0f tok/s, %.2f ms/token",
+                "%lld new tok @ %.0f tok/s, %.2f ms/token%s",
                 backend_name(backend), dp_tag, predicted ? ", predicted" : "",
                 static_cast<long long>(requests),
                 static_cast<long long>(prompt_tokens), prefill_tokens_per_s(),
                 static_cast<long long>(generated_tokens), tokens_per_s(),
-                per_token_latency_s() * 1e3);
+                per_token_latency_s() * 1e3, oom_tag);
   return buf;
 }
 

@@ -81,6 +81,12 @@ struct ServeReport {
   BackendKind backend = BackendKind::Threads;
   bool predicted = false;
   bool feasible = true;     ///< stage constraints satisfied (predictions)
+  /// Prediction-only memory verdict (the planner's pruning model): the
+  /// most loaded device's weights + full-context KV, and whether it
+  /// exceeds the cluster's per-device capacity. Measured backends leave
+  /// these at their defaults (they would have failed to allocate instead).
+  bool oom = false;
+  double peak_mem_gb = 0.0;
   std::string note;
   int dp = 1;               ///< serving replicas the sums below span
   int64_t requests = 0;
@@ -99,6 +105,11 @@ struct ServeReport {
   /// ServeStats -> ServeReport mapping; backends and predict_serving both
   /// go through here).
   void set_totals(const runtime::ServeStats& st);
+
+  /// The merged counters as a ServeStats (inverse of set_totals) — what
+  /// the rate accessors below feed to the shared runtime::serve_*
+  /// arithmetic.
+  runtime::ServeStats totals() const;
 
   /// Summed busy seconds across replicas (== elapsed time when dp == 1).
   double total_wall_s() const { return prefill_s + decode_s; }

@@ -55,6 +55,38 @@
 //   auto serve_report = server.report();    // tokens/sec, ms/token, per-replica
 //   auto sla = server.predict();            // forward-only dry run (models dp)
 //
+// Serving also has its Fig. 10: the decode-aware planner searches
+// (algo, P, W, max_batch, dp) against a cluster and an SLA target, pruning
+// by KV/weight memory and event-simulating the mixed prefill/decode
+// timeline of each surviving cell. A session can self-configure from the
+// winning candidate (whose predicted numbers its predict() then reproduces
+// bit-for-bit):
+//
+//   hanayo::ServeTarget target;
+//   target.total_devices = 8;
+//   target.prompt_tokens = 12;
+//   target.max_new_tokens = 8;
+//   auto rows = hanayo::plan_serving(hanayo::Cluster::fc(),
+//                                    hanayo::ModelConfig::tiny(14), target);
+//   std::puts(rows.front().to_string().c_str());  // ranked ServeCandidate
+//
+//   auto planned = hanayo::InferenceSession::builder()
+//                      .model(hanayo::ModelConfig::tiny(14))
+//                      .backend(hanayo::BackendKind::Sim)
+//                      .cluster(hanayo::Cluster::fc())  // plan + predict on it
+//                      .auto_plan(target)   // adopts (algo, P, W, batch, dp)
+//                      .build();
+//   auto picked_sla = planned.predict();   // == the winning row's numbers
+//
+// Streaming completions ride on the same enqueue call: pass an on_token
+// callback and each selected token is delivered at the pass boundary that
+// produced it —
+//
+//   server.enqueue(prompt, 0, [](const hanayo::TokenEvent& e) {
+//     std::printf("req %lld token %lld%s", (long long)e.request_id,
+//                 (long long)e.token, e.last ? " (done)\n" : "\n");
+//   });
+//
 // The pre-Session entry points (Trainer, AsyncTrainer, SequentialEngine and
 // their config structs) remain available below as compatibility shims; the
 // Session backends are thin wrappers over them.
@@ -74,8 +106,10 @@
 #include "model/transformer.hpp"
 #include "perf/analytic.hpp"
 #include "perf/calibrate.hpp"
+#include "perf/engine.hpp"
 #include "perf/hybrid.hpp"
 #include "perf/planner.hpp"
+#include "perf/serve_planner.hpp"
 #include "perf/zones.hpp"
 #include "runtime/async_trainer.hpp"
 #include "runtime/engine.hpp"
@@ -109,12 +143,20 @@ using api::StepReport;
 using data::DataLoader;
 using data::LoaderConfig;
 using data::SyntheticCorpus;
+using api::TokenCallback;
+using api::TokenEvent;
 using model::DynamicLossScaler;
 using model::LrSchedule;
 using model::ModelConfig;
+using perf::best_serving;
 using perf::Candidate;
+using perf::Engine;
 using perf::plan;
+using perf::plan_serving;
 using perf::PlanRequest;
+using perf::ServeCandidate;
+using perf::ServeTarget;
+using perf::ServingPoint;
 using runtime::AsyncTrainer;
 using runtime::AsyncTrainerConfig;
 using runtime::Batch;

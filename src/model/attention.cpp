@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "tensor/half.hpp"
 #include "tensor/kernels.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/parallel.hpp"
@@ -194,32 +195,73 @@ Tensor MultiHeadAttention::forward_infer(const Tensor& x, int64_t pos0,
   // Append this call's K/V rows (time-major: one contiguous row per token).
   const int64_t row = b * hidden_;  // b * heads * dk
   const int64_t total = kv.len + t;
-  if (kv.k.numel() < total * row) {
-    const int64_t cap = kv.k.numel() / std::max<int64_t>(row, 1);
-    const int64_t newcap = std::max<int64_t>({total, 2 * cap, 16});
-    Tensor nk({newcap, row}), nv({newcap, row});
-    if (kv.len > 0) {
-      std::memcpy(nk.data(), kv.k.data(),
-                  static_cast<size_t>(kv.len * row) * sizeof(float));
-      std::memcpy(nv.data(), kv.v.data(),
-                  static_cast<size_t>(kv.len * row) * sizeof(float));
-    }
-    kv.k = std::move(nk);
-    kv.v = std::move(nv);
-  }
   const int64_t h3 = 3 * hidden_;
-  for (int64_t j = 0; j < t; ++j) {
-    for (int64_t n = 0; n < b; ++n) {
-      const float* src = qkv.data() + (n * t + j) * h3;
-      float* kdst = kv.k.data() + (kv.len + j) * row + n * hidden_;
-      float* vdst = kv.v.data() + (kv.len + j) * row + n * hidden_;
-      std::memcpy(kdst, src + hidden_,
-                  static_cast<size_t>(hidden_) * sizeof(float));
-      std::memcpy(vdst, src + 2 * hidden_,
-                  static_cast<size_t>(hidden_) * sizeof(float));
+  if (kv_fp16_) {
+    // Half-precision storage: same [len, row] layout, binary16 words. Rows
+    // quantize on append — once per token, whichever call produced it — so
+    // incremental decode and full-prefix recompute still see identical
+    // cached bits.
+    const size_t need = static_cast<size_t>(total * row);
+    if (kv.k16.capacity() < need) {
+      const size_t newcap = std::max(
+          {need, 2 * kv.k16.capacity(), static_cast<size_t>(16 * row)});
+      kv.k16.reserve(newcap);
+      kv.v16.reserve(newcap);
+    }
+    kv.k16.resize(need);
+    kv.v16.resize(need);
+    for (int64_t j = 0; j < t; ++j) {
+      for (int64_t n = 0; n < b; ++n) {
+        const float* src = qkv.data() + (n * t + j) * h3;
+        uint16_t* kdst = kv.k16.data() + (kv.len + j) * row + n * hidden_;
+        uint16_t* vdst = kv.v16.data() + (kv.len + j) * row + n * hidden_;
+        for (int64_t i = 0; i < hidden_; ++i) {
+          kdst[i] = float_to_half(src[hidden_ + i]);
+          vdst[i] = float_to_half(src[2 * hidden_ + i]);
+        }
+      }
+    }
+  } else {
+    if (kv.k.numel() < total * row) {
+      const int64_t cap = kv.k.numel() / std::max<int64_t>(row, 1);
+      const int64_t newcap = std::max<int64_t>({total, 2 * cap, 16});
+      Tensor nk({newcap, row}), nv({newcap, row});
+      if (kv.len > 0) {
+        std::memcpy(nk.data(), kv.k.data(),
+                    static_cast<size_t>(kv.len * row) * sizeof(float));
+        std::memcpy(nv.data(), kv.v.data(),
+                    static_cast<size_t>(kv.len * row) * sizeof(float));
+      }
+      kv.k = std::move(nk);
+      kv.v = std::move(nv);
+    }
+    for (int64_t j = 0; j < t; ++j) {
+      for (int64_t n = 0; n < b; ++n) {
+        const float* src = qkv.data() + (n * t + j) * h3;
+        float* kdst = kv.k.data() + (kv.len + j) * row + n * hidden_;
+        float* vdst = kv.v.data() + (kv.len + j) * row + n * hidden_;
+        std::memcpy(kdst, src + hidden_,
+                    static_cast<size_t>(hidden_) * sizeof(float));
+        std::memcpy(vdst, src + 2 * hidden_,
+                    static_cast<size_t>(hidden_) * sizeof(float));
+      }
     }
   }
   kv.len = total;
+
+  // fp16 storage: materialise fp32 panels for the kernels, one conversion
+  // pass per decode call (the resident cache stays half precision).
+  Tensor kf, vf;
+  if (kv_fp16_) {
+    kf = Tensor({total, row});
+    vf = Tensor({total, row});
+    float* kp = kf.data();
+    float* vp = vf.data();
+    for (int64_t i = 0; i < total * row; ++i) {
+      kp[i] = half_to_float(kv.k16[static_cast<size_t>(i)]);
+      vp[i] = half_to_float(kv.v16[static_cast<size_t>(i)]);
+    }
+  }
 
   // Attend each new token over the cached prefix. Extents are per *row*
   // (jext = absolute position + 1), so every row's value is identical
@@ -228,8 +270,8 @@ Tensor MultiHeadAttention::forward_infer(const Tensor& x, int64_t pos0,
   Tensor ctx({b, t, hidden_});
   const float scale = 1.0f / std::sqrt(static_cast<float>(dk_));
   const float* qkvp = qkv.data();
-  const float* kcache = kv.k.data();
-  const float* vcache = kv.v.data();
+  const float* kcache = kv_fp16_ ? kf.data() : kv.k.data();
+  const float* vcache = kv_fp16_ ? vf.data() : kv.v.data();
   float* probsp = probs.data();
   float* ctxp = ctx.data();
   const bool causal = causal_;
@@ -273,8 +315,20 @@ Tensor MultiHeadAttention::forward_infer(const Tensor& x, int64_t pos0,
 
 int64_t MultiHeadAttention::slot_bytes() const {
   int64_t bytes = 0;
-  for (const auto& [s, kv] : kv_) bytes += kv.k.bytes() + kv.v.bytes();
+  for (const auto& [s, kv] : kv_) {
+    bytes += kv.k.bytes() + kv.v.bytes();
+    bytes += static_cast<int64_t>((kv.k16.size() + kv.v16.size()) *
+                                  sizeof(uint16_t));
+  }
   return bytes;
+}
+
+void MultiHeadAttention::set_kv_fp16(bool on) {
+  if (on != kv_fp16_ && !kv_.empty()) {
+    throw std::logic_error(name_ +
+                           ": set_kv_fp16 while decode streams are in flight");
+  }
+  kv_fp16_ = on;
 }
 
 void MultiHeadAttention::collect_params(std::vector<Param*>& out) {

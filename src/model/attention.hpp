@@ -25,6 +25,11 @@ class MultiHeadAttention : public Layer {
   Tensor forward_infer(const Tensor& x, int64_t pos0, int slot) override;
   void drop_slot(int slot) override { kv_.erase(slot); }
   int64_t slot_bytes() const override;
+  /// Half-precision KV-cache storage: new slots keep their K/V panels as
+  /// fp16 words (tensor/half converters) and materialise fp32 panels for
+  /// the attention kernels per decode call — half the resident bytes for
+  /// one conversion pass. Throws if streams are already in flight.
+  void set_kv_fp16(bool on) override;
   void collect_params(std::vector<Param*>& out) override;
   void drop_cache(int mb) override;
   std::string name() const override { return name_; }
@@ -41,9 +46,12 @@ class MultiHeadAttention : public Layer {
   /// one contiguous row: k/v are [cap, b*heads*dk]; row j holds every
   /// (batch, head)'s key/value of token j, and the per-(b,head) panel at
   /// column (n*heads + hh)*dk has constant row stride b*heads*dk — exactly
-  /// the strided layout gemm_bt/gemm consume.
+  /// the strided layout gemm_bt/gemm consume. With kv_fp16_ the rows live
+  /// in k16/v16 as binary16 words instead (same [len, row] layout, half
+  /// the bytes) and k/v stay empty.
   struct KvSlot {
     Tensor k, v;
+    std::vector<uint16_t> k16, v16;
     int64_t len = 0;
     int64_t batch = 0;
   };
@@ -51,6 +59,7 @@ class MultiHeadAttention : public Layer {
   std::string name_;
   int64_t hidden_, heads_, dk_;
   bool causal_;
+  bool kv_fp16_ = false;
   Linear qkv_proj_;
   Linear out_proj_;
   std::unordered_map<int, Saved> cache_;

@@ -62,6 +62,11 @@ class Layer {
   /// Bytes of per-stream inference state (KV caches) currently held.
   virtual int64_t slot_bytes() const { return 0; }
 
+  /// Store per-stream inference state (KV caches) in half precision:
+  /// halves slot_bytes at the cost of fp16 rounding on the cached panels.
+  /// Stateless layers ignore it. Must be set before any slot is populated.
+  virtual void set_kv_fp16(bool on) { (void)on; }
+
   /// Appends pointers to this layer's parameters (stable across calls).
   virtual void collect_params(std::vector<Param*>& out) = 0;
 

@@ -453,6 +453,10 @@ int64_t StageModule::slot_bytes() const {
   return b;
 }
 
+void StageModule::set_kv_fp16(bool on) {
+  for (auto& l : layers_) l->set_kv_fp16(on);
+}
+
 std::vector<Param*> StageModule::params() {
   std::vector<Param*> out;
   for (auto& l : layers_) l->collect_params(out);

@@ -98,6 +98,7 @@ class Block : public Layer {
   Tensor forward_infer(const Tensor& x, int64_t pos0, int slot) override;
   void drop_slot(int slot) override { attn_.drop_slot(slot); }
   int64_t slot_bytes() const override { return attn_.slot_bytes(); }
+  void set_kv_fp16(bool on) override { attn_.set_kv_fp16(on); }
   void collect_params(std::vector<Param*>& out) override;
   void drop_cache(int mb) override;
   std::string name() const override { return name_; }
@@ -123,6 +124,7 @@ class AttnResidual : public Layer {
   Tensor forward_infer(const Tensor& x, int64_t pos0, int slot) override;
   void drop_slot(int slot) override { attn_.drop_slot(slot); }
   int64_t slot_bytes() const override { return attn_.slot_bytes(); }
+  void set_kv_fp16(bool on) override { attn_.set_kv_fp16(on); }
   void collect_params(std::vector<Param*>& out) override;
   void drop_cache(int mb) override;
   std::string name() const override { return name_; }
@@ -187,6 +189,10 @@ class StageModule {
   /// Bytes of KV-cache state currently held across all decode streams —
   /// the serving analogue of `cached_bytes`.
   int64_t slot_bytes() const;
+
+  /// Half-precision KV-cache storage for every attention layer in this
+  /// stage (InferConfig::kv_fp16). Set before the first decode call.
+  void set_kv_fp16(bool on);
 
   /// Activation recomputation (gradient checkpointing, Chen et al. 2016 —
   /// one of the orthogonal memory techniques the paper's related work

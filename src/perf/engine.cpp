@@ -1,0 +1,252 @@
+#include "perf/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/memory.hpp"
+
+namespace hanayo::perf {
+
+using schedule::Algo;
+
+Engine::Engine(model::ModelConfig model, sim::Cluster cluster,
+               std::optional<Calibration> calibration)
+    : model_(std::move(model)),
+      cluster_(std::move(cluster)),
+      cal_(std::move(calibration)) {}
+
+schedule::ScheduleRequest Engine::sched_request(Algo algo, int P, int W, int B,
+                                                double tf, double tb) const {
+  schedule::ScheduleRequest req;
+  req.algo = algo;
+  req.P = P;
+  req.B = B;
+  req.waves = W;
+  req.vchunks = W;
+  req.tf = tf;
+  req.tb = tb;
+  if (cal_ && cal_->bwd_fwd_ratio > 0) req.tb = req.tf * cal_->bwd_fwd_ratio;
+  return req;
+}
+
+Candidate Engine::evaluate_training(const TrainingPoint& pt,
+                                    const CostAdjust& adjust) const {
+  Candidate c;
+  c.algo = pt.algo;
+  c.D = pt.D;
+  c.P = pt.P;
+  c.W = pt.W;
+  c.B = pt.B;
+  c.mb_sequences = pt.mb_sequences;
+
+  if (pt.algo == Algo::Chimera && (pt.P % 2 != 0 || pt.B < 2)) {
+    c.feasible = false;
+    c.note = "Chimera needs even P and B >= 2";
+    return c;
+  }
+
+  const schedule::ScheduleRequest req =
+      sched_request(pt.algo, pt.P, pt.W, pt.B);
+  const int S = schedule::stages_for(req);
+  const int total_layers = static_cast<int>(model_.layer_descs().size());
+  if (S > total_layers) {
+    c.feasible = false;
+    c.note = "stages (" + std::to_string(S) + ") exceed layers (" +
+             std::to_string(total_layers) + ")";
+    return c;
+  }
+  const schedule::Schedule sched = schedule::make_schedule(req);
+  sim::PipelineCosts costs = sim::compute_costs(
+      model_, S, pt.mb_sequences, cluster_, /*recompute=*/false,
+      cal_ && cal_->bwd_fwd_ratio > 0 ? cal_->bwd_fwd_ratio
+                                      : sim::kBwdFwdRatio);
+  if (adjust) adjust(costs);
+  sim::SimOptions opt;
+  opt.dp = pt.D;
+  // Chimera's second weight copy is part of the algorithm (not DP), so the
+  // replica pair shares the pipeline's devices; everything else uses one
+  // block of P devices per replica.
+  opt.devmap = sim::DeviceMap{pt.P, 0};
+  const sim::SimResult res = sim::simulate(sched, costs, cluster_, opt);
+
+  c.throughput_seq_s =
+      res.throughput_seq_per_s(pt.B * pt.mb_sequences) * pt.D;
+  c.bubble_ratio = res.bubble_ratio;
+  double peak = 0.0;
+  for (double x : res.peak_mem_bytes) peak = std::max(peak, x);
+  c.peak_mem_gb = peak / 1e9;
+  c.oom = res.oom;
+  return c;
+}
+
+int Engine::expected_new_tokens(int max_new_tokens,
+                                const std::vector<int64_t>& stop_tokens,
+                                int64_t vocab) {
+  // Only ids the model can actually emit count: a stop id outside
+  // [0, vocab) never fires at runtime, so modelling it would make the
+  // prediction shorter than every measured backend.
+  std::vector<int64_t> uniq;
+  for (int64_t id : stop_tokens) {
+    if (id >= 0 && id < vocab) uniq.push_back(id);
+  }
+  if (uniq.empty()) return max_new_tokens;
+  std::sort(uniq.begin(), uniq.end());
+  uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+  const double p =
+      std::min(1.0, static_cast<double>(uniq.size()) /
+                        static_cast<double>(std::max<int64_t>(vocab, 1)));
+  if (p >= 1.0) return 1;
+  const double cap = static_cast<double>(max_new_tokens);
+  const double e_len = (1.0 - std::pow(1.0 - p, cap)) / p;
+  return std::max(1, static_cast<int>(std::llround(e_len)));
+}
+
+int64_t Engine::default_prompt_tokens(const model::ModelConfig& model,
+                                      int max_new_tokens) {
+  const int64_t room = model.seq - max_new_tokens + 1;
+  return std::clamp<int64_t>(model.seq / 2, 1, std::max<int64_t>(room, 1));
+}
+
+ServePrediction Engine::evaluate_serving(const ServingPoint& pt,
+                                         bool quantiles,
+                                         bool skip_sim_if_oom) const {
+  return serving_impl(pt, skip_sim_if_oom ? SimPolicy::UnlessOom
+                                          : SimPolicy::Always,
+                      quantiles);
+}
+
+ServePrediction Engine::prune_serving(const ServingPoint& pt) const {
+  return serving_impl(pt, SimPolicy::Never, /*quantiles=*/false);
+}
+
+ServePrediction Engine::serving_impl(const ServingPoint& pt,
+                                     SimPolicy policy,
+                                     bool quantiles) const {
+  ServePrediction out;
+
+  // Feasibility is a result, not an exception — the point of a dry run (and
+  // of a planner sweep) is to find out before building an engine.
+  if (!model_.causal) {
+    out.feasible = false;
+    out.note = "greedy decode needs a causal model";
+    return out;
+  }
+  if (pt.algo == Algo::Chimera || pt.algo == Algo::PipeDream) {
+    out.feasible = false;
+    out.note = std::string(schedule::algo_name(pt.algo)) +
+               " has no forward-only program";
+    return out;
+  }
+  schedule::ScheduleRequest req =
+      sched_request(pt.algo, pt.P, pt.W, pt.max_batch, pt.tf, pt.tb);
+  const int S = schedule::stages_for(req);
+  const int total_layers = static_cast<int>(model_.layer_descs().size());
+  if (S > total_layers) {
+    out.feasible = false;
+    out.note = "stages (" + std::to_string(S) + ") exceed layers (" +
+               std::to_string(total_layers) + ")";
+    return out;
+  }
+
+  const schedule::Schedule sched = schedule::make_forward_schedule(req);
+  // Replicas are fully independent (disjoint devices, no collective), so
+  // event-simulating one replica's timeline and letting the callers
+  // replicate the numbers over dp is exact, not an approximation.
+  sim::SimOptions opt;
+  opt.dp = 1;
+  opt.state_factor = 1.0;  // inference holds weights, no grads/optimizer
+  opt.devmap = sim::DeviceMap{pt.P, 0};
+
+  const double kv_elem = pt.kv_fp16 ? 2.0 : 4.0;
+  const int64_t plen = pt.prompt_tokens > 0
+                           ? pt.prompt_tokens
+                           : default_prompt_tokens(model_, pt.max_new_tokens);
+  // Stop tokens shorten the modelled continuation (see expected_new_tokens).
+  const int steps =
+      expected_new_tokens(pt.max_new_tokens, pt.stop_tokens, model_.vocab);
+  out.steps = steps;
+  out.prompt_tokens = plen;
+
+  // One full-batch prefill pass: every micro-batch carries a whole prompt.
+  const sim::PipelineCosts prefill_costs =
+      sim::infer_costs(model_, S, 1, plen, plen, cluster_, kv_elem);
+
+  // Memory model (the serving planner's pruning signal): per device, the
+  // resident weights (sim/memory, state factor 1) plus every slot's
+  // full-context KV — the steady state when max_batch streams all reach
+  // their final context together.
+  const std::vector<double> weight_dev =
+      sim::device_weight_bytes(sched.placement, prefill_costs, 1.0);
+  const int64_t final_ctx = plen + steps - 1;
+  const sim::PipelineCosts full_kv = sim::infer_costs(
+      model_, S, 1, final_ctx, final_ctx, cluster_, kv_elem);
+  double peak = 0.0, wmax = 0.0, kv_total = 0.0;
+  for (int d = 0; d < pt.P; ++d) {
+    double dev_kv = 0.0;
+    for (int ch = 0; ch < sched.placement.chunks_per_device(); ++ch) {
+      const int stage = sched.placement.stage_of(d, ch);
+      dev_kv += full_kv.act_bytes[static_cast<size_t>(stage)] * pt.max_batch;
+    }
+    kv_total += dev_kv;
+    wmax = std::max(wmax, weight_dev[static_cast<size_t>(d)]);
+    const double dev_total = weight_dev[static_cast<size_t>(d)] + dev_kv;
+    peak = std::max(peak, dev_total);
+    if (dev_total > cluster_.mem_bytes) out.oom = true;
+  }
+  out.weight_mem_gb = wmax / 1e9;
+  out.peak_mem_gb = peak / 1e9;
+  out.kv_gb = kv_total / 1e9;
+
+  // Per-replica nominal load: one full batch of prompts to completion.
+  runtime::ServeStats& per = out.per_replica;
+  per.requests = pt.max_batch;
+  per.prompt_tokens = static_cast<int64_t>(pt.max_batch) * plen;
+  per.generated_tokens = static_cast<int64_t>(pt.max_batch) * steps;
+  per.prefill_passes = 1;
+  per.decode_passes = steps - 1;
+  // KV rows resident at the end: per device, the per-pass act bytes times
+  // the final context length of every stream.
+  double kv = 0.0;
+  for (double x : prefill_costs.act_bytes) kv += x;
+  per.peak_kv_bytes = static_cast<int64_t>(
+      kv / static_cast<double>(plen) *
+      static_cast<double>(plen + steps - 1) * pt.max_batch);
+  if (policy == SimPolicy::Never) return out;
+  if (policy == SimPolicy::UnlessOom && out.oom) return out;
+
+  const sim::SimResult prefill =
+      sim::simulate(sched, prefill_costs, cluster_, opt);
+
+  // steps - 1 decode passes (the prefill emits the first token), costed at
+  // the mean KV-cache depth of the decode phase.
+  sim::SimResult decode;
+  if (steps > 1) {
+    const int64_t mean_ctx = plen + steps / 2;
+    const sim::PipelineCosts decode_costs =
+        sim::infer_costs(model_, S, 1, 1, mean_ctx, cluster_, kv_elem);
+    decode = sim::simulate(sched, decode_costs, cluster_, opt);
+  }
+  per.prefill_s = prefill.makespan;
+  per.decode_s = decode.makespan * (steps - 1);
+
+  // Decode-latency quantiles: pass t of 1..steps-1 attends over context
+  // plen + t, and pass latency is monotone in context, so the p-th latency
+  // quantile is exactly the pass at the p-th context depth. Nearest-rank
+  // (ceil) indexing: p99 of n <= 100 passes is the deepest pass — an SLA
+  // bound checked against it errs on the safe side.
+  if (quantiles && steps > 1) {
+    const int n = steps - 1;
+    const auto pass_at = [&](double q) {
+      const int t =
+          std::min(n, std::max(1, static_cast<int>(std::ceil(q * n))));
+      const sim::PipelineCosts qc =
+          sim::infer_costs(model_, S, 1, 1, plen + t, cluster_, kv_elem);
+      return sim::simulate(sched, qc, cluster_, opt).makespan;
+    };
+    out.p50_token_latency_s = pass_at(0.5);
+    out.p99_token_latency_s = pass_at(0.99);
+  }
+  return out;
+}
+
+}  // namespace hanayo::perf

@@ -24,4 +24,27 @@ std::string format_row(const PerfRow& row) {
   return os.str();
 }
 
+std::string format_serve_row(const ServeRow& row) {
+  using schedule::Algo;
+  std::ostringstream os;
+  os << schedule::algo_name(row.algo) << " dp=" << row.dp << " P=" << row.P;
+  if (row.algo == Algo::Hanayo || row.algo == Algo::Interleaved) {
+    os << " W=" << row.W;
+  }
+  os << " batch=" << row.max_batch;
+  if (!row.feasible) {
+    os << "  [infeasible: " << row.note << "]";
+  } else if (row.oom) {
+    os << "  [OOM, peak " << row.peak_mem_gb << " GB]";
+  } else {
+    os << "  " << row.tokens_per_s << " tok/s, " << row.token_latency_ms
+       << " ms/tok (p50 " << row.p50_ms << ", p99 " << row.p99_ms
+       << "), ttft " << row.ttft_ms << " ms, peak " << row.peak_mem_gb
+       << " GB";
+    if (!row.meets_target) os << " [misses target]";
+    if (!row.note.empty()) os << " (" << row.note << ")";
+  }
+  return os.str();
+}
+
 }  // namespace hanayo::perf

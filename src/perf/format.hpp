@@ -31,4 +31,29 @@ struct PerfRow {
 /// Infeasible rows show the note; OOM rows show the peak memory.
 std::string format_row(const PerfRow& row);
 
+/// The serving analogue of PerfRow: everything one serving-planner table
+/// row needs. perf::ServeCandidate lowers itself to this, so planner
+/// tables and (future) live serving rows render identically.
+struct ServeRow {
+  schedule::Algo algo = schedule::Algo::Hanayo;
+  int dp = 1;          ///< pipeline replicas
+  int P = 1;           ///< pipeline depth
+  int W = 1;           ///< waves (Hanayo) / chunks (Interleaved)
+  int max_batch = 1;   ///< concurrent decode streams per replica
+  double tokens_per_s = 0.0;
+  double token_latency_ms = 0.0;  ///< mean decode-pass latency
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double ttft_ms = 0.0;           ///< full-batch prefill makespan
+  double peak_mem_gb = 0.0;
+  bool oom = false;
+  bool feasible = true;
+  bool meets_target = true;
+  std::string note;
+};
+
+/// Renders one serving row:
+/// "<scheme> dp=.. P=.. [W=..] batch=..  <numbers> [flags]".
+std::string format_serve_row(const ServeRow& row);
+
 }  // namespace hanayo::perf

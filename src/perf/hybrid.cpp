@@ -4,7 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
-#include "schedule/validate.hpp"
+#include "perf/engine.hpp"
 
 namespace hanayo::perf {
 
@@ -53,78 +53,40 @@ HybridCandidate evaluate_hybrid(const model::ModelConfig& m,
   if (T < 1) throw std::invalid_argument("evaluate_hybrid: T >= 1");
   HybridCandidate hc;
   hc.T = T;
+  const Engine eng(m, cluster);
+  const TrainingPoint pt{algo, D, P, W, B, mb_sequences};
   if (T == 1) {
-    hc.pipe = evaluate(m, cluster, algo, D, P, W, B, mb_sequences);
+    hc.pipe = eng.evaluate_training(pt);
     return hc;
   }
 
-  // Reproduce evaluate()'s feasibility checks on the sharded model.
-  Candidate& c = hc.pipe;
-  c.algo = algo;
-  c.D = D;
-  c.P = P;
-  c.W = W;
-  c.B = B;
-  c.mb_sequences = mb_sequences;
-  if (algo == Algo::Chimera && (P % 2 != 0 || B < 2)) {
-    c.feasible = false;
-    c.note = "Chimera needs even P and B >= 2";
-    return hc;
-  }
-  schedule::ScheduleRequest req;
-  req.algo = algo;
-  req.P = P;
-  req.B = B;
-  req.waves = W;
-  req.vchunks = W;
-  const int S = schedule::stages_for(req);
-  const int total_layers = static_cast<int>(m.layer_descs().size());
-  if (S > total_layers) {
-    c.feasible = false;
-    c.note = "stages (" + std::to_string(S) + ") exceed layers (" +
-             std::to_string(total_layers) + ")";
-    return hc;
-  }
-
-  sim::PipelineCosts costs = sim::compute_costs(m, S, mb_sequences, cluster);
-
-  // Shard compute / weights / resident activations by T; boundary traffic
-  // is unchanged (the full hidden activation crosses stage boundaries).
-  for (double& v : costs.fwd_s) v /= T;
-  for (double& v : costs.bwd_s) v /= T;
-  for (double& v : costs.weight_bytes) v /= T;
-  for (double& v : costs.act_bytes) v /= T;
-
-  // TP collectives: 2 allreduces per block per forward (and per backward)
-  // of one [mb, seq, hidden] fp16 activation, distributed over the stages
-  // proportionally to their compute share.
+  // The tensor-parallel overlay is a pure cost transform: shard compute /
+  // weights / resident activations by T (boundary traffic is unchanged —
+  // the full hidden activation crosses stage boundaries), then tax the
+  // stages with the TP collectives: 2 allreduces per block per forward
+  // (and per backward) of one [mb, seq, hidden] fp16 activation,
+  // distributed proportionally to each stage's compute share. The engine
+  // owns everything else (feasibility, schedule, simulator).
   const auto [bw, lat] = best_link(cluster);
   const double act_bytes =
       static_cast<double>(mb_sequences) * m.seq * m.hidden * 2.0;
   const double per_block = 2.0 * tp_allreduce_seconds(act_bytes, T, bw, lat);
   const double total_fwd_tp = per_block * static_cast<double>(m.layers);
-  const double fwd_total = costs.total_fwd();
-  hc.tp_comm_s = 2.0 * total_fwd_tp;  // forward + backward
-  if (fwd_total > 0.0) {
-    for (size_t s = 0; s < costs.fwd_s.size(); ++s) {
-      const double share = costs.fwd_s[s] / fwd_total;
-      costs.fwd_s[s] += total_fwd_tp * share;
-      costs.bwd_s[s] += total_fwd_tp * share;
+  hc.pipe = eng.evaluate_training(pt, [&](sim::PipelineCosts& costs) {
+    for (double& v : costs.fwd_s) v /= T;
+    for (double& v : costs.bwd_s) v /= T;
+    for (double& v : costs.weight_bytes) v /= T;
+    for (double& v : costs.act_bytes) v /= T;
+    const double fwd_total = costs.total_fwd();
+    hc.tp_comm_s = 2.0 * total_fwd_tp;  // forward + backward
+    if (fwd_total > 0.0) {
+      for (size_t s = 0; s < costs.fwd_s.size(); ++s) {
+        const double share = costs.fwd_s[s] / fwd_total;
+        costs.fwd_s[s] += total_fwd_tp * share;
+        costs.bwd_s[s] += total_fwd_tp * share;
+      }
     }
-  }
-
-  const schedule::Schedule sched = schedule::make_schedule(req);
-  sim::SimOptions opt;
-  opt.dp = D;
-  opt.devmap = sim::DeviceMap{P, 0};
-  const sim::SimResult res = sim::simulate(sched, costs, cluster, opt);
-
-  c.throughput_seq_s = res.throughput_seq_per_s(B * mb_sequences) * D;
-  c.bubble_ratio = res.bubble_ratio;
-  double peak = 0.0;
-  for (double x : res.peak_mem_bytes) peak = std::max(peak, x);
-  c.peak_mem_gb = peak / 1e9;
-  c.oom = res.oom;
+  });
   return hc;
 }
 

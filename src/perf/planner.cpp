@@ -2,8 +2,8 @@
 
 #include <algorithm>
 
+#include "perf/engine.hpp"
 #include "perf/format.hpp"
-#include "schedule/validate.hpp"
 
 namespace hanayo::perf {
 
@@ -29,57 +29,13 @@ std::string Candidate::to_string() const {
 Candidate evaluate(const model::ModelConfig& m, const sim::Cluster& cluster,
                    Algo algo, int D, int P, int W, int B, int mb_sequences,
                    const Calibration* cal) {
-  Candidate c;
-  c.algo = algo;
-  c.D = D;
-  c.P = P;
-  c.W = W;
-  c.B = B;
-  c.mb_sequences = mb_sequences;
-
-  if (algo == Algo::Chimera && (P % 2 != 0 || B < 2)) {
-    c.feasible = false;
-    c.note = "Chimera needs even P and B >= 2";
-    return c;
-  }
-
-  schedule::ScheduleRequest req;
-  req.algo = algo;
-  req.P = P;
-  req.B = B;
-  req.waves = W;
-  req.vchunks = W;
-  if (cal && cal->bwd_fwd_ratio > 0) req.tb = req.tf * cal->bwd_fwd_ratio;
-  const int S = schedule::stages_for(req);
-  const int total_layers = static_cast<int>(m.layer_descs().size());
-  if (S > total_layers) {
-    c.feasible = false;
-    c.note = "stages (" + std::to_string(S) + ") exceed layers (" +
-             std::to_string(total_layers) + ")";
-    return c;
-  }
-  const schedule::Schedule sched = schedule::make_schedule(req);
-  const sim::PipelineCosts costs = sim::compute_costs(
-      m, S, mb_sequences, cluster, /*recompute=*/false,
-      cal && cal->bwd_fwd_ratio > 0 ? cal->bwd_fwd_ratio : sim::kBwdFwdRatio);
-  sim::SimOptions opt;
-  opt.dp = D;
-  // Chimera's second weight copy is part of the algorithm (not DP), so the
-  // replica pair shares the pipeline's devices; everything else uses one
-  // block of P devices per replica.
-  opt.devmap = sim::DeviceMap{P, 0};
-  const sim::SimResult res = sim::simulate(sched, costs, cluster, opt);
-
-  c.throughput_seq_s = res.throughput_seq_per_s(B * mb_sequences) * D;
-  c.bubble_ratio = res.bubble_ratio;
-  double peak = 0.0;
-  for (double x : res.peak_mem_bytes) peak = std::max(peak, x);
-  c.peak_mem_gb = peak / 1e9;
-  c.oom = res.oom;
-  return c;
+  const Engine eng(m, cluster,
+                   cal ? std::optional<Calibration>(*cal) : std::nullopt);
+  return eng.evaluate_training(TrainingPoint{algo, D, P, W, B, mb_sequences});
 }
 
 std::vector<Candidate> plan(const PlanRequest& req) {
+  const Engine eng(req.model, req.cluster, req.calibration);
   std::vector<Candidate> out;
   const int N = req.total_devices;
   for (int P = req.min_pipeline; P <= N; ++P) {
@@ -94,17 +50,15 @@ std::vector<Candidate> plan(const PlanRequest& req) {
       if (per_replica % mb_seq != 0) continue;
       const int B = per_replica / mb_seq;
       if (B < 1) continue;
-      const Calibration* cal =
-          req.calibration ? &*req.calibration : nullptr;
       for (Algo algo : req.algos) {
         if (algo == Algo::Hanayo || algo == Algo::Interleaved) {
           for (int W : req.wave_options) {
             out.push_back(
-                evaluate(req.model, req.cluster, algo, D, P, W, B, mb_seq, cal));
+                eng.evaluate_training(TrainingPoint{algo, D, P, W, B, mb_seq}));
           }
         } else {
           out.push_back(
-              evaluate(req.model, req.cluster, algo, D, P, 1, B, mb_seq, cal));
+              eng.evaluate_training(TrainingPoint{algo, D, P, 1, B, mb_seq}));
         }
       }
     }

@@ -22,6 +22,9 @@ void Sampling::validate() const {
   if (kind == Kind::TopK && k < 1) {
     throw std::invalid_argument("sampling: top-k needs k >= 1");
   }
+  if (kind == Kind::TopP && !(p > 0.0f && p <= 1.0f)) {
+    throw std::invalid_argument("sampling: top-p needs p in (0, 1]");
+  }
   if (stochastic() && !(temperature > 0.0f)) {
     throw std::invalid_argument("sampling: temperature must be > 0");
   }
@@ -72,6 +75,44 @@ int64_t sample_last_row(const Tensor& logits, const Sampling& s, float u) {
     return cand.back();
   }
 
+  if (s.kind == Sampling::Kind::TopP) {
+    // Nucleus pool: rank the whole vocabulary (logit desc, index asc), take
+    // the shortest prefix whose softmax mass reaches p of the total, then
+    // invert the pool's CDF at u. Rank order doubles as the walk order, so
+    // ties and rounding resolve identically on every backend; p = 1 admits
+    // the full vocabulary (the same distribution as Temperature, though the
+    // two walk orders map the same u to different tokens), and u = 0 lands
+    // on the most likely candidate. One O(V log V) sort plus sequential
+    // double accumulation — deterministic given identical logits.
+    std::vector<int64_t> cand(static_cast<size_t>(V));
+    std::iota(cand.begin(), cand.end(), int64_t{0});
+    std::sort(cand.begin(), cand.end(), [row](int64_t a, int64_t b) {
+      return row[a] > row[b] || (row[a] == row[b] && a < b);
+    });
+    const double mx = static_cast<double>(row[cand.front()]);
+    double total = 0.0;
+    std::vector<double> mass(cand.size());
+    for (size_t i = 0; i < cand.size(); ++i) {
+      mass[i] = std::exp((static_cast<double>(row[cand[i]]) - mx) / T);
+      total += mass[i];
+    }
+    const double want = static_cast<double>(s.p) * total;
+    double pool = 0.0;
+    size_t n = 0;
+    while (n < cand.size()) {
+      pool += mass[n];
+      ++n;
+      if (pool >= want) break;  // always admits at least one candidate
+    }
+    const double target = static_cast<double>(u) * pool;
+    double cum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      cum += mass[i];
+      if (cum > target) return cand[i];
+    }
+    return cand[n - 1];
+  }
+
   // Temperature over the full vocabulary: three O(V) passes in ascending
   // index order, no scratch — this runs per generated token on the serving
   // hot path. The walk order is arbitrary for a CDF inversion; the
@@ -112,6 +153,44 @@ ServeStats merge_stats(const std::vector<ServeStats>& per_replica) {
     m.peak_kv_bytes += s.peak_kv_bytes;
   }
   return m;
+}
+
+double serve_wall_estimate_s(const ServeStats& totals,
+                             const std::vector<ServeStats>& replicas, int dp) {
+  if (replicas.empty()) {
+    return (totals.prefill_s + totals.decode_s) / std::max(1, dp);
+  }
+  double w = 0.0;
+  for (const ServeStats& r : replicas) w = std::max(w, r.prefill_s + r.decode_s);
+  return w;
+}
+
+double serve_prefill_wall_estimate_s(const ServeStats& totals,
+                                     const std::vector<ServeStats>& replicas,
+                                     int dp) {
+  if (replicas.empty()) return totals.prefill_s / std::max(1, dp);
+  double w = 0.0;
+  for (const ServeStats& r : replicas) w = std::max(w, r.prefill_s);
+  return w;
+}
+
+double serve_prefill_tokens_per_s(const ServeStats& totals,
+                                  const std::vector<ServeStats>& replicas,
+                                  int dp) {
+  const double wall = serve_prefill_wall_estimate_s(totals, replicas, dp);
+  return wall > 0.0 ? static_cast<double>(totals.prompt_tokens) / wall : 0.0;
+}
+
+double serve_tokens_per_s(const ServeStats& totals,
+                          const std::vector<ServeStats>& replicas, int dp) {
+  const double wall = serve_wall_estimate_s(totals, replicas, dp);
+  return wall > 0.0 ? static_cast<double>(totals.generated_tokens) / wall
+                    : 0.0;
+}
+
+double serve_per_token_latency_s(const ServeStats& totals) {
+  return totals.decode_passes > 0 ? totals.decode_s / totals.decode_passes
+                                  : 0.0;
 }
 
 InferRequest make_infer_request(Tensor prompt, int max_new_tokens,
@@ -176,6 +255,7 @@ class InferWorker {
           ranges[static_cast<size_t>(pl.stage_of(rank, c))];
       chunks_.emplace_back(descs, r.begin, r.end, cfg.seed,
                            cfg.model.init_std);
+      if (cfg.kv_fp16) chunks_.back().set_kv_fp16(true);
     }
   }
 
@@ -364,10 +444,12 @@ int64_t InferencePipeline::slot_bytes() const {
   return b;
 }
 
-int64_t InferencePipeline::enqueue(tensor::Tensor prompt, int max_new_tokens) {
+int64_t InferencePipeline::enqueue(tensor::Tensor prompt, int max_new_tokens,
+                                   TokenCallback on_token) {
   InferRequest r = make_infer_request(std::move(prompt), max_new_tokens,
                                       cfg_.max_new_tokens, cfg_.model.seq,
                                       next_id_++);
+  r.on_token = std::move(on_token);
   const int64_t id = r.id;
   queue_->push(std::move(r));
   return id;
@@ -390,6 +472,7 @@ void InferencePipeline::admit() {
     seq.remaining = r.max_new_tokens;
     seq.input_prompt = std::move(r.prompt);
     seq.rng = Rng(Rng::split(cfg_.seed, static_cast<uint64_t>(seq.id)));
+    seq.on_token = std::move(r.on_token);
     active_.push_back(std::move(seq));
   }
 }
@@ -474,6 +557,13 @@ void InferencePipeline::run_pass() {
     // A stop token ends the sequence at this pass boundary (the token is
     // recorded); otherwise the continuation cap decides.
     const bool hit_stop = is_stop_token(cfg_.stop_tokens, tok);
+    // Streaming: the token leaves the engine at the pass boundary that
+    // selected it, before the next pass starts.
+    if (seq.on_token) {
+      seq.on_token(TokenEvent{seq.id, tok,
+                              static_cast<int>(seq.generated.size()) - 1,
+                              hit_stop || seq.remaining == 0});
+    }
     if (hit_stop || seq.remaining == 0) {
       Completion c;
       c.id = seq.id;
@@ -516,10 +606,12 @@ InferenceServer::InferenceServer(InferConfig cfg) : cfg_(std::move(cfg)) {
 
 InferenceServer::~InferenceServer() = default;
 
-int64_t InferenceServer::enqueue(tensor::Tensor prompt, int max_new_tokens) {
+int64_t InferenceServer::enqueue(tensor::Tensor prompt, int max_new_tokens,
+                                 TokenCallback on_token) {
   InferRequest r = make_infer_request(std::move(prompt), max_new_tokens,
                                       cfg_.max_new_tokens, cfg_.model.seq,
                                       next_id_++);
+  r.on_token = std::move(on_token);
   const int64_t id = r.id;
   queue_.push(std::move(r));
   return id;

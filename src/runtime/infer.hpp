@@ -24,6 +24,7 @@
 // merge into cluster totals.
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -38,14 +39,15 @@ namespace hanayo::runtime {
 
 /// Token-selection policy for serving. The factories mirror the historical
 /// enum spelling: `Sampling::Greedy()` is the deterministic argmax the
-/// cross-backend token-identity guarantee was first stated for; TopK and
-/// Temperature are the stochastic policies, driven by one uniform draw per
-/// generated token from the request's seeded RNG stream — which is what
-/// keeps them equally testable.
+/// cross-backend token-identity guarantee was first stated for; TopK, TopP
+/// (nucleus) and Temperature are the stochastic policies, driven by one
+/// uniform draw per generated token from the request's seeded RNG stream —
+/// which is what keeps them equally testable.
 struct Sampling {
-  enum class Kind { Greedy, TopK, Temperature };
+  enum class Kind { Greedy, TopK, TopP, Temperature };
   Kind kind = Kind::Greedy;
   int k = 0;                 ///< TopK: candidate-pool size (>= 1)
+  float p = 1.0f;            ///< TopP: nucleus probability mass (0 < p <= 1)
   float temperature = 1.0f;  ///< softmax temperature (> 0)
 
   static Sampling Greedy() { return {}; }
@@ -53,6 +55,16 @@ struct Sampling {
     Sampling s;
     s.kind = Kind::TopK;
     s.k = k;
+    s.temperature = temperature;
+    return s;
+  }
+  /// Nucleus sampling (Holtzman et al.): the candidate pool is the smallest
+  /// probability-ranked prefix of the vocabulary whose softmax mass reaches
+  /// `p`; the draw inverts the renormalised CDF of that pool.
+  static Sampling TopP(float p, float temperature = 1.0f) {
+    Sampling s;
+    s.kind = Kind::TopP;
+    s.p = p;
     s.temperature = temperature;
     return s;
   }
@@ -67,9 +79,23 @@ struct Sampling {
   bool stochastic() const { return kind != Kind::Greedy; }
 
   /// Throws std::invalid_argument on unusable parameters (TopK k < 1,
-  /// temperature <= 0).
+  /// TopP p outside (0, 1], temperature <= 0).
   void validate() const;
 };
+
+/// One streamed token: fired at the pass boundary that selected it, before
+/// the next pass starts — token-at-a-time streaming completions.
+struct TokenEvent {
+  int64_t request_id = -1;
+  int64_t token = -1;
+  int index = 0;      ///< 0-based position within the continuation
+  bool last = false;  ///< this token completes the request (stop/cap)
+};
+
+/// Per-request streaming callback. Events of one request arrive in
+/// generation order from the replica serving it; with dp > 1, callbacks of
+/// different requests may run concurrently (one per replica thread).
+using TokenCallback = std::function<void(const TokenEvent&)>;
 
 /// One queued generation request. `prompt` is a [t] or [1, t] tensor of
 /// token ids.
@@ -77,6 +103,7 @@ struct InferRequest {
   int64_t id = -1;
   tensor::Tensor prompt;
   int max_new_tokens = 0;
+  TokenCallback on_token;  ///< optional streaming callback
 };
 
 /// Why a sequence stopped generating.
@@ -108,6 +135,10 @@ struct InferConfig {
   /// Emitting any of these ids ends the sequence early (the id itself is
   /// recorded); its KV slot frees at the next pass boundary.
   std::vector<int64_t> stop_tokens;
+  /// Store cached K/V panels as fp16 words (converted back for the
+  /// attention kernels): halves every slot's resident bytes; decode logits
+  /// move within fp16 rounding of the fp32-cache run.
+  bool kv_fp16 = false;
   uint64_t seed = 1;
   int prefetch_depth = 2;
 };
@@ -129,6 +160,31 @@ struct ServeStats {
 /// seconds add; peak_kv_bytes adds too, because replicas occupy disjoint
 /// devices (the sum is the cluster-wide footprint when peaks coincide).
 ServeStats merge_stats(const std::vector<ServeStats>& per_replica);
+
+/// The one arithmetic behind every serving throughput/latency number —
+/// api::ServeReport's accessors and the serving planner's candidate rows
+/// both delegate here, which is what makes their equality structural
+/// rather than maintained by parallel edits. `totals` are the merged
+/// counters; `replicas` the per-replica breakdown (may be empty, e.g. the
+/// sequential Reference), `dp` the replica count the sums span.
+///
+/// Elapsed-time estimate for concurrent replicas: the slowest replica's
+/// busy seconds when the breakdown is present (robust to skewed admission
+/// — an idle replica contributes nothing), else summed seconds over dp.
+double serve_wall_estimate_s(const ServeStats& totals,
+                             const std::vector<ServeStats>& replicas, int dp);
+double serve_prefill_wall_estimate_s(const ServeStats& totals,
+                                     const std::vector<ServeStats>& replicas,
+                                     int dp);
+/// Prompt tokens absorbed per second of (concurrent) prefill time.
+double serve_prefill_tokens_per_s(const ServeStats& totals,
+                                  const std::vector<ServeStats>& replicas,
+                                  int dp);
+/// Generated tokens per second over the whole run (scales with dp).
+double serve_tokens_per_s(const ServeStats& totals,
+                          const std::vector<ServeStats>& replicas, int dp);
+/// Mean decode-pass latency (a per-pass mean, so dp leaves it unchanged).
+double serve_per_token_latency_s(const ServeStats& totals);
 
 /// Greedy head shared by every serving engine: the argmax of the final
 /// row of a [1, t, V] logits tensor, first index winning ties. Threads and
@@ -194,9 +250,11 @@ class InferencePipeline {
   ~InferencePipeline();
 
   /// Queues a prompt; returns the request id. `max_new_tokens` of 0 uses the
-  /// config default. Throws if prompt length + continuation would exceed the
-  /// model's positional table (`model.seq`).
-  int64_t enqueue(tensor::Tensor prompt, int max_new_tokens = 0);
+  /// config default. `on_token` (optional) streams each selected token at
+  /// the pass boundary that produced it. Throws if prompt length +
+  /// continuation would exceed the model's positional table (`model.seq`).
+  int64_t enqueue(tensor::Tensor prompt, int max_new_tokens = 0,
+                  TokenCallback on_token = {});
 
   /// Runs pipeline passes until the request queue is empty and every
   /// admitted sequence has completed; returns the completions of this drain
@@ -227,6 +285,7 @@ class InferencePipeline {
     tensor::Tensor input_prompt;  ///< pending prompt (dropped after prefill)
     tensor::Rng rng{0};       ///< per-request sampling stream (seed, id)
     std::vector<int64_t> generated;
+    TokenCallback on_token;   ///< streaming callback (may be empty)
   };
 
   void admit();
@@ -259,7 +318,11 @@ class InferenceServer {
   ~InferenceServer();
 
   /// Queues a prompt on the shared queue; returns the request id.
-  int64_t enqueue(tensor::Tensor prompt, int max_new_tokens = 0);
+  /// `on_token` streams the request's tokens from whichever replica serves
+  /// it (events of one request are ordered; different requests' callbacks
+  /// may run concurrently, one per replica thread).
+  int64_t enqueue(tensor::Tensor prompt, int max_new_tokens = 0,
+                  TokenCallback on_token = {});
 
   /// Drains the shared queue on all replicas concurrently (one thread per
   /// replica when dp > 1); completions of this drain in request-id order.

@@ -48,9 +48,13 @@ PipelineCosts compute_costs(const model::ModelConfig& cfg, int stages,
 
 PipelineCosts infer_costs(const model::ModelConfig& cfg, int stages,
                           int mb_sequences, int64_t new_tokens,
-                          int64_t context_tokens, const Cluster& cluster) {
+                          int64_t context_tokens, const Cluster& cluster,
+                          double kv_bytes_per_elem) {
   if (mb_sequences < 1 || new_tokens < 1 || context_tokens < new_tokens) {
     throw std::invalid_argument("infer_costs: bad token counts");
+  }
+  if (kv_bytes_per_elem <= 0.0) {
+    throw std::invalid_argument("infer_costs: kv_bytes_per_elem <= 0");
   }
   // Partition exactly like the serving runtime (and the trainer): stage
   // boundaries are chosen for full-sequence balance, not per-pass balance.
@@ -75,7 +79,7 @@ PipelineCosts infer_costs(const model::ModelConfig& cfg, int stages,
       flops += d.fwd_flops(tokens);
       if (d.type == model::LayerDesc::Type::Block ||
           d.type == model::LayerDesc::Type::AttnHalf) {
-        kv_bytes += 2.0 * static_cast<double>(tokens * d.hidden) * 4.0;
+        kv_bytes += 2.0 * static_cast<double>(tokens * d.hidden) * kv_bytes_per_elem;
       }
     }
     const model::StageStats st =

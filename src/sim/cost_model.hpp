@@ -45,12 +45,14 @@ PipelineCosts compute_costs(const model::ModelConfig& cfg, int stages,
 /// (prompt length for prefill, 1 for a decode step), attending over a
 /// KV-cache context of `context_tokens`. Only the F-chain is costed —
 /// `bwd_s` is filled with the usual ratio for completeness but forward-only
-/// schedules never execute it; `act_bytes` accounts the fp32 K/V rows each
-/// stage appends per micro-batch, and boundaries carry fp32 activations of
-/// the new tokens only.
+/// schedules never execute it; `act_bytes` accounts the K/V rows each stage
+/// appends per micro-batch at `kv_bytes_per_elem` bytes per element (4 for
+/// fp32 caches, 2 when InferConfig::kv_fp16 stores them in half precision),
+/// and boundaries carry fp32 activations of the new tokens only.
 PipelineCosts infer_costs(const model::ModelConfig& cfg, int stages,
                           int mb_sequences, int64_t new_tokens,
-                          int64_t context_tokens, const Cluster& cluster);
+                          int64_t context_tokens, const Cluster& cluster,
+                          double kv_bytes_per_elem = 4.0);
 
 /// Maps pipeline rank -> physical device id. `replica` selects the block of
 /// the cluster used by one data-parallel replica (replica r uses devices

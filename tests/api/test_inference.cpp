@@ -251,3 +251,169 @@ TEST(InferenceSession, DocCommentServingQuickstartCompilesAndRuns) {
   EXPECT_TRUE(sla.feasible);
   EXPECT_EQ(sla.dp, 2);
 }
+
+// ---- Streaming completions (per-request on_token callbacks) --------------
+
+TEST(InferenceSession, StreamingDeliversEveryTokenInOrder) {
+  for (BackendKind kind : {BackendKind::Threads, BackendKind::Reference}) {
+    InferenceSession s =
+        tiny_server(Algo::Hanayo, 2, 2).backend(kind).build();
+    std::vector<TokenEvent> events;
+    Rng rng(9);
+    for (int r = 0; r < 4; ++r) {
+      s.enqueue(random_prompt(rng, 4 + r), 0,
+                [&events](const TokenEvent& e) { events.push_back(e); });
+    }
+    const auto done = s.run();
+    int64_t total = 0;
+    for (const Completion& c : done) {
+      total += static_cast<int64_t>(c.tokens.size());
+      // The stream of one request reproduces its completion exactly, with
+      // ascending indices and the last event flagged.
+      std::vector<int64_t> streamed;
+      int expect_index = 0;
+      for (const TokenEvent& e : events) {
+        if (e.request_id != c.id) continue;
+        EXPECT_EQ(e.index, expect_index++);
+        EXPECT_EQ(e.last, streamed.size() + 1 == c.tokens.size());
+        streamed.push_back(e.token);
+      }
+      EXPECT_EQ(streamed, c.tokens) << "request " << c.id;
+    }
+    EXPECT_EQ(static_cast<int64_t>(events.size()), total);
+  }
+}
+
+TEST(InferenceSession, StreamingWithStopTokensFlagsTheLastEvent) {
+  // Stop-token completions end mid-cap: the stop id itself must arrive
+  // through the stream, flagged last.
+  InferenceSession s = tiny_server(Algo::Hanayo, 2, 1)
+                           .backend(BackendKind::Threads)
+                           .max_new_tokens(8)
+                           .eos(2)
+                           .build();
+  std::vector<TokenEvent> events;
+  Rng rng(9);
+  s.enqueue(random_prompt(rng, 5), 0,
+            [&events](const TokenEvent& e) { events.push_back(e); });
+  const auto done = s.run();
+  ASSERT_EQ(done.size(), 1u);
+  ASSERT_FALSE(events.empty());
+  EXPECT_TRUE(events.back().last);
+  EXPECT_EQ(events.back().token, done[0].tokens.back());
+  for (size_t i = 0; i + 1 < events.size(); ++i) {
+    EXPECT_FALSE(events[i].last);
+  }
+}
+
+TEST(InferenceSession, StreamingOnDpReplicasKeepsPerRequestOrder) {
+  InferenceSession s = tiny_server(Algo::Hanayo, 2, 1)
+                           .backend(BackendKind::Threads)
+                           .data_parallel(2)
+                           .build();
+  // One vector per request: a request's events come from one replica
+  // thread, so per-request vectors need no locking; touching them from two
+  // requests' callbacks concurrently is fine because they're distinct.
+  std::vector<std::vector<int64_t>> streams(6);
+  Rng rng(9);
+  for (int r = 0; r < 6; ++r) {
+    s.enqueue(random_prompt(rng, 5), 0, [&streams, r](const TokenEvent& e) {
+      EXPECT_EQ(e.request_id, r);
+      streams[static_cast<size_t>(r)].push_back(e.token);
+    });
+  }
+  const auto done = s.run();
+  for (const Completion& c : done) {
+    EXPECT_EQ(streams[static_cast<size_t>(c.id)], c.tokens);
+  }
+}
+
+// ---- fp16 KV-cache storage at the session level --------------------------
+
+TEST(InferenceSession, KvFp16KeepsThreadsReferenceTokenIdentity) {
+  // Both engines quantize the cached panels identically (rows quantize on
+  // append, whichever call produced them), so the token-identity guarantee
+  // survives kv_fp16 — including under stochastic sampling.
+  for (Sampling policy : {Sampling::Greedy(), Sampling::TopK(8, 0.9f)}) {
+    InferenceSession threads = tiny_server(Algo::Hanayo, 2, 2)
+                                   .backend(BackendKind::Threads)
+                                   .sampling(policy)
+                                   .kv_fp16()
+                                   .build();
+    InferenceSession reference = tiny_server(Algo::Hanayo, 2, 2)
+                                     .backend(BackendKind::Reference)
+                                     .sampling(policy)
+                                     .kv_fp16()
+                                     .build();
+    Rng rng(9);
+    for (int r = 0; r < 4; ++r) {
+      Tensor prompt = random_prompt(rng, 4 + r);
+      threads.enqueue(prompt);
+      reference.enqueue(prompt);
+    }
+    const auto a = threads.run();
+    const auto b = reference.run();
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].tokens, b[i].tokens) << "request " << i;
+    }
+  }
+}
+
+TEST(InferenceSession, KvFp16HalvesPredictedKvFootprint) {
+  const ServeReport f32 = tiny_server(Algo::Hanayo, 2, 1)
+                              .backend(BackendKind::Sim)
+                              .build()
+                              .predict();
+  const ServeReport f16 = tiny_server(Algo::Hanayo, 2, 1)
+                              .backend(BackendKind::Sim)
+                              .kv_fp16()
+                              .build()
+                              .predict();
+  EXPECT_EQ(f32.peak_kv_bytes, 2 * f16.peak_kv_bytes);
+}
+
+// ---- The doc-comment planning quickstart from core/hanayo.hpp ------------
+
+TEST(InferenceSession, DocCommentPlanningQuickstartCompilesAndRuns) {
+  hanayo::ServeTarget target;
+  target.total_devices = 8;
+  target.prompt_tokens = 12;
+  target.max_new_tokens = 8;
+  auto rows = hanayo::plan_serving(hanayo::Cluster::fc(),
+                                   hanayo::ModelConfig::tiny(14), target);
+  ASSERT_FALSE(rows.empty());
+  EXPECT_FALSE(rows.front().to_string().empty());
+
+  auto planned = hanayo::InferenceSession::builder()
+                     .model(hanayo::ModelConfig::tiny(14))
+                     .backend(hanayo::BackendKind::Sim)
+                     .cluster(hanayo::Cluster::fc())
+                     .auto_plan(target)
+                     .build();
+  auto picked_sla = planned.predict();
+  EXPECT_TRUE(picked_sla.feasible);
+  EXPECT_GT(picked_sla.generated_tokens, 0);
+  // With the same cluster on both sides (the doc example pins .cluster()),
+  // predict() reproduces the planner's winning row bit-for-bit.
+  const auto picked = hanayo::best_serving(rows);
+  ASSERT_TRUE(picked.has_value());
+  EXPECT_EQ(picked->token_latency_s, picked_sla.per_token_latency_s());
+  EXPECT_EQ(picked->tokens_per_s, picked_sla.tokens_per_s());
+
+  bool streamed = false;
+  auto server = hanayo::InferenceSession::builder()
+                    .model(hanayo::ModelConfig::tiny(6))
+                    .algo(hanayo::Algo::Hanayo)
+                    .pipeline(2)
+                    .max_batch(2)
+                    .max_new_tokens(3)
+                    .build();
+  hanayo::Tensor prompt({1, 5});
+  server.enqueue(prompt, 0, [&streamed](const hanayo::TokenEvent& e) {
+    (void)e;
+    streamed = true;
+  });
+  (void)server.run();
+  EXPECT_TRUE(streamed);
+}

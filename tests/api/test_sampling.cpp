@@ -1,5 +1,6 @@
 // Seeded sampling: the serving token-identity guarantee extended beyond
-// greedy. Stochastic policies (top-k, temperature) draw one uniform per
+// greedy. Stochastic policies (top-k, top-p/nucleus, temperature) draw one
+// uniform per
 // generated token from a per-request RNG stream split from
 // (seed, request id), and every engine selects through the single
 // runtime::sample_last_row head — so the same seed decodes the same tokens
@@ -77,6 +78,28 @@ TEST(SeededSampling, TopKIdenticalAcrossThreadsAndReference) {
   for (size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i], b[i]) << "request " << i;
   }
+}
+
+TEST(SeededSampling, TopPIdenticalAcrossThreadsAndReference) {
+  for (float p : {0.3f, 0.8f, 1.0f}) {
+    InferenceSession threads =
+        sampler(Sampling::TopP(p, 0.9f), 42, BackendKind::Threads).build();
+    InferenceSession reference =
+        sampler(Sampling::TopP(p, 0.9f), 42, BackendKind::Reference).build();
+    const auto a = decode(threads, 5);
+    const auto b = decode(reference, 5);
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i], b[i]) << "p=" << p << " request " << i;
+    }
+  }
+}
+
+TEST(SeededSampling, TopPDpAssignmentDoesNotChangeTokens) {
+  InferenceSession solo =
+      sampler(Sampling::TopP(0.8f, 0.9f), 42, BackendKind::Threads, 1).build();
+  InferenceSession farm =
+      sampler(Sampling::TopP(0.8f, 0.9f), 42, BackendKind::Threads, 2).build();
+  EXPECT_EQ(decode(solo, 6), decode(farm, 6));
 }
 
 TEST(SeededSampling, TemperatureIdenticalAcrossThreadsAndReference) {
@@ -246,6 +269,33 @@ TEST(SeededSampling, SampleLastRowProperties) {
   // u -> 1 walks to the tail of the candidate pool.
   EXPECT_EQ(runtime::sample_last_row(logits, Sampling::TopK(2, 1.0f), 0.9999f),
             2);
+
+  // Top-p: the nucleus is the shortest probability-ranked prefix reaching
+  // mass p. A tiny p admits only the argmax — every draw lands there.
+  EXPECT_EQ(runtime::sample_last_row(logits, Sampling::TopP(0.01f), 0.0f), 1);
+  EXPECT_EQ(runtime::sample_last_row(logits, Sampling::TopP(0.01f), 0.999f), 1);
+  // u = 0 lands on the most likely candidate for any p.
+  EXPECT_EQ(runtime::sample_last_row(logits, Sampling::TopP(0.95f), 0.0f), 1);
+  // p = 1 admits the whole vocabulary — the same distribution as
+  // Temperature, but the two walk orders (probability rank vs vocabulary
+  // index) map the same u to different tokens, so only validity is
+  // asserted, not selection equality.
+  for (float u : {0.0f, 0.25f, 0.5f, 0.75f, 0.9999f}) {
+    const int64_t via_p =
+        runtime::sample_last_row(logits, Sampling::TopP(1.0f, 1.3f), u);
+    const int64_t via_t =
+        runtime::sample_last_row(logits, Sampling::Temperature(1.3f), u);
+    EXPECT_GE(via_p, 0);
+    EXPECT_LT(via_p, 5);
+    EXPECT_GE(via_t, 0);
+    EXPECT_LT(via_t, 5);
+  }
+  // The tie pair (2, 3) ranks by index inside the nucleus too.
+  for (float u : {0.0f, 0.4f, 0.8f}) {
+    const int64_t tok =
+        runtime::sample_last_row(logits, Sampling::TopP(0.9f, 1.0f), u);
+    EXPECT_NE(tok, 4) << "u=" << u;  // the tail never enters a 0.9 nucleus
+  }
 }
 
 TEST(SeededSampling, RejectsUnusablePolicies) {
@@ -257,6 +307,12 @@ TEST(SeededSampling, RejectsUnusablePolicies) {
       std::invalid_argument);
   EXPECT_THROW(
       sampler(Sampling::TopK(4, -1.0f), 42, BackendKind::Reference).build(),
+      std::invalid_argument);
+  EXPECT_THROW(
+      sampler(Sampling::TopP(0.0f), 42, BackendKind::Threads).build(),
+      std::invalid_argument);
+  EXPECT_THROW(
+      sampler(Sampling::TopP(1.5f), 42, BackendKind::Threads).build(),
       std::invalid_argument);
   // dp is validated on every backend, before any engine is built.
   EXPECT_THROW(

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <stdexcept>
 #include <vector>
 
 #include "model/partition.hpp"
@@ -182,4 +184,119 @@ TEST(Decode, WorksAcrossPartitionedStages) {
   const float* last_full = full.data() + (full.size(1) - 1) * V;
   const float* last_inc = d.data();
   for (int64_t v = 0; v < V; ++v) ASSERT_EQ(last_full[v], last_inc[v]);
+}
+
+// ---- Half-precision KV-cache storage (InferConfig::kv_fp16) --------------
+
+TEST(Decode, Fp16KvHalvesSlotBytes) {
+  StageModule f32 = full_module(kTiny);
+  StageModule f16 = full_module(kTiny);
+  f16.set_kv_fp16(true);
+
+  Rng rng(5);
+  std::vector<int64_t> seq;
+  for (int i = 0; i < 16; ++i) seq.push_back(rng.index(kTiny.vocab));
+  (void)f32.decode(ids_tensor(seq), 0, 0);
+  (void)f16.decode(ids_tensor(seq), 0, 0);
+
+  // fp32 slots grow capacity in powers of two, fp16 slots resize exactly,
+  // so compare against the exact row count, not the fp32 capacity: 2 bytes
+  // per cached element instead of 4.
+  const auto descs = kTiny.layer_descs();
+  int64_t exact16 = 0;
+  for (const auto& d : descs) {
+    if (d.type == model::LayerDesc::Type::Block) {
+      exact16 += 2 * 16 * kTiny.hidden * 2;  // K and V, 16 rows, 2 bytes
+    }
+  }
+  EXPECT_EQ(f16.slot_bytes(), exact16);
+  EXPECT_GE(f32.slot_bytes(), 2 * exact16);
+
+  f16.drop_slot(0);
+  EXPECT_EQ(f16.slot_bytes(), 0);
+}
+
+TEST(Decode, Fp16KvDecodeWithinHalfPrecisionOfFp32) {
+  StageModule f32 = full_module(kTiny);
+  StageModule f16 = full_module(kTiny);
+  f16.set_kv_fp16(true);
+
+  Rng rng(5);
+  std::vector<int64_t> seq;
+  for (int i = 0; i < 6; ++i) seq.push_back(rng.index(kTiny.vocab));
+
+  Tensor ya = f32.decode(ids_tensor(seq), 0, 0);
+  Tensor yb = f16.decode(ids_tensor(seq), 0, 0);
+  ASSERT_EQ(ya.shape(), yb.shape());
+
+  // Greedy-extend the fp32 stream for a few steps and compare logits at a
+  // tolerance: quantizing K/V panels perturbs each attention score by
+  // O(kHalfEps), so the final-row logits must track within a loose relative
+  // band of the logit scale — not bitwise.
+  for (int step = 0; step < 6; ++step) {
+    const int64_t t = ya.size(1), V = ya.size(2);
+    const float* ra = ya.data() + (t - 1) * V;
+    const float* rb = yb.data() + (yb.size(1) - 1) * V;
+    float scale = 1e-3f;
+    for (int64_t v = 0; v < V; ++v) scale = std::max(scale, std::abs(ra[v]));
+    for (int64_t v = 0; v < V; ++v) {
+      EXPECT_NEAR(ra[v], rb[v], 0.02f * scale)
+          << "step " << step << " logit " << v;
+    }
+    int64_t best = 0;
+    for (int64_t v = 1; v < V; ++v) {
+      if (ra[v] > ra[best]) best = v;
+    }
+    seq.push_back(best);
+    Tensor one({1, 1});
+    one[0] = static_cast<float>(best);
+    const int64_t pos = static_cast<int64_t>(seq.size()) - 1;
+    ya = f32.decode(one, pos, 0);
+    yb = f16.decode(one, pos, 0);
+  }
+}
+
+TEST(Decode, Fp16KvIncrementalMatchesFp16FullPrefixBitwise) {
+  // The exactness guarantee survives quantization: K/V rows quantize once,
+  // whichever call produced them, so fp16 incremental decode still equals
+  // fp16 full-prefix recompute bit-for-bit (this is what keeps Threads and
+  // Reference token-identical under kv_fp16).
+  StageModule inc = full_module(kTiny);
+  StageModule ref = full_module(kTiny);
+  inc.set_kv_fp16(true);
+  ref.set_kv_fp16(true);
+
+  Rng rng(5);
+  std::vector<int64_t> seq;
+  for (int i = 0; i < 5; ++i) seq.push_back(rng.index(kTiny.vocab));
+  Tensor y_inc = inc.decode(ids_tensor(seq), 0, 0);
+
+  for (int step = 0; step < 5; ++step) {
+    ref.drop_slot(0);
+    Tensor y_ref = ref.decode(ids_tensor(seq), 0, 0);
+    const int64_t t = y_ref.size(1), V = y_ref.size(2);
+    const float* rr = y_ref.data() + (t - 1) * V;
+    const float* ri = y_inc.data() + (y_inc.size(1) - 1) * V;
+    for (int64_t v = 0; v < V; ++v) {
+      ASSERT_EQ(rr[v], ri[v]) << "step " << step << " logit " << v;
+    }
+    int64_t best = 0;
+    for (int64_t v = 1; v < V; ++v) {
+      if (rr[v] > rr[best]) best = v;
+    }
+    seq.push_back(best);
+    Tensor one({1, 1});
+    one[0] = static_cast<float>(best);
+    y_inc = inc.decode(one, static_cast<int64_t>(seq.size()) - 1, 0);
+  }
+}
+
+TEST(Decode, Fp16KvToggleWithStreamsInFlightThrows) {
+  StageModule m = full_module(kTiny);
+  Rng rng(5);
+  std::vector<int64_t> seq = {1, 2, 3};
+  (void)m.decode(ids_tensor(seq), 0, 0);
+  EXPECT_THROW(m.set_kv_fp16(true), std::logic_error);
+  m.drop_slot(0);
+  EXPECT_NO_THROW(m.set_kv_fp16(true));
 }

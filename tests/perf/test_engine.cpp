@@ -1,0 +1,267 @@
+// The unified planning core (perf::Engine) and the refactor guarantee that
+// came with it: perf::plan / perf::evaluate are thin frontends over the
+// engine, and the training rankings they produced BEFORE the refactor are
+// locked here row by row — the expected table below was captured from the
+// pre-Engine planner (same request, same cluster) and must keep matching.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <iterator>
+#include <limits>
+
+#include "perf/engine.hpp"
+#include "perf/planner.hpp"
+
+namespace hm = hanayo::model;
+namespace hs = hanayo::schedule;
+namespace hsim = hanayo::sim;
+namespace hp = hanayo::perf;
+
+using hs::Algo;
+
+namespace {
+
+const auto kModel = hm::ModelConfig::tiny(30, 32, 2, 101, 16);
+
+struct ExpectedRow {
+  Algo algo;
+  int D, P, W, B, mb;
+  double throughput;
+  bool feasible;
+};
+
+// Captured from the pre-refactor perf::plan (total_devices=8,
+// batch_sequences=8, wave_options={1,2}, uniform 8-device cluster
+// 1e12 flops / 1e12 mem / 1e11 B/s / 1e-6 s). Order here is the captured
+// ranking; rows are matched by configuration key so ties in throughput
+// (which std::sort may permute) cannot produce false failures.
+const ExpectedRow kUniform8[] = {
+    {Algo::Chimera, 4, 2, 1, 2, 1, 117683.75538748878, true},
+    {Algo::Hanayo, 4, 2, 2, 2, 1, 114685.21203001997, true},
+    {Algo::Chimera, 2, 4, 1, 4, 1, 112860.80470656641, true},
+    {Algo::ChimeraWave, 4, 2, 1, 2, 1, 110297.7509847383, true},
+    {Algo::Hanayo, 4, 2, 1, 2, 1, 110297.7509847383, true},
+    {Algo::Dapple, 4, 2, 1, 2, 1, 105494.66872142148, true},
+    {Algo::GPipe, 4, 2, 1, 2, 1, 105494.66872142148, true},
+    {Algo::Chimera, 1, 8, 1, 8, 1, 105308.29635608019, true},
+    {Algo::ChimeraWave, 2, 4, 1, 4, 1, 100859.15865710468, true},
+    {Algo::Hanayo, 2, 4, 1, 4, 1, 100859.15865710468, true},
+    {Algo::GPipe, 2, 4, 1, 4, 1, 98207.439252806376, true},
+    {Algo::Dapple, 2, 4, 1, 4, 1, 94623.278234829238, true},
+    {Algo::Hanayo, 2, 4, 2, 4, 1, 91993.476558590337, true},
+    {Algo::GPipe, 1, 8, 1, 8, 1, 90304.999718248378, true},
+    {Algo::Chimera, 2, 4, 1, 2, 2, 85489.492315520518, true},
+    {Algo::Dapple, 4, 2, 1, 1, 2, 84188.803832004953, true},
+    {Algo::GPipe, 4, 2, 1, 1, 2, 84188.803832004953, true},
+    {Algo::ChimeraWave, 4, 2, 1, 1, 2, 81964.633244330675, true},
+    {Algo::Hanayo, 4, 2, 1, 1, 2, 81964.633244330675, true},
+    {Algo::Hanayo, 1, 8, 1, 8, 1, 80900.912562293801, true},
+    {Algo::ChimeraWave, 1, 8, 1, 8, 1, 80900.912562293801, true},
+    {Algo::Dapple, 1, 8, 1, 8, 1, 80195.548826257975, true},
+    {Algo::Hanayo, 4, 2, 2, 1, 2, 78674.343604216454, true},
+    {Algo::Chimera, 1, 8, 1, 4, 2, 74328.088941585869, true},
+    {Algo::Dapple, 2, 4, 1, 2, 2, 74039.851209515022, true},
+    {Algo::Hanayo, 2, 4, 1, 2, 2, 73214.589031868862, true},
+    {Algo::ChimeraWave, 2, 4, 1, 2, 2, 73214.589031868862, true},
+    {Algo::GPipe, 2, 4, 1, 2, 2, 72753.262838331779, true},
+    {Algo::Hanayo, 2, 4, 2, 2, 2, 69748.47027654991, true},
+    {Algo::GPipe, 1, 8, 1, 4, 2, 65422.077072440552, true},
+    {Algo::Hanayo, 1, 8, 2, 8, 1, 64590.670833539989, true},
+    {Algo::Dapple, 1, 8, 1, 4, 2, 64280.770176191043, true},
+    {Algo::Hanayo, 1, 8, 1, 4, 2, 62311.631936655504, true},
+    {Algo::ChimeraWave, 1, 8, 1, 4, 2, 62311.631936655504, true},
+    {Algo::Hanayo, 1, 8, 2, 4, 2, 51194.259690049563, true},
+    {Algo::GPipe, 2, 4, 1, 1, 4, 47915.190878787602, true},
+    {Algo::Dapple, 2, 4, 1, 1, 4, 47915.190878787602, true},
+    {Algo::Chimera, 1, 8, 1, 2, 4, 47274.600378348085, true},
+    {Algo::ChimeraWave, 2, 4, 1, 1, 4, 46187.39667879363, true},
+    {Algo::Hanayo, 2, 4, 1, 1, 4, 46187.39667879363, true},
+    {Algo::Hanayo, 2, 4, 2, 1, 4, 43080.481922395855, true},
+    {Algo::Dapple, 1, 8, 1, 2, 4, 43045.529773387672, true},
+    {Algo::GPipe, 1, 8, 1, 2, 4, 42178.232387888573, true},
+    {Algo::ChimeraWave, 1, 8, 1, 2, 4, 40520.897761560773, true},
+    {Algo::Hanayo, 1, 8, 1, 2, 4, 40520.897761560773, true},
+    {Algo::Hanayo, 1, 8, 2, 2, 4, 36397.413163051744, true},
+    {Algo::GPipe, 1, 8, 1, 1, 8, 24657.254302296351, true},
+    {Algo::Dapple, 1, 8, 1, 1, 8, 24657.254302296351, true},
+    {Algo::ChimeraWave, 1, 8, 1, 1, 8, 23557.472317143118, true},
+    {Algo::Hanayo, 1, 8, 1, 1, 8, 23557.472317143118, true},
+    {Algo::Hanayo, 1, 8, 2, 1, 8, 21628.12362012572, true},
+    {Algo::Chimera, 2, 4, 1, 1, 4, 0.0, false},
+    {Algo::Chimera, 4, 2, 1, 1, 2, 0.0, false},
+    {Algo::Chimera, 1, 8, 1, 1, 8, 0.0, false},
+};
+
+hp::PlanRequest uniform8_request() {
+  hp::PlanRequest req;
+  req.model = kModel;
+  req.cluster = hsim::Cluster::uniform(8, 1e12, 1e12, 1e11, 1e-6);
+  req.total_devices = 8;
+  req.batch_sequences = 8;
+  req.wave_options = {1, 2};
+  return req;
+}
+
+const hp::Candidate* find(const std::vector<hp::Candidate>& cands,
+                          const ExpectedRow& e) {
+  for (const hp::Candidate& c : cands) {
+    if (c.algo == e.algo && c.D == e.D && c.P == e.P && c.W == e.W &&
+        c.B == e.B && c.mb_sequences == e.mb) {
+      return &c;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+TEST(Engine, PlanRankingRegressionLocked) {
+  const auto cands = hp::plan(uniform8_request());
+  ASSERT_EQ(cands.size(), std::size(kUniform8));
+
+  // Every pre-refactor row survives with the same throughput and
+  // feasibility (matched by configuration key).
+  for (const ExpectedRow& e : kUniform8) {
+    const hp::Candidate* c = find(cands, e);
+    ASSERT_NE(c, nullptr) << "missing candidate";
+    EXPECT_EQ(c->feasible, e.feasible);
+    if (e.feasible) {
+      // Relative 1e-9: the values are deterministic IEEE doubles, the
+      // slack only guards against compiler-version instruction ordering.
+      EXPECT_NEAR(c->throughput_seq_s, e.throughput, e.throughput * 1e-9);
+    }
+  }
+
+  // The ranking invariant the table encodes: usable rows first, throughput
+  // non-increasing among them; the top row is the captured winner.
+  bool seen_unusable = false;
+  double prev = std::numeric_limits<double>::infinity();
+  for (const hp::Candidate& c : cands) {
+    const bool usable = c.feasible && !c.oom;
+    if (!usable) {
+      seen_unusable = true;
+      continue;
+    }
+    EXPECT_FALSE(seen_unusable) << "usable candidate ranked below unusable";
+    EXPECT_LE(c.throughput_seq_s, prev + 1e-9);
+    prev = c.throughput_seq_s;
+  }
+  EXPECT_EQ(cands.front().algo, Algo::Chimera);
+  EXPECT_EQ(cands.front().D, 4);
+  EXPECT_EQ(cands.front().P, 2);
+  EXPECT_EQ(cands.front().B, 2);
+}
+
+TEST(Engine, EvaluateIsAThinFrontendOverTheEngine) {
+  const auto cluster = hsim::Cluster::uniform(8, 1e12, 1e12, 1e11, 1e-6);
+  const hp::Engine eng(kModel, cluster);
+  for (Algo algo : {Algo::GPipe, Algo::Hanayo, Algo::Chimera}) {
+    const auto direct =
+        hp::evaluate(kModel, cluster, algo, 2, 4, 2, 4, 1);
+    const auto via = eng.evaluate_training(hp::TrainingPoint{algo, 2, 4, 2, 4, 1});
+    EXPECT_EQ(direct.throughput_seq_s, via.throughput_seq_s);
+    EXPECT_EQ(direct.bubble_ratio, via.bubble_ratio);
+    EXPECT_EQ(direct.peak_mem_gb, via.peak_mem_gb);
+    EXPECT_EQ(direct.feasible, via.feasible);
+    EXPECT_EQ(direct.oom, via.oom);
+  }
+}
+
+TEST(Engine, CalibrationChangesTrainingCostsConsistently) {
+  const auto cluster = hsim::Cluster::uniform(8, 1e12, 1e12, 1e11, 1e-6);
+  hp::Calibration cal;
+  cal.sec_per_flop = 1e-12;
+  cal.bwd_fwd_ratio = 3.0;
+  cal.bytes_per_s = 1e11;
+  cal.latency_s = 1e-6;
+  const auto plain = hp::evaluate(kModel, cluster, Algo::Hanayo, 1, 4, 2, 8, 1);
+  const auto with_cal =
+      hp::evaluate(kModel, cluster, Algo::Hanayo, 1, 4, 2, 8, 1, &cal);
+  // A heavier backward (3x vs the drawn 2x) must lower throughput.
+  EXPECT_LT(with_cal.throughput_seq_s, plain.throughput_seq_s);
+  // And the frontend still matches the engine exactly.
+  const hp::Engine eng(kModel, cluster, cal);
+  const auto via =
+      eng.evaluate_training(hp::TrainingPoint{Algo::Hanayo, 1, 4, 2, 8, 1});
+  EXPECT_EQ(with_cal.throughput_seq_s, via.throughput_seq_s);
+}
+
+TEST(Engine, ServingMemoryModelPrunesAndHalvesWithFp16Kv) {
+  const auto roomy = hsim::Cluster::uniform(4, 1e12, 1e12, 1e11, 1e-6);
+  const auto tight = hsim::Cluster::uniform(4, 1e12, 2e5, 1e11, 1e-6);
+  hp::ServingPoint pt;
+  pt.algo = Algo::Hanayo;
+  pt.P = 2;
+  pt.W = 1;
+  pt.max_batch = 4;
+  pt.prompt_tokens = 8;
+  pt.max_new_tokens = 8;
+
+  const hp::Engine eng_roomy(kModel, roomy);
+  const hp::Engine eng_tight(kModel, tight);
+  const auto ok = eng_roomy.prune_serving(pt);
+  ASSERT_TRUE(ok.feasible);
+  EXPECT_FALSE(ok.oom);
+  EXPECT_GT(ok.kv_gb, 0.0);
+  EXPECT_GT(ok.peak_mem_gb, ok.kv_gb / 2.0);
+
+  const auto oom = eng_tight.prune_serving(pt);
+  ASSERT_TRUE(oom.feasible);
+  EXPECT_TRUE(oom.oom);
+
+  // fp16 KV storage exactly halves the KV bytes the memory model sees.
+  hp::ServingPoint half = pt;
+  half.kv_fp16 = true;
+  const auto fp16 = eng_roomy.prune_serving(half);
+  EXPECT_DOUBLE_EQ(fp16.kv_gb * 2.0, ok.kv_gb);
+  EXPECT_LT(fp16.peak_mem_gb, ok.peak_mem_gb);
+}
+
+TEST(Engine, ServingFeasibilityIsAResult) {
+  const auto cluster = hsim::Cluster::uniform(4, 1e12, 1e12, 1e11, 1e-6);
+  const hp::Engine eng(kModel, cluster);
+  hp::ServingPoint pt;
+  pt.algo = Algo::Chimera;  // no forward-only program
+  pt.P = 2;
+  const auto chimera = eng.evaluate_serving(pt);
+  EXPECT_FALSE(chimera.feasible);
+  EXPECT_NE(chimera.note.find("forward-only"), std::string::npos);
+
+  pt.algo = Algo::Hanayo;
+  pt.P = 8;
+  pt.W = 8;  // 64 stages > 33 layers
+  const auto deep = eng.evaluate_serving(pt);
+  EXPECT_FALSE(deep.feasible);
+  EXPECT_NE(deep.note.find("stages"), std::string::npos);
+}
+
+TEST(Engine, ExpectedNewTokensGeometricModel) {
+  // No stop tokens: the full cap.
+  EXPECT_EQ(hp::Engine::expected_new_tokens(16, {}, 100), 16);
+  // Stops shorten the expectation, monotonically in the stop-set size.
+  const int one = hp::Engine::expected_new_tokens(64, {1}, 32);
+  const int four = hp::Engine::expected_new_tokens(64, {1, 2, 3, 4}, 32);
+  EXPECT_LT(one, 64);
+  EXPECT_LT(four, one);
+  // Duplicates don't count twice.
+  EXPECT_EQ(hp::Engine::expected_new_tokens(64, {1, 1, 1}, 32),
+            hp::Engine::expected_new_tokens(64, {1}, 32));
+  // Stopping everywhere stops immediately.
+  EXPECT_EQ(hp::Engine::expected_new_tokens(64, {0, 1}, 2), 1);
+  // Ids the model cannot emit (outside [0, vocab)) never fire at runtime,
+  // so they must not shorten the prediction either.
+  EXPECT_EQ(hp::Engine::expected_new_tokens(16, {50256}, 100), 16);
+  EXPECT_EQ(hp::Engine::expected_new_tokens(16, {-1}, 100), 16);
+  EXPECT_EQ(hp::Engine::expected_new_tokens(64, {1, 50256}, 32),
+            hp::Engine::expected_new_tokens(64, {1}, 32));
+}
+
+TEST(Engine, DefaultPromptTokensRule) {
+  const auto m = hm::ModelConfig::tiny(6, 32, 2, 67, 24);
+  // Half the positions when it fits.
+  EXPECT_EQ(hp::Engine::default_prompt_tokens(m, 8), 12);
+  // Clamped so prompt + continuation - 1 fits the positional table.
+  EXPECT_EQ(hp::Engine::default_prompt_tokens(m, 20), 5);
+  EXPECT_GE(hp::Engine::default_prompt_tokens(m, 1000), 1);
+}

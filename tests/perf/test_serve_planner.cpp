@@ -1,0 +1,317 @@
+// The decode-aware serving planner (perf::plan_serving) and its headline
+// guarantee: the winning candidate's predicted per-token latency and
+// throughput equal InferenceSession::predict() BIT-EXACTLY for the same
+// (algo, P, W, max_batch, dp) — both are one perf::Engine code path plus
+// identical dp-replication arithmetic (runtime::merge_stats and the
+// ServeReport divisions).
+
+#include <gtest/gtest.h>
+
+#include "core/hanayo.hpp"
+
+using namespace hanayo;
+
+namespace {
+
+const ModelConfig kTiny = ModelConfig::tiny(/*layers=*/6, /*hidden=*/32,
+                                            /*heads=*/2, /*vocab=*/67,
+                                            /*seq=*/24);
+
+ServeTarget small_target() {
+  ServeTarget t;
+  t.total_devices = 4;
+  t.prompt_tokens = 10;
+  t.max_new_tokens = 8;
+  t.wave_options = {1, 2};
+  t.batch_options = {1, 2, 4};
+  return t;
+}
+
+sim::Cluster roomy_cluster() {
+  return sim::Cluster::uniform(4, 1e12, 1e9, 1e11, 1e-6);
+}
+
+InferenceSession session_for(const ServeCandidate& c,
+                             const sim::Cluster& cluster,
+                             const ServeTarget& t) {
+  return InferenceSession::builder()
+      .model(kTiny)
+      .algo(c.algo)
+      .pipeline(c.P)
+      .waves(c.W)
+      .vchunks(c.W)
+      .max_batch(c.max_batch)
+      .data_parallel(c.dp)
+      .max_new_tokens(t.max_new_tokens)
+      .prompt_tokens(t.prompt_tokens)
+      .stop_tokens(t.stop_tokens)
+      .kv_fp16(t.kv_fp16)
+      .backend(BackendKind::Sim)
+      .cluster(cluster)
+      .build();
+}
+
+}  // namespace
+
+TEST(ServePlanner, EnumeratesTheFiveAxes) {
+  const auto rows = plan_serving(roomy_cluster(), kTiny, small_target());
+  ASSERT_FALSE(rows.empty());
+  bool p1 = false, p4 = false, dp2 = false, dp4 = false, w2 = false,
+       b4 = false, gpipe = false;
+  for (const auto& c : rows) {
+    if (c.P == 1) p1 = true;
+    if (c.P == 4) p4 = true;
+    if (c.dp == 2) dp2 = true;
+    if (c.dp == 4) dp4 = true;
+    if (c.W == 2 && c.algo == Algo::Hanayo) w2 = true;
+    if (c.max_batch == 4) b4 = true;
+    if (c.algo == Algo::GPipe) gpipe = true;
+    EXPECT_LE(c.dp * c.P, 4);
+  }
+  EXPECT_TRUE(p1 && p4 && dp2 && dp4 && w2 && b4 && gpipe);
+}
+
+TEST(ServePlanner, RankedUsableFirstByThroughput) {
+  const auto rows = plan_serving(roomy_cluster(), kTiny, small_target());
+  bool seen_unusable = false;
+  double prev = 1e300;
+  for (const auto& c : rows) {
+    const bool usable = c.feasible && !c.oom;
+    if (!usable) {
+      seen_unusable = true;
+      continue;
+    }
+    EXPECT_FALSE(seen_unusable);
+    EXPECT_LE(c.tokens_per_s, prev * (1.0 + 1e-12));
+    prev = c.tokens_per_s;
+    // Usable rows carry a full latency profile.
+    EXPECT_GT(c.token_latency_s, 0.0);
+    EXPECT_GT(c.p50_token_latency_s, 0.0);
+    EXPECT_GE(c.p99_token_latency_s, c.p50_token_latency_s);
+    EXPECT_GT(c.ttft_s, 0.0);
+    EXPECT_FALSE(c.to_string().empty());
+  }
+}
+
+TEST(ServePlanner, WinnerMatchesPredictBitExactly) {
+  const auto cluster = roomy_cluster();
+  const ServeTarget t = small_target();
+  const auto rows = plan_serving(cluster, kTiny, t);
+  const auto best = best_serving(rows);
+  ASSERT_TRUE(best.has_value());
+
+  auto sess = session_for(*best, cluster, t);
+  const ServeReport sla = sess.predict();
+  ASSERT_TRUE(sla.feasible);
+  // The acceptance bar: bit-exact equality, not tolerance.
+  EXPECT_EQ(best->token_latency_s, sla.per_token_latency_s());
+  EXPECT_EQ(best->tokens_per_s, sla.tokens_per_s());
+  EXPECT_EQ(best->prefill_tokens_per_s, sla.prefill_tokens_per_s());
+  EXPECT_EQ(best->expected_new_tokens * best->max_batch * best->dp,
+            sla.generated_tokens);
+}
+
+TEST(ServePlanner, EveryUsableRowMatchesPredictBitExactly) {
+  const auto cluster = roomy_cluster();
+  ServeTarget t = small_target();
+  t.stop_tokens = {2, 5};  // exercise the early-stop model too
+  const auto rows = plan_serving(cluster, kTiny, t);
+  int checked = 0;
+  for (const auto& c : rows) {
+    if (!(c.feasible && !c.oom)) continue;
+    if (++checked > 12) break;  // a sample is plenty; predict() is not free
+    auto sess = session_for(c, cluster, t);
+    const ServeReport sla = sess.predict();
+    EXPECT_EQ(c.token_latency_s, sla.per_token_latency_s())
+        << c.to_string();
+    EXPECT_EQ(c.tokens_per_s, sla.tokens_per_s()) << c.to_string();
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(ServePlanner, PrunesOomCandidatesWithoutTimings) {
+  // 300 KB devices: weights alone are fine, full-context KV of the larger
+  // batches is not.
+  const auto tight = sim::Cluster::uniform(4, 1e12, 3e5, 1e11, 1e-6);
+  const auto rows = plan_serving(tight, kTiny, small_target());
+  int oom = 0, usable = 0;
+  for (const auto& c : rows) {
+    if (c.oom) {
+      ++oom;
+      // Pruned before simulation: no timeline numbers, memory explains why.
+      EXPECT_EQ(c.token_latency_s, 0.0);
+      EXPECT_GT(c.peak_mem_gb, 0.0);
+      EXPECT_FALSE(c.meets_target);
+      EXPECT_NE(c.to_string().find("OOM"), std::string::npos);
+    } else if (c.feasible) {
+      ++usable;
+    }
+  }
+  EXPECT_GT(oom, 0);
+  EXPECT_GT(usable, 0);
+}
+
+TEST(ServePlanner, Fp16KvAdmitsConfigsFp32CannotFit) {
+  // A memory budget placed between the fp32 and fp16 footprints of the
+  // batch=8 P=2 rows (342 KB with fp32 KV, 273 KB with fp16): fp16 must
+  // strictly widen the usable set.
+  ServeTarget t = small_target();
+  t.batch_options = {8};
+  const auto tight = sim::Cluster::uniform(4, 1e12, 3.0e5, 1e11, 1e-6);
+  const auto fp32_rows = plan_serving(tight, kTiny, t);
+  t.kv_fp16 = true;
+  const auto fp16_rows = plan_serving(tight, kTiny, t);
+  const auto count_usable = [](const std::vector<ServeCandidate>& v) {
+    int n = 0;
+    for (const auto& c : v) {
+      if (c.feasible && !c.oom) ++n;
+    }
+    return n;
+  };
+  EXPECT_GT(count_usable(fp16_rows), count_usable(fp32_rows));
+}
+
+TEST(ServePlanner, PredictSurfacesTheMemoryVerdict) {
+  // A configuration the planner marks OOM must carry the same verdict
+  // through predict() — the dry run exists to catch it before an engine is
+  // built.
+  const auto tight = sim::Cluster::uniform(4, 1e12, 3e5, 1e11, 1e-6);
+  const ServeTarget t = small_target();
+  const auto rows = plan_serving(tight, kTiny, t);
+  const ServeCandidate* oom_row = nullptr;
+  for (const auto& c : rows) {
+    if (c.oom) {
+      oom_row = &c;
+      break;
+    }
+  }
+  ASSERT_NE(oom_row, nullptr);
+  auto sess = session_for(*oom_row, tight, t);
+  const ServeReport sla = sess.predict();
+  EXPECT_TRUE(sla.feasible);  // schedulable — it just doesn't fit
+  EXPECT_TRUE(sla.oom);
+  EXPECT_GT(sla.peak_mem_gb, 0.0);
+  EXPECT_NE(sla.to_string().find("OOM"), std::string::npos);
+
+  // And a roomy cluster predicts clean.
+  const ServeReport ok =
+      session_for(*oom_row, roomy_cluster(), t).predict();
+  EXPECT_FALSE(ok.oom);
+}
+
+TEST(ServePlanner, AutoPlanKeepsBuilderKnobsTheTargetLeavesUnset) {
+  // max_new_tokens / stop_tokens / kv_fp16 set on the builder survive an
+  // auto_plan whose target doesn't specify them — and the planner scored
+  // candidates under those very values (bit-exact predict still holds).
+  ServeTarget t;
+  t.total_devices = 4;
+  t.prompt_tokens = 10;  // leave max_new_tokens/stop_tokens/kv_fp16 unset
+  t.wave_options = {1, 2};
+  t.batch_options = {1, 2};
+  const auto cluster = roomy_cluster();
+  auto sess = InferenceSession::builder()
+                  .model(kTiny)
+                  .backend(BackendKind::Sim)
+                  .cluster(cluster)
+                  .max_new_tokens(6)
+                  .eos(2)
+                  .kv_fp16()
+                  .auto_plan(t)
+                  .build();
+  EXPECT_EQ(sess.config().max_new_tokens, 6);
+  EXPECT_EQ(sess.config().stop_tokens, std::vector<int64_t>{2});
+  EXPECT_TRUE(sess.config().kv_fp16);
+
+  ServeTarget merged = t;
+  merged.max_new_tokens = 6;
+  merged.stop_tokens = {2};
+  merged.kv_fp16 = true;
+  const auto rows = plan_serving(cluster, kTiny, merged);
+  const auto best = best_serving(rows);
+  ASSERT_TRUE(best.has_value());
+  const ServeReport sla = sess.predict();
+  EXPECT_EQ(best->token_latency_s, sla.per_token_latency_s());
+  EXPECT_EQ(best->tokens_per_s, sla.tokens_per_s());
+}
+
+TEST(ServePlanner, SlaBoundsMarkMisses) {
+  const auto cluster = roomy_cluster();
+  ServeTarget t = small_target();
+  t.max_p99_token_latency_s = 1e-15;  // impossible: everything misses
+  const auto rows = plan_serving(cluster, kTiny, t);
+  for (const auto& c : rows) {
+    if (c.feasible && !c.oom) EXPECT_FALSE(c.meets_target);
+  }
+  // best_serving falls back to the best usable row even when all miss.
+  const auto best = best_serving(rows);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_TRUE(best->feasible);
+  EXPECT_FALSE(best->oom);
+}
+
+TEST(ServePlanner, AutoPlanSelfConfiguresASession) {
+  const auto cluster = roomy_cluster();
+  const ServeTarget t = small_target();
+  auto sess = InferenceSession::builder()
+                  .model(kTiny)
+                  .backend(BackendKind::Sim)
+                  .cluster(cluster)
+                  .auto_plan(t)
+                  .build();
+  // The adopted configuration is the planner's winner.
+  const auto rows = plan_serving(cluster, kTiny, t);
+  const auto best = best_serving(rows);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(sess.config().sched.algo, best->algo);
+  EXPECT_EQ(sess.config().sched.P, best->P);
+  EXPECT_EQ(sess.config().sched.waves, best->W);
+  EXPECT_EQ(sess.config().max_batch, best->max_batch);
+  EXPECT_EQ(sess.config().dp, best->dp);
+  // And predict() reproduces the winning row bit-for-bit.
+  const ServeReport sla = sess.predict();
+  EXPECT_EQ(best->token_latency_s, sla.per_token_latency_s());
+  EXPECT_EQ(best->tokens_per_s, sla.tokens_per_s());
+}
+
+TEST(ServePlanner, AutoPlanAdoptsTheTargetCalibration) {
+  // A calibration supplied through the target must drive BOTH the planning
+  // cluster and the built session's predict() — otherwise the planner would
+  // rank on the spec-default cost model and the session would predict on a
+  // third one.
+  perf::Calibration cal;
+  cal.sec_per_flop = 2.5e-11;
+  cal.bwd_fwd_ratio = 2.7;
+  cal.bytes_per_s = 8e9;
+  cal.latency_s = 2e-6;
+  ServeTarget t = small_target();
+  t.calibration = cal;
+  auto sess = InferenceSession::builder()
+                  .model(kTiny)
+                  .backend(BackendKind::Sim)
+                  .auto_plan(t)  // no explicit cluster: calibrated default
+                  .build();
+  ASSERT_TRUE(sess.config().calibration.has_value());
+  EXPECT_EQ(sess.config().calibration->sec_per_flop, cal.sec_per_flop);
+
+  // And the winner was ranked on the same calibrated cluster the session's
+  // own effective rule now reproduces (uniform, so the dp*P-device slice
+  // predict() uses is identical to the planning cluster's replica block).
+  const auto rows = plan_serving(
+      api::planning_cluster(t.total_devices, t.calibration), kTiny, t);
+  const auto best = best_serving(rows);
+  ASSERT_TRUE(best.has_value());
+  const ServeReport sla = sess.predict();
+  EXPECT_EQ(best->token_latency_s, sla.per_token_latency_s());
+  EXPECT_EQ(best->tokens_per_s, sla.tokens_per_s());
+}
+
+TEST(ServePlanner, AutoPlanThrowsWhenNothingFits) {
+  // 1 KB devices: every candidate's weights already overflow.
+  const auto hopeless = sim::Cluster::uniform(4, 1e12, 1e3, 1e11, 1e-6);
+  EXPECT_THROW(InferenceSession::builder()
+                   .model(kTiny)
+                   .backend(BackendKind::Sim)
+                   .cluster(hopeless)
+                   .auto_plan(small_target()),
+               std::invalid_argument);
+}
