@@ -91,17 +91,31 @@ Row run_config(const ModelConfig& model, const perf::Calibration& cal,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Usage: serve_latency [out.json] [max_dp] [--short]
+  // --short: smoke-sized sweep for the sanitizer CI legs, where the point
+  // is exercising the threaded serving stack under TSan/ASan (~10x slower),
+  // not producing comparable latency numbers.
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_serve.json";
-  const int max_dp = argc > 2 ? std::atoi(argv[2]) : 2;
+  int max_dp = 2;
+  bool short_mode = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::string(argv[i]) == "--short") {
+      short_mode = true;
+    } else {
+      max_dp = std::atoi(argv[i]);
+    }
+  }
   const ModelConfig model = ModelConfig::tiny(/*layers=*/8, /*hidden=*/64,
                                               /*heads=*/4, /*vocab=*/512,
                                               /*seq=*/64);
   const int64_t prompt_len = 16;
-  const int new_tokens = 8;
+  const int new_tokens = short_mode ? 4 : 8;
 
   // Measure this machine before predicting for it (see file comment).
   std::printf("calibrating cost model against the local kernel stack ...\n");
-  const perf::Calibration cal = perf::calibrate(model, /*mb_sequences=*/1);
+  const perf::Calibration cal =
+      perf::calibrate(model, /*mb_sequences=*/1, /*compute_repeats=*/3,
+                      /*comm_repeats=*/short_mode ? 10 : 50);
   std::printf("  sec/flop %.3e, bwd/fwd %.2f, %.2f GB/s, %.1f us/msg\n",
               cal.sec_per_flop, cal.bwd_fwd_ratio, cal.bytes_per_s / 1e9,
               cal.latency_s * 1e6);
@@ -110,14 +124,19 @@ int main(int argc, char** argv) {
     Algo algo;
     int P, W;
   };
-  const std::vector<Config> grid = {
+  std::vector<Config> grid = {
       {Algo::GPipe, 2, 1},  {Algo::Dapple, 2, 1}, {Algo::Hanayo, 2, 1},
       {Algo::Hanayo, 2, 2}, {Algo::Hanayo, 4, 1},
   };
+  // One deep and one wavy config still cover prefill/decode interleaving,
+  // continuous batching and (with max_dp=2) the shared-queue replicas.
+  if (short_mode) grid = {{Algo::Hanayo, 2, 2}, {Algo::Hanayo, 4, 1}};
 
   std::vector<Row> rows;
+  const std::vector<int> batches = short_mode ? std::vector<int>{2}
+                                              : std::vector<int>{1, 4};
   for (const Config& c : grid) {
-    for (int batch : {1, 4}) {
+    for (int batch : batches) {
       for (int dp = 1; dp <= max_dp; dp *= 2) {
         std::printf("serve %-8s P=%d W=%d batch=%d dp=%d ...\n",
                     schedule::algo_name(c.algo).c_str(), c.P, c.W, batch, dp);

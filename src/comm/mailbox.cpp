@@ -6,19 +6,19 @@ namespace hanayo::comm {
 
 void RequestState::complete() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::lock_guard lk(mu_);
     done_ = true;
   }
   cv_.notify_all();
 }
 
 void RequestState::wait() {
-  std::unique_lock<std::mutex> lk(mu_);
+  std::unique_lock lk(mu_);
   cv_.wait(lk, [&] { return done_; });
 }
 
 bool RequestState::test() {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard lk(mu_);
   return done_;
 }
 
@@ -26,7 +26,7 @@ void Mailbox::put(Message msg) {
   PendingRecv matched{};
   bool have_match = false;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::lock_guard lk(mu_);
     // Try to satisfy an already-posted irecv (FIFO across posts with the
     // same signature, per MPI ordering).
     for (auto it = recvs_.begin(); it != recvs_.end(); ++it) {
@@ -51,7 +51,7 @@ void Mailbox::put(Message msg) {
 }
 
 tensor::Tensor Mailbox::get(int src, Tag tag) {
-  std::unique_lock<std::mutex> lk(mu_);
+  std::unique_lock lk(mu_);
   for (;;) {
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
       if (it->src == src && it->tag == tag) {
@@ -67,7 +67,7 @@ tensor::Tensor Mailbox::get(int src, Tag tag) {
 void Mailbox::get_async(int src, Tag tag, tensor::Tensor* out, Request req) {
   bool matched = false;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::lock_guard lk(mu_);
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
       if (it->src == src && it->tag == tag) {
         *out = std::move(it->payload);
@@ -82,7 +82,7 @@ void Mailbox::get_async(int src, Tag tag, tensor::Tensor* out, Request req) {
 }
 
 size_t Mailbox::pending() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard lk(mu_);
   return queue_.size();
 }
 
@@ -93,7 +93,7 @@ World::World(int nranks) {
 }
 
 void World::barrier() {
-  std::unique_lock<std::mutex> lk(barrier_mu_);
+  std::unique_lock lk(barrier_mu_);
   const uint64_t epoch = barrier_epoch_;
   if (++barrier_count_ == size()) {
     barrier_count_ = 0;

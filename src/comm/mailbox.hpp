@@ -7,13 +7,12 @@
 // messages between the same (src, dst, tag) triple are delivered in send
 // order; different tags are independent.
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "core/sync.hpp"
 #include "tensor/tensor.hpp"
 
 namespace hanayo::comm {
@@ -37,8 +36,8 @@ class RequestState {
   bool test();
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
+  sync::Mutex<sync::Rank::CommRequest> mu_;
+  sync::CondVar cv_;
   bool done_ = false;
 };
 
@@ -69,8 +68,8 @@ class Mailbox {
     Request req;
   };
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable sync::Mutex<sync::Rank::Mailbox> mu_;
+  sync::CondVar cv_;
   std::deque<Message> queue_;
   std::deque<PendingRecv> recvs_;
 };
@@ -90,8 +89,8 @@ class World {
  private:
   std::vector<std::unique_ptr<Mailbox>> boxes_;
 
-  std::mutex barrier_mu_;
-  std::condition_variable barrier_cv_;
+  sync::Mutex<sync::Rank::WorldBarrier> barrier_mu_;
+  sync::CondVar barrier_cv_;
   int barrier_count_ = 0;
   uint64_t barrier_epoch_ = 0;
 };

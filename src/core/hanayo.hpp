@@ -90,6 +90,23 @@
 // The pre-Session entry points (Trainer, AsyncTrainer, SequentialEngine and
 // their config structs) remain available below as compatibility shims; the
 // Session backends are thin wrappers over them.
+//
+// Contributor rules (enforced by CI, see README "Correctness & CI"):
+//
+//   * Locks: never declare a raw std::mutex / std::condition_variable. Use
+//     sync::Mutex<Rank> / sync::CondVar from core/sync.hpp; the rank table
+//     there is the single global acquisition order, and debug/sanitizer
+//     builds abort on the first out-of-order acquire. Holding two locks
+//     means taking them in strictly increasing rank order — if your new
+//     lock does not fit between existing ranks, add a named rank and
+//     document what it protects.
+//   * Sanitizers: CI runs the full suite under TSan and ASan+UBSan with no
+//     suppression files. A race or lifetime bug anywhere in the threaded
+//     stack fails the build; do not add suppressions, fix the bug.
+//   * Hot-path allocations: tensor::alloc_stats() meters the global heap;
+//     tests/runtime/test_alloc_decode.cpp budgets the steady-state decode
+//     pass. New per-token work should reuse preallocated buffers — if the
+//     budget trips, reduce allocations rather than raising the bound.
 
 #include "api/inference.hpp"
 #include "api/session.hpp"

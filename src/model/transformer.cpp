@@ -373,7 +373,11 @@ std::unique_ptr<Layer> build_layer(const LayerDesc& d, uint64_t base_seed,
   // One RNG per layer, seeded by the global layer index: init is independent
   // of which worker builds the layer and of build order.
   Rng rng(base_seed * 0x1000193ULL + static_cast<uint64_t>(d.index) + 1);
-  const std::string nm = "L" + std::to_string(d.index);
+  // Built via append rather than `"L" + std::to_string(...)`: the rvalue
+  // operator+ overload trips GCC 12's -Wrestrict false positive (PR105651)
+  // under -O2, and CI compiles with -Werror.
+  std::string nm = "L";
+  nm += std::to_string(d.index);
   switch (d.type) {
     case LayerDesc::Type::Embedding:
       return std::make_unique<Embedding>(nm + ".emb", d.vocab, d.seq, d.hidden,

@@ -216,12 +216,12 @@ InferRequest make_infer_request(Tensor prompt, int max_new_tokens,
 // ------------------------------------------------------------ RequestQueue
 
 void RequestQueue::push(InferRequest r) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard lk(mu_);
   q_.push_back(std::move(r));
 }
 
 bool RequestQueue::pop(InferRequest& out) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard lk(mu_);
   if (q_.empty()) return false;
   out = std::move(q_.front());
   q_.pop_front();
@@ -229,7 +229,7 @@ bool RequestQueue::pop(InferRequest& out) {
 }
 
 bool RequestQueue::empty() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard lk(mu_);
   return q_.empty();
 }
 

@@ -27,9 +27,9 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "core/sync.hpp"
 #include "model/transformer.hpp"
 #include "runtime/worker.hpp"
 #include "schedule/algorithms.hpp"
@@ -224,7 +224,7 @@ class RequestQueue {
   bool empty() const;
 
  private:
-  mutable std::mutex mu_;
+  mutable sync::Mutex<sync::Rank::ServeQueue> mu_;
   std::deque<InferRequest> q_;
 };
 

@@ -1,0 +1,81 @@
+#include "tensor/alloc_stats.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace hanayo::tensor {
+namespace {
+
+// Relaxed is enough: tests snapshot around a joined region, and the joins
+// themselves order the counts; the counters never synchronize anything.
+std::atomic<int64_t> g_allocs{0};
+std::atomic<int64_t> g_frees{0};
+std::atomic<int64_t> g_bytes{0};
+
+void* counted_alloc(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(static_cast<int64_t>(n), std::memory_order_relaxed);
+  // Zero-size new must return a unique pointer; malloc(0) may return null.
+  void* p = std::malloc(n == 0 ? 1 : n);
+  return p;
+}
+
+void counted_free(void* p) noexcept {
+  if (p == nullptr) return;
+  g_frees.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+
+}  // namespace
+
+AllocStats alloc_stats() {
+  AllocStats s;
+  s.allocs = g_allocs.load(std::memory_order_relaxed);
+  s.frees = g_frees.load(std::memory_order_relaxed);
+  s.bytes = g_bytes.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace hanayo::tensor
+
+// Replaceable global allocation functions ([new.delete.single] /
+// [new.delete.array]). Everything funnels through the two counted helpers
+// so the counts cover scalar, array, nothrow and sized forms alike. The
+// sanitizers intercept the underlying malloc/free, so ASan's poisoning and
+// leak detection see every allocation exactly as without this hook.
+
+void* operator new(std::size_t n) {
+  void* p = hanayo::tensor::counted_alloc(n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t n) {
+  void* p = hanayo::tensor::counted_alloc(n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  return hanayo::tensor::counted_alloc(n);
+}
+
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  return hanayo::tensor::counted_alloc(n);
+}
+
+void operator delete(void* p) noexcept { hanayo::tensor::counted_free(p); }
+void operator delete[](void* p) noexcept { hanayo::tensor::counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept {
+  hanayo::tensor::counted_free(p);
+}
+void operator delete[](void* p, std::size_t) noexcept {
+  hanayo::tensor::counted_free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  hanayo::tensor::counted_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  hanayo::tensor::counted_free(p);
+}

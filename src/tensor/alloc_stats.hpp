@@ -1,0 +1,36 @@
+#pragma once
+// Heap-allocation accounting for hot-path budgets.
+//
+// The ROADMAP's zero-allocation steady-state item needs a measurement, not
+// a hope: this hook counts every `operator new` / `operator delete` in the
+// process so tests can assert "a decode pass performs at most N heap
+// allocations" and ratchet N toward zero as arenas land.
+//
+// Mechanism: alloc_stats.cpp defines the replaceable global allocation
+// functions (funnelling through std::malloc/std::free) with relaxed atomic
+// counters in front. Linking rule: the translation unit is pulled into a
+// binary exactly when something references `alloc_stats()` — a test that
+// asks for the numbers is counting, a binary that never asks keeps the
+// stock allocator. The counters are process-wide and thread-safe; take a
+// snapshot before and after the region of interest and subtract.
+
+#include <cstdint>
+
+namespace hanayo::tensor {
+
+/// Cumulative process-wide allocation counters since start.
+struct AllocStats {
+  int64_t allocs = 0;  ///< operator new calls
+  int64_t frees = 0;   ///< operator delete calls (non-null)
+  int64_t bytes = 0;   ///< bytes requested across all allocs
+
+  AllocStats operator-(const AllocStats& rhs) const {
+    return {allocs - rhs.allocs, frees - rhs.frees, bytes - rhs.bytes};
+  }
+};
+
+/// Snapshot of the counters. First use activates counting for the whole
+/// binary (see linking rule above).
+AllocStats alloc_stats();
+
+}  // namespace hanayo::tensor

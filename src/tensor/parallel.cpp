@@ -2,12 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <exception>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/sync.hpp"
 
 namespace hanayo::tensor {
 
@@ -69,7 +70,7 @@ class Pool {
     // inter-op parallelism rather than serialising it. The partition
     // changing from N chunks to 1 is result-neutral by the determinism
     // contract.
-    std::unique_lock<std::mutex> submit(submit_mu_, std::try_to_lock);
+    std::unique_lock submit(submit_mu_, std::try_to_lock);
     if (!submit.owns_lock()) {
       fn(0, n);
       return;
@@ -80,7 +81,7 @@ class Pool {
     job->n = n;
     job->chunks = chunks;
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      std::lock_guard lk(mu_);
       job_ = job;
       ++generation_;
     }
@@ -92,7 +93,7 @@ class Pool {
       work_on(*job);
     }
     {
-      std::unique_lock<std::mutex> lk(mu_);
+      std::unique_lock lk(mu_);
       done_cv_.wait(lk, [&] {
         return job->done.load(std::memory_order_acquire) >= job->chunks;
       });
@@ -140,13 +141,13 @@ class Pool {
       finished_job = (d == job.chunks);
     }
     if (finished_job) {
-      std::lock_guard<std::mutex> lk(mu_);
+      std::lock_guard lk(mu_);
       done_cv_.notify_all();
     }
   }
 
   void ensure_workers(int want) {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::lock_guard lk(mu_);
     while (static_cast<int>(workers_.size()) < want) {
       workers_.emplace_back([this] { worker_loop(); });
       workers_.back().detach();
@@ -159,7 +160,7 @@ class Pool {
     for (;;) {
       std::shared_ptr<Job> job;
       {
-        std::unique_lock<std::mutex> lk(mu_);
+        std::unique_lock lk(mu_);
         cv_.wait(lk, [&] { return generation_ != seen && job_ != nullptr; });
         seen = generation_;
         job = job_;
@@ -168,10 +169,10 @@ class Pool {
     }
   }
 
-  std::mutex submit_mu_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::condition_variable done_cv_;
+  sync::Mutex<sync::Rank::IntraOpSubmit> submit_mu_;
+  sync::Mutex<sync::Rank::IntraOpPool> mu_;
+  sync::CondVar cv_;
+  sync::CondVar done_cv_;
   std::shared_ptr<Job> job_;
   uint64_t generation_ = 0;
   std::vector<std::thread> workers_;

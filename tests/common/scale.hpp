@@ -1,0 +1,43 @@
+#pragma once
+// Sizing knob for stress tests.
+//
+// Stress tests are sized to be meaningful in a plain Release run, but the
+// same iteration counts under TSan's ~10x slowdown would dominate the CI
+// leg. Two knobs shrink (or grow) them without touching the test logic:
+//
+//   * HANAYO_TEST_SCALE (env): a positive double multiplier applied to
+//     every scaled count. "0.25" quarters the work, "4" quadruples it for
+//     a soak run. Wins over the built-in default.
+//   * HANAYO_SANITIZE_BUILD (compile definition, set by CMake whenever
+//     HANAYO_SANITIZE is non-empty): defaults the multiplier to 0.25.
+//
+// Scaled counts never drop below 1, so every loop still executes and
+// every invariant is still exercised.
+
+#include <cstdlib>
+
+namespace hanayo_test {
+
+inline double test_scale() {
+  static const double scale = [] {
+    if (const char* env = std::getenv("HANAYO_TEST_SCALE")) {
+      const double v = std::atof(env);
+      if (v > 0.0) return v;
+    }
+#if defined(HANAYO_SANITIZE_BUILD)
+    return 0.25;
+#else
+    return 1.0;
+#endif
+  }();
+  return scale;
+}
+
+/// `n` iterations at scale 1.0, proportionally fewer/more otherwise;
+/// always at least 1.
+inline int scaled(int n) {
+  const double v = n * test_scale();
+  return v < 1.0 ? 1 : static_cast<int>(v);
+}
+
+}  // namespace hanayo_test

@@ -1,0 +1,131 @@
+// The lock-rank checker's contract: rank-ordered acquisition is silent,
+// an inversion aborts the process (death test), and the held-rank stack
+// stays exact across condition-variable waits and out-of-order unlocks.
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <thread>
+
+#include "core/sync.hpp"
+
+using hanayo::sync::CondVar;
+using hanayo::sync::Mutex;
+using hanayo::sync::Rank;
+
+namespace {
+
+#if defined(HANAYO_SYNC_CHECKS)
+constexpr bool kChecked = true;
+#else
+constexpr bool kChecked = false;
+#endif
+
+}  // namespace
+
+TEST(Sync, OrderedAcquisitionIsAllowed) {
+  Mutex<Rank::IntraOpSubmit> low;
+  Mutex<Rank::Mailbox> mid;
+  Mutex<Rank::CommRequest> high;
+  {
+    std::lock_guard a(low);
+    std::lock_guard b(mid);
+    std::lock_guard c(high);
+    EXPECT_EQ(hanayo::sync::detail::held_depth(), kChecked ? 3 : 0);
+  }
+  EXPECT_EQ(hanayo::sync::detail::held_depth(), 0);
+}
+
+TEST(Sync, ReacquisitionAfterReleaseIsAllowed) {
+  // Dropping back to no locks resets the ordering constraint: low after
+  // high is fine as long as they are never held together.
+  Mutex<Rank::Mailbox> mid;
+  Mutex<Rank::ServeQueue> low;
+  { std::lock_guard a(mid); }
+  { std::lock_guard b(low); }
+  { std::lock_guard a(mid); }
+}
+
+TEST(Sync, OutOfOrderUnlockKeepsStackExact) {
+  // std::unique_lock allows releasing the outer lock first; the checker
+  // must drop the right entry so the inner release doesn't abort.
+  Mutex<Rank::ServeQueue> low;
+  Mutex<Rank::Mailbox> high;
+  std::unique_lock a(low);
+  std::unique_lock b(high);
+  a.unlock();
+  b.unlock();
+  EXPECT_EQ(hanayo::sync::detail::held_depth(), 0);
+}
+
+TEST(Sync, TryLockTracksOnlySuccess) {
+  Mutex<Rank::IntraOpSubmit> mu;
+  std::unique_lock held(mu);
+  std::thread other([&] {
+    // A failed try_lock must leave the other thread's held set empty.
+    std::unique_lock attempt(mu, std::try_to_lock);
+    EXPECT_FALSE(attempt.owns_lock());
+    EXPECT_EQ(hanayo::sync::detail::held_depth(), 0);
+  });
+  other.join();
+  held.unlock();
+  std::unique_lock again(mu, std::try_to_lock);
+  EXPECT_TRUE(again.owns_lock());
+  EXPECT_EQ(hanayo::sync::detail::held_depth(), kChecked ? 1 : 0);
+}
+
+TEST(Sync, CondVarWaitReleasesAndReacquiresTracking) {
+  // While a thread waits, it must be free to be overtaken by same-or-lower
+  // ranks elsewhere, and after wakeup the rank must count as held again.
+  Mutex<Rank::IntraOpPool> mu;
+  CondVar cv;
+  bool ready = false;
+  std::thread waiter([&] {
+    std::unique_lock lk(mu);
+    cv.wait(lk, [&] { return ready; });
+    EXPECT_EQ(hanayo::sync::detail::held_depth(), kChecked ? 1 : 0);
+    // Still ordered: a higher rank nests fine after the wakeup.
+    Mutex<Rank::Mailbox> inner;
+    std::lock_guard g(inner);
+  });
+  {
+    std::lock_guard lk(mu);
+    ready = true;
+  }
+  cv.notify_all();
+  waiter.join();
+}
+
+TEST(SyncDeathTest, InversionAborts) {
+  if (!kChecked) {
+    GTEST_SKIP() << "lock-rank checking compiled out (HANAYO_SYNC_CHECKS off)";
+  }
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  // Mailbox (50) then ServeQueue (30): the exact shape of a real ordering
+  // bug — a transport callback reaching back into the serving queue.
+  EXPECT_DEATH(
+      {
+        Mutex<Rank::Mailbox> outer;
+        Mutex<Rank::ServeQueue> inner;
+        std::lock_guard a(outer);
+        std::lock_guard b(inner);
+      },
+      "lock-rank inversion");
+}
+
+TEST(SyncDeathTest, SameRankNestingAborts) {
+  if (!kChecked) {
+    GTEST_SKIP() << "lock-rank checking compiled out (HANAYO_SYNC_CHECKS off)";
+  }
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  // Two instances of the same rank held together would deadlock the moment
+  // two threads disagree on their order; strictly-increasing forbids it.
+  EXPECT_DEATH(
+      {
+        Mutex<Rank::Mailbox> a;
+        Mutex<Rank::Mailbox> b;
+        std::lock_guard ga(a);
+        std::lock_guard gb(b);
+      },
+      "lock-rank inversion");
+}

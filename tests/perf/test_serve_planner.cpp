@@ -240,7 +240,9 @@ TEST(ServePlanner, SlaBoundsMarkMisses) {
   t.max_p99_token_latency_s = 1e-15;  // impossible: everything misses
   const auto rows = plan_serving(cluster, kTiny, t);
   for (const auto& c : rows) {
-    if (c.feasible && !c.oom) EXPECT_FALSE(c.meets_target);
+    if (c.feasible && !c.oom) {
+      EXPECT_FALSE(c.meets_target);
+    }
   }
   // best_serving falls back to the best usable row even when all miss.
   const auto best = best_serving(rows);

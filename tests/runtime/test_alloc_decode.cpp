@@ -1,0 +1,109 @@
+// Heap-allocation accounting on the serving hot path.
+//
+// The ROADMAP's end state is a zero-allocation steady-state decode; this
+// test is the acceptance metric on the way there. It measures the heap
+// allocations of one steady-state decode pass with the counting allocator
+// (tensor/alloc_stats.hpp) and locks today's number as an upper bound —
+// a regression fence now, a ratchet as arenas land: lower the budget with
+// every PR that removes per-pass allocations.
+//
+// Methodology: two drains on a warmed pipeline that differ only in their
+// continuation length, so setup, prefill, admission and completion costs
+// cancel exactly and the quotient is the marginal cost of one pure decode
+// pass (P worker threads spawned + per-layer activations + scratch + the
+// comm frames between stages).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "model/transformer.hpp"
+#include "runtime/infer.hpp"
+#include "tensor/alloc_stats.hpp"
+
+using namespace hanayo;
+using runtime::InferConfig;
+using runtime::InferencePipeline;
+using tensor::AllocStats;
+using tensor::Tensor;
+
+namespace {
+
+// Measured on the seed of this budget (P=2 Hanayo pipeline, 6-layer tiny
+// model, greedy, fp32 KV, gcc 12 / libstdc++): 221 allocations per decode
+// pass — worker-thread spawns, per-layer activations and attention
+// scratch, and the inter-stage comm frames. The budget leaves headroom
+// for libstdc++ variation across CI images, not for regressions — a
+// change that adds a per-pass allocation source will blow through it.
+// Ratchet DOWN as the zero-alloc arena work lands; never raise it without
+// a note in CHANGES.md.
+constexpr int64_t kDecodePassAllocBudget = 384;
+
+InferConfig tiny_serving_config() {
+  InferConfig cfg;
+  cfg.model = model::ModelConfig::tiny(
+      /*layers=*/6, /*hidden=*/32, /*heads=*/2, /*vocab=*/67, /*seq=*/96);
+  cfg.sched.algo = schedule::Algo::Hanayo;
+  cfg.sched.P = 2;
+  cfg.sched.waves = 1;
+  cfg.max_batch = 1;
+  cfg.max_new_tokens = 64;
+  cfg.seed = 5;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(AllocStats, CountsKnownAllocations) {
+  const AllocStats before = tensor::alloc_stats();
+  {
+    auto v = std::vector<float>(4096);
+    v[0] = 1.0f;
+  }
+  const AllocStats d = tensor::alloc_stats() - before;
+  EXPECT_GE(d.allocs, 1);
+  EXPECT_GE(d.frees, 1);
+  EXPECT_GE(d.bytes, static_cast<int64_t>(4096 * sizeof(float)));
+}
+
+TEST(AllocDecode, SteadyStateDecodePassStaysWithinBudget) {
+  InferencePipeline pipe(tiny_serving_config());
+  Tensor prompt({1, 8});
+  for (int64_t i = 0; i < prompt.numel(); ++i) {
+    prompt[i] = static_cast<float>(1 + i);
+  }
+
+  const auto drain_with = [&](int max_new) {
+    pipe.enqueue(prompt, max_new);
+    const AllocStats before = tensor::alloc_stats();
+    const auto done = pipe.drain();
+    EXPECT_EQ(done.size(), 1u);
+    EXPECT_EQ(done.front().tokens.size(), static_cast<size_t>(max_new));
+    return tensor::alloc_stats() - before;
+  };
+
+  // Warm-up drain: compiles/caches the forward-only schedule and first-touch
+  // allocates the KV slot, so the measured runs see steady state only.
+  (void)drain_with(4);
+
+  constexpr int kShort = 4;
+  constexpr int kLong = 36;
+  const AllocStats a = drain_with(kShort);
+  const AllocStats b = drain_with(kLong);
+
+  // The runs differ by exactly (kLong - kShort) pure decode passes.
+  const int64_t extra_passes = kLong - kShort;
+  const int64_t per_pass = (b.allocs - a.allocs) / extra_passes;
+
+  RecordProperty("allocs_per_decode_pass", static_cast<int>(per_pass));
+  EXPECT_GT(per_pass, 0) << "counting hook inactive?";
+  EXPECT_LE(per_pass, kDecodePassAllocBudget)
+      << "steady-state decode allocates more than the locked baseline; "
+         "either a regression or a deliberate change — re-measure and "
+         "document in CHANGES.md";
+
+  // Steady state also means no drift: what a pass allocates it frees.
+  EXPECT_NEAR(static_cast<double>(b.frees - a.frees),
+              static_cast<double>(b.allocs - a.allocs),
+              static_cast<double>(extra_passes));
+}

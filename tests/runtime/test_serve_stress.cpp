@@ -16,6 +16,7 @@
 #include <numeric>
 #include <vector>
 
+#include "common/scale.hpp"
 #include "model/transformer.hpp"
 #include "runtime/infer.hpp"
 #include "tensor/rng.hpp"
@@ -80,7 +81,10 @@ std::vector<Traffic> make_traffic(int n, uint64_t seed) {
 }  // namespace
 
 TEST(ServeStress, RandomTrafficInvariantsAcrossDp) {
-  const std::vector<Traffic> reqs = make_traffic(12, 99);
+  // Sized down under sanitizers (tests/common/scale.hpp): the dp identity
+  // holds for any request count, so a shorter run checks the same laws.
+  const std::vector<Traffic> reqs =
+      make_traffic(std::max(4, hanayo_test::scaled(12)), 99);
   std::vector<std::vector<int64_t>> tokens_by_dp;
 
   for (int dp : {1, 2}) {
@@ -184,7 +188,8 @@ TEST(ServeStress, RepeatedDrainCyclesDoNotLeak) {
   Rng rng(31);
   int64_t expect_requests = 0;
   int64_t last_id = -1;
-  for (int cycle = 0; cycle < 3; ++cycle) {
+  const int cycles = std::max(2, hanayo_test::scaled(3));
+  for (int cycle = 0; cycle < cycles; ++cycle) {
     for (int r = 0; r < 4; ++r) {
       Tensor prompt({1, 5});
       for (int64_t i = 0; i < 5; ++i) {

@@ -49,7 +49,9 @@ TEST(Generator, GPipeAllForwardsBeforeBackwards) {
     bool seen_backward = false;
     for (const auto& [op, m, pos] : dev) {
       if (op == hs::Op::Backward) seen_backward = true;
-      if (seen_backward) EXPECT_EQ(op, hs::Op::Backward);
+      if (seen_backward) {
+        EXPECT_EQ(op, hs::Op::Backward);
+      }
     }
   }
 }

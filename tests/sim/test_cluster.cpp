@@ -40,7 +40,9 @@ TEST(Cluster, FcAllLinksEqual) {
   const double bw = c.bandwidth(0, 1);
   for (int a = 0; a < 8; ++a) {
     for (int b = 0; b < 8; ++b) {
-      if (a != b) EXPECT_DOUBLE_EQ(c.bandwidth(a, b), bw);
+      if (a != b) {
+        EXPECT_DOUBLE_EQ(c.bandwidth(a, b), bw);
+      }
     }
   }
 }
