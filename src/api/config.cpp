@@ -92,6 +92,10 @@ runtime::InferConfig InferenceConfig::infer_config() const {
   ic.kv_fp16 = kv_fp16;
   ic.seed = seed;
   ic.prefetch_depth = prefetch_depth;
+  ic.deadline_s = deadline_s;
+  ic.queue_policy = queue_policy;
+  ic.max_queue = max_queue;
+  ic.fault = fault;
   return ic;
 }
 

@@ -104,6 +104,8 @@ struct SessionConfig : EngineConfig {
 /// and Reference, on any replica, in any batch composition.
 using runtime::Sampling;
 using runtime::StopReason;
+using runtime::QueuePolicy;
+using runtime::FaultInjection;
 
 /// Serving-session configuration (hanayo::InferenceSession). `sched.B` is
 /// ignored: the engine compiles one forward-only schedule per concurrent
@@ -126,6 +128,24 @@ struct InferenceConfig : EngineConfig {
   /// measured backends use real request lengths). Defaults to half the
   /// model's positions, clamped so prompt + continuation fits.
   std::optional<int64_t> prompt_tokens;
+  /// Default per-request SLA (seconds from enqueue; 0 = none). A request
+  /// that misses it — queued or mid-decode — aborts with
+  /// StopReason::DeadlineExceeded within one pass of the deadline.
+  double deadline_s = 0.0;
+  /// Admission control for the shared request queue (backpressure under
+  /// open-loop load); refused requests complete as StopReason::Rejected.
+  QueuePolicy queue_policy = QueuePolicy::Unbounded;
+  /// Bounded-queue capacity; 0 derives dp * max_batch (one full turnover
+  /// of the cluster's KV slots — see runtime::InferConfig::max_queue).
+  int max_queue = 0;
+  /// Deterministic fault injection (tests/benches; see
+  /// runtime::FaultInjection and the HANAYO_FAULT_SEED hook).
+  FaultInjection fault;
+  /// Offered open-loop arrival rate (requests/s) for predict(): when > 0,
+  /// predict_serving also evaluates the fluid overload model — capacity,
+  /// utilization, rejection/timeout rates — against this rate, the
+  /// deadline and the queue bound (the numbers plan_serving ranks under).
+  double offered_req_s = 0.0;
 
   int64_t effective_prompt_tokens() const;
 

@@ -3,6 +3,7 @@
 // sequential full-prefix-recompute reference, and the forward-only event
 // simulation.
 
+#include <algorithm>
 #include <chrono>
 #include <deque>
 #include <stdexcept>
@@ -32,10 +33,12 @@ class ThreadInferBackend final : public InferBackend {
   BackendKind kind() const override { return BackendKind::Threads; }
 
   int64_t enqueue(tensor::Tensor prompt, int max_new_tokens,
-                  TokenCallback on_token) override {
+                  TokenCallback on_token, double deadline_s) override {
     return server_.enqueue(std::move(prompt), max_new_tokens,
-                           std::move(on_token));
+                           std::move(on_token), deadline_s);
   }
+
+  void cancel(int64_t id) override { server_.cancel(id); }
 
   std::vector<Completion> drain() override { return server_.drain(); }
 
@@ -49,7 +52,9 @@ class ThreadInferBackend final : public InferBackend {
     rep.backend = BackendKind::Threads;
     rep.dp = server_.dp();
     rep.replicas = server_.replica_stats();
-    rep.set_totals(runtime::merge_stats(rep.replicas));
+    // server_.stats() (not a bare merge): the submitted/rejected counters
+    // live on the server's enqueue side, outside any replica.
+    rep.set_totals(server_.stats());
   }
 
  private:
@@ -78,22 +83,40 @@ class ReferenceInferBackend final : public InferBackend {
   BackendKind kind() const override { return BackendKind::Reference; }
 
   int64_t enqueue(tensor::Tensor prompt, int max_new_tokens,
-                  TokenCallback on_token) override {
+                  TokenCallback on_token, double deadline_s) override {
     // Same admission rules as the pipeline, by construction (shared helper).
+    // The reference queue itself stays unbounded — bounded-queue
+    // backpressure is a property of the live server's shared queue, not of
+    // the sequential ground truth.
     runtime::InferRequest r = runtime::make_infer_request(
         std::move(prompt), max_new_tokens, cfg_.max_new_tokens,
-        cfg_.model.seq, next_id_++);
+        cfg_.model.seq, next_id_++, deadline_s, cfg_.deadline_s);
     r.on_token = std::move(on_token);
     const int64_t id = r.id;
     queue_.push_back(std::move(r));
+    stats_.submitted += 1;
     return id;
   }
+
+  void cancel(int64_t id) override { cancelled_.push_back(id); }
 
   std::vector<Completion> drain() override {
     std::vector<Completion> out;
     while (!queue_.empty()) {
       runtime::InferRequest r = std::move(queue_.front());
       queue_.pop_front();
+      // The sequential analogue of the pipeline's admission checks: a
+      // cancelled or already-expired request terminates without decoding.
+      if (consume_cancelled(r.id)) {
+        out.push_back(unserved(r, runtime::StopReason::Cancelled));
+        stats_.cancelled += 1;
+        continue;
+      }
+      if (r.deadline_s > 0.0 && runtime::serve_clock_s() > r.deadline_s) {
+        out.push_back(unserved(r, runtime::StopReason::DeadlineExceeded));
+        stats_.timed_out += 1;
+        continue;
+      }
       stats_.requests += 1;
       stats_.prompt_tokens += r.prompt.size(1);
       // The request's own sampling stream — the same split the pipeline
@@ -107,7 +130,21 @@ class ReferenceInferBackend final : public InferBackend {
       Completion c;
       c.id = r.id;
       c.prompt_tokens = r.prompt.size(1);
+      c.enqueue_s = r.enqueue_s;
+      c.admit_s = runtime::serve_clock_s();
       for (int step = 0; step < r.max_new_tokens; ++step) {
+        // Step boundary == the sequential engine's pass boundary: cancel
+        // marks and deadline misses abort here with the partial tokens.
+        if (consume_cancelled(r.id)) {
+          c.stop_reason = runtime::StopReason::Cancelled;
+          stats_.cancelled += 1;
+          break;
+        }
+        if (r.deadline_s > 0.0 && runtime::serve_clock_s() > r.deadline_s) {
+          c.stop_reason = runtime::StopReason::DeadlineExceeded;
+          stats_.timed_out += 1;
+          break;
+        }
         const auto t0 = std::chrono::steady_clock::now();
         const float u = cfg_.sampling.stochastic() ? rng.uniform() : 0.0f;
         tensor::Tensor x({1, static_cast<int64_t>(seq.size())});
@@ -121,6 +158,7 @@ class ReferenceInferBackend final : public InferBackend {
             std::max(stats_.peak_kv_bytes, module_.slot_bytes());
         const int64_t best = runtime::sample_last_row(y, cfg_.sampling, u);
         seq.push_back(best);
+        if (c.tokens.empty()) c.first_token_s = runtime::serve_clock_s();
         c.tokens.push_back(best);
         stats_.generated_tokens += 1;
         const double wall = seconds_since(t0);
@@ -144,6 +182,13 @@ class ReferenceInferBackend final : public InferBackend {
         }
       }
       module_.drop_slot(0);
+      c.finish_s = runtime::serve_clock_s();
+      if (c.served()) {
+        stats_.completed += 1;
+        stats_.ttft_samples_s.push_back(c.ttft_s());
+        const double per_tok = c.per_token_s();
+        if (per_tok >= 0.0) stats_.per_token_samples_s.push_back(per_tok);
+      }
       out.push_back(std::move(c));
     }
     return out;
@@ -156,9 +201,28 @@ class ReferenceInferBackend final : public InferBackend {
   }
 
  private:
+  bool consume_cancelled(int64_t id) {
+    const auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
+    if (it == cancelled_.end()) return false;
+    cancelled_.erase(it);
+    return true;
+  }
+
+  static Completion unserved(const runtime::InferRequest& r,
+                             runtime::StopReason why) {
+    Completion c;
+    c.id = r.id;
+    c.prompt_tokens = r.prompt.size(1);
+    c.stop_reason = why;
+    c.enqueue_s = r.enqueue_s;
+    c.finish_s = runtime::serve_clock_s();
+    return c;
+  }
+
   InferenceConfig cfg_;
   model::StageModule module_;
   std::deque<runtime::InferRequest> queue_;
+  std::vector<int64_t> cancelled_;
   int64_t next_id_ = 0;
   runtime::ServeStats stats_;
 };
@@ -172,8 +236,9 @@ class SimInferBackend final : public InferBackend {
 
   BackendKind kind() const override { return BackendKind::Sim; }
 
-  // A dry run produces no tokens, so the streaming callback never fires.
-  int64_t enqueue(tensor::Tensor, int, TokenCallback) override {
+  // A dry run produces no tokens, so the streaming callback never fires
+  // (and deadlines/cancellation have nothing to abort).
+  int64_t enqueue(tensor::Tensor, int, TokenCallback, double) override {
     return next_id_++;
   }
 

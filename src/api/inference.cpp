@@ -16,9 +16,9 @@ InferenceSession::InferenceSession(InferenceConfig cfg)
     : cfg_(std::move(cfg)), backend_(make_infer_backend(cfg_)) {}
 
 int64_t InferenceSession::enqueue(tensor::Tensor prompt, int max_new_tokens,
-                                  TokenCallback on_token) {
+                                  TokenCallback on_token, double deadline_s) {
   return backend_->enqueue(std::move(prompt), max_new_tokens,
-                           std::move(on_token));
+                           std::move(on_token), deadline_s);
 }
 
 std::vector<Completion> InferenceSession::run() {
@@ -78,6 +78,27 @@ ServeReport predict_serving(const InferenceConfig& cfg) {
   rep.dp = std::max(1, cfg.dp);
   rep.replicas.assign(static_cast<size_t>(rep.dp), pred.per_replica);
   rep.set_totals(runtime::merge_stats(rep.replicas));
+
+  // Offered-load pricing: the same fluid overload model the serving
+  // planner ranks under, evaluated at this config's arrival rate.
+  if (cfg.offered_req_s > 0.0) {
+    perf::LoadPoint load;
+    load.offered_req_s = cfg.offered_req_s;
+    load.deadline_s = cfg.deadline_s;
+    load.queue_cap = cfg.queue_policy != QueuePolicy::Unbounded
+                         ? (cfg.max_queue > 0
+                                ? cfg.max_queue
+                                : runtime::derived_queue_cap(cfg.infer_config()))
+                         : 0;
+    const perf::LoadPrediction lp =
+        perf::predict_load(pred, rep.dp, load);
+    rep.offered_req_s = load.offered_req_s;
+    rep.capacity_req_s = lp.capacity_req_s;
+    rep.utilization = lp.utilization;
+    rep.predicted_rejected_rate = lp.rejected_rate;
+    rep.predicted_timeout_rate = lp.timeout_rate;
+    rep.predicted_queue_wait_s = lp.queue_wait_s;
+  }
   return rep;
 }
 
@@ -97,6 +118,14 @@ InferenceSession::Builder& InferenceSession::Builder::auto_plan(
   if (t.max_new_tokens <= 0) t.max_new_tokens = cfg_.max_new_tokens;
   if (t.stop_tokens.empty()) t.stop_tokens = cfg_.stop_tokens;
   t.kv_fp16 = t.kv_fp16 || cfg_.kv_fp16;
+  // Load assumptions follow the same back-fill-then-adopt rule, so a
+  // builder-configured deadline or offered rate prices the search and a
+  // target-specified one lands back in the session config.
+  if (t.offered_req_s <= 0.0) t.offered_req_s = cfg_.offered_req_s;
+  if (t.deadline_s <= 0.0) t.deadline_s = cfg_.deadline_s;
+  if (t.queue_cap <= 0 && cfg_.queue_policy != QueuePolicy::Unbounded) {
+    t.queue_cap = cfg_.max_queue;
+  }
   const sim::Cluster cluster =
       cfg_.cluster ? *cfg_.cluster
                    : api::planning_cluster(t.total_devices, t.calibration);
@@ -120,6 +149,14 @@ InferenceSession::Builder& InferenceSession::Builder::auto_plan(
   cfg_.max_new_tokens = t.max_new_tokens;
   cfg_.stop_tokens = t.stop_tokens;
   cfg_.kv_fp16 = t.kv_fp16;
+  cfg_.offered_req_s = t.offered_req_s;
+  cfg_.deadline_s = t.deadline_s;
+  if (t.queue_cap > 0) {
+    cfg_.max_queue = t.queue_cap;
+    if (cfg_.queue_policy == QueuePolicy::Unbounded) {
+      cfg_.queue_policy = QueuePolicy::RejectNew;
+    }
+  }
   // An unset target prompt length means the candidates were scored under
   // the default rule — clear any earlier builder override so predict()
   // resolves to the same length the planner used.

@@ -58,9 +58,15 @@ class InferBackend {
   /// Queues a prompt ([t] or [1, t] token ids); returns the request id.
   /// `on_token` (optional) streams each selected token back at the pass
   /// boundary that produced it (the Sim dry run produces no tokens and
-  /// never calls it).
+  /// never calls it). `deadline_s` > 0 is a relative per-request SLA
+  /// overriding the config default.
   virtual int64_t enqueue(tensor::Tensor prompt, int max_new_tokens,
-                          TokenCallback on_token = {}) = 0;
+                          TokenCallback on_token = {},
+                          double deadline_s = 0.0) = 0;
+
+  /// Requests cancellation of `id`; honoured at the engine's next pass
+  /// boundary (the Sim dry run ignores it). Unknown ids are a no-op.
+  virtual void cancel(int64_t id) { (void)id; }
 
   /// Generates until the queue is empty; completions in enqueue order.
   /// (Sim predicts instead of executing: completions carry no tokens.)
@@ -111,9 +117,17 @@ class InferenceSession {
   /// tokens one at a time: it fires at every pass boundary with the newly
   /// selected token, in generation order (with dp > 1 replicas, callbacks
   /// of *different* requests may run concurrently from different replica
-  /// threads; one request's events never do). Returns the request id.
+  /// threads; one request's events never do). `deadline_s` > 0 is a
+  /// relative per-request SLA overriding the config default. Returns the
+  /// request id — also the cancel() handle.
   int64_t enqueue(tensor::Tensor prompt, int max_new_tokens = 0,
-                  TokenCallback on_token = {});
+                  TokenCallback on_token = {}, double deadline_s = 0.0);
+
+  /// Requests cancellation of a queued or mid-decode request (thread-safe,
+  /// callable while run() executes on another thread): the sequence aborts
+  /// at the next pass boundary, frees its KV slot, and completes as
+  /// StopReason::Cancelled with its partial tokens.
+  void cancel(int64_t id) { backend_->cancel(id); }
 
   /// Serves every queued request to completion (continuous batching up to
   /// max_batch concurrent streams); returns completions in enqueue order.
@@ -162,6 +176,24 @@ class InferenceSession::Builder
   Builder& kv_fp16(bool on = true) { cfg_.kv_fp16 = on; return *this; }
   /// Nominal prompt length for predict()/Sim (see InferenceConfig).
   Builder& prompt_tokens(int64_t n) { cfg_.prompt_tokens = n; return *this; }
+  /// Default per-request SLA, seconds from enqueue (0 = none); misses
+  /// complete as StopReason::DeadlineExceeded within one pass.
+  Builder& deadline_s(double s) { cfg_.deadline_s = s; return *this; }
+  /// Bounded admission queue: `cap` of 0 derives dp * max_batch (one full
+  /// turnover of the cluster's KV slots). Refused requests complete as
+  /// StopReason::Rejected.
+  Builder& queue(QueuePolicy policy, int cap = 0) {
+    cfg_.queue_policy = policy;
+    cfg_.max_queue = cap;
+    return *this;
+  }
+  /// Offered open-loop arrival rate for predict()'s load model (req/s).
+  Builder& offered_load(double req_s) {
+    cfg_.offered_req_s = req_s;
+    return *this;
+  }
+  /// Deterministic fault injection (see runtime::FaultInjection).
+  Builder& fault(FaultInjection f) { cfg_.fault = f; return *this; }
 
   /// Self-configuration: runs the decode-aware serving planner
   /// (perf::plan_serving) over (algo, P, W, max_batch, dp) against the

@@ -55,6 +55,13 @@ void ServeReport::set_totals(const runtime::ServeStats& st) {
   prefill_s = st.prefill_s;
   decode_s = st.decode_s;
   peak_kv_bytes = st.peak_kv_bytes;
+  submitted = st.submitted;
+  completed = st.completed;
+  rejected = st.rejected;
+  cancelled = st.cancelled;
+  timed_out = st.timed_out;
+  ttft_samples_s = st.ttft_samples_s;
+  per_token_samples_s = st.per_token_samples_s;
 }
 
 runtime::ServeStats ServeReport::totals() const {
@@ -67,6 +74,13 @@ runtime::ServeStats ServeReport::totals() const {
   st.prefill_s = prefill_s;
   st.decode_s = decode_s;
   st.peak_kv_bytes = peak_kv_bytes;
+  st.submitted = submitted;
+  st.completed = completed;
+  st.rejected = rejected;
+  st.cancelled = cancelled;
+  st.timed_out = timed_out;
+  st.ttft_samples_s = ttft_samples_s;
+  st.per_token_samples_s = per_token_samples_s;
   return st;
 }
 
@@ -94,6 +108,22 @@ double ServeReport::per_token_latency_s() const {
   return runtime::serve_per_token_latency_s(totals());
 }
 
+double ServeReport::p50_ttft_s() const {
+  return runtime::quantile_nearest_rank(ttft_samples_s, 0.50);
+}
+
+double ServeReport::p99_ttft_s() const {
+  return runtime::quantile_nearest_rank(ttft_samples_s, 0.99);
+}
+
+double ServeReport::p50_request_token_latency_s() const {
+  return runtime::quantile_nearest_rank(per_token_samples_s, 0.50);
+}
+
+double ServeReport::p99_request_token_latency_s() const {
+  return runtime::quantile_nearest_rank(per_token_samples_s, 0.99);
+}
+
 std::string ServeReport::to_string() const {
   if (!feasible) {
     return std::string("serve [") + backend_name(backend) +
@@ -106,15 +136,25 @@ std::string ServeReport::to_string() const {
     std::snprintf(oom_tag, sizeof(oom_tag), " [OOM, peak %.2f GB]",
                   peak_mem_gb);
   }
-  char buf[304];
+  // SLA outcomes appear only when admission control / deadlines /
+  // cancellation actually fired — the classic closed-loop line is stable.
+  char sla_tag[96] = "";
+  if (rejected + cancelled + timed_out > 0) {
+    std::snprintf(sla_tag, sizeof(sla_tag),
+                  " (%lld rejected, %lld cancelled, %lld timed out)",
+                  static_cast<long long>(rejected),
+                  static_cast<long long>(cancelled),
+                  static_cast<long long>(timed_out));
+  }
+  char buf[400];
   std::snprintf(buf, sizeof(buf),
                 "serve [%s%s%s] %lld req, %lld prompt tok @ %.0f tok/s prefill, "
-                "%lld new tok @ %.0f tok/s, %.2f ms/token%s",
+                "%lld new tok @ %.0f tok/s, %.2f ms/token%s%s",
                 backend_name(backend), dp_tag, predicted ? ", predicted" : "",
                 static_cast<long long>(requests),
                 static_cast<long long>(prompt_tokens), prefill_tokens_per_s(),
                 static_cast<long long>(generated_tokens), tokens_per_s(),
-                per_token_latency_s() * 1e3, oom_tag);
+                per_token_latency_s() * 1e3, oom_tag, sla_tag);
   return buf;
 }
 

@@ -97,8 +97,32 @@ struct ServeReport {
   double prefill_s = 0.0;
   double decode_s = 0.0;
   int64_t peak_kv_bytes = 0;
+  /// Outcome counters (see runtime::ServeStats): after a full drain,
+  /// submitted == completed + rejected + cancelled + timed_out. `requests`
+  /// above counts *admitted* requests; under admission control the two
+  /// differ by the rejected/expired-while-queued ones.
+  int64_t submitted = 0;
+  int64_t completed = 0;
+  int64_t rejected = 0;
+  int64_t cancelled = 0;
+  int64_t timed_out = 0;
+  /// Per-request latency samples of served requests (measured backends;
+  /// predictions leave them empty and use the event-sim quantiles below).
+  std::vector<double> ttft_samples_s;
+  std::vector<double> per_token_samples_s;
+  /// Load-model echo, filled by predict_serving when the config carries an
+  /// offered arrival rate (`InferenceConfig::offered_req_s`): the fluid
+  /// M/D/1-flavoured overload model the serving planner ranks under.
+  double offered_req_s = 0.0;
+  double capacity_req_s = 0.0;          ///< dp * max_batch / batch-turnaround
+  double utilization = 0.0;             ///< offered / capacity
+  double predicted_rejected_rate = 0.0; ///< bounded queue sheds this fraction
+  double predicted_timeout_rate = 0.0;  ///< deadline expires this fraction
+  double predicted_queue_wait_s = 0.0;  ///< steady-state admission wait
   /// Per-replica counters (index = replica id); empty on the sequential
   /// Reference, one entry per replica on Threads and in predictions.
+  /// submitted/rejected live in the totals only (admission control runs
+  /// before a replica ever sees the request).
   std::vector<runtime::ServeStats> replicas;
 
   /// Copies the merged counters of a drain into this report (the one
@@ -127,6 +151,13 @@ struct ServeReport {
   /// Mean decode-pass latency — the time one batch of sequences waits for
   /// its next token. A per-pass mean, so dp leaves it unchanged.
   double per_token_latency_s() const;
+  /// Measured TTFT / per-request mean inter-token quantiles over the
+  /// latency samples (nearest-rank ceil, runtime::quantile_nearest_rank);
+  /// 0 when no samples (predictions, or nothing served).
+  double p50_ttft_s() const;
+  double p99_ttft_s() const;
+  double p50_request_token_latency_s() const;
+  double p99_request_token_latency_s() const;
   /// One-line human-readable summary.
   std::string to_string() const;
 };

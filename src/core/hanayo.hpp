@@ -87,6 +87,29 @@
 //                 (long long)e.token, e.last ? " (done)\n" : "\n");
 //   });
 //
+// Serving under load adds per-request SLAs on the same chain: a deadline
+// (relative seconds from enqueue; misses complete as
+// StopReason::DeadlineExceeded within one pass), a bounded admission queue
+// (refusals complete as StopReason::Rejected instead of waiting forever),
+// and a cancel handle honoured mid-decode at the next pass boundary. After
+// a drain, the outcome counters conserve:
+// submitted == served + rejected + cancelled + timed_out.
+//
+//   auto sla_server = hanayo::InferenceSession::builder()
+//                         .model(hanayo::ModelConfig::tiny(/*layers=*/6))
+//                         .backend(hanayo::BackendKind::Threads)
+//                         .pipeline(2).max_batch(2).max_new_tokens(4)
+//                         .deadline_s(0.5)  // default per-request SLA
+//                         .queue(hanayo::QueuePolicy::RejectNew, 4)
+//                         .build();
+//   hanayo::Tensor p({1, 5});
+//   auto id = sla_server.enqueue(p);        // config deadline applies
+//   sla_server.enqueue(p, 0, {}, 2.0);      // per-request override
+//   sla_server.cancel(id);                  // -> StopReason::Cancelled
+//   auto outcome = sla_server.run();        // enqueue/admit/first_token/
+//                                           // finish timestamps on each
+//   auto load_rep = sla_server.report();    // p50/p99 TTFT over survivors
+//
 // The pre-Session entry points (Trainer, AsyncTrainer, SequentialEngine and
 // their config structs) remain available below as compatibility shims; the
 // Session backends are thin wrappers over them.
@@ -147,9 +170,11 @@ using api::Backend;
 using api::BackendKind;
 using api::Completion;
 using api::EngineConfig;
+using api::FaultInjection;
 using api::InferenceConfig;
 using api::InferenceSession;
 using api::MemoryReport;
+using api::QueuePolicy;
 using api::RunReport;
 using api::Sampling;
 using api::ServeReport;

@@ -198,8 +198,13 @@ ServePrediction Engine::serving_impl(const ServingPoint& pt,
   out.kv_gb = kv_total / 1e9;
 
   // Per-replica nominal load: one full batch of prompts to completion.
+  // submitted == completed == requests: the nominal closed-loop batch sheds
+  // nothing, so predictions satisfy the same outcome-conservation identity
+  // as measured ServeStats.
   runtime::ServeStats& per = out.per_replica;
   per.requests = pt.max_batch;
+  per.submitted = pt.max_batch;
+  per.completed = pt.max_batch;
   per.prompt_tokens = static_cast<int64_t>(pt.max_batch) * plen;
   per.generated_tokens = static_cast<int64_t>(pt.max_batch) * steps;
   per.prefill_passes = 1;
@@ -246,6 +251,68 @@ ServePrediction Engine::serving_impl(const ServingPoint& pt,
     out.p50_token_latency_s = pass_at(0.5);
     out.p99_token_latency_s = pass_at(0.99);
   }
+  return out;
+}
+
+LoadPrediction predict_load(const ServePrediction& one_replica, int dp,
+                            const LoadPoint& load) {
+  LoadPrediction out;
+  const runtime::ServeStats& per = one_replica.per_replica;
+  const double turnaround = per.prefill_s + per.decode_s;
+  if (!one_replica.feasible || turnaround <= 0.0 || per.requests < 1) {
+    return out;
+  }
+  // Batch-amortised service: one replica turns per.requests (a full batch)
+  // around in `turnaround` busy seconds.
+  const double replica_rate = static_cast<double>(per.requests) / turnaround;
+  out.capacity_req_s = std::max(1, dp) * replica_rate;
+  if (load.offered_req_s <= 0.0) return out;
+  const double rho = load.offered_req_s / out.capacity_req_s;
+  out.utilization = rho;
+
+  if (rho < 1.0) {
+    // Sub-critical: M/D/1 mean wait, with the batch turnaround as the
+    // deterministic service quantum per admitted request.
+    const double service_s = turnaround / static_cast<double>(per.requests);
+    out.queue_wait_s = 0.5 * rho / (1.0 - rho) * service_s;
+    // A deadline shorter than the typical wait + first-token latency sheds
+    // the late fraction even below saturation.
+    const double latency = out.queue_wait_s + per.prefill_s;
+    if (load.deadline_s > 0.0 && latency > load.deadline_s) {
+      out.timeout_rate = std::min(1.0, 1.0 - load.deadline_s / latency);
+    }
+    out.goodput_req_s = load.offered_req_s * (1.0 - out.timeout_rate);
+    return out;
+  }
+
+  // Super-critical: the fluid limit sheds the excess arrival fraction.
+  // Where it goes depends on which backstop exists: a bounded queue
+  // rejects at admission, a deadline expires the queued overflow, and with
+  // neither the queue grows without bound (surfaced via queue_wait_s).
+  const double shed = 1.0 - 1.0 / rho;
+  if (load.queue_cap > 0) {
+    out.rejected_rate = shed;
+    // A full queue drains at capacity: the admitted request's wait.
+    out.queue_wait_s = load.queue_cap / out.capacity_req_s;
+    if (load.deadline_s > 0.0 && out.queue_wait_s > load.deadline_s) {
+      // The queue is deeper than the deadline allows: the back of it
+      // expires before service — split the shed mass accordingly.
+      out.timeout_rate =
+          (1.0 - shed) *
+          std::min(1.0, 1.0 - load.deadline_s / out.queue_wait_s);
+    }
+  } else if (load.deadline_s > 0.0) {
+    out.timeout_rate = shed;
+    out.queue_wait_s = load.deadline_s;  // waits cluster at the deadline
+  } else {
+    // No backstop: nothing is shed, the queue just grows for the whole
+    // open-loop run. Report a wait proportional to the overload.
+    out.queue_wait_s = (rho - 1.0) * turnaround * 10.0;
+  }
+  out.goodput_req_s =
+      std::min(out.capacity_req_s,
+               load.offered_req_s *
+                   (1.0 - out.rejected_rate - out.timeout_rate));
   return out;
 }
 

@@ -88,6 +88,38 @@ struct ServePrediction {
   bool oom = false;
 };
 
+/// An open-loop load point: what arrives, how patient it is, how much may
+/// wait. Evaluated against a ServePrediction by predict_load.
+struct LoadPoint {
+  double offered_req_s = 0.0;  ///< open-loop arrival rate (requests/s)
+  double deadline_s = 0.0;     ///< per-request SLA from enqueue; 0 = none
+  int queue_cap = 0;           ///< bounded admission queue; 0 = unbounded
+};
+
+/// Deterministic fluid (M/D/1-flavoured) overload model. Service is
+/// batch-amortised from the prediction's busy seconds: one replica turns a
+/// full batch around in prefill_s + decode_s, so its rate is
+/// requests / that, and capacity is dp times it. Sub-critical load queues
+/// with the M/D/1 mean-wait shape; super-critical load sheds its excess —
+/// to Rejected when the queue is bounded, to DeadlineExceeded when a
+/// deadline exists, or into unbounded queue growth (visible as
+/// queue_wait_s) when neither backstop is configured. Deliberately coarse:
+/// it exists so the planner can *rank* configurations under load and so
+/// BENCH_traffic has a prediction to calibrate against, not to replace
+/// measurement.
+struct LoadPrediction {
+  double capacity_req_s = 0.0;  ///< dp * max_batch / batch turnaround
+  double utilization = 0.0;     ///< offered / capacity (rho)
+  double goodput_req_s = 0.0;   ///< offered minus shed, capped at capacity
+  double rejected_rate = 0.0;   ///< fraction refused by the bounded queue
+  double timeout_rate = 0.0;    ///< fraction expiring against the deadline
+  double queue_wait_s = 0.0;    ///< steady-state admission wait estimate
+};
+
+/// Evaluates `load` against a one-replica prediction replicated over `dp`.
+LoadPrediction predict_load(const ServePrediction& one_replica, int dp,
+                            const LoadPoint& load);
+
 /// Hook for cost transforms between the cost model and the simulator (the
 /// tensor-parallel overlay of perf/hybrid shards and taxes the costs here).
 using CostAdjust = std::function<void(sim::PipelineCosts&)>;

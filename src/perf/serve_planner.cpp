@@ -79,6 +79,22 @@ ServeCandidate candidate_from(const ServePrediction& pred,
     c.note = c.note.empty() ? "tokens/s under target"
                             : c.note + "; tokens/s under target";
   }
+  if (t.offered_req_s > 0.0) {
+    LoadPoint load;
+    load.offered_req_s = t.offered_req_s;
+    load.deadline_s = t.deadline_s;
+    load.queue_cap = t.queue_cap;
+    const LoadPrediction lp = predict_load(pred, dp, load);
+    c.capacity_req_s = lp.capacity_req_s;
+    c.goodput_req_s = lp.goodput_req_s;
+    c.rejected_rate = lp.rejected_rate;
+    c.timeout_rate = lp.timeout_rate;
+    if (lp.rejected_rate + lp.timeout_rate > 1e-9) {
+      c.meets_target = false;
+      c.note = c.note.empty() ? "sheds load at offered rate"
+                              : c.note + "; sheds load at offered rate";
+    }
+  }
   return c;
 }
 
@@ -138,10 +154,23 @@ std::vector<ServeCandidate> plan_serving(const sim::Cluster& cluster,
       }
     }
   }
+  // Under an offered load, goodput is the primary key: a saturated
+  // configuration caps at its capacity while an adequate one carries the
+  // full offered rate, so rows that tie on closed-loop tokens/s separate.
+  const bool under_load = target.offered_req_s > 0.0;
   std::stable_sort(out.begin(), out.end(),
-                   [](const ServeCandidate& a, const ServeCandidate& b) {
+                   [under_load](const ServeCandidate& a,
+                                const ServeCandidate& b) {
                      const int ga = sort_group(a), gb = sort_group(b);
                      if (ga != gb) return ga < gb;
+                     if (under_load) {
+                       if (a.goodput_req_s != b.goodput_req_s) {
+                         return a.goodput_req_s > b.goodput_req_s;
+                       }
+                       const double la = a.rejected_rate + a.timeout_rate;
+                       const double lb = b.rejected_rate + b.timeout_rate;
+                       if (la != lb) return la < lb;
+                     }
                      if (a.tokens_per_s != b.tokens_per_s) {
                        return a.tokens_per_s > b.tokens_per_s;
                      }

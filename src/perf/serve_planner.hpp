@@ -42,6 +42,14 @@ struct ServeTarget {
   /// tokens/s floor (cluster-wide, dp-scaled). 0 disables a bound.
   double max_p99_token_latency_s = 0.0;
   double min_tokens_per_s = 0.0;
+  /// Open-loop load point (perf::LoadPoint). With offered_req_s > 0 the
+  /// search ranks by goodput under this load — overload pricing via
+  /// predict_load, so saturated configurations separate instead of tying
+  /// on closed-loop tokens/s — and a candidate that sheds load at the
+  /// offered rate is marked as missing the target.
+  double offered_req_s = 0.0;
+  double deadline_s = 0.0;  ///< per-request SLA the load model prices
+  int queue_cap = 0;        ///< bounded admission queue; 0 = unbounded
   /// Search space. Chimera/PipeDream have no forward-only program and are
   /// rejected as infeasible rows if listed.
   std::vector<schedule::Algo> algos = {schedule::Algo::GPipe,
@@ -79,6 +87,12 @@ struct ServeCandidate {
   double prefill_tokens_per_s = 0.0;
   double peak_mem_gb = 0.0;  ///< most loaded device: weights + KV
   double kv_gb = 0.0;        ///< full-context KV across one replica
+  /// Load-model columns (predict_load at the target's offered rate);
+  /// all zero when the target sets no offered_req_s.
+  double capacity_req_s = 0.0;
+  double goodput_req_s = 0.0;
+  double rejected_rate = 0.0;
+  double timeout_rate = 0.0;
 
   /// One table row via the shared perf/format serve layout.
   std::string to_string() const;

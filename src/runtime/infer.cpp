@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
@@ -17,6 +18,38 @@ using schedule::Action;
 using schedule::Op;
 using tensor::Rng;
 using tensor::Tensor;
+
+double serve_clock_s() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch)
+      .count();
+}
+
+double quantile_nearest_rank(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const auto n = samples.size();
+  auto rank = static_cast<size_t>(std::ceil(q * static_cast<double>(n)));
+  rank = std::min(std::max<size_t>(rank, 1), n);
+  return samples[rank - 1];
+}
+
+FaultInjection FaultInjection::from_env() {
+  FaultInjection f;
+  const char* s = std::getenv("HANAYO_FAULT_SEED");
+  if (s == nullptr || *s == '\0') return f;
+  f.seed = std::strtoull(s, nullptr, 10);
+  if (f.seed != 0) {
+    f.slow_pass_prob = 0.25;
+    f.slow_pass_us = 200;
+  }
+  return f;
+}
+
+int derived_queue_cap(const InferConfig& cfg) {
+  return std::max(1, cfg.dp) * std::max(1, cfg.max_batch);
+}
 
 void Sampling::validate() const {
   if (kind == Kind::TopK && k < 1) {
@@ -151,6 +184,16 @@ ServeStats merge_stats(const std::vector<ServeStats>& per_replica) {
     m.prefill_s += s.prefill_s;
     m.decode_s += s.decode_s;
     m.peak_kv_bytes += s.peak_kv_bytes;
+    m.submitted += s.submitted;
+    m.completed += s.completed;
+    m.rejected += s.rejected;
+    m.cancelled += s.cancelled;
+    m.timed_out += s.timed_out;
+    m.ttft_samples_s.insert(m.ttft_samples_s.end(), s.ttft_samples_s.begin(),
+                            s.ttft_samples_s.end());
+    m.per_token_samples_s.insert(m.per_token_samples_s.end(),
+                                 s.per_token_samples_s.begin(),
+                                 s.per_token_samples_s.end());
   }
   return m;
 }
@@ -195,7 +238,8 @@ double serve_per_token_latency_s(const ServeStats& totals) {
 
 InferRequest make_infer_request(Tensor prompt, int max_new_tokens,
                                 int default_new_tokens, int64_t model_seq,
-                                int64_t id) {
+                                int64_t id, double deadline_s,
+                                double default_deadline_s) {
   if (prompt.dim() == 1) prompt = prompt.reshaped({1, prompt.numel()});
   if (prompt.dim() != 2 || prompt.size(0) != 1 || prompt.numel() < 1) {
     throw std::invalid_argument("enqueue: prompt must be [t] or [1, t] ids");
@@ -210,14 +254,53 @@ InferRequest make_infer_request(Tensor prompt, int max_new_tokens,
   r.id = id;
   r.prompt = std::move(prompt);
   r.max_new_tokens = want;
+  r.enqueue_s = serve_clock_s();
+  const double sla = deadline_s > 0.0 ? deadline_s : default_deadline_s;
+  r.deadline_s = sla > 0.0 ? r.enqueue_s + sla : 0.0;
   return r;
 }
 
+namespace {
+
+/// Terminal Completion for a request aborted without (or after losing) a KV
+/// slot: reject at enqueue, cancel/timeout while queued.
+Completion unserved_completion(const InferRequest& r, StopReason why) {
+  Completion c;
+  c.id = r.id;
+  c.prompt_tokens = r.prompt.size(1);
+  c.stop_reason = why;
+  c.enqueue_s = r.enqueue_s;
+  c.finish_s = serve_clock_s();
+  return c;
+}
+
+}  // namespace
+
 // ------------------------------------------------------------ RequestQueue
 
-void RequestQueue::push(InferRequest r) {
+void RequestQueue::configure(QueuePolicy policy, int cap) {
   std::lock_guard lk(mu_);
+  policy_ = policy;
+  cap_ = cap;
+}
+
+std::vector<InferRequest> RequestQueue::push(InferRequest r) {
+  std::lock_guard lk(mu_);
+  std::vector<InferRequest> refused;
+  const bool bounded = policy_ != QueuePolicy::Unbounded && cap_ > 0;
+  if (bounded && policy_ == QueuePolicy::RejectNew &&
+      static_cast<int>(q_.size()) >= cap_) {
+    refused.push_back(std::move(r));
+    return refused;
+  }
   q_.push_back(std::move(r));
+  if (bounded && policy_ == QueuePolicy::ShedOldest) {
+    while (static_cast<int>(q_.size()) > cap_) {
+      refused.push_back(std::move(q_.front()));
+      q_.pop_front();
+    }
+  }
+  return refused;
 }
 
 bool RequestQueue::pop(InferRequest& out) {
@@ -228,9 +311,49 @@ bool RequestQueue::pop(InferRequest& out) {
   return true;
 }
 
+std::vector<InferRequest> RequestQueue::take_expired(double now_s) {
+  std::lock_guard lk(mu_);
+  std::vector<InferRequest> out;
+  for (auto it = q_.begin(); it != q_.end();) {
+    if (it->deadline_s > 0.0 && now_s > it->deadline_s) {
+      out.push_back(std::move(*it));
+      it = q_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+void RequestQueue::cancel(int64_t id) {
+  std::lock_guard lk(mu_);
+  if (std::find(cancelled_.begin(), cancelled_.end(), id) ==
+      cancelled_.end()) {
+    cancelled_.push_back(id);
+  }
+}
+
+bool RequestQueue::consume_cancelled(int64_t id) {
+  std::lock_guard lk(mu_);
+  const auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
+  if (it == cancelled_.end()) return false;
+  cancelled_.erase(it);
+  return true;
+}
+
+bool RequestQueue::any_cancelled() const {
+  std::lock_guard lk(mu_);
+  return !cancelled_.empty();
+}
+
 bool RequestQueue::empty() const {
   std::lock_guard lk(mu_);
   return q_.empty();
+}
+
+int RequestQueue::size() const {
+  std::lock_guard lk(mu_);
+  return static_cast<int>(q_.size());
 }
 
 // ----------------------------------------------------------- InferWorker
@@ -392,8 +515,10 @@ class InferWorker {
 
 // ------------------------------------------------------ InferencePipeline
 
-InferencePipeline::InferencePipeline(InferConfig cfg, RequestQueue* shared)
-    : cfg_(std::move(cfg)), queue_(shared ? shared : &own_queue_) {
+InferencePipeline::InferencePipeline(InferConfig cfg, RequestQueue* shared,
+                                     int replica_index)
+    : cfg_(std::move(cfg)), replica_index_(replica_index),
+      queue_(shared ? shared : &own_queue_) {
   if (!cfg_.model.causal) {
     throw std::invalid_argument(
         "InferencePipeline: decode needs a causal model (each new "
@@ -406,6 +531,18 @@ InferencePipeline::InferencePipeline(InferConfig cfg, RequestQueue* shared)
     throw std::invalid_argument("InferencePipeline: max_new_tokens < 1");
   }
   cfg_.sampling.validate();
+  if (!cfg_.fault.enabled()) cfg_.fault = FaultInjection::from_env();
+  if (cfg_.fault.enabled()) {
+    fault_rng_ = Rng(
+        Rng::split(cfg_.fault.seed, static_cast<uint64_t>(replica_index_)));
+  }
+  if (shared == nullptr) {
+    // Standalone replica: admission control applies to the owned queue too
+    // (one replica's worth of the derived slot-turnover capacity).
+    own_queue_.configure(cfg_.queue_policy, cfg_.max_queue > 0
+                                                ? cfg_.max_queue
+                                                : std::max(1, cfg_.max_batch));
+  }
   // Compiling B=1 up front surfaces unsupported algorithms (Chimera,
   // PipeDream) and infeasible stage counts at construction time.
   (void)schedule_for(1);
@@ -445,23 +582,53 @@ int64_t InferencePipeline::slot_bytes() const {
 }
 
 int64_t InferencePipeline::enqueue(tensor::Tensor prompt, int max_new_tokens,
-                                   TokenCallback on_token) {
+                                   TokenCallback on_token, double deadline_s) {
   InferRequest r = make_infer_request(std::move(prompt), max_new_tokens,
                                       cfg_.max_new_tokens, cfg_.model.seq,
-                                      next_id_++);
+                                      next_id_++, deadline_s, cfg_.deadline_s);
   r.on_token = std::move(on_token);
   const int64_t id = r.id;
-  queue_->push(std::move(r));
+  std::vector<InferRequest> refused = queue_->push(std::move(r));
+  std::lock_guard lk(enqueue_mu_);
+  ++enqueue_stats_.submitted;
+  for (const InferRequest& ref : refused) {
+    ++enqueue_stats_.rejected;
+    rejected_done_.push_back(unserved_completion(ref, StopReason::Rejected));
+  }
   return id;
+}
+
+void InferencePipeline::finish_unserved(const InferRequest& r,
+                                        StopReason why) {
+  done_.push_back(unserved_completion(r, why));
+  if (why == StopReason::Cancelled) {
+    ++stats_.cancelled;
+  } else {
+    ++stats_.timed_out;
+  }
 }
 
 void InferencePipeline::admit() {
   // A request counts toward this replica's stats when the replica actually
   // admits it — with a shared queue, that is what makes per-replica stats
   // merge into exact cluster totals.
+  const double now = serve_clock_s();
+  // Deadline sweep of the whole queue first: queued requests time out
+  // within one pass of their deadline even while every slot is busy.
+  for (const InferRequest& r : queue_->take_expired(now)) {
+    finish_unserved(r, StopReason::DeadlineExceeded);
+  }
   while (!free_slots_.empty()) {
     InferRequest r;
     if (!queue_->pop(r)) break;
+    if (queue_->consume_cancelled(r.id)) {
+      finish_unserved(r, StopReason::Cancelled);
+      continue;
+    }
+    if (r.deadline_s > 0.0 && now > r.deadline_s) {
+      finish_unserved(r, StopReason::DeadlineExceeded);
+      continue;
+    }
     ++stats_.requests;
     stats_.prompt_tokens += r.prompt.size(1);
     ActiveSeq seq;
@@ -473,7 +640,73 @@ void InferencePipeline::admit() {
     seq.input_prompt = std::move(r.prompt);
     seq.rng = Rng(Rng::split(cfg_.seed, static_cast<uint64_t>(seq.id)));
     seq.on_token = std::move(r.on_token);
+    seq.enqueue_s = r.enqueue_s;
+    seq.deadline_s = r.deadline_s;
+    seq.admit_s = now;
     active_.push_back(std::move(seq));
+  }
+}
+
+void InferencePipeline::finish_active(ActiveSeq& seq, StopReason why,
+                                      double now_s) {
+  Completion c;
+  c.id = seq.id;
+  c.prompt_tokens = seq.prompt_tokens;
+  c.tokens = std::move(seq.generated);
+  c.stop_reason = why;
+  c.enqueue_s = seq.enqueue_s;
+  c.admit_s = seq.admit_s;
+  c.first_token_s = seq.first_token_s;
+  c.finish_s = now_s;
+  done_.push_back(std::move(c));
+  for (auto& w : workers_) w->drop_slot(seq.slot);
+  free_slots_.push_back(seq.slot);
+  if (why == StopReason::Cancelled) {
+    ++stats_.cancelled;
+  } else {
+    ++stats_.timed_out;
+  }
+}
+
+void InferencePipeline::reap_aborted() {
+  if (active_.empty()) return;
+  const double now = serve_clock_s();
+  // Fast path for the steady state (no deadlines hit, no cancel marks):
+  // no allocation, no rebuild — the per-pass allocation budget of
+  // tests/runtime/test_alloc_decode.cpp stays untouched.
+  bool any = queue_->any_cancelled();
+  for (const ActiveSeq& s : active_) {
+    if (any) break;
+    any = s.deadline_s > 0.0 && now > s.deadline_s;
+  }
+  if (!any) return;
+  std::vector<ActiveSeq> still;
+  still.reserve(active_.size());
+  for (ActiveSeq& seq : active_) {
+    if (queue_->consume_cancelled(seq.id)) {
+      finish_active(seq, StopReason::Cancelled, now);
+    } else if (seq.deadline_s > 0.0 && now > seq.deadline_s) {
+      finish_active(seq, StopReason::DeadlineExceeded, now);
+    } else {
+      still.push_back(std::move(seq));
+    }
+  }
+  active_ = std::move(still);
+}
+
+void InferencePipeline::inject_faults() {
+  const FaultInjection& f = cfg_.fault;
+  if (!f.enabled()) return;
+  int stall_us = 0;
+  if (replica_index_ == f.stuck_replica && passes_run_ < f.stuck_passes) {
+    stall_us += f.stuck_us;
+  }
+  if (f.slow_pass_prob > 0.0 &&
+      static_cast<double>(fault_rng_.uniform()) < f.slow_pass_prob) {
+    stall_us += f.slow_pass_us;
+  }
+  if (stall_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(stall_us));
   }
 }
 
@@ -505,6 +738,10 @@ void InferencePipeline::run_pass() {
   const schedule::Schedule& sched =
       schedule_for(static_cast<int>(plan.size()));
   const auto t0 = std::chrono::steady_clock::now();
+  // Injected stalls land inside the timed region: a fault-degraded run
+  // shows its degradation in prefill_s/decode_s like a real slow device.
+  inject_faults();
+  ++passes_run_;
   std::vector<std::thread> threads;
   threads.reserve(workers_.size());
   std::vector<std::exception_ptr> errors(workers_.size());
@@ -536,6 +773,7 @@ void InferencePipeline::run_pass() {
   // that finishes a sequence is exactly when its cache is fullest.
   stats_.peak_kv_bytes = std::max(stats_.peak_kv_bytes, slot_bytes());
 
+  const double now = serve_clock_s();
   const std::vector<int64_t>& toks =
       workers_[static_cast<size_t>(last_stage_device_)]->next_tokens();
   std::vector<ActiveSeq> still;
@@ -550,6 +788,7 @@ void InferencePipeline::run_pass() {
     } else {
       seq.len += 1;
     }
+    if (seq.generated.empty()) seq.first_token_s = now;
     seq.generated.push_back(tok);
     seq.last_token = tok;
     --seq.remaining;
@@ -570,6 +809,17 @@ void InferencePipeline::run_pass() {
       c.prompt_tokens = seq.prompt_tokens;
       c.tokens = std::move(seq.generated);
       c.stop_reason = hit_stop ? StopReason::StopToken : StopReason::MaxTokens;
+      c.enqueue_s = seq.enqueue_s;
+      c.admit_s = seq.admit_s;
+      c.first_token_s = seq.first_token_s;
+      c.finish_s = now;
+      ++stats_.completed;
+      stats_.ttft_samples_s.push_back(seq.first_token_s - seq.enqueue_s);
+      if (c.tokens.size() >= 2) {
+        stats_.per_token_samples_s.push_back(
+            (now - seq.first_token_s) /
+            static_cast<double>(c.tokens.size() - 1));
+      }
       done_.push_back(std::move(c));
       for (auto& w : workers_) w->drop_slot(seq.slot);
       free_slots_.push_back(seq.slot);
@@ -581,15 +831,37 @@ void InferencePipeline::run_pass() {
 }
 
 std::vector<Completion> InferencePipeline::drain() {
-  admit();
-  while (!active_.empty()) {
-    run_pass();
+  for (;;) {
     admit();
+    // Pass boundary: cancelled / deadline-expired sequences abort here,
+    // their KV slots freed before the next pass is planned.
+    reap_aborted();
+    if (active_.empty()) {
+      // Aborts may have freed every slot while the queue still holds
+      // work — loop back to admit; momentarily-empty queue ends the drain.
+      if (queue_->empty()) break;
+      continue;
+    }
+    run_pass();
   }
   std::vector<Completion> out = std::move(done_);
   done_.clear();
+  {
+    std::lock_guard lk(enqueue_mu_);
+    out.insert(out.end(), std::make_move_iterator(rejected_done_.begin()),
+               std::make_move_iterator(rejected_done_.end()));
+    rejected_done_.clear();
+  }
   std::sort(out.begin(), out.end(),
             [](const Completion& a, const Completion& b) { return a.id < b.id; });
+  return out;
+}
+
+ServeStats InferencePipeline::stats() const {
+  ServeStats out = stats_;
+  std::lock_guard lk(enqueue_mu_);
+  out.submitted += enqueue_stats_.submitted;
+  out.rejected += enqueue_stats_.rejected;
   return out;
 }
 
@@ -599,21 +871,30 @@ InferenceServer::InferenceServer(InferConfig cfg) : cfg_(std::move(cfg)) {
   if (cfg_.dp < 1) {
     throw std::invalid_argument("InferenceServer: dp < 1");
   }
+  queue_.configure(cfg_.queue_policy, cfg_.max_queue > 0
+                                          ? cfg_.max_queue
+                                          : derived_queue_cap(cfg_));
   for (int r = 0; r < cfg_.dp; ++r) {
-    replicas_.push_back(std::make_unique<InferencePipeline>(cfg_, &queue_));
+    replicas_.push_back(std::make_unique<InferencePipeline>(cfg_, &queue_, r));
   }
 }
 
 InferenceServer::~InferenceServer() = default;
 
 int64_t InferenceServer::enqueue(tensor::Tensor prompt, int max_new_tokens,
-                                 TokenCallback on_token) {
+                                 TokenCallback on_token, double deadline_s) {
   InferRequest r = make_infer_request(std::move(prompt), max_new_tokens,
                                       cfg_.max_new_tokens, cfg_.model.seq,
-                                      next_id_++);
+                                      next_id_++, deadline_s, cfg_.deadline_s);
   r.on_token = std::move(on_token);
   const int64_t id = r.id;
-  queue_.push(std::move(r));
+  std::vector<InferRequest> refused = queue_.push(std::move(r));
+  std::lock_guard lk(enqueue_mu_);
+  ++enqueue_stats_.submitted;
+  for (const InferRequest& ref : refused) {
+    ++enqueue_stats_.rejected;
+    rejected_done_.push_back(unserved_completion(ref, StopReason::Rejected));
+  }
   return id;
 }
 
@@ -644,12 +925,24 @@ std::vector<Completion> InferenceServer::drain() {
     out.insert(out.end(), std::make_move_iterator(v.begin()),
                std::make_move_iterator(v.end()));
   }
+  {
+    std::lock_guard lk(enqueue_mu_);
+    out.insert(out.end(), std::make_move_iterator(rejected_done_.begin()),
+               std::make_move_iterator(rejected_done_.end()));
+    rejected_done_.clear();
+  }
   std::sort(out.begin(), out.end(),
             [](const Completion& a, const Completion& b) { return a.id < b.id; });
   return out;
 }
 
-ServeStats InferenceServer::stats() const { return merge_stats(replica_stats()); }
+ServeStats InferenceServer::stats() const {
+  ServeStats out = merge_stats(replica_stats());
+  std::lock_guard lk(enqueue_mu_);
+  out.submitted += enqueue_stats_.submitted;
+  out.rejected += enqueue_stats_.rejected;
+  return out;
+}
 
 std::vector<ServeStats> InferenceServer::replica_stats() const {
   std::vector<ServeStats> out;

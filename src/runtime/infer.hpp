@@ -23,6 +23,7 @@
 // drain one shared mutex-guarded RequestQueue, and per-replica ServeStats
 // merge into cluster totals.
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
@@ -36,6 +37,18 @@
 #include "tensor/rng.hpp"
 
 namespace hanayo::runtime {
+
+/// Monotonic seconds since a process-wide epoch (first call). Every serving
+/// timestamp — enqueue, admission, first token, finish, deadlines — is a
+/// double on this one clock, so durations computed across threads and
+/// replicas are consistent.
+double serve_clock_s();
+
+/// Nearest-rank (ceil) quantile of `samples` (copied and sorted here);
+/// 0 when empty. The same indexing rule as the planner's p99 passes: for
+/// n <= 100 samples the p99 is the largest one, so an SLA bound checked
+/// against it errs on the safe side.
+double quantile_nearest_rank(std::vector<double> samples, double q);
 
 /// Token-selection policy for serving. The factories mirror the historical
 /// enum spelling: `Sampling::Greedy()` is the deterministic argmax the
@@ -103,23 +116,86 @@ struct InferRequest {
   int64_t id = -1;
   tensor::Tensor prompt;
   int max_new_tokens = 0;
-  TokenCallback on_token;  ///< optional streaming callback
+  TokenCallback on_token;   ///< optional streaming callback
+  double enqueue_s = 0.0;   ///< serve_clock_s() at enqueue
+  /// Absolute serve_clock_s() deadline; 0 = none. Checked on admission and
+  /// at every pass boundary: an expired sequence is aborted mid-decode, its
+  /// KV slot freed immediately, and its Completion stamped
+  /// StopReason::DeadlineExceeded within one pass of the deadline.
+  double deadline_s = 0.0;
 };
 
 /// Why a sequence stopped generating.
 enum class StopReason {
-  MaxTokens,  ///< hit its continuation cap
-  StopToken,  ///< emitted one of the configured stop tokens
+  MaxTokens,         ///< hit its continuation cap
+  StopToken,         ///< emitted one of the configured stop tokens
+  DeadlineExceeded,  ///< missed its deadline (queued or mid-decode)
+  Cancelled,         ///< client-side cancel() before completion
+  Rejected,          ///< bounded queue refused admission (backpressure)
 };
 
 /// One finished request: the decoded continuation, in generation order
 /// (tokens of one sequence are never reordered). A stop token, when one
-/// ends the sequence, is the last entry of `tokens`.
+/// ends the sequence, is the last entry of `tokens`. Aborted requests
+/// (deadline / cancel / reject) carry whatever tokens were generated
+/// before the abort — possibly none.
+///
+/// Timestamps are serve_clock_s() values; `admit_s` and `first_token_s`
+/// are -1 when the request was never admitted / never produced a token.
 struct Completion {
   int64_t id = -1;
   int64_t prompt_tokens = 0;
   std::vector<int64_t> tokens;
   StopReason stop_reason = StopReason::MaxTokens;
+  double enqueue_s = 0.0;
+  double admit_s = -1.0;
+  double first_token_s = -1.0;
+  double finish_s = 0.0;
+
+  /// Time to first token (enqueue -> first token); -1 when none emitted.
+  double ttft_s() const {
+    return first_token_s < 0 ? -1.0 : first_token_s - enqueue_s;
+  }
+  /// Mean inter-token latency after the first token; -1 below 2 tokens.
+  double per_token_s() const {
+    return tokens.size() < 2 || first_token_s < 0
+               ? -1.0
+               : (finish_s - first_token_s) /
+                     static_cast<double>(tokens.size() - 1);
+  }
+  /// True for the normal terminal states (cap or stop token).
+  bool served() const {
+    return stop_reason == StopReason::MaxTokens ||
+           stop_reason == StopReason::StopToken;
+  }
+};
+
+/// Admission policy of a bounded RequestQueue (backpressure).
+enum class QueuePolicy {
+  Unbounded,   ///< classic behaviour: every enqueue is eventually served
+  RejectNew,   ///< queue full -> the new request is refused (Rejected)
+  ShedOldest,  ///< queue full -> the oldest queued request is evicted
+};
+
+/// Deterministic fault injection, a test hook for graceful-degradation
+/// proofs: all faults derive from one seed (split per replica), so a
+/// failing run replays exactly. `seed == 0` disables everything;
+/// `from_env()` reads HANAYO_FAULT_SEED so stress binaries can be
+/// fault-injected without a rebuild. Faults only ever add latency —
+/// correctness invariants (conservation, token identity, slot-leak
+/// freedom) must hold under any injection.
+struct FaultInjection {
+  uint64_t seed = 0;            ///< 0 = off
+  double slow_pass_prob = 0.0;  ///< per-pass chance of an injected stall
+  int slow_pass_us = 0;         ///< stall length for a slow pass
+  int stuck_replica = -1;       ///< replica index to wedge (-1 = none)
+  int stuck_passes = 0;         ///< number of initial passes it stays wedged
+  int stuck_us = 0;             ///< stall length per wedged pass
+
+  bool enabled() const { return seed != 0; }
+  /// HANAYO_FAULT_SEED=<n> -> {seed=n, slow_pass_prob=0.25,
+  /// slow_pass_us=200}; unset/0 -> disabled.
+  static FaultInjection from_env();
 };
 
 struct InferConfig {
@@ -141,12 +217,35 @@ struct InferConfig {
   bool kv_fp16 = false;
   uint64_t seed = 1;
   int prefetch_depth = 2;
+  /// Default per-request SLA, seconds from enqueue; 0 = no deadline.
+  /// enqueue()'s per-request deadline overrides it.
+  double deadline_s = 0.0;
+  /// Admission control: with a bounded policy, at most `max_queue` requests
+  /// wait (excess handled per the policy and stamped Rejected).
+  QueuePolicy queue_policy = QueuePolicy::Unbounded;
+  /// Queue capacity for the bounded policies; 0 derives `dp * max_batch` —
+  /// the queue never holds more work than one full turnover of the
+  /// cluster's KV slots (the `slot_bytes` budget), so admitted-but-waiting
+  /// work is bounded by the same memory model the planner prices.
+  int max_queue = 0;
+  FaultInjection fault;  ///< deterministic fault injection (tests/benches)
 };
+
+/// The derived bounded-queue capacity (see InferConfig::max_queue).
+int derived_queue_cap(const InferConfig& cfg);
 
 /// Cumulative serving counters (see api::ServeReport for the user-facing
 /// vocabulary these feed).
+///
+/// Outcome conservation: every submitted request reaches exactly one
+/// terminal state, so after a full drain
+///   submitted == completed + cancelled + timed_out + rejected
+/// holds on merged cluster totals (`terminal()` is the right-hand side).
+/// `submitted`/`rejected` are stamped at the enqueue side (the server, or
+/// a pipeline owning its queue); the serving replica stamps the other
+/// three — so per-replica rows conserve only in aggregate.
 struct ServeStats {
-  int64_t requests = 0;
+  int64_t requests = 0;  ///< admitted into a KV slot (not: submitted)
   int64_t prompt_tokens = 0;
   int64_t generated_tokens = 0;
   int prefill_passes = 0;  ///< passes containing at least one prefill entry
@@ -154,11 +253,31 @@ struct ServeStats {
   double prefill_s = 0.0;
   double decode_s = 0.0;
   int64_t peak_kv_bytes = 0;  ///< max over passes, summed across devices
+
+  int64_t submitted = 0;  ///< enqueue() calls (before admission control)
+  int64_t completed = 0;  ///< served to MaxTokens / StopToken
+  int64_t rejected = 0;   ///< refused by the bounded queue
+  int64_t cancelled = 0;  ///< client cancel() (queued or mid-decode)
+  int64_t timed_out = 0;  ///< deadline exceeded (queued or mid-decode)
+
+  /// Requests that reached a terminal state (conservation right-hand side).
+  int64_t terminal() const {
+    return completed + rejected + cancelled + timed_out;
+  }
+
+  /// Latency samples of *served* requests (aborted ones excluded — SLA
+  /// quantiles describe survivors). Appended at completion time, never on
+  /// the steady-state decode path, so the per-pass allocation budget
+  /// (tests/runtime/test_alloc_decode.cpp) is untouched.
+  std::vector<double> ttft_samples_s;       ///< enqueue -> first token
+  std::vector<double> per_token_samples_s;  ///< mean inter-token, per request
 };
 
 /// Element-wise sum — replica stats into cluster totals. Counters and busy
 /// seconds add; peak_kv_bytes adds too, because replicas occupy disjoint
 /// devices (the sum is the cluster-wide footprint when peaks coincide).
+/// Latency samples concatenate, so quantiles over the merge span every
+/// replica's survivors.
 ServeStats merge_stats(const std::vector<ServeStats>& per_replica);
 
 /// The one arithmetic behind every serving throughput/latency number —
@@ -208,24 +327,55 @@ bool is_stop_token(const std::vector<int64_t>& stop_tokens, int64_t tok);
 /// Shared request admission: normalises a [t] or [1, t] prompt, applies the
 /// config-default continuation length, and enforces the positional bound
 /// (prompt + continuation - 1 must fit `model_seq`; the last generated
-/// token never re-enters the cache). Throws std::invalid_argument.
+/// token never re-enters the cache). Stamps `enqueue_s` with the current
+/// serve clock and resolves the deadline: `deadline_s` > 0 is a relative
+/// SLA from now, 0 falls back to `default_deadline_s` (the config default;
+/// 0 again means none). Throws std::invalid_argument.
 InferRequest make_infer_request(tensor::Tensor prompt, int max_new_tokens,
                                 int default_new_tokens, int64_t model_seq,
-                                int64_t id);
+                                int64_t id, double deadline_s = 0.0,
+                                double default_deadline_s = 0.0);
 
 /// Mutex-guarded FIFO of pending requests — the single queue dp pipeline
 /// replicas drain concurrently (each pop hands one request to whichever
-/// replica has a free KV slot first).
+/// replica has a free KV slot first). Also the cancellation rendezvous:
+/// cancel(id) records the id here, and whichever replica holds (or pops)
+/// the request consumes the mark at its next pass boundary.
 class RequestQueue {
  public:
-  void push(InferRequest r);
+  /// Sets the admission policy; `cap` is ignored for Unbounded.
+  void configure(QueuePolicy policy, int cap);
+
+  /// Enqueues under the admission policy. Returns the refused requests for
+  /// the caller to stamp Rejected: under RejectNew the refused one is `r`
+  /// itself (when full); under ShedOldest it is the evicted queue head(s).
+  /// Unbounded never refuses.
+  std::vector<InferRequest> push(InferRequest r);
   /// Pops the oldest request into `out`; false when empty.
   bool pop(InferRequest& out);
+  /// Removes and returns every queued request whose deadline has passed —
+  /// called by replicas each admission sweep, so queued requests time out
+  /// within one pass of their deadline even when all slots are busy.
+  std::vector<InferRequest> take_expired(double now_s);
+  /// Marks `id` for cancellation (thread-safe, any time). The mark is
+  /// honoured at the serving replica's next pass boundary — or at pop time
+  /// if the request is still queued. Unknown/finished ids are a no-op
+  /// (the mark sits in the registry until consumed or forgotten by it).
+  void cancel(int64_t id);
+  /// True (and consumes the mark) if `id` was cancelled.
+  bool consume_cancelled(int64_t id);
+  /// True when any cancel mark is pending — the replicas' cheap pass-
+  /// boundary guard before the per-sequence consume_cancelled sweep.
+  bool any_cancelled() const;
   bool empty() const;
+  int size() const;
 
  private:
   mutable sync::Mutex<sync::Rank::ServeQueue> mu_;
   std::deque<InferRequest> q_;
+  std::vector<int64_t> cancelled_;  ///< pending cancel marks (few at a time)
+  QueuePolicy policy_ = QueuePolicy::Unbounded;
+  int cap_ = 0;
 };
 
 /// One micro-batch of one pipeline pass (internal, shared with InferWorker).
@@ -246,23 +396,37 @@ class InferencePipeline {
   /// unidirectional algorithm (no Chimera). When `shared` is non-null the
   /// replica admits from that queue instead of its own (InferenceServer);
   /// `cfg.dp` is ignored here — replication lives in InferenceServer.
-  explicit InferencePipeline(InferConfig cfg, RequestQueue* shared = nullptr);
+  /// `replica_index` selects this replica's fault-injection stream.
+  explicit InferencePipeline(InferConfig cfg, RequestQueue* shared = nullptr,
+                             int replica_index = 0);
   ~InferencePipeline();
 
-  /// Queues a prompt; returns the request id. `max_new_tokens` of 0 uses the
-  /// config default. `on_token` (optional) streams each selected token at
-  /// the pass boundary that produced it. Throws if prompt length +
-  /// continuation would exceed the model's positional table (`model.seq`).
+  /// Queues a prompt; returns the request id (also the cancel handle).
+  /// `max_new_tokens` of 0 uses the config default. `on_token` (optional)
+  /// streams each selected token at the pass boundary that produced it;
+  /// an aborted request's stream simply stops (its last event has
+  /// last == false). `deadline_s` > 0 is a relative SLA from now; 0 uses
+  /// the config default. Throws if prompt length + continuation would
+  /// exceed the model's positional table (`model.seq`).
   int64_t enqueue(tensor::Tensor prompt, int max_new_tokens = 0,
-                  TokenCallback on_token = {});
+                  TokenCallback on_token = {}, double deadline_s = 0.0);
+
+  /// Requests cancellation of `id` (thread-safe, callable concurrently
+  /// with drain). Honoured at the next pass boundary: the sequence's KV
+  /// slot frees immediately and its Completion is stamped Cancelled with
+  /// whatever tokens were already generated. Unknown or already-finished
+  /// ids are a harmless no-op.
+  void cancel(int64_t id) { queue_->cancel(id); }
 
   /// Runs pipeline passes until the request queue is empty and every
-  /// admitted sequence has completed; returns the completions of this drain
-  /// in request-id (enqueue) order.
+  /// admitted sequence has completed or aborted; returns the completions
+  /// of this drain in request-id (enqueue) order.
   std::vector<Completion> drain();
 
   bool idle() const { return queue_->empty() && active_.empty(); }
-  const ServeStats& stats() const { return stats_; }
+  /// Replica counters, including enqueue-side submitted/rejected when this
+  /// pipeline owns its queue. Not meaningful concurrently with drain().
+  ServeStats stats() const;
   const InferConfig& config() const { return cfg_; }
 
   /// KV-cache bytes currently resident across this replica's workers —
@@ -286,14 +450,28 @@ class InferencePipeline {
     tensor::Rng rng{0};       ///< per-request sampling stream (seed, id)
     std::vector<int64_t> generated;
     TokenCallback on_token;   ///< streaming callback (may be empty)
+    double enqueue_s = 0.0;
+    double deadline_s = 0.0;  ///< absolute; 0 = none
+    double admit_s = 0.0;
+    double first_token_s = -1.0;
   };
 
   void admit();
+  /// Stamps a terminal Completion for a request that never got (or no
+  /// longer holds) a KV slot, and counts the matching stats_ outcome.
+  void finish_unserved(const InferRequest& r, StopReason why);
+  /// Pass-boundary abort sweep: cancelled or deadline-expired active
+  /// sequences drop their slot now (KV freed immediately) and complete
+  /// with their partial tokens.
+  void reap_aborted();
+  void finish_active(ActiveSeq& seq, StopReason why, double now_s);
+  void inject_faults();
   void run_pass();
 
   InferConfig cfg_;
   schedule::Placement placement_;
   int last_stage_device_ = 0;
+  int replica_index_ = 0;
   std::unique_ptr<comm::World> world_;
   std::vector<std::unique_ptr<InferWorker>> workers_;
   std::map<int, schedule::Schedule> sched_cache_;
@@ -304,6 +482,14 @@ class InferencePipeline {
   std::vector<Completion> done_;
   int64_t next_id_ = 0;
   ServeStats stats_;
+  ServeStats enqueue_stats_;  ///< submitted/rejected (own-queue mode only)
+  std::vector<Completion> rejected_done_;  ///< own-queue-mode rejections
+  /// Guards enqueue_stats_/rejected_done_: enqueue() may race drain().
+  /// Rank::ServeQueue like the queue mutex — never held at the same time
+  /// as it (sequential same-rank acquisition is legal under the checker).
+  mutable sync::Mutex<sync::Rank::ServeQueue> enqueue_mu_;
+  tensor::Rng fault_rng_{0};  ///< per-replica fault stream (seed, replica)
+  int passes_run_ = 0;        ///< lifetime pass count (fault scheduling)
 };
 
 /// Data-parallel serving: `cfg.dp` independent InferencePipeline replicas
@@ -317,12 +503,20 @@ class InferenceServer {
   explicit InferenceServer(InferConfig cfg);
   ~InferenceServer();
 
-  /// Queues a prompt on the shared queue; returns the request id.
-  /// `on_token` streams the request's tokens from whichever replica serves
-  /// it (events of one request are ordered; different requests' callbacks
-  /// may run concurrently, one per replica thread).
+  /// Queues a prompt on the shared queue; returns the request id (also the
+  /// cancel handle). `on_token` streams the request's tokens from whichever
+  /// replica serves it (events of one request are ordered; different
+  /// requests' callbacks may run concurrently, one per replica thread).
+  /// `deadline_s` > 0 is a relative SLA from now; 0 uses the config
+  /// default. Under a bounded queue policy the request may be refused (or
+  /// evict the oldest queued one) — the refused request surfaces as a
+  /// StopReason::Rejected completion from the next drain().
   int64_t enqueue(tensor::Tensor prompt, int max_new_tokens = 0,
-                  TokenCallback on_token = {});
+                  TokenCallback on_token = {}, double deadline_s = 0.0);
+
+  /// Requests cancellation of `id` (thread-safe, callable concurrently with
+  /// drain); honoured at the serving replica's next pass boundary.
+  void cancel(int64_t id) { queue_.cancel(id); }
 
   /// Drains the shared queue on all replicas concurrently (one thread per
   /// replica when dp > 1); completions of this drain in request-id order.
@@ -331,7 +525,9 @@ class InferenceServer {
   int dp() const { return static_cast<int>(replicas_.size()); }
   const InferConfig& config() const { return cfg_; }
 
-  /// Cluster totals (merge_stats over the replicas).
+  /// Cluster totals: merge_stats over the replicas plus the server-side
+  /// submitted/rejected counters (admission control happens here, before
+  /// any replica sees the request — so those two live in totals only).
   ServeStats stats() const;
   /// Per-replica counters, index = replica id.
   std::vector<ServeStats> replica_stats() const;
@@ -350,6 +546,12 @@ class InferenceServer {
   RequestQueue queue_;
   std::vector<std::unique_ptr<InferencePipeline>> replicas_;
   int64_t next_id_ = 0;
+  ServeStats enqueue_stats_;          ///< submitted/rejected counters
+  std::vector<Completion> rejected_done_;  ///< pending Rejected completions
+  /// Guards the two members above (enqueue can race a running drain).
+  /// Same rank as the queue mutex; the two are only ever held one after
+  /// the other, never nested.
+  mutable sync::Mutex<sync::Rank::ServeQueue> enqueue_mu_;
 };
 
 }  // namespace hanayo::runtime

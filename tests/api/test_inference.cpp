@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "core/hanayo.hpp"
@@ -250,6 +252,78 @@ TEST(InferenceSession, DocCommentServingQuickstartCompilesAndRuns) {
   EXPECT_TRUE(sla.predicted);
   EXPECT_TRUE(sla.feasible);
   EXPECT_EQ(sla.dp, 2);
+}
+
+// ---- The "Serving under load" doc example from core/hanayo.hpp -----------
+
+TEST(InferenceSession, DocCommentServingUnderLoadCompilesAndRuns) {
+  auto sla_server = hanayo::InferenceSession::builder()
+                        .model(hanayo::ModelConfig::tiny(/*layers=*/6))
+                        .backend(hanayo::BackendKind::Threads)
+                        .pipeline(2)
+                        .max_batch(2)
+                        .max_new_tokens(4)
+                        .deadline_s(0.5)  // default per-request SLA
+                        .queue(hanayo::QueuePolicy::RejectNew, 4)
+                        .build();
+  hanayo::Tensor p({1, 5});
+  auto id = sla_server.enqueue(p);    // config deadline applies
+  sla_server.enqueue(p, 0, {}, 2.0);  // per-request override
+  sla_server.cancel(id);              // -> StopReason::Cancelled
+  auto outcome = sla_server.run();
+  auto load_rep = sla_server.report();
+
+  ASSERT_EQ(outcome.size(), 2u);
+  EXPECT_EQ(outcome[0].id, id);
+  EXPECT_EQ(outcome[0].stop_reason, hanayo::StopReason::Cancelled);
+  EXPECT_TRUE(outcome[1].served());
+  // The served completion carries the full timestamp trajectory...
+  EXPECT_GE(outcome[1].admit_s, outcome[1].enqueue_s);
+  EXPECT_GE(outcome[1].first_token_s, outcome[1].admit_s);
+  EXPECT_GE(outcome[1].finish_s, outcome[1].first_token_s);
+  // ...and the report conserves and aggregates survivors' quantiles.
+  EXPECT_EQ(load_rep.submitted, 2);
+  EXPECT_EQ(load_rep.completed, 1);
+  EXPECT_EQ(load_rep.cancelled, 1);
+  EXPECT_EQ(load_rep.submitted, load_rep.completed + load_rep.rejected +
+                                    load_rep.cancelled + load_rep.timed_out);
+  EXPECT_EQ(load_rep.ttft_samples_s.size(), 1u);
+  EXPECT_GT(load_rep.p50_ttft_s(), 0.0);
+  EXPECT_GE(load_rep.p99_ttft_s(), load_rep.p50_ttft_s());
+}
+
+// ---- SLA semantics agree across live backends ----------------------------
+
+TEST(InferenceSession, DeadlineAndRejectionSemanticsMatchAcrossBackends) {
+  // Reference is the serving ground truth for outcomes too: pre-expired
+  // deadlines time out, cancels cancel, and the books balance — exactly as
+  // on Threads. (Backpressure is a live-queue property: Reference admits
+  // everything, so the bounded-queue case is Threads-only and covered by
+  // tests/runtime/test_serve_faults.cpp.)
+  for (BackendKind kind : {BackendKind::Threads, BackendKind::Reference}) {
+    InferenceSession s = tiny_server(Algo::Hanayo, 2, 2).backend(kind).build();
+    Rng rng(11);
+    const auto id_expired = s.enqueue(random_prompt(rng, 4), 0, {}, 1e-6);
+    const auto id_cancel = s.enqueue(random_prompt(rng, 5));
+    const auto id_ok = s.enqueue(random_prompt(rng, 6));
+    s.cancel(id_cancel);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    const auto done = s.run();
+    ASSERT_EQ(done.size(), 3u) << backend_name(kind);
+    EXPECT_EQ(done[0].id, id_expired);
+    EXPECT_EQ(done[0].stop_reason, StopReason::DeadlineExceeded);
+    EXPECT_TRUE(done[0].tokens.empty());
+    EXPECT_EQ(done[1].id, id_cancel);
+    EXPECT_EQ(done[1].stop_reason, StopReason::Cancelled);
+    EXPECT_EQ(done[2].id, id_ok);
+    EXPECT_TRUE(done[2].served());
+    const ServeReport rep = s.report();
+    EXPECT_EQ(rep.submitted, 3) << backend_name(kind);
+    EXPECT_EQ(rep.completed, 1);
+    EXPECT_EQ(rep.cancelled, 1);
+    EXPECT_EQ(rep.timed_out, 1);
+    EXPECT_EQ(rep.ttft_samples_s.size(), 1u);
+  }
 }
 
 // ---- Streaming completions (per-request on_token callbacks) --------------

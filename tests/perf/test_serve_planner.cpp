@@ -317,3 +317,139 @@ TEST(ServePlanner, AutoPlanThrowsWhenNothingFits) {
                    .auto_plan(small_target()),
                std::invalid_argument);
 }
+
+TEST(ServePlanner, PredictLoadPricesOverloadSensibly) {
+  // The fluid load model behind under-load ranking. Not a queueing-theory
+  // validation — a shape check: sub-critical load is lossless, overload
+  // sheds exactly to the configured backstop, goodput never exceeds
+  // capacity.
+  const Engine eng(kTiny, roomy_cluster());
+  ServingPoint pt;
+  pt.P = 2;
+  pt.max_batch = 4;
+  pt.prompt_tokens = 10;
+  pt.max_new_tokens = 8;
+  const auto pred = eng.evaluate_serving(pt);
+  ASSERT_TRUE(pred.feasible);
+
+  perf::LoadPoint light;
+  const auto cap_probe = perf::predict_load(pred, 2, light);
+  ASSERT_GT(cap_probe.capacity_req_s, 0.0);
+  const double cap = cap_probe.capacity_req_s;
+
+  // Half capacity: everything is carried, modest queueing.
+  light.offered_req_s = 0.5 * cap;
+  const auto lo = perf::predict_load(pred, 2, light);
+  EXPECT_DOUBLE_EQ(lo.utilization, 0.5);
+  EXPECT_EQ(lo.rejected_rate, 0.0);
+  EXPECT_EQ(lo.timeout_rate, 0.0);
+  EXPECT_DOUBLE_EQ(lo.goodput_req_s, light.offered_req_s);
+  EXPECT_GE(lo.queue_wait_s, 0.0);
+
+  // 3x capacity with a bounded queue: the excess is rejected, goodput caps
+  // at capacity.
+  perf::LoadPoint heavy;
+  heavy.offered_req_s = 3.0 * cap;
+  heavy.queue_cap = 8;
+  const auto rej = perf::predict_load(pred, 2, heavy);
+  EXPECT_GT(rej.utilization, 1.0);
+  EXPECT_GT(rej.rejected_rate, 0.0);
+  EXPECT_LE(rej.goodput_req_s, rej.capacity_req_s * (1.0 + 1e-12));
+
+  // Same overload, deadline instead of a bounded queue: the loss routes to
+  // timeouts.
+  perf::LoadPoint sla;
+  sla.offered_req_s = 3.0 * cap;
+  sla.deadline_s = 0.5;
+  const auto to = perf::predict_load(pred, 2, sla);
+  EXPECT_GT(to.timeout_rate, 0.0);
+  EXPECT_LE(to.goodput_req_s, to.capacity_req_s * (1.0 + 1e-12));
+
+  // No backstop at all: nothing is shed — the queue just grows (waits
+  // longer than any sub-critical point ever does).
+  perf::LoadPoint open;
+  open.offered_req_s = 3.0 * cap;
+  const auto grow = perf::predict_load(pred, 2, open);
+  EXPECT_EQ(grow.rejected_rate, 0.0);
+  EXPECT_EQ(grow.timeout_rate, 0.0);
+  EXPECT_GT(grow.queue_wait_s, lo.queue_wait_s);
+
+  // dp scales capacity linearly (replicas are independent).
+  const auto dp4 = perf::predict_load(pred, 4, light);
+  EXPECT_DOUBLE_EQ(dp4.capacity_req_s, 2.0 * cap);
+}
+
+TEST(ServePlanner, OfferedLoadSeparatesSaturatedCandidates) {
+  // The ROADMAP gap this closes: without a load point, many rows tie on
+  // closed-loop tokens/s. Under an offered rate, goodput is the primary
+  // key — saturated configurations cap at their capacity and fall behind
+  // rows that carry the full rate.
+  // An offered rate beyond every candidate's capacity: goodput degrades to
+  // per-row capacity, which differs across (P, max_batch, dp) — so the
+  // column discriminates where closed-loop tokens/s rows tie.
+  ServeTarget t = small_target();
+  t.offered_req_s = 1e9;
+  t.queue_cap = 8;
+  const auto rows = plan_serving(roomy_cluster(), kTiny, t);
+  ASSERT_FALSE(rows.empty());
+  double best_goodput = 0.0, worst_goodput = 1e300;
+  for (const auto& c : rows) {
+    if (!c.feasible || c.oom) continue;
+    EXPECT_GT(c.capacity_req_s, 0.0);
+    EXPECT_LE(c.goodput_req_s, c.capacity_req_s * (1.0 + 1e-12));
+    // Everyone sheds at this rate, and says so.
+    EXPECT_GT(c.rejected_rate + c.timeout_rate, 0.0);
+    EXPECT_FALSE(c.meets_target);
+    EXPECT_NE(c.note.find("sheds load"), std::string::npos);
+    best_goodput = std::max(best_goodput, c.goodput_req_s);
+    worst_goodput = std::min(worst_goodput, c.goodput_req_s);
+  }
+  // The load column actually discriminates (not one more all-tied key)...
+  EXPECT_GT(best_goodput, worst_goodput);
+  // ...and the ranking respects it: the first usable row carries the most.
+  for (const auto& c : rows) {
+    if (c.feasible && !c.oom) {
+      EXPECT_DOUBLE_EQ(c.goodput_req_s, best_goodput);
+      break;
+    }
+  }
+
+  // A rate everyone can carry: no shedding anywhere, and the load point
+  // alone never marks a row as missing the target.
+  ServeTarget easy = small_target();
+  easy.offered_req_s = 1.0;
+  easy.queue_cap = 8;
+  for (const auto& c : plan_serving(roomy_cluster(), kTiny, easy)) {
+    if (!c.feasible || c.oom) continue;
+    EXPECT_EQ(c.rejected_rate + c.timeout_rate, 0.0);
+    EXPECT_TRUE(c.meets_target);
+  }
+}
+
+TEST(ServePlanner, AutoPlanCarriesLoadAssumptionsIntoTheSession) {
+  // Builder-configured load shapes the search, and the adopted session
+  // prices itself under the same assumptions: predict() echoes the load
+  // model's columns for the winning row.
+  ServeTarget t = small_target();
+  auto sess = InferenceSession::builder()
+                  .model(kTiny)
+                  .backend(BackendKind::Sim)
+                  .cluster(roomy_cluster())
+                  .offered_load(200.0)
+                  .deadline_s(0.25)
+                  .queue(QueuePolicy::RejectNew, 6)
+                  .auto_plan(t)
+                  .build();
+  EXPECT_DOUBLE_EQ(sess.config().offered_req_s, 200.0);
+  EXPECT_DOUBLE_EQ(sess.config().deadline_s, 0.25);
+  EXPECT_EQ(sess.config().max_queue, 6);
+  const ServeReport sla = sess.predict();
+  EXPECT_DOUBLE_EQ(sla.offered_req_s, 200.0);
+  ASSERT_GT(sla.capacity_req_s, 0.0);
+  EXPECT_DOUBLE_EQ(sla.utilization, 200.0 / sla.capacity_req_s);
+  // Predicted totals conserve like measured ones (nominal closed batch:
+  // everything submitted is served).
+  EXPECT_EQ(sla.submitted, sla.completed + sla.rejected + sla.cancelled +
+                               sla.timed_out);
+  EXPECT_GT(sla.submitted, 0);
+}

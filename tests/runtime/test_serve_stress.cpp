@@ -13,7 +13,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "common/scale.hpp"
@@ -149,6 +151,95 @@ TEST(ServeStress, RandomTrafficInvariantsAcrossDp) {
   // Replica assignment is invisible in the decoded text: dp=2 reproduces
   // dp=1 token for token, request for request.
   EXPECT_EQ(tokens_by_dp[0], tokens_by_dp[1]);
+}
+
+TEST(ServeStress, OverloadConservationAcrossDp) {
+  // Every outcome class at once, decided deterministically before the
+  // drain starts: a bounded RejectNew queue of 4 refuses 6 of 10 arrivals,
+  // one queued request is cancelled, one carries an already-expired
+  // deadline, and the remaining two are served. The conservation identity
+  //   submitted == completed + rejected + cancelled + timed_out
+  // must hold on the merged totals for dp ∈ {1, 2}, and the survivors must
+  // decode token-identically across dp (aborts never shift another
+  // request's sampling stream).
+  std::vector<std::vector<int64_t>> survivor_tokens_by_dp;
+  for (int dp : {1, 2}) {
+    InferConfig cfg = stress_config(dp);
+    cfg.queue_policy = runtime::QueuePolicy::RejectNew;
+    cfg.max_queue = 4;
+    InferenceServer server(cfg);
+
+    const std::vector<Traffic> reqs = make_traffic(10, 42);
+    std::vector<int64_t> ids;
+    for (size_t i = 0; i < reqs.size(); ++i) {
+      // Request 1 gets a deadline that expires before the drain below.
+      const double deadline = i == 1 ? 1e-4 : 0.0;
+      ids.push_back(server.enqueue(reqs[i].prompt, reqs[i].want, {},
+                                   deadline));
+    }
+    server.cancel(ids[2]);  // still queued: consumed at pop time
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+    const std::vector<Completion> done = server.drain();
+    ASSERT_EQ(done.size(), reqs.size()) << "dp=" << dp;
+    std::vector<int64_t> survivors;
+    for (const Completion& c : done) {
+      if (c.id == ids[1]) {
+        EXPECT_EQ(c.stop_reason, StopReason::DeadlineExceeded);
+        EXPECT_TRUE(c.tokens.empty());
+        EXPECT_LT(c.admit_s, 0.0);  // expired while queued, never admitted
+      } else if (c.id == ids[2]) {
+        EXPECT_EQ(c.stop_reason, StopReason::Cancelled);
+      } else if (c.id <= ids[3]) {
+        EXPECT_TRUE(c.served()) << "id " << c.id;
+        survivors.insert(survivors.end(), c.tokens.begin(), c.tokens.end());
+        survivors.push_back(-1);
+      } else {
+        // Arrivals 4..9 found the 4-deep queue full.
+        EXPECT_EQ(c.stop_reason, StopReason::Rejected);
+        EXPECT_TRUE(c.tokens.empty());
+        EXPECT_LT(c.admit_s, 0.0);
+      }
+    }
+    survivor_tokens_by_dp.push_back(std::move(survivors));
+
+    const ServeStats st = server.stats();
+    EXPECT_EQ(st.submitted, 10);
+    EXPECT_EQ(st.completed, 2);
+    EXPECT_EQ(st.rejected, 6);
+    EXPECT_EQ(st.cancelled, 1);
+    EXPECT_EQ(st.timed_out, 1);
+    EXPECT_EQ(st.terminal(), st.submitted) << "dp=" << dp;
+    // SLA quantiles describe survivors only: one TTFT sample per served
+    // request, never one for an aborted one.
+    EXPECT_EQ(st.ttft_samples_s.size(), static_cast<size_t>(st.completed));
+    EXPECT_EQ(server.slot_bytes(), 0) << "dp=" << dp;
+  }
+  EXPECT_EQ(survivor_tokens_by_dp[0], survivor_tokens_by_dp[1]);
+}
+
+TEST(ServeStress, CompletionTimestampsAreOrdered) {
+  // Served completions carry the full enqueue -> admit -> first token ->
+  // finish trajectory on one clock; the derived TTFT / per-token numbers
+  // are what ServeReport's p50/p99 accessors aggregate.
+  InferenceServer server(stress_config(1));
+  const std::vector<Traffic> reqs = make_traffic(5, 7);
+  for (const Traffic& t : reqs) server.enqueue(t.prompt, t.want);
+  const auto done = server.drain();
+  ASSERT_EQ(done.size(), reqs.size());
+  for (const Completion& c : done) {
+    ASSERT_TRUE(c.served());
+    EXPECT_GT(c.enqueue_s, 0.0);
+    EXPECT_GE(c.admit_s, c.enqueue_s);
+    EXPECT_GE(c.first_token_s, c.admit_s);
+    EXPECT_GE(c.finish_s, c.first_token_s);
+    EXPECT_GE(c.ttft_s(), 0.0);
+    if (c.tokens.size() >= 2) {
+      EXPECT_GE(c.per_token_s(), 0.0);
+    } else {
+      EXPECT_EQ(c.per_token_s(), -1.0);
+    }
+  }
 }
 
 TEST(ServeStress, StopTokensFreeSlotsForQueuedRequests) {

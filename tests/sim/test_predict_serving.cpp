@@ -154,3 +154,35 @@ TEST(PredictServing, InfeasibleConfigurationsStillReportNotThrow) {
   EXPECT_FALSE(rep.feasible);
   EXPECT_NE(rep.to_string().find("infeasible"), std::string::npos);
 }
+
+TEST(PredictServing, LoadModelEchoRidesThePrediction) {
+  // With an offered arrival rate configured, the dry run prices the load
+  // point (perf::predict_load — the planner's under-load ranking model)
+  // and echoes it on the report; without one, the echo stays zeroed. In
+  // both cases the predicted outcome counters conserve like measured ones.
+  const ServeReport quiet = server(2).backend(BackendKind::Sim).build()
+                                .predict();
+  EXPECT_EQ(quiet.offered_req_s, 0.0);
+  EXPECT_EQ(quiet.capacity_req_s, 0.0);
+  EXPECT_EQ(quiet.submitted,
+            quiet.completed + quiet.rejected + quiet.cancelled +
+                quiet.timed_out);
+  EXPECT_GT(quiet.submitted, 0);
+
+  auto loaded = server(2)
+                    .backend(BackendKind::Sim)
+                    .offered_load(1e9)  // beyond any tiny-model capacity
+                    .deadline_s(0.25)
+                    .queue(QueuePolicy::RejectNew)  // derived dp * max_batch
+                    .build();
+  const ServeReport rep = loaded.predict();
+  EXPECT_DOUBLE_EQ(rep.offered_req_s, 1e9);
+  ASSERT_GT(rep.capacity_req_s, 0.0);
+  EXPECT_GT(rep.utilization, 1.0);
+  // Overload with a bounded queue AND a deadline: the shed fraction is
+  // split across both backstops, and goodput-relevant loss is visible.
+  EXPECT_GT(rep.predicted_rejected_rate + rep.predicted_timeout_rate, 0.0);
+  EXPECT_LE(rep.predicted_rejected_rate + rep.predicted_timeout_rate, 1.0);
+  // The echo is a pure annotation: the nominal timeline is unchanged.
+  expect_same_prediction(quiet, rep);
+}
