@@ -35,30 +35,34 @@ namespace {
 struct Row {
   std::string algo;
   int P = 0, W = 0, batch = 0, dp = 1;
+  bool paged = false;
   int64_t prompt_tokens = 0;
   int new_tokens = 0;
   double prefill_tok_s = 0.0;
   double overall_tok_s = 0.0;  ///< generated tokens / (prefill + decode) wall
   double per_token_ms = 0.0;   ///< mean decode-pass latency
   double predicted_per_token_ms = 0.0;  ///< calibrated event-sim prediction
+  int64_t kv_pages_peak = 0;        ///< paged rows: pool high-water mark
+  int64_t prefix_hit_tokens = 0;    ///< paged rows: prompt tokens from cache
 };
 
 Row run_config(const ModelConfig& model, const perf::Calibration& cal,
                Algo algo, int P, int W, int batch, int dp, int64_t prompt_len,
-               int new_tokens) {
-  auto server = InferenceSession::builder()
-                    .model(model)
-                    .algo(algo)
-                    .pipeline(P)
-                    .waves(W)
-                    .backend(BackendKind::Threads)
-                    .max_batch(batch)
-                    .max_new_tokens(new_tokens)
-                    .prompt_tokens(prompt_len)
-                    .data_parallel(dp)
-                    .calibration(cal)
-                    .seed(7)
-                    .build();
+               int new_tokens, bool paged = false) {
+  auto builder = InferenceSession::builder();
+  builder.model(model)
+      .algo(algo)
+      .pipeline(P)
+      .waves(W)
+      .backend(BackendKind::Threads)
+      .max_batch(batch)
+      .max_new_tokens(new_tokens)
+      .prompt_tokens(prompt_len)
+      .data_parallel(dp)
+      .calibration(cal)
+      .seed(7);
+  if (paged) builder.paged_kv().kv_page_tokens(16);
+  auto server = builder.build();
   Rng rng(13);
   // Two full batches per replica: the second re-fills freed slots
   // (continuous batching) on every replica of the shared queue.
@@ -79,6 +83,9 @@ Row run_config(const ModelConfig& model, const perf::Calibration& cal,
   row.W = W;
   row.batch = batch;
   row.dp = dp;
+  row.paged = paged;
+  row.kv_pages_peak = rep.kv_pages_peak;
+  row.prefix_hit_tokens = rep.prefix_hit_tokens;
   row.prompt_tokens = rep.prompt_tokens;
   row.new_tokens = new_tokens;
   row.prefill_tok_s = rep.prefill_tokens_per_s();
@@ -145,6 +152,16 @@ int main(int argc, char** argv) {
       }
     }
   }
+  // One paged-KV point next to its contiguous twin: same closed batch, KV
+  // through the page pool (kv_pages_peak / prefix_hit_tokens columns show
+  // the pool footprint; prompts are random here, so cache hits are
+  // incidental — the shared-prefix workload lives in bench/traffic).
+  {
+    const int batch = short_mode ? 2 : 4;
+    std::printf("serve hanayo   P=2 W=2 batch=%d dp=1 [paged] ...\n", batch);
+    rows.push_back(run_config(model, cal, Algo::Hanayo, 2, 2, batch, 1,
+                              prompt_len, new_tokens, /*paged=*/true));
+  }
 
   FILE* f = std::fopen(out_path.c_str(), "w");
   if (!f) {
@@ -182,12 +199,16 @@ int main(int argc, char** argv) {
     std::fprintf(
         f,
         "    {\"algo\": \"%s\", \"P\": %d, \"W\": %d, \"max_batch\": %d, "
-        "\"dp\": %d, \"prompt_tokens\": %lld, \"prefill_tok_s\": %.1f, "
+        "\"dp\": %d, \"paged\": %s, \"prompt_tokens\": %lld, "
+        "\"prefill_tok_s\": %.1f, "
         "\"overall_tok_s\": %.1f, \"per_token_ms\": %.4f, "
-        "\"predicted_per_token_ms\": %.4f, \"meas_over_pred\": %.2f}%s\n",
-        r.algo.c_str(), r.P, r.W, r.batch, r.dp,
+        "\"predicted_per_token_ms\": %.4f, \"meas_over_pred\": %.2f, "
+        "\"kv_pages_peak\": %lld, \"prefix_hit_tokens\": %lld}%s\n",
+        r.algo.c_str(), r.P, r.W, r.batch, r.dp, r.paged ? "true" : "false",
         static_cast<long long>(r.prompt_tokens), r.prefill_tok_s,
         r.overall_tok_s, r.per_token_ms, r.predicted_per_token_ms, ratio,
+        static_cast<long long>(r.kv_pages_peak),
+        static_cast<long long>(r.prefix_hit_tokens),
         i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

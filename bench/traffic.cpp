@@ -22,7 +22,12 @@
 // the serving planner ranks under, so BENCH_traffic.json doubles as its
 // calibration record. A final row re-runs the 1x Poisson point under
 // deterministic fault injection (seeded slow passes) to show degradation
-// with conservation intact.
+// with conservation intact, and a shared-prefix chat row re-runs it with
+// the paged KV store on and every prompt carrying a common system-prompt
+// head — its prefill_saved_tok / prefix_hit_rate columns are the measured
+// prefix-cache savings, and the JSON's paged_admission block records the
+// admission arithmetic (streams admissible from one pool under paged vs
+// contiguous pricing).
 //
 // The bench fails (non-zero exit) if any row breaks conservation
 // (submitted != served + rejected + cancelled + timed_out): CI's
@@ -86,9 +91,14 @@ double next_gap(Arrival a, tensor::Rng& rng, double lambda, int i, int n,
 
 struct Row {
   std::string pattern;
+  std::string workload = "uniform";
   double load_mult = 0.0;
   double offered_req_s = 0.0;
   bool fault = false;
+  bool paged = false;
+  int64_t pages_peak = 0;          ///< pool high-water mark (paged rows)
+  int64_t prefill_saved_tok = 0;   ///< prompt tokens served from the cache
+  double prefix_hit_rate = 0.0;
   int64_t submitted = 0, served = 0, rejected = 0, cancelled = 0,
           timed_out = 0;
   double duration_s = 0.0;
@@ -111,12 +121,17 @@ struct Scenario {
   double sustainable_req_s = 0.0;
   int requests = 48;
   uint64_t seed = 2026;
+  /// Chat workload: a common head of this many fixed tokens prepended to
+  /// every prompt (0 = fully random prompts).
+  int64_t shared_prefix_tokens = 0;
+  bool paged = false;  ///< serve through the paged KV store + prefix cache
+  int kv_page_tokens = 16;
 };
 
 InferenceSession build_server(const Scenario& sc, double offered_req_s,
                               const FaultInjection& fault) {
-  return InferenceSession::builder()
-      .model(sc.model)
+  auto b = InferenceSession::builder();
+  b.model(sc.model)
       .algo(Algo::Hanayo)
       .pipeline(2)
       .waves(2)
@@ -130,8 +145,9 @@ InferenceSession build_server(const Scenario& sc, double offered_req_s,
       .queue(QueuePolicy::RejectNew)  // derived cap: dp * max_batch
       .offered_load(offered_req_s)
       .fault(fault)
-      .seed(7)
-      .build();
+      .seed(7);
+  if (sc.paged) b.paged_kv().kv_page_tokens(sc.kv_page_tokens);
+  return b.build();
 }
 
 Row run_point(const Scenario& sc, Arrival pattern, double mult,
@@ -154,7 +170,11 @@ Row run_point(const Scenario& sc, Arrival pattern, double mult,
           std::chrono::duration<double>(std::min(gap, 2.0)));
       Tensor prompt({1, sc.prompt_len});
       for (int64_t j = 0; j < sc.prompt_len; ++j) {
-        prompt[j] = static_cast<float>(toks.index(sc.model.vocab));
+        // A chat workload's system prompt: the first shared_prefix_tokens
+        // ids are the same fixed sequence for every request.
+        prompt[j] = j < sc.shared_prefix_tokens
+                        ? static_cast<float>((7 * j + 3) % sc.model.vocab)
+                        : static_cast<float>(toks.index(sc.model.vocab));
       }
       server.enqueue(prompt);
     }
@@ -180,9 +200,14 @@ Row run_point(const Scenario& sc, Arrival pattern, double mult,
 
   Row row;
   row.pattern = arrival_name(pattern);
+  row.workload = sc.shared_prefix_tokens > 0 ? "shared_prefix" : "uniform";
   row.load_mult = mult;
   row.offered_req_s = lambda;
   row.fault = fault.enabled();
+  row.paged = sc.paged;
+  row.pages_peak = rep.kv_pages_peak;
+  row.prefill_saved_tok = rep.prefill_tokens_saved();
+  row.prefix_hit_rate = rep.prefix_hit_rate();
   row.submitted = rep.submitted;
   row.served = rep.completed;
   row.rejected = rep.rejected;
@@ -216,11 +241,18 @@ Row run_point(const Scenario& sc, Arrival pattern, double mult,
   }
   std::printf(
       "  %-7s x%.1f  %5.1f req/s  served %2lld  rejected %2lld  timed_out "
-      "%2lld  p50/p99 ttft %6.1f/%6.1f ms%s\n",
+      "%2lld  p50/p99 ttft %6.1f/%6.1f ms%s",
       row.pattern.c_str(), mult, lambda, static_cast<long long>(rep.completed),
       static_cast<long long>(rep.rejected),
       static_cast<long long>(rep.timed_out), row.p50_ttft_ms, row.p99_ttft_ms,
       fault.enabled() ? "  [fault]" : "");
+  if (sc.paged) {
+    std::printf("  [paged: %lld tok saved, %.0f%% hit, peak %lld pages]",
+                static_cast<long long>(row.prefill_saved_tok),
+                row.prefix_hit_rate * 100.0,
+                static_cast<long long>(row.pages_peak));
+  }
+  std::printf("\n");
   return row;
 }
 
@@ -296,6 +328,17 @@ int main(int argc, char** argv) {
   rows.push_back(
       run_point(sc, Arrival::Poisson, short_mode ? 2.0 : 1.0, fault));
 
+  // Chat workload through the paged KV store: every request carries the
+  // same 16-token system-prompt head, so after the first stream on each
+  // replica publishes it, later admissions adopt the cached pages and
+  // prefill only their unique tail. The row's prefill_saved_tok /
+  // prefix_hit_rate columns are the measured savings.
+  Scenario chat = sc;
+  chat.paged = true;
+  chat.shared_prefix_tokens = 16;
+  chat.prompt_len = 24;  // 16 shared head + 8 unique per request
+  rows.push_back(run_point(chat, Arrival::Poisson, short_mode ? 2.0 : 1.0));
+
   FILE* f = std::fopen(out_path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
@@ -319,6 +362,37 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  \"requests_per_point\": %d,\n", sc.requests);
   std::fprintf(f, "  \"sustainable_req_s\": %.2f,\n", sc.sustainable_req_s);
   std::fprintf(f, "  \"deadline_ms\": %.1f,\n", sc.deadline_s * 1e3);
+  {
+    // Admission arithmetic for the shared-prefix chat row: from one
+    // per-replica page pool (the derived default — max_batch worst-case
+    // full-context streams plus their COW spares), how many streams of the
+    // chat workload are admissible under contiguous pricing (a full-seq
+    // slab per stream, what the unpaged path reserves) vs paged pricing
+    // (KvStore::pages_needed: pages to the final length, minus the cached
+    // head's pages, plus one COW spare per lane).
+    const int64_t lanes = runtime::kv_lanes(chat.model);
+    const int64_t pg = chat.kv_page_tokens;
+    const int64_t full_seq_pages = (chat.model.seq + pg - 1) / pg;
+    const int64_t pool = chat.max_batch * (full_seq_pages + 1) * lanes;
+    const int64_t final_len = chat.prompt_len + chat.new_tokens - 1;
+    const int64_t stream_contig = full_seq_pages * lanes;
+    const int64_t stream_paged =
+        ((final_len + pg - 1) / pg - chat.shared_prefix_tokens / pg + 1) *
+        lanes;
+    std::fprintf(f,
+                 "  \"paged_admission\": {\"kv_page_tokens\": %lld, "
+                 "\"lanes\": %lld, \"pool_pages\": %lld, "
+                 "\"stream_pages_contiguous\": %lld, "
+                 "\"stream_pages_paged_shared\": %lld, "
+                 "\"admissible_streams_contiguous\": %lld, "
+                 "\"admissible_streams_paged\": %lld},\n",
+                 static_cast<long long>(pg), static_cast<long long>(lanes),
+                 static_cast<long long>(pool),
+                 static_cast<long long>(stream_contig),
+                 static_cast<long long>(stream_paged),
+                 static_cast<long long>(pool / stream_contig),
+                 static_cast<long long>(pool / stream_paged));
+  }
   std::fprintf(f,
                "  \"note\": \"open-loop arrivals from a generator thread; "
                "load_mult scales the measured closed-loop sustainable rate. "
@@ -333,23 +407,28 @@ int main(int argc, char** argv) {
     const Row& r = rows[i];
     std::fprintf(
         f,
-        "    {\"pattern\": \"%s\", \"load_mult\": %.2f, "
-        "\"offered_req_s\": %.2f, \"fault\": %s, \"submitted\": %lld, "
+        "    {\"pattern\": \"%s\", \"workload\": \"%s\", \"load_mult\": %.2f, "
+        "\"offered_req_s\": %.2f, \"fault\": %s, \"paged\": %s, "
+        "\"submitted\": %lld, "
         "\"served\": %lld, \"rejected\": %lld, \"cancelled\": %lld, "
         "\"timed_out\": %lld, \"duration_s\": %.3f, "
         "\"goodput_req_s\": %.2f, \"p50_ttft_ms\": %.2f, "
         "\"p99_ttft_ms\": %.2f, \"p50_req_token_ms\": %.3f, "
         "\"p99_req_token_ms\": %.3f, \"pred_capacity_req_s\": %.2f, "
         "\"pred_utilization\": %.2f, \"pred_rejected_rate\": %.3f, "
-        "\"pred_timeout_rate\": %.3f}%s\n",
-        r.pattern.c_str(), r.load_mult, r.offered_req_s,
-        r.fault ? "true" : "false", static_cast<long long>(r.submitted),
+        "\"pred_timeout_rate\": %.3f, \"pages_peak\": %lld, "
+        "\"prefill_saved_tok\": %lld, \"prefix_hit_rate\": %.3f}%s\n",
+        r.pattern.c_str(), r.workload.c_str(), r.load_mult, r.offered_req_s,
+        r.fault ? "true" : "false", r.paged ? "true" : "false",
+        static_cast<long long>(r.submitted),
         static_cast<long long>(r.served), static_cast<long long>(r.rejected),
         static_cast<long long>(r.cancelled),
         static_cast<long long>(r.timed_out), r.duration_s, r.goodput_req_s,
         r.p50_ttft_ms, r.p99_ttft_ms, r.p50_tok_ms, r.p99_tok_ms,
         r.pred_capacity_req_s, r.pred_utilization, r.pred_rejected_rate,
-        r.pred_timeout_rate, i + 1 < rows.size() ? "," : "");
+        r.pred_timeout_rate, static_cast<long long>(r.pages_peak),
+        static_cast<long long>(r.prefill_saved_tok), r.prefix_hit_rate,
+        i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

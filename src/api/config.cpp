@@ -90,6 +90,10 @@ runtime::InferConfig InferenceConfig::infer_config() const {
   ic.sampling = sampling;
   ic.stop_tokens = stop_tokens;
   ic.kv_fp16 = kv_fp16;
+  ic.paged_kv = paged_kv;
+  ic.kv_page_tokens = kv_page_tokens;
+  ic.kv_pool_pages = kv_pool_pages;
+  ic.prefix_cache = prefix_cache;
   ic.seed = seed;
   ic.prefetch_depth = prefetch_depth;
   ic.deadline_s = deadline_s;

@@ -55,6 +55,10 @@ void ServeReport::set_totals(const runtime::ServeStats& st) {
   prefill_s = st.prefill_s;
   decode_s = st.decode_s;
   peak_kv_bytes = st.peak_kv_bytes;
+  kv_pages_in_use = st.kv_pages_in_use;
+  kv_pages_peak = st.kv_pages_peak;
+  prefix_hits = st.prefix_hits;
+  prefix_hit_tokens = st.prefix_hit_tokens;
   submitted = st.submitted;
   completed = st.completed;
   rejected = st.rejected;
@@ -74,6 +78,10 @@ runtime::ServeStats ServeReport::totals() const {
   st.prefill_s = prefill_s;
   st.decode_s = decode_s;
   st.peak_kv_bytes = peak_kv_bytes;
+  st.kv_pages_in_use = kv_pages_in_use;
+  st.kv_pages_peak = kv_pages_peak;
+  st.prefix_hits = prefix_hits;
+  st.prefix_hit_tokens = prefix_hit_tokens;
   st.submitted = submitted;
   st.completed = completed;
   st.rejected = rejected;
@@ -146,15 +154,25 @@ std::string ServeReport::to_string() const {
                   static_cast<long long>(cancelled),
                   static_cast<long long>(timed_out));
   }
-  char buf[400];
+  // Paged-KV line appears only when the prefix cache actually hit — the
+  // classic line (and every golden-output test around it) is stable.
+  char page_tag[96] = "";
+  if (prefix_hit_tokens > 0) {
+    std::snprintf(page_tag, sizeof(page_tag),
+                  " [prefix cache: %lld tok saved, %.0f%% hit, peak %lld pages]",
+                  static_cast<long long>(prefix_hit_tokens),
+                  prefix_hit_rate() * 100.0,
+                  static_cast<long long>(kv_pages_peak));
+  }
+  char buf[500];
   std::snprintf(buf, sizeof(buf),
                 "serve [%s%s%s] %lld req, %lld prompt tok @ %.0f tok/s prefill, "
-                "%lld new tok @ %.0f tok/s, %.2f ms/token%s%s",
+                "%lld new tok @ %.0f tok/s, %.2f ms/token%s%s%s",
                 backend_name(backend), dp_tag, predicted ? ", predicted" : "",
                 static_cast<long long>(requests),
                 static_cast<long long>(prompt_tokens), prefill_tokens_per_s(),
                 static_cast<long long>(generated_tokens), tokens_per_s(),
-                per_token_latency_s() * 1e3, oom_tag, sla_tag);
+                per_token_latency_s() * 1e3, oom_tag, sla_tag, page_tag);
   return buf;
 }
 

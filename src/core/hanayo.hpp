@@ -110,6 +110,36 @@
 //                                           // finish timestamps on each
 //   auto load_rep = sla_server.report();    // p50/p99 TTFT over survivors
 //
+// Paged KV & prefix caching swap the per-stream contiguous KV slabs for a
+// pooled page allocator with a cross-request prefix cache: fixed-size pages
+// (kv_page_tokens rows per attention layer), admission priced in pages a
+// request can actually need instead of a worst-case slot, and requests that
+// share a prompt head (a common system prompt) adopting the published pages
+// and skipping that part of prefill — while decoding tokens that stay
+// bitwise identical to the contiguous path. Chat-style reuse:
+//
+//   auto paged = hanayo::InferenceSession::builder()
+//                    .model(hanayo::ModelConfig::tiny(6, 32, 2, 67,
+//                                                     /*seq=*/24))
+//                    .backend(hanayo::BackendKind::Threads)
+//                    .pipeline(2).max_batch(1).max_new_tokens(4)
+//                    .paged_kv()           // pooled pages + prefix cache
+//                    .kv_page_tokens(8)    // rows per page per layer
+//                    .build();
+//   hanayo::Tensor turn1({1, 12}), turn2({1, 12});  // ids: same first 8
+//   paged.enqueue(turn1);                  //      tokens, different tails
+//   paged.run();                           // prefills all 12, publishes
+//   paged.enqueue(turn2);
+//   paged.run();                           // prefills the 4-token tail only
+//   auto page_rep = paged.report();
+//   page_rep.prefill_tokens_saved();       // == 8: head served from cache
+//   page_rep.prefix_hit_rate();            // fraction of prompt tokens hit
+//   page_rep.kv_pages_peak;                // pool high-water mark (pages)
+//
+// (.kv_pool_pages(n) bounds the per-replica pool — a dry pool holds
+// requests back or sheds them under QueuePolicy instead of deadlocking;
+// .prefix_cache(false) keeps paging but disables cross-request sharing.)
+//
 // The pre-Session entry points (Trainer, AsyncTrainer, SequentialEngine and
 // their config structs) remain available below as compatibility shims; the
 // Session backends are thin wrappers over them.

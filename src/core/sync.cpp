@@ -19,6 +19,8 @@ const char* rank_name(Rank r) {
       return "Mailbox";
     case Rank::CommRequest:
       return "CommRequest";
+    case Rank::KvPool:
+      return "KvPool";
   }
   return "?";
 }

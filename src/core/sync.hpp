@@ -22,6 +22,11 @@
 //                       legal in the deadlock-free direction).
 //   CommRequest   (60)  comm/mailbox — per-operation completion handles;
 //                       innermost, no code path acquires anything under it.
+//   KvPool        (70)  runtime/kv_store — paged KV pool free-list,
+//                       refcounts and prefix-tree state; a leaf taken by
+//                       worker threads mid-pass (page alloc/COW) and by the
+//                       pipeline thread between passes, never held across
+//                       kernels or parallel_for.
 //
 // New subsystems add a named rank here (never reuse a value, leave gaps
 // for future layers) and document which existing ranks they may hold
@@ -46,6 +51,7 @@ enum class Rank : int {
   WorldBarrier = 40,
   Mailbox = 50,
   CommRequest = 60,
+  KvPool = 70,
 };
 
 /// Human-readable rank name for diagnostics.

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "runtime/kv_store.hpp"
 #include "tensor/half.hpp"
 #include "tensor/kernels.hpp"
 #include "tensor/ops.hpp"
@@ -181,6 +182,47 @@ Tensor MultiHeadAttention::forward_infer(const Tensor& x, int64_t pos0,
   const int64_t b = x.size(0), t = x.size(1);
   Tensor qkv = qkv_proj_.forward_infer(x, pos0, slot);  // [b, t, 3h]
 
+  const int64_t row = b * hidden_;  // b * heads * dk
+  const int64_t h3 = 3 * hidden_;
+  const int64_t total = pos0 + t;
+  const float* kcache = nullptr;
+  const float* vcache = nullptr;
+  Tensor kf, vf;  // fp16 contiguous mode: per-call fp32 panels
+
+  if (store_ != nullptr) {
+    // Paged mode: append rows into pooled pages, then gather the whole
+    // prefix back into contiguous member panels. The copies are
+    // bitwise-exact (memcpy, or the contiguous path's own
+    // quantise-once/dequantise pair), so the kernels below see the exact
+    // panels the contiguous path would build.
+    if (b != 1) {
+      throw std::invalid_argument(name_ +
+                                  ": paged KV requires batch-1 streams");
+    }
+    const int64_t cached = store_->lane_len(lane_, slot);
+    if (pos0 != cached) {
+      throw std::logic_error(name_ + ": decode out of order (pos0 " +
+                             std::to_string(pos0) + ", cached " +
+                             std::to_string(cached) + ")");
+    }
+    for (int64_t j = 0; j < t; ++j) {
+      const float* src = qkv.data() + j * h3;
+      store_->append(lane_, slot, src + hidden_, src + 2 * hidden_);
+    }
+    const size_t need = static_cast<size_t>(total * row);
+    if (gk_.capacity() < need) {
+      // Geometric growth: after warm-up no decode pass reallocates.
+      const size_t newcap = std::max(
+          {need, 2 * gk_.capacity(), static_cast<size_t>(16 * row)});
+      gk_.reserve(newcap);
+      gv_.reserve(newcap);
+    }
+    gk_.resize(need);
+    gv_.resize(need);
+    store_->gather(lane_, slot, total, gk_.data(), gv_.data());
+    kcache = gk_.data();
+    vcache = gv_.data();
+  } else {
   KvSlot& kv = kv_[slot];
   if (kv.len == 0) kv.batch = b;
   if (kv.batch != b) {
@@ -193,9 +235,6 @@ Tensor MultiHeadAttention::forward_infer(const Tensor& x, int64_t pos0,
   }
 
   // Append this call's K/V rows (time-major: one contiguous row per token).
-  const int64_t row = b * hidden_;  // b * heads * dk
-  const int64_t total = kv.len + t;
-  const int64_t h3 = 3 * hidden_;
   if (kv_fp16_) {
     // Half-precision storage: same [len, row] layout, binary16 words. Rows
     // quantize on append — once per token, whichever call produced it — so
@@ -251,7 +290,6 @@ Tensor MultiHeadAttention::forward_infer(const Tensor& x, int64_t pos0,
 
   // fp16 storage: materialise fp32 panels for the kernels, one conversion
   // pass per decode call (the resident cache stays half precision).
-  Tensor kf, vf;
   if (kv_fp16_) {
     kf = Tensor({total, row});
     vf = Tensor({total, row});
@@ -261,6 +299,12 @@ Tensor MultiHeadAttention::forward_infer(const Tensor& x, int64_t pos0,
       kp[i] = half_to_float(kv.k16[static_cast<size_t>(i)]);
       vp[i] = half_to_float(kv.v16[static_cast<size_t>(i)]);
     }
+    kcache = kf.data();
+    vcache = vf.data();
+  } else {
+    kcache = kv.k.data();
+    vcache = kv.v.data();
+  }
   }
 
   // Attend each new token over the cached prefix. Extents are per *row*
@@ -270,8 +314,6 @@ Tensor MultiHeadAttention::forward_infer(const Tensor& x, int64_t pos0,
   Tensor ctx({b, t, hidden_});
   const float scale = 1.0f / std::sqrt(static_cast<float>(dk_));
   const float* qkvp = qkv.data();
-  const float* kcache = kv_fp16_ ? kf.data() : kv.k.data();
-  const float* vcache = kv_fp16_ ? vf.data() : kv.v.data();
   float* probsp = probs.data();
   float* ctxp = ctx.data();
   const bool causal = causal_;
@@ -329,6 +371,15 @@ void MultiHeadAttention::set_kv_fp16(bool on) {
                            ": set_kv_fp16 while decode streams are in flight");
   }
   kv_fp16_ = on;
+}
+
+void MultiHeadAttention::set_kv_store(runtime::KvStore* store) {
+  if (!kv_.empty()) {
+    throw std::logic_error(
+        name_ + ": set_kv_store while decode streams are in flight");
+  }
+  store_ = store;
+  lane_ = store != nullptr ? store->register_lane() : -1;
 }
 
 void MultiHeadAttention::collect_params(std::vector<Param*>& out) {

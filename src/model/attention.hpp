@@ -30,6 +30,14 @@ class MultiHeadAttention : public Layer {
   /// the attention kernels per decode call — half the resident bytes for
   /// one conversion pass. Throws if streams are already in flight.
   void set_kv_fp16(bool on) override;
+  /// Paged KV mode: rows are appended into `store`'s pooled pages (one
+  /// registered lane per layer) and gathered back into contiguous member
+  /// panels before the unchanged attention kernels run — the gather copies
+  /// are bitwise-exact (memcpy for fp32, the same quantise-once/dequantise
+  /// path as contiguous fp16), so incremental decode keeps its
+  /// full-prefix-recompute identity. Paged streams are batch-1 (serving
+  /// micro-batches). Throws if streams are already in flight.
+  void set_kv_store(runtime::KvStore* store) override;
   void collect_params(std::vector<Param*>& out) override;
   void drop_cache(int mb) override;
   std::string name() const override { return name_; }
@@ -64,6 +72,13 @@ class MultiHeadAttention : public Layer {
   Linear out_proj_;
   std::unordered_map<int, Saved> cache_;
   std::unordered_map<int, KvSlot> kv_;
+  /// Paged mode (set_kv_store): non-owning store handle, this layer's lane,
+  /// and member gather panels reused across passes (grown geometrically, so
+  /// steady-state decode stays allocation-free; members rather than
+  /// thread_local because the runtime spawns fresh worker threads per pass).
+  runtime::KvStore* store_ = nullptr;
+  int lane_ = -1;
+  std::vector<float> gk_, gv_;
 };
 
 }  // namespace hanayo::model

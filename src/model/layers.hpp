@@ -17,6 +17,11 @@
 #include "tensor/rng.hpp"
 #include "tensor/tensor.hpp"
 
+namespace hanayo::runtime {
+class KvStore;  // paged KV storage (runtime/kv_store.hpp); layers hold a
+                // non-owning pointer wired by the serving runtime
+}  // namespace hanayo::runtime
+
 namespace hanayo::model {
 
 using tensor::Rng;
@@ -66,6 +71,13 @@ class Layer {
   /// halves slot_bytes at the cost of fp16 rounding on the cached panels.
   /// Stateless layers ignore it. Must be set before any slot is populated.
   virtual void set_kv_fp16(bool on) { (void)on; }
+
+  /// Attach a paged KV store: stateful layers register a lane and keep
+  /// their per-stream K/V rows in pooled pages (prefix sharing, COW)
+  /// instead of contiguous per-slot slabs. nullptr restores the contiguous
+  /// path. Stateless layers ignore it. Must be set before any slot is
+  /// populated.
+  virtual void set_kv_store(runtime::KvStore* store) { (void)store; }
 
   /// Appends pointers to this layer's parameters (stable across calls).
   virtual void collect_params(std::vector<Param*>& out) = 0;

@@ -461,6 +461,10 @@ void StageModule::set_kv_fp16(bool on) {
   for (auto& l : layers_) l->set_kv_fp16(on);
 }
 
+void StageModule::set_kv_store(runtime::KvStore* store) {
+  for (auto& l : layers_) l->set_kv_store(store);
+}
+
 std::vector<Param*> StageModule::params() {
   std::vector<Param*> out;
   for (auto& l : layers_) l->collect_params(out);

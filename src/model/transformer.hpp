@@ -99,6 +99,7 @@ class Block : public Layer {
   void drop_slot(int slot) override { attn_.drop_slot(slot); }
   int64_t slot_bytes() const override { return attn_.slot_bytes(); }
   void set_kv_fp16(bool on) override { attn_.set_kv_fp16(on); }
+  void set_kv_store(runtime::KvStore* s) override { attn_.set_kv_store(s); }
   void collect_params(std::vector<Param*>& out) override;
   void drop_cache(int mb) override;
   std::string name() const override { return name_; }
@@ -125,6 +126,7 @@ class AttnResidual : public Layer {
   void drop_slot(int slot) override { attn_.drop_slot(slot); }
   int64_t slot_bytes() const override { return attn_.slot_bytes(); }
   void set_kv_fp16(bool on) override { attn_.set_kv_fp16(on); }
+  void set_kv_store(runtime::KvStore* s) override { attn_.set_kv_store(s); }
   void collect_params(std::vector<Param*>& out) override;
   void drop_cache(int mb) override;
   std::string name() const override { return name_; }
@@ -193,6 +195,11 @@ class StageModule {
   /// Half-precision KV-cache storage for every attention layer in this
   /// stage (InferConfig::kv_fp16). Set before the first decode call.
   void set_kv_fp16(bool on);
+
+  /// Attaches a paged KV store to every attention layer in this stage
+  /// (InferConfig::paged_kv): each layer registers one lane. Set before
+  /// the first decode call, in deterministic worker construction order.
+  void set_kv_store(runtime::KvStore* store);
 
   /// Activation recomputation (gradient checkpointing, Chen et al. 2016 —
   /// one of the orthogonal memory techniques the paper's related work

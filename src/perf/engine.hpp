@@ -56,6 +56,14 @@ struct ServingPoint {
   /// Half-precision KV-cache storage: halves the KV bytes the cost model
   /// accounts (matching InferConfig::kv_fp16's halved slot_bytes()).
   bool kv_fp16 = false;
+  /// Paged KV accounting (InferConfig::paged_kv): > 0 rounds each stream's
+  /// resident KV rows up to whole pages of this many tokens, and caps the
+  /// per-device KV budget at the pool's share when kv_pool_pages bounds it.
+  /// 0 keeps the exact contiguous-slot model.
+  int kv_page_tokens = 0;
+  /// Per-replica pool size in pages; 0 derives the contiguous-equivalent
+  /// capacity (max_batch worst-case streams), the serving runtime's rule.
+  int64_t kv_pool_pages = 0;
   /// Relative stage costs for scheduling-order decisions (overridden by the
   /// engine's calibration when present, exactly like effective_sched()).
   double tf = 1.0;

@@ -132,6 +132,8 @@ std::vector<ServeCandidate> plan_serving(const sim::Cluster& cluster,
     pt.max_new_tokens = target.max_new_tokens;
     pt.stop_tokens = target.stop_tokens;
     pt.kv_fp16 = target.kv_fp16;
+    pt.kv_page_tokens = target.kv_page_tokens;
+    pt.kv_pool_pages = target.kv_pool_pages;
     const ServePrediction pred =
         eng.evaluate_serving(pt, /*quantiles=*/true, /*skip_sim_if_oom=*/true);
     for (int dp = 1; dp <= max_dp; ++dp) {

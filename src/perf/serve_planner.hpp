@@ -38,6 +38,12 @@ struct ServeTarget {
   /// Score candidates with half-precision KV-cache storage
   /// (InferConfig::kv_fp16): halves the KV bytes the memory pruning sees.
   bool kv_fp16 = false;
+  /// Score candidates with paged KV storage (InferConfig::paged_kv):
+  /// > 0 rounds per-stream KV up to pages of this many tokens and caps
+  /// residency at the pool (see ServingPoint::kv_page_tokens), so memory
+  /// pruning admits the paged configurations the runtime actually fits.
+  int kv_page_tokens = 0;
+  int64_t kv_pool_pages = 0;  ///< pool size; 0 = contiguous-equivalent rule
   /// SLA bounds: 99th-percentile per-token latency ceiling and generated
   /// tokens/s floor (cluster-wide, dp-scaled). 0 disables a bound.
   double max_p99_token_latency_s = 0.0;

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "runtime/kv_store.hpp"
 #include "schedule/validate.hpp"
 
 namespace hanayo::runtime {
@@ -47,8 +48,49 @@ FaultInjection FaultInjection::from_env() {
   return f;
 }
 
+int kv_lanes(const model::ModelConfig& model) {
+  int lanes = 0;
+  for (const model::LayerDesc& d : model.layer_descs()) {
+    if (d.type == model::LayerDesc::Type::Block ||
+        d.type == model::LayerDesc::Type::AttnHalf) {
+      ++lanes;
+    }
+  }
+  return lanes;
+}
+
+// Worst-case page demand of one full-context stream: its KV rows for every
+// lane, plus — when the prefix cache is live — one copy-on-write spare page
+// per lane (after a stream publishes its prefix, appending to the now-shared
+// tail page copies it first). This is the unit both the default pool sizing
+// and the derived queue cap price in, so a default-sized pool always admits
+// max_batch worst-case streams.
+static int64_t worst_case_stream_pages(const InferConfig& cfg) {
+  const int64_t pg = std::max(1, cfg.kv_page_tokens);
+  const int64_t per_seq =
+      (cfg.model.seq + pg - 1) / pg + (cfg.prefix_cache ? 1 : 0);
+  return per_seq * std::max(1, kv_lanes(cfg.model));
+}
+
+int64_t derived_pool_pages(const InferConfig& cfg) {
+  if (cfg.kv_pool_pages > 0) return cfg.kv_pool_pages;
+  return static_cast<int64_t>(std::max(1, cfg.max_batch)) *
+         worst_case_stream_pages(cfg);
+}
+
 int derived_queue_cap(const InferConfig& cfg) {
-  return std::max(1, cfg.dp) * std::max(1, cfg.max_batch);
+  int streams = std::max(1, cfg.max_batch);
+  if (cfg.paged_kv) {
+    // Pool-derived stream count: how many worst-case full-context
+    // sequences the page pool can hold at once (never above max_batch —
+    // slots still bound concurrency). With the default pool sizing this
+    // equals max_batch, so paging never shrinks the derived cap.
+    const int64_t per_seq = worst_case_stream_pages(cfg);
+    const int64_t fit = derived_pool_pages(cfg) / std::max<int64_t>(1, per_seq);
+    streams = static_cast<int>(
+        std::min<int64_t>(std::max<int64_t>(fit, 1), streams));
+  }
+  return std::max(1, cfg.dp) * streams;
 }
 
 void Sampling::validate() const {
@@ -184,6 +226,10 @@ ServeStats merge_stats(const std::vector<ServeStats>& per_replica) {
     m.prefill_s += s.prefill_s;
     m.decode_s += s.decode_s;
     m.peak_kv_bytes += s.peak_kv_bytes;
+    m.kv_pages_in_use += s.kv_pages_in_use;
+    m.kv_pages_peak += s.kv_pages_peak;
+    m.prefix_hits += s.prefix_hits;
+    m.prefix_hit_tokens += s.prefix_hit_tokens;
     m.submitted += s.submitted;
     m.completed += s.completed;
     m.rejected += s.rejected;
@@ -301,6 +347,11 @@ std::vector<InferRequest> RequestQueue::push(InferRequest r) {
     }
   }
   return refused;
+}
+
+void RequestQueue::push_front(InferRequest r) {
+  std::lock_guard lk(mu_);
+  q_.push_front(std::move(r));
 }
 
 bool RequestQueue::pop(InferRequest& out) {
@@ -493,6 +544,13 @@ class InferWorker {
 
   const std::vector<int64_t>& next_tokens() const { return next_tokens_; }
 
+  /// Attaches the replica's paged store to every attention layer this
+  /// worker owns (each registers one lane). Called once at construction
+  /// time, before any decode stream exists.
+  void set_kv_store(KvStore* store) {
+    for (model::StageModule& c : chunks_) c.set_kv_store(store);
+  }
+
   void drop_slot(int slot) {
     for (model::StageModule& c : chunks_) c.drop_slot(slot);
   }
@@ -538,10 +596,13 @@ InferencePipeline::InferencePipeline(InferConfig cfg, RequestQueue* shared,
   }
   if (shared == nullptr) {
     // Standalone replica: admission control applies to the owned queue too
-    // (one replica's worth of the derived slot-turnover capacity).
+    // (one replica's worth of the derived slot-turnover capacity — or the
+    // pool-derived stream count when paging is on).
+    InferConfig solo = cfg_;
+    solo.dp = 1;
     own_queue_.configure(cfg_.queue_policy, cfg_.max_queue > 0
                                                 ? cfg_.max_queue
-                                                : std::max(1, cfg_.max_batch));
+                                                : derived_queue_cap(solo));
   }
   // Compiling B=1 up front surfaces unsupported algorithms (Chimera,
   // PipeDream) and infeasible stage counts at construction time.
@@ -554,6 +615,17 @@ InferencePipeline::InferencePipeline(InferConfig cfg, RequestQueue* shared,
   for (int d = 0; d < P; ++d) {
     workers_.push_back(std::make_unique<InferWorker>(
         cfg_, placement_, d, comm::Communicator(world_.get(), d)));
+  }
+  if (cfg_.paged_kv) {
+    KvStoreConfig kc;
+    kc.page_tokens = cfg_.kv_page_tokens;
+    kc.pool_pages = derived_pool_pages(cfg_);
+    kc.row_elems = cfg_.model.hidden;
+    kc.max_slots = cfg_.max_batch;
+    kc.fp16 = cfg_.kv_fp16;
+    kc.prefix_cache = cfg_.prefix_cache;
+    store_ = std::make_unique<KvStore>(kc);
+    for (auto& w : workers_) w->set_kv_store(store_.get());
   }
   for (int s = cfg_.max_batch - 1; s >= 0; --s) free_slots_.push_back(s);
 }
@@ -576,9 +648,18 @@ const schedule::Schedule& InferencePipeline::schedule_for(int batch) {
 }
 
 int64_t InferencePipeline::slot_bytes() const {
+  if (store_ != nullptr) return store_->slot_ref_bytes();
   int64_t b = 0;
   for (const auto& w : workers_) b += w->kv_bytes();
   return b;
+}
+
+int64_t InferencePipeline::pages_in_use() const {
+  return store_ != nullptr ? store_->pages_in_use() : 0;
+}
+
+void InferencePipeline::clear_prefix_cache() {
+  if (store_ != nullptr) store_->clear_prefix_cache();
 }
 
 int64_t InferencePipeline::enqueue(tensor::Tensor prompt, int max_new_tokens,
@@ -603,6 +684,8 @@ void InferencePipeline::finish_unserved(const InferRequest& r,
   done_.push_back(unserved_completion(r, why));
   if (why == StopReason::Cancelled) {
     ++stats_.cancelled;
+  } else if (why == StopReason::Rejected) {
+    ++stats_.rejected;
   } else {
     ++stats_.timed_out;
   }
@@ -629,11 +712,46 @@ void InferencePipeline::admit() {
       finish_unserved(r, StopReason::DeadlineExceeded);
       continue;
     }
+    ActiveSeq seq;
+    seq.slot = free_slots_.back();
+    if (store_ != nullptr) {
+      // Paged admission: price the request in pages it can actually need
+      // (worst-case growth minus cached prefix pages), not a worst-case
+      // contiguous slot. open_slot reserves that budget atomically, so an
+      // admitted stream can never hit pool exhaustion mid-decode.
+      const int64_t t = r.prompt.size(1);
+      seq.prompt_ids.resize(static_cast<size_t>(t));
+      const float* p = r.prompt.data();
+      for (int64_t j = 0; j < t; ++j) {
+        seq.prompt_ids[static_cast<size_t>(j)] = static_cast<int64_t>(p[j]);
+      }
+      const int64_t final_len = t + r.max_new_tokens - 1;
+      int64_t shared = 0;
+      bool ok = store_->open_slot(seq.slot, seq.prompt_ids, final_len, &shared);
+      if (!ok) {
+        // Preempt the reclaimable part of the prefix cache and retry: the
+        // first attempt maximises sharing, this one maximises free pages.
+        (void)store_->evict_unreferenced();
+        ok = store_->open_slot(seq.slot, seq.prompt_ids, final_len, &shared);
+      }
+      if (!ok) {
+        if (active_.empty()) {
+          // Even a fully drained, evicted pool cannot reserve this
+          // request's worst case — admitting it would wedge the drain, so
+          // refuse it outright (backpressure, like a full bounded queue).
+          finish_unserved(r, StopReason::Rejected);
+          continue;
+        }
+        // Pool dry under load: the request keeps its place in line and
+        // retries once a finishing stream releases its reservation.
+        queue_->push_front(std::move(r));
+        break;
+      }
+      seq.shared_tokens = shared;
+    }
     ++stats_.requests;
     stats_.prompt_tokens += r.prompt.size(1);
-    ActiveSeq seq;
     seq.id = r.id;
-    seq.slot = free_slots_.back();
     free_slots_.pop_back();
     seq.prompt_tokens = r.prompt.size(1);
     seq.remaining = r.max_new_tokens;
@@ -660,6 +778,7 @@ void InferencePipeline::finish_active(ActiveSeq& seq, StopReason why,
   c.finish_s = now_s;
   done_.push_back(std::move(c));
   for (auto& w : workers_) w->drop_slot(seq.slot);
+  if (store_ != nullptr) store_->drop_slot(seq.slot);
   free_slots_.push_back(seq.slot);
   if (why == StopReason::Cancelled) {
     ++stats_.cancelled;
@@ -722,9 +841,24 @@ void InferencePipeline::run_pass() {
     // and replica assignment cannot shift it.
     if (cfg_.sampling.stochastic()) e.u = seq.rng.uniform();
     if (!seq.prefilled) {
-      e.pos0 = 0;
-      e.fresh = true;
-      e.input = seq.input_prompt;
+      if (store_ != nullptr && seq.shared_tokens > 0) {
+        // Prefix hit: the first shared_tokens rows are already in cached
+        // pages (bitwise what this prefill would have computed), so the
+        // prefill micro-batch carries only the unshared suffix.
+        e.pos0 = seq.shared_tokens;
+        e.fresh = false;
+        const int64_t rest = seq.prompt_tokens - seq.shared_tokens;
+        Tensor tail({1, rest});
+        const float* src = seq.input_prompt.data() + seq.shared_tokens;
+        std::copy(src, src + rest, tail.data());
+        e.input = std::move(tail);
+      } else {
+        e.pos0 = 0;
+        // Paged slots are reset by open_slot/drop_slot; fresh would only
+        // clear the (empty) contiguous caches.
+        e.fresh = store_ == nullptr;
+        e.input = seq.input_prompt;
+      }
       any_prefill = true;
     } else {
       e.pos0 = seq.len;
@@ -772,6 +906,10 @@ void InferencePipeline::run_pass() {
   // Sample the KV footprint before completed streams are dropped: the pass
   // that finishes a sequence is exactly when its cache is fullest.
   stats_.peak_kv_bytes = std::max(stats_.peak_kv_bytes, slot_bytes());
+  if (store_ != nullptr) {
+    stats_.kv_pages_peak =
+        std::max(stats_.kv_pages_peak, store_->pages_in_use());
+  }
 
   const double now = serve_clock_s();
   const std::vector<int64_t>& toks =
@@ -784,6 +922,14 @@ void InferencePipeline::run_pass() {
     if (!seq.prefilled) {
       seq.prefilled = true;
       seq.len = seq.prompt_tokens;
+      if (store_ != nullptr) {
+        // Offer the completed prompt to the prefix tree so later requests
+        // with a common prefix can share its pages (before any potential
+        // drop below, so a one-token completion still seeds the cache).
+        store_->publish(seq.slot, seq.prompt_ids);
+        seq.prompt_ids.clear();
+        seq.prompt_ids.shrink_to_fit();
+      }
       seq.input_prompt = Tensor();
     } else {
       seq.len += 1;
@@ -822,6 +968,7 @@ void InferencePipeline::run_pass() {
       }
       done_.push_back(std::move(c));
       for (auto& w : workers_) w->drop_slot(seq.slot);
+      if (store_ != nullptr) store_->drop_slot(seq.slot);
       free_slots_.push_back(seq.slot);
     } else {
       still.push_back(std::move(seq));
@@ -859,6 +1006,11 @@ std::vector<Completion> InferencePipeline::drain() {
 
 ServeStats InferencePipeline::stats() const {
   ServeStats out = stats_;
+  if (store_ != nullptr) {
+    out.kv_pages_in_use = store_->pages_in_use();
+    out.prefix_hits = store_->prefix_hits();
+    out.prefix_hit_tokens = store_->prefix_hit_tokens();
+  }
   std::lock_guard lk(enqueue_mu_);
   out.submitted += enqueue_stats_.submitted;
   out.rejected += enqueue_stats_.rejected;
@@ -955,6 +1107,16 @@ int64_t InferenceServer::slot_bytes() const {
   int64_t b = 0;
   for (const auto& r : replicas_) b += r->slot_bytes();
   return b;
+}
+
+int64_t InferenceServer::pages_in_use() const {
+  int64_t p = 0;
+  for (const auto& r : replicas_) p += r->pages_in_use();
+  return p;
+}
+
+void InferenceServer::clear_prefix_cache() {
+  for (const auto& r : replicas_) r->clear_prefix_cache();
 }
 
 }  // namespace hanayo::runtime

@@ -215,6 +215,20 @@ struct InferConfig {
   /// attention kernels): halves every slot's resident bytes; decode logits
   /// move within fp16 rounding of the fp32-cache run.
   bool kv_fp16 = false;
+  /// Paged KV storage (runtime/kv_store.hpp): per-stream K/V rows live in
+  /// fixed-size pooled pages instead of contiguous worst-case slots, so
+  /// admission is priced in pages actually needed and requests sharing a
+  /// prompt prefix share immutable pages (skipping the shared prefill).
+  /// Decode stays bitwise identical to the contiguous path.
+  bool paged_kv = false;
+  int kv_page_tokens = 16;  ///< token rows per page (per attention layer)
+  /// Total pages in the per-replica pool. 0 derives
+  /// max_batch * ceil((seq)/page_tokens) * lanes — contiguous-equivalent
+  /// capacity, so paging never admits less than the slot design did.
+  int64_t kv_pool_pages = 0;
+  /// Cross-request prefix caching (radix tree + copy-on-write). Off keeps
+  /// paging but makes every stream's pages private.
+  bool prefix_cache = true;
   uint64_t seed = 1;
   int prefetch_depth = 2;
   /// Default per-request SLA, seconds from enqueue; 0 = no deadline.
@@ -231,8 +245,18 @@ struct InferConfig {
   FaultInjection fault;  ///< deterministic fault injection (tests/benches)
 };
 
-/// The derived bounded-queue capacity (see InferConfig::max_queue).
+/// The derived bounded-queue capacity (see InferConfig::max_queue). With
+/// paging on, the per-replica stream count derives from pool capacity
+/// (worst-case full-context streams the pool can hold, capped by
+/// max_batch) instead of assuming max_batch worst-case slots.
 int derived_queue_cap(const InferConfig& cfg);
+
+/// Attention lanes the model registers with a paged store: one per
+/// Block/AttnHalf layer desc.
+int kv_lanes(const model::ModelConfig& model);
+
+/// The derived per-replica pool size (see InferConfig::kv_pool_pages).
+int64_t derived_pool_pages(const InferConfig& cfg);
 
 /// Cumulative serving counters (see api::ServeReport for the user-facing
 /// vocabulary these feed).
@@ -253,6 +277,15 @@ struct ServeStats {
   double prefill_s = 0.0;
   double decode_s = 0.0;
   int64_t peak_kv_bytes = 0;  ///< max over passes, summed across devices
+
+  /// Paged-KV accounting (zero when paging is off). `kv_pages_in_use` is a
+  /// gauge sampled at stats() time; the peak is tracked per pass. Prefix
+  /// hits count admissions that reused cached prompt pages; hit tokens are
+  /// exactly the prefill tokens those admissions skipped.
+  int64_t kv_pages_in_use = 0;
+  int64_t kv_pages_peak = 0;
+  int64_t prefix_hits = 0;
+  int64_t prefix_hit_tokens = 0;
 
   int64_t submitted = 0;  ///< enqueue() calls (before admission control)
   int64_t completed = 0;  ///< served to MaxTokens / StopToken
@@ -351,6 +384,11 @@ class RequestQueue {
   /// itself (when full); under ShedOldest it is the evicted queue head(s).
   /// Unbounded never refuses.
   std::vector<InferRequest> push(InferRequest r);
+  /// Returns a popped request to the queue head, preserving FIFO order —
+  /// used by paged admission when the KV pool cannot reserve pages for the
+  /// oldest request yet (it stays first in line; no policy check, the
+  /// request was already admitted past it once).
+  void push_front(InferRequest r);
   /// Pops the oldest request into `out`; false when empty.
   bool pop(InferRequest& out);
   /// Removes and returns every queued request whose deadline has passed —
@@ -388,6 +426,7 @@ struct PassEntry {
 };
 
 class InferWorker;
+class KvStore;
 
 class InferencePipeline {
  public:
@@ -431,7 +470,16 @@ class InferencePipeline {
 
   /// KV-cache bytes currently resident across this replica's workers —
   /// 0 whenever no sequence is mid-flight (the no-slot-leak invariant).
+  /// Paged mode reports the bytes of pages referenced by live slots (the
+  /// prefix cache's retained pages are excluded — they are reclaimable).
   int64_t slot_bytes() const;
+
+  /// Pages currently allocated from this replica's pool (slots + prefix
+  /// cache); 0 when paging is off. After clear_prefix_cache() on a drained
+  /// replica this returns 0 — the paged no-leak invariant.
+  int64_t pages_in_use() const;
+  /// Drops every unreferenced prefix-cache page (no-op when paging is off).
+  void clear_prefix_cache();
 
   /// The forward-only schedule compiled for `batch` concurrent sequences
   /// (compiled and validated on first use, then cached).
@@ -447,6 +495,12 @@ class InferencePipeline {
     bool prefilled = false;
     int64_t last_token = -1;
     tensor::Tensor input_prompt;  ///< pending prompt (dropped after prefill)
+    /// Paged mode: the prompt as token ids (kept until the prefix tree has
+    /// been offered the prompt via KvStore::publish), and how many leading
+    /// tokens admission found already cached (prefill starts at that
+    /// position).
+    std::vector<int64_t> prompt_ids;
+    int64_t shared_tokens = 0;
     tensor::Rng rng{0};       ///< per-request sampling stream (seed, id)
     std::vector<int64_t> generated;
     TokenCallback on_token;   ///< streaming callback (may be empty)
@@ -477,6 +531,7 @@ class InferencePipeline {
   std::map<int, schedule::Schedule> sched_cache_;
   RequestQueue own_queue_;
   RequestQueue* queue_ = nullptr;  ///< own_queue_, or the server's shared one
+  std::unique_ptr<KvStore> store_;  ///< paged KV pool (null = contiguous)
   std::vector<ActiveSeq> active_;
   std::vector<int> free_slots_;
   std::vector<Completion> done_;
@@ -534,6 +589,12 @@ class InferenceServer {
 
   /// Resident KV bytes summed over replicas — 0 when fully drained.
   int64_t slot_bytes() const;
+
+  /// Allocated pages summed over replicas (0 when paging is off); see
+  /// InferencePipeline::pages_in_use.
+  int64_t pages_in_use() const;
+  /// Drops unreferenced prefix-cache pages on every replica.
+  void clear_prefix_cache();
 
   /// Replica 0's compiled forward-only schedule for `batch` streams (all
   /// replicas compile identical programs).

@@ -49,12 +49,15 @@ PipelineCosts compute_costs(const model::ModelConfig& cfg, int stages,
 PipelineCosts infer_costs(const model::ModelConfig& cfg, int stages,
                           int mb_sequences, int64_t new_tokens,
                           int64_t context_tokens, const Cluster& cluster,
-                          double kv_bytes_per_elem) {
+                          double kv_bytes_per_elem, int64_t kv_page_tokens) {
   if (mb_sequences < 1 || new_tokens < 1 || context_tokens < new_tokens) {
     throw std::invalid_argument("infer_costs: bad token counts");
   }
   if (kv_bytes_per_elem <= 0.0) {
     throw std::invalid_argument("infer_costs: kv_bytes_per_elem <= 0");
+  }
+  if (kv_page_tokens < 0) {
+    throw std::invalid_argument("infer_costs: kv_page_tokens < 0");
   }
   // Partition exactly like the serving runtime (and the trainer): stage
   // boundaries are chosen for full-sequence balance, not per-pass balance.
@@ -67,6 +70,14 @@ PipelineCosts infer_costs(const model::ModelConfig& cfg, int stages,
   auto pass_descs = descs;
   for (auto& d : pass_descs) d.seq = context_tokens;
   const int64_t tokens = static_cast<int64_t>(mb_sequences) * new_tokens;
+  // Paged caches hold whole pages: a sequence's resident rows round up to
+  // the page grid, so the tail page is charged even when partially filled.
+  int64_t kv_rows = new_tokens;
+  if (kv_page_tokens > 0) {
+    kv_rows = (new_tokens + kv_page_tokens - 1) / kv_page_tokens *
+              kv_page_tokens;
+  }
+  const int64_t kv_tokens = static_cast<int64_t>(mb_sequences) * kv_rows;
 
   PipelineCosts pc;
   pc.fwd_s.reserve(static_cast<size_t>(stages));
@@ -79,7 +90,8 @@ PipelineCosts infer_costs(const model::ModelConfig& cfg, int stages,
       flops += d.fwd_flops(tokens);
       if (d.type == model::LayerDesc::Type::Block ||
           d.type == model::LayerDesc::Type::AttnHalf) {
-        kv_bytes += 2.0 * static_cast<double>(tokens * d.hidden) * kv_bytes_per_elem;
+        kv_bytes +=
+            2.0 * static_cast<double>(kv_tokens * d.hidden) * kv_bytes_per_elem;
       }
     }
     const model::StageStats st =

@@ -49,10 +49,15 @@ PipelineCosts compute_costs(const model::ModelConfig& cfg, int stages,
 /// appends per micro-batch at `kv_bytes_per_elem` bytes per element (4 for
 /// fp32 caches, 2 when InferConfig::kv_fp16 stores them in half precision),
 /// and boundaries carry fp32 activations of the new tokens only.
+/// `kv_page_tokens` > 0 prices a paged cache (runtime/kv_store.hpp): each
+/// sequence's K/V rows round up to whole pages, so partially filled tail
+/// pages are charged like the allocator actually holds them; 0 keeps the
+/// exact contiguous-slot accounting.
 PipelineCosts infer_costs(const model::ModelConfig& cfg, int stages,
                           int mb_sequences, int64_t new_tokens,
                           int64_t context_tokens, const Cluster& cluster,
-                          double kv_bytes_per_elem = 4.0);
+                          double kv_bytes_per_elem = 4.0,
+                          int64_t kv_page_tokens = 0);
 
 /// Maps pipeline rank -> physical device id. `replica` selects the block of
 /// the cluster used by one data-parallel replica (replica r uses devices

@@ -292,6 +292,47 @@ TEST(InferenceSession, DocCommentServingUnderLoadCompilesAndRuns) {
   EXPECT_GE(load_rep.p99_ttft_s(), load_rep.p50_ttft_s());
 }
 
+// ---- The "Paged KV & prefix caching" doc example from core/hanayo.hpp ----
+
+TEST(InferenceSession, DocCommentPagedKvCompilesAndRuns) {
+  auto paged = hanayo::InferenceSession::builder()
+                   .model(hanayo::ModelConfig::tiny(6, 32, 2, 67, /*seq=*/24))
+                   .backend(hanayo::BackendKind::Threads)
+                   .pipeline(2)
+                   .max_batch(1)
+                   .max_new_tokens(4)
+                   .paged_kv()
+                   .kv_page_tokens(8)
+                   .build();
+  // Two chat turns over the same 8-token system head, different tails.
+  const auto turn = [](std::initializer_list<int64_t> tail) {
+    std::vector<int64_t> ids = {7, 3, 11, 5, 2, 9, 14, 6};
+    ids.insert(ids.end(), tail);
+    hanayo::Tensor p({1, static_cast<int64_t>(ids.size())});
+    for (size_t i = 0; i < ids.size(); ++i) {
+      p[static_cast<int64_t>(i)] = static_cast<float>(ids[i]);
+    }
+    return p;
+  };
+  paged.enqueue(turn({13, 4, 22, 10}));
+  const auto first = paged.run();  // prefills all 12 tokens, publishes
+  paged.enqueue(turn({1, 8, 30, 12}));
+  const auto second = paged.run();  // prefills the 4-token tail only
+  ASSERT_EQ(first.size(), 1u);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_TRUE(first[0].served());
+  EXPECT_TRUE(second[0].served());
+
+  const auto page_rep = paged.report();
+  EXPECT_EQ(page_rep.prefix_hits, 1);
+  EXPECT_EQ(page_rep.prefill_tokens_saved(), 8);  // the shared head
+  EXPECT_GT(page_rep.prefix_hit_rate(), 0.0);
+  EXPECT_LT(page_rep.prefix_hit_rate(), 1.0);
+  EXPECT_GT(page_rep.kv_pages_peak, 0);
+  EXPECT_GE(page_rep.kv_pages_peak, page_rep.kv_pages_in_use);
+  EXPECT_NE(page_rep.to_string().find("prefix cache"), std::string::npos);
+}
+
 // ---- SLA semantics agree across live backends ----------------------------
 
 TEST(InferenceSession, DeadlineAndRejectionSemanticsMatchAcrossBackends) {

@@ -14,6 +14,7 @@
 
 #include "model/partition.hpp"
 #include "model/transformer.hpp"
+#include "runtime/kv_store.hpp"
 #include "tensor/rng.hpp"
 
 using namespace hanayo;
@@ -299,4 +300,134 @@ TEST(Decode, Fp16KvToggleWithStreamsInFlightThrows) {
   EXPECT_THROW(m.set_kv_fp16(true), std::logic_error);
   m.drop_slot(0);
   EXPECT_NO_THROW(m.set_kv_fp16(true));
+}
+
+// ---- Paged KV storage (runtime::KvStore through model/attention) ---------
+
+namespace {
+
+runtime::KvStoreConfig paged_cfg(const ModelConfig& cfg, bool fp16) {
+  runtime::KvStoreConfig kc;
+  kc.page_tokens = 4;  // small pages: every stream spans several
+  kc.pool_pages = 64;
+  kc.row_elems = cfg.hidden;
+  kc.max_slots = 4;
+  kc.fp16 = fp16;
+  kc.prefix_cache = true;
+  return kc;
+}
+
+/// The correctness anchor, paged: incremental decode through pooled pages
+/// must stay bitwise identical to a full-prefix recompute on a plain
+/// contiguous-cache module. The gather/append copies are memcpy (fp32) or
+/// the same quantize-once/dequantize pair as the contiguous fp16 cache, so
+/// the kernels see byte-identical panels.
+void expect_paged_matches_recompute(bool fp16) {
+  StageModule inc = full_module(kTiny);  // paged, decodes incrementally
+  StageModule ref = full_module(kTiny);  // contiguous, recomputes each step
+  runtime::KvStore store(paged_cfg(kTiny, fp16));
+  inc.set_kv_store(&store);
+  ref.set_kv_fp16(fp16);
+
+  Rng rng(5);
+  std::vector<int64_t> seq;
+  for (int i = 0; i < 6; ++i) seq.push_back(rng.index(kTiny.vocab));
+
+  const int kSteps = 8;
+  int64_t shared = -1;
+  ASSERT_TRUE(store.open_slot(/*slot=*/0, seq,
+                              static_cast<int64_t>(seq.size()) + kSteps,
+                              &shared));
+  EXPECT_EQ(shared, 0);  // cold cache: the full prompt prefills
+  Tensor y_inc = inc.decode(ids_tensor(seq), /*pos0=*/0, /*slot=*/0);
+
+  for (int step = 0; step < kSteps; ++step) {
+    ref.drop_slot(0);
+    Tensor y_ref = ref.decode(ids_tensor(seq), 0, 0);
+    const int64_t t = y_ref.size(1), V = y_ref.size(2);
+    const float* row_ref = y_ref.data() + (t - 1) * V;
+    const float* row_inc = y_inc.data() + (y_inc.size(1) - 1) * V;
+    for (int64_t v = 0; v < V; ++v) {
+      ASSERT_EQ(row_ref[v], row_inc[v])
+          << (fp16 ? "fp16" : "fp32") << " step " << step << " logit " << v;
+    }
+    int64_t best = 0;
+    for (int64_t v = 1; v < V; ++v) {
+      if (row_ref[v] > row_ref[best]) best = v;
+    }
+    seq.push_back(best);
+    Tensor one({1, 1});
+    one[0] = static_cast<float>(best);
+    y_inc = inc.decode(one, static_cast<int64_t>(seq.size()) - 1, 0);
+  }
+  EXPECT_EQ(store.lane_len(0, 0), static_cast<int64_t>(seq.size()));
+  store.drop_slot(0);
+  EXPECT_EQ(store.pages_in_use(), 0);  // nothing published, nothing leaks
+}
+
+}  // namespace
+
+TEST(Decode, PagedKvMatchesFullPrefixRecomputeBitwise) {
+  expect_paged_matches_recompute(/*fp16=*/false);
+}
+
+TEST(Decode, PagedFp16KvMatchesFp16FullPrefixRecomputeBitwise) {
+  expect_paged_matches_recompute(/*fp16=*/true);
+}
+
+TEST(Decode, PagedSharedPrefixDecodesBitwiseIdenticalToUnshared) {
+  // Two prompts with a common head through one store: the second adopts
+  // the first's published pages and skips their prefill, yet its logits
+  // equal an unshared full prefill bit-for-bit — K/V rows at a position
+  // depend only on the token prefix, so adopted rows ARE the rows the
+  // skipped prefill would have produced.
+  StageModule paged = full_module(kTiny);
+  runtime::KvStore store(paged_cfg(kTiny, false));
+  paged.set_kv_store(&store);
+  StageModule plain = full_module(kTiny);
+
+  const std::vector<int64_t> head = {7, 3, 11, 5, 2, 9};  // shared system head
+  std::vector<int64_t> a = head, b = head;
+  a.insert(a.end(), {13, 4});
+  b.insert(b.end(), {1, 8});
+
+  ASSERT_TRUE(store.open_slot(0, a, static_cast<int64_t>(a.size()) + 1,
+                              nullptr));
+  (void)paged.decode(ids_tensor(a), 0, 0);
+  store.publish(0, a);
+  store.drop_slot(0);
+
+  int64_t shared = -1;
+  ASSERT_TRUE(store.open_slot(1, b, static_cast<int64_t>(b.size()) + 1,
+                              &shared));
+  EXPECT_EQ(shared, static_cast<int64_t>(head.size()));
+  EXPECT_EQ(store.prefix_hit_tokens(), static_cast<int64_t>(head.size()));
+  // Prefill only the unshared suffix, positions [shared, b.size()).
+  std::vector<int64_t> tail(b.begin() + shared, b.end());
+  Tensor y_shared = paged.decode(ids_tensor(tail), shared, 1);
+  Tensor y_plain = plain.decode(ids_tensor(b), 0, 0);
+
+  const int64_t V = y_plain.size(2);
+  const float* row_s = y_shared.data() + (y_shared.size(1) - 1) * V;
+  const float* row_p = y_plain.data() + (y_plain.size(1) - 1) * V;
+  for (int64_t v = 0; v < V; ++v) {
+    ASSERT_EQ(row_s[v], row_p[v]) << "logit " << v;
+  }
+  store.drop_slot(1);
+  store.clear_prefix_cache();
+  EXPECT_EQ(store.pages_in_use(), 0);
+}
+
+TEST(Decode, PagedDecodeRejectsBatchesAndOutOfOrderPositions) {
+  StageModule m = full_module(kTiny);
+  runtime::KvStore store(paged_cfg(kTiny, false));
+  m.set_kv_store(&store);
+  ASSERT_TRUE(store.open_slot(0, {}, 8, nullptr));
+  Tensor two({2, 3});  // paged streams are batch-1 by contract
+  EXPECT_THROW(m.decode(two, 0, 0), std::invalid_argument);
+  (void)m.decode(ids_tensor({1, 2, 3}), 0, 0);
+  Tensor one({1, 1});
+  one[0] = 4.0f;
+  EXPECT_THROW(m.decode(one, 5, 0), std::logic_error);  // skips position 3
+  store.drop_slot(0);
 }
