@@ -52,6 +52,14 @@ struct EngineConfig {
   /// predict()/Sim fall back on a calibrated cluster — so the planner's cost
   /// model tracks the real kernel layer, not seed-era constants.
   std::optional<perf::Calibration> calibration;
+  /// Measured + fitted serving-side coefficients
+  /// (perf::calibrate_serving): forward-only rate scales, per-pass
+  /// orchestration overhead and CPU-oversubscription factor. When set,
+  /// predict() on an InferenceSession and plan_serving price passes with
+  /// these corrections; unset (or the identity calibration) leaves every
+  /// prediction bit-identical to the uncalibrated model. Training paths
+  /// ignore it.
+  std::optional<perf::ServingCalibration> serving_calibration;
 
   /// The cluster predict()/Sim fall back on: calibrated when a calibration
   /// is present, else homogeneous spec defaults; one device per

@@ -62,8 +62,10 @@ ServeReport predict_serving(const InferenceConfig& cfg) {
   // an exception — same stance as the Sim backend); this frontend only
   // replicates the one-replica prediction over dp, which is exact because
   // replicas are fully independent (disjoint devices, no collective).
-  const perf::Engine eng(cfg.model, cfg.effective_cluster(), cfg.calibration);
-  const perf::ServePrediction pred = eng.evaluate_serving(cfg.serving_point());
+  const perf::Engine eng(cfg.model, cfg.effective_cluster(), cfg.calibration,
+                         cfg.serving_calibration);
+  const perf::ServePrediction pred = eng.calibrated_serving(
+      eng.evaluate_serving(cfg.serving_point()), std::max(1, cfg.dp));
   if (!pred.feasible) {
     rep.feasible = false;
     rep.note = pred.note;
@@ -99,7 +101,10 @@ ServeReport predict_serving(const InferenceConfig& cfg) {
     rep.utilization = lp.utilization;
     rep.predicted_rejected_rate = lp.rejected_rate;
     rep.predicted_timeout_rate = lp.timeout_rate;
+    rep.predicted_backlogged_rate = lp.backlogged_rate;
     rep.predicted_queue_wait_s = lp.queue_wait_s;
+    rep.predicted_p50_ttft_s = lp.p50_ttft_s;
+    rep.predicted_p99_ttft_s = lp.p99_ttft_s;
   }
   return rep;
 }
@@ -117,6 +122,8 @@ InferenceSession::Builder& InferenceSession::Builder::auto_plan(
   perf::ServeTarget t = target;
   if (!t.calibration) t.calibration = cfg_.calibration;
   cfg_.calibration = t.calibration;
+  if (!t.serving_calibration) t.serving_calibration = cfg_.serving_calibration;
+  cfg_.serving_calibration = t.serving_calibration;
   if (t.max_new_tokens <= 0) t.max_new_tokens = cfg_.max_new_tokens;
   if (t.stop_tokens.empty()) t.stop_tokens = cfg_.stop_tokens;
   t.kv_fp16 = t.kv_fp16 || cfg_.kv_fp16;

@@ -126,7 +126,15 @@ struct ServeReport {
   double utilization = 0.0;             ///< offered / capacity
   double predicted_rejected_rate = 0.0; ///< bounded queue sheds this fraction
   double predicted_timeout_rate = 0.0;  ///< deadline expires this fraction
-  double predicted_queue_wait_s = 0.0;  ///< steady-state admission wait
+  /// Overload fraction that neither serves nor sheds — unbounded queue
+  /// growth when no deadline/queue backstop exists
+  /// (perf::LoadPrediction::backlogged_rate).
+  double predicted_backlogged_rate = 0.0;
+  double predicted_queue_wait_s = 0.0;  ///< steady-state mean admission wait
+  /// Distributional TTFT under the offered load: queueing-wait quantile
+  /// plus the prefill pass wall (perf::LoadPrediction::p50/p99_ttft_s).
+  double predicted_p50_ttft_s = 0.0;
+  double predicted_p99_ttft_s = 0.0;
   /// Per-replica counters (index = replica id); empty on the sequential
   /// Reference, one entry per replica on Threads and in predictions.
   /// submitted/rejected live in the totals only (admission control runs

@@ -61,6 +61,9 @@ class BuilderCore {
   /// Feed this machine's measured kernel/transport numbers (perf::calibrate)
   /// into the schedule ordering costs and the predict()/Sim cost model.
   Derived& calibration(perf::Calibration cal) { cfg_.calibration = std::move(cal); return self(); }
+  /// Feed fitted serving-side coefficients (perf::calibrate_serving) into
+  /// predict()/plan_serving pass pricing. Training paths ignore it.
+  Derived& serving_calibration(perf::ServingCalibration sc) { cfg_.serving_calibration = std::move(sc); return self(); }
 
   const Config& config() const { return cfg_; }
 

@@ -221,14 +221,18 @@ using model::DynamicLossScaler;
 using model::LrSchedule;
 using model::ModelConfig;
 using perf::best_serving;
+using perf::calibrate_serving;
 using perf::Candidate;
 using perf::Engine;
+using perf::measure_serving_rates;
 using perf::plan;
 using perf::plan_serving;
 using perf::PlanRequest;
 using perf::ServeCandidate;
 using perf::ServeTarget;
+using perf::ServingCalibration;
 using perf::ServingPoint;
+using perf::ServingSample;
 using runtime::AsyncTrainer;
 using runtime::AsyncTrainerConfig;
 using runtime::Batch;

@@ -1,5 +1,6 @@
 #include "perf/calibrate.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
 #include <thread>
@@ -93,6 +94,87 @@ Calibration calibrate_compute(const model::ModelConfig& cfg, int mb_sequences,
   cal.sec_per_flop = (fwd_total / repeats) / total_flops;
   cal.bwd_fwd_ratio = fwd_total > 0 ? bwd_total / fwd_total : 2.0;
   return cal;
+}
+
+ServingCalibration measure_serving_rates(const model::ModelConfig& cfg,
+                                         const Calibration& base,
+                                         int64_t prompt_tokens, int repeats) {
+  if (!(base.sec_per_flop > 0) || repeats < 1) {
+    throw std::invalid_argument(
+        "measure_serving_rates: need a compute calibration and repeats >= 1");
+  }
+  ServingCalibration sc;
+  sc.host_cores =
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+
+  const auto descs = cfg.layer_descs();
+  const int64_t plen =
+      prompt_tokens > 0 ? std::clamp<int64_t>(prompt_tokens, 1, cfg.seq)
+                        : std::max<int64_t>(1, cfg.seq / 2);
+  model::StageModule module(descs, 0, static_cast<int>(descs.size()),
+                            /*seed=*/1234, cfg.init_std);
+  tensor::Tensor prompt({1, plen});
+  for (int64_t i = 0; i < plen; ++i) {
+    prompt[i] = static_cast<float>(i % cfg.vocab);
+  }
+  // The flop model's view of a pass at context `ctx`: the same per-layer
+  // counting infer_costs uses, priced at the base (training-forward) rate.
+  const auto model_pass_s = [&](int64_t new_tokens, int64_t ctx) {
+    double flops = 0.0;
+    auto pd = descs;
+    for (auto& d : pd) {
+      d.seq = ctx;
+      flops += d.fwd_flops(new_tokens);
+    }
+    return flops * base.sec_per_flop;
+  };
+
+  // Prefill rate: repeated full-prompt forward_infer passes on one slot.
+  (void)module.decode(prompt, 0, 0);  // warm-up (first touch allocates)
+  {
+    const auto t0 = Clock::now();
+    for (int r = 0; r < repeats; ++r) {
+      module.drop_slot(0);
+      (void)module.decode(prompt, 0, 0);
+    }
+    const double per_pass = seconds_since(t0) / repeats;
+    sc.prefill_rate_scale = per_pass / std::max(1e-30, model_pass_s(plen, plen));
+  }
+
+  // Decode rate: single-token passes walking the context from the prompt
+  // toward the model's positions, re-priming the slot when it runs out.
+  // Each decode is timed individually so the re-prefills stay unbilled.
+  {
+    tensor::Tensor one({1, 1});
+    one[0] = static_cast<float>(1 % cfg.vocab);
+    double total = 0.0;
+    int64_t ctx_total = 0;
+    int64_t pos = plen;
+    for (int r = -2; r < repeats; ++r) {  // two warm iterations
+      if (pos >= cfg.seq) {
+        module.drop_slot(0);
+        (void)module.decode(prompt, 0, 0);
+        pos = plen;
+      }
+      const auto t0 = Clock::now();
+      (void)module.decode(one, pos, 0);
+      if (r >= 0) {
+        total += seconds_since(t0);
+        ctx_total += pos + 1;
+      }
+      ++pos;
+    }
+    const double per_decode = total / repeats;
+    const int64_t mean_ctx = std::max<int64_t>(1, ctx_total / repeats);
+    sc.decode_rate_scale =
+        per_decode / std::max(1e-30, model_pass_s(1, mean_ctx));
+  }
+
+  // Timer glitches should never produce a calibration that inverts the
+  // prediction by orders of magnitude: clamp to a generous plausible band.
+  sc.prefill_rate_scale = std::clamp(sc.prefill_rate_scale, 0.05, 20.0);
+  sc.decode_rate_scale = std::clamp(sc.decode_rate_scale, 0.05, 20.0);
+  return sc;
 }
 
 void calibrate_comm(Calibration& cal, int repeats) {

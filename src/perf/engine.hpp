@@ -70,6 +70,22 @@ struct ServingPoint {
   double tb = 2.0;
 };
 
+/// Raw event-sim numbers for one simulated pipeline pass: the makespan the
+/// uncalibrated model reports, plus the summed per-rank busy seconds the
+/// serving calibration's oversubscription bound needs (on a host with
+/// fewer cores than dp * P workers, the pass cannot finish faster than its
+/// serial compute divided by the cores). Kept on the prediction so
+/// Engine::calibrated_serving can re-price a point for any dp without
+/// re-simulating — the serving planner evaluates each (algo, P, W, batch)
+/// cell once and derives every dp candidate from it.
+struct PassSim {
+  double makespan_s = 0.0;
+  double busy_s = 0.0;
+  /// Pipeline worker threads per replica (= P); prices the calibration's
+  /// per-worker orchestration term.
+  int workers = 0;
+};
+
 /// The engine's forward-only timeline prediction for one pipeline replica.
 /// `per_replica` follows the runtime::ServeStats conventions (one full
 /// batch of prompts served to completion), so api::predict_serving and
@@ -86,6 +102,21 @@ struct ServePrediction {
   /// Filled when evaluate_serving is called with quantiles on.
   double p50_token_latency_s = 0.0;
   double p99_token_latency_s = 0.0;
+  /// Raw per-pass simulations (rate-scaled when the engine carries a
+  /// serving calibration, but before the dp-dependent oversubscription
+  /// bound and the per-pass overhead): one full-batch prefill, the
+  /// mean-context decode pass, and the quantile-context decode passes
+  /// (zero unless quantiles were requested). Engine::calibrated_serving
+  /// re-prices these for a concrete dp.
+  PassSim prefill_sim;
+  PassSim decode_sim;
+  PassSim p50_sim;
+  PassSim p99_sim;
+  /// One prefill pass priced with NO concurrent replica (dp = 1): the
+  /// light-traffic floor of the TTFT service component. predict_load
+  /// interpolates between this and the full-batch, all-replicas-colliding
+  /// wall (per_replica.prefill_s / prefill_passes) as utilization rises.
+  double prefill_pass_solo_s = 0.0;
   /// Per-device memory model: resident weights (state factor 1 — serving
   /// holds no grads/optimizer) and the most loaded device's weights + all
   /// max_batch slots' full-context KV. `oom` when the latter exceeds the
@@ -104,16 +135,23 @@ struct LoadPoint {
   int queue_cap = 0;           ///< bounded admission queue; 0 = unbounded
 };
 
-/// Deterministic fluid (M/D/1-flavoured) overload model. Service is
-/// batch-amortised from the prediction's busy seconds: one replica turns a
-/// full batch around in prefill_s + decode_s, so its rate is
-/// requests / that, and capacity is dp times it. Sub-critical load queues
-/// with the M/D/1 mean-wait shape; super-critical load sheds its excess —
-/// to Rejected when the queue is bounded, to DeadlineExceeded when a
-/// deadline exists, or into unbounded queue growth (visible as
-/// queue_wait_s) when neither backstop is configured. Deliberately coarse:
-/// it exists so the planner can *rank* configurations under load and so
-/// BENCH_traffic has a prediction to calibrate against, not to replace
+/// Fluid (M/D/1-flavoured) overload model with a distributional tail.
+/// Service is batch-amortised from the prediction's busy seconds: one
+/// replica turns a full batch around in prefill_s + decode_s, so its rate
+/// is requests / that, and capacity is dp times it. Sub-critical load
+/// queues with the M/D/1 mean-wait shape, and the wait *distribution* is
+/// approximated with the classic exponential tail (wait exceeded with
+/// probability rho * exp(-t / W_cond)), floored by the batch-admission
+/// granularity — a request that arrives mid-generation waits for slots to
+/// free at a batch-turnaround cadence, not a pass cadence. That gives
+/// predicted p50/p99 TTFT quantiles bench/traffic can check row-by-row
+/// against its measured quantile columns. Super-critical load sheds its
+/// excess — to Rejected when the queue is bounded, to DeadlineExceeded
+/// when a deadline exists, or (with neither backstop) into the unbounded
+/// backlog reported as backlogged_rate, so the outcome identity
+///   offered == goodput + (rejected + timed-out + backlogged) * offered
+/// holds on every branch. Still deliberately coarse: it exists so the
+/// planner can *rank* configurations under load, not to replace
 /// measurement.
 struct LoadPrediction {
   double capacity_req_s = 0.0;  ///< dp * max_batch / batch turnaround
@@ -121,7 +159,16 @@ struct LoadPrediction {
   double goodput_req_s = 0.0;   ///< offered minus shed, capped at capacity
   double rejected_rate = 0.0;   ///< fraction refused by the bounded queue
   double timeout_rate = 0.0;    ///< fraction expiring against the deadline
-  double queue_wait_s = 0.0;    ///< steady-state admission wait estimate
+  /// Fraction stuck in an unboundedly growing queue (super-critical load
+  /// with neither a queue bound nor a deadline): they are neither served
+  /// nor shed within any fixed horizon. Zero whenever a backstop exists.
+  double backlogged_rate = 0.0;
+  double queue_wait_s = 0.0;    ///< steady-state mean admission wait
+  /// Distributional TTFT quantiles (wait quantile + one prefill pass),
+  /// filled whenever an offered rate is evaluated. Served requests only —
+  /// capped at the deadline when one exists.
+  double p50_ttft_s = 0.0;
+  double p99_ttft_s = 0.0;
 };
 
 /// Evaluates `load` against a one-replica prediction replicated over `dp`.
@@ -136,13 +183,22 @@ class Engine {
  public:
   /// The engine owns the (model, cluster, calibration) triple every
   /// prediction is made against. A valid calibration replaces the paper's
-  /// drawn T_B = 2 T_F in schedule ordering and backward costs.
+  /// drawn T_B = 2 T_F in schedule ordering and backward costs. A valid
+  /// *serving* calibration additionally corrects the forward-only pass
+  /// costs (measured prefill/decode rate scales inside the simulation,
+  /// fitted per-pass overhead + oversubscription bound via
+  /// calibrated_serving); absent, every serving prediction is bit-identical
+  /// to the uncalibrated model.
   Engine(model::ModelConfig model, sim::Cluster cluster,
-         std::optional<Calibration> calibration = std::nullopt);
+         std::optional<Calibration> calibration = std::nullopt,
+         std::optional<ServingCalibration> serving_calibration = std::nullopt);
 
   const model::ModelConfig& model() const { return model_; }
   const sim::Cluster& cluster() const { return cluster_; }
   const std::optional<Calibration>& calibration() const { return cal_; }
+  const std::optional<ServingCalibration>& serving_calibration() const {
+    return scal_;
+  }
 
   /// Evaluates one training configuration: schedule → costs → event sim →
   /// Candidate (throughput over all D replicas, bubble ratio, peak memory,
@@ -166,6 +222,20 @@ class Engine {
   /// The cheap half of evaluate_serving: feasibility plus the per-device
   /// weight/KV memory model, no event simulation.
   ServePrediction prune_serving(const ServingPoint& pt) const;
+
+  /// Re-prices a prediction's pass timings for a deployment of `dp`
+  /// replicas under the engine's serving calibration: each pass's wall is
+  ///   max(makespan, oversub_factor * dp * busy / host_cores)
+  ///     + pass_overhead_s,
+  /// applied to the prefill, mean-decode and quantile passes recorded in
+  /// the prediction (no re-simulation — a cheap per-dp transform, which is
+  /// what lets plan_serving keep one engine evaluation per cell). Without
+  /// a valid serving calibration the prediction is returned unchanged, so
+  /// uncalibrated callers stay bit-identical.
+  ServePrediction calibrated_serving(ServePrediction pred, int dp) const;
+
+  /// One pass's calibrated wall seconds (the transform above).
+  double calibrated_pass_s(const PassSim& pass, int dp) const;
 
   /// The schedule request a point lowers to: calibration's measured tb/tf
   /// ratio applied to the ordering costs (the effective_sched() rule).
@@ -197,6 +267,7 @@ class Engine {
   model::ModelConfig model_;
   sim::Cluster cluster_;
   std::optional<Calibration> cal_;
+  std::optional<ServingCalibration> scal_;
 };
 
 }  // namespace hanayo::perf

@@ -89,7 +89,10 @@ ServeCandidate candidate_from(const ServePrediction& pred,
     c.goodput_req_s = lp.goodput_req_s;
     c.rejected_rate = lp.rejected_rate;
     c.timeout_rate = lp.timeout_rate;
-    if (lp.rejected_rate + lp.timeout_rate > 1e-9) {
+    c.backlogged_rate = lp.backlogged_rate;
+    c.p50_ttft_s = lp.p50_ttft_s;
+    c.p99_ttft_s = lp.p99_ttft_s;
+    if (lp.rejected_rate + lp.timeout_rate + lp.backlogged_rate > 1e-9) {
       c.meets_target = false;
       c.note = c.note.empty() ? "sheds load at offered rate"
                               : c.note + "; sheds load at offered rate";
@@ -112,7 +115,8 @@ std::vector<ServeCandidate> plan_serving(const sim::Cluster& cluster,
                                          const ServeTarget& raw) {
   ServeTarget target = raw;
   if (target.max_new_tokens <= 0) target.max_new_tokens = 16;
-  const Engine eng(model, cluster, target.calibration);
+  const Engine eng(model, cluster, target.calibration,
+                   target.serving_calibration);
   std::vector<ServeCandidate> out;
   // dp * P <= N: serving replication is a free knob, not a factorisation —
   // a latency target may be met while leaving devices idle, and throughput
@@ -137,7 +141,11 @@ std::vector<ServeCandidate> plan_serving(const sim::Cluster& cluster,
     const ServePrediction pred =
         eng.evaluate_serving(pt, /*quantiles=*/true, /*skip_sim_if_oom=*/true);
     for (int dp = 1; dp <= max_dp; ++dp) {
-      out.push_back(candidate_from(pred, target, algo, dp, P, W, batch));
+      // The oversubscription bound scales with dp (more workers contending
+      // for the same host cores), so the calibration is applied per dp row
+      // — a cheap post-transform of the one simulated prediction.
+      out.push_back(candidate_from(eng.calibrated_serving(pred, dp), target,
+                                   algo, dp, P, W, batch));
     }
   };
   for (int P = std::max(1, target.min_pipeline); P <= N; ++P) {
@@ -169,8 +177,10 @@ std::vector<ServeCandidate> plan_serving(const sim::Cluster& cluster,
                        if (a.goodput_req_s != b.goodput_req_s) {
                          return a.goodput_req_s > b.goodput_req_s;
                        }
-                       const double la = a.rejected_rate + a.timeout_rate;
-                       const double lb = b.rejected_rate + b.timeout_rate;
+                       const double la =
+                           a.rejected_rate + a.timeout_rate + a.backlogged_rate;
+                       const double lb =
+                           b.rejected_rate + b.timeout_rate + b.backlogged_rate;
                        if (la != lb) return la < lb;
                      }
                      if (a.tokens_per_s != b.tokens_per_s) {

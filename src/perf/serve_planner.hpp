@@ -67,6 +67,13 @@ struct ServeTarget {
   /// Measured kernel/transport numbers: applied to schedule ordering and
   /// simulated costs, exactly as in training plans and predict().
   std::optional<Calibration> calibration;
+  /// Fitted serving-side coefficients (forward-only rate scales, per-pass
+  /// orchestration overhead, CPU oversubscription) — see
+  /// perf::ServingCalibration. Unset, or set to the identity calibration,
+  /// leaves every row bit-identical to the uncalibrated search. Unlike the
+  /// base calibration, its oversubscription term depends on dp, so each dp
+  /// row of a point gets its own calibrated pass walls.
+  std::optional<ServingCalibration> serving_calibration;
 };
 
 /// One scored cell of the (algo, P, W, max_batch, dp) search.
@@ -99,6 +106,13 @@ struct ServeCandidate {
   double goodput_req_s = 0.0;
   double rejected_rate = 0.0;
   double timeout_rate = 0.0;
+  /// Overload fraction that neither serves nor sheds (unbounded queue
+  /// growth) — see LoadPrediction::backlogged_rate.
+  double backlogged_rate = 0.0;
+  /// Distributional TTFT under the offered load (queueing wait quantile +
+  /// prefill pass wall); zero without an offered rate.
+  double p50_ttft_s = 0.0;
+  double p99_ttft_s = 0.0;
 
   /// One table row via the shared perf/format serve layout.
   std::string to_string() const;

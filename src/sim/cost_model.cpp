@@ -49,7 +49,8 @@ PipelineCosts compute_costs(const model::ModelConfig& cfg, int stages,
 PipelineCosts infer_costs(const model::ModelConfig& cfg, int stages,
                           int mb_sequences, int64_t new_tokens,
                           int64_t context_tokens, const Cluster& cluster,
-                          double kv_bytes_per_elem, int64_t kv_page_tokens) {
+                          double kv_bytes_per_elem, int64_t kv_page_tokens,
+                          double fwd_scale) {
   if (mb_sequences < 1 || new_tokens < 1 || context_tokens < new_tokens) {
     throw std::invalid_argument("infer_costs: bad token counts");
   }
@@ -58,6 +59,9 @@ PipelineCosts infer_costs(const model::ModelConfig& cfg, int stages,
   }
   if (kv_page_tokens < 0) {
     throw std::invalid_argument("infer_costs: kv_page_tokens < 0");
+  }
+  if (!(fwd_scale > 0.0)) {
+    throw std::invalid_argument("infer_costs: fwd_scale <= 0");
   }
   // Partition exactly like the serving runtime (and the trainer): stage
   // boundaries are chosen for full-sequence balance, not per-pass balance.
@@ -96,7 +100,7 @@ PipelineCosts infer_costs(const model::ModelConfig& cfg, int stages,
     }
     const model::StageStats st =
         model::stage_stats(descs, r, full_tokens);
-    pc.fwd_s.push_back(flops / cluster.flops_per_s);
+    pc.fwd_s.push_back(flops / cluster.flops_per_s * fwd_scale);
     pc.bwd_s.push_back(pc.fwd_s.back() * kBwdFwdRatio);
     pc.weight_bytes.push_back(static_cast<double>(st.param_bytes));
     pc.act_bytes.push_back(kv_bytes);

@@ -52,12 +52,18 @@ PipelineCosts compute_costs(const model::ModelConfig& cfg, int stages,
 /// `kv_page_tokens` > 0 prices a paged cache (runtime/kv_store.hpp): each
 /// sequence's K/V rows round up to whole pages, so partially filled tail
 /// pages are charged like the allocator actually holds them; 0 keeps the
-/// exact contiguous-slot accounting.
+/// exact contiguous-slot accounting. `fwd_scale` multiplies the forward
+/// compute seconds: the cluster's rate is calibrated from a *training*
+/// forward, and a measured serving calibration
+/// (perf::ServingCalibration's prefill/decode rate scales) corrects the
+/// pass to the forward-only rate this machine actually runs at. 1 keeps
+/// the costs bit-identical to the uncalibrated model.
 PipelineCosts infer_costs(const model::ModelConfig& cfg, int stages,
                           int mb_sequences, int64_t new_tokens,
                           int64_t context_tokens, const Cluster& cluster,
                           double kv_bytes_per_elem = 4.0,
-                          int64_t kv_page_tokens = 0);
+                          int64_t kv_page_tokens = 0,
+                          double fwd_scale = 1.0);
 
 /// Maps pipeline rank -> physical device id. `replica` selects the block of
 /// the cluster used by one data-parallel replica (replica r uses devices

@@ -52,6 +52,16 @@ struct SimResult {
   double throughput_seq_per_s(int batch_sequences) const {
     return makespan > 0.0 ? batch_sequences / makespan : 0.0;
   }
+
+  /// Summed busy seconds across all pipeline ranks — the serial compute a
+  /// host with fewer cores than workers cannot overlap. The serving
+  /// calibration's oversubscription bound (perf::ServingCalibration) prices
+  /// a pass's wall as at least this sum divided by the cores available.
+  double total_busy() const {
+    double s = 0.0;
+    for (double b : busy) s += b;
+    return s;
+  }
 };
 
 /// Runs the simulation. `costs` must have been built with the same stage

@@ -1,0 +1,149 @@
+// Outcome conservation in the open-loop load model (perf::predict_load):
+// every offered request lands in exactly one bucket — served (goodput),
+// rejected at admission, expired past the deadline, or backlogged in an
+// unbounded queue — so offered == goodput + shed across the whole
+// utilization range, including the critical boundary. The backlogged
+// bucket is the fix this property forced: the no-backstop super-critical
+// branch used to report capacity-level goodput with nothing shed, leaking
+// the excess fraction out of the accounting entirely.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/hanayo.hpp"
+
+using namespace hanayo;
+
+namespace {
+
+const ModelConfig kTiny = ModelConfig::tiny(/*layers=*/6, /*hidden=*/32,
+                                            /*heads=*/2, /*vocab=*/67,
+                                            /*seq=*/24);
+
+sim::Cluster roomy_cluster() {
+  return sim::Cluster::uniform(4, 1e12, 1e9, 1e11, 1e-6);
+}
+
+perf::ServePrediction base_prediction() {
+  const Engine eng(kTiny, roomy_cluster());
+  ServingPoint pt;
+  pt.P = 2;
+  pt.max_batch = 4;
+  pt.prompt_tokens = 10;
+  pt.max_new_tokens = 8;
+  const auto pred = eng.evaluate_serving(pt);
+  EXPECT_TRUE(pred.feasible);
+  return pred;
+}
+
+// offered == goodput + (rejected + timed-out + backlogged) * offered.
+void expect_conserved(const perf::LoadPrediction& lp, double offered) {
+  const double shed =
+      (lp.rejected_rate + lp.timeout_rate + lp.backlogged_rate) * offered;
+  EXPECT_NEAR(offered, lp.goodput_req_s + shed, 1e-9 * offered)
+      << "rho=" << lp.utilization << " rej=" << lp.rejected_rate
+      << " to=" << lp.timeout_rate << " backlog=" << lp.backlogged_rate;
+  EXPECT_GE(lp.goodput_req_s, 0.0);
+  EXPECT_LE(lp.goodput_req_s, lp.capacity_req_s * (1.0 + 1e-12));
+  EXPECT_GE(lp.rejected_rate, 0.0);
+  EXPECT_GE(lp.timeout_rate, 0.0);
+  EXPECT_GE(lp.backlogged_rate, 0.0);
+  EXPECT_LE(lp.rejected_rate + lp.timeout_rate + lp.backlogged_rate,
+            1.0 + 1e-12);
+}
+
+}  // namespace
+
+TEST(LoadModel, OutcomeConservationAcrossUtilizationAndBackstops) {
+  const auto pred = base_prediction();
+  const double cap = perf::predict_load(pred, 2, perf::LoadPoint{})
+                         .capacity_req_s;
+  ASSERT_GT(cap, 0.0);
+
+  // Sub-critical, the exact critical point, and deep overload — under every
+  // backstop combination (none / deadline / bounded queue / both).
+  const std::vector<double> rhos = {0.1,   0.5, 0.9, 0.999, 1.0,
+                                    1.001, 1.5, 2.0, 3.0};
+  struct Backstop {
+    double deadline_s;
+    int queue_cap;
+  };
+  const std::vector<Backstop> stops = {
+      {0.0, 0}, {0.5, 0}, {1e-4, 0}, {0.0, 8}, {0.5, 8}, {1e-4, 2}};
+  for (double rho : rhos) {
+    for (const Backstop& bs : stops) {
+      perf::LoadPoint load;
+      load.offered_req_s = rho * cap;
+      load.deadline_s = bs.deadline_s;
+      load.queue_cap = bs.queue_cap;
+      const auto lp = perf::predict_load(pred, 2, load);
+      SCOPED_TRACE("rho=" + std::to_string(rho) +
+                   " deadline=" + std::to_string(bs.deadline_s) +
+                   " queue_cap=" + std::to_string(bs.queue_cap));
+      expect_conserved(lp, load.offered_req_s);
+    }
+  }
+}
+
+TEST(LoadModel, NoBackstopOverloadReportsBacklog) {
+  // The leak this PR closes: 3x capacity with neither deadline nor queue
+  // bound must account the excess as backlogged, not vanish it.
+  const auto pred = base_prediction();
+  const double cap = perf::predict_load(pred, 2, perf::LoadPoint{})
+                         .capacity_req_s;
+  perf::LoadPoint open;
+  open.offered_req_s = 3.0 * cap;
+  const auto lp = perf::predict_load(pred, 2, open);
+  EXPECT_EQ(lp.rejected_rate, 0.0);
+  EXPECT_EQ(lp.timeout_rate, 0.0);
+  EXPECT_NEAR(lp.backlogged_rate, 1.0 - 1.0 / 3.0, 1e-12);
+  expect_conserved(lp, open.offered_req_s);
+}
+
+TEST(LoadModel, TtftQuantilesAreOrderedAndMonotone) {
+  const auto pred = base_prediction();
+  const double cap = perf::predict_load(pred, 2, perf::LoadPoint{})
+                         .capacity_req_s;
+  const double prefill_wall = pred.per_replica.prefill_s;
+  ASSERT_GT(prefill_wall, 0.0);
+  // The light-traffic TTFT floor: one sequence prefilling alone (no
+  // co-batched sequences, no colliding replica).
+  const double solo_floor =
+      prefill_wall / static_cast<double>(pred.per_replica.requests);
+
+  double prev_p99 = 0.0;
+  for (double rho : {0.1, 0.3, 0.5, 0.7, 0.9, 0.99}) {
+    perf::LoadPoint load;
+    load.offered_req_s = rho * cap;
+    const auto lp = perf::predict_load(pred, 2, load);
+    SCOPED_TRACE("rho=" + std::to_string(rho));
+    // Service alone floors both quantiles; tail above median above floor.
+    EXPECT_GE(lp.p50_ttft_s, solo_floor * (1.0 - 1e-12));
+    // Light traffic prefills below the saturated full-batch wall — the
+    // fix for the 3x sub-critical TTFT over-prediction.
+    if (rho <= 0.1) {
+      EXPECT_LT(lp.p50_ttft_s, prefill_wall);
+    }
+    EXPECT_GE(lp.p99_ttft_s, lp.p50_ttft_s);
+    // The p99 wait grows with utilization within the sub-critical range.
+    EXPECT_GE(lp.p99_ttft_s, prev_p99);
+    prev_p99 = lp.p99_ttft_s;
+  }
+
+  // Super-critical: still ordered, and the tail reflects the queue drain.
+  perf::LoadPoint over;
+  over.offered_req_s = 2.0 * cap;
+  over.queue_cap = 8;
+  const auto lp = perf::predict_load(pred, 2, over);
+  EXPECT_GE(lp.p50_ttft_s, prefill_wall);
+  EXPECT_GE(lp.p99_ttft_s, lp.p50_ttft_s);
+
+  // A deadline caps the served requests' TTFT: nothing completes later
+  // than the SLA by more than a pass.
+  perf::LoadPoint sla;
+  sla.offered_req_s = 0.95 * cap;
+  sla.deadline_s = prefill_wall * 1.5;
+  const auto capped = perf::predict_load(pred, 2, sla);
+  EXPECT_LE(capped.p99_ttft_s, sla.deadline_s * (1.0 + 1e-12));
+}
