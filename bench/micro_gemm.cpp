@@ -174,6 +174,39 @@ static void BM_BlockedMatmulAt(benchmark::State& state) {
 }
 BENCHMARK(BM_BlockedMatmulAt)->Arg(512)->Unit(benchmark::kMillisecond);
 
+// ---- A-panel packing (large-k decode shapes) ----------------------------
+//
+// Packing copies each A panel into a contiguous MR-strided layout once and
+// streams the micro-kernel from the copy: past kPackMinK the copy cost is
+// amortised and the inner loop stops striding across full A rows. The
+// pack=0 rows time the identical kernel with packing forced off — the
+// before/after pair behind the BENCH_gemm packed-speedup claim. Shapes are
+// decode-like: skinny m, wide k (hidden → vocab projections).
+
+static void BM_MatmulLargeK(benchmark::State& state) {
+  const int64_t m = state.range(0);
+  const int64_t k = state.range(1);
+  const bool pack = state.range(2) != 0;
+  const int64_t n = 256;
+  const bool saved = ht::kernels::gemm_pack_a();
+  ht::kernels::set_gemm_pack_a(pack);
+  ht::IntraOpScope scope(1);
+  ht::Rng rng(5);
+  ht::Tensor a = rng.randn({m, k});
+  ht::Tensor b = rng.randn({k, n});
+  ht::Tensor c({m, n});
+  for (auto _ : state) {
+    ht::matmul_into(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m * n * k);
+  ht::kernels::set_gemm_pack_a(saved);
+}
+BENCHMARK(BM_MatmulLargeK)
+    ->ArgsProduct({{8, 64}, {1024, 4096}, {0, 1}})
+    ->ArgNames({"m", "k", "pack"})
+    ->Unit(benchmark::kMillisecond);
+
 // ---- accumulate forms (gradient path: no temporary, no zero pass) -------
 
 static void BM_MatmulAtAccum(benchmark::State& state) {

@@ -5,6 +5,7 @@
 // configuration.
 //
 //   $ ./bench/serve_latency [out.json] [max_dp] [--short] [--no-gate]
+//                           [--alloc-gate]
 //
 // Prediction units: the cost model is calibrated to THIS machine first
 // (perf::calibrate measures sec/FLOP and transport latency/bandwidth on the
@@ -34,6 +35,7 @@
 #include <vector>
 
 #include "core/hanayo.hpp"
+#include "tensor/alloc_stats.hpp"
 
 using namespace hanayo;
 
@@ -49,6 +51,7 @@ struct Row {
   double prefill_tok_s = 0.0;
   double overall_tok_s = 0.0;  ///< generated tokens / (prefill + decode) wall
   double per_token_ms = 0.0;   ///< mean decode-pass latency
+  double p99_per_token_ms = 0.0;  ///< p99 across per-request means (pooled)
   double meas_prefill_pass_ms = 0.0;       ///< mean measured prefill pass
   double uncal_predicted_per_token_ms = 0.0;  ///< raw event-sim prediction
   double predicted_per_token_ms = 0.0;        ///< + fitted serving calibration
@@ -75,6 +78,14 @@ InferenceSession::Builder config_builder(const ModelConfig& model,
       .seed(7);
   if (paged) builder.paged_kv().kv_page_tokens(16);
   return builder;
+}
+
+double p99(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const size_t idx = static_cast<size_t>(
+      std::ceil(0.99 * static_cast<double>(v.size()))) - 1;
+  return v[std::min(idx, v.size() - 1)];
 }
 
 Row run_config(const ModelConfig& model, const perf::Calibration& cal,
@@ -129,6 +140,7 @@ Row run_config(const ModelConfig& model, const perf::Calibration& cal,
   row.prefill_tok_s = rep.prefill_tokens_per_s();
   row.overall_tok_s = rep.tokens_per_s();
   row.per_token_ms = rep.per_token_latency_s() * 1e3;
+  row.p99_per_token_ms = p99(pooled.per_token_samples_s) * 1e3;
   const runtime::ServeStats tot = rep.totals();
   row.meas_prefill_pass_ms =
       tot.prefill_passes > 0 ? tot.prefill_s / tot.prefill_passes * 1e3 : 0.0;
@@ -143,24 +155,65 @@ double median(std::vector<double> v) {
   return n % 2 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
 }
 
+// Marginal heap allocations of one steady-state decode pass — the same
+// differential methodology as tests/runtime/test_alloc_decode.cpp (two
+// drains on a warmed pipeline differing only in continuation length, so
+// per-request costs cancel). The arena work drove this to zero; the
+// --alloc-gate flag turns any regression into a failing bench-smoke run
+// before it can show up as p99 jitter.
+int64_t steady_decode_allocs_per_pass(bool paged) {
+  runtime::InferConfig cfg;
+  cfg.model = ModelConfig::tiny(6, 32, 2, 67, 96);
+  cfg.sched.algo = Algo::Hanayo;
+  cfg.sched.P = 2;
+  cfg.sched.waves = 1;
+  cfg.max_batch = 1;
+  cfg.max_new_tokens = 64;
+  cfg.seed = 5;
+  cfg.paged_kv = paged;
+  if (paged) cfg.kv_page_tokens = 16;
+  runtime::InferencePipeline pipe(cfg);
+  Tensor prompt({1, 8});
+  for (int64_t i = 0; i < prompt.numel(); ++i) {
+    prompt[i] = static_cast<float>(1 + i);
+  }
+  const auto drain_with = [&](int max_new) {
+    pipe.enqueue(prompt, max_new);
+    const tensor::AllocStats before = tensor::alloc_stats();
+    (void)pipe.drain();
+    return tensor::alloc_stats() - before;
+  };
+  (void)drain_with(4);  // warm-up: arenas, pools, KV slot
+  const tensor::AllocStats a = drain_with(4);
+  const tensor::AllocStats b = drain_with(36);
+  return (b.allocs - a.allocs) / 32;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   // Usage: serve_latency [out.json] [max_dp] [--short] [--no-gate]
+  //                      [--alloc-gate]
   // --short: smoke-sized sweep for the sanitizer CI legs, where the point
   // is exercising the threaded serving stack under TSan/ASan (~10x slower),
   // not producing comparable latency numbers.
   // --no-gate: still fit and report residuals, but never fail the run on
   // them (sanitizer timing would trip any honest band).
+  // --alloc-gate: fail (exit 3) when a steady-state decode pass performs
+  // any heap allocation — the zero-alloc arena invariant, enforced in CI
+  // where timing gates would be too noisy.
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_serve.json";
   int max_dp = 2;
   bool short_mode = false;
   bool gate = true;
+  bool alloc_gate = false;
   for (int i = 2; i < argc; ++i) {
     if (std::string(argv[i]) == "--short") {
       short_mode = true;
     } else if (std::string(argv[i]) == "--no-gate") {
       gate = false;
+    } else if (std::string(argv[i]) == "--alloc-gate") {
+      alloc_gate = true;
     } else {
       max_dp = std::atoi(argv[i]);
     }
@@ -259,6 +312,14 @@ int main(int argc, char** argv) {
     r.predicted_per_token_ms = pred.per_token_latency_s() * 1e3;
   }
 
+  // Steady-state decode allocation audit (differential, both KV layouts).
+  std::printf("measuring steady-state decode allocations ...\n");
+  const int64_t allocs_contig = steady_decode_allocs_per_pass(false);
+  const int64_t allocs_paged = steady_decode_allocs_per_pass(true);
+  std::printf("  allocs/pass: contiguous %lld, paged %lld (target 0)\n",
+              static_cast<long long>(allocs_contig),
+              static_cast<long long>(allocs_paged));
+
   // Residual band over the calibrated predictions, both directions.
   std::vector<double> abs_logs;
   double max_over = 0.0, max_under = 1e300;
@@ -307,6 +368,12 @@ int main(int argc, char** argv) {
                sc.worker_overhead_s, sc.oversub_factor, sc.host_cores,
                sc.fit_rows, sc.residual_log_rms);
   std::fprintf(f,
+               "  \"steady_decode_allocs_per_pass\": {\"contiguous\": %lld, "
+               "\"paged\": %lld, \"gated\": %s},\n",
+               static_cast<long long>(allocs_contig),
+               static_cast<long long>(allocs_paged),
+               alloc_gate ? "true" : "false");
+  std::fprintf(f,
                "  \"residuals\": {\"median_abs_log\": %.4f, "
                "\"max_over\": %.3f, \"max_under\": %.3f, "
                "\"gate_abs_log\": %.4f, \"gated\": %s},\n",
@@ -340,13 +407,14 @@ int main(int argc, char** argv) {
         "\"dp\": %d, \"paged\": %s, \"prompt_tokens\": %lld, "
         "\"prefill_tok_s\": %.1f, "
         "\"overall_tok_s\": %.1f, \"per_token_ms\": %.4f, "
+        "\"p99_per_token_ms\": %.4f, "
         "\"predicted_per_token_ms\": %.4f, \"meas_over_pred\": %.2f, "
         "\"uncal_predicted_per_token_ms\": %.4f, "
         "\"uncal_meas_over_pred\": %.2f, "
         "\"kv_pages_peak\": %lld, \"prefix_hit_tokens\": %lld}%s\n",
         r.algo_name.c_str(), r.P, r.W, r.batch, r.dp,
         r.paged ? "true" : "false", static_cast<long long>(r.prompt_tokens),
-        r.prefill_tok_s, r.overall_tok_s, r.per_token_ms,
+        r.prefill_tok_s, r.overall_tok_s, r.per_token_ms, r.p99_per_token_ms,
         r.predicted_per_token_ms, ratio, r.uncal_predicted_per_token_ms,
         uncal_ratio, static_cast<long long>(r.kv_pages_peak),
         static_cast<long long>(r.prefix_hit_tokens),
@@ -389,6 +457,15 @@ int main(int argc, char** argv) {
                  "|log(meas/pred)| %.3f > %.3f\n",
                  median_abs_log, gate_band);
     return 2;
+  }
+  if (alloc_gate && (allocs_contig > 0 || allocs_paged > 0)) {
+    std::fprintf(stderr,
+                 "FAIL: steady-state decode allocates (contiguous %lld, "
+                 "paged %lld per pass; target 0) — a pass-lifetime buffer "
+                 "left the arena\n",
+                 static_cast<long long>(allocs_contig),
+                 static_cast<long long>(allocs_paged));
+    return 3;
   }
   return 0;
 }

@@ -96,6 +96,7 @@ runtime::InferConfig InferenceConfig::infer_config() const {
   ic.prefix_cache = prefix_cache;
   ic.seed = seed;
   ic.prefetch_depth = prefetch_depth;
+  ic.arena_reserve_mb = arena_reserve_mb;
   ic.deadline_s = deadline_s;
   ic.queue_policy = queue_policy;
   ic.max_queue = max_queue;

@@ -162,6 +162,11 @@ struct InferenceConfig : EngineConfig {
   /// Deterministic fault injection (tests/benches; see
   /// runtime::FaultInjection and the HANAYO_FAULT_SEED hook).
   FaultInjection fault;
+  /// Pre-size hint for each worker's pass-lifetime tensor arena, in MiB
+  /// (0 derives the reserve from the model/schedule shapes). A hint, not a
+  /// limit: the arena still grows during warm-up if the estimate is short,
+  /// and steady-state decode stays zero-allocation either way.
+  int arena_reserve_mb = 0;
   /// Offered open-loop arrival rate (requests/s) for predict(): when > 0,
   /// predict_serving also evaluates the fluid overload model — capacity,
   /// utilization, rejection/timeout rates — against this rate, the

@@ -188,6 +188,13 @@ class InferenceSession::Builder
     cfg_.prefix_cache = on;
     return *this;
   }
+  /// Pre-size hint (MiB) for each worker's pass-lifetime tensor arena;
+  /// 0 derives the reserve from model/schedule shapes. A hint, not a
+  /// limit (see InferenceConfig::arena_reserve_mb).
+  Builder& arena_reserve_mb(int mb) {
+    cfg_.arena_reserve_mb = mb;
+    return *this;
+  }
   /// Nominal prompt length for predict()/Sim (see InferenceConfig).
   Builder& prompt_tokens(int64_t n) { cfg_.prompt_tokens = n; return *this; }
   /// Default per-request SLA, seconds from enqueue (0 = none); misses

@@ -96,11 +96,15 @@ void allreduce_recursive_doubling(Communicator& comm, const Group& group,
     Request rreq = comm.irecv(peer, coll_tag(phase, round), &in);
     rreq->wait();
     // Fixed order: lower index first, so both peers compute the same sum.
+    // Either way the result lands in t's own storage: callers pass
+    // long-lived tensors (Param::grad), and adopting the received buffer
+    // would alias them into the sender's pass arena.
     if (me < peer_idx) {
       t.add_(in);
     } else {
       in.add_(t);
-      t = std::move(in);
+      std::memcpy(t.data(), in.data(),
+                  static_cast<size_t>(t.numel()) * sizeof(float));
     }
     sreq->wait();
   }
@@ -187,8 +191,17 @@ void broadcast(Communicator& comm, const Group& group, tensor::Tensor& t,
       comm.send(group.ranks[static_cast<size_t>(i)], coll_tag(phase, i), t);
     }
   } else {
-    t = comm.recv(group.ranks[static_cast<size_t>(root_index)],
-                  coll_tag(phase, me));
+    tensor::Tensor in = comm.recv(group.ranks[static_cast<size_t>(root_index)],
+                                  coll_tag(phase, me));
+    if (t.numel() == in.numel()) {
+      // In place: callers pass long-lived tensors (Param::grad) and the
+      // received buffer lives in the root's pass arena — adopting it would
+      // dangle once the root's next iteration resets that arena.
+      std::memcpy(t.data(), in.data(),
+                  static_cast<size_t>(t.numel()) * sizeof(float));
+    } else {
+      t = std::move(in);  // caller passed an empty placeholder
+    }
   }
 }
 

@@ -1,8 +1,162 @@
 #include "comm/communicator.hpp"
 
+#include <cassert>
+#include <cstddef>
 #include <stdexcept>
 
+#include "core/sync.hpp"
+
 namespace hanayo::comm {
+
+namespace {
+
+// Recycling fixed-block pool behind irecv request handles. Every request
+// built by make_request() below carries one shared_ptr control block of a
+// single size, so a free-list of raw blocks is enough: steady-state serving
+// posts and retires one request per hop per pass, and after warm-up every
+// one of those is a free-list pop/push with no heap traffic. Rank::CommPool is a true leaf — the lock guards only
+// the free-list vector, and the pool is hit before the mailbox lock is
+// taken (allocation at post time) and after every lock is released
+// (the last shared_ptr copy dies outside the transport's critical
+// sections).
+class RequestPool {
+ public:
+  void* alloc(size_t n) {
+    {
+      std::lock_guard lk(mu_);
+      if (block_size_ == 0) {
+        block_size_ = n;
+        free_.reserve(kCapacity);
+      }
+      assert(n == block_size_ && "RequestPool: mixed block sizes");
+      if (!free_.empty()) {
+        void* p = free_.back();
+        free_.pop_back();
+        return p;
+      }
+    }
+    return ::operator new(n);
+  }
+
+  void dealloc(void* p, size_t n) {
+    (void)n;
+    {
+      std::lock_guard lk(mu_);
+      if (free_.size() < kCapacity) {
+        free_.push_back(p);
+        return;
+      }
+    }
+    ::operator delete(p);
+  }
+
+ private:
+  static constexpr size_t kCapacity = 256;  // >> max in-flight requests
+  sync::Mutex<sync::Rank::CommPool> mu_;
+  std::vector<void*> free_;
+  size_t block_size_ = 0;
+};
+
+RequestPool& request_pool() {
+  // Leaked singleton: requests may outlive any particular World, and a
+  // static local that never runs a destructor sidesteps shutdown-order
+  // races with threads still retiring handles at exit.
+  static RequestPool* pool = new RequestPool;
+  return *pool;
+}
+
+template <class T>
+struct PoolAlloc {
+  using value_type = T;
+  PoolAlloc() = default;
+  template <class U>
+  PoolAlloc(const PoolAlloc<U>&) {}  // NOLINT(google-explicit-constructor)
+  T* allocate(size_t n) {
+    return static_cast<T*>(request_pool().alloc(n * sizeof(T)));
+  }
+  void deallocate(T* p, size_t n) { request_pool().dealloc(p, n * sizeof(T)); }
+  template <class U>
+  bool operator==(const PoolAlloc<U>&) const {
+    return true;
+  }
+  template <class U>
+  bool operator!=(const PoolAlloc<U>&) const {
+    return false;
+  }
+};
+
+// Recycling pool of *constructed* RequestState objects. Pooling raw memory
+// is not enough: RequestState owns a CondVar, and libstdc++'s
+// condition_variable_any allocates an internal shared_ptr<mutex> in its
+// constructor — so every placement-new of a fresh RequestState would still
+// hit the heap even on recycled storage. Keeping the objects alive and
+// re-arming them with reset() makes that inner allocation a one-time,
+// warm-up-only cost.
+class StatePool {
+ public:
+  RequestState* get() {
+    {
+      std::lock_guard lk(mu_);
+      if (!free_.empty()) {
+        RequestState* p = free_.back();
+        free_.pop_back();
+        return p;
+      }
+    }
+    return new RequestState;
+  }
+
+  void put(RequestState* p) {
+    p->reset();
+    {
+      std::lock_guard lk(mu_);
+      if (free_.size() < kCapacity) {
+        if (free_.capacity() == 0) free_.reserve(kCapacity);
+        free_.push_back(p);
+        return;
+      }
+    }
+    delete p;
+  }
+
+ private:
+  static constexpr size_t kCapacity = 256;  // >> max in-flight requests
+  sync::Mutex<sync::Rank::CommPool> mu_;
+  std::vector<RequestState*> free_;
+};
+
+StatePool& state_pool() {
+  static StatePool* pool = new StatePool;  // leaked: see request_pool()
+  return *pool;
+}
+
+struct StateRecycler {
+  void operator()(RequestState* p) const { state_pool().put(p); }
+};
+
+// Pooled handle factory: the RequestState comes from the object pool above
+// and goes back to it when the last owner drops the handle; the shared_ptr
+// control block comes from the raw-block pool. After warm-up an
+// irecv/retire cycle touches only the two free lists, never the heap.
+Request make_request() {
+  return Request(state_pool().get(), StateRecycler{},
+                 PoolAlloc<RequestState>{});
+}
+
+// The in-process transport buffers eagerly, so every send is complete the
+// moment it is posted. All of them can therefore share one immortal
+// pre-completed handle: RequestState is immutable once done_ is set, and
+// copying a shared_ptr is a refcount bump, not an allocation.
+Request completed_request() {
+  static const Request done = [] {
+    Request r = make_request();
+    r->complete();
+    return r;
+  }();
+  return done;
+}
+
+}  // namespace
 
 Tag make_tag(Kind kind, int micro_batch, int stage, int phase) {
   // Layout: [phase:16][stage:20][micro_batch:20][kind:4]
@@ -21,17 +175,14 @@ Request Communicator::isend(int dst, Tag tag, tensor::Tensor t) {
   ++messages_sent_;
   bytes_sent_ += t.bytes();
   world_->box(dst).put(Message{rank_, tag, std::move(t)});
-  // The in-process transport buffers eagerly, so a send completes at post
-  // time (same observable semantics as an NCCL send that landed in the
-  // destination's staging buffer).
-  auto req = std::make_shared<RequestState>();
-  req->complete();
-  return req;
+  // Same observable semantics as an NCCL send that landed in the
+  // destination's staging buffer: completed at post time.
+  return completed_request();
 }
 
 Request Communicator::irecv(int src, Tag tag, tensor::Tensor* out) {
   if (src < 0 || src >= size()) throw std::invalid_argument("irecv: bad src");
-  auto req = std::make_shared<RequestState>();
+  Request req = make_request();
   world_->box(rank_).get_async(src, tag, out, req);
   return req;
 }

@@ -22,29 +22,54 @@ bool RequestState::test() {
   return done_;
 }
 
+void RequestState::reset() {
+  std::lock_guard lk(mu_);
+  done_ = false;
+}
+
+void Mailbox::compact_queue() {
+  while (queue_head_ < queue_.size() && queue_[queue_head_].src < 0) {
+    ++queue_head_;
+  }
+  if (queue_head_ == queue_.size()) {
+    queue_.clear();  // capacity retained; next push reuses the storage
+    queue_head_ = 0;
+  }
+}
+
+void Mailbox::compact_recvs() {
+  while (recvs_head_ < recvs_.size() && recvs_[recvs_head_].out == nullptr) {
+    ++recvs_head_;
+  }
+  if (recvs_head_ == recvs_.size()) {
+    recvs_.clear();
+    recvs_head_ = 0;
+  }
+}
+
 void Mailbox::put(Message msg) {
-  PendingRecv matched{};
-  bool have_match = false;
+  Request matched;
   {
     std::lock_guard lk(mu_);
     // Try to satisfy an already-posted irecv (FIFO across posts with the
-    // same signature, per MPI ordering).
-    for (auto it = recvs_.begin(); it != recvs_.end(); ++it) {
-      if (it->src == msg.src && it->tag == msg.tag) {
-        matched = std::move(*it);
-        recvs_.erase(it);
-        have_match = true;
+    // same signature, per MPI ordering: scan oldest-first from the head).
+    for (size_t i = recvs_head_; i < recvs_.size(); ++i) {
+      PendingRecv& r = recvs_[i];
+      if (r.out != nullptr && r.src == msg.src && r.tag == msg.tag) {
+        *r.out = std::move(msg.payload);
+        r.out = nullptr;  // vacate the slot
+        matched = std::move(r.req);
+        compact_recvs();
         break;
       }
     }
-    if (!have_match) {
+    if (!matched) {
       queue_.push_back(std::move(msg));
-    } else {
-      *matched.out = std::move(msg.payload);
+      ++queue_live_;
     }
   }
-  if (have_match) {
-    matched.req->complete();
+  if (matched) {
+    matched->complete();
   } else {
     cv_.notify_all();
   }
@@ -53,10 +78,13 @@ void Mailbox::put(Message msg) {
 tensor::Tensor Mailbox::get(int src, Tag tag) {
   std::unique_lock lk(mu_);
   for (;;) {
-    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-      if (it->src == src && it->tag == tag) {
-        tensor::Tensor payload = std::move(it->payload);
-        queue_.erase(it);
+    for (size_t i = queue_head_; i < queue_.size(); ++i) {
+      Message& m = queue_[i];
+      if (m.src >= 0 && m.src == src && m.tag == tag) {
+        tensor::Tensor payload = std::move(m.payload);
+        m.src = -1;  // vacate the slot
+        --queue_live_;
+        compact_queue();
         return payload;
       }
     }
@@ -68,22 +96,27 @@ void Mailbox::get_async(int src, Tag tag, tensor::Tensor* out, Request req) {
   bool matched = false;
   {
     std::lock_guard lk(mu_);
-    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-      if (it->src == src && it->tag == tag) {
-        *out = std::move(it->payload);
-        queue_.erase(it);
+    for (size_t i = queue_head_; i < queue_.size(); ++i) {
+      Message& m = queue_[i];
+      if (m.src >= 0 && m.src == src && m.tag == tag) {
+        *out = std::move(m.payload);
+        m.src = -1;
+        --queue_live_;
+        compact_queue();
         matched = true;
         break;
       }
     }
-    if (!matched) recvs_.push_back(PendingRecv{src, tag, out, std::move(req)});
+    if (!matched) {
+      recvs_.push_back(PendingRecv{src, tag, out, std::move(req)});
+    }
   }
   if (matched) req->complete();
 }
 
 size_t Mailbox::pending() const {
   std::lock_guard lk(mu_);
-  return queue_.size();
+  return queue_live_;
 }
 
 World::World(int nranks) {

@@ -6,9 +6,17 @@
 // mailbox; receives match on (src, tag). Matching follows MPI semantics:
 // messages between the same (src, dst, tag) triple are delivered in send
 // order; different tags are independent.
+//
+// Storage note: both the message queue and the posted-receive list are
+// slot vectors rather than deques. Entries append at the tail; a match can
+// vacate any slot (the hole is skipped by later scans); the head index
+// walks past leading holes, and once it reaches the tail the vector is
+// cleared with its capacity retained. After warm-up the same storage is
+// reused forever, so steady-state traffic performs zero heap allocations —
+// libstdc++'s deque, by contrast, allocates and frees a map node every few
+// pushes no matter how steady the traffic is.
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -34,6 +42,10 @@ class RequestState {
   void complete();
   void wait();
   bool test();
+
+  /// Re-arm a retired handle for reuse (see the request pool in
+  /// communicator.cpp). Only valid once no waiter can still observe it.
+  void reset();
 
  private:
   sync::Mutex<sync::Rank::CommRequest> mu_;
@@ -64,14 +76,22 @@ class Mailbox {
   struct PendingRecv {
     int src;
     Tag tag;
-    tensor::Tensor* out;
+    tensor::Tensor* out;  // nullptr marks a vacated slot
     Request req;
   };
 
+  // Advance the head indexes past vacated slots and release the vectors
+  // back to empty (capacity kept) once fully drained. Callers hold mu_.
+  void compact_queue();
+  void compact_recvs();
+
   mutable sync::Mutex<sync::Rank::Mailbox> mu_;
   sync::CondVar cv_;
-  std::deque<Message> queue_;
-  std::deque<PendingRecv> recvs_;
+  std::vector<Message> queue_;  // src < 0 marks a vacated slot
+  size_t queue_head_ = 0;
+  size_t queue_live_ = 0;  // engaged entries (pending() in O(1))
+  std::vector<PendingRecv> recvs_;
+  size_t recvs_head_ = 0;
 };
 
 /// All mailboxes of a job plus shared counters. One `World` == one training

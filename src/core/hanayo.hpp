@@ -157,9 +157,18 @@
 //     suppression files. A race or lifetime bug anywhere in the threaded
 //     stack fails the build; do not add suppressions, fix the bug.
 //   * Hot-path allocations: tensor::alloc_stats() meters the global heap;
-//     tests/runtime/test_alloc_decode.cpp budgets the steady-state decode
-//     pass. New per-token work should reuse preallocated buffers — if the
-//     budget trips, reduce allocations rather than raising the bound.
+//     tests/runtime/test_alloc_decode.cpp pins the steady-state decode
+//     pass at ZERO heap allocations and budgets the training step. If the
+//     gate trips, move the allocation into the arena — never raise the
+//     bound.
+//   * Arenas: every buffer whose lifetime ends at the pass/iteration
+//     boundary comes from the active tensor::Arena (installed by
+//     ArenaScope in the worker loops; Tensor and ScratchBuffer
+//     constructors consult it automatically) — never bare `new`, a
+//     std::vector::resize, or a std::make_unique on a hot path. State
+//     that must outlive the pass (KV growth, optimizer slots) allocates
+//     under tensor::ArenaPause. Diagnose stray allocations with
+//     tensor::alloc_stats_trace(true).
 
 #include "api/inference.hpp"
 #include "api/session.hpp"

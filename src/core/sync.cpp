@@ -13,6 +13,8 @@ const char* rank_name(Rank r) {
       return "IntraOpPool";
     case Rank::ServeQueue:
       return "ServeQueue";
+    case Rank::InferGang:
+      return "InferGang";
     case Rank::WorldBarrier:
       return "WorldBarrier";
     case Rank::Mailbox:
@@ -21,6 +23,8 @@ const char* rank_name(Rank r) {
       return "CommRequest";
     case Rank::KvPool:
       return "KvPool";
+    case Rank::CommPool:
+      return "CommPool";
   }
   return "?";
 }

@@ -15,6 +15,11 @@
 //                       while IntraOpSubmit is held (10 < 20).
 //   ServeQueue    (30)  runtime/infer — shared request FIFO dp replicas
 //                       drain; never held across model or comm calls.
+//   InferGang     (35)  runtime/infer — the persistent per-replica pass
+//                       gang's generation/rendezvous state. Held only at
+//                       pass hand-off (publish/collect), never across the
+//                       pass body, so workers' comm and kernel locks nest
+//                       inside legally (35 < 40/50/60/70/80).
 //   WorldBarrier  (40)  comm/mailbox — World::barrier rendezvous.
 //   Mailbox       (50)  comm/mailbox — one rank's message queue. The
 //                       transport completes requests only after releasing
@@ -27,6 +32,11 @@
 //                       worker threads mid-pass (page alloc/COW) and by the
 //                       pipeline thread between passes, never held across
 //                       kernels or parallel_for.
+//   CommPool      (80)  comm/communicator — the recycling block pool
+//                       behind irecv request handles. A true leaf: taken
+//                       for a free-list push/pop only, while no other
+//                       lock is held (allocation happens before the
+//                       mailbox lock, deallocation after every unlock).
 //
 // New subsystems add a named rank here (never reuse a value, leave gaps
 // for future layers) and document which existing ranks they may hold
@@ -48,10 +58,12 @@ enum class Rank : int {
   IntraOpSubmit = 10,
   IntraOpPool = 20,
   ServeQueue = 30,
+  InferGang = 35,
   WorldBarrier = 40,
   Mailbox = 50,
   CommRequest = 60,
   KvPool = 70,
+  CommPool = 80,
 };
 
 /// Human-readable rank name for diagnostics.

@@ -1,11 +1,13 @@
 #include "model/attention.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
 #include <vector>
 
 #include "runtime/kv_store.hpp"
+#include "tensor/arena.hpp"
 #include "tensor/half.hpp"
 #include "tensor/kernels.hpp"
 #include "tensor/ops.hpp"
@@ -121,11 +123,12 @@ Tensor MultiHeadAttention::backward(const Tensor& dy, int mb) {
   const int64_t heads = heads_, dk = dk_, hidden = hidden_;
 
   parallel_for(b * heads, 1, [&](int64_t p0, int64_t p1) {
-    // Per-thread scratch for dP/dS; grows once, then steady-state reuse.
-    thread_local std::vector<float> scratch;
-    if (static_cast<int64_t>(scratch.size()) < t * t) {
-      scratch.resize(static_cast<size_t>(t * t));
-    }
+    // dP/dS scratch for this chunk. On the submitting worker it comes from
+    // the iteration arena (mark/rewind, freed at chunk exit); pool threads
+    // without an arena fall back to a bounded geometric thread_local
+    // instead of the old unbounded exact-size one.
+    thread_local std::vector<float> fallback;
+    ScratchBuffer scratch(t * t, fallback);
     float* ds = scratch.data();
     for (int64_t p = p0; p < p1; ++p) {
       const int64_t n = p / heads, hh = p % heads;
@@ -211,9 +214,12 @@ Tensor MultiHeadAttention::forward_infer(const Tensor& x, int64_t pos0,
     }
     const size_t need = static_cast<size_t>(total * row);
     if (gk_.capacity() < need) {
-      // Geometric growth: after warm-up no decode pass reallocates.
-      const size_t newcap = std::max(
-          {need, 2 * gk_.capacity(), static_cast<size_t>(16 * row)});
+      // First touch jumps straight to the configured stream capacity
+      // (set_kv_capacity), so decode never grows these panels mid-stream;
+      // without the hint, geometric growth still reaches steady state.
+      const size_t floor = static_cast<size_t>(
+          (kv_capacity_ > 0 ? kv_capacity_ : 16) * row);
+      const size_t newcap = std::max({need, 2 * gk_.capacity(), floor});
       gk_.reserve(newcap);
       gv_.reserve(newcap);
     }
@@ -242,8 +248,11 @@ Tensor MultiHeadAttention::forward_infer(const Tensor& x, int64_t pos0,
     // cached bits.
     const size_t need = static_cast<size_t>(total * row);
     if (kv.k16.capacity() < need) {
-      const size_t newcap = std::max(
-          {need, 2 * kv.k16.capacity(), static_cast<size_t>(16 * row)});
+      // Fresh slots reserve the whole configured stream capacity up
+      // front (a per-request cost), so no decode pass reallocates.
+      const size_t floor = static_cast<size_t>(
+          (kv_capacity_ > 0 ? kv_capacity_ : 16) * row);
+      const size_t newcap = std::max({need, 2 * kv.k16.capacity(), floor});
       kv.k16.reserve(newcap);
       kv.v16.reserve(newcap);
     }
@@ -262,8 +271,13 @@ Tensor MultiHeadAttention::forward_infer(const Tensor& x, int64_t pos0,
     }
   } else {
     if (kv.k.numel() < total * row) {
+      // KV panels outlive the pass, so they must not come from the pass
+      // arena; fresh slots also jump straight to the configured stream
+      // capacity so steady-state decode never re-allocates them.
+      tensor::ArenaPause heap_kv;
       const int64_t cap = kv.k.numel() / std::max<int64_t>(row, 1);
-      const int64_t newcap = std::max<int64_t>({total, 2 * cap, 16});
+      const int64_t newcap = std::max<int64_t>(
+          {total, 2 * cap, kv_capacity_ > 0 ? kv_capacity_ : 16});
       Tensor nk({newcap, row}), nv({newcap, row});
       if (kv.len > 0) {
         std::memcpy(nk.data(), kv.k.data(),
@@ -371,6 +385,10 @@ void MultiHeadAttention::set_kv_fp16(bool on) {
                            ": set_kv_fp16 while decode streams are in flight");
   }
   kv_fp16_ = on;
+}
+
+void MultiHeadAttention::set_kv_capacity(int64_t tokens) {
+  kv_capacity_ = tokens;
 }
 
 void MultiHeadAttention::set_kv_store(runtime::KvStore* store) {

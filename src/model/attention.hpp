@@ -38,6 +38,10 @@ class MultiHeadAttention : public Layer {
   /// full-prefix-recompute identity. Paged streams are batch-1 (serving
   /// micro-batches). Throws if streams are already in flight.
   void set_kv_store(runtime::KvStore* store) override;
+  /// Worst-case tokens per decode stream: fresh slots (and the paged
+  /// gather panels) pre-reserve to this capacity so steady-state decode
+  /// never grows KV storage mid-pass. 0 = grow geometrically on demand.
+  void set_kv_capacity(int64_t tokens) override;
   void collect_params(std::vector<Param*>& out) override;
   void drop_cache(int mb) override;
   std::string name() const override { return name_; }
@@ -79,6 +83,8 @@ class MultiHeadAttention : public Layer {
   runtime::KvStore* store_ = nullptr;
   int lane_ = -1;
   std::vector<float> gk_, gv_;
+  /// Pre-reservation hint from set_kv_capacity (tokens per stream).
+  int64_t kv_capacity_ = 0;
 };
 
 }  // namespace hanayo::model

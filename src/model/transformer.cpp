@@ -465,6 +465,10 @@ void StageModule::set_kv_store(runtime::KvStore* store) {
   for (auto& l : layers_) l->set_kv_store(store);
 }
 
+void StageModule::set_kv_capacity(int64_t tokens) {
+  for (auto& l : layers_) l->set_kv_capacity(tokens);
+}
+
 std::vector<Param*> StageModule::params() {
   std::vector<Param*> out;
   for (auto& l : layers_) l->collect_params(out);

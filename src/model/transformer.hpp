@@ -100,6 +100,9 @@ class Block : public Layer {
   int64_t slot_bytes() const override { return attn_.slot_bytes(); }
   void set_kv_fp16(bool on) override { attn_.set_kv_fp16(on); }
   void set_kv_store(runtime::KvStore* s) override { attn_.set_kv_store(s); }
+  void set_kv_capacity(int64_t tokens) override {
+    attn_.set_kv_capacity(tokens);
+  }
   void collect_params(std::vector<Param*>& out) override;
   void drop_cache(int mb) override;
   std::string name() const override { return name_; }
@@ -127,6 +130,9 @@ class AttnResidual : public Layer {
   int64_t slot_bytes() const override { return attn_.slot_bytes(); }
   void set_kv_fp16(bool on) override { attn_.set_kv_fp16(on); }
   void set_kv_store(runtime::KvStore* s) override { attn_.set_kv_store(s); }
+  void set_kv_capacity(int64_t tokens) override {
+    attn_.set_kv_capacity(tokens);
+  }
   void collect_params(std::vector<Param*>& out) override;
   void drop_cache(int mb) override;
   std::string name() const override { return name_; }
@@ -200,6 +206,11 @@ class StageModule {
   /// (InferConfig::paged_kv): each layer registers one lane. Set before
   /// the first decode call, in deterministic worker construction order.
   void set_kv_store(runtime::KvStore* store);
+
+  /// Pre-reserves every attention layer's per-stream KV storage for
+  /// `tokens` rows (the model's max sequence length), so steady-state
+  /// decode never grows KV mid-pass.
+  void set_kv_capacity(int64_t tokens);
 
   /// Activation recomputation (gradient checkpointing, Chen et al. 2016 —
   /// one of the orthogonal memory techniques the paper's related work

@@ -409,18 +409,51 @@ int RequestQueue::size() const {
 
 // ----------------------------------------------------------- InferWorker
 
+/// Activation-footprint estimate for one worker's pass arena, derived from
+/// the model/schedule shapes the way sim/memory derives weight bytes. A
+/// pass's arena high-water is the *sum* of its allocations (bump pointers
+/// reclaim only at reset), so the worst case — every stream prefilling a
+/// full context — sums the per-layer temporaries (QKV/MLP panels, O(t*h)
+/// floats each; attention probs, O(heads*t^2)) over this device's share of
+/// the layers plus one logits row. The estimate is deliberately generous
+/// (the arena retains whatever it grows to) but capped: sizing is a hint,
+/// growth remains legal.
+static int64_t derived_arena_bytes(const InferConfig& cfg) {
+  if (cfg.arena_reserve_mb > 0) {
+    return static_cast<int64_t>(cfg.arena_reserve_mb) << 20;
+  }
+  const model::ModelConfig& m = cfg.model;
+  const int64_t t = std::max<int64_t>(1, m.seq);
+  const int64_t h = std::max<int64_t>(1, m.hidden);
+  const int64_t stages = std::max(1, cfg.sched.P);
+  const int64_t layers_per_dev = (m.layers + stages - 1) / stages + 2;
+  const int64_t per_layer = 16 * t * h + m.heads * t * t;
+  const int64_t floats =
+      static_cast<int64_t>(std::max(1, cfg.max_batch)) *
+      (per_layer * layers_per_dev + 2 * t * std::max<int64_t>(h, m.vocab));
+  const int64_t bytes = floats * static_cast<int64_t>(sizeof(float));
+  return std::min<int64_t>(bytes, int64_t{256} << 20);
+}
+
 /// One serving pipeline worker: owns the local stage chunks (the same
 /// partition the trainer would build) and interprets the forward-only action
 /// list of one pass, with the trainer's receive prefetching. The last-stage
 /// worker additionally turns each micro-batch's final-row logits into the
 /// next token via the configured sampling policy (the micro-batch's uniform
 /// draw rides in on its PassEntry).
+///
+/// Zero-allocation steady state: every pass-lifetime tensor this worker
+/// creates (received activations, chunk outputs, kernel scratch) draws from
+/// the worker's own arena, reset at pass entry; the interpreter's working
+/// state (activation slots, posted receives, next tokens) lives in member
+/// vectors that are cleared — never shrunk — per pass.
 class InferWorker {
  public:
   InferWorker(const InferConfig& cfg, const schedule::Placement& pl, int rank,
               comm::Communicator comm)
       : rank_(rank), prefetch_depth_(cfg.prefetch_depth),
-        sampling_(cfg.sampling), comm_(std::move(comm)) {
+        sampling_(cfg.sampling), comm_(std::move(comm)),
+        arena_(derived_arena_bytes(cfg)) {
     const auto descs = cfg.model.layer_descs();
     const auto ranges =
         model::partition_layers(descs, pl.stages(), cfg.model.seq);
@@ -430,17 +463,37 @@ class InferWorker {
       chunks_.emplace_back(descs, r.begin, r.end, cfg.seed,
                            cfg.model.init_std);
       if (cfg.kv_fp16) chunks_.back().set_kv_fp16(true);
+      // Pre-reserve every stream's KV storage to the model's positional
+      // capacity: decode never grows KV mid-pass (the growth would be a
+      // per-pass heap allocation — and under an active arena, a lifetime
+      // bug).
+      chunks_.back().set_kv_capacity(cfg.model.seq);
     }
+    // Stable Posted entries: `slot` addresses are handed to irecv, so the
+    // vector is sized once (outstanding <= prefetch_depth, +1 for the
+    // not-prefetched inline post) and never reallocated.
+    posted_.resize(static_cast<size_t>(std::max(0, prefetch_depth_)) + 1);
   }
 
   /// Interprets this device's script for one pass. `plan[mb]` describes
   /// micro-batch mb's decode stream.
   void run_pass(const schedule::Schedule& sched,
                 const std::vector<PassEntry>& plan) {
+    // Reset-at-entry (see ArenaScope): the previous pass's payloads —
+    // including activations sent to peers — were all consumed before its
+    // Flush barrier released us, so reclaiming them here is safe.
+    tensor::ArenaScope pass_arena(arena_);
     const schedule::DeviceScript& script =
         sched.scripts[static_cast<size_t>(rank_)];
     const int S = sched.placement.stages();
+    // Activation slot (mb, pos) lives at mb*(S+1) + (pos+1); an empty
+    // tensor (numel 0 — moves leave tensors empty) marks a vacant slot.
     act_.clear();
+    act_.resize(plan.size() * static_cast<size_t>(S + 1));
+    const auto act_at = [&](int mb, int pos) -> Tensor& {
+      return act_[static_cast<size_t>(mb) * static_cast<size_t>(S + 1) +
+                  static_cast<size_t>(pos + 1)];
+    };
     next_tokens_.assign(plan.size(), -1);
     for (const PassEntry& e : plan) {
       if (e.fresh) {
@@ -449,20 +502,34 @@ class InferWorker {
     }
 
     // Receive prefetching, as in Worker::run_iteration (paper §4.2).
-    struct Posted {
-      comm::Request req;
-      std::unique_ptr<Tensor> slot;
-    };
-    std::map<size_t, Posted> posted;
+    for (Posted& p : posted_) {
+      p.live = false;
+      p.req.reset();
+    }
     size_t scan = 0;
     int outstanding = 0;
+    const auto find_posted = [&](size_t idx) -> Posted* {
+      for (Posted& p : posted_) {
+        if (p.live && p.idx == idx) return &p;
+      }
+      return nullptr;
+    };
     const auto post_recv = [&](size_t idx) {
+      Posted* ps = nullptr;
+      for (Posted& p : posted_) {
+        if (!p.live) {
+          ps = &p;
+          break;
+        }
+      }
+      // posted_ holds prefetch_depth+1 entries and at most prefetch_depth
+      // are outstanding before an inline post, so a free one always exists.
       const Action& a = script.actions[idx];
-      Posted ps;
-      ps.slot = std::make_unique<Tensor>();
-      ps.req = comm_.irecv(a.peer, make_tag(Kind::Activation, a.mb, a.pos - 1),
-                           ps.slot.get());
-      posted.emplace(idx, std::move(ps));
+      ps->idx = idx;
+      ps->live = true;
+      ps->slot = Tensor();
+      ps->req = comm_.irecv(a.peer, make_tag(Kind::Activation, a.mb, a.pos - 1),
+                            &ps->slot);
     };
     const auto prefetch = [&] {
       while (scan < script.actions.size() && outstanding < prefetch_depth_) {
@@ -481,53 +548,53 @@ class InferWorker {
       const Action& a = script.actions[i];
       switch (a.op) {
         case Op::LoadInput:
-          act_[{a.mb, -1}] = plan[static_cast<size_t>(a.mb)].input;
+          act_at(a.mb, -1) = plan[static_cast<size_t>(a.mb)].input;
           break;
 
         case Op::RecvAct: {
-          auto it = posted.find(i);
-          if (it == posted.end()) {
+          Posted* ps = find_posted(i);
+          if (ps == nullptr) {
             post_recv(i);
             ++outstanding;
             if (scan <= i) scan = i + 1;
-            it = posted.find(i);
+            ps = find_posted(i);
           }
-          it->second.req->wait();
+          ps->req->wait();
           --outstanding;
-          act_[{a.mb, a.pos - 1}] = std::move(*it->second.slot);
-          posted.erase(it);
+          act_at(a.mb, a.pos - 1) = std::move(ps->slot);
+          ps->req.reset();
+          ps->live = false;
           prefetch();
           break;
         }
 
         case Op::Forward: {
-          const auto key = std::pair<int, int>{a.mb, a.pos == 0 ? -1 : a.pos - 1};
-          const auto it = act_.find(key);
-          if (it == act_.end()) {
+          Tensor& x = act_at(a.mb, a.pos == 0 ? -1 : a.pos - 1);
+          if (x.numel() == 0) {
             throw std::logic_error("InferWorker: missing input activation");
           }
           const PassEntry& e = plan[static_cast<size_t>(a.mb)];
-          Tensor y = chunks_[static_cast<size_t>(a.chunk)].decode(
-              it->second, e.pos0, e.slot);
-          act_.erase(it);
+          Tensor y =
+              chunks_[static_cast<size_t>(a.chunk)].decode(x, e.pos0, e.slot);
+          x = Tensor();
           if (a.pos == S - 1) {
             next_tokens_[static_cast<size_t>(a.mb)] =
                 sample_last_row(y, sampling_, e.u);
           } else {
-            act_[{a.mb, a.pos}] = std::move(y);
+            act_at(a.mb, a.pos) = std::move(y);
           }
           prefetch();
           break;
         }
 
         case Op::SendAct: {
-          const auto it = act_.find({a.mb, a.pos});
-          if (it == act_.end()) {
+          Tensor& y = act_at(a.mb, a.pos);
+          if (y.numel() == 0) {
             throw std::logic_error("InferWorker: missing activation to send");
           }
           comm_.isend(a.peer, make_tag(Kind::Activation, a.mb, a.pos),
-                      std::move(it->second));
-          act_.erase(it);
+                      std::move(y));
+          y = Tensor();
           break;
         }
 
@@ -562,13 +629,24 @@ class InferWorker {
   }
 
  private:
+  /// One posted-ahead receive; `slot` must stay address-stable while the
+  /// request is outstanding, so these live in a fixed-size vector.
+  struct Posted {
+    size_t idx = 0;
+    bool live = false;
+    comm::Request req;
+    Tensor slot;
+  };
+
   int rank_;
   int prefetch_depth_;
   Sampling sampling_;
   comm::Communicator comm_;
   std::vector<model::StageModule> chunks_;
   std::vector<int64_t> next_tokens_;
-  std::map<std::pair<int, int>, Tensor> act_;
+  std::vector<Tensor> act_;  ///< flat (mb, pos) slots, rebuilt per pass
+  std::vector<Posted> posted_;
+  tensor::Arena arena_;  ///< pass-lifetime allocations, reset per pass
 };
 
 // ------------------------------------------------------ InferencePipeline
@@ -576,7 +654,8 @@ class InferWorker {
 InferencePipeline::InferencePipeline(InferConfig cfg, RequestQueue* shared,
                                      int replica_index)
     : cfg_(std::move(cfg)), replica_index_(replica_index),
-      queue_(shared ? shared : &own_queue_) {
+      queue_(shared ? shared : &own_queue_),
+      driver_arena_(int64_t{1} << 20) {
   if (!cfg_.model.causal) {
     throw std::invalid_argument(
         "InferencePipeline: decode needs a causal model (each new "
@@ -628,9 +707,52 @@ InferencePipeline::InferencePipeline(InferConfig cfg, RequestQueue* shared,
     for (auto& w : workers_) w->set_kv_store(store_.get());
   }
   for (int s = cfg_.max_batch - 1; s >= 0; --s) free_slots_.push_back(s);
+  active_.reserve(static_cast<size_t>(cfg_.max_batch));
+  still_.reserve(static_cast<size_t>(cfg_.max_batch));
+  plan_.reserve(static_cast<size_t>(cfg_.max_batch));
+
+  // Persistent pass gang: spawned once here, woken per pass by epoch.
+  gang_errors_.resize(workers_.size());
+  gang_threads_.reserve(workers_.size());
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    gang_threads_.emplace_back([this, i] { gang_main(i); });
+  }
 }
 
-InferencePipeline::~InferencePipeline() = default;
+InferencePipeline::~InferencePipeline() {
+  {
+    std::lock_guard lk(gang_mu_);
+    gang_quit_ = true;
+  }
+  gang_cv_.notify_all();
+  for (std::thread& t : gang_threads_) t.join();
+}
+
+void InferencePipeline::gang_main(size_t i) {
+  uint64_t seen = 0;
+  for (;;) {
+    const schedule::Schedule* sched = nullptr;
+    {
+      std::unique_lock lk(gang_mu_);
+      gang_cv_.wait(lk, [&] { return gang_quit_ || gang_epoch_ != seen; });
+      if (gang_quit_) return;
+      seen = gang_epoch_;
+      sched = gang_sched_;
+    }
+    // The pass body runs with no gang lock held: worker-side locks
+    // (IntraOpSubmit, Mailbox, ...) start from an empty held set.
+    try {
+      workers_[i]->run_pass(*sched, plan_);
+    } catch (...) {
+      gang_errors_[i] = std::current_exception();  // slot i: this thread only
+    }
+    {
+      std::lock_guard lk(gang_mu_);
+      ++gang_done_;
+    }
+    gang_cv_.notify_all();
+  }
+}
 
 const schedule::Schedule& InferencePipeline::schedule_for(int batch) {
   auto it = sched_cache_.find(batch);
@@ -755,6 +877,9 @@ void InferencePipeline::admit() {
     free_slots_.pop_back();
     seq.prompt_tokens = r.prompt.size(1);
     seq.remaining = r.max_new_tokens;
+    // One admission-time reservation keeps the per-token push_back off the
+    // steady-state decode pass's allocation budget.
+    seq.generated.reserve(static_cast<size_t>(r.max_new_tokens));
     seq.input_prompt = std::move(r.prompt);
     seq.rng = Rng(Rng::split(cfg_.seed, static_cast<uint64_t>(seq.id)));
     seq.on_token = std::move(r.on_token);
@@ -830,8 +955,12 @@ void InferencePipeline::inject_faults() {
 }
 
 void InferencePipeline::run_pass() {
-  std::vector<PassEntry> plan;
-  plan.reserve(active_.size());
+  // Driver-side pass arena: the plan's input tensors (the [1, 1] decode
+  // feeds, prefix-hit prompt tails, prompt copies) live exactly one pass —
+  // the gang consumes them before its Flush barrier — so they draw from
+  // this arena, reclaimed wholesale at the next pass's entry.
+  tensor::ArenaScope pass_arena(driver_arena_);
+  plan_.clear();
   bool any_prefill = false;
   for (ActiveSeq& seq : active_) {
     PassEntry e;
@@ -866,31 +995,36 @@ void InferencePipeline::run_pass() {
       one[0] = static_cast<float>(seq.last_token);
       e.input = std::move(one);
     }
-    plan.push_back(std::move(e));
+    plan_.push_back(std::move(e));
   }
 
   const schedule::Schedule& sched =
-      schedule_for(static_cast<int>(plan.size()));
+      schedule_for(static_cast<int>(plan_.size()));
   const auto t0 = std::chrono::steady_clock::now();
   // Injected stalls land inside the timed region: a fault-degraded run
   // shows its degradation in prefill_s/decode_s like a real slow device.
   inject_faults();
   ++passes_run_;
-  std::vector<std::thread> threads;
-  threads.reserve(workers_.size());
-  std::vector<std::exception_ptr> errors(workers_.size());
-  for (size_t i = 0; i < workers_.size(); ++i) {
-    threads.emplace_back([&, i] {
-      try {
-        workers_[i]->run_pass(sched, plan);
-      } catch (...) {
-        errors[i] = std::current_exception();
-      }
-    });
+  // Hand the pass to the persistent gang and wait for every worker.
+  {
+    std::lock_guard lk(gang_mu_);
+    gang_sched_ = &sched;
+    gang_done_ = 0;
+    for (std::exception_ptr& e : gang_errors_) e = nullptr;
+    ++gang_epoch_;
   }
-  for (auto& t : threads) t.join();
-  for (const auto& e : errors) {
-    if (e) std::rethrow_exception(e);
+  gang_cv_.notify_all();
+  {
+    std::unique_lock lk(gang_mu_);
+    gang_cv_.wait(lk,
+                  [&] { return gang_done_ == static_cast<int>(workers_.size()); });
+  }
+  for (std::exception_ptr& e : gang_errors_) {
+    if (e) {
+      std::exception_ptr ex = e;
+      e = nullptr;
+      std::rethrow_exception(ex);
+    }
   }
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -914,8 +1048,7 @@ void InferencePipeline::run_pass() {
   const double now = serve_clock_s();
   const std::vector<int64_t>& toks =
       workers_[static_cast<size_t>(last_stage_device_)]->next_tokens();
-  std::vector<ActiveSeq> still;
-  still.reserve(active_.size());
+  still_.clear();
   for (size_t i = 0; i < active_.size(); ++i) {
     ActiveSeq& seq = active_[i];
     const int64_t tok = toks[i];
@@ -971,10 +1104,11 @@ void InferencePipeline::run_pass() {
       if (store_ != nullptr) store_->drop_slot(seq.slot);
       free_slots_.push_back(seq.slot);
     } else {
-      still.push_back(std::move(seq));
+      still_.push_back(std::move(seq));
     }
   }
-  active_ = std::move(still);
+  // Ping-pong swap: both vectors retain their capacity across passes.
+  active_.swap(still_);
 }
 
 std::vector<Completion> InferencePipeline::drain() {

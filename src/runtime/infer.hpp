@@ -25,15 +25,18 @@
 
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <map>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "core/sync.hpp"
 #include "model/transformer.hpp"
 #include "runtime/worker.hpp"
 #include "schedule/algorithms.hpp"
+#include "tensor/arena.hpp"
 #include "tensor/rng.hpp"
 
 namespace hanayo::runtime {
@@ -243,6 +246,14 @@ struct InferConfig {
   /// work is bounded by the same memory model the planner prices.
   int max_queue = 0;
   FaultInjection fault;  ///< deterministic fault injection (tests/benches)
+  /// Pass-arena reserve per pipeline worker, MiB. Every pass-lifetime
+  /// tensor (activations, logits, kernel scratch, the pass plan's inputs)
+  /// comes from a per-worker bump arena that resets at the pass boundary;
+  /// this knob pre-sizes it so even warm-up never grows a slab. 0 derives
+  /// an estimate from the model/schedule shapes (the arena still grows
+  /// geometrically on demand if the estimate falls short — sizing is a
+  /// performance hint, never a correctness limit).
+  int arena_reserve_mb = 0;
 };
 
 /// The derived bounded-queue capacity (see InferConfig::max_queue). With
@@ -521,6 +532,9 @@ class InferencePipeline {
   void finish_active(ActiveSeq& seq, StopReason why, double now_s);
   void inject_faults();
   void run_pass();
+  /// Body of gang thread `i`: waits for the next published pass epoch,
+  /// runs workers_[i]->run_pass, reports completion. See gang_* members.
+  void gang_main(size_t i);
 
   InferConfig cfg_;
   schedule::Placement placement_;
@@ -545,6 +559,28 @@ class InferencePipeline {
   mutable sync::Mutex<sync::Rank::ServeQueue> enqueue_mu_;
   tensor::Rng fault_rng_{0};  ///< per-replica fault stream (seed, replica)
   int passes_run_ = 0;        ///< lifetime pass count (fault scheduling)
+
+  /// Persistent pass gang: one long-lived thread per pipeline worker,
+  /// rendezvousing with the driver through an epoch counter instead of
+  /// being spawned and joined per pass (a steady-state decode pass must
+  /// not create threads — thread stacks are heap allocations). The
+  /// Rank::InferGang mutex is held only at the hand-off (publish epoch /
+  /// count completions), never across a pass body, so worker-side comm
+  /// and kernel locks nest inside it legally.
+  std::vector<std::thread> gang_threads_;
+  std::vector<std::exception_ptr> gang_errors_;  ///< slot i: thread i only
+  sync::Mutex<sync::Rank::InferGang> gang_mu_;
+  sync::CondVar gang_cv_;
+  uint64_t gang_epoch_ = 0;
+  int gang_done_ = 0;
+  bool gang_quit_ = false;
+  const schedule::Schedule* gang_sched_ = nullptr;  ///< valid for one epoch
+
+  /// Driver-side pass arena (plan inputs, per-pass temporaries) plus the
+  /// reused pass containers — cleared, never shrunk, each pass.
+  tensor::Arena driver_arena_;
+  std::vector<PassEntry> plan_;
+  std::vector<ActiveSeq> still_;
 };
 
 /// Data-parallel serving: `cfg.dp` independent InferencePipeline replicas

@@ -72,6 +72,10 @@ void Worker::note_memory() {
 }
 
 float Worker::run_iteration(const Batch& batch) {
+  // Everything with iteration lifetime bump-allocates from the worker's
+  // arena; the reset at scope entry recycles last iteration's slabs (safe:
+  // the previous iteration's Flush barrier guaranteed consumption).
+  tensor::ArenaScope iter_arena(arena_);
   const schedule::Schedule& sched = *p_.sched;
   const schedule::DeviceScript& script = sched.scripts[static_cast<size_t>(p_.pipeline_rank)];
   const int S = sched.placement.stages();
@@ -299,6 +303,10 @@ float Worker::run_iteration(const Batch& batch) {
       }
 
       case Op::OptStep: {
+        // Optimizer state (momentum / Adam moments) is created lazily on
+        // the first step and must outlive every iteration — keep it off
+        // the pass arena.
+        tensor::ArenaPause no_arena;
         if (p_.lr_schedule.has_value()) {
           optimizer_->set_lr(p_.lr_schedule->at(opt_steps_));
         }

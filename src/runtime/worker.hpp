@@ -16,6 +16,7 @@
 #include "model/partition.hpp"
 #include "model/transformer.hpp"
 #include "schedule/actions.hpp"
+#include "tensor/arena.hpp"
 
 namespace hanayo::runtime {
 
@@ -136,6 +137,15 @@ class Worker {
   // Iteration-scoped state (cleared per run).
   std::map<std::pair<int, int>, tensor::Tensor> act_;   // (m, pos) -> activation
   std::map<std::pair<int, int>, tensor::Tensor> grad_;  // (m, pos) -> input-grad of pos
+
+  /// Iteration-lifetime tensor arena: run_iteration opens an ArenaScope on
+  /// it, so activations, gradients-in-flight, attention scratch and comm
+  /// staging bump-allocate here and the slabs are reused every step. The
+  /// scope resets at ENTRY, which is safe because the previous iteration
+  /// ended with a Flush barrier — every cross-worker payload has been
+  /// consumed by then. Long-lived allocations inside the scope (lazily
+  /// created optimizer state) are wrapped in ArenaPause.
+  tensor::Arena arena_;
 };
 
 }  // namespace hanayo::runtime

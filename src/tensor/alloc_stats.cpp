@@ -1,8 +1,16 @@
 #include "tensor/alloc_stats.hpp"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <new>
+
+#if defined(__has_include)
+#if __has_include(<execinfo.h>)
+#include <execinfo.h>
+#define HANAYO_HAVE_EXECINFO 1
+#endif
+#endif
 
 namespace hanayo::tensor {
 namespace {
@@ -12,13 +20,42 @@ namespace {
 std::atomic<int64_t> g_allocs{0};
 std::atomic<int64_t> g_frees{0};
 std::atomic<int64_t> g_bytes{0};
+std::atomic<bool> g_trace{false};
+
+void trace_alloc(std::size_t n) {
+#if defined(HANAYO_HAVE_EXECINFO)
+  // backtrace_symbols_fd writes straight to the fd without allocating, so
+  // the tap cannot recurse into the counters it observes.
+  static thread_local bool in_trace = false;
+  if (in_trace) return;
+  in_trace = true;
+  std::fprintf(stderr, "[alloc_stats] operator new(%zu)\n", n);
+  void* frames[32];
+  const int depth = backtrace(frames, 32);
+  backtrace_symbols_fd(frames, depth, 2);
+  in_trace = false;
+#else
+  (void)n;
+#endif
+}
 
 void* counted_alloc(std::size_t n) {
   g_allocs.fetch_add(1, std::memory_order_relaxed);
   g_bytes.fetch_add(static_cast<int64_t>(n), std::memory_order_relaxed);
+  if (g_trace.load(std::memory_order_relaxed)) trace_alloc(n);
   // Zero-size new must return a unique pointer; malloc(0) may return null.
   void* p = std::malloc(n == 0 ? 1 : n);
   return p;
+}
+
+void* counted_alloc_aligned(std::size_t n, std::align_val_t al) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(static_cast<int64_t>(n), std::memory_order_relaxed);
+  if (g_trace.load(std::memory_order_relaxed)) trace_alloc(n);
+  // aligned_alloc requires the size to be a multiple of the alignment.
+  const std::size_t a = static_cast<std::size_t>(al);
+  const std::size_t sz = ((n == 0 ? 1 : n) + a - 1) / a * a;
+  return std::aligned_alloc(a, sz);
 }
 
 void counted_free(void* p) noexcept {
@@ -35,6 +72,10 @@ AllocStats alloc_stats() {
   s.frees = g_frees.load(std::memory_order_relaxed);
   s.bytes = g_bytes.load(std::memory_order_relaxed);
   return s;
+}
+
+void alloc_stats_trace(bool on) {
+  g_trace.store(on, std::memory_order_relaxed);
 }
 
 }  // namespace hanayo::tensor
@@ -77,5 +118,45 @@ void operator delete(void* p, const std::nothrow_t&) noexcept {
   hanayo::tensor::counted_free(p);
 }
 void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  hanayo::tensor::counted_free(p);
+}
+
+// Over-aligned forms ([new.delete.single] p3): without these, an
+// over-aligned allocation (e.g. a cache-line-aligned pool) would bypass
+// the counters and make a "zero allocations" claim dishonest. glibc's
+// free() handles aligned_alloc pointers, so the frees funnel unchanged.
+
+void* operator new(std::size_t n, std::align_val_t al) {
+  void* p = hanayo::tensor::counted_alloc_aligned(n, al);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t n, std::align_val_t al) {
+  void* p = hanayo::tensor::counted_alloc_aligned(n, al);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t n, std::align_val_t al,
+                   const std::nothrow_t&) noexcept {
+  return hanayo::tensor::counted_alloc_aligned(n, al);
+}
+
+void* operator new[](std::size_t n, std::align_val_t al,
+                     const std::nothrow_t&) noexcept {
+  return hanayo::tensor::counted_alloc_aligned(n, al);
+}
+
+void operator delete(void* p, std::align_val_t) noexcept {
+  hanayo::tensor::counted_free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  hanayo::tensor::counted_free(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  hanayo::tensor::counted_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
   hanayo::tensor::counted_free(p);
 }

@@ -33,4 +33,11 @@ struct AllocStats {
 /// binary (see linking rule above).
 AllocStats alloc_stats();
 
+/// Diagnostic tap for hunting the last allocations on a "zero" path: while
+/// enabled, every counted allocation writes a short backtrace to stderr
+/// (via backtrace_symbols_fd — itself allocation-free, so the tap cannot
+/// recurse). Process-wide; flip it around the narrowest region possible.
+/// No-op on platforms without <execinfo.h>.
+void alloc_stats_trace(bool on);
+
 }  // namespace hanayo::tensor

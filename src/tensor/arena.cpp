@@ -1,0 +1,129 @@
+#include "tensor/arena.hpp"
+
+#include <algorithm>
+#include <new>
+
+namespace hanayo::tensor {
+
+namespace {
+
+// The active arena is a per-thread context so a pass running on one
+// worker never sees another worker's arena. Plain pointer: install and
+// lookup are both single-thread operations.
+thread_local Arena* t_current = nullptr;
+
+// First slab when no reservation was given: big enough that the tiny
+// models in tests warm up in one or two growth events, small enough not
+// to matter on a laptop.
+constexpr int64_t kDefaultFirstSlab = 1 << 20;  // 1 MiB
+
+int64_t align_up(int64_t n) {
+  return (n + Arena::kAlign - 1) & ~(Arena::kAlign - 1);
+}
+
+}  // namespace
+
+Arena* Arena::current() { return t_current; }
+
+Arena::Arena(int64_t reserve_bytes) {
+  // Reserve the slab directory itself up front: pushing a new slab during
+  // warm-up must not make the vector reallocate mid-pass and muddy the
+  // "what allocated?" picture. 32 geometric slabs cover any realistic
+  // growth run.
+  slabs_.reserve(32);
+  next_cap_ = std::max<int64_t>(reserve_bytes, kDefaultFirstSlab);
+  if (reserve_bytes > 0) grow(reserve_bytes);
+  grow_count_ = 0;  // the up-front reservation is not "growth"
+}
+
+Arena::~Arena() {
+  for (Slab& s : slabs_) delete[] s.raw;
+}
+
+void Arena::grow(int64_t min_bytes) {
+  // A frozen arena growing means the steady state still discovers new
+  // working set — exactly the bug class this assert exists to catch.
+  assert(!frozen_ && "Arena grew after freeze(): pass working set not "
+                     "covered by warm-up/reservation");
+  const int64_t cap = align_up(std::max(min_bytes, next_cap_));
+  next_cap_ = cap * 2;  // geometric: growth events are log-bounded
+  char* raw = new char[static_cast<size_t>(cap + kAlign)];
+  char* base = reinterpret_cast<char*>(
+      align_up(reinterpret_cast<int64_t>(raw)));
+  slabs_.push_back(Slab{raw, base, cap});
+  ++grow_count_;
+  cur_ = slabs_.size() - 1;
+  used_ = 0;
+}
+
+int64_t Arena::live_bytes() const {
+  int64_t n = used_;
+  for (size_t i = 0; i < cur_; ++i) n += slabs_[i].cap;
+  return n;
+}
+
+void* Arena::alloc(int64_t bytes) {
+  const int64_t need = align_up(std::max<int64_t>(bytes, 1));
+  // Walk forward over retained slabs before growing: a reset arena
+  // re-fills the same slabs in the same order, heap-free.
+  while (cur_ < slabs_.size() && used_ + need > slabs_[cur_].cap) {
+    ++cur_;
+    used_ = 0;
+  }
+  if (cur_ >= slabs_.size()) grow(need);
+  char* p = slabs_[cur_].base + used_;
+  used_ += need;
+  high_water_ = std::max(high_water_, live_bytes());
+  return p;
+}
+
+void Arena::reset() {
+  cur_ = 0;
+  used_ = 0;
+}
+
+void Arena::rewind(Mark m) {
+  assert(m.slab <= cur_ && (m.slab < cur_ || m.used <= used_));
+  cur_ = m.slab;
+  used_ = m.used;
+}
+
+int64_t Arena::reserved() const {
+  int64_t n = 0;
+  for (const Slab& s : slabs_) n += s.cap;
+  return n;
+}
+
+ArenaScope::ArenaScope(Arena& a) : prev_(t_current) {
+  t_current = &a;
+  a.reset();  // reclaim the previous pass now that its barrier has passed
+}
+
+ArenaScope::~ArenaScope() { t_current = prev_; }
+
+ArenaPause::ArenaPause() : prev_(t_current) { t_current = nullptr; }
+
+ArenaPause::~ArenaPause() { t_current = prev_; }
+
+ScratchBuffer::ScratchBuffer(int64_t n_floats, std::vector<float>& fallback) {
+  if (n_floats <= 0) return;
+  if (Arena* ar = t_current) {
+    arena_ = ar;
+    mark_ = ar->mark();
+    p_ = ar->alloc_floats(n_floats);
+  } else {
+    if (static_cast<int64_t>(fallback.size()) < n_floats) {
+      // Geometric, never exact: an exact resize would re-allocate every
+      // time a decode context grows by one token.
+      fallback.resize(static_cast<size_t>(std::max(
+          n_floats, 2 * static_cast<int64_t>(fallback.size()))));
+    }
+    p_ = fallback.data();
+  }
+}
+
+ScratchBuffer::~ScratchBuffer() {
+  if (arena_ != nullptr) arena_->rewind(mark_);
+}
+
+}  // namespace hanayo::tensor

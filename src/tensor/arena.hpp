@@ -1,0 +1,167 @@
+#pragma once
+// Pass-lifetime bump/slab arena — the zero-allocation steady-state engine.
+//
+// A decode pass (and a training iteration) allocates a storm of tensors
+// whose lifetimes all end at the same instant: the pass boundary. The
+// general-purpose allocator charges per-object costs (and p99 jitter) for
+// a lifetime pattern that needs none. `Arena` is the alternative: an
+// aligned bump pointer over pre-reserved slabs. Allocation is a pointer
+// increment, deallocation is a no-op, and `reset()` reclaims everything
+// in O(1) at the pass boundary. Slabs grow geometrically while the
+// working set is being discovered (warm-up) and are retained across
+// resets, so steady state performs zero heap traffic — the property
+// tests/runtime/test_alloc_decode.cpp locks at a budget of 0.
+//
+// Threading model: the active arena is a thread-local *context*
+// (`Arena::current()`), installed by `ArenaScope` for the duration of a
+// pass. Tensor and scratch constructors consult the context; code that
+// must allocate long-lived state mid-pass (KV growth, optimizer slots)
+// suspends it with `ArenaPause`. An Arena object itself is single-
+// threaded: one owner thread bumps it at a time. Cross-thread *reads* of
+// arena-backed payloads are safe under the same fences that make any
+// tensor hand-off safe; the owner must simply not reset until consumers
+// are done (in this codebase, pass/iteration barriers guarantee that).
+//
+// Contributor rule (see core/hanayo.hpp): pass-lifetime buffers come
+// from the arena — never bare `new` / `std::vector::resize` on a hot
+// path. If the alloc ratchet trips, move the buffer into the arena
+// rather than raising the budget.
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hanayo::tensor {
+
+class Arena {
+ public:
+  /// Payload alignment: one cache line, enough for any SIMD width we use.
+  static constexpr int64_t kAlign = 64;
+
+  /// `reserve_bytes` > 0 pre-allocates one slab of that size up front so
+  /// a correctly-sized arena never grows at all (pass `sim/memory`-derived
+  /// estimates here). 0 starts empty and discovers the working set during
+  /// warm-up via geometric slab growth.
+  explicit Arena(int64_t reserve_bytes = 0);
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocates `bytes` (rounded up to kAlign), growing by a new slab
+  /// only when every retained slab is exhausted. Never fails for
+  /// reasonable sizes; throws std::bad_alloc like any allocator would.
+  void* alloc(int64_t bytes);
+
+  float* alloc_floats(int64_t n) {
+    return static_cast<float*>(alloc(n * static_cast<int64_t>(sizeof(float))));
+  }
+
+  /// O(1) reclamation of every allocation since construction/last reset.
+  /// Slabs are retained: after warm-up, reset + re-allocate touches the
+  /// heap zero times. Callers own the proof that no consumer still reads
+  /// arena-backed payloads (pass barriers provide it in this repo).
+  void reset();
+
+  /// A LIFO checkpoint for nested scratch (kernel pack panels): rewind
+  /// frees everything allocated since the matching mark().
+  struct Mark {
+    size_t slab;
+    int64_t used;
+  };
+  Mark mark() const { return Mark{cur_, used_}; }
+  void rewind(Mark m);
+
+  /// After warm-up a frozen arena asserts (Debug) on any further slab
+  /// growth — the canary that a "steady state" still discovers new
+  /// working set. Release builds grow gracefully.
+  void freeze(bool on = true) { frozen_ = on; }
+
+  /// Total bytes across retained slabs.
+  int64_t reserved() const;
+  /// Peak bytes live at once since construction — the number to feed back
+  /// into reserve_bytes when pre-sizing.
+  int64_t high_water() const { return high_water_; }
+  /// Slab-growth events since construction (0 after warm-up = steady).
+  int64_t grow_count() const { return grow_count_; }
+
+  /// The calling thread's active arena context, or nullptr when
+  /// allocations should go to the general-purpose heap.
+  static Arena* current();
+
+ private:
+  friend class ArenaScope;
+  friend class ArenaPause;
+
+  struct Slab {
+    char* raw;   // owning pointer (new char[])
+    char* base;  // kAlign-aligned payload start
+    int64_t cap;
+  };
+
+  void grow(int64_t min_bytes);
+  int64_t live_bytes() const;
+
+  std::vector<Slab> slabs_;
+  size_t cur_ = 0;     // slab currently being bumped
+  int64_t used_ = 0;   // bytes bumped in slabs_[cur_]
+  int64_t next_cap_ = 0;
+  int64_t high_water_ = 0;
+  int64_t grow_count_ = 0;
+  bool frozen_ = false;
+};
+
+/// RAII arena context: installs `a` as the calling thread's active arena
+/// and — crucially — resets it at ENTRY, not exit. Resetting at the top
+/// of the next pass (rather than the bottom of the current one) means
+/// arena-backed payloads stay valid through the pass barrier that
+/// publishes them to other threads; the destructor only restores the
+/// previous context.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena& a);
+  ~ArenaScope();
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  Arena* prev_;
+};
+
+/// A pass-lifetime float scratch panel with a LIFO discipline: drawn from
+/// the active arena under mark/rewind when one is installed, otherwise
+/// backed by a caller-supplied grow-only vector (typically thread_local at
+/// the use site) with geometric growth. Either way, steady state performs
+/// zero heap allocations; the arena path additionally keeps pool-free
+/// threads from accumulating unbounded per-thread buffers.
+class ScratchBuffer {
+ public:
+  ScratchBuffer(int64_t n_floats, std::vector<float>& fallback);
+  ~ScratchBuffer();
+  ScratchBuffer(const ScratchBuffer&) = delete;
+  ScratchBuffer& operator=(const ScratchBuffer&) = delete;
+
+  float* data() { return p_; }
+
+ private:
+  float* p_ = nullptr;
+  Arena* arena_ = nullptr;
+  Arena::Mark mark_{};
+};
+
+/// Suspends the active arena for allocations that must outlive the pass
+/// (KV-cache growth, lazily-created optimizer state): inside the pause,
+/// Tensor/scratch constructors fall back to the heap.
+class ArenaPause {
+ public:
+  ArenaPause();
+  ~ArenaPause();
+  ArenaPause(const ArenaPause&) = delete;
+  ArenaPause& operator=(const ArenaPause&) = delete;
+
+ private:
+  Arena* prev_;
+};
+
+}  // namespace hanayo::tensor

@@ -1,10 +1,12 @@
 #include "tensor/kernels.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <stdexcept>
 #include <vector>
 
+#include "tensor/arena.hpp"
 #include "tensor/parallel.hpp"
 
 namespace hanayo::tensor::kernels {
@@ -32,6 +34,14 @@ constexpr int64_t KC = 256;
 constexpr int64_t KU = 2;
 // Problems below this many flops are not worth a trip through the pool.
 constexpr int64_t kParallelFlops = int64_t{1} << 18;
+
+// A-panel packing engages for k at least this deep: below it the pack
+// traffic (m*k extra reads+writes) outweighs the contiguous-load win in
+// the micro-kernel. Decode-shaped gemms (m = 1, no full MR block) never
+// pack regardless.
+constexpr int64_t kPackMinK = 64;
+
+std::atomic<bool> g_pack_a{true};
 
 // C[MR x NR] += A-panel * B-panel over kc steps. The accumulator tile is
 // expressed as explicit VLEN-wide vector values (GCC/Clang vector
@@ -114,6 +124,59 @@ inline void micro_tile_tail(int64_t nv, int64_t kc, const float* a,
     micro_tile<2>(kc, a, lda, b, ldb, c, ldc, load_c);
   }
 }
+
+// Packed-A variants: `ap` is an MR-strided panel (element (r, kk) at
+// ap[kk * MR + r]) packed once per thread row-range, so the kk loop walks
+// A contiguously instead of striding lda floats per row. The per-element
+// FMA sequence is identical to the strided kernel — same values, same
+// ascending-kk order — which keeps packed results bitwise equal to
+// unpacked ones (locked by KernelsTest.PackABitIdentical).
+template <int64_t NVt>
+inline void micro_step_packed(int64_t kk, const float* ap, const float* b,
+                              int64_t ldb, vf acc[MR][NVt]) {
+  vf bv[NVt];
+  for (int64_t q = 0; q < NVt; ++q)
+    std::memcpy(&bv[q], b + kk * ldb + VLEN * q, sizeof(vf));
+  const float* arow = ap + kk * MR;
+  for (int64_t r = 0; r < MR; ++r) {
+    const vf avv = HANAYO_SPLAT(arow[r]);
+    for (int64_t q = 0; q < NVt; ++q) acc[r][q] += avv * bv[q];
+  }
+}
+
+template <int64_t NVt>
+__attribute__((noinline)) void micro_tile_packed(int64_t kc, const float* ap,
+                                                 const float* b, int64_t ldb,
+                                                 float* c, int64_t ldc,
+                                                 bool load_c) {
+  vf acc[MR][NVt];
+  if (load_c) {
+    for (int64_t r = 0; r < MR; ++r)
+      for (int64_t q = 0; q < NVt; ++q)
+        std::memcpy(&acc[r][q], c + r * ldc + VLEN * q, sizeof(vf));
+  } else {
+    for (int64_t r = 0; r < MR; ++r)
+      for (int64_t q = 0; q < NVt; ++q) acc[r][q] = vf{};
+  }
+  int64_t kk = 0;
+  for (; kk + KU <= kc; kk += KU)
+    for (int64_t u = 0; u < KU; ++u)
+      micro_step_packed<NVt>(kk + u, ap, b, ldb, acc);
+  for (; kk < kc; ++kk) micro_step_packed<NVt>(kk, ap, b, ldb, acc);
+  for (int64_t r = 0; r < MR; ++r)
+    for (int64_t q = 0; q < NVt; ++q)
+      std::memcpy(c + r * ldc + VLEN * q, &acc[r][q], sizeof(vf));
+}
+
+inline void micro_tile_tail_packed(int64_t nv, int64_t kc, const float* ap,
+                                   const float* b, int64_t ldb, float* c,
+                                   int64_t ldc, bool load_c) {
+  if (nv == 1) {
+    micro_tile_packed<1>(kc, ap, b, ldb, c, ldc, load_c);
+  } else {
+    micro_tile_packed<2>(kc, ap, b, ldb, c, ldc, load_c);
+  }
+}
 #endif
 
 // Ragged edge tiles (mr < MR and/or nr < NR); same loop structure and the
@@ -135,9 +198,30 @@ inline void micro_edge(int64_t mr, int64_t nr, int64_t kc, const float* a,
     for (int64_t j = 0; j < nr; ++j) c[r * ldc + j] = acc[r][j];
 }
 
+// Pack-panel scratch. Two independent pools because they nest: gemm_bt
+// holds its transposed-B panel across the inner gemm call, whose
+// gemm_rows may pack A on the same thread — one shared buffer would be
+// clobbered mid-product. When the calling thread has an active
+// pass-lifetime arena the panel comes from it under a LIFO mark/rewind
+// (the B mark strictly encloses the A mark, so rewinds pair up); without
+// one (pool worker threads, cold paths) a grow-only thread_local backs it
+// with geometric growth, so steady state allocates nothing either way.
+std::vector<float>& pack_fallback_b() {
+  thread_local std::vector<float> v;
+  return v;
+}
+
+std::vector<float>& pack_fallback_a() {
+  thread_local std::vector<float> v;
+  return v;
+}
+
 // One thread's share of a gemm: rows [i0, i1) of C. The first k-panel of
 // an overwriting gemm starts its accumulators from zero instead of reading
-// C, so no separate output-clearing pass is needed.
+// C, so no separate output-clearing pass is needed. For deep-k problems
+// the thread packs its full MR row blocks of A once into MR-strided
+// panels, reused across every k-block and the whole column sweep; ragged
+// row tails and small problems stream A in place.
 void gemm_rows(int64_t i0, int64_t i1, int64_t n, int64_t k, const float* a,
                int64_t lda, const float* b, int64_t ldb, float* c,
                int64_t ldc, bool accumulate) {
@@ -148,6 +232,26 @@ void gemm_rows(int64_t i0, int64_t i1, int64_t n, int64_t k, const float* a,
     }
     return;
   }
+#ifdef HANAYO_VECTOR_KERNEL
+  const int64_t full_blocks =
+      (g_pack_a.load(std::memory_order_relaxed) && k >= kPackMinK &&
+       n >= VLEN)
+          ? (i1 - i0) / MR
+          : 0;
+#else
+  const int64_t full_blocks = 0;
+#endif
+  ScratchBuffer apack(full_blocks * k * MR, pack_fallback_a());
+#ifdef HANAYO_VECTOR_KERNEL
+  if (full_blocks > 0) {
+    for (int64_t blk = 0; blk < full_blocks; ++blk) {
+      const float* src = a + (i0 + blk * MR) * lda;
+      float* panel = apack.data() + blk * k * MR;
+      for (int64_t kk = 0; kk < k; ++kk)
+        for (int64_t r = 0; r < MR; ++r) panel[kk * MR + r] = src[r * lda + kk];
+    }
+  }
+#endif
   for (int64_t kb = 0; kb < k; kb += KC) {
     const int64_t kc = std::min(KC, k - kb);
     const bool load_c = accumulate || kb > 0;
@@ -159,14 +263,28 @@ void gemm_rows(int64_t i0, int64_t i1, int64_t n, int64_t k, const float* a,
       int64_t j = 0;
 #ifdef HANAYO_VECTOR_KERNEL
       if (mr == MR) {
-        for (; j + NR <= n; j += NR)
-          micro_tile<NV>(kc, apanel, lda, bpanel + j, ldb, crow + j, ldc,
-                         load_c);
-        const int64_t nv_tail = (n - j) / VLEN;
-        if (nv_tail > 0) {
-          micro_tile_tail(nv_tail, kc, apanel, lda, bpanel + j, ldb,
-                          crow + j, ldc, load_c);
-          j += nv_tail * VLEN;
+        const int64_t blk = (i - i0) / MR;
+        if (blk < full_blocks) {
+          const float* ap = apack.data() + blk * k * MR + kb * MR;
+          for (; j + NR <= n; j += NR)
+            micro_tile_packed<NV>(kc, ap, bpanel + j, ldb, crow + j, ldc,
+                                  load_c);
+          const int64_t nv_tail = (n - j) / VLEN;
+          if (nv_tail > 0) {
+            micro_tile_tail_packed(nv_tail, kc, ap, bpanel + j, ldb, crow + j,
+                                   ldc, load_c);
+            j += nv_tail * VLEN;
+          }
+        } else {
+          for (; j + NR <= n; j += NR)
+            micro_tile<NV>(kc, apanel, lda, bpanel + j, ldb, crow + j, ldc,
+                           load_c);
+          const int64_t nv_tail = (n - j) / VLEN;
+          if (nv_tail > 0) {
+            micro_tile_tail(nv_tail, kc, apanel, lda, bpanel + j, ldb,
+                            crow + j, ldc, load_c);
+            j += nv_tail * VLEN;
+          }
         }
       }
 #endif
@@ -177,16 +295,6 @@ void gemm_rows(int64_t i0, int64_t i1, int64_t n, int64_t k, const float* a,
       }
     }
   }
-}
-
-// Per-thread pack buffer for the transposed operand of gemm_bt/gemm_at.
-// Grow-only, so steady-state training allocates nothing here.
-float* pack_scratch(int64_t elems) {
-  thread_local std::vector<float> scratch;
-  if (static_cast<int64_t>(scratch.size()) < elems) {
-    scratch.resize(static_cast<size_t>(elems));
-  }
-  return scratch.data();
 }
 
 }  // namespace
@@ -214,7 +322,8 @@ void gemm_bt(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
              const float* b, int64_t ldb, float* c, int64_t ldc,
              bool accumulate) {
   if (m <= 0 || n <= 0) return;
-  float* bt = pack_scratch(k * n);
+  ScratchBuffer pack(k * n, pack_fallback_b());
+  float* bt = pack.data();
   transpose_pack(b, n, k, ldb, bt);  // n x k -> k x n
   gemm(m, n, k, a, lda, bt, n, c, ldc, accumulate);
 }
@@ -223,10 +332,17 @@ void gemm_at(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
              const float* b, int64_t ldb, float* c, int64_t ldc,
              bool accumulate) {
   if (m <= 0 || n <= 0) return;
-  float* at = pack_scratch(k * m);
+  ScratchBuffer pack(k * m, pack_fallback_b());
+  float* at = pack.data();
   transpose_pack(a, k, m, lda, at);  // k x m -> m x k
   gemm(m, n, k, at, k, b, ldb, c, ldc, accumulate);
 }
+
+void set_gemm_pack_a(bool on) {
+  g_pack_a.store(on, std::memory_order_relaxed);
+}
+
+bool gemm_pack_a() { return g_pack_a.load(std::memory_order_relaxed); }
 
 void transpose_pack(const float* src, int64_t rows, int64_t cols, int64_t ld,
                     float* dst) {

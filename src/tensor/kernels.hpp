@@ -45,6 +45,15 @@ void gemm_at(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
 void transpose_pack(const float* src, int64_t rows, int64_t cols, int64_t ld,
                     float* dst);
 
+/// A-panel packing toggle (default on). When enabled, large-k gemms copy
+/// each thread's full-MR row blocks of A into contiguous MR-strided
+/// panels once and stream the micro-kernel from the packed copy — same
+/// values, same ascending-k per-element FMA order, so results stay
+/// bitwise identical to the unpacked path (the bench and the kernel
+/// tests A/B this switch to prove both claims).
+void set_gemm_pack_a(bool on);
+bool gemm_pack_a();
+
 }  // namespace hanayo::tensor::kernels
 
 namespace hanayo::tensor {

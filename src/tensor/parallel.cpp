@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
-#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -27,32 +26,37 @@ std::atomic<int> g_intra_op_threads{1};
 // that is executing them.
 thread_local bool t_in_parallel_region = false;
 
-// One job = one parallel_for call: a static partition of [0, n) into
-// `chunks` pieces. Workers claim chunk indices from an atomic counter; the
-// partition itself (and therefore every result) does not depend on which
-// thread runs which chunk. The job is shared-owned so a worker that wakes
-// late — after the submitter has already returned — still reads valid
-// memory when it finds no chunk left to claim. `fn` lives on the
-// submitter's stack, which is safe: a chunk can only be claimed while the
-// submitter is still blocked waiting for that chunk to finish.
-struct Job {
-  const std::function<void(int64_t, int64_t)>* fn = nullptr;
-  int64_t n = 0;
-  int chunks = 0;
-  std::atomic<int> next{0};
-  std::atomic<int> done{0};
-  // First exception thrown by any chunk (submitter or worker); rethrown on
-  // the submitter after every chunk has retired, so `fn` stays alive until
-  // no thread can touch it.
-  std::atomic<bool> failed{false};
-  std::exception_ptr error;
-};
-
 // RAII for the nesting flag so an exception unwinding through a chunk
 // cannot leave the thread permanently marked as inside a parallel region.
 struct ParallelRegionGuard {
   ParallelRegionGuard() { t_in_parallel_region = true; }
   ~ParallelRegionGuard() { t_in_parallel_region = false; }
+};
+
+// One job = one parallel_for call: a static partition of [0, n) into
+// `chunks` pieces. Determinism contract: chunk boundaries depend only on
+// (n, chunks), and every output element is produced by exactly one chunk
+// in a fixed order, so results are independent of which thread runs which
+// chunk.
+//
+// The job state lives *inside* the leaked Pool singleton — there is no
+// per-submission allocation of any kind. Safe reuse across submissions is
+// the subtle part: a worker descheduled mid-claim must not be able to
+// steal a chunk of a *later* job. Chunks are therefore claimed from a
+// single 64-bit ticket that packs (epoch << kIdxBits) | next_chunk and is
+// advanced by CAS, never fetch_add: a stale worker's CAS fails the moment
+// the epoch in the ticket no longer matches the epoch it snapshotted at
+// wake-up, and it backs off without mutating anything.
+constexpr int kIdxBits = 20;  // 1M chunks per job; chunks <= thread count
+constexpr uint64_t kIdxMask = (uint64_t{1} << kIdxBits) - 1;
+
+// Per-wake snapshot of the published job: taken under the pool mutex, so
+// fn/n/chunks are the ones written for `epoch`.
+struct JobView {
+  ChunkFn fn;
+  int64_t n = 0;
+  int chunks = 0;
+  uint64_t epoch = 0;
 };
 
 class Pool {
@@ -62,8 +66,7 @@ class Pool {
     return *p;
   }
 
-  void run(const std::function<void(int64_t, int64_t)>& fn, int64_t n,
-           int chunks) {
+  void run(ChunkFn fn, int64_t n, int chunks) {
     // One job at a time. A submitter that finds the pool busy (e.g. two
     // pipeline workers both configured with >1 intra-op threads) runs its
     // whole range inline instead of idling on the lock — degrading to
@@ -76,69 +79,90 @@ class Pool {
       return;
     }
     ensure_workers(chunks - 1);
-    auto job = std::make_shared<Job>();
-    job->fn = &fn;
-    job->n = n;
-    job->chunks = chunks;
+    JobView view;
     {
       std::lock_guard lk(mu_);
-      job_ = job;
-      ++generation_;
+      fn_ = fn;
+      n_ = n;
+      chunks_ = chunks;
+      done_.store(0, std::memory_order_relaxed);
+      failed_.store(false, std::memory_order_relaxed);
+      view = JobView{fn, n, chunks, ++generation_};
+      // Publishing the ticket (epoch, chunk 0) opens the job for claiming.
+      ticket_.store(view.epoch << kIdxBits, std::memory_order_release);
     }
     cv_.notify_all();
     {
       // The submitter is a chunk executor too; flag it so kernels it calls
       // from inside a chunk don't try to re-enter the pool.
       ParallelRegionGuard guard;
-      work_on(*job);
+      work_on(view);
     }
     {
       std::unique_lock lk(mu_);
       done_cv_.wait(lk, [&] {
-        return job->done.load(std::memory_order_acquire) >= job->chunks;
+        return done_.load(std::memory_order_acquire) >= chunks_;
       });
-      job_.reset();
     }
     // Safe to rethrow only now: every chunk has retired, so no thread can
-    // still dereference the caller's fn.
-    if (job->failed.load(std::memory_order_acquire)) {
-      std::rethrow_exception(job->error);
+    // still dereference the caller's fn. (The exceptional path may
+    // allocate; the hot path never does.)
+    if (failed_.load(std::memory_order_acquire)) {
+      std::exception_ptr e = error_;
+      error_ = nullptr;
+      std::rethrow_exception(e);
     }
   }
 
  private:
-  Pool() = default;
+  Pool() { workers_.reserve(static_cast<size_t>(hardware_threads())); }
 
-  static void run_chunk(const Job& job, int c) {
+  static void run_chunk(const JobView& job, int c) {
     const int64_t per = job.n / job.chunks;
     const int64_t extra = job.n % job.chunks;
     const int64_t begin = c * per + std::min<int64_t>(c, extra);
     const int64_t end = begin + per + (c < extra ? 1 : 0);
-    (*job.fn)(begin, end);
+    job.fn(begin, end);
   }
 
-  // Claims and runs chunks until none remain; returns after contributing
-  // this thread's completions to job.done (with a wakeup if it finished the
-  // job). A throwing chunk records its exception on the job and still
-  // counts as done, so the submitter's wait always terminates and can
-  // rethrow afterwards.
-  void work_on(Job& job) {
+  // CAS-claims the next chunk of the job `view` describes. Fails — without
+  // side effects — if the published ticket's epoch is not view.epoch (a
+  // newer job was published, or this one is already torn down) or every
+  // chunk is claimed.
+  bool claim(const JobView& view, int& c) {
+    uint64_t t = ticket_.load(std::memory_order_acquire);
+    for (;;) {
+      if ((t >> kIdxBits) != view.epoch) return false;
+      const int idx = static_cast<int>(t & kIdxMask);
+      if (idx >= view.chunks) return false;
+      if (ticket_.compare_exchange_weak(t, t + 1, std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+        c = idx;
+        return true;
+      }
+    }
+  }
+
+  // Claims and runs chunks until none remain; contributes this thread's
+  // completions to done_ (with a wakeup if it finished the job). A
+  // throwing chunk records its exception and still counts as done, so the
+  // submitter's wait always terminates and can rethrow afterwards.
+  void work_on(const JobView& view) {
     bool finished_job = false;
-    for (int c = job.next.fetch_add(1, std::memory_order_relaxed);
-         c < job.chunks; c = job.next.fetch_add(1, std::memory_order_relaxed)) {
+    for (int c = 0; claim(view, c);) {
       try {
-        run_chunk(job, c);
+        run_chunk(view, c);
       } catch (...) {
         // First failure wins; its error write is published to the
         // submitter by this thread's done increment below. Remaining
         // chunks still run (they are independent), keeping the done count
         // exact so the submitter's wait always terminates.
-        if (!job.failed.exchange(true, std::memory_order_acq_rel)) {
-          job.error = std::current_exception();
+        if (!failed_.exchange(true, std::memory_order_acq_rel)) {
+          error_ = std::current_exception();
         }
       }
-      const int d = job.done.fetch_add(1, std::memory_order_acq_rel) + 1;
-      finished_job = (d == job.chunks);
+      const int d = done_.fetch_add(1, std::memory_order_acq_rel) + 1;
+      finished_job = (d == view.chunks);
     }
     if (finished_job) {
       std::lock_guard lk(mu_);
@@ -158,14 +182,17 @@ class Pool {
     t_in_parallel_region = true;
     uint64_t seen = 0;
     for (;;) {
-      std::shared_ptr<Job> job;
+      JobView view;
       {
         std::unique_lock lk(mu_);
-        cv_.wait(lk, [&] { return generation_ != seen && job_ != nullptr; });
+        cv_.wait(lk, [&] { return generation_ != seen; });
         seen = generation_;
-        job = job_;
+        view = JobView{fn_, n_, chunks_, generation_};
       }
-      work_on(*job);
+      // A worker that slept through a whole job wakes here after it is
+      // done; its claims fail on the exhausted/stale ticket and it goes
+      // back to sleep without touching anything.
+      work_on(view);
     }
   }
 
@@ -173,8 +200,18 @@ class Pool {
   sync::Mutex<sync::Rank::IntraOpPool> mu_;
   sync::CondVar cv_;
   sync::CondVar done_cv_;
-  std::shared_ptr<Job> job_;
+
+  // Published job state (guarded by mu_; ticket_/done_/failed_ are the
+  // lock-free fast paths).
+  ChunkFn fn_;
+  int64_t n_ = 0;
+  int chunks_ = 0;
   uint64_t generation_ = 0;
+  std::atomic<uint64_t> ticket_{0};
+  std::atomic<int> done_{0};
+  std::atomic<bool> failed_{false};
+  std::exception_ptr error_;
+
   std::vector<std::thread> workers_;
 };
 
@@ -191,8 +228,7 @@ void set_intra_op_threads(int n) {
 
 int max_intra_op_threads() { return hardware_threads(); }
 
-void parallel_for(int64_t n, int64_t grain,
-                  const std::function<void(int64_t, int64_t)>& fn) {
+void parallel_for(int64_t n, int64_t grain, ChunkFn fn) {
   if (n <= 0) return;
   if (grain < 1) grain = 1;
   const int threads = intra_op_threads();

@@ -1,0 +1,173 @@
+// Pass-lifetime arena invariants (tensor/arena.hpp).
+//
+// The serving hot path's zero-allocation claim rests on a handful of
+// arena properties: aligned bump allocation, O(1) reset with slabs
+// retained, geometric warm-up growth that stops once the working set is
+// discovered, LIFO mark/rewind for nested kernel scratch, and a
+// thread-local context that Tensor construction consults. Each is pinned
+// here in isolation so a regression fails a unit test before it fails the
+// end-to-end decode budget (tests/runtime/test_alloc_decode.cpp).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/scale.hpp"
+#include "tensor/alloc_stats.hpp"
+#include "tensor/arena.hpp"
+#include "tensor/tensor.hpp"
+
+using hanayo::tensor::AllocStats;
+using hanayo::tensor::Arena;
+using hanayo::tensor::ArenaPause;
+using hanayo::tensor::ArenaScope;
+using hanayo::tensor::ScratchBuffer;
+using hanayo::tensor::Tensor;
+
+TEST(Arena, AllocationsAreCacheLineAligned) {
+  Arena a;
+  for (int64_t n : {1, 3, 63, 64, 65, 1000, 4096}) {
+    void* p = a.alloc(n);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % Arena::kAlign, 0u)
+        << "size " << n;
+  }
+}
+
+TEST(Arena, ResetReusesTheSameStorage) {
+  Arena a;
+  void* first = a.alloc(512);
+  a.reset();
+  // Same request after reset lands on the same bump cursor.
+  EXPECT_EQ(a.alloc(512), first);
+}
+
+TEST(Arena, WarmupGrowsThenSteadyStateIsZeroAlloc) {
+  Arena a;  // no reserve: working set discovered during warm-up
+  const auto pass = [&] {
+    ArenaScope scope(a);
+    for (int i = 0; i < 16; ++i) {
+      Tensor t({8, 32});
+      t.zero();
+    }
+  };
+  for (int i = 0; i < 3; ++i) pass();  // warm-up
+  const int64_t grown = a.grow_count();
+  const AllocStats before = hanayo::tensor::alloc_stats();
+  for (int i = 0; i < 8; ++i) pass();  // steady state
+  const AllocStats d = hanayo::tensor::alloc_stats() - before;
+  EXPECT_EQ(d.allocs, 0) << "steady-state passes must not touch the heap";
+  EXPECT_EQ(a.grow_count(), grown) << "steady-state passes must not grow";
+  EXPECT_GT(a.high_water(), 0);
+}
+
+TEST(Arena, PreSizedArenaNeverGrows) {
+  Arena a(int64_t{1} << 20);  // 1 MiB reserve
+  ArenaScope scope(a);
+  for (int i = 0; i < 32; ++i) (void)a.alloc(4096);
+  EXPECT_EQ(a.grow_count(), 0);
+  EXPECT_GE(a.reserved(), int64_t{1} << 20);
+}
+
+TEST(Arena, MarkRewindIsLifo) {
+  Arena a;
+  (void)a.alloc(128);
+  const Arena::Mark m = a.mark();
+  void* inner = a.alloc(256);
+  a.rewind(m);
+  // Rewind frees the inner allocation: the next request reuses its bytes.
+  EXPECT_EQ(a.alloc(256), inner);
+}
+
+#ifdef NDEBUG
+TEST(Arena, FrozenArenaGrowsGracefullyInRelease) {
+  // Release builds keep working past the freeze canary (the assert is
+  // Debug-only); growth is still visible in grow_count for diagnostics.
+  Arena a(1024);
+  a.freeze();
+  (void)a.alloc(a.reserved() + 1);  // cannot fit: must grow a new slab
+  EXPECT_GE(a.grow_count(), 1);
+}
+#else
+TEST(ArenaDeathTest, FrozenArenaAssertsOnGrowthInDebug) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  Arena a(1024);
+  a.freeze();
+  EXPECT_DEATH((void)a.alloc(a.reserved() + 1), "frozen");
+}
+#endif
+
+TEST(Arena, TensorsDrawFromTheActiveArenaOnly) {
+  Arena a;
+  const AllocStats before_scoped = [&] {
+    ArenaScope scope(a);
+    Tensor warm({4, 4});  // warm-up: the arena grabs its slab
+    (void)warm;
+    return hanayo::tensor::alloc_stats();
+  }();
+  {
+    ArenaScope scope(a);
+    Tensor t({4, 4});
+    t.zero();
+    const AllocStats d = hanayo::tensor::alloc_stats() - before_scoped;
+    EXPECT_EQ(d.allocs, 0) << "scoped Tensor must bump the arena, not new";
+    // A pause redirects construction back to the heap (long-lived state).
+    ArenaPause pause;
+    Tensor heap_backed({4, 4});
+    heap_backed.zero();
+    const AllocStats d2 = hanayo::tensor::alloc_stats() - before_scoped;
+    EXPECT_GE(d2.allocs, 1) << "paused Tensor must come from the heap";
+  }
+}
+
+TEST(Arena, ScratchBufferUsesArenaUnderScopeAndFallbackOutside) {
+  std::vector<float> fallback;
+  {  // no active arena: fallback vector grows once, then is reused
+    ScratchBuffer s(256, fallback);
+    ASSERT_NE(s.data(), nullptr);
+    s.data()[0] = 1.0f;
+    EXPECT_GE(fallback.size(), 256u);
+  }
+  Arena a;
+  ArenaScope scope(a);
+  const int64_t fallback_cap = static_cast<int64_t>(fallback.capacity());
+  {
+    ScratchBuffer s(int64_t{1} << 16, fallback);
+    ASSERT_NE(s.data(), nullptr);
+    s.data()[0] = 2.0f;
+  }
+  EXPECT_EQ(static_cast<int64_t>(fallback.capacity()), fallback_cap)
+      << "arena path must not grow the fallback vector";
+  EXPECT_GT(a.high_water(), 0) << "scratch must have come from the arena";
+}
+
+TEST(Arena, ConcurrentArenasAreIndependent) {
+  // One arena per thread (the runtime's model: each worker owns its own);
+  // storms of scoped passes must neither corrupt payloads nor leak heap
+  // traffic after warm-up.
+  const int threads = 4;
+  const int passes = hanayo_test::scaled(200);
+  std::vector<std::thread> pool;
+  std::vector<int> failures(static_cast<size_t>(threads), 0);
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([t, passes, &failures] {
+      Arena a;
+      for (int p = 0; p < passes; ++p) {
+        ArenaScope scope(a);
+        Tensor x({16, 16});
+        for (int64_t i = 0; i < x.numel(); ++i) {
+          x[i] = static_cast<float>(t * 1000 + p);
+        }
+        for (int64_t i = 0; i < x.numel(); ++i) {
+          if (x[i] != static_cast<float>(t * 1000 + p)) {
+            ++failures[static_cast<size_t>(t)];
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  for (int t = 0; t < threads; ++t) EXPECT_EQ(failures[static_cast<size_t>(t)], 0);
+}

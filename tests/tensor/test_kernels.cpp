@@ -152,6 +152,50 @@ TEST(Kernels, BitIdenticalAcrossIntraOpThreadCounts) {
   }
 }
 
+TEST(Kernels, PackToggleIsBitIdentical) {
+  // A-panel packing is a pure layout transform: the micro-kernel streams
+  // the same scalar values in the same ascending-k order from a contiguous
+  // MR-strided copy, so toggling it must not change a single bit — across
+  // thread counts too. Shapes straddle kPackMinK (packing engages on
+  // large-k only) and include remainder rows/cols.
+  ht::Rng rng(23);
+  const Mnk shapes[] = {{7, 17, 9}, {48, 48, 64}, {61, 67, 300}, {1, 64, 257}};
+  const bool saved = ht::kernels::gemm_pack_a();
+  for (const auto& s : shapes) {
+    ht::Tensor a = rng.randn({s.m, s.k});
+    ht::Tensor b = rng.randn({s.k, s.n});
+    ht::Tensor bt = ht::transpose(b);
+    ht::Tensor at = ht::transpose(a);
+
+    ht::Tensor packed({s.m, s.n}), pbt({s.m, s.n}), pat({s.m, s.n});
+    ht::kernels::set_gemm_pack_a(true);
+    ht::matmul_into(a, b, packed);
+    ht::matmul_bt_into(a, bt, pbt);
+    ht::matmul_at_into(at, b, pat);
+
+    ht::Tensor plain({s.m, s.n}), ubt({s.m, s.n}), uat({s.m, s.n});
+    ht::kernels::set_gemm_pack_a(false);
+    ht::matmul_into(a, b, plain);
+    ht::matmul_bt_into(a, bt, ubt);
+    ht::matmul_at_into(at, b, uat);
+
+    ht::kernels::set_gemm_pack_a(true);
+    ht::Tensor pthr({s.m, s.n});
+    {
+      ht::IntraOpScope scope(4);
+      ht::matmul_into(a, b, pthr);
+    }
+
+    for (int64_t i = 0; i < packed.numel(); ++i) {
+      ASSERT_EQ(packed[i], plain[i]) << "m=" << s.m << " i=" << i;
+      ASSERT_EQ(pbt[i], ubt[i]) << "bt m=" << s.m << " i=" << i;
+      ASSERT_EQ(pat[i], uat[i]) << "at m=" << s.m << " i=" << i;
+      ASSERT_EQ(packed[i], pthr[i]) << "threads m=" << s.m << " i=" << i;
+    }
+  }
+  ht::kernels::set_gemm_pack_a(saved);
+}
+
 TEST(Kernels, RowWiseOpsBitIdenticalAcrossThreadCounts) {
   ht::Rng rng(16);
   ht::Tensor x = rng.randn({129, 65});
